@@ -1,0 +1,61 @@
+//! End-to-end access benchmarks, one per stride family and strategy —
+//! the Criterion rendition of the latency experiment: the *measured
+//! simulated latency* is the figure of merit; the wall-clock numbers
+//! here track the simulation cost of each configuration, which scales
+//! with that latency.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cfva_core::plan::{Planner, Strategy};
+use cfva_core::{mapping::XorMatched, Stride, VectorSpec};
+use cfva_memsim::{MemConfig, MemorySystem};
+
+fn bench_family_sweep(c: &mut Criterion) {
+    let planner = Planner::matched(XorMatched::new(3, 4).expect("valid"));
+    let mem = MemConfig::new(3, 3).expect("valid");
+    let buffered = MemConfig::new(3, 3)
+        .expect("valid")
+        .with_queues(2, 1)
+        .expect("valid");
+
+    let mut group = c.benchmark_group("family_sweep_L128");
+    for x in 0..=5u32 {
+        let stride = Stride::from_parts(3, x).expect("odd");
+        let vec = VectorSpec::with_stride(16u64.into(), stride, 128).expect("valid");
+
+        group.bench_function(BenchmarkId::new("canonical", x), |b| {
+            b.iter(|| {
+                let plan = planner
+                    .plan(black_box(&vec), Strategy::Canonical)
+                    .expect("plannable");
+                MemorySystem::new(mem).run_plan(&plan).latency
+            })
+        });
+
+        if planner.plan(&vec, Strategy::Subsequence).is_ok() {
+            group.bench_function(BenchmarkId::new("subsequence_q2", x), |b| {
+                b.iter(|| {
+                    let plan = planner
+                        .plan(black_box(&vec), Strategy::Subsequence)
+                        .expect("plannable");
+                    MemorySystem::new(buffered).run_plan(&plan).latency
+                })
+            });
+        }
+
+        if planner.plan(&vec, Strategy::ConflictFree).is_ok() {
+            group.bench_function(BenchmarkId::new("replay", x), |b| {
+                b.iter(|| {
+                    let plan = planner
+                        .plan(black_box(&vec), Strategy::ConflictFree)
+                        .expect("plannable");
+                    MemorySystem::new(mem).run_plan(&plan).latency
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_family_sweep);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Address-mapping throughput: the module-number computation sits on
+//! the critical path of every memory request, so it must be a handful
+//! of gate delays (here: a handful of ALU ops).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cfva_core::mapping::{Interleaved, Linear, ModuleMap, Skewed, XorMatched, XorUnmatched};
+use cfva_core::Addr;
+
+fn bench_maps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("module_of");
+    let addrs: Vec<Addr> = (0..1024u64).map(|i| Addr::new(i * 2654435761)).collect();
+
+    let interleaved = Interleaved::new(3);
+    group.bench_function(BenchmarkId::new("interleaved", "m=3"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &a in &addrs {
+                acc ^= interleaved.module_of(black_box(a)).get();
+            }
+            acc
+        })
+    });
+
+    let skewed = Skewed::new(3, 1);
+    group.bench_function(BenchmarkId::new("skewed", "m=3 d=1"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &a in &addrs {
+                acc ^= skewed.module_of(black_box(a)).get();
+            }
+            acc
+        })
+    });
+
+    let xor_m = XorMatched::new(3, 4).expect("valid");
+    group.bench_function(BenchmarkId::new("xor_matched", "t=3 s=4"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &a in &addrs {
+                acc ^= xor_m.module_of(black_box(a)).get();
+            }
+            acc
+        })
+    });
+
+    let xor_u = XorUnmatched::new(3, 4, 9).expect("valid");
+    group.bench_function(BenchmarkId::new("xor_unmatched", "t=3 s=4 y=9"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &a in &addrs {
+                acc ^= xor_u.module_of(black_box(a)).get();
+            }
+            acc
+        })
+    });
+
+    let linear = Linear::xor_unmatched(3, 4, 9).expect("valid");
+    group.bench_function(BenchmarkId::new("linear_matrix", "t=3 s=4 y=9"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &a in &addrs {
+                acc ^= linear.module_of(black_box(a)).get();
+            }
+            acc
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_maps);
+criterion_main!(benches);

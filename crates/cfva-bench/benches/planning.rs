@@ -1,0 +1,55 @@
+//! Plan-generation cost: building the request order for one
+//! register-length access. The paper's hardware does this incrementally
+//! at one address per cycle; the software planner should be comparably
+//! cheap per element.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cfva_core::mapping::XorMatched;
+use cfva_core::plan::{Planner, Strategy};
+use cfva_core::VectorSpec;
+
+fn bench_strategies(c: &mut Criterion) {
+    let planner = Planner::matched(XorMatched::new(3, 4).expect("valid"));
+
+    let mut group = c.benchmark_group("plan");
+    for len in [64u64, 128, 1024] {
+        let vec = VectorSpec::new(16, 12, len).expect("valid");
+        group.throughput(Throughput::Elements(len));
+        for (name, strategy) in [
+            ("canonical", Strategy::Canonical),
+            ("subsequence", Strategy::Subsequence),
+            ("conflict_free", Strategy::ConflictFree),
+        ] {
+            group.bench_function(BenchmarkId::new(name, len), |b| {
+                b.iter(|| planner.plan(black_box(&vec), strategy).expect("plannable"))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_generator_fsm(c: &mut Criterion) {
+    use cfva_core::hardware::{AddressGenerator, GeneratorConfig};
+    use cfva_core::order::SubseqStructure;
+
+    let vec = VectorSpec::new(16, 12, 1024).expect("valid");
+    let st = SubseqStructure::new(2, 8);
+    let cfg = GeneratorConfig::for_vector(&vec, &st).expect("compatible");
+
+    let mut group = c.benchmark_group("hardware_fsm");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("address_generator_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for (addr, reg) in AddressGenerator::new(black_box(cfg)) {
+                acc = acc.wrapping_add(addr.get()).wrapping_add(reg);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_generator_fsm);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Regenerates every figure and quantitative claim of the paper.
+//!
+//! ```text
+//! experiments            # list available experiments
+//! experiments all        # run everything
+//! experiments eff lat    # run a subset
+//! ```
+
+use std::process::ExitCode;
+
+use cfva_bench::experiments;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.is_empty() {
+        println!("Reproduction harness for Valero et al., ISCA 1992.\n");
+        println!("Usage: experiments [all | <id>...]\n");
+        println!("Available experiments:");
+        for e in experiments::all() {
+            println!("  {:<8} {}", e.id, e.title);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let run_all = args.iter().any(|a| a == "all");
+    let mut failed = false;
+
+    if run_all {
+        for e in experiments::all() {
+            banner(e.id, e.title);
+            println!("{}", (e.run)());
+        }
+    } else {
+        for id in &args {
+            match experiments::run_by_id(id) {
+                Some(report) => {
+                    let title = experiments::all()
+                        .into_iter()
+                        .find(|e| e.id == id)
+                        .map(|e| e.title)
+                        .unwrap_or_default();
+                    banner(id, title);
+                    println!("{report}");
+                }
+                None => {
+                    eprintln!("unknown experiment id: {id}");
+                    failed = true;
+                }
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn banner(id: &str, title: &str) {
+    println!("{}", "=".repeat(78));
+    println!("[{id}] {title}");
+    println!("{}", "=".repeat(78));
+}

@@ -1,0 +1,94 @@
+//! Section 5D / Figures 4–6: hardware cost and RTL-model equivalence.
+
+use cfva_core::hardware::{AddressGenerator, GeneratorConfig, HardwareCost, ReplayEngine};
+use cfva_core::mapping::XorMatched;
+use cfva_core::order::{replay_order, subseq_order, ReplayKey, SubseqStructure};
+use cfva_core::VectorSpec;
+
+use crate::table::Table;
+
+/// Renders the component-count table and checks the register-transfer
+/// models produce exactly the functional planner's streams.
+pub fn hardware() -> String {
+    let t_cycles = 8u32;
+    let mut t = Table::new(&[
+        "datapath",
+        "adders",
+        "counters",
+        "regs",
+        "latches",
+        "queue",
+        "arbiter",
+        "RA regfile",
+    ]);
+    for (name, cost) in [
+        ("ordered (prior art)", HardwareCost::ordered()),
+        ("subsequence (Fig 4/5)", HardwareCost::subsequence()),
+        (
+            "conflict-free replay (Fig 6)",
+            HardwareCost::conflict_free_replay(t_cycles),
+        ),
+    ] {
+        t.row_owned(vec![
+            name.to_string(),
+            cost.adders.to_string(),
+            cost.counters.to_string(),
+            cost.working_registers.to_string(),
+            cost.address_latches.to_string(),
+            cost.key_queue_entries.to_string(),
+            cost.needs_arbiter.to_string(),
+            cost.random_access_register_file.to_string(),
+        ]);
+    }
+
+    // RTL equivalence on the paper's running example.
+    let map = XorMatched::new(3, 3).expect("valid");
+    let vec = VectorSpec::new(16, 12, 64).expect("valid");
+    let st = SubseqStructure::for_matched(&map, vec.family()).expect("in window");
+
+    let cfg = GeneratorConfig::for_vector(&vec, &st).expect("compatible");
+    let rtl_stream: Vec<u64> = AddressGenerator::new(cfg).map(|(a, _)| a.get()).collect();
+    let func_stream: Vec<u64> = subseq_order(&st, vec.len())
+        .expect("compatible")
+        .into_iter()
+        .map(|e| vec.element_addr(e).get())
+        .collect();
+    let generator_matches = rtl_stream == func_stream;
+
+    let mut engine =
+        ReplayEngine::new(&map, &vec, &st, ReplayKey::Module).expect("in window");
+    let engine_stream: Vec<u64> =
+        std::iter::from_fn(|| engine.step().map(|r| r.element)).collect();
+    let replay_stream = replay_order(&map, &vec, &st, ReplayKey::Module).expect("in window");
+    let engine_matches = engine_stream == replay_stream;
+    let stats = engine.stats();
+
+    format!(
+        "Section 5D — hardware complexity (T = {t_cycles})\n\n{}\n\
+         RTL checks on the Section 3 example (stride 12, A1=16, L=64):\n\
+         * Figure 4/5 generator reproduces the subsequence stream: {}\n\
+         * Figure 6 engine reproduces the conflict-free replay stream: {}\n\
+         * Latch pressure: max {} per key (paper claims 2 latches/key suffice),\n\
+           max {} total (2T = {}).\n\
+         The out-of-order additions are O(T) latches and one duplicated\n\
+         generator — 'a minor part of the cost of the memory subsystem'.\n",
+        t.render(),
+        if generator_matches { "YES" } else { "NO" },
+        if engine_matches { "YES" } else { "NO" },
+        stats.max_latches_per_key,
+        stats.max_latches_total,
+        2 * t_cycles,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtl_models_match_functional() {
+        let r = hardware();
+        assert!(r.contains("subsequence stream: YES"), "{r}");
+        assert!(r.contains("replay stream: YES"), "{r}");
+    }
+}

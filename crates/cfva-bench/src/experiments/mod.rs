@@ -1,0 +1,146 @@
+//! Experiment runners — one per paper artifact (DESIGN.md §4).
+//!
+//! Each runner regenerates a figure or quantitative claim and returns a
+//! plain-text report quoting the paper's value next to the measured one.
+
+pub mod analytic;
+pub mod chaining;
+pub mod extensions;
+pub mod fig_maps;
+pub mod hardware;
+pub mod latency;
+pub mod shortvec;
+pub mod tradeoff;
+pub mod window_sweep;
+pub mod worked;
+
+/// One runnable experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiment {
+    /// Short id used on the command line (e.g. `fig3`).
+    pub id: &'static str,
+    /// Human-readable title including the paper artifact.
+    pub title: &'static str,
+    /// Runs the experiment and renders its report.
+    pub run: fn() -> String,
+}
+
+/// The full experiment registry, in paper order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "fig3",
+            title: "Figure 3: matched XOR mapping grid (m=t=3, s=3)",
+            run: fig_maps::fig3,
+        },
+        Experiment {
+            id: "fig7",
+            title: "Figure 7: unmatched two-level mapping grid (m=4, t=2, s=3, y=7)",
+            run: fig_maps::fig7,
+        },
+        Experiment {
+            id: "ctp-ex",
+            title: "Section 3 worked example: stride 12, A1=16 (CTP & subsequences)",
+            run: worked::ctp_example,
+        },
+        Experiment {
+            id: "unm-ex",
+            title: "Section 4.1 worked examples: Lemma 4 subsequences",
+            run: worked::unmatched_examples,
+        },
+        Experiment {
+            id: "window",
+            title: "Theorems 1 & 3: conflict-free windows verified by simulation",
+            run: window_sweep::window,
+        },
+        Experiment {
+            id: "frac",
+            title: "Section 5A: fraction of conflict-free strides",
+            run: analytic::fraction,
+        },
+        Experiment {
+            id: "eff",
+            title: "Section 5B: efficiency, analytic vs simulated",
+            run: analytic::efficiency,
+        },
+        Experiment {
+            id: "lat",
+            title: "Sections 2/3.1/3.2: latency per family and strategy",
+            run: latency::latency,
+        },
+        Experiment {
+            id: "modcost",
+            title: "Section 5E: window width vs module count",
+            run: tradeoff::module_cost,
+        },
+        Experiment {
+            id: "len",
+            title: "Section 5H: conflict-free families vs vector length",
+            run: tradeoff::family_counts,
+        },
+        Experiment {
+            id: "short",
+            title: "Section 5C: short-vector split",
+            run: shortvec::short_vectors,
+        },
+        Experiment {
+            id: "hw",
+            title: "Section 5D / Figures 4-6: hardware cost and RTL equivalence",
+            run: hardware::hardware,
+        },
+        Experiment {
+            id: "chain",
+            title: "Section 5F: LOAD/EXECUTE chaining",
+            run: chaining::chaining,
+        },
+        Experiment {
+            id: "maxfam",
+            title: "Section 5G: families beyond the structured windows (search)",
+            run: extensions::max_families,
+        },
+        Experiment {
+            id: "dynamic",
+            title: "Reference [11]: dynamic per-region scheme",
+            run: extensions::dynamic_scheme,
+        },
+        Experiment {
+            id: "multi",
+            title: "Section 6 future work: simultaneous vector accesses",
+            run: extensions::multi_vector,
+        },
+        Experiment {
+            id: "buffers",
+            title: "Ablation: input-buffer depth vs ordering strategy",
+            run: extensions::buffer_ablation,
+        },
+        Experiment {
+            id: "prand",
+            title: "Reference [12]: pseudo-random interleaving baseline",
+            run: extensions::pseudo_random_comparison,
+        },
+    ]
+}
+
+/// Runs one experiment by id.
+pub fn run_by_id(id: &str) -> Option<String> {
+    all().into_iter().find(|e| e.id == id).map(|e| (e.run)())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let exps = all();
+        let mut ids: Vec<&str> = exps.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), exps.len());
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run_by_id("nope").is_none());
+    }
+}

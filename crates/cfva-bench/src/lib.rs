@@ -1,0 +1,24 @@
+//! # cfva-bench — experiment harness
+//!
+//! Regenerates every figure and quantitative claim of the paper's
+//! evaluation. The [`experiments`] module holds one runner per artifact
+//! (see DESIGN.md §4 for the index); the `experiments` binary prints
+//! them:
+//!
+//! ```text
+//! cargo run -p cfva-bench --release --bin experiments -- all
+//! cargo run -p cfva-bench --release --bin experiments -- eff
+//! ```
+//!
+//! The [`workload`] module samples strides from the paper's population
+//! model (family `x` with probability `2^-(x+1)`), and [`runner`] wraps
+//! planner + simulator into one-call measurements.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+pub mod workload;

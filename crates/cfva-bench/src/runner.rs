@@ -1,0 +1,160 @@
+//! One-call planner + simulator measurements.
+
+use cfva_core::plan::{Planner, Strategy};
+use cfva_core::VectorSpec;
+use cfva_memsim::{AccessStats, MemConfig, MemorySystem};
+use rand::Rng;
+
+use crate::workload::StrideSampler;
+
+/// Plans and simulates one vector access.
+///
+/// Falls back per [`Strategy::Auto`] semantics if the requested strategy
+/// cannot serve the access *and* `strategy` is `Auto`; otherwise
+/// planning errors propagate as `None` (callers decide how to count
+/// unservable accesses).
+pub fn measure(
+    planner: &Planner,
+    vec: &VectorSpec,
+    strategy: Strategy,
+    mem: MemConfig,
+) -> Option<AccessStats> {
+    let plan = planner.plan(vec, strategy).ok()?;
+    Some(MemorySystem::new(mem).run_plan(&plan))
+}
+
+/// Steady-state service cycles per element of one access: the latency
+/// minus the fixed startup (`T + 1`), divided by the element count.
+/// Equals 1.0 for a conflict-free access.
+pub fn cycles_per_element(stats: &AccessStats, mem: MemConfig) -> f64 {
+    (stats.latency - mem.t_cycles() - 1) as f64 / stats.elements as f64
+}
+
+/// Monte-Carlo estimate of the paper's Section 5B efficiency `η`: the
+/// reciprocal of the population-average service cycles per element,
+/// with strides sampled from the family distribution.
+pub fn simulated_efficiency<R: Rng + ?Sized>(
+    planner: &Planner,
+    strategy: Strategy,
+    mem: MemConfig,
+    len: u64,
+    samples: u32,
+    sampler: &StrideSampler,
+    rng: &mut R,
+) -> f64 {
+    let mut total_cpe = 0.0;
+    for _ in 0..samples {
+        let vec = sampler.sample_vector(rng, 1 << 24, len);
+        let stats = measure(planner, &vec, strategy, mem)
+            .expect("auto/canonical strategies always plan");
+        total_cpe += cycles_per_element(&stats, mem);
+    }
+    samples as f64 / total_cpe
+}
+
+/// Stratified estimate of the Section 5B efficiency `η`: measures the
+/// service cycles per element of each family `x ≤ max_x` directly
+/// (averaged over `per_family` random σ/base draws) and combines them
+/// with the exact family weights `2^-(x+1)`. The truncated tail
+/// (`x > max_x`) reuses the `max_x` measurement, exact once the
+/// per-family cost has saturated at `2^t` (i.e. `max_x ≥ w + t`).
+///
+/// Far lower variance than the plain Monte-Carlo estimator: the
+/// geometric tail is weighted analytically instead of sampled.
+pub fn stratified_efficiency<R: Rng + ?Sized>(
+    planner: &Planner,
+    strategy: Strategy,
+    mem: MemConfig,
+    len: u64,
+    max_x: u32,
+    per_family: u32,
+    rng: &mut R,
+) -> f64 {
+    let mut avg_cpe = 0.0;
+    let mut last_family_cpe = 1.0;
+    for x in 0..=max_x {
+        let mut family_cpe = 0.0;
+        for _ in 0..per_family {
+            let sigma = 2 * rng.gen_range(0i64..8) + 1;
+            let base = rng.gen_range(0u64..1 << 24);
+            let stride =
+                cfva_core::Stride::from_parts(sigma, x).expect("odd sigma, bounded x");
+            let vec = VectorSpec::with_stride(base.into(), stride, len).expect("valid");
+            let stats =
+                measure(planner, &vec, strategy, mem).expect("strategy always plans");
+            family_cpe += cycles_per_element(&stats, mem);
+        }
+        family_cpe /= per_family as f64;
+        let weight = 0.5f64.powi(x as i32 + 1);
+        avg_cpe += weight * family_cpe;
+        last_family_cpe = family_cpe;
+    }
+    // Fold the truncated tail (total weight 2^-(max_x+1)) into the last
+    // measured family, whose cost has saturated.
+    avg_cpe += 0.5f64.powi(max_x as i32 + 1) * last_family_cpe;
+    1.0 / avg_cpe
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfva_core::mapping::XorMatched;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn measure_conflict_free() {
+        let planner = Planner::matched(XorMatched::new(3, 3).unwrap());
+        let vec = VectorSpec::new(16, 12, 64).unwrap();
+        let mem = MemConfig::new(3, 3).unwrap();
+        let stats = measure(&planner, &vec, Strategy::ConflictFree, mem).unwrap();
+        assert_eq!(stats.latency, 73);
+        assert_eq!(cycles_per_element(&stats, mem), 1.0);
+    }
+
+    #[test]
+    fn measure_returns_none_for_unplannable() {
+        let planner = Planner::matched(XorMatched::new(3, 3).unwrap());
+        let vec = VectorSpec::new(0, 16, 64).unwrap(); // x = 4 > s
+        let mem = MemConfig::new(3, 3).unwrap();
+        assert!(measure(&planner, &vec, Strategy::ConflictFree, mem).is_none());
+        assert!(measure(&planner, &vec, Strategy::Auto, mem).is_some());
+    }
+
+    #[test]
+    fn simulated_efficiency_close_to_analytic_for_proposed_scheme() {
+        // Small config for speed: t = 2, λ = 6, s = λ−t = 4.
+        let planner = Planner::matched(XorMatched::new(2, 4).unwrap());
+        let mem = MemConfig::new(2, 2).unwrap();
+        let sampler = StrideSampler::new(10, 9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let eta = simulated_efficiency(
+            &planner,
+            Strategy::Auto,
+            mem,
+            64,
+            400,
+            &sampler,
+            &mut rng,
+        );
+        let analytic = cfva_core::analysis::efficiency(4, 2);
+        assert!(
+            (eta - analytic).abs() < 0.05,
+            "simulated {eta} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn stratified_efficiency_tracks_analytic_closely() {
+        let planner = Planner::matched(XorMatched::new(2, 4).unwrap());
+        let mem = MemConfig::new(2, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let eta =
+            stratified_efficiency(&planner, Strategy::Auto, mem, 64, 8, 4, &mut rng);
+        let analytic = cfva_core::analysis::efficiency(4, 2);
+        assert!(
+            (eta - analytic).abs() < 0.03,
+            "stratified {eta} vs analytic {analytic}"
+        );
+    }
+}

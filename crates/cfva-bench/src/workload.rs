@@ -1,0 +1,136 @@
+//! Stride workload generation under the paper's population model.
+
+use cfva_core::{Stride, VectorSpec};
+use rand::Rng;
+
+/// Samples strides with the paper's family distribution: family `x`
+/// with probability `2^-(x+1)` (every extra factor of two halves the
+/// population), odd part `σ` uniform over a configured range, random
+/// sign optionally.
+///
+/// # Examples
+///
+/// ```
+/// use cfva_bench::workload::StrideSampler;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let sampler = StrideSampler::new(10, 15);
+/// let mut rng = StdRng::seed_from_u64(42);
+/// let s = sampler.sample(&mut rng);
+/// assert!(s.family().exponent() <= 10);
+/// assert!(s.magnitude() > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrideSampler {
+    max_x: u32,
+    max_sigma: u64,
+}
+
+impl StrideSampler {
+    /// Creates a sampler capping the family exponent at `max_x` (the
+    /// tail probability beyond the cap is folded into the cap, keeping
+    /// the distribution proper) and the odd part at `max_sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_sigma == 0` or `max_x > 40`.
+    pub fn new(max_x: u32, max_sigma: u64) -> Self {
+        assert!(max_sigma >= 1, "max_sigma must be at least 1");
+        assert!(max_x <= 40, "max_x too large");
+        StrideSampler { max_x, max_sigma }
+    }
+
+    /// Samples a family exponent: geometric with `p = 1/2`, capped.
+    pub fn sample_family<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let mut x = 0;
+        while x < self.max_x && rng.gen_bool(0.5) {
+            x += 1;
+        }
+        x
+    }
+
+    /// Samples a positive stride.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Stride {
+        let x = self.sample_family(rng);
+        let sigma_count = self.max_sigma.div_ceil(2); // odd values <= max
+        let sigma = 2 * rng.gen_range(0..sigma_count) + 1;
+        Stride::from_parts(sigma as i64, x).expect("odd sigma, bounded x")
+    }
+
+    /// Samples a whole vector access: stride from the population, base
+    /// uniform in `[0, base_range)`.
+    pub fn sample_vector<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        base_range: u64,
+        len: u64,
+    ) -> VectorSpec {
+        let stride = self.sample(rng);
+        let base = rng.gen_range(0..base_range);
+        VectorSpec::with_stride(base.into(), stride, len)
+            .expect("positive stride and bounded base cannot overflow")
+    }
+}
+
+/// One representative stride per family `0..=max_x` with the given odd
+/// part — for deterministic sweeps over families.
+pub fn family_sweep(max_x: u32, sigma: i64) -> Vec<Stride> {
+    (0..=max_x)
+        .map(|x| Stride::from_parts(sigma, x).expect("odd sigma"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn family_distribution_is_roughly_geometric() {
+        let sampler = StrideSampler::new(20, 9);
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let mut counts = [0u64; 21];
+        for _ in 0..n {
+            counts[sampler.sample_family(&mut rng) as usize] += 1;
+        }
+        // Family 0 ≈ 1/2, family 1 ≈ 1/4, family 2 ≈ 1/8.
+        assert!((counts[0] as f64 / n as f64 - 0.5).abs() < 0.01);
+        assert!((counts[1] as f64 / n as f64 - 0.25).abs() < 0.01);
+        assert!((counts[2] as f64 / n as f64 - 0.125).abs() < 0.01);
+    }
+
+    #[test]
+    fn sampled_strides_have_odd_sigma_in_range() {
+        let sampler = StrideSampler::new(6, 15);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let s = sampler.sample(&mut rng);
+            assert!(s.odd_part() % 2 != 0);
+            assert!(s.odd_part() >= 1 && s.odd_part() <= 15);
+            assert!(s.family().exponent() <= 6);
+        }
+    }
+
+    #[test]
+    fn sample_vector_is_valid() {
+        let sampler = StrideSampler::new(6, 9);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = sampler.sample_vector(&mut rng, 1 << 20, 128);
+            assert_eq!(v.len(), 128);
+            assert!(v.base().get() < 1 << 20);
+        }
+    }
+
+    #[test]
+    fn family_sweep_is_one_per_family() {
+        let sweep = family_sweep(5, 3);
+        assert_eq!(sweep.len(), 6);
+        for (x, s) in sweep.iter().enumerate() {
+            assert_eq!(s.family().exponent() as usize, x);
+            assert_eq!(s.odd_part(), 3);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Golden regression tests: every experiment report must keep asserting
+//! agreement with the paper. These run the full harness end to end —
+//! if a refactor silently changes a reproduced number, these fail.
+
+use cfva_bench::experiments;
+
+fn report(id: &str) -> String {
+    experiments::run_by_id(id).unwrap_or_else(|| panic!("unknown experiment {id}"))
+}
+
+#[test]
+fn registry_covers_all_paper_artifacts() {
+    let ids: Vec<&str> = experiments::all().iter().map(|e| e.id).collect();
+    for required in [
+        "fig3", "fig7", "ctp-ex", "unm-ex", "window", "frac", "eff", "lat", "modcost",
+        "len", "short", "hw", "chain", "maxfam", "dynamic", "multi", "buffers", "prand",
+    ] {
+        assert!(ids.contains(&required), "missing experiment {required}");
+    }
+}
+
+#[test]
+fn fig3_grid_pinned() {
+    let r = report("fig3");
+    // The full row the paper prints for displacement 1.
+    assert!(r.contains("9   8   11  10  13  12  15  14"), "{r}");
+    assert!(r.contains("MATCH"), "{r}");
+}
+
+#[test]
+fn fig7_vector_modules_pinned() {
+    let r = report("fig7");
+    assert!(r.contains("[2, 6, 10, 14]"), "{r}");
+    assert!(r.contains("modules [0, 1, 2, 3]"), "{r}");
+}
+
+#[test]
+fn ctp_sequence_pinned() {
+    let r = report("ctp-ex");
+    assert!(
+        r.contains("[2, 7, 5, 2, 0, 5, 3, 0, 6, 3, 1, 6, 4, 1, 7, 4]"),
+        "{r}"
+    );
+    assert!(r.contains("replay order: true"), "{r}");
+}
+
+#[test]
+fn window_verdicts_pinned() {
+    let r = report("window");
+    assert!(r.contains("Window matches Theorem 1: YES"), "{r}");
+    assert!(r.contains("Window matches Theorem 3: YES"), "{r}");
+}
+
+#[test]
+fn fraction_values_pinned() {
+    let r = report("frac");
+    assert!(r.contains("31/32"), "{r}");
+    assert!(r.contains("1023/1024"), "{r}");
+}
+
+#[test]
+fn efficiency_values_pinned() {
+    let r = report("eff");
+    // Analytic columns exactly as the paper rounds them.
+    assert!(r.contains("0.914"), "{r}");
+    assert!(r.contains("0.997"), "{r}");
+    assert!(r.contains("0.400"), "{r}");
+    assert!(r.contains("0.842"), "{r}");
+    // Simulated values within 0.02 of analytic is asserted implicitly:
+    // the table prints both; sanity-check one line shape.
+    assert!(r.contains("proposed matched"), "{r}");
+}
+
+#[test]
+fn latency_floor_pinned() {
+    let r = report("lat");
+    assert!(r.contains("(x ≤ 4): YES"), "{r}");
+    assert!(r.contains("2T+L = 144: YES"), "{r}");
+}
+
+#[test]
+fn tradeoff_tables_pinned() {
+    let modcost = report("modcost");
+    assert!(modcost.contains("64       10"), "{modcost}");
+    let len = report("len");
+    assert!(len.contains("2(λ−t+1) = 10"), "{len}");
+}
+
+#[test]
+fn short_split_pinned() {
+    let r = report("short");
+    assert!(r.contains("never slower than all-in-order: YES"), "{r}");
+}
+
+#[test]
+fn hardware_equivalence_pinned() {
+    let r = report("hw");
+    assert!(r.contains("subsequence stream: YES"), "{r}");
+    assert!(r.contains("replay stream: YES"), "{r}");
+    assert!(r.contains("max 2 per key"), "{r}");
+}
+
+#[test]
+fn chaining_saving_pinned() {
+    let r = report("chain");
+    assert!(r.contains("Saved == L: YES"), "{r}");
+}
+
+#[test]
+fn extension_reports_pinned() {
+    assert!(report("dynamic").contains("A = 73, B = 73"));
+    assert!(report("buffers").contains("137"));
+    let maxfam = report("maxfam");
+    assert!(maxfam.contains("10/15"), "{maxfam}");
+    let prand = report("prand");
+    assert!(prand.contains("137"), "{prand}");
+}

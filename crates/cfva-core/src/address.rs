@@ -1,0 +1,303 @@
+//! Memory addresses, module identifiers and bit-field helpers.
+//!
+//! The paper works on the binary representation of addresses
+//! `a_{n-1} … a_1 a_0`; every mapping in [`crate::mapping`] is defined in
+//! terms of bit fields of the address. [`Addr`] is a thin newtype over
+//! `u64` that names those operations.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A one-dimensional (word) memory address.
+///
+/// Addresses are element addresses, not byte addresses: consecutive
+/// vector elements with stride `S` live at `A1`, `A1 + S`, `A1 + 2S`, …
+///
+/// # Examples
+///
+/// ```
+/// use cfva_core::Addr;
+///
+/// let a = Addr::new(0b110_101);
+/// assert_eq!(a.bits(0, 3), 0b101); // a_2..a_0
+/// assert_eq!(a.bits(3, 3), 0b110); // a_5..a_3
+/// assert_eq!(a.bit(2), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from its integer value.
+    pub const fn new(value: u64) -> Self {
+        Addr(value)
+    }
+
+    /// Returns the integer value of the address.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Extracts `width` bits starting at bit position `lo`
+    /// (i.e. the field `a_{lo+width-1} .. a_lo`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub const fn bits(self, lo: u32, width: u32) -> u64 {
+        assert!(width <= 64, "bit field width exceeds 64");
+        if width == 64 {
+            self.0 >> lo
+        } else {
+            (self.0 >> lo) & ((1u64 << width) - 1)
+        }
+    }
+
+    /// Returns bit `i` of the address (0 or 1).
+    pub const fn bit(self, i: u32) -> u64 {
+        (self.0 >> i) & 1
+    }
+
+    /// Returns the address advanced by a (possibly negative) offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on wraparound below zero; vector address
+    /// streams validated by [`crate::vector::VectorSpec`] never wrap.
+    pub fn offset(self, delta: i64) -> Self {
+        Addr(self.0.wrapping_add_signed(delta))
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(value: u64) -> Self {
+        Addr(value)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(addr: Addr) -> Self {
+        addr.0
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+
+    fn add(self, rhs: u64) -> Addr {
+        Addr(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Addr {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = u64;
+
+    fn sub(self, rhs: Addr) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+/// Identifier of one memory module, in `0 .. M`.
+///
+/// For the two-level unmatched mapping the module number decomposes into
+/// a *section* (upper `t` bits) and a position inside the section — the
+/// *supermodule* number (lower `t` bits); see
+/// [`crate::mapping::XorUnmatched`].
+///
+/// # Examples
+///
+/// ```
+/// use cfva_core::ModuleId;
+///
+/// let module = ModuleId::new(0b10_01);
+/// // In a memory with 16 modules arranged as 4 sections of 4:
+/// assert_eq!(module.section(2), 0b10);
+/// assert_eq!(module.supermodule(2), 0b01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ModuleId(u64);
+
+impl ModuleId {
+    /// Creates a module identifier from its index.
+    pub const fn new(index: u64) -> Self {
+        ModuleId(index)
+    }
+
+    /// Returns the module index.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the section number: bits `b_{2t-1} .. b_t` of the module
+    /// number, for a memory whose modules are grouped in sections of
+    /// `2^t` (paper Section 4.1).
+    pub const fn section(self, t: u32) -> u64 {
+        self.0 >> t
+    }
+
+    /// Returns the supermodule number: bits `b_{t-1} .. b_0` of the
+    /// module number (paper Section 4.2). Supermodule `i` is the set of
+    /// the `i`-th modules of every section.
+    pub const fn supermodule(self, t: u32) -> u64 {
+        self.0 & ((1u64 << t) - 1)
+    }
+}
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for ModuleId {
+    fn from(value: u64) -> Self {
+        ModuleId(value)
+    }
+}
+
+impl From<ModuleId> for u64 {
+    fn from(id: ModuleId) -> Self {
+        id.0
+    }
+}
+
+/// Returns `true` if `v` is a power of two (and nonzero).
+pub const fn is_pow2(v: u64) -> bool {
+    v != 0 && v & (v - 1) == 0
+}
+
+/// Returns `log2(v)` for a power of two `v`.
+///
+/// # Panics
+///
+/// Panics if `v` is not a power of two.
+pub fn log2_exact(v: u64) -> u32 {
+    assert!(is_pow2(v), "{v} is not a power of two");
+    v.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_extracts_fields() {
+        let a = Addr::new(0b1011_0110);
+        assert_eq!(a.bits(0, 4), 0b0110);
+        assert_eq!(a.bits(4, 4), 0b1011);
+        assert_eq!(a.bits(1, 3), 0b011);
+        assert_eq!(a.bits(0, 64), 0b1011_0110);
+    }
+
+    #[test]
+    fn bit_extracts_single_bits() {
+        let a = Addr::new(0b100);
+        assert_eq!(a.bit(0), 0);
+        assert_eq!(a.bit(1), 0);
+        assert_eq!(a.bit(2), 1);
+        assert_eq!(a.bit(63), 0);
+    }
+
+    #[test]
+    fn offset_moves_both_directions() {
+        let a = Addr::new(100);
+        assert_eq!(a.offset(12), Addr::new(112));
+        assert_eq!(a.offset(-12), Addr::new(88));
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Addr::new(10);
+        assert_eq!(a + 5, Addr::new(15));
+        let mut b = a;
+        b += 7;
+        assert_eq!(b, Addr::new(17));
+        assert_eq!(b - a, 7);
+    }
+
+    #[test]
+    fn module_section_and_supermodule() {
+        // m = 4, t = 2: modules 0..16, 4 sections of 4 modules.
+        for module in 0..16u64 {
+            let id = ModuleId::new(module);
+            assert_eq!(id.section(2), module / 4);
+            assert_eq!(id.supermodule(2), module % 4);
+        }
+    }
+
+    #[test]
+    fn display_and_binary_formatting() {
+        assert_eq!(format!("{}", Addr::new(42)), "42");
+        assert_eq!(format!("{:b}", Addr::new(5)), "101");
+        assert_eq!(format!("{:x}", Addr::new(255)), "ff");
+        assert_eq!(format!("{}", ModuleId::new(3)), "3");
+        assert_eq!(format!("{:b}", ModuleId::new(6)), "110");
+    }
+
+    #[test]
+    fn pow2_helpers() {
+        assert!(is_pow2(1));
+        assert!(is_pow2(64));
+        assert!(!is_pow2(0));
+        assert!(!is_pow2(12));
+        assert_eq!(log2_exact(1), 0);
+        assert_eq!(log2_exact(128), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn log2_rejects_non_pow2() {
+        log2_exact(12);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let a: Addr = 9u64.into();
+        let v: u64 = a.into();
+        assert_eq!(v, 9);
+        let m: ModuleId = 3u64.into();
+        let w: u64 = m.into();
+        assert_eq!(w, 3);
+    }
+}

@@ -1,0 +1,295 @@
+//! Section 5 analytics: fraction of conflict-free strides, sustained
+//! efficiency, latency bounds, short-vector splitting, and the
+//! module-count trade-off.
+//!
+//! The stride-population model is the paper's: a stride is in family `x`
+//! with probability `2^-(x+1)` (half of all strides are odd, a quarter
+//! are `2·odd`, …).
+
+use crate::stride::StrideFamily;
+
+/// Fraction of all strides that are conflict free when the window covers
+/// families `0 ≤ x ≤ w`:  `f = 1 − 2^-(w+1)` (paper Section 5A).
+///
+/// # Examples
+///
+/// The paper's two examples — matched `L=128, T=8` (`w = 4`) gives
+/// 31/32; unmatched `M=64` (`w = 9`) gives 1023/1024:
+///
+/// ```
+/// use cfva_core::analysis::fraction_conflict_free;
+/// assert_eq!(fraction_conflict_free(4), 31.0 / 32.0);
+/// assert_eq!(fraction_conflict_free(9), 1023.0 / 1024.0);
+/// ```
+pub fn fraction_conflict_free(w: u32) -> f64 {
+    1.0 - 0.5f64.powi(w as i32 + 1)
+}
+
+/// Exact rational version of [`fraction_conflict_free`]:
+/// `(2^{w+1} − 1, 2^{w+1})`.
+///
+/// # Panics
+///
+/// Panics if `w ≥ 63`.
+pub fn fraction_conflict_free_exact(w: u32) -> (u64, u64) {
+    assert!(w < 63, "window boundary {w} too large for exact fraction");
+    let denom = 1u64 << (w + 1);
+    (denom - 1, denom)
+}
+
+/// Average service cycles per element for a vector of family `x` when
+/// the conflict-free window ends at `w` (Section 5B): `1` inside the
+/// window; outside, the vector's elements live in `max(2^{t−i}, 1)`
+/// modules (`i = x − w`), so one element is obtained every
+/// `min(2^i, 2^t)` cycles.
+pub fn cycles_per_element(family: StrideFamily, w: u32, t: u32) -> u64 {
+    let x = family.exponent();
+    if x <= w {
+        1
+    } else {
+        1u64 << (x - w).min(t)
+    }
+}
+
+/// Average cycles per element over the whole stride population:
+/// `1 + t·2^-(w+1)` — the denominator of the paper's efficiency `η`.
+pub fn average_cycles_per_element(w: u32, t: u32) -> f64 {
+    1.0 + (t as f64) * 0.5f64.powi(w as i32 + 1)
+}
+
+/// Sustained efficiency over the stride population,
+/// `η = 1 / (1 + t·2^-(w+1))` (paper Section 5B).
+///
+/// # Examples
+///
+/// The paper's four headline numbers:
+///
+/// ```
+/// use cfva_core::analysis::efficiency;
+/// // Proposed, matched (w = λ−t = 4, t = 3):
+/// assert!((efficiency(4, 3) - 0.914).abs() < 5e-4);
+/// // Proposed, unmatched (w = 2(λ−t)+1 = 9):
+/// assert!((efficiency(9, 3) - 0.997).abs() < 5e-4);
+/// // Ordered, matched (w = 0, s = 0):
+/// assert!((efficiency(0, 3) - 0.4).abs() < 1e-9);
+/// // Ordered, unmatched (w = m−t = 3):
+/// assert!((efficiency(3, 3) - 0.842).abs() < 5e-4);
+/// ```
+pub fn efficiency(w: u32, t: u32) -> f64 {
+    1.0 / average_cycles_per_element(w, t)
+}
+
+/// Window boundary `w` of the proposed scheme on a **matched** memory
+/// with the recommended `s = λ−t` (Section 3.3): `w = λ − t`.
+pub const fn matched_window_boundary(lambda: u32, t: u32) -> u32 {
+    lambda.saturating_sub(t)
+}
+
+/// Window boundary `w` of the proposed scheme on an **unmatched** memory
+/// (`M = T²`) with the recommended `s = λ−t`, `y = 2(λ−t)+1`
+/// (Section 4.3): `w = 2(λ−t) + 1`.
+pub const fn unmatched_window_boundary(lambda: u32, t: u32) -> u32 {
+    2 * lambda.saturating_sub(t) + 1
+}
+
+/// Window boundary of **ordered** access on a memory of `2^m` modules
+/// with latency `2^t` and map shift `s = 0`: `w = m − t` (Harper's
+/// result quoted in the paper's introduction: at most `m−t+1` families).
+pub const fn ordered_window_boundary(m: u32, t: u32) -> u32 {
+    m - t
+}
+
+/// Latency in processor cycles of a conflict-free access: `T + L + 1`
+/// (Section 2: `T` memory cycles for the first element, one request per
+/// cycle, one bus cycle).
+pub const fn conflict_free_latency(t_cycles: u64, len: u64) -> u64 {
+    t_cycles + len + 1
+}
+
+/// Latency upper bound for the Section 3.1 subsequence order with two
+/// input buffers and one output buffer per module: `2T + L` cycles —
+/// at most `T − 1` worse than conflict free.
+pub const fn subsequence_latency_bound(t_cycles: u64, len: u64) -> u64 {
+    2 * t_cycles + len
+}
+
+/// Section 5C short-vector split: the largest prefix of a length-`v`
+/// vector that the out-of-order scheme can handle is
+/// `V = k·2^{w+t−x}` (`k` whole subsequence periods); the remainder is
+/// accessed in order. Returns `(out_of_order_len, in_order_tail)`.
+///
+/// For families outside the window (`x > w`) the whole vector goes to
+/// the in-order tail.
+///
+/// # Examples
+///
+/// ```
+/// use cfva_core::analysis::short_vector_split;
+/// // w = s = 4, t = 3, family x = 2: granule 2^{4+3-2} = 32.
+/// assert_eq!(short_vector_split(100, 2.into(), 4, 3), (96, 4));
+/// assert_eq!(short_vector_split(20, 2.into(), 4, 3), (0, 20));
+/// // Outside the window: everything in order.
+/// assert_eq!(short_vector_split(100, 6.into(), 4, 3), (0, 100));
+/// ```
+pub fn short_vector_split(v: u64, family: StrideFamily, w: u32, t: u32) -> (u64, u64) {
+    let x = family.exponent();
+    if x > w || w + t - x >= 63 {
+        return (0, v);
+    }
+    let granule = 1u64 << (w + t - x);
+    let ooo = (v / granule) * granule;
+    (ooo, v - ooo)
+}
+
+/// Section 5E trade-off: conflict-free families obtainable per module
+/// budget. Doubling the window from `λ−t+1` to `2(λ−t)+2` families
+/// requires squaring the modules from `T` to `T²`.
+///
+/// Returns `(modules, families)` pairs for the paper's three design
+/// points: ordered matched, proposed matched, proposed unmatched.
+pub fn module_cost_design_points(lambda: u32, t: u32) -> [(u64, u32); 3] {
+    let t_modules = 1u64 << t;
+    [
+        // Ordered access, matched memory: one family.
+        (t_modules, 1),
+        // Proposed, matched: λ−t+1 families.
+        (t_modules, matched_window_boundary(lambda, t) + 1),
+        // Proposed, unmatched (M = T²): 2(λ−t)+2 families.
+        (t_modules * t_modules, unmatched_window_boundary(lambda, t) + 1),
+    ]
+}
+
+/// Section 5H comparison: conflict-free family counts by vector length.
+///
+/// * Ordered access on an unmatched memory (`m = 2t`): `t + 1` families,
+///   for **any** vector length.
+/// * The proposed scheme: 2 families for any length (`x = s` and
+///   `x = y` are conflict free even in order), but `2(λ−t+1)` families
+///   for register-length vectors `L = 2^λ`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FamilyCountComparison {
+    /// Families served by ordered access regardless of length.
+    pub ordered_any_length: u32,
+    /// Families served by the proposed scheme regardless of length.
+    pub proposed_any_length: u32,
+    /// Families served by the proposed scheme at `L = 2^λ`.
+    pub proposed_at_register_length: u32,
+}
+
+/// Computes the Section 5H comparison for an unmatched memory (`m = 2t`)
+/// and register length `L = 2^λ`.
+pub const fn family_count_comparison(lambda: u32, t: u32) -> FamilyCountComparison {
+    FamilyCountComparison {
+        ordered_any_length: t + 1,
+        proposed_any_length: 2,
+        proposed_at_register_length: 2 * (lambda.saturating_sub(t) + 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_examples_from_paper() {
+        assert_eq!(fraction_conflict_free_exact(4), (31, 32));
+        assert_eq!(fraction_conflict_free_exact(9), (1023, 1024));
+        assert!((fraction_conflict_free(4) - 31.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_monotone_in_window() {
+        let mut prev = 0.0;
+        for w in 0..20 {
+            let f = fraction_conflict_free(w);
+            assert!(f > prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn efficiency_matches_paper_numbers() {
+        // Matched proposed: η = 32/35 ≈ 0.914.
+        assert!((efficiency(4, 3) - 32.0 / 35.0).abs() < 1e-12);
+        // Unmatched proposed: η = 1024/1027 ≈ 0.997.
+        assert!((efficiency(9, 3) - 1024.0 / 1027.0).abs() < 1e-12);
+        // Ordered matched, s = 0: η = 2/5 = 0.4.
+        assert!((efficiency(0, 3) - 0.4).abs() < 1e-12);
+        // Ordered unmatched, m = 6: η = 16/19 ≈ 0.842.
+        assert!((efficiency(3, 3) - 16.0 / 19.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_is_weighted_harmonic_of_cycle_counts() {
+        // Cross-check: the closed form equals the weight-summed series.
+        for (w, t) in [(0u32, 3u32), (3, 3), (4, 3), (9, 3), (2, 2)] {
+            let series: f64 = (0..200)
+                .map(|x| {
+                    StrideFamily::new(x).weight()
+                        * cycles_per_element(StrideFamily::new(x), w, t) as f64
+                })
+                .sum();
+            assert!(
+                (series - average_cycles_per_element(w, t)).abs() < 1e-9,
+                "w={w} t={t}: {series}"
+            );
+        }
+    }
+
+    #[test]
+    fn cycles_per_element_saturates_at_t() {
+        // Far outside the window, one element per memory cycle.
+        assert_eq!(cycles_per_element(20.into(), 4, 3), 8);
+        assert_eq!(cycles_per_element(5.into(), 4, 3), 2);
+        assert_eq!(cycles_per_element(4.into(), 4, 3), 1);
+        assert_eq!(cycles_per_element(0.into(), 4, 3), 1);
+    }
+
+    #[test]
+    fn window_boundaries() {
+        assert_eq!(matched_window_boundary(7, 3), 4);
+        assert_eq!(unmatched_window_boundary(7, 3), 9);
+        assert_eq!(ordered_window_boundary(6, 3), 3);
+        assert_eq!(ordered_window_boundary(3, 3), 0);
+    }
+
+    #[test]
+    fn latency_formulas() {
+        assert_eq!(conflict_free_latency(8, 64), 73);
+        assert_eq!(subsequence_latency_bound(8, 64), 80);
+        // The bound is T-1 worse than conflict free.
+        assert_eq!(
+            subsequence_latency_bound(8, 64) - conflict_free_latency(8, 64),
+            7
+        );
+    }
+
+    #[test]
+    fn short_split_multiples() {
+        // Exact multiple: no tail.
+        assert_eq!(short_vector_split(64, 2.into(), 4, 3), (64, 0));
+        // v smaller than one granule: all tail.
+        assert_eq!(short_vector_split(31, 2.into(), 4, 3), (0, 31));
+        // Family at the window edge: granule 2^t.
+        assert_eq!(short_vector_split(100, 4.into(), 4, 3), (96, 4));
+    }
+
+    #[test]
+    fn module_cost_design_points_shape() {
+        let pts = module_cost_design_points(7, 3);
+        assert_eq!(pts[0], (8, 1));
+        assert_eq!(pts[1], (8, 5));
+        assert_eq!(pts[2], (64, 10));
+        // Doubling the families costs squaring the modules.
+        assert_eq!(pts[2].0, pts[1].0 * pts[1].0);
+        assert_eq!(pts[2].1, 2 * pts[1].1);
+    }
+
+    #[test]
+    fn family_count_comparison_section_5h() {
+        let c = family_count_comparison(7, 3);
+        assert_eq!(c.ordered_any_length, 4);
+        assert_eq!(c.proposed_any_length, 2);
+        assert_eq!(c.proposed_at_register_length, 10);
+    }
+}

@@ -1,0 +1,212 @@
+//! Error types for configuration and planning.
+
+use std::error::Error;
+use std::fmt;
+
+/// An invalid memory-system or mapping configuration.
+///
+/// Returned by mapping constructors and by
+/// [`Planner`](crate::plan::Planner) configuration when a parameter
+/// violates the constraints the paper places on it (e.g. `s ≥ t` for the
+/// matched XOR map, `y ≥ s + t` for the unmatched map).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A parameter that must be a power of two is not.
+    NotPowerOfTwo {
+        /// Parameter name.
+        what: &'static str,
+        /// Offending value.
+        value: u64,
+    },
+    /// A parameter is outside its documented range.
+    OutOfRange {
+        /// Parameter name.
+        what: &'static str,
+        /// Offending value.
+        value: u64,
+        /// Human-readable constraint, e.g. `"s >= t"`.
+        constraint: &'static str,
+    },
+    /// A stride of zero was supplied.
+    ZeroStride,
+    /// The linear transformation matrix is not full rank, so some module
+    /// never receives any address.
+    SingularMatrix,
+    /// A vector address stream would leave the representable address
+    /// space.
+    AddressOverflow,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NotPowerOfTwo { what, value } => {
+                write!(f, "{what} must be a power of two, got {value}")
+            }
+            ConfigError::OutOfRange {
+                what,
+                value,
+                constraint,
+            } => {
+                write!(f, "{what} = {value} violates constraint {constraint}")
+            }
+            ConfigError::ZeroStride => write!(f, "stride must be nonzero"),
+            ConfigError::SingularMatrix => {
+                write!(f, "linear transformation matrix is not full rank")
+            }
+            ConfigError::AddressOverflow => {
+                write!(f, "vector address stream overflows the address space")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// A failure to build an access plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The underlying configuration is invalid.
+    Config(ConfigError),
+    /// The requested strategy needs the vector length to be a multiple of
+    /// the subsequence structure (`L = k·P_x` or `L = k·2^{w+t-x}`), and
+    /// it is not. Carries the offending vector length.
+    LengthNotCompatible {
+        /// The vector length that was requested.
+        len: u64,
+        /// The granule the length must be a multiple of.
+        granule: u64,
+    },
+    /// The stride family is outside the conflict-free window and the
+    /// strategy demanded a conflict-free plan.
+    FamilyOutsideWindow {
+        /// The stride family exponent `x`.
+        family: u32,
+        /// Lower bound of the window.
+        lo: u32,
+        /// Upper bound of the window.
+        hi: u32,
+    },
+    /// An out-of-order strategy was requested for a register file that
+    /// only accepts in-order (FIFO) writes.
+    OutOfOrderUnsupported,
+    /// Two elements of one subsequence map to the same replay key
+    /// (module, supermodule or section), so the subsequence cannot be
+    /// conflict free and the replay ordering does not apply. Happens when
+    /// the subsequence structure does not match the mapping/family.
+    ReplayKeyCollision {
+        /// Period index of the offending subsequence.
+        period: u64,
+        /// Subsequence index within the period.
+        subseq: u64,
+    },
+    /// The planner does not support the requested strategy (e.g. an
+    /// out-of-order strategy on a baseline in-order-only mapping).
+    UnsupportedStrategy {
+        /// Name of the strategy.
+        strategy: &'static str,
+        /// Why it is unsupported.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Config(e) => write!(f, "invalid configuration: {e}"),
+            PlanError::LengthNotCompatible { len, granule } => {
+                write!(
+                    f,
+                    "vector length {len} is not a multiple of the required granule {granule}"
+                )
+            }
+            PlanError::FamilyOutsideWindow { family, lo, hi } => {
+                write!(
+                    f,
+                    "stride family x = {family} is outside the conflict-free window [{lo}, {hi}]"
+                )
+            }
+            PlanError::OutOfOrderUnsupported => {
+                write!(f, "register file does not accept out-of-order writes")
+            }
+            PlanError::ReplayKeyCollision { period, subseq } => {
+                write!(
+                    f,
+                    "subsequence {subseq} of period {period} maps two elements to one replay key"
+                )
+            }
+            PlanError::UnsupportedStrategy { strategy, reason } => {
+                write!(f, "strategy {strategy} unsupported: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for PlanError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlanError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for PlanError {
+    fn from(e: ConfigError) -> Self {
+        PlanError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_complete() {
+        let e = ConfigError::NotPowerOfTwo {
+            what: "vector length",
+            value: 12,
+        };
+        assert_eq!(e.to_string(), "vector length must be a power of two, got 12");
+
+        let e = ConfigError::OutOfRange {
+            what: "s",
+            value: 1,
+            constraint: "s >= t",
+        };
+        assert_eq!(e.to_string(), "s = 1 violates constraint s >= t");
+
+        assert_eq!(ConfigError::ZeroStride.to_string(), "stride must be nonzero");
+        assert!(ConfigError::SingularMatrix.to_string().contains("full rank"));
+    }
+
+    #[test]
+    fn plan_error_wraps_config_error() {
+        let e: PlanError = ConfigError::ZeroStride.into();
+        assert!(matches!(e, PlanError::Config(_)));
+        assert!(e.to_string().contains("stride must be nonzero"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn plan_error_messages() {
+        let e = PlanError::LengthNotCompatible { len: 48, granule: 32 };
+        assert!(e.to_string().contains("48"));
+        assert!(e.to_string().contains("32"));
+
+        let e = PlanError::FamilyOutsideWindow {
+            family: 7,
+            lo: 0,
+            hi: 4,
+        };
+        assert!(e.to_string().contains("x = 7"));
+        assert!(e.to_string().contains("[0, 4]"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+        assert_send_sync::<PlanError>();
+    }
+}

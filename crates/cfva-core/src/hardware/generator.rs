@@ -1,0 +1,307 @@
+//! The Figure 4/5 subsequence-order address generator.
+
+use std::fmt;
+
+use crate::address::Addr;
+use crate::error::PlanError;
+use crate::order::SubseqStructure;
+use crate::vector::VectorSpec;
+
+/// Compiler-provided configuration of the generator (paper Section 3.1:
+/// "it is convenient that the compiler issues instructions to load the
+/// values `σ·2^x`, `σ·2^s` and `2^{s−x}`").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GeneratorConfig {
+    /// Initial address `A1`.
+    pub base: Addr,
+    /// The element-to-element stride `σ·2^x` (signed).
+    pub stride: i64,
+    /// The within-subsequence increment `σ·2^s` (or `σ·2^y`), signed.
+    pub subseq_stride: i64,
+    /// Subsequences per period, `2^{s−x}`.
+    pub subseq_count: u64,
+    /// Elements per subsequence, `2^t`.
+    pub subseq_len: u64,
+    /// Number of periods, `L / (subseq_count · subseq_len)`.
+    pub periods: u64,
+}
+
+impl GeneratorConfig {
+    /// Derives the configuration for a vector access with a given
+    /// subsequence structure, as the compiler would.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::LengthNotCompatible`] when the vector length is not
+    /// a whole number of periods.
+    pub fn for_vector(
+        vec: &VectorSpec,
+        structure: &SubseqStructure,
+    ) -> Result<Self, PlanError> {
+        let periods = structure.periods_in(vec.len())?;
+        let stride = vec.stride().get();
+        Ok(GeneratorConfig {
+            base: vec.base(),
+            stride,
+            subseq_stride: stride * structure.subseq_count() as i64,
+            subseq_count: structure.subseq_count(),
+            subseq_len: structure.subseq_len(),
+            periods,
+        })
+    }
+}
+
+/// The Figure 4 control FSM with the Figure 5 datapath registers.
+///
+/// Each [`step`](AddressGenerator::step) emits one `(address, register)`
+/// pair — the memory request address and the vector-register slot it
+/// fills — exactly as the hardware would, using only register-to-
+/// register adds of the two compiler-provided increments:
+///
+/// ```text
+/// SUB = A1 ; A = A1
+/// for K = 1 .. periods:
+///     for J = 1 .. 2^{s−x}:
+///         issue A                       (first element of subsequence)
+///         for I = 2 .. 2^t:
+///             A = A + σ·2^s ; issue A
+///         if J < 2^{s−x}: (SUB, A) = SUB + σ·2^x
+///     (SUB, A) = A + σ·2^x              (next period)
+/// ```
+///
+/// The register number runs on a parallel pair (`REG`, `SUBREG`) with
+/// increments `2^{s−x}` and `1` (Figure 5, right half).
+///
+/// The generator is an iterator; collecting it yields the exact
+/// Section 3.1 subsequence order:
+///
+/// ```
+/// use cfva_core::hardware::{AddressGenerator, GeneratorConfig};
+/// use cfva_core::order::SubseqStructure;
+/// use cfva_core::VectorSpec;
+///
+/// let vec = VectorSpec::new(16, 12, 64)?;
+/// let st = SubseqStructure::new(2, 8);
+/// let cfg = GeneratorConfig::for_vector(&vec, &st)?;
+/// let first: Vec<u64> = AddressGenerator::new(cfg)
+///     .map(|(addr, _reg)| addr.get())
+///     .take(3)
+///     .collect();
+/// assert_eq!(first, vec![16, 40, 64]); // elements 0, 2, 4
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressGenerator {
+    cfg: GeneratorConfig,
+    /// Request address register.
+    a: Addr,
+    /// First address of the current subsequence.
+    sub: Addr,
+    /// Register-number register and its subsequence-start shadow.
+    reg: u64,
+    subreg: u64,
+    /// Loop counters (0-based internally).
+    i: u64,
+    j: u64,
+    k: u64,
+    done: bool,
+}
+
+impl AddressGenerator {
+    /// Creates the generator in its post-`load A1` state.
+    pub fn new(cfg: GeneratorConfig) -> Self {
+        AddressGenerator {
+            cfg,
+            a: cfg.base,
+            sub: cfg.base,
+            reg: 0,
+            subreg: 0,
+            i: 0,
+            j: 0,
+            k: 0,
+            done: cfg.periods == 0 || cfg.subseq_count == 0 || cfg.subseq_len == 0,
+        }
+    }
+
+    /// Total number of requests the generator will emit.
+    pub fn total_requests(&self) -> u64 {
+        self.cfg.periods * self.cfg.subseq_count * self.cfg.subseq_len
+    }
+
+    /// Emits the next `(address, register_number)` pair and advances the
+    /// datapath registers, or `None` when the access is complete.
+    pub fn step(&mut self) -> Option<(Addr, u64)> {
+        if self.done {
+            return None;
+        }
+        let issue = (self.a, self.reg);
+
+        // Advance the FSM to the state holding the next issue.
+        if self.i + 1 < self.cfg.subseq_len {
+            // Inner loop: A += σ·2^s, REG += 2^{s−x}.
+            self.i += 1;
+            self.a = self.a.offset(self.cfg.subseq_stride);
+            self.reg += self.cfg.subseq_count;
+        } else if self.j + 1 < self.cfg.subseq_count {
+            // Subsequence boundary: (SUB, A) = SUB + σ·2^x.
+            self.i = 0;
+            self.j += 1;
+            self.sub = self.sub.offset(self.cfg.stride);
+            self.a = self.sub;
+            self.subreg += 1;
+            self.reg = self.subreg;
+        } else if self.k + 1 < self.cfg.periods {
+            // Period boundary: (SUB, A) = A + σ·2^x.
+            self.i = 0;
+            self.j = 0;
+            self.k += 1;
+            self.a = self.a.offset(self.cfg.stride);
+            self.sub = self.a;
+            self.reg += 1;
+            self.subreg = self.reg;
+        } else {
+            self.done = true;
+        }
+        Some(issue)
+    }
+}
+
+impl Iterator for AddressGenerator {
+    type Item = (Addr, u64);
+
+    fn next(&mut self) -> Option<(Addr, u64)> {
+        self.step()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.done {
+            return (0, Some(0));
+        }
+        let emitted =
+            (self.k * self.cfg.subseq_count + self.j) * self.cfg.subseq_len + self.i;
+        let rem = (self.total_requests() - emitted) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for AddressGenerator {}
+
+impl fmt::Display for AddressGenerator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "address generator (K={}, J={}, I={})",
+            self.k, self.j, self.i
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::XorMatched;
+    use crate::order::subseq_order;
+
+    fn functional_stream(vec: &VectorSpec, st: &SubseqStructure) -> Vec<(u64, u64)> {
+        subseq_order(st, vec.len())
+            .unwrap()
+            .into_iter()
+            .map(|e| (vec.element_addr(e).get(), e))
+            .collect()
+    }
+
+    #[test]
+    fn matches_functional_order_paper_example() {
+        // Section 3 example: t = s = 3, stride 12, A1 = 16, L = 64.
+        let map = XorMatched::new(3, 3).unwrap();
+        let vec = VectorSpec::new(16, 12, 64).unwrap();
+        let st = SubseqStructure::for_matched(&map, vec.family()).unwrap();
+        let cfg = GeneratorConfig::for_vector(&vec, &st).unwrap();
+        let rtl: Vec<(u64, u64)> = AddressGenerator::new(cfg)
+            .map(|(a, r)| (a.get(), r))
+            .collect();
+        assert_eq!(rtl, functional_stream(&vec, &st));
+    }
+
+    #[test]
+    fn matches_functional_order_across_families_and_bases() {
+        let map = XorMatched::new(2, 4).unwrap();
+        for x in 0..=4u32 {
+            for sigma in [1i64, 3, 5] {
+                for base in [0u64, 7, 100, 1023] {
+                    let stride = sigma << x;
+                    let len = 1u64 << 8;
+                    let vec = VectorSpec::new(base, stride, len).unwrap();
+                    let st = SubseqStructure::for_matched(&map, vec.family()).unwrap();
+                    if st.periods_in(len).is_err() {
+                        continue;
+                    }
+                    let cfg = GeneratorConfig::for_vector(&vec, &st).unwrap();
+                    let rtl: Vec<(u64, u64)> = AddressGenerator::new(cfg)
+                        .map(|(a, r)| (a.get(), r))
+                        .collect();
+                    assert_eq!(
+                        rtl,
+                        functional_stream(&vec, &st),
+                        "x={x} sigma={sigma} base={base}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn register_numbers_are_element_indices() {
+        let vec = VectorSpec::new(16, 12, 32).unwrap();
+        let st = SubseqStructure::new(2, 8);
+        let cfg = GeneratorConfig::for_vector(&vec, &st).unwrap();
+        for (addr, reg) in AddressGenerator::new(cfg) {
+            assert_eq!(addr.get() as i64, 16 + 12 * reg as i64);
+        }
+    }
+
+    #[test]
+    fn negative_stride_supported() {
+        let vec = VectorSpec::new(1000, -12, 32).unwrap();
+        let st = SubseqStructure::new(2, 8);
+        let cfg = GeneratorConfig::for_vector(&vec, &st).unwrap();
+        let rtl: Vec<(u64, u64)> = AddressGenerator::new(cfg)
+            .map(|(a, r)| (a.get(), r))
+            .collect();
+        assert_eq!(rtl, functional_stream(&vec, &st));
+    }
+
+    #[test]
+    fn exact_size_iterator() {
+        let vec = VectorSpec::new(0, 4, 64).unwrap();
+        let st = SubseqStructure::new(2, 8);
+        let cfg = GeneratorConfig::for_vector(&vec, &st).unwrap();
+        let mut gen = AddressGenerator::new(cfg);
+        assert_eq!(gen.len(), 64);
+        gen.next();
+        assert_eq!(gen.len(), 63);
+        assert_eq!(gen.total_requests(), 64);
+        assert_eq!(gen.count(), 63);
+    }
+
+    #[test]
+    fn single_subsequence_degenerates_to_strided_walk() {
+        // x = s: one subsequence per period; addresses walk σ·2^s.
+        let vec = VectorSpec::new(5, 8, 16).unwrap();
+        let st = SubseqStructure::new(1, 8);
+        let cfg = GeneratorConfig::for_vector(&vec, &st).unwrap();
+        let addrs: Vec<u64> = AddressGenerator::new(cfg).map(|(a, _)| a.get()).collect();
+        let want: Vec<u64> = (0..16).map(|i| 5 + 8 * i).collect();
+        assert_eq!(addrs, want);
+    }
+
+    #[test]
+    fn incompatible_length_rejected_at_config() {
+        let vec = VectorSpec::new(0, 12, 24).unwrap();
+        let st = SubseqStructure::new(2, 8); // period 16
+        assert!(matches!(
+            GeneratorConfig::for_vector(&vec, &st),
+            Err(PlanError::LengthNotCompatible { .. })
+        ));
+    }
+}

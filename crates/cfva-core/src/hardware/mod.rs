@@ -1,0 +1,27 @@
+//! Register-transfer-level models of the paper's address-generation
+//! hardware.
+//!
+//! The paper argues (Section 5D) that the proposed out-of-order access
+//! needs address hardware "of similar complexity" to plain in-order
+//! access. These models make that argument executable:
+//!
+//! * [`AddressGenerator`] — the Figure 4 control / Figure 5 datapath: a
+//!   two-register (`A`, `SUB`), three-counter (`I`, `J`, `K`) stepper
+//!   that emits one address and one register number per cycle using only
+//!   the compiler-provided increments `σ·2^x` and `σ·2^s`.
+//! * [`ReplayEngine`] — the Figure 6 organisation: two generators, a
+//!   `2T`-entry latch file and a `T`-deep key queue that replays every
+//!   subsequence in the first subsequence's key order, issuing one
+//!   conflict-free request per cycle.
+//! * [`HardwareCost`] — component counts for the Section 5D comparison.
+//!
+//! Tests verify cycle-for-cycle equivalence with the functional planner
+//! in [`crate::order`].
+
+mod cost;
+mod generator;
+mod replay_engine;
+
+pub use cost::HardwareCost;
+pub use generator::{AddressGenerator, GeneratorConfig};
+pub use replay_engine::{EngineStats, ReplayEngine};

@@ -1,0 +1,316 @@
+//! The Figure 6 dual-generator replay engine.
+
+use std::fmt;
+
+use crate::address::{Addr, ModuleId};
+use crate::error::PlanError;
+use crate::hardware::generator::{AddressGenerator, GeneratorConfig};
+use crate::mapping::ModuleMap;
+use crate::order::{replay_order, ReplayKey, SubseqStructure};
+use crate::vector::VectorSpec;
+
+/// One memory request issued by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineRequest {
+    /// Cycle the request is put on the address bus (0-based).
+    pub cycle: u64,
+    /// Element index (also the register slot for the returned datum).
+    pub element: u64,
+    /// Request address.
+    pub addr: Addr,
+    /// Target module.
+    pub module: ModuleId,
+}
+
+/// Occupancy statistics of the engine's latch file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Total cycles stepped.
+    pub cycles: u64,
+    /// Highest number of simultaneously latched addresses per key —
+    /// the paper claims 2 suffice (two latches per supermodule).
+    pub max_latches_per_key: u32,
+    /// Highest total latch occupancy — bounded by `2T`.
+    pub max_latches_total: u32,
+}
+
+/// Cycle-stepped model of the paper's Figure 6 memory-access module.
+///
+/// Operation:
+///
+/// * **Startup (first `2^t` cycles):** generator 1 computes the
+///   addresses of the first subsequence — issued to memory immediately,
+///   their key order recorded in a `T`-deep queue. In parallel,
+///   generator 2 computes the second subsequence into the latch file.
+/// * **Steady state:** requests issue from the latch file in the
+///   recorded key order (one per cycle) while the single remaining
+///   generator computes the *next* subsequence into the latch bank just
+///   vacated.
+///
+/// The latch file is keyed (by module, supermodule or section per
+/// [`ReplayKey`]) with two banks — `2·2^t` latches total, matching the
+/// paper's Section 4.2 count — and the issue stream is cycle-for-cycle
+/// the conflict-free order of [`replay_order`].
+///
+/// # Examples
+///
+/// ```
+/// use cfva_core::hardware::ReplayEngine;
+/// use cfva_core::mapping::XorMatched;
+/// use cfva_core::order::{ReplayKey, SubseqStructure};
+/// use cfva_core::VectorSpec;
+///
+/// let map = XorMatched::new(3, 3)?;
+/// let vec = VectorSpec::new(16, 12, 64)?;
+/// let st = SubseqStructure::for_matched(&map, vec.family())?;
+/// let mut engine = ReplayEngine::new(&map, &vec, &st, ReplayKey::Module)?;
+/// let requests: Vec<_> = std::iter::from_fn(|| engine.step()).collect();
+/// assert_eq!(requests.len(), 64);
+/// assert!(engine.stats().max_latches_per_key <= 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct ReplayEngine<'a> {
+    map: &'a dyn ModuleMap,
+    key: ReplayKey,
+    subseq_len: u64,
+    total: u64,
+    /// Compute-side generator for the first subsequence (generator 1).
+    gen_a: AddressGenerator,
+    /// Compute-side generator for everything after it (generator 2,
+    /// which becomes "the" generator in steady state).
+    gen_b: AddressGenerator,
+    /// Key order of the first subsequence: `key_queue[r]` = key issued
+    /// at rank `r` of every subsequence.
+    key_queue: Vec<u64>,
+    /// Two latch banks indexed `[block parity][key]`.
+    latches: [Vec<Option<(u64, Addr)>>; 2],
+    latched_now: u32,
+    cycle: u64,
+    stats: EngineStats,
+}
+
+impl<'a> ReplayEngine<'a> {
+    /// Builds the engine and validates that the access is replayable
+    /// (every subsequence visits every key exactly once).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`replay_order`]:
+    /// [`PlanError::LengthNotCompatible`] or
+    /// [`PlanError::ReplayKeyCollision`].
+    pub fn new(
+        map: &'a dyn ModuleMap,
+        vec: &VectorSpec,
+        structure: &SubseqStructure,
+        key: ReplayKey,
+    ) -> Result<Self, PlanError> {
+        // Validates length and key bijectivity per subsequence.
+        replay_order(&map, vec, structure, key)?;
+
+        let cfg = GeneratorConfig::for_vector(vec, structure)?;
+        let gen_a = AddressGenerator::new(cfg);
+        let mut gen_b = AddressGenerator::new(cfg);
+        // Generator 2 starts at the second subsequence.
+        for _ in 0..structure.subseq_len() {
+            gen_b.step();
+        }
+
+        let key_count = (map.module_count() as usize).max(structure.subseq_len() as usize);
+        Ok(ReplayEngine {
+            map,
+            key,
+            subseq_len: structure.subseq_len(),
+            total: vec.len(),
+            gen_a,
+            gen_b,
+            key_queue: Vec::with_capacity(structure.subseq_len() as usize),
+            latches: [vec![None; key_count], vec![None; key_count]],
+            latched_now: 0,
+            cycle: 0,
+            stats: EngineStats::default(),
+        })
+    }
+
+    /// Issues the next request (one per cycle), or `None` when the
+    /// access completed.
+    pub fn step(&mut self) -> Option<EngineRequest> {
+        if self.cycle >= self.total {
+            return None;
+        }
+        let cycle = self.cycle;
+        let t = self.subseq_len;
+
+        // Compute side: one address per cycle from the steady-state
+        // generator, latched for the *next* subsequence. Generator 2 was
+        // advanced one subsequence at construction, so the element it
+        // emits at cycle c belongs to subsequence c/T + 1 — exactly the
+        // one due to issue after the current one.
+        if let Some((addr, element)) = self.gen_b.step() {
+            let kk = self.key.key_of(self.map.module_of(addr)) as usize;
+            // The subsequence being latched is the one after the one
+            // being issued; banks alternate by subsequence parity.
+            let fill_block = cycle / t + 1;
+            let bank = (fill_block % 2) as usize;
+            debug_assert!(
+                self.latches[bank][kk].is_none(),
+                "latch overrun at key {kk}"
+            );
+            self.latches[bank][kk] = Some((element, addr));
+            self.latched_now += 1;
+            self.note_occupancy();
+        }
+
+        // Issue side.
+        let request = if cycle < t {
+            // Startup: generator 1 feeds the bus directly.
+            let (addr, element) = self.gen_a.step().expect("first subsequence");
+            let module = self.map.module_of(addr);
+            self.key_queue.push(self.key.key_of(module));
+            EngineRequest {
+                cycle,
+                element,
+                addr,
+                module,
+            }
+        } else {
+            let block = cycle / t;
+            let rank = (cycle % t) as usize;
+            let kk = self.key_queue[rank] as usize;
+            let bank = (block % 2) as usize;
+            let (element, addr) = self.latches[bank][kk]
+                .take()
+                .expect("latched entry present (validated at construction)");
+            self.latched_now -= 1;
+            EngineRequest {
+                cycle,
+                element,
+                addr,
+                module: self.map.module_of(addr),
+            }
+        };
+
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        Some(request)
+    }
+
+    fn note_occupancy(&mut self) {
+        self.stats.max_latches_total = self.stats.max_latches_total.max(self.latched_now);
+        // Per-key occupancy: a key appears at most once per bank.
+        let mut per_key_max = 0u32;
+        for k in 0..self.latches[0].len() {
+            let n = self.latches[0][k].is_some() as u32 + self.latches[1][k].is_some() as u32;
+            per_key_max = per_key_max.max(n);
+        }
+        self.stats.max_latches_per_key = self.stats.max_latches_per_key.max(per_key_max);
+    }
+
+    /// Occupancy statistics accumulated so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+}
+
+impl fmt::Debug for ReplayEngine<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplayEngine")
+            .field("cycle", &self.cycle)
+            .field("total", &self.total)
+            .field("key", &self.key)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{XorMatched, XorUnmatched};
+
+    #[test]
+    fn engine_reproduces_replay_order_matched() {
+        let map = XorMatched::new(3, 3).unwrap();
+        let vec = VectorSpec::new(16, 12, 64).unwrap();
+        let st = SubseqStructure::for_matched(&map, vec.family()).unwrap();
+        let expected = replay_order(&map, &vec, &st, ReplayKey::Module).unwrap();
+
+        let mut engine = ReplayEngine::new(&map, &vec, &st, ReplayKey::Module).unwrap();
+        let mut elements = Vec::new();
+        let mut cycle = 0u64;
+        while let Some(req) = engine.step() {
+            assert_eq!(req.cycle, cycle);
+            assert_eq!(req.addr, vec.element_addr(req.element));
+            elements.push(req.element);
+            cycle += 1;
+        }
+        assert_eq!(elements, expected);
+    }
+
+    #[test]
+    fn two_latches_per_key_suffice() {
+        let map = XorMatched::new(3, 3).unwrap();
+        for (base, stride, len) in [(16u64, 12i64, 64u64), (0, 3, 64), (37, 20, 128), (5, 6, 64)]
+        {
+            let vec = VectorSpec::new(base, stride, len).unwrap();
+            let st = SubseqStructure::for_matched(&map, vec.family()).unwrap();
+            if st.periods_in(len).is_err() {
+                continue;
+            }
+            let mut engine = ReplayEngine::new(&map, &vec, &st, ReplayKey::Module).unwrap();
+            while engine.step().is_some() {}
+            let stats = engine.stats();
+            assert!(
+                stats.max_latches_per_key <= 2,
+                "base {base} stride {stride}: {stats:?}"
+            );
+            assert!(stats.max_latches_total <= 2 * 8);
+            assert_eq!(stats.cycles, len);
+        }
+    }
+
+    #[test]
+    fn engine_reproduces_replay_order_unmatched_sections() {
+        let map = XorUnmatched::new(2, 3, 7).unwrap();
+        let vec = VectorSpec::new(6, 16, 32).unwrap(); // Figure 7 italic vector
+        let st = SubseqStructure::for_unmatched_upper(&map, vec.family()).unwrap();
+        let key = ReplayKey::Section { t: 2 };
+        let expected = replay_order(&map, &vec, &st, key).unwrap();
+
+        let mut engine = ReplayEngine::new(&map, &vec, &st, key).unwrap();
+        let elements: Vec<u64> = std::iter::from_fn(|| engine.step().map(|r| r.element)).collect();
+        assert_eq!(elements, expected);
+        assert!(engine.stats().max_latches_per_key <= 2);
+    }
+
+    #[test]
+    fn engine_reproduces_replay_order_unmatched_supermodules() {
+        let map = XorUnmatched::new(2, 3, 7).unwrap();
+        let vec = VectorSpec::new(100, 6, 64).unwrap(); // x = 1 lower window
+        let st = SubseqStructure::for_unmatched_lower(&map, vec.family()).unwrap();
+        let key = ReplayKey::Supermodule { t: 2 };
+        let expected = replay_order(&map, &vec, &st, key).unwrap();
+
+        let mut engine = ReplayEngine::new(&map, &vec, &st, key).unwrap();
+        let elements: Vec<u64> = std::iter::from_fn(|| engine.step().map(|r| r.element)).collect();
+        assert_eq!(elements, expected);
+    }
+
+    #[test]
+    fn invalid_access_rejected_at_construction() {
+        let map = XorMatched::new(3, 3).unwrap();
+        let vec = VectorSpec::new(0, 16, 64).unwrap(); // x = 4 > s
+        let st = SubseqStructure::new(1, 8);
+        assert!(ReplayEngine::new(&map, &vec, &st, ReplayKey::Module).is_err());
+    }
+
+    #[test]
+    fn issue_stream_is_conflict_free() {
+        use crate::dist::is_conflict_free;
+        let map = XorMatched::new(3, 4).unwrap();
+        let vec = VectorSpec::new(1234, 24, 128).unwrap(); // x = 3
+        let st = SubseqStructure::for_matched(&map, vec.family()).unwrap();
+        let mut engine = ReplayEngine::new(&map, &vec, &st, ReplayKey::Module).unwrap();
+        let modules: Vec<_> = std::iter::from_fn(|| engine.step().map(|r| r.module)).collect();
+        assert!(is_conflict_free(&modules, 8));
+    }
+}

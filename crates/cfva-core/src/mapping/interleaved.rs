@@ -1,0 +1,136 @@
+//! Conventional low-order interleaving.
+
+use std::fmt;
+
+use crate::address::{Addr, ModuleId};
+use crate::mapping::ModuleMap;
+
+/// Low-order interleaving: `b = A mod M`, displacement `A div M`.
+///
+/// The baseline scheme of every classical memory system. For a matched
+/// memory (`M = T`) it gives conflict-free in-order access exactly for
+/// **odd** strides (family `x = 0`): consecutive addresses `A + iσ` visit
+/// all `M` modules before repeating because `σ` is invertible mod `2^m`.
+/// Any even stride concentrates the accesses on a subset of modules.
+///
+/// # Examples
+///
+/// ```
+/// use cfva_core::mapping::{Interleaved, ModuleMap};
+/// use cfva_core::Addr;
+///
+/// let map = Interleaved::new(3); // 8 modules
+/// assert_eq!(map.module_of(Addr::new(13)).get(), 5);
+/// assert_eq!(map.displacement_of(Addr::new(13)), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interleaved {
+    m: u32,
+}
+
+impl Interleaved {
+    /// Creates an interleaved map over `2^m` modules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > 32` (more modules than any machine ever shipped —
+    /// and intermediate math would risk overflow).
+    pub fn new(m: u32) -> Self {
+        assert!(m <= 32, "m = {m} is unreasonably large");
+        Interleaved { m }
+    }
+
+    /// Returns `m = log2(M)`.
+    pub const fn m(&self) -> u32 {
+        self.m
+    }
+}
+
+impl ModuleMap for Interleaved {
+    fn module_bits(&self) -> u32 {
+        self.m
+    }
+
+    fn module_of(&self, addr: Addr) -> ModuleId {
+        ModuleId::new(addr.bits(0, self.m))
+    }
+
+    fn displacement_of(&self, addr: Addr) -> u64 {
+        addr.get() >> self.m
+    }
+
+    fn address_bits_used(&self) -> u32 {
+        self.m
+    }
+}
+
+impl fmt::Display for Interleaved {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "interleaved (M = {})", self.module_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stride::StrideFamily;
+
+    #[test]
+    fn module_is_low_bits() {
+        let map = Interleaved::new(3);
+        for a in 0..64u64 {
+            assert_eq!(map.module_of(Addr::new(a)).get(), a % 8);
+            assert_eq!(map.displacement_of(Addr::new(a)), a / 8);
+        }
+    }
+
+    #[test]
+    fn period_is_m_minus_x() {
+        let map = Interleaved::new(4);
+        assert_eq!(map.period(StrideFamily::new(0)), 16);
+        assert_eq!(map.period(StrideFamily::new(1)), 8);
+        assert_eq!(map.period(StrideFamily::new(4)), 1);
+        assert_eq!(map.period(StrideFamily::new(10)), 1);
+    }
+
+    #[test]
+    fn odd_strides_visit_all_modules_in_any_window() {
+        // The classical result: for odd sigma, any M consecutive elements
+        // land in M distinct modules.
+        let map = Interleaved::new(3);
+        for sigma in [1i64, 3, 5, 7, 9, 11] {
+            for base in [0u64, 5, 17, 100] {
+                let mut seen = [false; 8];
+                for i in 0..8 {
+                    let a = Addr::new(base + (sigma as u64) * i);
+                    let m = map.module_of(a).get() as usize;
+                    assert!(!seen[m], "module {m} repeated for sigma {sigma}");
+                    seen[m] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn even_strides_cluster() {
+        // Stride 2: only half the modules are ever visited.
+        let map = Interleaved::new(3);
+        let visited: std::collections::BTreeSet<u64> = (0..32u64)
+            .map(|i| map.module_of(Addr::new(2 * i)).get())
+            .collect();
+        assert_eq!(visited.len(), 4);
+    }
+
+    #[test]
+    fn single_module_degenerate_case() {
+        let map = Interleaved::new(0);
+        assert_eq!(map.module_count(), 1);
+        assert_eq!(map.module_of(Addr::new(123)).get(), 0);
+        assert_eq!(map.displacement_of(Addr::new(123)), 123);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Interleaved::new(3).to_string(), "interleaved (M = 8)");
+    }
+}

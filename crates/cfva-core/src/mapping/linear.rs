@@ -1,0 +1,278 @@
+//! Arbitrary GF(2) linear address transformations.
+
+use std::fmt;
+
+use crate::address::{Addr, ModuleId};
+use crate::error::ConfigError;
+use crate::mapping::ModuleMap;
+
+/// A general linear transformation over GF(2): each module-number bit is
+/// the XOR (parity) of a chosen subset of address bits.
+///
+/// This is the "XOR-scheme" class of Frailong/Jalby/Lenfant and
+/// Norton–Melton, of which the paper's equations (1) and (2) are special
+/// cases — see [`Linear::xor_matched`] and [`Linear::xor_unmatched`].
+/// Row `i` of the matrix is stored as a bitmask over address bits:
+/// `b_i = parity(A & rows[i])`.
+///
+/// The constructor rejects matrices that are not full rank: a rank
+/// deficit would leave some modules permanently unused (the map would not
+/// be balanced), violating the [`ModuleMap`] contract.
+///
+/// # Examples
+///
+/// The identity-on-low-bits matrix is ordinary interleaving:
+///
+/// ```
+/// use cfva_core::mapping::{Linear, ModuleMap};
+/// use cfva_core::Addr;
+///
+/// let map = Linear::new(vec![0b001, 0b010, 0b100])?;
+/// assert_eq!(map.module_of(Addr::new(13)).get(), 5);
+/// # Ok::<(), cfva_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Linear {
+    /// rows[i] = mask of address bits XORed into module bit i.
+    rows: Vec<u64>,
+    bits_used: u32,
+}
+
+impl Linear {
+    /// Creates a linear map from its matrix rows; `rows[i]` is the mask
+    /// of address bits whose parity forms module bit `i`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::OutOfRange`] if there are no rows, more than 32,
+    ///   or any row is zero;
+    /// * [`ConfigError::SingularMatrix`] if the rows are linearly
+    ///   dependent over GF(2).
+    pub fn new(rows: Vec<u64>) -> Result<Self, ConfigError> {
+        if rows.is_empty() || rows.len() > 32 {
+            return Err(ConfigError::OutOfRange {
+                what: "matrix rows",
+                value: rows.len() as u64,
+                constraint: "1 <= rows <= 32",
+            });
+        }
+        if rows.contains(&0) {
+            return Err(ConfigError::OutOfRange {
+                what: "matrix row",
+                value: 0,
+                constraint: "rows must be nonzero",
+            });
+        }
+        if gf2_rank(&rows) != rows.len() {
+            return Err(ConfigError::SingularMatrix);
+        }
+        let highest = rows
+            .iter()
+            .map(|r| 63 - r.leading_zeros())
+            .max()
+            .expect("rows is nonempty");
+        Ok(Linear {
+            rows,
+            bits_used: highest + 1,
+        })
+    }
+
+    /// Builds the matrix equivalent of the paper's matched map
+    /// [`XorMatched`](super::XorMatched): `b_i = a_i ⊕ a_{s+i}`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same constraint violations as
+    /// [`XorMatched::new`](super::XorMatched::new).
+    pub fn xor_matched(t: u32, s: u32) -> Result<Self, ConfigError> {
+        // Validate via the dedicated type so constraints live in one place.
+        super::XorMatched::new(t, s)?;
+        let rows = (0..t).map(|i| (1u64 << i) | (1u64 << (s + i))).collect();
+        Linear::new(rows)
+    }
+
+    /// Builds the matrix equivalent of the paper's unmatched map
+    /// [`XorUnmatched`](super::XorUnmatched).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same constraint violations as
+    /// [`XorUnmatched::new`](super::XorUnmatched::new).
+    pub fn xor_unmatched(t: u32, s: u32, y: u32) -> Result<Self, ConfigError> {
+        super::XorUnmatched::new(t, s, y)?;
+        let lower = (0..t).map(|i| (1u64 << i) | (1u64 << (s + i)));
+        let upper = (0..t).map(|i| 1u64 << (y + i));
+        Linear::new(lower.chain(upper).collect())
+    }
+
+    /// Builds plain low-order interleaving over `2^m` modules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::OutOfRange`] if `m` is 0 or exceeds 32.
+    pub fn interleaved(m: u32) -> Result<Self, ConfigError> {
+        if m == 0 || m > 32 {
+            return Err(ConfigError::OutOfRange {
+                what: "m",
+                value: m as u64,
+                constraint: "1 <= m <= 32",
+            });
+        }
+        Linear::new((0..m).map(|i| 1u64 << i).collect())
+    }
+
+    /// Returns the matrix rows (bitmask per module bit).
+    pub fn rows(&self) -> &[u64] {
+        &self.rows
+    }
+}
+
+/// Rank of a set of GF(2) row vectors (given as bitmasks).
+fn gf2_rank(rows: &[u64]) -> usize {
+    let mut basis: Vec<u64> = Vec::new();
+    for &row in rows {
+        let mut v = row;
+        for &b in &basis {
+            let high = 63 - b.leading_zeros();
+            if v >> high & 1 == 1 {
+                v ^= b;
+            }
+        }
+        if v != 0 {
+            basis.push(v);
+            basis.sort_unstable_by_key(|b| std::cmp::Reverse(*b));
+        }
+    }
+    basis.len()
+}
+
+impl ModuleMap for Linear {
+    fn module_bits(&self) -> u32 {
+        self.rows.len() as u32
+    }
+
+    fn module_of(&self, addr: Addr) -> ModuleId {
+        let mut b = 0u64;
+        for (i, &mask) in self.rows.iter().enumerate() {
+            b |= (((addr.get() & mask).count_ones() & 1) as u64) << i;
+        }
+        ModuleId::new(b)
+    }
+
+    fn displacement_of(&self, addr: Addr) -> u64 {
+        // Conservative row index: the full address shifted by nothing
+        // would double-count module information, but any injective
+        // completion works; use the address above the lowest matrix
+        // column, which for the standard constructions equals the usual
+        // row number. For exotic matrices this is still injective
+        // together with the module number because the matrix is full
+        // rank on its column span.
+        addr.get() >> self.rows.len().trailing_zeros().min(63)
+    }
+
+    fn address_bits_used(&self) -> u32 {
+        self.bits_used
+    }
+}
+
+impl fmt::Display for Linear {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "linear GF(2) map (M = {})", self.module_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{XorMatched, XorUnmatched};
+    use crate::stride::StrideFamily;
+
+    #[test]
+    fn rank_computation() {
+        assert_eq!(gf2_rank(&[0b001, 0b010, 0b100]), 3);
+        assert_eq!(gf2_rank(&[0b001, 0b010, 0b011]), 2);
+        assert_eq!(gf2_rank(&[0b101, 0b011, 0b110]), 2);
+        assert_eq!(gf2_rank(&[]), 0);
+    }
+
+    #[test]
+    fn rejects_singular_matrix() {
+        assert_eq!(
+            Linear::new(vec![0b001, 0b010, 0b011]),
+            Err(ConfigError::SingularMatrix)
+        );
+    }
+
+    #[test]
+    fn rejects_empty_and_zero_rows() {
+        assert!(Linear::new(vec![]).is_err());
+        assert!(Linear::new(vec![0b1, 0]).is_err());
+    }
+
+    #[test]
+    fn matches_xor_matched_special_case() {
+        let lin = Linear::xor_matched(3, 4).unwrap();
+        let xor = XorMatched::new(3, 4).unwrap();
+        assert_eq!(lin.module_bits(), xor.module_bits());
+        assert_eq!(lin.address_bits_used(), xor.address_bits_used());
+        for a in 0..4096u64 {
+            assert_eq!(lin.module_of(Addr::new(a)), xor.module_of(Addr::new(a)));
+        }
+    }
+
+    #[test]
+    fn matches_xor_unmatched_special_case() {
+        let lin = Linear::xor_unmatched(2, 3, 7).unwrap();
+        let xor = XorUnmatched::new(2, 3, 7).unwrap();
+        assert_eq!(lin.module_bits(), xor.module_bits());
+        assert_eq!(lin.address_bits_used(), xor.address_bits_used());
+        for a in 0..4096u64 {
+            assert_eq!(lin.module_of(Addr::new(a)), xor.module_of(Addr::new(a)));
+        }
+    }
+
+    #[test]
+    fn matches_interleaved_special_case() {
+        let lin = Linear::interleaved(4).unwrap();
+        for a in 0..256u64 {
+            assert_eq!(lin.module_of(Addr::new(a)).get(), a % 16);
+        }
+    }
+
+    #[test]
+    fn period_bound_from_highest_bit() {
+        let lin = Linear::xor_matched(3, 3).unwrap();
+        // Highest address bit used: s + t - 1 = 5, so 6 bits used.
+        assert_eq!(lin.address_bits_used(), 6);
+        assert_eq!(lin.period(StrideFamily::new(0)), 64);
+        assert_eq!(lin.period(StrideFamily::new(2)), 16);
+    }
+
+    #[test]
+    fn balanced_over_full_span() {
+        // A "random looking" full-rank matrix is still balanced.
+        let lin = Linear::new(vec![0b1011, 0b0110]).unwrap();
+        let span = 1u64 << lin.address_bits_used();
+        let mut counts = vec![0u64; lin.module_count() as usize];
+        for a in 0..span {
+            counts[lin.module_of(Addr::new(a)).get() as usize] += 1;
+        }
+        assert!(
+            counts.iter().all(|&c| c == span / lin.module_count()),
+            "unbalanced: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn propagates_parameter_validation() {
+        assert!(Linear::xor_matched(3, 2).is_err()); // s < t
+        assert!(Linear::xor_unmatched(2, 3, 4).is_err()); // y < s + t
+        assert!(Linear::interleaved(0).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let lin = Linear::interleaved(3).unwrap();
+        assert_eq!(lin.to_string(), "linear GF(2) map (M = 8)");
+    }
+}

@@ -1,0 +1,184 @@
+//! Address-to-module mappings.
+//!
+//! A multi-module memory needs an *address mapping* that turns the
+//! one-dimensional address `A` (bits `a_{n-1} … a_0`) into a
+//! `(module, displacement)` pair. Conflicts depend only on the module
+//! component (paper Section 2), so the central abstraction here is
+//! [`ModuleMap`]: the function `b = F(A)`.
+//!
+//! Implementations:
+//!
+//! * [`Interleaved`] — conventional low-order interleaving,
+//!   `b = A mod M`. Conflict free in order only for odd strides.
+//! * [`Skewed`] — row-rotation skewing, `b = (A + d·row) mod M`, the
+//!   classical array-processor scheme (Budnik & Kuck, Harper & Jump).
+//! * [`XorMatched`] — the paper's equation (1): `b_i = a_i ⊕ a_{s+i}`,
+//!   matched memory `M = T`. Conflict free *in order* exactly for family
+//!   `x = s`; conflict free *out of order* for the Theorem 1 window.
+//! * [`XorUnmatched`] — the paper's equation (2): two-level mapping for
+//!   `M = T²` with *sections* and *supermodules* (Section 4.1).
+//! * [`Linear`] — an arbitrary GF(2) linear transformation given as a
+//!   bit-matrix; the XOR maps are special cases, and the classical
+//!   Norton–Melton / Frailong XOR-scheme class can be expressed with it.
+//! * [`PseudoRandom`] — Rau's pseudo-randomly interleaved memory
+//!   (reference \[12\]): polynomial hashing that spreads *every* stride
+//!   statistically instead of a window perfectly.
+//! * [`RegionMap`] — the dynamic per-array scheme of Harper &
+//!   Linebarger (reference \[11\]): each memory region carries its own
+//!   XOR shift, chosen by the compiler for the strides that array sees.
+//!
+//! Every map reads only a bounded window of low address bits
+//! ([`ModuleMap::address_bits_used`]); from that the *period* `P_x` of
+//! the canonical module sequence for a stride family follows as
+//! `P_x = max(2^{used − x}, 1)` — the closed forms the paper quotes
+//! (`2^{s+t−x}` for the matched map, `2^{y+t−x}` for the unmatched one)
+//! fall out as special cases.
+
+mod interleaved;
+mod linear;
+mod pseudo_random;
+mod region;
+mod skewed;
+mod xor_matched;
+mod xor_unmatched;
+
+pub use interleaved::Interleaved;
+pub use linear::Linear;
+pub use pseudo_random::PseudoRandom;
+pub use region::RegionMap;
+pub use skewed::Skewed;
+pub use xor_matched::XorMatched;
+pub use xor_unmatched::XorUnmatched;
+
+use crate::address::{Addr, ModuleId};
+use crate::stride::StrideFamily;
+
+/// The module-number component `b = F(A)` of an address mapping.
+///
+/// Implementations must be **balanced over one period of the address
+/// space**: over any aligned block of `2^{address_bits_used()}`
+/// consecutive addresses, every module receives the same number of
+/// addresses. All maps in this crate uphold this; the property tests in
+/// `tests/` check it.
+///
+/// The trait is object safe; planners and simulators accept
+/// `&dyn ModuleMap`.
+pub trait ModuleMap {
+    /// Number of module-number bits `m` (there are `M = 2^m` modules).
+    fn module_bits(&self) -> u32;
+
+    /// The module that address `addr` lives in.
+    fn module_of(&self, addr: Addr) -> ModuleId;
+
+    /// The displacement (row) of `addr` inside its module.
+    ///
+    /// `(module_of(A), displacement_of(A))` is injective: two distinct
+    /// addresses never collide in both coordinates.
+    fn displacement_of(&self, addr: Addr) -> u64;
+
+    /// Number of low address bits the map depends on: `module_of` is a
+    /// function of `A mod 2^{address_bits_used()}`.
+    fn address_bits_used(&self) -> u32;
+
+    /// Number of memory modules `M = 2^m`.
+    fn module_count(&self) -> u64 {
+        1u64 << self.module_bits()
+    }
+
+    /// Period `P_x` of the canonical temporal distribution for stride
+    /// family `x`: the module sequence of *any* constant-stride vector of
+    /// the family repeats after `P_x` elements.
+    ///
+    /// `P_x = max(2^{used − x}, 1)` where `used` is
+    /// [`address_bits_used`](Self::address_bits_used). Adding
+    /// `P_x · σ·2^x = σ·2^{used}` to an address only changes bits the map
+    /// never reads, so the sequence repeats exactly — no carry effects.
+    fn period(&self, family: StrideFamily) -> u64 {
+        let used = self.address_bits_used();
+        let x = family.exponent();
+        if x >= used {
+            1
+        } else {
+            1u64 << (used - x)
+        }
+    }
+}
+
+impl<M: ModuleMap + ?Sized> ModuleMap for &M {
+    fn module_bits(&self) -> u32 {
+        (**self).module_bits()
+    }
+
+    fn module_of(&self, addr: Addr) -> ModuleId {
+        (**self).module_of(addr)
+    }
+
+    fn displacement_of(&self, addr: Addr) -> u64 {
+        (**self).displacement_of(addr)
+    }
+
+    fn address_bits_used(&self) -> u32 {
+        (**self).address_bits_used()
+    }
+
+    fn period(&self, family: StrideFamily) -> u64 {
+        (**self).period(family)
+    }
+}
+
+impl<M: ModuleMap + ?Sized> ModuleMap for Box<M> {
+    fn module_bits(&self) -> u32 {
+        (**self).module_bits()
+    }
+
+    fn module_of(&self, addr: Addr) -> ModuleId {
+        (**self).module_of(addr)
+    }
+
+    fn displacement_of(&self, addr: Addr) -> u64 {
+        (**self).displacement_of(addr)
+    }
+
+    fn address_bits_used(&self) -> u32 {
+        (**self).address_bits_used()
+    }
+
+    fn period(&self, family: StrideFamily) -> u64 {
+        (**self).period(family)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        let map = Interleaved::new(3);
+        let dyn_map: &dyn ModuleMap = &map;
+        assert_eq!(dyn_map.module_count(), 8);
+        assert_eq!(dyn_map.module_of(Addr::new(11)).get(), 3);
+    }
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let map = Interleaved::new(2);
+        let by_ref: &Interleaved = &map;
+        assert_eq!(by_ref.module_count(), 4);
+        assert_eq!(by_ref.period(StrideFamily::new(0)), 4);
+
+        let boxed: Box<dyn ModuleMap> = Box::new(Interleaved::new(2));
+        assert_eq!(boxed.module_count(), 4);
+        assert_eq!(boxed.module_of(Addr::new(7)).get(), 3);
+        assert_eq!(boxed.displacement_of(Addr::new(7)), 1);
+    }
+
+    #[test]
+    fn default_period_saturates_at_one() {
+        let map = Interleaved::new(3); // uses 3 address bits
+        assert_eq!(map.period(StrideFamily::new(0)), 8);
+        assert_eq!(map.period(StrideFamily::new(2)), 2);
+        assert_eq!(map.period(StrideFamily::new(3)), 1);
+        assert_eq!(map.period(StrideFamily::new(9)), 1);
+    }
+}

@@ -1,0 +1,238 @@
+//! Pseudo-randomly interleaved memory (Rau, ISCA 1991 — the paper's
+//! reference \[12\]).
+
+use std::fmt;
+
+use crate::address::{Addr, ModuleId};
+use crate::error::ConfigError;
+use crate::mapping::ModuleMap;
+
+/// Pseudo-random interleaving: the module number is the residue of the
+/// address, read as a GF(2) polynomial, modulo an irreducible
+/// polynomial `p(x)` of degree `m`.
+///
+/// Rau's scheme trades the *guaranteed* conflict freedom of skewing/XOR
+/// maps for *statistical* uniformity over every stride at once: no
+/// stride family clusters catastrophically, but none is perfectly
+/// conflict free either. This crate uses it as the "spread everything"
+/// baseline against the paper's windowed approach: the experiments show
+/// the XOR+replay scheme beats it inside the window and loses less than
+/// plain interleaving outside.
+///
+/// The map is linear over GF(2) (polynomial residue is linear), so it
+/// inherits the balance property; the residue matrix columns for the
+/// low `m` address bits are the identity, making it full rank.
+///
+/// # Examples
+///
+/// ```
+/// use cfva_core::mapping::{ModuleMap, PseudoRandom};
+/// use cfva_core::Addr;
+///
+/// // p(x) = x^3 + x + 1 (0b1011), 8 modules.
+/// let map = PseudoRandom::new(3, 0b1011, 24)?;
+/// assert_eq!(map.module_count(), 8);
+/// // Low addresses are identity-mapped...
+/// assert_eq!(map.module_of(Addr::new(5)).get(), 5);
+/// // ...but address 8 = x^3 ≡ x + 1 (mod p) lands in module 3.
+/// assert_eq!(map.module_of(Addr::new(8)).get(), 0b011);
+/// # Ok::<(), cfva_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PseudoRandom {
+    m: u32,
+    poly: u64,
+    /// residues[j] = x^j mod p(x), for each address bit j.
+    residues: Vec<u64>,
+}
+
+impl PseudoRandom {
+    /// Creates the map over `2^m` modules using the degree-`m`
+    /// polynomial `poly` (bit `m` must be set; lower bits give the
+    /// feedback taps) over `address_bits` address bits.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::OutOfRange`] if `m` is 0 or > 16, `poly` does not
+    /// have degree exactly `m`, or `address_bits > 63`.
+    pub fn new(m: u32, poly: u64, address_bits: u32) -> Result<Self, ConfigError> {
+        if m == 0 || m > 16 {
+            return Err(ConfigError::OutOfRange {
+                what: "m",
+                value: m as u64,
+                constraint: "1 <= m <= 16",
+            });
+        }
+        if address_bits > 63 || address_bits < m {
+            return Err(ConfigError::OutOfRange {
+                what: "address_bits",
+                value: address_bits as u64,
+                constraint: "m <= address_bits <= 63",
+            });
+        }
+        if poly >> m != 1 {
+            return Err(ConfigError::OutOfRange {
+                what: "polynomial",
+                value: poly,
+                constraint: "degree must equal m (bit m set, none higher)",
+            });
+        }
+        // Precompute x^j mod p(x) by repeated shift-and-reduce.
+        let mask = (1u64 << m) - 1;
+        let taps = poly & mask;
+        let mut residues = Vec::with_capacity(address_bits as usize);
+        let mut r = 1u64; // x^0
+        for _ in 0..address_bits {
+            residues.push(r);
+            r <<= 1;
+            if r >> m & 1 == 1 {
+                r = (r & mask) ^ taps;
+            }
+        }
+        Ok(PseudoRandom { m, poly, residues })
+    }
+
+    /// A ready-made instance with a primitive polynomial for each
+    /// supported `m` (1..=8), over 40 address bits.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::OutOfRange`] for unsupported `m`.
+    pub fn with_default_poly(m: u32) -> Result<Self, ConfigError> {
+        // Primitive polynomials over GF(2), degree 1..=8.
+        let poly = match m {
+            1 => 0b11,
+            2 => 0b111,
+            3 => 0b1011,
+            4 => 0b10011,
+            5 => 0b100101,
+            6 => 0b1000011,
+            7 => 0b10000011,
+            8 => 0b100011101,
+            _ => {
+                return Err(ConfigError::OutOfRange {
+                    what: "m",
+                    value: m as u64,
+                    constraint: "default polynomials cover 1 <= m <= 8",
+                })
+            }
+        };
+        PseudoRandom::new(m, poly, 40)
+    }
+
+    /// The polynomial in use.
+    pub const fn polynomial(&self) -> u64 {
+        self.poly
+    }
+}
+
+impl ModuleMap for PseudoRandom {
+    fn module_bits(&self) -> u32 {
+        self.m
+    }
+
+    fn module_of(&self, addr: Addr) -> ModuleId {
+        let mut b = 0u64;
+        let mut a = addr.get();
+        let mut j = 0usize;
+        while a != 0 && j < self.residues.len() {
+            if a & 1 == 1 {
+                b ^= self.residues[j];
+            }
+            a >>= 1;
+            j += 1;
+        }
+        ModuleId::new(b)
+    }
+
+    fn displacement_of(&self, addr: Addr) -> u64 {
+        addr.get() >> self.m
+    }
+
+    fn address_bits_used(&self) -> u32 {
+        self.residues.len() as u32
+    }
+}
+
+impl fmt::Display for PseudoRandom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pseudo-random (M = {}, p(x) = {:#b})",
+            self.module_count(),
+            self.poly
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::SpatialDistribution;
+    use crate::vector::VectorSpec;
+
+    #[test]
+    fn identity_on_low_bits() {
+        let map = PseudoRandom::new(3, 0b1011, 24).unwrap();
+        for a in 0..8u64 {
+            assert_eq!(map.module_of(Addr::new(a)).get(), a);
+        }
+    }
+
+    #[test]
+    fn residue_reduction() {
+        // p = x^3 + x + 1: x^3 ≡ x+1 = 3, x^4 ≡ x^2+x = 6,
+        // x^5 ≡ x^3+x^2 ≡ x^2+x+1 = 7, x^6 ≡ x^3+x^2+x ≡ x^2+1 = 5.
+        let map = PseudoRandom::new(3, 0b1011, 24).unwrap();
+        assert_eq!(map.module_of(Addr::new(8)).get(), 3);
+        assert_eq!(map.module_of(Addr::new(16)).get(), 6);
+        assert_eq!(map.module_of(Addr::new(32)).get(), 7);
+        assert_eq!(map.module_of(Addr::new(64)).get(), 5);
+        // Linearity: module(8+16) = 3 ^ 6.
+        assert_eq!(map.module_of(Addr::new(24)).get(), 3 ^ 6);
+    }
+
+    #[test]
+    fn balanced_over_full_period() {
+        let map = PseudoRandom::new(3, 0b1011, 9).unwrap();
+        let span = 1u64 << 9;
+        let mut counts = vec![0u64; 8];
+        for a in 0..span {
+            counts[map.module_of(Addr::new(a)).get() as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == span / 8), "{counts:?}");
+    }
+
+    #[test]
+    fn validates_polynomial_degree() {
+        assert!(PseudoRandom::new(3, 0b101, 24).is_err()); // degree 2
+        assert!(PseudoRandom::new(3, 0b11011, 24).is_err()); // degree 4
+        assert!(PseudoRandom::new(0, 0b1, 24).is_err());
+        assert!(PseudoRandom::new(3, 0b1011, 2).is_err()); // too few bits
+    }
+
+    #[test]
+    fn default_polynomials_construct() {
+        for m in 1..=8u32 {
+            let map = PseudoRandom::with_default_poly(m).unwrap();
+            assert_eq!(map.module_count(), 1 << m);
+        }
+        assert!(PseudoRandom::with_default_poly(9).is_err());
+    }
+
+    #[test]
+    fn no_catastrophic_clustering_for_power_of_two_strides() {
+        // The whole point of Rau's scheme: stride 2^x never puts
+        // everything in one module (unlike plain interleaving).
+        let map = PseudoRandom::with_default_poly(3).unwrap();
+        for x in 3..=10u32 {
+            let vec = VectorSpec::new(0, 1i64 << x, 64).unwrap();
+            let sd = SpatialDistribution::compute(&map, &vec);
+            assert!(
+                sd.modules_visited() >= 4,
+                "stride 2^{x} clustered into {} modules",
+                sd.modules_visited()
+            );
+        }
+    }
+}

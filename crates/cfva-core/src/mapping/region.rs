@@ -1,0 +1,233 @@
+//! Per-array dynamic scheme selection (Harper & Linebarger, the paper's
+//! reference \[11\]).
+
+use std::fmt;
+
+use crate::address::{Addr, ModuleId};
+use crate::error::ConfigError;
+use crate::mapping::{ModuleMap, XorMatched};
+use crate::vector::VectorSpec;
+
+/// A dynamic storage scheme: the address space is divided into aligned
+/// regions, each stored under its own [`XorMatched`] shift `s`.
+///
+/// The paper's Section 1 recalls that "for the case in which different
+/// vectors are accessed with different strides, dynamic schemes based on
+/// skewing \[11\] and on linear transformations \[6\] were proposed": the
+/// compiler places each array in a region whose `s` matches the stride
+/// family that array is accessed with. Combined with the out-of-order
+/// window this serves `λ−t+1` families *per array* — different ones for
+/// different arrays — on a plain matched memory.
+///
+/// All regions share the latency exponent `t`; region boundaries are
+/// aligned to `2^region_bits` addresses, and a vector used with this map
+/// must stay inside one region (checked by [`RegionMap::map_for`]).
+///
+/// # Examples
+///
+/// ```
+/// use cfva_core::mapping::{ModuleMap, RegionMap};
+///
+/// // 2^20-address regions; region 0 tuned for small strides (s = 3),
+/// // region 1 for family-6 strides (s = 6).
+/// let map = RegionMap::new(3, 20, 3)?
+///     .with_region(1, 6)?;
+/// assert_eq!(map.module_count(), 8);
+/// # Ok::<(), cfva_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionMap {
+    t: u32,
+    region_bits: u32,
+    default: XorMatched,
+    /// (region index, map) overrides, sorted by region index.
+    overrides: Vec<(u64, XorMatched)>,
+}
+
+impl RegionMap {
+    /// Creates a region map with `2^region_bits`-sized regions, all
+    /// initially using shift `default_s`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`XorMatched::new`] constraint violations; also
+    /// requires `region_bits ≥ default_s + t` so one region spans at
+    /// least one full mapping period.
+    pub fn new(t: u32, region_bits: u32, default_s: u32) -> Result<Self, ConfigError> {
+        let default = XorMatched::new(t, default_s)?;
+        if region_bits < default_s + t {
+            return Err(ConfigError::OutOfRange {
+                what: "region_bits",
+                value: region_bits as u64,
+                constraint: "region_bits >= s + t",
+            });
+        }
+        Ok(RegionMap {
+            t,
+            region_bits,
+            default,
+            overrides: Vec::new(),
+        })
+    }
+
+    /// Assigns shift `s` to region `region` (indices count from address
+    /// 0 upwards in `2^region_bits` steps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`XorMatched::new`] violations and requires the
+    /// region to still span one full period (`region_bits ≥ s + t`).
+    pub fn with_region(mut self, region: u64, s: u32) -> Result<Self, ConfigError> {
+        let map = XorMatched::new(self.t, s)?;
+        if self.region_bits < s + self.t {
+            return Err(ConfigError::OutOfRange {
+                what: "s",
+                value: s as u64,
+                constraint: "region_bits >= s + t",
+            });
+        }
+        match self.overrides.binary_search_by_key(&region, |(r, _)| *r) {
+            Ok(i) => self.overrides[i].1 = map,
+            Err(i) => self.overrides.insert(i, (region, map)),
+        }
+        Ok(self)
+    }
+
+    /// The region index of an address.
+    pub fn region_of(&self, addr: Addr) -> u64 {
+        addr.get() >> self.region_bits
+    }
+
+    /// The map governing an address.
+    pub fn map_at(&self, addr: Addr) -> &XorMatched {
+        let region = self.region_of(addr);
+        match self.overrides.binary_search_by_key(&region, |(r, _)| *r) {
+            Ok(i) => &self.overrides[i].1,
+            Err(_) => &self.default,
+        }
+    }
+
+    /// The map to plan a vector access with, provided the access stays
+    /// inside one region (the compiler's contract: an array never
+    /// straddles region boundaries).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::OutOfRange`] when the vector crosses a region
+    /// boundary.
+    pub fn map_for(&self, vec: &VectorSpec) -> Result<XorMatched, ConfigError> {
+        let first = self.region_of(vec.base());
+        let last = self.region_of(vec.element_addr(vec.len() - 1));
+        if first != last {
+            return Err(ConfigError::OutOfRange {
+                what: "vector region span",
+                value: last.abs_diff(first),
+                constraint: "vector must stay inside one region",
+            });
+        }
+        Ok(*self.map_at(vec.base()))
+    }
+}
+
+impl ModuleMap for RegionMap {
+    fn module_bits(&self) -> u32 {
+        self.t
+    }
+
+    fn module_of(&self, addr: Addr) -> ModuleId {
+        self.map_at(addr).module_of(addr)
+    }
+
+    fn displacement_of(&self, addr: Addr) -> u64 {
+        addr.get() >> self.t
+    }
+
+    fn address_bits_used(&self) -> u32 {
+        // Beyond the highest overridden region the default map applies
+        // uniformly, so the module depends on the low region_bits plus
+        // enough region-index bits to distinguish the overridden
+        // regions from the default tail.
+        let highest = self.overrides.last().map_or(0, |(r, _)| *r);
+        let region_index_bits = 64 - (highest + 1).leading_zeros();
+        self.region_bits + region_index_bits
+    }
+}
+
+impl fmt::Display for RegionMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "region map (M = {}, {} regions overridden, default s = {})",
+            self.module_count(),
+            self.overrides.len(),
+            self.default.s()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_region_map() -> RegionMap {
+        RegionMap::new(3, 20, 3)
+            .unwrap()
+            .with_region(1, 6)
+            .unwrap()
+    }
+
+    #[test]
+    fn regions_use_their_own_shift() {
+        let map = two_region_map();
+        // Region 0: s = 3 behaviour.
+        let direct = XorMatched::new(3, 3).unwrap();
+        for a in [0u64, 9, 100, 4095] {
+            assert_eq!(map.module_of(Addr::new(a)), direct.module_of(Addr::new(a)));
+        }
+        // Region 1 (addresses >= 2^20): s = 6 behaviour.
+        let s6 = XorMatched::new(3, 6).unwrap();
+        for a in [1u64 << 20, (1 << 20) + 9, (1 << 20) + 12345] {
+            assert_eq!(map.module_of(Addr::new(a)), s6.module_of(Addr::new(a)));
+        }
+    }
+
+    #[test]
+    fn map_for_rejects_straddling_vectors() {
+        let map = two_region_map();
+        let inside = VectorSpec::new(0, 8, 64).unwrap();
+        assert_eq!(map.map_for(&inside).unwrap().s(), 3);
+
+        let other = VectorSpec::new(1 << 20, 8, 64).unwrap();
+        assert_eq!(map.map_for(&other).unwrap().s(), 6);
+
+        let straddle = VectorSpec::new((1 << 20) - 8, 8, 64).unwrap();
+        assert!(map.map_for(&straddle).is_err());
+    }
+
+    #[test]
+    fn region_bits_must_cover_period() {
+        assert!(RegionMap::new(3, 5, 3).is_err()); // 5 < 3+3
+        assert!(RegionMap::new(3, 6, 3).is_ok());
+        let m = RegionMap::new(3, 8, 3).unwrap();
+        assert!(m.with_region(0, 6).is_err()); // 8 < 6+3
+    }
+
+    #[test]
+    fn override_replaces_existing() {
+        let map = RegionMap::new(3, 20, 3)
+            .unwrap()
+            .with_region(1, 5)
+            .unwrap()
+            .with_region(1, 6)
+            .unwrap();
+        assert_eq!(map.map_at(Addr::new(1 << 20)).s(), 6);
+    }
+
+    #[test]
+    fn display() {
+        let map = two_region_map();
+        let s = map.to_string();
+        assert!(s.contains("1 regions overridden"));
+        assert!(s.contains("default s = 3"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Row-rotation skewed storage.
+
+use std::fmt;
+
+use crate::address::{Addr, ModuleId};
+use crate::mapping::ModuleMap;
+
+/// Skewed storage: `b = (A + d·row) mod M` with `row = (A div M) mod M`.
+///
+/// The classical array-processor scheme ([Budnik & Kuck 1971], used for
+/// vector memories by [Harper & Jump 1986]): each row of `M` consecutive
+/// addresses is rotated by `d` positions relative to the previous row.
+/// With an odd skew distance `d`, column accesses (stride `M`) become
+/// conflict free at the cost of the plain unit-stride pattern staying
+/// conflict free too (each row still visits all modules).
+///
+/// This crate uses it as one of the in-order baselines the paper's
+/// scheme is compared against. Like the paper's XOR maps, a skewed map
+/// serves *one* stride family conflict-free in order.
+///
+/// [Budnik & Kuck 1971]: super::Linear
+/// [Harper & Jump 1986]: super::XorMatched
+///
+/// # Examples
+///
+/// ```
+/// use cfva_core::mapping::{ModuleMap, Skewed};
+/// use cfva_core::Addr;
+///
+/// let map = Skewed::new(2, 1); // 4 modules, skew 1
+/// // Row 0: addresses 0..4 -> modules 0,1,2,3
+/// // Row 1: addresses 4..8 -> modules 1,2,3,0 (rotated by 1)
+/// assert_eq!(map.module_of(Addr::new(4)).get(), 1);
+/// assert_eq!(map.module_of(Addr::new(7)).get(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Skewed {
+    m: u32,
+    skew: u64,
+}
+
+impl Skewed {
+    /// Creates a skewed map over `2^m` modules with skew distance
+    /// `skew` (reduced mod `M`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > 32`.
+    pub fn new(m: u32, skew: u64) -> Self {
+        assert!(m <= 32, "m = {m} is unreasonably large");
+        let mask = (1u64 << m) - 1;
+        Skewed { m, skew: skew & mask }
+    }
+
+    /// Returns `m = log2(M)`.
+    pub const fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// Returns the skew distance `d`.
+    pub const fn skew(&self) -> u64 {
+        self.skew
+    }
+}
+
+impl ModuleMap for Skewed {
+    fn module_bits(&self) -> u32 {
+        self.m
+    }
+
+    fn module_of(&self, addr: Addr) -> ModuleId {
+        let mask = (1u64 << self.m) - 1;
+        let row = addr.bits(self.m, self.m);
+        ModuleId::new((addr.get().wrapping_add(self.skew.wrapping_mul(row))) & mask)
+    }
+
+    fn displacement_of(&self, addr: Addr) -> u64 {
+        addr.get() >> self.m
+    }
+
+    fn address_bits_used(&self) -> u32 {
+        2 * self.m
+    }
+}
+
+impl fmt::Display for Skewed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "skewed (M = {}, d = {})", self.module_count(), self.skew)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stride::StrideFamily;
+
+    #[test]
+    fn rows_are_rotated() {
+        let map = Skewed::new(3, 1);
+        // Row r (addresses 8r..8r+8) should map to modules (i + r) mod 8,
+        // within the first 8 rows (the row index wraps at M).
+        for r in 0..8u64 {
+            for i in 0..8u64 {
+                let a = Addr::new(8 * r + i);
+                assert_eq!(map.module_of(a).get(), (i + r) % 8, "row {r} col {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn skew_reduces_mod_m() {
+        assert_eq!(Skewed::new(3, 9).skew(), 1);
+        assert_eq!(Skewed::new(2, 4).skew(), 0);
+    }
+
+    #[test]
+    fn zero_skew_degenerates_to_interleaving() {
+        let map = Skewed::new(3, 0);
+        for a in 0..128u64 {
+            assert_eq!(map.module_of(Addr::new(a)).get(), a % 8);
+        }
+    }
+
+    #[test]
+    fn column_stride_is_conflict_free_with_odd_skew() {
+        // Stride M = 8 walks a column; with skew 1 each step moves to the
+        // next module, so 8 consecutive column elements hit 8 modules.
+        let map = Skewed::new(3, 1);
+        for base in [0u64, 3, 11] {
+            let mut seen = [false; 8];
+            for i in 0..8u64 {
+                let a = Addr::new(base + 8 * i);
+                let m = map.module_of(a).get() as usize;
+                assert!(!seen[m], "module {m} repeated at base {base}");
+                seen[m] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn column_stride_conflicts_without_skew() {
+        let map = Skewed::new(3, 0);
+        let first = map.module_of(Addr::new(0));
+        let second = map.module_of(Addr::new(8));
+        assert_eq!(first, second, "interleaving sends a column to one module");
+    }
+
+    #[test]
+    fn period_covers_two_m_bits() {
+        let map = Skewed::new(3, 1);
+        assert_eq!(map.period(StrideFamily::new(0)), 64);
+        assert_eq!(map.period(StrideFamily::new(6)), 1);
+    }
+
+    #[test]
+    fn period_contract_holds() {
+        // module_of(A + P·S) == module_of(A) for strides of the family.
+        let map = Skewed::new(3, 3);
+        for x in 0..7u32 {
+            let p = map.period(StrideFamily::new(x));
+            let stride = 3u64 << x; // sigma = 3
+            for base in [0u64, 1, 17, 255] {
+                let a = Addr::new(base);
+                let b = Addr::new(base + p * stride);
+                assert_eq!(map.module_of(a), map.module_of(b), "x={x} base={base}");
+            }
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Skewed::new(3, 1).to_string(), "skewed (M = 8, d = 1)");
+    }
+}

@@ -1,0 +1,224 @@
+//! The paper's matched-memory XOR map (equation 1).
+
+use std::fmt;
+
+use crate::address::{Addr, ModuleId};
+use crate::error::ConfigError;
+use crate::mapping::ModuleMap;
+
+/// The linear transformation of the paper's equation (1), for a matched
+/// memory (`M = T = 2^t` modules):
+///
+/// ```text
+/// b_i = a_i ⊕ a_{s+i}      s ≥ t,  0 ≤ i ≤ t−1
+/// ```
+///
+/// i.e. `b = (A mod 2^t) ⊕ ((A div 2^s) mod 2^t)`.
+///
+/// Properties proved in the paper and enforced/tested here:
+///
+/// * In-order access is conflict free for the single family `x = s`
+///   (any length, any base) — the classical result of Harper.
+/// * The period of the module sequence for family `x` is
+///   `P_x = max(2^{s+t−x}, 1)`.
+/// * (Lemma 2) For `x ≤ s`, each of the `2^{s−x}` interleaved
+///   subsequences of `2^t` elements within a period lands in `2^t`
+///   distinct modules — the basis of out-of-order conflict-free access.
+/// * (Theorem 1) Families `s−N ≤ x ≤ s`, `N = min(λ−t, s)`, give
+///   T-matched vectors of length `2^λ`.
+///
+/// # Examples
+///
+/// Figure 3 of the paper (`m = t = 3`, `s = 3`): address 9 lives in
+/// module `(9 mod 8) ⊕ (9 div 8 mod 8) = 1 ⊕ 1 = 0`:
+///
+/// ```
+/// use cfva_core::mapping::{ModuleMap, XorMatched};
+/// use cfva_core::Addr;
+///
+/// let map = XorMatched::new(3, 3)?;
+/// assert_eq!(map.module_of(Addr::new(9)).get(), 0);
+/// assert_eq!(map.module_of(Addr::new(18)).get(), 0);
+/// # Ok::<(), cfva_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct XorMatched {
+    t: u32,
+    s: u32,
+}
+
+impl XorMatched {
+    /// Creates the map with module-latency exponent `t` (so `M = T = 2^t`
+    /// modules) and shift `s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::OutOfRange`] unless `t ≤ s` and
+    /// `s + t ≤ 63` (so periods fit comfortably in `u64`).
+    pub fn new(t: u32, s: u32) -> Result<Self, ConfigError> {
+        if s < t {
+            return Err(ConfigError::OutOfRange {
+                what: "s",
+                value: s as u64,
+                constraint: "s >= t",
+            });
+        }
+        if s + t > 63 {
+            return Err(ConfigError::OutOfRange {
+                what: "s + t",
+                value: (s + t) as u64,
+                constraint: "s + t <= 63",
+            });
+        }
+        Ok(XorMatched { t, s })
+    }
+
+    /// Returns `t` (module latency is `T = 2^t` cycles; also `m = t`).
+    pub const fn t(&self) -> u32 {
+        self.t
+    }
+
+    /// Returns the shift `s` — the centre of the conflict-free window.
+    pub const fn s(&self) -> u32 {
+        self.s
+    }
+}
+
+impl ModuleMap for XorMatched {
+    fn module_bits(&self) -> u32 {
+        self.t
+    }
+
+    fn module_of(&self, addr: Addr) -> ModuleId {
+        ModuleId::new(addr.bits(0, self.t) ^ addr.bits(self.s, self.t))
+    }
+
+    fn displacement_of(&self, addr: Addr) -> u64 {
+        // Everything above the low t bits identifies the row uniquely:
+        // given (b, A >> t) the low bits are recovered as
+        // b ⊕ ((A >> s) mod 2^t), and s ≥ t makes that field part of
+        // A >> t.
+        addr.get() >> self.t
+    }
+
+    fn address_bits_used(&self) -> u32 {
+        self.s + self.t
+    }
+}
+
+impl fmt::Display for XorMatched {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "xor-matched (M = T = {}, s = {})",
+            self.module_count(),
+            self.s
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stride::StrideFamily;
+
+    /// The full Figure 3 grid from the paper: rows of 8 consecutive
+    /// addresses, entry = address stored at (row, module).
+    ///
+    /// Figure 3 lists, for each row of the address space, which address
+    /// sits in each module; e.g. row 1 shows "9 8 11 10 13 12 15 14",
+    /// meaning module 0 holds address 9, module 1 holds 8, and so on.
+    const FIGURE_3: [[u64; 8]; 9] = [
+        [0, 1, 2, 3, 4, 5, 6, 7],
+        [9, 8, 11, 10, 13, 12, 15, 14],
+        [18, 19, 16, 17, 22, 23, 20, 21],
+        [27, 26, 25, 24, 31, 30, 29, 28],
+        [36, 37, 38, 39, 32, 33, 34, 35],
+        [45, 44, 47, 46, 41, 40, 43, 42],
+        [54, 55, 52, 53, 50, 51, 48, 49],
+        [63, 62, 61, 60, 59, 58, 57, 56],
+        [64, 65, 66, 67, 68, 69, 70, 71],
+    ];
+
+    #[test]
+    fn reproduces_figure_3() {
+        let map = XorMatched::new(3, 3).unwrap();
+        for (row, entries) in FIGURE_3.iter().enumerate() {
+            for (module, &addr) in entries.iter().enumerate() {
+                assert_eq!(
+                    map.module_of(Addr::new(addr)).get(),
+                    module as u64,
+                    "address {addr} should be in module {module} (row {row})"
+                );
+                assert_eq!(map.displacement_of(Addr::new(addr)), row as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn constructor_validates_s_ge_t() {
+        assert!(XorMatched::new(3, 2).is_err());
+        assert!(XorMatched::new(3, 3).is_ok());
+        assert!(XorMatched::new(3, 10).is_ok());
+        assert!(XorMatched::new(32, 32).is_err()); // s + t > 63
+    }
+
+    #[test]
+    fn period_matches_paper_formula() {
+        // P_x = 2^{s+t-x}
+        let map = XorMatched::new(3, 4).unwrap();
+        assert_eq!(map.period(StrideFamily::new(0)), 128);
+        assert_eq!(map.period(StrideFamily::new(2)), 32);
+        assert_eq!(map.period(StrideFamily::new(4)), 8);
+        assert_eq!(map.period(StrideFamily::new(7)), 1);
+        assert_eq!(map.period(StrideFamily::new(20)), 1);
+    }
+
+    #[test]
+    fn in_order_conflict_free_for_family_s() {
+        // The mapping's defining property: stride sigma·2^s, any base,
+        // any length -> T consecutive elements in T distinct modules.
+        let map = XorMatched::new(3, 3).unwrap();
+        for sigma in [1u64, 3, 5, 7] {
+            let stride = sigma << 3;
+            for base in [0u64, 1, 16, 37, 1000] {
+                let modules: Vec<u64> = (0..64u64)
+                    .map(|i| map.module_of(Addr::new(base + stride * i)).get())
+                    .collect();
+                for w in modules.windows(8) {
+                    let set: std::collections::BTreeSet<&u64> = w.iter().collect();
+                    assert_eq!(set.len(), 8, "sigma={sigma} base={base}: window {w:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_section3_example_modules() {
+        // Stride 12 (x = 2), A1 = 16: CTP over one period (16 elements)
+        // is 2,7,5,2,0,5,3,0,6,3,1,6,4,1,7,4 — from the paper's text.
+        let map = XorMatched::new(3, 3).unwrap();
+        let expected = [2u64, 7, 5, 2, 0, 5, 3, 0, 6, 3, 1, 6, 4, 1, 7, 4];
+        for (i, &want) in expected.iter().enumerate() {
+            let addr = Addr::new(16 + 12 * i as u64);
+            assert_eq!(map.module_of(addr).get(), want, "element {i}");
+        }
+    }
+
+    #[test]
+    fn balanced_over_one_full_period_of_addresses() {
+        let map = XorMatched::new(2, 3).unwrap();
+        let span = 1u64 << map.address_bits_used();
+        let mut counts = vec![0u64; map.module_count() as usize];
+        for a in 0..span {
+            counts[map.module_of(Addr::new(a)).get() as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == span / map.module_count()));
+    }
+
+    #[test]
+    fn display() {
+        let map = XorMatched::new(3, 4).unwrap();
+        assert_eq!(map.to_string(), "xor-matched (M = T = 8, s = 4)");
+    }
+}

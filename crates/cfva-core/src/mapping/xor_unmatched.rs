@@ -1,0 +1,310 @@
+//! The paper's unmatched-memory two-level XOR map (equation 2).
+
+use std::fmt;
+
+use crate::address::{Addr, ModuleId};
+use crate::error::ConfigError;
+use crate::mapping::ModuleMap;
+
+/// The two-level linear transformation of the paper's equation (2), for
+/// an unmatched memory with `M = T² = 2^{2t}` modules:
+///
+/// ```text
+/// b_i = a_i ⊕ a_{s+i}      0 ≤ i ≤ t−1     (s ≥ t)
+/// b_i = a_{y+i−t}           t ≤ i ≤ 2t−1    (y ≥ s+t)
+/// ```
+///
+/// The modules are organised as `T` **sections** of `T` modules each: the
+/// upper `t` module bits (driven directly by address bits `y+t−1 .. y`)
+/// select the section, so each block of `2^y` addresses maps into one
+/// section; within the section, the lower bits use the matched XOR map.
+/// **Supermodule** `i` is the set of the `i`-th modules of all sections
+/// (lower `t` bits of the module number, paper Section 4.2).
+///
+/// Properties proved in the paper and tested here:
+///
+/// * Period for family `x` is `P_x = max(2^{y+t−x}, 1)`.
+/// * (Lemma 4) For `x ≤ y`, each of the `2^{y−x}` interleaved
+///   subsequences of `2^t` elements within a period lands in `2^t`
+///   distinct *sections*.
+/// * (Theorem 3) Families `x ∈ [s−N, s] ∪ [y−R, y]` with
+///   `N = min(λ−t, s)`, `R = min(λ−t, y)` give T-matched vectors of
+///   length `2^λ`; with `s = λ−t`, `y = 2(λ−t)+1` this fuses into the
+///   single window `0 ≤ x ≤ 2(λ−t)+1`.
+///
+/// # Examples
+///
+/// Figure 7 of the paper (`m = 4, t = 2, s = 3, y = 7`):
+///
+/// ```
+/// use cfva_core::mapping::{ModuleMap, XorUnmatched};
+/// use cfva_core::Addr;
+///
+/// let map = XorUnmatched::new(2, 3, 7)?;
+/// // Address 6 (first element of the figure's italic vector) is in
+/// // module 2 of section 0:
+/// assert_eq!(map.module_of(Addr::new(6)).get(), 2);
+/// assert_eq!(map.section_of(Addr::new(6)), 0);
+/// assert_eq!(map.supermodule_of(Addr::new(6)), 2);
+/// # Ok::<(), cfva_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct XorUnmatched {
+    t: u32,
+    s: u32,
+    y: u32,
+}
+
+impl XorUnmatched {
+    /// Creates the map with latency exponent `t` (module latency
+    /// `T = 2^t`, module count `M = 2^{2t}`), shift `s` and section
+    /// stride exponent `y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::OutOfRange`] unless `t ≤ s`, `s + t ≤ y`
+    /// and `y + t ≤ 63`.
+    pub fn new(t: u32, s: u32, y: u32) -> Result<Self, ConfigError> {
+        if s < t {
+            return Err(ConfigError::OutOfRange {
+                what: "s",
+                value: s as u64,
+                constraint: "s >= t",
+            });
+        }
+        if y < s + t {
+            return Err(ConfigError::OutOfRange {
+                what: "y",
+                value: y as u64,
+                constraint: "y >= s + t",
+            });
+        }
+        if y + t > 63 {
+            return Err(ConfigError::OutOfRange {
+                what: "y + t",
+                value: (y + t) as u64,
+                constraint: "y + t <= 63",
+            });
+        }
+        Ok(XorUnmatched { t, s, y })
+    }
+
+    /// Returns `t` (module latency `T = 2^t`; module count `2^{2t}`).
+    pub const fn t(&self) -> u32 {
+        self.t
+    }
+
+    /// Returns the shift `s` — centre of the lower conflict-free window.
+    pub const fn s(&self) -> u32 {
+        self.s
+    }
+
+    /// Returns `y` — centre of the upper conflict-free window, and the
+    /// log2 of the address-block size mapped to one section.
+    pub const fn y(&self) -> u32 {
+        self.y
+    }
+
+    /// Section of an address: address bits `y+t−1 .. y` (equal to the
+    /// upper `t` bits of the module number).
+    pub fn section_of(&self, addr: Addr) -> u64 {
+        addr.bits(self.y, self.t)
+    }
+
+    /// Supermodule of an address: the lower `t` bits of its module
+    /// number, `(A mod 2^t) ⊕ ((A div 2^s) mod 2^t)`.
+    pub fn supermodule_of(&self, addr: Addr) -> u64 {
+        addr.bits(0, self.t) ^ addr.bits(self.s, self.t)
+    }
+}
+
+impl ModuleMap for XorUnmatched {
+    fn module_bits(&self) -> u32 {
+        2 * self.t
+    }
+
+    fn module_of(&self, addr: Addr) -> ModuleId {
+        ModuleId::new((self.section_of(addr) << self.t) | self.supermodule_of(addr))
+    }
+
+    fn displacement_of(&self, addr: Addr) -> u64 {
+        // A >> t uniquely identifies the row: it contains both the XOR
+        // operand bits (s ≥ t) and the section bits (y ≥ s+t), so the
+        // low t bits can be recovered from (module, A >> t).
+        addr.get() >> self.t
+    }
+
+    fn address_bits_used(&self) -> u32 {
+        self.y + self.t
+    }
+}
+
+impl fmt::Display for XorUnmatched {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "xor-unmatched (M = {}, T = {}, s = {}, y = {})",
+            self.module_count(),
+            1u64 << self.t,
+            self.s,
+            self.y
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stride::StrideFamily;
+
+    fn figure7_map() -> XorUnmatched {
+        XorUnmatched::new(2, 3, 7).unwrap()
+    }
+
+    #[test]
+    fn constructor_validates_parameters() {
+        assert!(XorUnmatched::new(2, 1, 7).is_err()); // s < t
+        assert!(XorUnmatched::new(2, 3, 4).is_err()); // y < s + t
+        assert!(XorUnmatched::new(2, 3, 5).is_ok());
+        assert!(XorUnmatched::new(2, 3, 62).is_err()); // y + t > 63
+    }
+
+    #[test]
+    fn reproduces_figure_7_section_zero_grid() {
+        // Figure 7, first block (addresses 0..32 all map into section 0;
+        // each row lists which address sits in modules 0..4).
+        let map = figure7_map();
+        let rows: [[u64; 4]; 8] = [
+            [0, 1, 2, 3],
+            [4, 5, 6, 7],
+            [9, 8, 11, 10],
+            [13, 12, 15, 14],
+            [18, 19, 16, 17],
+            [22, 23, 20, 21],
+            [27, 26, 25, 24],
+            [31, 30, 29, 28],
+        ];
+        for (row, entries) in rows.iter().enumerate() {
+            for (module, &addr) in entries.iter().enumerate() {
+                assert_eq!(
+                    map.module_of(Addr::new(addr)).get(),
+                    module as u64,
+                    "address {addr} should be in module {module} (row {row})"
+                );
+                assert_eq!(map.section_of(Addr::new(addr)), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn reproduces_figure_7_wraparound_rows() {
+        // After four 128-address blocks (sections 0..3) the fifth block
+        // (512..) wraps back to section 0: figure row "512 513 514 515".
+        let map = figure7_map();
+        for (module, addr) in [512u64, 513, 514, 515].into_iter().enumerate() {
+            assert_eq!(map.module_of(Addr::new(addr)).get(), module as u64);
+        }
+        // Figure's bottom-right block: "507 506 505 504" sits in modules
+        // 12..16 (section 3).
+        for (i, addr) in [507u64, 506, 505, 504].into_iter().enumerate() {
+            assert_eq!(map.module_of(Addr::new(addr)).get(), 12 + i as u64);
+            assert_eq!(map.section_of(Addr::new(addr)), 3);
+        }
+    }
+
+    #[test]
+    fn reproduces_figure_7_italic_vector() {
+        // The italic elements: lambda = 5, A1 = 6, S = 16 (x = 4).
+        // Lemma 4 subsequences are {e, e+8, e+16, e+24}; the paper lists
+        // their modules as (2,6,10,14), (0,4,8,12), (2,6,10,14), ...,
+        // alternating, ending with (0,4,8,12).
+        let map = figure7_map();
+        let module_of_elem =
+            |e: u64| map.module_of(Addr::new(6 + 16 * e)).get();
+        for first in 0..8u64 {
+            let mods: Vec<u64> = (0..4).map(|k| module_of_elem(first + 8 * k)).collect();
+            let expected = if first % 2 == 0 {
+                vec![2, 6, 10, 14]
+            } else {
+                vec![0, 4, 8, 12]
+            };
+            assert_eq!(mods, expected, "subsequence starting at element {first}");
+        }
+    }
+
+    #[test]
+    fn reproduces_section_4_1_second_example() {
+        // x = 6, sigma = 3, A1 = 0 (stride 192): P_x = 8, two
+        // subsequences (0,2,4,6) and (1,3,5,7) in modules (0,12,8,4) and
+        // (4,0,12,8).
+        let map = figure7_map();
+        let module_of_elem = |e: u64| map.module_of(Addr::new(192 * e)).get();
+        let sub1: Vec<u64> = [0u64, 2, 4, 6].iter().map(|&e| module_of_elem(e)).collect();
+        let sub2: Vec<u64> = [1u64, 3, 5, 7].iter().map(|&e| module_of_elem(e)).collect();
+        assert_eq!(sub1, vec![0, 12, 8, 4]);
+        assert_eq!(sub2, vec![4, 0, 12, 8]);
+    }
+
+    #[test]
+    fn period_matches_paper_formula() {
+        // P_x = 2^{y+t-x}
+        let map = figure7_map();
+        assert_eq!(map.period(StrideFamily::new(0)), 512);
+        assert_eq!(map.period(StrideFamily::new(4)), 32);
+        assert_eq!(map.period(StrideFamily::new(6)), 8);
+        assert_eq!(map.period(StrideFamily::new(9)), 1);
+        assert_eq!(map.period(StrideFamily::new(30)), 1);
+    }
+
+    #[test]
+    fn section_and_supermodule_decompose_module() {
+        let map = figure7_map();
+        for a in 0..2048u64 {
+            let addr = Addr::new(a);
+            let module = map.module_of(addr);
+            assert_eq!(module.section(2), map.section_of(addr));
+            assert_eq!(module.supermodule(2), map.supermodule_of(addr));
+        }
+    }
+
+    #[test]
+    fn in_order_conflict_free_for_family_s() {
+        // T consecutive elements of a stride sigma·2^s vector hit T
+        // distinct supermodules, hence T distinct modules.
+        let map = figure7_map();
+        for sigma in [1u64, 3, 5] {
+            let stride = sigma << 3;
+            for base in [0u64, 6, 129, 500] {
+                let modules: Vec<u64> = (0..32u64)
+                    .map(|i| map.module_of(Addr::new(base + stride * i)).get())
+                    .collect();
+                for w in modules.windows(4) {
+                    let set: std::collections::BTreeSet<&u64> = w.iter().collect();
+                    assert_eq!(set.len(), 4, "sigma={sigma} base={base}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_over_one_full_period_of_addresses() {
+        let map = XorUnmatched::new(2, 2, 4).unwrap();
+        let span = 1u64 << map.address_bits_used();
+        let mut counts = vec![0u64; map.module_count() as usize];
+        for a in 0..span {
+            counts[map.module_of(Addr::new(a)).get() as usize] += 1;
+        }
+        assert!(
+            counts.iter().all(|&c| c == span / map.module_count()),
+            "unbalanced: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            figure7_map().to_string(),
+            "xor-unmatched (M = 16, T = 4, s = 3, y = 7)"
+        );
+    }
+}

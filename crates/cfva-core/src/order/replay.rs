@@ -1,0 +1,268 @@
+//! The Section 3.2 / 4.2 conflict-free ordering.
+//!
+//! The subsequence order of Section 3.1 leaves each subsequence conflict
+//! free individually, but consecutive subsequences may clash where they
+//! meet. The fix: remember the order in which the *first* subsequence
+//! visits its modules, and request every later subsequence **in that
+//! same order**. Every window of `T` consecutive requests then covers
+//! `T` distinct keys, so the whole vector is conflict free.
+//!
+//! What "order" means depends on the memory (the [`ReplayKey`]):
+//!
+//! * matched memory — by full **module** number;
+//! * unmatched, lower window `x ≤ s` — by **supermodule** number
+//!   (lower `t` module bits): two latches per supermodule, `2·2^t`
+//!   latches total rather than `2·2^m` (paper Section 4.2 i);
+//! * unmatched, upper window `x ≤ y` — by **section** number (upper `t`
+//!   module bits, Section 4.2 ii).
+
+use crate::address::ModuleId;
+use crate::error::PlanError;
+use crate::mapping::ModuleMap;
+use crate::order::subseq::SubseqStructure;
+use crate::vector::VectorSpec;
+
+/// The key by which replayed subsequences are matched to the first one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplayKey {
+    /// Full module number (matched memory, Section 3.2).
+    Module,
+    /// Lower `t` bits of the module number (unmatched memory, families
+    /// `x ≤ s`, Section 4.2 case i).
+    Supermodule {
+        /// Latency exponent `t` (sections hold `2^t` modules).
+        t: u32,
+    },
+    /// Upper module bits — the section number (unmatched memory,
+    /// families in the upper window, Section 4.2 case ii).
+    Section {
+        /// Latency exponent `t`.
+        t: u32,
+    },
+}
+
+impl ReplayKey {
+    /// Extracts the replay key of a module number.
+    pub fn key_of(&self, module: ModuleId) -> u64 {
+        match *self {
+            ReplayKey::Module => module.get(),
+            ReplayKey::Supermodule { t } => module.supermodule(t),
+            ReplayKey::Section { t } => module.section(t),
+        }
+    }
+}
+
+/// Builds the conflict-free replay order.
+///
+/// The first subsequence is requested in its natural (Lemma 2/4) order;
+/// its key sequence is recorded; every other subsequence is requested in
+/// exactly that key order.
+///
+/// # Errors
+///
+/// * [`PlanError::LengthNotCompatible`] if the vector length is not a
+///   multiple of the structure's period;
+/// * [`PlanError::ReplayKeyCollision`] if some subsequence does not
+///   visit every key exactly once (the structure/key does not fit the
+///   mapping and family — e.g. a family outside the window).
+///
+/// # Examples
+///
+/// The paper's Section 3 example becomes conflict free under replay:
+///
+/// ```
+/// use cfva_core::dist::{is_conflict_free, temporal_distribution};
+/// use cfva_core::mapping::XorMatched;
+/// use cfva_core::order::{replay_order, ReplayKey, SubseqStructure};
+/// use cfva_core::VectorSpec;
+///
+/// let map = XorMatched::new(3, 3)?;
+/// let vec = VectorSpec::new(16, 12, 64)?;
+/// let st = SubseqStructure::for_matched(&map, vec.family())?;
+/// let order = replay_order(&map, &vec, &st, ReplayKey::Module)?;
+/// let td = temporal_distribution(&map, &vec, &order);
+/// assert!(is_conflict_free(&td, 8));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn replay_order<M: ModuleMap + ?Sized>(
+    map: &M,
+    vec: &VectorSpec,
+    structure: &SubseqStructure,
+    key: ReplayKey,
+) -> Result<Vec<u64>, PlanError> {
+    let periods = structure.periods_in(vec.len())?;
+    let subseq_len = structure.subseq_len() as usize;
+    let mut order = Vec::with_capacity(vec.len() as usize);
+
+    // Key sequence of the first subsequence, recorded as key -> rank.
+    let mut key_rank: Vec<Option<usize>> = Vec::new();
+    let mut first_keys: Vec<u64> = Vec::with_capacity(subseq_len);
+
+    for k in 0..periods {
+        for j in 0..structure.subseq_count() {
+            if k == 0 && j == 0 {
+                for e in structure.subsequence_elements(0, 0) {
+                    let kk = key.key_of(map.module_of(vec.element_addr(e)));
+                    if kk as usize >= key_rank.len() {
+                        key_rank.resize(kk as usize + 1, None);
+                    }
+                    if key_rank[kk as usize].is_some() {
+                        return Err(PlanError::ReplayKeyCollision { period: 0, subseq: 0 });
+                    }
+                    key_rank[kk as usize] = Some(first_keys.len());
+                    first_keys.push(kk);
+                    order.push(e);
+                }
+                continue;
+            }
+            // Replay: place each element at the rank of its key.
+            let mut slots: Vec<Option<u64>> = vec![None; subseq_len];
+            for e in structure.subsequence_elements(k, j) {
+                let kk = key.key_of(map.module_of(vec.element_addr(e)));
+                let rank = key_rank
+                    .get(kk as usize)
+                    .copied()
+                    .flatten()
+                    .ok_or(PlanError::ReplayKeyCollision { period: k, subseq: j })?;
+                if slots[rank].is_some() {
+                    return Err(PlanError::ReplayKeyCollision { period: k, subseq: j });
+                }
+                slots[rank] = Some(e);
+            }
+            for slot in slots {
+                // All keys hit exactly once, so every slot is filled.
+                order.push(slot.expect("bijective key assignment fills every slot"));
+            }
+        }
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{is_conflict_free, temporal_distribution};
+    use crate::mapping::{XorMatched, XorUnmatched};
+    use crate::order::is_permutation;
+
+    #[test]
+    fn key_extraction() {
+        let m = ModuleId::new(0b10_11);
+        assert_eq!(ReplayKey::Module.key_of(m), 0b1011);
+        assert_eq!(ReplayKey::Supermodule { t: 2 }.key_of(m), 0b11);
+        assert_eq!(ReplayKey::Section { t: 2 }.key_of(m), 0b10);
+    }
+
+    #[test]
+    fn paper_example_becomes_conflict_free() {
+        let map = XorMatched::new(3, 3).unwrap();
+        let vec = VectorSpec::new(16, 12, 64).unwrap();
+        let st = SubseqStructure::for_matched(&map, vec.family()).unwrap();
+        let order = replay_order(&map, &vec, &st, ReplayKey::Module).unwrap();
+        assert!(is_permutation(&order, 64));
+        let td = temporal_distribution(&map, &vec, &order);
+        assert!(is_conflict_free(&td, 8));
+        // Every subsequence now shows the same module sequence as the
+        // first: (2,5,0,3,6,1,4,7).
+        for chunk in td.chunks(8) {
+            let mods: Vec<u64> = chunk.iter().map(|m| m.get()).collect();
+            assert_eq!(mods, vec![2, 5, 0, 3, 6, 1, 4, 7]);
+        }
+    }
+
+    #[test]
+    fn first_subsequence_keeps_natural_order() {
+        let map = XorMatched::new(3, 3).unwrap();
+        let vec = VectorSpec::new(16, 12, 64).unwrap();
+        let st = SubseqStructure::for_matched(&map, vec.family()).unwrap();
+        let order = replay_order(&map, &vec, &st, ReplayKey::Module).unwrap();
+        assert_eq!(&order[..8], &[0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn unmatched_upper_window_section_replay() {
+        // Section 4.1 second example: x = 6, sigma = 3, A1 = 0 on the
+        // Figure 7 map. Subsequence modules (0,12,8,4) and (4,0,12,8):
+        // plain subsequence order conflicts, section replay does not.
+        let map = XorUnmatched::new(2, 3, 7).unwrap();
+        let vec = VectorSpec::new(0, 192, 8).unwrap();
+        let st = SubseqStructure::for_unmatched_upper(&map, vec.family()).unwrap();
+        assert_eq!(st.subseq_count(), 2);
+
+        let order = replay_order(&map, &vec, &st, ReplayKey::Section { t: 2 }).unwrap();
+        let td = temporal_distribution(&map, &vec, &order);
+        assert!(is_conflict_free(&td, 4), "temporal {td:?}");
+
+        // Second subsequence is replayed in the section order of the
+        // first: sections (0,3,2,1) -> elements with modules (0,12,8,4).
+        let mods: Vec<u64> = td.iter().map(|m| m.get()).collect();
+        assert_eq!(mods, vec![0, 12, 8, 4, 0, 12, 8, 4]);
+    }
+
+    #[test]
+    fn unmatched_lower_window_supermodule_replay() {
+        // Lower-window family on the Figure 7 map: x = 1, many bases.
+        let map = XorUnmatched::new(2, 3, 7).unwrap();
+        for base in [0u64, 6, 100, 129, 1000] {
+            for sigma in [1i64, 3, 5] {
+                let vec = VectorSpec::new(base, sigma << 1, 64).unwrap();
+                let st = SubseqStructure::for_unmatched_lower(&map, vec.family()).unwrap();
+                let order =
+                    replay_order(&map, &vec, &st, ReplayKey::Supermodule { t: 2 }).unwrap();
+                assert!(is_permutation(&order, 64));
+                let td = temporal_distribution(&map, &vec, &order);
+                assert!(
+                    is_conflict_free(&td, 4),
+                    "base {base} sigma {sigma}: {td:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        // Module-keyed replay on an unmatched lower-window family
+        // fails: a subsequence visits supermodules, not all modules.
+        let map = XorUnmatched::new(2, 3, 7).unwrap();
+        let vec = VectorSpec::new(0, 192, 8).unwrap(); // x = 6 upper window
+        let st = SubseqStructure::for_unmatched_upper(&map, vec.family()).unwrap();
+        // Supermodule key collides: all elements share supermodule 0.
+        let err = replay_order(&map, &vec, &st, ReplayKey::Supermodule { t: 2 });
+        assert!(matches!(err, Err(PlanError::ReplayKeyCollision { .. })));
+    }
+
+    #[test]
+    fn out_of_window_family_collides() {
+        // x = 4 > s = 3 on the matched map: force a structure as if
+        // x = s; keys collide because the spatial distribution is too
+        // narrow.
+        let map = XorMatched::new(3, 3).unwrap();
+        let vec = VectorSpec::new(0, 16, 64).unwrap(); // x = 4
+        let st = SubseqStructure::new(1, 8);
+        let err = replay_order(&map, &vec, &st, ReplayKey::Module);
+        assert!(matches!(err, Err(PlanError::ReplayKeyCollision { .. })));
+    }
+
+    #[test]
+    fn replay_works_for_non_pow2_multiples_of_period() {
+        // Section 5C: V = k·2^{w+t-x} with k = 3 (not a power of two).
+        let map = XorMatched::new(3, 3).unwrap();
+        let vec = VectorSpec::new(16, 12, 48).unwrap(); // 3 periods of 16
+        let st = SubseqStructure::for_matched(&map, vec.family()).unwrap();
+        let order = replay_order(&map, &vec, &st, ReplayKey::Module).unwrap();
+        assert!(is_permutation(&order, 48));
+        let td = temporal_distribution(&map, &vec, &order);
+        assert!(is_conflict_free(&td, 8));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let map = XorMatched::new(3, 3).unwrap();
+        let vec = VectorSpec::new(16, 12, 40).unwrap(); // not k·16
+        let st = SubseqStructure::for_matched(&map, vec.family()).unwrap();
+        assert!(matches!(
+            replay_order(&map, &vec, &st, ReplayKey::Module),
+            Err(PlanError::LengthNotCompatible { .. })
+        ));
+    }
+}

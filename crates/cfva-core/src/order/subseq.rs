@@ -1,0 +1,333 @@
+//! The Section 3.1 subsequence ordering (Figure 4).
+//!
+//! For a stride family `x ≤ s` (matched map, Lemma 2) the `P = 2^{s+t−x}`
+//! elements of one period split into `J = 2^{s−x}` interleaved
+//! subsequences of `2^t` elements: subsequence `j` holds elements
+//! `j, j+J, j+2J, …` whose addresses differ by `σ·2^s` — and those all
+//! live in different modules. The Figure 4 control requests the vector
+//! subsequence by subsequence, period by period.
+//!
+//! The same structure with `y` in place of `s` gives the Lemma 4
+//! subsequences of the unmatched map (elements `σ·2^y` apart, landing in
+//! distinct *sections*).
+
+use crate::error::PlanError;
+use crate::mapping::{XorMatched, XorUnmatched};
+use crate::stride::StrideFamily;
+
+/// The subsequence structure of a vector access: how one period of the
+/// module sequence decomposes into conflict-free subsequences.
+///
+/// Invariant: `period == subseq_count · subseq_len`.
+///
+/// # Examples
+///
+/// The paper's Section 3 example — `t = s = 3`, stride family `x = 2`:
+/// a 16-element period splits into 2 subsequences of 8:
+///
+/// ```
+/// use cfva_core::order::SubseqStructure;
+/// use cfva_core::mapping::XorMatched;
+///
+/// let map = XorMatched::new(3, 3)?;
+/// let st = SubseqStructure::for_matched(&map, 2.into())?;
+/// assert_eq!(st.period(), 16);
+/// assert_eq!(st.subseq_count(), 2);
+/// assert_eq!(st.subseq_len(), 8);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubseqStructure {
+    subseq_count: u64,
+    subseq_len: u64,
+}
+
+impl SubseqStructure {
+    /// Builds the structure directly from a subsequence count and
+    /// length. Prefer the `for_*` constructors, which derive these from
+    /// a mapping.
+    pub const fn new(subseq_count: u64, subseq_len: u64) -> Self {
+        SubseqStructure {
+            subseq_count,
+            subseq_len,
+        }
+    }
+
+    /// Lemma 2 structure for the matched map: family `x ≤ s` splits each
+    /// period of `2^{s+t−x}` elements into `2^{s−x}` subsequences of
+    /// `2^t`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::FamilyOutsideWindow`] if `x > s` (the period visits
+    /// fewer than `T` modules; no conflict-free subsequence structure
+    /// exists).
+    pub fn for_matched(map: &XorMatched, family: StrideFamily) -> Result<Self, PlanError> {
+        let x = family.exponent();
+        if x > map.s() {
+            return Err(PlanError::FamilyOutsideWindow {
+                family: x,
+                lo: 0,
+                hi: map.s(),
+            });
+        }
+        Ok(SubseqStructure {
+            subseq_count: 1u64 << (map.s() - x),
+            subseq_len: 1u64 << map.t(),
+        })
+    }
+
+    /// Lemma 2 structure on the unmatched map's *lower* window
+    /// (`x ≤ s`): subsequences step by `σ·2^s` and cover all `2^t`
+    /// supermodules. Note the grouping granule is `2^{s+t−x}` — smaller
+    /// than the full mapping period `2^{y+t−x}`.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::FamilyOutsideWindow`] if `x > s`.
+    pub fn for_unmatched_lower(
+        map: &XorUnmatched,
+        family: StrideFamily,
+    ) -> Result<Self, PlanError> {
+        let x = family.exponent();
+        if x > map.s() {
+            return Err(PlanError::FamilyOutsideWindow {
+                family: x,
+                lo: 0,
+                hi: map.s(),
+            });
+        }
+        Ok(SubseqStructure {
+            subseq_count: 1u64 << (map.s() - x),
+            subseq_len: 1u64 << map.t(),
+        })
+    }
+
+    /// Lemma 4 structure on the unmatched map's *upper* window
+    /// (`x ≤ y`): subsequences step by `σ·2^y` and cover all `2^t`
+    /// sections.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::FamilyOutsideWindow`] if `x > y`.
+    pub fn for_unmatched_upper(
+        map: &XorUnmatched,
+        family: StrideFamily,
+    ) -> Result<Self, PlanError> {
+        let x = family.exponent();
+        if x > map.y() {
+            return Err(PlanError::FamilyOutsideWindow {
+                family: x,
+                lo: 0,
+                hi: map.y(),
+            });
+        }
+        Ok(SubseqStructure {
+            subseq_count: 1u64 << (map.y() - x),
+            subseq_len: 1u64 << map.t(),
+        })
+    }
+
+    /// Elements per period, `subseq_count · subseq_len`.
+    pub const fn period(&self) -> u64 {
+        self.subseq_count * self.subseq_len
+    }
+
+    /// Number of subsequences per period (`2^{s−x}` or `2^{y−x}`).
+    pub const fn subseq_count(&self) -> u64 {
+        self.subseq_count
+    }
+
+    /// Elements per subsequence (`2^t`).
+    pub const fn subseq_len(&self) -> u64 {
+        self.subseq_len
+    }
+
+    /// Number of whole periods in a vector of length `len`, or an error
+    /// if the length is not a multiple of the period (Theorem 2 requires
+    /// `L = k·P_x`).
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::LengthNotCompatible`] when `len` is not a multiple
+    /// of [`period`](Self::period).
+    pub fn periods_in(&self, len: u64) -> Result<u64, PlanError> {
+        let p = self.period();
+        if !len.is_multiple_of(p) {
+            return Err(PlanError::LengthNotCompatible {
+                len,
+                granule: p,
+            });
+        }
+        Ok(len / p)
+    }
+
+    /// The element indices of subsequence `j` of period `k`:
+    /// `k·P + j + i·J` for `i = 0 .. 2^t`.
+    pub fn subsequence_elements(&self, k: u64, j: u64) -> impl Iterator<Item = u64> + '_ {
+        let start = k * self.period() + j;
+        (0..self.subseq_len).map(move |i| start + i * self.subseq_count)
+    }
+}
+
+/// The Figure 4 request order: for each period, for each subsequence,
+/// request its `2^t` elements (addresses `σ·2^{s}` — or `σ·2^{y}` —
+/// apart).
+///
+/// Each subsequence's temporal distribution is conflict free (Lemma 2 /
+/// Lemma 4); the whole vector is not necessarily, but Section 3.1 shows
+/// the added latency is at most `T − 1` cycles given two input buffers
+/// and one output buffer per module.
+///
+/// # Errors
+///
+/// [`PlanError::LengthNotCompatible`] when `len` is not a multiple of
+/// the structure's period.
+///
+/// # Examples
+///
+/// ```
+/// use cfva_core::order::{subseq_order, SubseqStructure};
+///
+/// // 2 subsequences of 4: elements interleave even/odd.
+/// let st = SubseqStructure::new(2, 4);
+/// let order = subseq_order(&st, 8)?;
+/// assert_eq!(order, vec![0, 2, 4, 6, 1, 3, 5, 7]);
+/// # Ok::<(), cfva_core::PlanError>(())
+/// ```
+pub fn subseq_order(structure: &SubseqStructure, len: u64) -> Result<Vec<u64>, PlanError> {
+    let periods = structure.periods_in(len)?;
+    let mut order = Vec::with_capacity(len as usize);
+    for k in 0..periods {
+        for j in 0..structure.subseq_count() {
+            order.extend(structure.subsequence_elements(k, j));
+        }
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{is_conflict_free, temporal_distribution};
+    use crate::mapping::ModuleMap;
+    use crate::order::is_permutation;
+    use crate::vector::VectorSpec;
+
+    #[test]
+    fn paper_section_3_1_example() {
+        // t = s = 3, stride 12 (x = 2), A1 = 16, L = 64.
+        // First period: subsequences (0,2,...,14) and (1,3,...,15) in
+        // modules (2,5,0,3,6,1,4,7) and (7,2,5,0,3,6,1,4).
+        let map = XorMatched::new(3, 3).unwrap();
+        let vec = VectorSpec::new(16, 12, 64).unwrap();
+        let st = SubseqStructure::for_matched(&map, vec.family()).unwrap();
+        assert_eq!(st.period(), 16);
+        assert_eq!(st.subseq_count(), 2);
+
+        let sub0: Vec<u64> = st.subsequence_elements(0, 0).collect();
+        let sub1: Vec<u64> = st.subsequence_elements(0, 1).collect();
+        assert_eq!(sub0, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+        assert_eq!(sub1, vec![1, 3, 5, 7, 9, 11, 13, 15]);
+
+        let mods0: Vec<u64> = sub0
+            .iter()
+            .map(|&e| map.module_of(vec.element_addr(e)).get())
+            .collect();
+        let mods1: Vec<u64> = sub1
+            .iter()
+            .map(|&e| map.module_of(vec.element_addr(e)).get())
+            .collect();
+        assert_eq!(mods0, vec![2, 5, 0, 3, 6, 1, 4, 7]);
+        assert_eq!(mods1, vec![7, 2, 5, 0, 3, 6, 1, 4]);
+    }
+
+    #[test]
+    fn each_subsequence_is_conflict_free_but_whole_may_not_be() {
+        // The paper's observation: subsequences are individually
+        // conflict free, yet the concatenation need not be.
+        let map = XorMatched::new(3, 3).unwrap();
+        let vec = VectorSpec::new(16, 12, 64).unwrap();
+        let st = SubseqStructure::for_matched(&map, vec.family()).unwrap();
+        let order = subseq_order(&st, vec.len()).unwrap();
+        assert!(is_permutation(&order, 64));
+
+        // Per-subsequence: conflict free.
+        for chunk in order.chunks(st.subseq_len() as usize) {
+            let td = temporal_distribution(&map, &vec, chunk);
+            assert!(is_conflict_free(&td, 8));
+        }
+        // Whole vector: not conflict free for this stride/base.
+        let td = temporal_distribution(&map, &vec, &order);
+        assert!(!is_conflict_free(&td, 8));
+    }
+
+    #[test]
+    fn family_equal_s_degenerates_to_canonical() {
+        let map = XorMatched::new(3, 3).unwrap();
+        let st = SubseqStructure::for_matched(&map, 3.into()).unwrap();
+        assert_eq!(st.subseq_count(), 1);
+        let order = subseq_order(&st, 16).unwrap();
+        assert_eq!(order, (0..16).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn family_above_s_rejected() {
+        let map = XorMatched::new(3, 3).unwrap();
+        assert!(matches!(
+            SubseqStructure::for_matched(&map, 4.into()),
+            Err(PlanError::FamilyOutsideWindow { family: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn length_must_be_multiple_of_period() {
+        let st = SubseqStructure::new(2, 8); // period 16
+        assert!(subseq_order(&st, 16).is_ok());
+        assert!(subseq_order(&st, 48).is_ok()); // 3 periods: Section 5C case
+        assert!(matches!(
+            subseq_order(&st, 24),
+            Err(PlanError::LengthNotCompatible { len: 24, granule: 16 })
+        ));
+    }
+
+    #[test]
+    fn unmatched_lower_window_structure() {
+        // Figure 7 map: t = 2, s = 3, y = 7; x = 1 <= s.
+        let map = XorUnmatched::new(2, 3, 7).unwrap();
+        let st = SubseqStructure::for_unmatched_lower(&map, 1.into()).unwrap();
+        assert_eq!(st.subseq_count(), 4); // 2^{s-x} = 4
+        assert_eq!(st.subseq_len(), 4); // 2^t
+        assert_eq!(st.period(), 16); // the *mini*-period 2^{s+t-x}
+        assert!(SubseqStructure::for_unmatched_lower(&map, 4.into()).is_err());
+    }
+
+    #[test]
+    fn unmatched_upper_window_structure_matches_lemma_4() {
+        // Figure 7 map, x = 4: 8 subsequences of 4 over period 32, and
+        // each subsequence visits 4 distinct sections.
+        let map = XorUnmatched::new(2, 3, 7).unwrap();
+        let vec = VectorSpec::new(6, 16, 32).unwrap();
+        let st = SubseqStructure::for_unmatched_upper(&map, vec.family()).unwrap();
+        assert_eq!(st.subseq_count(), 8);
+        assert_eq!(st.period(), 32);
+        for j in 0..8 {
+            let sections: std::collections::BTreeSet<u64> = st
+                .subsequence_elements(0, j)
+                .map(|e| map.section_of(vec.element_addr(e)))
+                .collect();
+            assert_eq!(sections.len(), 4, "subsequence {j}");
+        }
+    }
+
+    #[test]
+    fn multi_period_order_covers_everything_in_blocks() {
+        let st = SubseqStructure::new(4, 2); // period 8
+        let order = subseq_order(&st, 16).unwrap();
+        assert_eq!(
+            order,
+            vec![0, 4, 1, 5, 2, 6, 3, 7, 8, 12, 9, 13, 10, 14, 11, 15]
+        );
+        assert!(is_permutation(&order, 16));
+    }
+}

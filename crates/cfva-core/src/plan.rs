@@ -1,0 +1,632 @@
+//! Access plans: the fully resolved request stream of one vector access.
+//!
+//! An [`AccessPlan`] is what the memory-access module of the processor
+//! actually executes: one entry per cycle, each naming the element
+//! requested, its address, the module it lives in, and the vector
+//! register slot the datum must be written to (always the element index
+//! — out-of-order return is absorbed by a random-access register file,
+//! paper Section 5D).
+//!
+//! A [`Planner`] builds plans from a mapping and a [`Strategy`].
+
+use std::fmt;
+
+use crate::address::{Addr, ModuleId};
+use crate::dist;
+use crate::error::PlanError;
+use crate::mapping::{ModuleMap, XorMatched, XorUnmatched};
+use crate::order::{
+    self, canonical_order, replay_order, subseq_order, ReplayKey, SubseqStructure,
+};
+use crate::vector::VectorSpec;
+use crate::window::{MatchedWindow, ReplayKind, UnmatchedWindow};
+
+/// One request of an access plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanEntry {
+    element: u64,
+    addr: Addr,
+    module: ModuleId,
+}
+
+impl PlanEntry {
+    /// Element index within the vector (also the register slot the
+    /// returned datum is written to).
+    pub const fn element(&self) -> u64 {
+        self.element
+    }
+
+    /// Memory address of the element.
+    pub const fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Module the element lives in.
+    pub const fn module(&self) -> ModuleId {
+        self.module
+    }
+
+    /// Register slot the returned datum goes to (the element index).
+    pub const fn register_slot(&self) -> u64 {
+        self.element
+    }
+}
+
+/// The resolved request stream of one vector access: entries in request
+/// order, one per processor cycle (ignoring stalls).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessPlan {
+    entries: Vec<PlanEntry>,
+}
+
+impl AccessPlan {
+    /// Resolves an element order into a plan under a mapping.
+    ///
+    /// `order[k]` is the element requested at step `k`; it must be a
+    /// permutation of `0..vec.len()` (checked by
+    /// [`debug_assert!`]; orders from [`crate::order`] always are).
+    pub fn from_order<M: ModuleMap + ?Sized>(
+        map: &M,
+        vec: &VectorSpec,
+        order: &[u64],
+    ) -> Self {
+        debug_assert!(
+            order::is_permutation(order, vec.len()),
+            "order must be a permutation of 0..{}",
+            vec.len()
+        );
+        let entries = order
+            .iter()
+            .map(|&element| {
+                let addr = vec.element_addr(element);
+                PlanEntry {
+                    element,
+                    addr,
+                    module: map.module_of(addr),
+                }
+            })
+            .collect();
+        AccessPlan { entries }
+    }
+
+    /// Number of requests (the vector length).
+    pub fn len(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Returns `true` if the plan has no requests.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The plan entries in request order.
+    pub fn entries(&self) -> &[PlanEntry] {
+        &self.entries
+    }
+
+    /// Iterates the entries in request order.
+    pub fn iter(&self) -> std::slice::Iter<'_, PlanEntry> {
+        self.entries.iter()
+    }
+
+    /// The element indices in request order.
+    pub fn element_order(&self) -> Vec<u64> {
+        self.entries.iter().map(|e| e.element).collect()
+    }
+
+    /// The module sequence (temporal distribution) of the plan.
+    pub fn module_sequence(&self) -> Vec<ModuleId> {
+        self.entries.iter().map(|e| e.module).collect()
+    }
+
+    /// Whether every window of `t_cycles` consecutive requests touches
+    /// `t_cycles` distinct modules — the paper's conflict-free
+    /// condition.
+    pub fn is_conflict_free(&self, t_cycles: u64) -> bool {
+        dist::is_conflict_free(&self.module_sequence(), t_cycles)
+    }
+
+    /// Position of the first conflicting request, or `None`.
+    pub fn first_conflict(&self, t_cycles: u64) -> Option<usize> {
+        dist::first_conflict(&self.module_sequence(), t_cycles)
+    }
+
+    /// Number of conflicting requests.
+    pub fn conflict_count(&self, t_cycles: u64) -> usize {
+        dist::conflict_count(&self.module_sequence(), t_cycles)
+    }
+
+    /// Whether the requests are in element order.
+    pub fn is_in_order(&self) -> bool {
+        self.entries
+            .iter()
+            .enumerate()
+            .all(|(k, e)| e.element == k as u64)
+    }
+
+    /// Minimum possible latency of this access on a conflict-free
+    /// memory: `T + L + 1` cycles (Section 2).
+    pub fn min_latency(&self, t_cycles: u64) -> u64 {
+        t_cycles + self.len() + 1
+    }
+
+    /// Concatenates request streams for back-to-back issue — the
+    /// Section 5C pattern where the out-of-order prefix of a short
+    /// vector and its in-order tail are issued as one stream, paying the
+    /// memory startup only once.
+    ///
+    /// Element indices (= register slots) of later plans are offset by
+    /// the lengths of the earlier ones, so the combined plan stays a
+    /// permutation of `0..total`.
+    pub fn concat<'a, I>(plans: I) -> AccessPlan
+    where
+        I: IntoIterator<Item = &'a AccessPlan>,
+    {
+        let mut entries = Vec::new();
+        let mut offset = 0u64;
+        for plan in plans {
+            entries.extend(plan.entries().iter().map(|e| PlanEntry {
+                element: e.element + offset,
+                addr: e.addr,
+                module: e.module,
+            }));
+            offset += plan.len();
+        }
+        AccessPlan { entries }
+    }
+}
+
+impl<'a> IntoIterator for &'a AccessPlan {
+    type Item = &'a PlanEntry;
+    type IntoIter = std::slice::Iter<'a, PlanEntry>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// How the planner orders requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Strategy {
+    /// In element order — what every pre-1992 scheme does.
+    Canonical,
+    /// The Section 3.1 subsequence order (Figure 4): conflict free per
+    /// subsequence, whole-vector latency within `2T + L` given `q = 2`
+    /// input buffers.
+    Subsequence,
+    /// The Section 3.2/4.2 replay order: whole-vector conflict free,
+    /// latency `T + L + 1`, no memory buffers needed.
+    ConflictFree,
+    /// Choose the best available: `ConflictFree` when the family is in
+    /// the window, then `Subsequence`, then `Canonical`.
+    #[default]
+    Auto,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Strategy::Canonical => "canonical",
+            Strategy::Subsequence => "subsequence",
+            Strategy::ConflictFree => "conflict-free",
+            Strategy::Auto => "auto",
+        };
+        write!(f, "{name}")
+    }
+}
+
+enum PlannerKind {
+    Matched(XorMatched),
+    Unmatched(XorUnmatched),
+    Baseline {
+        map: Box<dyn ModuleMap + Send + Sync>,
+        t: u32,
+    },
+}
+
+impl fmt::Debug for PlannerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlannerKind::Matched(m) => f.debug_tuple("Matched").field(m).finish(),
+            PlannerKind::Unmatched(m) => f.debug_tuple("Unmatched").field(m).finish(),
+            PlannerKind::Baseline { t, .. } => f
+                .debug_struct("Baseline")
+                .field("t", t)
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+/// Builds [`AccessPlan`]s for vector accesses under a chosen mapping.
+///
+/// Three constructors select the memory organisation:
+///
+/// * [`Planner::matched`] — `M = T` modules with the paper's equation
+///   (1) map; out-of-order strategies serve the Theorem 1 window.
+/// * [`Planner::unmatched`] — `M = T²` modules with the equation (2)
+///   map; out-of-order strategies serve the Theorem 3 windows using
+///   supermodule or section replay automatically.
+/// * [`Planner::baseline`] — any [`ModuleMap`] (interleaving,
+///   skewing, …) restricted to canonical in-order access: the prior art
+///   the paper compares against.
+///
+/// # Examples
+///
+/// ```
+/// use cfva_core::mapping::XorMatched;
+/// use cfva_core::plan::{Planner, Strategy};
+/// use cfva_core::VectorSpec;
+///
+/// let planner = Planner::matched(XorMatched::new(3, 4)?);
+/// let vec = VectorSpec::new(1000, 24, 128)?; // stride 24 = 3·2^3
+/// let plan = planner.plan(&vec, Strategy::Auto)?;
+/// assert!(plan.is_conflict_free(8));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Planner {
+    kind: PlannerKind,
+}
+
+impl Planner {
+    /// Planner for a matched memory (`M = T`) under [`XorMatched`].
+    pub fn matched(map: XorMatched) -> Self {
+        Planner {
+            kind: PlannerKind::Matched(map),
+        }
+    }
+
+    /// Planner for an unmatched memory (`M = T²`) under
+    /// [`XorUnmatched`].
+    pub fn unmatched(map: XorUnmatched) -> Self {
+        Planner {
+            kind: PlannerKind::Unmatched(map),
+        }
+    }
+
+    /// Planner for an arbitrary mapping restricted to in-order access;
+    /// `t` is the module latency exponent (`T = 2^t`).
+    pub fn baseline<M: ModuleMap + Send + Sync + 'static>(map: M, t: u32) -> Self {
+        Planner {
+            kind: PlannerKind::Baseline {
+                map: Box::new(map),
+                t,
+            },
+        }
+    }
+
+    /// The module map in use.
+    pub fn map(&self) -> &dyn ModuleMap {
+        match &self.kind {
+            PlannerKind::Matched(m) => m,
+            PlannerKind::Unmatched(m) => m,
+            PlannerKind::Baseline { map, .. } => map,
+        }
+    }
+
+    /// Module latency exponent `t`.
+    pub fn t(&self) -> u32 {
+        match &self.kind {
+            PlannerKind::Matched(m) => m.t(),
+            PlannerKind::Unmatched(m) => m.t(),
+            PlannerKind::Baseline { t, .. } => *t,
+        }
+    }
+
+    /// Module latency `T = 2^t` in processor cycles.
+    pub fn t_cycles(&self) -> u64 {
+        1u64 << self.t()
+    }
+
+    /// Number of memory modules.
+    pub fn module_count(&self) -> u64 {
+        self.map().module_count()
+    }
+
+    /// The conflict-free window for register-length vectors `L = 2^λ`,
+    /// as `(lo, hi)` family exponents, or `None` for a baseline planner
+    /// (whose single in-order family depends on the map).
+    pub fn window(&self, lambda: u32) -> Option<(u32, u32)> {
+        match &self.kind {
+            PlannerKind::Matched(m) => {
+                let w = MatchedWindow::new(m.t(), m.s(), lambda);
+                Some((w.lo(), w.hi()))
+            }
+            PlannerKind::Unmatched(m) => {
+                let w = UnmatchedWindow::new(m.t(), m.s(), m.y(), lambda);
+                let (lo, _) = w.lower();
+                let (_, hi) = w.upper();
+                Some((lo, hi))
+            }
+            PlannerKind::Baseline { .. } => None,
+        }
+    }
+
+    /// Builds the plan for `vec` with the requested strategy.
+    ///
+    /// # Errors
+    ///
+    /// * [`PlanError::FamilyOutsideWindow`] — an out-of-order strategy
+    ///   was requested for a family it cannot serve;
+    /// * [`PlanError::LengthNotCompatible`] — the length is not a
+    ///   multiple of the subsequence period (`L = k·P_x` violated);
+    /// * [`PlanError::UnsupportedStrategy`] — out-of-order strategy on a
+    ///   baseline planner.
+    pub fn plan(&self, vec: &VectorSpec, strategy: Strategy) -> Result<AccessPlan, PlanError> {
+        match strategy {
+            Strategy::Canonical => Ok(self.canonical(vec)),
+            Strategy::Subsequence => self.subsequence(vec),
+            Strategy::ConflictFree => self.conflict_free(vec),
+            Strategy::Auto => Ok(self
+                .conflict_free(vec)
+                .or_else(|_| self.subsequence(vec))
+                .unwrap_or_else(|_| self.canonical(vec))),
+        }
+    }
+
+    fn canonical(&self, vec: &VectorSpec) -> AccessPlan {
+        AccessPlan::from_order(&self.map(), vec, &canonical_order(vec.len()))
+    }
+
+    fn subsequence(&self, vec: &VectorSpec) -> Result<AccessPlan, PlanError> {
+        let x = vec.family();
+        match &self.kind {
+            PlannerKind::Matched(m) => {
+                let st = SubseqStructure::for_matched(m, x)?;
+                let order = subseq_order(&st, vec.len())?;
+                Ok(AccessPlan::from_order(m, vec, &order))
+            }
+            PlannerKind::Unmatched(m) => {
+                let st = if x.exponent() <= m.s() {
+                    SubseqStructure::for_unmatched_lower(m, x)?
+                } else {
+                    SubseqStructure::for_unmatched_upper(m, x)?
+                };
+                let order = subseq_order(&st, vec.len())?;
+                Ok(AccessPlan::from_order(m, vec, &order))
+            }
+            PlannerKind::Baseline { .. } => Err(PlanError::UnsupportedStrategy {
+                strategy: "subsequence",
+                reason: "baseline planners access in order only",
+            }),
+        }
+    }
+
+    fn conflict_free(&self, vec: &VectorSpec) -> Result<AccessPlan, PlanError> {
+        let x = vec.family();
+        match &self.kind {
+            PlannerKind::Matched(m) => {
+                if x.exponent() == m.s() {
+                    // In-order access is conflict free for the map's own
+                    // family, for any length and base (Harper's result).
+                    return Ok(self.canonical(vec));
+                }
+                let st = SubseqStructure::for_matched(m, x)?;
+                let order = replay_order(m, vec, &st, ReplayKey::Module)?;
+                Ok(AccessPlan::from_order(m, vec, &order))
+            }
+            PlannerKind::Unmatched(m) => {
+                // Choose the replay kind per Section 4.2; for
+                // register-length vectors this matches Theorem 3's
+                // windows, and for other lengths the divisibility check
+                // inside replay_order is the arbiter.
+                let kind = if x.exponent() <= m.s() {
+                    ReplayKind::Supermodule
+                } else if x.exponent() <= m.y() {
+                    ReplayKind::Section
+                } else if let Some(lambda) = vec.lambda() {
+                    let w = UnmatchedWindow::new(m.t(), m.s(), m.y(), lambda);
+                    let (lo, _) = w.lower();
+                    return Err(PlanError::FamilyOutsideWindow {
+                        family: x.exponent(),
+                        lo,
+                        hi: w.upper().1,
+                    });
+                } else {
+                    return Err(PlanError::FamilyOutsideWindow {
+                        family: x.exponent(),
+                        lo: 0,
+                        hi: m.y(),
+                    });
+                };
+                let (st, key) = match kind {
+                    ReplayKind::Supermodule => (
+                        SubseqStructure::for_unmatched_lower(m, x)?,
+                        ReplayKey::Supermodule { t: m.t() },
+                    ),
+                    ReplayKind::Section => (
+                        SubseqStructure::for_unmatched_upper(m, x)?,
+                        ReplayKey::Section { t: m.t() },
+                    ),
+                };
+                let order = replay_order(m, vec, &st, key)?;
+                Ok(AccessPlan::from_order(m, vec, &order))
+            }
+            PlannerKind::Baseline { .. } => Err(PlanError::UnsupportedStrategy {
+                strategy: "conflict-free",
+                reason: "baseline planners access in order only",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::Interleaved;
+
+    fn matched_planner() -> Planner {
+        Planner::matched(XorMatched::new(3, 3).unwrap())
+    }
+
+    #[test]
+    fn plan_entries_carry_addresses_and_modules() {
+        let planner = matched_planner();
+        let vec = VectorSpec::new(16, 12, 16).unwrap();
+        let plan = planner.plan(&vec, Strategy::Canonical).unwrap();
+        assert_eq!(plan.len(), 16);
+        let e = &plan.entries()[1];
+        assert_eq!(e.element(), 1);
+        assert_eq!(e.addr().get(), 28);
+        assert_eq!(e.module().get(), 7);
+        assert_eq!(e.register_slot(), 1);
+    }
+
+    #[test]
+    fn canonical_plan_is_in_order() {
+        let planner = matched_planner();
+        let vec = VectorSpec::new(16, 12, 64).unwrap();
+        let plan = planner.plan(&vec, Strategy::Canonical).unwrap();
+        assert!(plan.is_in_order());
+        assert!(!plan.is_conflict_free(8));
+        assert_eq!(plan.first_conflict(8), Some(3)); // CTP 2,7,5,2 -> repeat at 3
+    }
+
+    #[test]
+    fn conflict_free_plan_for_window_family() {
+        let planner = matched_planner();
+        let vec = VectorSpec::new(16, 12, 64).unwrap();
+        let plan = planner.plan(&vec, Strategy::ConflictFree).unwrap();
+        assert!(plan.is_conflict_free(8));
+        assert!(!plan.is_in_order());
+        assert_eq!(plan.min_latency(8), 8 + 64 + 1);
+    }
+
+    #[test]
+    fn family_s_uses_in_order_conflict_free() {
+        let planner = matched_planner();
+        let vec = VectorSpec::new(5, 8, 64).unwrap(); // x = 3 = s
+        let plan = planner.plan(&vec, Strategy::ConflictFree).unwrap();
+        assert!(plan.is_in_order());
+        assert!(plan.is_conflict_free(8));
+    }
+
+    #[test]
+    fn out_of_window_family_fails_conflict_free() {
+        let planner = matched_planner();
+        let vec = VectorSpec::new(0, 16, 64).unwrap(); // x = 4 > s
+        assert!(matches!(
+            planner.plan(&vec, Strategy::ConflictFree),
+            Err(PlanError::FamilyOutsideWindow { family: 4, .. })
+        ));
+        // Auto falls back to canonical.
+        let plan = planner.plan(&vec, Strategy::Auto).unwrap();
+        assert!(plan.is_in_order());
+    }
+
+    #[test]
+    fn too_short_vector_fails_but_auto_degrades() {
+        // x = 0 needs P = 64 per period; L = 32 < 64.
+        let planner = matched_planner();
+        let vec = VectorSpec::new(3, 5, 32).unwrap();
+        assert!(matches!(
+            planner.plan(&vec, Strategy::ConflictFree),
+            Err(PlanError::LengthNotCompatible { .. })
+        ));
+        let plan = planner.plan(&vec, Strategy::Auto).unwrap();
+        assert!(plan.is_in_order());
+    }
+
+    #[test]
+    fn unmatched_planner_picks_replay_kind() {
+        let planner = Planner::unmatched(XorUnmatched::new(2, 3, 7).unwrap());
+        // Lower window: x = 1.
+        let vec = VectorSpec::new(6, 2, 64).unwrap();
+        let plan = planner.plan(&vec, Strategy::ConflictFree).unwrap();
+        assert!(plan.is_conflict_free(4));
+        // Upper window: x = 6 (sigma 3) — the Section 4.1 example.
+        let vec = VectorSpec::new(0, 192, 32).unwrap();
+        let plan = planner.plan(&vec, Strategy::ConflictFree).unwrap();
+        assert!(plan.is_conflict_free(4));
+        // Beyond the upper window: x = 8.
+        let vec = VectorSpec::new(0, 256, 32).unwrap();
+        assert!(planner.plan(&vec, Strategy::ConflictFree).is_err());
+    }
+
+    #[test]
+    fn baseline_planner_only_canonical() {
+        let planner = Planner::baseline(Interleaved::new(3), 3);
+        let vec = VectorSpec::new(0, 1, 64).unwrap();
+        assert!(planner.plan(&vec, Strategy::Canonical).is_ok());
+        assert!(matches!(
+            planner.plan(&vec, Strategy::ConflictFree),
+            Err(PlanError::UnsupportedStrategy { .. })
+        ));
+        assert!(matches!(
+            planner.plan(&vec, Strategy::Subsequence),
+            Err(PlanError::UnsupportedStrategy { .. })
+        ));
+        // Auto degrades to canonical.
+        let plan = planner.plan(&vec, Strategy::Auto).unwrap();
+        assert!(plan.is_in_order());
+        assert!(plan.is_conflict_free(8)); // odd stride on interleaving
+    }
+
+    #[test]
+    fn window_accessor() {
+        let planner = matched_planner();
+        assert_eq!(planner.window(6), Some((0, 3)));
+        assert_eq!(planner.t_cycles(), 8);
+        assert_eq!(planner.module_count(), 8);
+        let unmatched = Planner::unmatched(XorUnmatched::new(3, 4, 9).unwrap());
+        assert_eq!(unmatched.window(7), Some((0, 9)));
+        let base = Planner::baseline(Interleaved::new(3), 3);
+        assert_eq!(base.window(7), None);
+    }
+
+    #[test]
+    fn auto_prefers_conflict_free() {
+        let planner = matched_planner();
+        for (base, stride) in [(16u64, 12i64), (0, 1), (7, 6), (100, 4), (3, 8)] {
+            let vec = VectorSpec::new(base, stride, 64).unwrap();
+            let plan = planner.plan(&vec, Strategy::Auto).unwrap();
+            assert!(
+                plan.is_conflict_free(8),
+                "base {base} stride {stride} should be conflict free"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_iteration() {
+        let planner = matched_planner();
+        let vec = VectorSpec::new(0, 1, 8).unwrap();
+        let plan = planner.plan(&vec, Strategy::Canonical).unwrap();
+        let elements: Vec<u64> = (&plan).into_iter().map(|e| e.element()).collect();
+        assert_eq!(elements, (0..8).collect::<Vec<u64>>());
+        assert_eq!(plan.element_order(), elements);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn strategy_display_and_default() {
+        assert_eq!(Strategy::default(), Strategy::Auto);
+        assert_eq!(Strategy::Canonical.to_string(), "canonical");
+        assert_eq!(Strategy::ConflictFree.to_string(), "conflict-free");
+    }
+
+    #[test]
+    fn concat_offsets_register_slots() {
+        let planner = matched_planner();
+        let a = planner
+            .plan(&VectorSpec::new(0, 8, 16).unwrap(), Strategy::Canonical)
+            .unwrap();
+        let b = planner
+            .plan(&VectorSpec::new(1000, 8, 16).unwrap(), Strategy::Canonical)
+            .unwrap();
+        let combined = AccessPlan::concat([&a, &b]);
+        assert_eq!(combined.len(), 32);
+        // A permutation of 0..32: second plan's slots are offset.
+        let mut order = combined.element_order();
+        order.sort_unstable();
+        assert_eq!(order, (0..32).collect::<Vec<u64>>());
+        assert_eq!(combined.entries()[16].element(), 16);
+        assert_eq!(combined.entries()[16].addr().get(), 1000);
+    }
+
+    #[test]
+    fn concat_of_empty_is_empty() {
+        let combined = AccessPlan::concat(std::iter::empty::<&AccessPlan>());
+        assert!(combined.is_empty());
+    }
+}

@@ -1,0 +1,323 @@
+//! Strides and stride families.
+//!
+//! The paper classifies strides `S = σ·2^x` (`σ` odd) into **families**
+//! indexed by the exponent `x`; all schemes in this crate are analysed
+//! per family, because the module sequence of a vector depends on the
+//! stride only through `x` (and on `σ` only through a permutation of the
+//! visit order, Lemma 2).
+
+use std::fmt;
+
+use crate::error::ConfigError;
+
+/// A nonzero constant stride, decomposed as `S = σ·2^x` with `σ` odd.
+///
+/// Negative strides are supported (real vector ISAs allow them); the
+/// family decomposition applies to the magnitude, and all conflict
+/// properties are sign-independent because module sequences are merely
+/// reversed.
+///
+/// # Examples
+///
+/// ```
+/// use cfva_core::Stride;
+///
+/// let s = Stride::new(12)?; // 12 = 3 · 2^2
+/// assert_eq!(s.odd_part(), 3);
+/// assert_eq!(s.family().exponent(), 2);
+/// assert_eq!(s.get(), 12);
+/// # Ok::<(), cfva_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Stride {
+    value: i64,
+}
+
+impl Stride {
+    /// Creates a stride from its signed value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroStride`] if `value == 0`.
+    pub fn new(value: i64) -> Result<Self, ConfigError> {
+        if value == 0 {
+            return Err(ConfigError::ZeroStride);
+        }
+        Ok(Stride { value })
+    }
+
+    /// Builds the stride `σ·2^x` from an odd part and family exponent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::OutOfRange`] if `sigma` is even or the
+    /// product overflows `i64`, and [`ConfigError::ZeroStride`] if
+    /// `sigma == 0`.
+    pub fn from_parts(sigma: i64, x: u32) -> Result<Self, ConfigError> {
+        if sigma == 0 {
+            return Err(ConfigError::ZeroStride);
+        }
+        if sigma % 2 == 0 {
+            return Err(ConfigError::OutOfRange {
+                what: "sigma",
+                value: sigma.unsigned_abs(),
+                constraint: "sigma must be odd",
+            });
+        }
+        let value = sigma
+            .checked_mul(1i64.checked_shl(x).ok_or(ConfigError::OutOfRange {
+                what: "x",
+                value: x as u64,
+                constraint: "2^x must fit in i64",
+            })?)
+            .ok_or(ConfigError::OutOfRange {
+                what: "sigma * 2^x",
+                value: sigma.unsigned_abs(),
+                constraint: "must fit in i64",
+            })?;
+        Ok(Stride { value })
+    }
+
+    /// Returns the signed stride value.
+    pub const fn get(self) -> i64 {
+        self.value
+    }
+
+    /// Returns the magnitude of the stride.
+    pub const fn magnitude(self) -> u64 {
+        self.value.unsigned_abs()
+    }
+
+    /// Returns the odd part `σ` (signed: carries the stride's sign).
+    ///
+    /// ```
+    /// use cfva_core::Stride;
+    /// assert_eq!(Stride::new(-12)?.odd_part(), -3);
+    /// # Ok::<(), cfva_core::ConfigError>(())
+    /// ```
+    pub const fn odd_part(self) -> i64 {
+        self.value >> self.value.trailing_zeros()
+    }
+
+    /// Returns the family this stride belongs to.
+    pub const fn family(self) -> StrideFamily {
+        StrideFamily::new(self.value.trailing_zeros())
+    }
+
+    /// Returns `true` if the stride is odd (family `x = 0`).
+    pub const fn is_odd(self) -> bool {
+        self.value & 1 != 0
+    }
+}
+
+impl fmt::Display for Stride {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (= {}·2^{})",
+            self.value,
+            self.odd_part(),
+            self.family().exponent()
+        )
+    }
+}
+
+impl TryFrom<i64> for Stride {
+    type Error = ConfigError;
+
+    fn try_from(value: i64) -> Result<Self, Self::Error> {
+        Stride::new(value)
+    }
+}
+
+/// A family of strides: all `S = σ·2^x` with `σ` odd share the family
+/// with exponent `x`.
+///
+/// Half of all strides are odd (family 0), a quarter belong to family 1,
+/// and in general the fraction of strides in family `x` is `2^-(x+1)`
+/// (paper Section 5A). That weight is exposed as [`StrideFamily::weight`]
+/// and drives the efficiency model in [`crate::analysis`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct StrideFamily {
+    exponent: u32,
+}
+
+impl StrideFamily {
+    /// Creates the family with exponent `x`.
+    pub const fn new(exponent: u32) -> Self {
+        StrideFamily { exponent }
+    }
+
+    /// Returns the family exponent `x`.
+    pub const fn exponent(self) -> u32 {
+        self.exponent
+    }
+
+    /// Fraction of all (integer) strides that belong to this family,
+    /// `2^-(x+1)`, under the paper's uniform-odd-part model.
+    ///
+    /// ```
+    /// use cfva_core::StrideFamily;
+    /// assert_eq!(StrideFamily::new(0).weight(), 0.5);
+    /// assert_eq!(StrideFamily::new(4).weight(), 1.0 / 32.0);
+    /// ```
+    pub fn weight(self) -> f64 {
+        0.5f64.powi(self.exponent as i32 + 1)
+    }
+
+    /// Returns the smallest positive stride in the family (`σ = 1`).
+    pub const fn smallest_stride(self) -> i64 {
+        1i64 << self.exponent
+    }
+
+    /// Iterates the positive strides of this family not exceeding
+    /// `limit`, in increasing order: `2^x, 3·2^x, 5·2^x, …`.
+    ///
+    /// ```
+    /// use cfva_core::StrideFamily;
+    /// let strides: Vec<i64> = StrideFamily::new(2).strides_up_to(30).collect();
+    /// assert_eq!(strides, vec![4, 12, 20, 28]);
+    /// ```
+    pub fn strides_up_to(self, limit: i64) -> StridesUpTo {
+        StridesUpTo {
+            next_sigma: 1,
+            shift: self.exponent,
+            limit,
+        }
+    }
+}
+
+impl fmt::Display for StrideFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "family x = {}", self.exponent)
+    }
+}
+
+impl From<u32> for StrideFamily {
+    fn from(exponent: u32) -> Self {
+        StrideFamily::new(exponent)
+    }
+}
+
+/// Iterator over the strides of a family, produced by
+/// [`StrideFamily::strides_up_to`].
+#[derive(Debug, Clone)]
+pub struct StridesUpTo {
+    next_sigma: i64,
+    shift: u32,
+    limit: i64,
+}
+
+impl Iterator for StridesUpTo {
+    type Item = i64;
+
+    fn next(&mut self) -> Option<i64> {
+        let value = self.next_sigma.checked_shl(self.shift)?;
+        if value > self.limit {
+            return None;
+        }
+        self.next_sigma += 2;
+        Some(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposition_examples() {
+        let cases = [
+            (1i64, 1i64, 0u32),
+            (2, 1, 1),
+            (12, 3, 2),
+            (7, 7, 0),
+            (96, 3, 5),
+            (1024, 1, 10),
+            (-12, -3, 2),
+            (-1, -1, 0),
+        ];
+        for (s, sigma, x) in cases {
+            let stride = Stride::new(s).unwrap();
+            assert_eq!(stride.odd_part(), sigma, "odd part of {s}");
+            assert_eq!(stride.family().exponent(), x, "family of {s}");
+            assert_eq!(
+                stride.magnitude(),
+                s.unsigned_abs(),
+                "magnitude of {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_stride_rejected() {
+        assert_eq!(Stride::new(0), Err(ConfigError::ZeroStride));
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        for sigma in [-7i64, -3, -1, 1, 3, 5, 9] {
+            for x in 0..10 {
+                let s = Stride::from_parts(sigma, x).unwrap();
+                assert_eq!(s.odd_part(), sigma);
+                assert_eq!(s.family().exponent(), x);
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_even_sigma() {
+        assert!(matches!(
+            Stride::from_parts(4, 0),
+            Err(ConfigError::OutOfRange { .. })
+        ));
+        assert_eq!(Stride::from_parts(0, 3), Err(ConfigError::ZeroStride));
+    }
+
+    #[test]
+    fn from_parts_rejects_overflow() {
+        assert!(Stride::from_parts(3, 63).is_err());
+        assert!(Stride::from_parts(i64::MAX, 1).is_err());
+    }
+
+    #[test]
+    fn is_odd_matches_family_zero() {
+        assert!(Stride::new(7).unwrap().is_odd());
+        assert!(!Stride::new(6).unwrap().is_odd());
+    }
+
+    #[test]
+    fn family_weights_sum_to_one() {
+        let total: f64 = (0..60).map(|x| StrideFamily::new(x).weight()).sum();
+        assert!((total - 1.0).abs() < 1e-12, "weights sum to {total}");
+    }
+
+    #[test]
+    fn strides_up_to_enumerates_family_members() {
+        let f = StrideFamily::new(3);
+        let strides: Vec<i64> = f.strides_up_to(100).collect();
+        assert_eq!(strides, vec![8, 24, 40, 56, 72, 88]);
+        for s in strides {
+            assert_eq!(Stride::new(s).unwrap().family(), f);
+        }
+    }
+
+    #[test]
+    fn strides_up_to_empty_when_limit_small() {
+        assert_eq!(StrideFamily::new(5).strides_up_to(31).count(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Stride::new(12).unwrap().to_string(), "12 (= 3·2^2)");
+        assert_eq!(StrideFamily::new(4).to_string(), "family x = 4");
+    }
+
+    #[test]
+    fn try_from_and_from_conversions() {
+        let s: Stride = 24i64.try_into().unwrap();
+        assert_eq!(s.get(), 24);
+        let f: StrideFamily = 3u32.into();
+        assert_eq!(f.exponent(), 3);
+    }
+}

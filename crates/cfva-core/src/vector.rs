@@ -1,0 +1,281 @@
+//! Vector access specifications.
+
+use std::fmt;
+
+use crate::address::{is_pow2, Addr};
+use crate::error::ConfigError;
+use crate::stride::{Stride, StrideFamily};
+
+/// A constant-stride vector access: `L` elements at addresses
+/// `A1 + S·i`, `0 ≤ i < L`.
+///
+/// The paper's main scheme targets register-length vectors `L = 2^λ`;
+/// shorter vectors (Section 5C) may have any length, so the type accepts
+/// any `len ≥ 1` and the power-of-two constraint is checked where the
+/// theory needs it ([`lambda`](Self::lambda),
+/// [`Planner`](crate::plan::Planner)). The initial address `A1` is
+/// arbitrary — the schemes must work *for any initial address*, and the
+/// test-suite exercises random bases throughout.
+///
+/// # Examples
+///
+/// ```
+/// use cfva_core::VectorSpec;
+///
+/// let v = VectorSpec::new(16, 12, 64)?; // A1 = 16, S = 12, L = 64
+/// assert_eq!(v.element_addr(0).get(), 16);
+/// assert_eq!(v.element_addr(3).get(), 52);
+/// assert_eq!(v.lambda(), Some(6));
+/// assert_eq!(v.stride().family().exponent(), 2);
+/// # Ok::<(), cfva_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VectorSpec {
+    base: Addr,
+    stride: Stride,
+    len: u64,
+}
+
+impl VectorSpec {
+    /// Creates a vector access specification.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::ZeroStride`] if `stride == 0`;
+    /// * [`ConfigError::OutOfRange`] if `len == 0`;
+    /// * [`ConfigError::AddressOverflow`] if any element address would
+    ///   fall outside `[0, u64::MAX]`.
+    pub fn new(base: u64, stride: i64, len: u64) -> Result<Self, ConfigError> {
+        let stride = Stride::new(stride)?;
+        Self::with_stride(Addr::new(base), stride, len)
+    }
+
+    /// Creates a specification from already-constructed parts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`VectorSpec::new`], minus the zero-stride case which the
+    /// [`Stride`] type already rules out.
+    pub fn with_stride(base: Addr, stride: Stride, len: u64) -> Result<Self, ConfigError> {
+        if len == 0 {
+            return Err(ConfigError::OutOfRange {
+                what: "vector length",
+                value: 0,
+                constraint: "len >= 1",
+            });
+        }
+        // Check both endpoints stay within the u64 address space.
+        let last = (base.get() as i128) + (stride.get() as i128) * ((len - 1) as i128);
+        if last < 0 || last > u64::MAX as i128 {
+            return Err(ConfigError::AddressOverflow);
+        }
+        Ok(VectorSpec { base, stride, len })
+    }
+
+    /// Returns the initial address `A1`.
+    pub const fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Returns the stride `S`.
+    pub const fn stride(&self) -> Stride {
+        self.stride
+    }
+
+    /// Returns the vector length `L`.
+    pub const fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Returns `true` if the vector has no elements.
+    ///
+    /// Note `len ≥ 1` is validated at construction, so this is never
+    /// true for a validated spec; it exists for API completeness
+    /// alongside [`len`](Self::len).
+    pub const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `λ = log2(L)` when the length is a power of two (the
+    /// register-length case the paper's theorems address), else `None`.
+    pub fn lambda(&self) -> Option<u32> {
+        if is_pow2(self.len) {
+            Some(self.len.trailing_zeros())
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if the length is a power of two.
+    pub fn has_pow2_len(&self) -> bool {
+        is_pow2(self.len)
+    }
+
+    /// Returns the stride family of this access.
+    pub const fn family(&self) -> StrideFamily {
+        self.stride.family()
+    }
+
+    /// Returns the address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn element_addr(&self, i: u64) -> Addr {
+        assert!(i < self.len, "element index {i} out of range 0..{}", self.len);
+        self.base.offset(self.stride.get() * i as i64)
+    }
+
+    /// Iterates the addresses of all elements, in element order.
+    ///
+    /// ```
+    /// use cfva_core::VectorSpec;
+    /// let v = VectorSpec::new(0, 3, 4)?;
+    /// let addrs: Vec<u64> = v.iter().map(|a| a.get()).collect();
+    /// assert_eq!(addrs, vec![0, 3, 6, 9]);
+    /// # Ok::<(), cfva_core::ConfigError>(())
+    /// ```
+    pub fn iter(&self) -> Iter {
+        Iter { spec: *self, next: 0 }
+    }
+}
+
+impl fmt::Display for VectorSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "vector A1={}, S={}, L={}",
+            self.base,
+            self.stride.get(),
+            self.len
+        )
+    }
+}
+
+/// Iterator over element addresses, produced by [`VectorSpec::iter`].
+#[derive(Debug, Clone)]
+pub struct Iter {
+    spec: VectorSpec,
+    next: u64,
+}
+
+impl Iterator for Iter {
+    type Item = Addr;
+
+    fn next(&mut self) -> Option<Addr> {
+        if self.next >= self.spec.len() {
+            return None;
+        }
+        let addr = self.spec.element_addr(self.next);
+        self.next += 1;
+        Some(addr)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.spec.len() - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter {}
+
+impl IntoIterator for &VectorSpec {
+    type Item = Addr;
+    type IntoIter = Iter;
+
+    fn into_iter(self) -> Iter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_any_positive_length() {
+        assert!(VectorSpec::new(0, 1, 64).is_ok());
+        assert!(VectorSpec::new(0, 1, 48).is_ok()); // Section 5C vectors
+        assert!(matches!(
+            VectorSpec::new(0, 1, 0),
+            Err(ConfigError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn lambda_only_for_pow2_lengths() {
+        assert_eq!(VectorSpec::new(0, 1, 64).unwrap().lambda(), Some(6));
+        assert_eq!(VectorSpec::new(0, 1, 48).unwrap().lambda(), None);
+        assert!(VectorSpec::new(0, 1, 64).unwrap().has_pow2_len());
+        assert!(!VectorSpec::new(0, 1, 48).unwrap().has_pow2_len());
+    }
+
+    #[test]
+    fn rejects_zero_stride() {
+        assert_eq!(VectorSpec::new(0, 0, 64), Err(ConfigError::ZeroStride));
+    }
+
+    #[test]
+    fn rejects_negative_address_overflow() {
+        // base 10, stride -12: element 1 would be at address -2.
+        assert_eq!(
+            VectorSpec::new(10, -12, 2),
+            Err(ConfigError::AddressOverflow)
+        );
+        // but a large enough base is fine.
+        assert!(VectorSpec::new(100, -12, 2).is_ok());
+    }
+
+    #[test]
+    fn rejects_u64_overflow() {
+        assert_eq!(
+            VectorSpec::new(u64::MAX - 5, 12, 2),
+            Err(ConfigError::AddressOverflow)
+        );
+    }
+
+    #[test]
+    fn element_addresses_follow_stride() {
+        let v = VectorSpec::new(16, 12, 8).unwrap();
+        for i in 0..8 {
+            assert_eq!(v.element_addr(i).get(), 16 + 12 * i);
+        }
+    }
+
+    #[test]
+    fn negative_stride_walks_down() {
+        let v = VectorSpec::new(100, -8, 4).unwrap();
+        let addrs: Vec<u64> = v.iter().map(Addr::get).collect();
+        assert_eq!(addrs, vec![100, 92, 84, 76]);
+    }
+
+    #[test]
+    fn lambda_is_log2_len() {
+        assert_eq!(VectorSpec::new(0, 1, 1).unwrap().lambda(), Some(0));
+        assert_eq!(VectorSpec::new(0, 1, 128).unwrap().lambda(), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn element_addr_bounds_checked() {
+        let v = VectorSpec::new(0, 1, 4).unwrap();
+        v.element_addr(4);
+    }
+
+    #[test]
+    fn iter_is_exact_size() {
+        let v = VectorSpec::new(0, 5, 16).unwrap();
+        let it = v.iter();
+        assert_eq!(it.len(), 16);
+        assert_eq!(it.count(), 16);
+        let mut it = v.iter();
+        it.next();
+        assert_eq!(it.len(), 15);
+    }
+
+    #[test]
+    fn display_format() {
+        let v = VectorSpec::new(16, 12, 64).unwrap();
+        assert_eq!(v.to_string(), "vector A1=16, S=12, L=64");
+    }
+}

@@ -1,0 +1,371 @@
+//! Conflict-free stride-family windows (Theorems 1 and 3) and parameter
+//! selection (Sections 3.3 and 4.3).
+
+use std::fmt;
+
+use crate::stride::StrideFamily;
+
+/// The matched-memory conflict-free window of Theorem 1.
+///
+/// For a matched memory (`M = T = 2^t`) with the XOR map shifted by `s`
+/// and vectors of length `L = 2^λ`, out-of-order access is conflict free
+/// exactly for the families
+///
+/// ```text
+/// s − N ≤ x ≤ s,    N = min(λ − t, s)
+/// ```
+///
+/// In-order access (the prior state of the art) serves only `x = s`.
+///
+/// # Examples
+///
+/// The paper's Section 3.3 example — `L = 128`, `m = t = 3`, `s = 4`
+/// gives the window `x ∈ [0, 4]`:
+///
+/// ```
+/// use cfva_core::window::MatchedWindow;
+///
+/// let w = MatchedWindow::new(3, 4, 7); // t, s, λ
+/// assert_eq!(w.lo(), 0);
+/// assert_eq!(w.hi(), 4);
+/// assert_eq!(w.family_count(), 5);
+/// assert!(w.contains(2.into()));
+/// assert!(!w.contains(5.into()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatchedWindow {
+    t: u32,
+    s: u32,
+    lambda: u32,
+}
+
+impl MatchedWindow {
+    /// Creates the window for latency exponent `t`, map shift `s` and
+    /// vector-length exponent `lambda`.
+    pub const fn new(t: u32, s: u32, lambda: u32) -> Self {
+        MatchedWindow { t, s, lambda }
+    }
+
+    /// `N = min(λ − t, s)` — the number of families below `s` that join
+    /// the window (Theorem 1). Zero when `λ ≤ t`.
+    pub const fn n(&self) -> u32 {
+        let by_length = self.lambda.saturating_sub(self.t);
+        if by_length < self.s {
+            by_length
+        } else {
+            self.s
+        }
+    }
+
+    /// Lowest conflict-free family, `s − N`.
+    pub const fn lo(&self) -> u32 {
+        self.s - self.n()
+    }
+
+    /// Highest conflict-free family, `s`.
+    pub const fn hi(&self) -> u32 {
+        self.s
+    }
+
+    /// Number of conflict-free families, `N + 1`.
+    pub const fn family_count(&self) -> u32 {
+        self.n() + 1
+    }
+
+    /// Whether family `x` is inside the conflict-free window.
+    pub fn contains(&self, family: StrideFamily) -> bool {
+        let x = family.exponent();
+        self.lo() <= x && x <= self.hi()
+    }
+
+    /// Whether family `x` produces T-matched vectors (Lemma 3 +
+    /// Theorem 1): requires `x ≤ s` *and* the period to divide `L`.
+    pub fn is_t_matched_family(&self, family: StrideFamily) -> bool {
+        self.contains(family)
+    }
+}
+
+impl fmt::Display for MatchedWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matched window x ∈ [{}, {}]", self.lo(), self.hi())
+    }
+}
+
+/// The unmatched-memory conflict-free windows of Theorem 3.
+///
+/// For `M = T² = 2^{2t}` modules under the two-level map, out-of-order
+/// access is conflict free for two windows of families:
+///
+/// ```text
+/// s − N ≤ x ≤ s,    N = min(λ − t, s)     (supermodule replay)
+/// y − R ≤ x ≤ y,    R = min(λ − t, y)     (section replay)
+/// ```
+///
+/// With `y − R = s + 1` the two windows fuse into one of `N + R + 2`
+/// families (Section 4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UnmatchedWindow {
+    t: u32,
+    s: u32,
+    y: u32,
+    lambda: u32,
+}
+
+impl UnmatchedWindow {
+    /// Creates the windows for latency exponent `t`, shifts `s`, `y`, and
+    /// vector-length exponent `lambda`.
+    pub const fn new(t: u32, s: u32, y: u32, lambda: u32) -> Self {
+        UnmatchedWindow { t, s, y, lambda }
+    }
+
+    /// `N = min(λ − t, s)`.
+    pub const fn n(&self) -> u32 {
+        let by_length = self.lambda.saturating_sub(self.t);
+        if by_length < self.s {
+            by_length
+        } else {
+            self.s
+        }
+    }
+
+    /// `R = min(λ − t, y)`.
+    pub const fn r(&self) -> u32 {
+        let by_length = self.lambda.saturating_sub(self.t);
+        if by_length < self.y {
+            by_length
+        } else {
+            self.y
+        }
+    }
+
+    /// The lower window `[s − N, s]` (handled by supermodule replay).
+    pub const fn lower(&self) -> (u32, u32) {
+        (self.s - self.n(), self.s)
+    }
+
+    /// The upper window `[y − R, y]` (handled by section replay).
+    pub const fn upper(&self) -> (u32, u32) {
+        (self.y - self.r(), self.y)
+    }
+
+    /// Whether the two windows fuse into a single contiguous window
+    /// (`y − R ≤ s + 1`).
+    pub const fn is_contiguous(&self) -> bool {
+        self.y - self.r() <= self.s + 1
+    }
+
+    /// Whether family `x` is conflict free under out-of-order access.
+    pub fn contains(&self, family: StrideFamily) -> bool {
+        let x = family.exponent();
+        let (ll, lh) = self.lower();
+        let (ul, uh) = self.upper();
+        (ll <= x && x <= lh) || (ul <= x && x <= uh)
+    }
+
+    /// Which replay keying serves family `x`, if any.
+    pub fn replay_kind(&self, family: StrideFamily) -> Option<ReplayKind> {
+        let x = family.exponent();
+        let (ll, lh) = self.lower();
+        let (ul, uh) = self.upper();
+        if ll <= x && x <= lh {
+            Some(ReplayKind::Supermodule)
+        } else if ul <= x && x <= uh {
+            Some(ReplayKind::Section)
+        } else {
+            None
+        }
+    }
+
+    /// Total number of conflict-free families (counting overlap once).
+    pub fn family_count(&self) -> u32 {
+        let (ll, lh) = self.lower();
+        let (ul, uh) = self.upper();
+        let lower = lh - ll + 1;
+        let upper = uh - ul + 1;
+        let overlap = if ul <= lh {
+            lh.min(uh) - ul.max(ll) + 1
+        } else {
+            0
+        };
+        lower + upper - overlap
+    }
+}
+
+impl fmt::Display for UnmatchedWindow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (ll, lh) = self.lower();
+        let (ul, uh) = self.upper();
+        if self.is_contiguous() {
+            write!(f, "unmatched window x ∈ [{}, {}]", ll, uh)
+        } else {
+            write!(
+                f,
+                "unmatched windows x ∈ [{}, {}] ∪ [{}, {}]",
+                ll, lh, ul, uh
+            )
+        }
+    }
+}
+
+/// How an out-of-order subsequence replay is keyed (Section 4.2): by
+/// supermodule number for the lower window, by section number for the
+/// upper window. A matched memory always replays by full module number
+/// (equivalently: its supermodules are single modules).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplayKind {
+    /// Key requests by the lower `t` module bits (paper Section 4.2 i).
+    Supermodule,
+    /// Key requests by the upper `t` module bits (paper Section 4.2 ii).
+    Section,
+}
+
+impl fmt::Display for ReplayKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayKind::Supermodule => write!(f, "supermodule"),
+            ReplayKind::Section => write!(f, "section"),
+        }
+    }
+}
+
+/// The recommended shift for a matched memory, `s = λ − t`
+/// (Section 3.3): includes family 0 (all odd strides, including stride
+/// one) and maximises the window.
+pub const fn recommended_s(lambda: u32, t: u32) -> u32 {
+    lambda.saturating_sub(t)
+}
+
+/// The recommended section shift for an unmatched memory,
+/// `y = 2(λ−t) + 1` (Section 4.3): fuses the two windows into
+/// `0 ≤ x ≤ 2(λ−t)+1`.
+pub const fn recommended_y(lambda: u32, t: u32) -> u32 {
+    2 * lambda.saturating_sub(t) + 1
+}
+
+/// Conflict-free families for *in-order* access (the prior art the paper
+/// compares against): a single family `x = s` for a matched memory, and
+/// the `m − t + 1` families `s ≤ x ≤ s + m − t` for an unmatched memory
+/// with the one-level map of Section 4's opening.
+pub const fn ordered_window(s: u32, m: u32, t: u32) -> (u32, u32) {
+    (s, s + m - t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_section_3_3_example() {
+        // L = 128 (λ=7), m = t = 3, s = 4: window x ∈ [0, 4].
+        let w = MatchedWindow::new(3, 4, 7);
+        assert_eq!(w.n(), 4);
+        assert_eq!((w.lo(), w.hi()), (0, 4));
+        assert_eq!(w.family_count(), 5);
+        for x in 0..=4 {
+            assert!(w.contains(x.into()), "x = {x}");
+        }
+        assert!(!w.contains(5.into()));
+    }
+
+    #[test]
+    fn n_limited_by_short_vectors() {
+        // λ - t < s: window shrinks and no longer reaches x = 0.
+        let w = MatchedWindow::new(3, 4, 5); // λ - t = 2 < s = 4
+        assert_eq!(w.n(), 2);
+        assert_eq!((w.lo(), w.hi()), (2, 4));
+    }
+
+    #[test]
+    fn n_zero_when_vector_fits_in_t() {
+        let w = MatchedWindow::new(3, 3, 3); // λ = t
+        assert_eq!(w.n(), 0);
+        assert_eq!(w.family_count(), 1);
+        assert!(w.contains(3.into()));
+        assert!(!w.contains(2.into()));
+    }
+
+    #[test]
+    fn paper_section_4_3_example() {
+        // L = 128, T = 8, M = 64: s = 4, y = 9 -> x ∈ [0, 9].
+        let w = UnmatchedWindow::new(3, 4, 9, 7);
+        assert_eq!(w.n(), 4);
+        assert_eq!(w.r(), 4);
+        assert_eq!(w.lower(), (0, 4));
+        assert_eq!(w.upper(), (5, 9));
+        assert!(w.is_contiguous());
+        assert_eq!(w.family_count(), 10);
+        for x in 0..=9u32 {
+            assert!(w.contains(x.into()), "x = {x}");
+        }
+        assert!(!w.contains(10.into()));
+    }
+
+    #[test]
+    fn replay_kind_selection() {
+        let w = UnmatchedWindow::new(3, 4, 9, 7);
+        assert_eq!(w.replay_kind(0.into()), Some(ReplayKind::Supermodule));
+        assert_eq!(w.replay_kind(4.into()), Some(ReplayKind::Supermodule));
+        assert_eq!(w.replay_kind(5.into()), Some(ReplayKind::Section));
+        assert_eq!(w.replay_kind(9.into()), Some(ReplayKind::Section));
+        assert_eq!(w.replay_kind(10.into()), None);
+    }
+
+    #[test]
+    fn disjoint_windows_when_y_large() {
+        // y - R > s + 1: a gap of uncovered families remains.
+        let w = UnmatchedWindow::new(2, 2, 12, 6); // λ-t = 4, R = 4, y-R = 8 > 3
+        assert!(!w.is_contiguous());
+        assert_eq!(w.lower(), (0, 2));
+        assert_eq!(w.upper(), (8, 12));
+        assert_eq!(w.family_count(), 8);
+        assert!(!w.contains(5.into()));
+        assert_eq!(w.to_string(), "unmatched windows x ∈ [0, 2] ∪ [8, 12]");
+    }
+
+    #[test]
+    fn family_count_handles_overlap() {
+        // Fully overlapping windows should not double count.
+        let w = UnmatchedWindow::new(2, 6, 8, 20); // N = 6, R = 8
+        // lower [0,6], upper [0,8] -> union [0,8] = 9 families.
+        assert_eq!(w.lower(), (0, 6));
+        assert_eq!(w.upper(), (0, 8));
+        assert_eq!(w.family_count(), 9);
+    }
+
+    #[test]
+    fn recommended_parameters_match_paper() {
+        // Section 3.3: L = 128, t = 3 -> s = 4.
+        assert_eq!(recommended_s(7, 3), 4);
+        // Section 4.3: y = 2(λ-t)+1 = 9.
+        assert_eq!(recommended_y(7, 3), 9);
+        // Composite check: recommended parameters fuse the windows.
+        let w = UnmatchedWindow::new(3, recommended_s(7, 3), recommended_y(7, 3), 7);
+        assert!(w.is_contiguous());
+        assert_eq!(w.family_count(), 2 * (7 - 3) + 2);
+    }
+
+    #[test]
+    fn ordered_window_formula() {
+        // Matched in-order: a single family.
+        assert_eq!(ordered_window(4, 3, 3), (4, 4));
+        // Unmatched in-order (m = 6, t = 3): m - t + 1 = 4 families.
+        let (lo, hi) = ordered_window(0, 6, 3);
+        assert_eq!(hi - lo + 1, 4);
+    }
+
+    #[test]
+    fn display_matched() {
+        assert_eq!(
+            MatchedWindow::new(3, 4, 7).to_string(),
+            "matched window x ∈ [0, 4]"
+        );
+        let w = UnmatchedWindow::new(3, 4, 9, 7);
+        assert_eq!(w.to_string(), "unmatched window x ∈ [0, 9]");
+    }
+
+    #[test]
+    fn replay_kind_display() {
+        assert_eq!(ReplayKind::Supermodule.to_string(), "supermodule");
+        assert_eq!(ReplayKind::Section.to_string(), "section");
+    }
+}

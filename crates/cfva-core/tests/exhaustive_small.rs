@@ -1,0 +1,157 @@
+//! Exhaustive verification on small configurations: not sampled —
+//! EVERY odd σ up to a bound and EVERY base inside one full mapping
+//! period, for every family in the window. Small `t` keeps the space
+//! tractable while exercising all the index arithmetic.
+
+use cfva_core::dist::{is_conflict_free, temporal_distribution, SpatialDistribution};
+use cfva_core::mapping::{ModuleMap, XorMatched, XorUnmatched};
+use cfva_core::order::{replay_order, ReplayKey, SubseqStructure};
+use cfva_core::{Stride, VectorSpec};
+
+/// Matched memory, t = 1 and t = 2: every in-window access of every
+/// base in a full address period is conflict free under replay.
+#[test]
+fn matched_exhaustive_t1_t2() {
+    for (t, s, lambda) in [(1u32, 2u32, 3u32), (1, 3, 4), (2, 3, 5), (2, 4, 6)] {
+        let map = XorMatched::new(t, s).unwrap();
+        let t_cycles = 1u64 << t;
+        let len = 1u64 << lambda;
+        let n = (lambda - t).min(s);
+        let period_span = 1u64 << map.address_bits_used();
+
+        for x in (s - n)..=s {
+            let st = SubseqStructure::for_matched(&map, x.into()).unwrap();
+            for sigma in (1..=7i64).step_by(2) {
+                let stride = Stride::from_parts(sigma, x).unwrap();
+                for base in 0..period_span {
+                    let vec = VectorSpec::with_stride(base.into(), stride, len).unwrap();
+                    let order = replay_order(&map, &vec, &st, ReplayKey::Module)
+                        .unwrap_or_else(|e| {
+                            panic!("t={t} s={s} x={x} σ={sigma} A1={base}: {e}")
+                        });
+                    let td = temporal_distribution(&map, &vec, &order);
+                    assert!(
+                        is_conflict_free(&td, t_cycles),
+                        "t={t} s={s} x={x} σ={sigma} A1={base}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Unmatched memory, t = 1 (M = 4): both windows, every base in a full
+/// period, every odd σ ≤ 7.
+#[test]
+fn unmatched_exhaustive_t1() {
+    let t = 1u32;
+    let s = 2u32;
+    let y = 4u32;
+    let lambda = 4u32; // L = 16; R = 3, upper window [1, 4]; lower [0, 2]
+    let map = XorUnmatched::new(t, s, y).unwrap();
+    let t_cycles = 1u64 << t;
+    let len = 1u64 << lambda;
+    let period_span = 1u64 << map.address_bits_used();
+
+    for x in 0..=y {
+        let (st, key) = if x <= s {
+            (
+                SubseqStructure::for_unmatched_lower(&map, x.into()).unwrap(),
+                ReplayKey::Supermodule { t },
+            )
+        } else {
+            (
+                SubseqStructure::for_unmatched_upper(&map, x.into()).unwrap(),
+                ReplayKey::Section { t },
+            )
+        };
+        if st.periods_in(len).is_err() {
+            continue; // family outside the length-compatible window
+        }
+        for sigma in (1..=7i64).step_by(2) {
+            let stride = Stride::from_parts(sigma, x).unwrap();
+            for base in 0..period_span {
+                let vec = VectorSpec::with_stride(base.into(), stride, len).unwrap();
+                let order = replay_order(&map, &vec, &st, key)
+                    .unwrap_or_else(|e| panic!("x={x} σ={sigma} A1={base}: {e}"));
+                let td = temporal_distribution(&map, &vec, &order);
+                assert!(
+                    is_conflict_free(&td, t_cycles),
+                    "x={x} σ={sigma} A1={base}"
+                );
+            }
+        }
+    }
+}
+
+/// The Lemma 3 boundary is tight: for x = s+1 on a matched memory, NO
+/// base yields a T-matched vector (so no conflict-free order exists).
+#[test]
+fn lemma_3_boundary_is_tight() {
+    let map = XorMatched::new(2, 3).unwrap();
+    let len = 32u64;
+    let period_span = 1u64 << map.address_bits_used();
+    for sigma in (1..=7i64).step_by(2) {
+        let stride = Stride::from_parts(sigma, 4).unwrap(); // x = s+1
+        for base in 0..period_span {
+            let vec = VectorSpec::with_stride(base.into(), stride, len).unwrap();
+            let sd = SpatialDistribution::compute(&map, &vec);
+            assert!(
+                !sd.is_t_matched(4),
+                "σ={sigma} A1={base} unexpectedly T-matched"
+            );
+        }
+    }
+}
+
+/// Theorem 1's N = min(λ−t, s) bound is tight from below too: for
+/// x = s−N−1 (when it exists), L is not a multiple of the period, and
+/// T-matchedness indeed depends on the base — some bases fail.
+#[test]
+fn theorem_1_length_bound_is_tight() {
+    // t = 2, s = 4, λ = 5: N = min(3, 4) = 3, window [1, 4]; x = 0 has
+    // period 64 > L = 32.
+    let map = XorMatched::new(2, 4).unwrap();
+    let len = 32u64;
+    let mut t_matched = 0u32;
+    let mut not_matched = 0u32;
+    for base in 0..(1u64 << map.address_bits_used()) {
+        let vec = VectorSpec::new(base, 1, len).unwrap();
+        let sd = SpatialDistribution::compute(&map, &vec);
+        if sd.is_t_matched(4) {
+            t_matched += 1;
+        } else {
+            not_matched += 1;
+        }
+    }
+    // The paper: "it is possible for a vector to be T-matched, but this
+    // depends on its initial address" — both outcomes must occur.
+    assert!(t_matched > 0, "no base was T-matched");
+    assert!(not_matched > 0, "every base was T-matched");
+}
+
+/// Periods are exact for the XOR maps: the canonical module sequence
+/// repeats at P_x and at no earlier power-of-two shift, for generic
+/// bases.
+#[test]
+fn periods_are_minimal_for_generic_bases() {
+    let map = XorMatched::new(2, 3).unwrap();
+    for x in 0..=3u32 {
+        let p = map.period(x.into());
+        let stride = Stride::from_parts(3, x).unwrap();
+        let vec = VectorSpec::with_stride(1u64.into(), stride, 4 * p).unwrap();
+        let seq: Vec<_> = vec.iter().map(|a| map.module_of(a)).collect();
+        // Repeats at P.
+        for i in 0..(seq.len() - p as usize) {
+            assert_eq!(seq[i], seq[i + p as usize], "x={x}");
+        }
+        // Does not repeat at P/2.
+        if p >= 2 {
+            let half = (p / 2) as usize;
+            assert!(
+                (0..(seq.len() - half)).any(|i| seq[i] != seq[i + half]),
+                "x={x}: sequence repeats at P/2"
+            );
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Multi-vector access: several plans sharing one memory — the paper's
+//! Section 6 future-work item ("the case in which several vectors are
+//! accessed simultaneously").
+//!
+//! The model keeps the paper's single address bus (one request per
+//! cycle) and single return bus: streams interleave their requests
+//! round-robin, so each stream issues at `1/k` rate but their startups
+//! and drain phases overlap. Cross-stream conflicts can appear even
+//! when each stream is conflict free alone — quantifying that is
+//! exactly the open question the authors pose.
+
+use cfva_core::plan::AccessPlan;
+use cfva_core::{Addr, ModuleId};
+
+use crate::config::MemConfig;
+use crate::system::MemorySystem;
+
+/// Per-stream measurements of a multi-vector run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiStats {
+    /// Per-stream views: element arrival cycles and latency from the
+    /// stream's first arrival-implied issue to its last arrival.
+    pub streams: Vec<StreamStats>,
+    /// Cycles from the first issue of any stream to the last arrival of
+    /// any stream (the combined access time).
+    pub makespan: u64,
+    /// Conflicts across the whole combined run.
+    pub conflicts: u64,
+    /// Processor stalls across the whole combined run.
+    pub stall_cycles: u64,
+}
+
+/// One stream's share of a multi-vector run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Number of elements in the stream.
+    pub elements: u64,
+    /// Arrival cycle of each element, indexed by element id.
+    pub arrival: Vec<u64>,
+    /// Cycles from the stream's first to last arrival, inclusive.
+    pub spread: u64,
+}
+
+impl MultiStats {
+    /// Sequential-execution baseline: the makespan if the same plans ran
+    /// one after another, each at its measured-alone latency.
+    pub fn sequential_baseline(latencies: &[u64]) -> u64 {
+        latencies.iter().sum()
+    }
+}
+
+/// Runs several plans through one memory with round-robin issue.
+///
+/// Each cycle the processor issues the next request of the next
+/// non-exhausted stream in rotation; the single-bus constraint (one
+/// request per cycle in, one element per cycle out) is preserved.
+///
+/// # Panics
+///
+/// Panics if any plan targets a module outside the memory's range, or
+/// on more than `2^15` streams / `2^40` elements per stream.
+pub fn run_interleaved(cfg: MemConfig, plans: &[&AccessPlan]) -> MultiStats {
+    const STREAM_SHIFT: u32 = 40;
+    assert!(plans.len() < 1 << 15, "too many streams");
+    for p in plans {
+        assert!(p.len() < 1 << STREAM_SHIFT, "plan too long");
+    }
+
+    // Round-robin merge, tagging element ids with their stream.
+    let total: usize = plans.iter().map(|p| p.entries().len()).sum();
+    let mut merged: Vec<(u64, Addr, ModuleId)> = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; plans.len()];
+    let mut turn = 0usize;
+    while merged.len() < total {
+        let s = turn % plans.len();
+        turn += 1;
+        if cursors[s] >= plans[s].entries().len() {
+            continue;
+        }
+        let entry = &plans[s].entries()[cursors[s]];
+        merged.push((
+            ((s as u64) << STREAM_SHIFT) | entry.element(),
+            entry.addr(),
+            entry.module(),
+        ));
+        cursors[s] += 1;
+    }
+
+    // Dense ids for the engine, with a side table back to streams.
+    let dense: Vec<(u64, Addr, ModuleId)> = merged
+        .iter()
+        .enumerate()
+        .map(|(k, &(_, addr, module))| (k as u64, addr, module))
+        .collect();
+    let mut sim = MemorySystem::new(cfg);
+    let combined = sim.run_requests(&dense);
+
+    // De-multiplex arrivals.
+    let mut streams: Vec<StreamStats> = plans
+        .iter()
+        .map(|p| StreamStats {
+            elements: p.len(),
+            arrival: vec![0; p.len() as usize],
+            spread: 0,
+        })
+        .collect();
+    for (k, &(tagged, _, _)) in merged.iter().enumerate() {
+        let s = (tagged >> STREAM_SHIFT) as usize;
+        let element = (tagged & ((1 << STREAM_SHIFT) - 1)) as usize;
+        streams[s].arrival[element] = combined.arrival[k];
+    }
+    for s in &mut streams {
+        let first = s.arrival.iter().copied().min().unwrap_or(0);
+        let last = s.arrival.iter().copied().max().unwrap_or(0);
+        s.spread = last - first + 1;
+    }
+
+    MultiStats {
+        streams,
+        makespan: combined.latency,
+        conflicts: combined.conflicts,
+        stall_cycles: combined.stall_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfva_core::mapping::XorMatched;
+    use cfva_core::plan::{Planner, Strategy};
+    use cfva_core::VectorSpec;
+
+    fn cf_plan(base: u64, stride: i64) -> AccessPlan {
+        let planner = Planner::matched(XorMatched::new(3, 4).unwrap());
+        let vec = VectorSpec::new(base, stride, 128).unwrap();
+        planner.plan(&vec, Strategy::ConflictFree).unwrap()
+    }
+
+    #[test]
+    fn single_stream_reduces_to_run_plan() {
+        let plan = cf_plan(16, 12);
+        let cfg = MemConfig::new(3, 3).unwrap();
+        let multi = run_interleaved(cfg, &[&plan]);
+        assert_eq!(multi.streams.len(), 1);
+        assert_eq!(multi.makespan, 8 + 128 + 1);
+        assert_eq!(multi.conflicts, 0);
+    }
+
+    #[test]
+    fn two_streams_beat_sequential_execution() {
+        let a = cf_plan(16, 12);
+        let b = cf_plan(4096, 24);
+        let cfg = MemConfig::new(3, 3).unwrap();
+        let multi = run_interleaved(cfg, &[&a, &b]);
+        let sequential = MultiStats::sequential_baseline(&[137, 137]);
+        assert!(
+            multi.makespan < sequential,
+            "makespan {} not better than sequential {}",
+            multi.makespan,
+            sequential
+        );
+        for s in &multi.streams {
+            assert_eq!(s.elements, 128);
+            assert!(s.arrival.iter().all(|&a| a > 0));
+        }
+    }
+
+    #[test]
+    fn uneven_stream_lengths_complete() {
+        let planner = Planner::matched(XorMatched::new(3, 4).unwrap());
+        let a = planner
+            .plan(&VectorSpec::new(0, 8, 128).unwrap(), Strategy::ConflictFree)
+            .unwrap();
+        let b = planner
+            .plan(&VectorSpec::new(9999, 16, 32).unwrap(), Strategy::Canonical)
+            .unwrap();
+        let cfg = MemConfig::new(3, 3).unwrap();
+        let multi = run_interleaved(cfg, &[&a, &b]);
+        assert_eq!(multi.streams[0].elements, 128);
+        assert_eq!(multi.streams[1].elements, 32);
+        assert!(multi.makespan >= 160);
+    }
+
+    #[test]
+    fn four_streams_complete() {
+        let plans: Vec<AccessPlan> = (0..4).map(|i| cf_plan(10_000 * i + 3, 8)).collect();
+        let refs: Vec<&AccessPlan> = plans.iter().collect();
+        let cfg = MemConfig::new(3, 3).unwrap();
+        let multi = run_interleaved(cfg, &refs);
+        assert_eq!(multi.streams.len(), 4);
+        assert!(multi.makespan >= 512);
+    }
+}

@@ -1,0 +1,105 @@
+//! Access statistics reported by the simulator.
+
+use std::fmt;
+
+/// Measurements of one simulated vector access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Total latency in processor cycles: from the cycle the first
+    /// address is sent until the cycle the last element is received,
+    /// inclusive (the paper's Section 2 definition, `T + L + 1` for a
+    /// conflict-free access).
+    pub latency: u64,
+    /// Number of elements transferred.
+    pub elements: u64,
+    /// Cycles the processor spent stalled because the target module's
+    /// input buffer was full.
+    pub stall_cycles: u64,
+    /// Requests that had to wait in an input queue before service
+    /// (zero ⇔ the access was conflict free in the paper's sense).
+    pub conflicts: u64,
+    /// Per-element arrival cycle, indexed by element number.
+    pub arrival: Vec<u64>,
+    /// Per-module busy cycles.
+    pub module_busy: Vec<u64>,
+    /// Highest input-queue occupancy observed on any module.
+    pub max_in_q: usize,
+}
+
+impl AccessStats {
+    /// Elements delivered per cycle over the whole access,
+    /// `L / latency`. The steady-state maximum is just below 1.
+    pub fn throughput(&self) -> f64 {
+        self.elements as f64 / self.latency as f64
+    }
+
+    /// Efficiency relative to the conflict-free minimum
+    /// `T + L + 1` (= 1.0 when the access is conflict free).
+    pub fn efficiency(&self, t_cycles: u64) -> f64 {
+        (t_cycles + self.elements + 1) as f64 / self.latency as f64
+    }
+
+    /// Whether the access ran without any queueing or stalls.
+    pub fn is_conflict_free(&self) -> bool {
+        self.conflicts == 0 && self.stall_cycles == 0
+    }
+
+    /// Extra cycles over the conflict-free minimum.
+    pub fn excess_latency(&self, t_cycles: u64) -> u64 {
+        self.latency.saturating_sub(t_cycles + self.elements + 1)
+    }
+}
+
+impl fmt::Display for AccessStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} elements in {} cycles ({} stalls, {} conflicts)",
+            self.elements, self.latency, self.stall_cycles, self.conflicts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> AccessStats {
+        AccessStats {
+            latency: 73,
+            elements: 64,
+            stall_cycles: 0,
+            conflicts: 0,
+            arrival: vec![],
+            module_busy: vec![],
+            max_in_q: 1,
+        }
+    }
+
+    #[test]
+    fn throughput_and_efficiency() {
+        let s = stats();
+        assert!((s.throughput() - 64.0 / 73.0).abs() < 1e-12);
+        assert_eq!(s.efficiency(8), 1.0);
+        assert!(s.is_conflict_free());
+        assert_eq!(s.excess_latency(8), 0);
+    }
+
+    #[test]
+    fn excess_latency_counts_overrun() {
+        let mut s = stats();
+        s.latency = 80;
+        s.conflicts = 3;
+        assert_eq!(s.excess_latency(8), 7);
+        assert!(!s.is_conflict_free());
+        assert!(s.efficiency(8) < 1.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            stats().to_string(),
+            "64 elements in 73 cycles (0 stalls, 0 conflicts)"
+        );
+    }
+}

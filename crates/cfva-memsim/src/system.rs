@@ -1,0 +1,410 @@
+//! The cycle engine: processor, bus and module array.
+
+use std::fmt;
+
+use cfva_core::plan::AccessPlan;
+use cfva_core::{Addr, ModuleId};
+
+use crate::config::MemConfig;
+use crate::module::MemModule;
+use crate::stats::AccessStats;
+use crate::trace::{Event, Trace};
+
+/// One in-flight memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Element index within the vector access.
+    pub element: u64,
+    /// Memory address.
+    pub addr: Addr,
+    /// Target module.
+    pub module: ModuleId,
+    /// Cycle the processor issued the request.
+    pub issue_cycle: u64,
+}
+
+/// The simulated memory system of the paper's Figure 2: a module array
+/// behind a single one-cycle return bus, driven by a processor that
+/// issues one request per cycle.
+///
+/// Cycle phases (in order):
+///
+/// 1. **complete** — modules whose service time elapsed move the datum
+///    to their output buffer (blocking if it is full);
+/// 2. **bus** — the arbiter grants the bus to the oldest waiting output;
+///    the processor receives the datum one cycle later;
+/// 3. **issue** — the processor sends the next request unless the target
+///    module's input buffer is full (a *stall*);
+/// 4. **start** — idle modules pull the next request from their input
+///    queue into service (`T` cycles).
+///
+/// A request that enters service the same cycle it was issued
+/// experienced no conflict; anything later is counted in
+/// [`AccessStats::conflicts`].
+pub struct MemorySystem {
+    cfg: MemConfig,
+    modules: Vec<MemModule>,
+    trace: Trace,
+}
+
+impl MemorySystem {
+    /// Creates an idle memory system.
+    pub fn new(cfg: MemConfig) -> Self {
+        let modules = (0..cfg.module_count())
+            .map(|_| MemModule::new(cfg.t_cycles(), cfg.q_in(), cfg.q_out()))
+            .collect();
+        MemorySystem {
+            cfg,
+            modules,
+            trace: Trace::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub const fn config(&self) -> MemConfig {
+        self.cfg
+    }
+
+    /// Starts recording a cycle-by-cycle event trace.
+    pub fn enable_trace(&mut self) {
+        self.trace.set_enabled(true);
+    }
+
+    /// The recorded trace (empty unless [`enable_trace`](Self::enable_trace)
+    /// was called before the run).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Executes an access plan to completion and reports statistics.
+    /// The module array is reset first, so a system can be reused across
+    /// runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan references a module outside this memory's
+    /// range (plan built against a different mapping), or if the
+    /// simulation exceeds a hard safety bound of cycles (which would
+    /// indicate an engine bug, not a property of the plan).
+    pub fn run_plan(&mut self, plan: &AccessPlan) -> AccessStats {
+        let requests: Vec<(u64, Addr, ModuleId)> = plan
+            .iter()
+            .map(|e| (e.element(), e.addr(), e.module()))
+            .collect();
+        self.run_requests(&requests)
+    }
+
+    /// Executes an arbitrary request stream: `(element, addr, module)`
+    /// triples in issue order, with element ids forming a permutation of
+    /// `0..len`. This is the raw interface used by [`run_plan`](Self::run_plan) and by
+    /// the multi-vector runner in [`crate::multi`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`run_plan`](Self::run_plan).
+    pub fn run_requests(&mut self, requests: &[(u64, Addr, ModuleId)]) -> AccessStats {
+        self.reset();
+        let n = requests.len() as u64;
+        for &(_, _, module) in requests {
+            assert!(
+                module.get() < self.cfg.module_count(),
+                "request targets module {} but memory has {}",
+                module,
+                self.cfg.module_count()
+            );
+        }
+
+        let mut arrival: Vec<u64> = vec![u64::MAX; n as usize];
+        let mut delivered: u64 = 0;
+        let mut next_request: usize = 0;
+        let mut stall_cycles: u64 = 0;
+        let mut first_issue: Option<u64> = None;
+        let mut last_arrival: u64 = 0;
+
+        let safety_bound = 1_000_000u64.max(n * self.cfg.t_cycles() * 4 + 10_000);
+        let mut cycle: u64 = 0;
+        while delivered < n {
+            assert!(
+                cycle < safety_bound,
+                "simulation exceeded {safety_bound} cycles — engine bug"
+            );
+
+            // Phase 1: service completions.
+            for (idx, module) in self.modules.iter_mut().enumerate() {
+                let in_service = module.in_service().map(|r| r.element);
+                module.tick_complete(cycle);
+                if let (Some(element), None) = (in_service, module.in_service()) {
+                    self.trace.push(Event::Complete {
+                        cycle,
+                        module: ModuleId::new(idx as u64),
+                        element,
+                    });
+                }
+            }
+
+            // Phase 2: bus grants — oldest issue first, lowest module on
+            // ties; one grant per port.
+            for _ in 0..self.cfg.ports() {
+                let grant = self
+                    .modules
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(idx, m)| m.output_ready().map(|ready| (ready, idx)))
+                    .min();
+                let Some((_, idx)) = grant else { break };
+                let req = self.modules[idx]
+                    .take_output()
+                    .expect("granted module has output");
+                let when = cycle + 1; // one-cycle bus
+                arrival[req.element as usize] = when;
+                last_arrival = last_arrival.max(when);
+                delivered += 1;
+                self.trace.push(Event::Deliver {
+                    cycle: when,
+                    element: req.element,
+                });
+            }
+
+            // Phase 3: processor issue — one request per port. A
+            // blocked request blocks the ports behind it (in-order
+            // issue), matching a real address-bus head-of-line stall.
+            for _ in 0..self.cfg.ports() {
+                if next_request >= requests.len() {
+                    break;
+                }
+                let (element, addr, module) = requests[next_request];
+                let midx = module.get() as usize;
+                if self.modules[midx].can_accept() {
+                    self.modules[midx].accept(Request {
+                        element,
+                        addr,
+                        module,
+                        issue_cycle: cycle,
+                    });
+                    first_issue.get_or_insert(cycle);
+                    next_request += 1;
+                    self.trace.push(Event::Issue {
+                        cycle,
+                        element,
+                        module,
+                    });
+                } else {
+                    stall_cycles += 1;
+                    self.trace.push(Event::Stall { cycle, module });
+                    break;
+                }
+            }
+
+            // Phase 4: service starts.
+            for (idx, module) in self.modules.iter_mut().enumerate() {
+                let serving_before = module.served();
+                module.tick_start(cycle);
+                if module.served() > serving_before {
+                    let element = module
+                        .in_service()
+                        .map(|r| r.element)
+                        .expect("service stage just filled");
+                    self.trace.push(Event::ServiceStart {
+                        cycle,
+                        module: ModuleId::new(idx as u64),
+                        element,
+                    });
+                }
+            }
+
+            cycle += 1;
+        }
+
+        let first = first_issue.unwrap_or(0);
+        AccessStats {
+            latency: last_arrival - first + 1,
+            elements: n,
+            stall_cycles,
+            conflicts: self.modules.iter().map(|m| m.queued_conflicts()).sum(),
+            arrival,
+            module_busy: self.modules.iter().map(|m| m.busy_cycles()).collect(),
+            max_in_q: self.modules.iter().map(|m| m.max_in_q()).max().unwrap_or(0),
+        }
+    }
+
+    fn reset(&mut self) {
+        for module in &mut self.modules {
+            *module = MemModule::new(self.cfg.t_cycles(), self.cfg.q_in(), self.cfg.q_out());
+        }
+        self.trace.clear();
+    }
+}
+
+impl fmt::Debug for MemorySystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MemorySystem")
+            .field("config", &self.cfg)
+            .field("modules", &self.modules.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfva_core::mapping::{Interleaved, XorMatched};
+    use cfva_core::plan::{Planner, Strategy};
+    use cfva_core::VectorSpec;
+
+    fn run(planner: &Planner, vec: &VectorSpec, strategy: Strategy, cfg: MemConfig) -> AccessStats {
+        let plan = planner.plan(vec, strategy).unwrap();
+        MemorySystem::new(cfg).run_plan(&plan)
+    }
+
+    #[test]
+    fn conflict_free_access_takes_t_plus_l_plus_1() {
+        let planner = Planner::matched(XorMatched::new(3, 3).unwrap());
+        let vec = VectorSpec::new(16, 12, 64).unwrap();
+        let cfg = MemConfig::new(3, 3).unwrap();
+        let stats = run(&planner, &vec, Strategy::ConflictFree, cfg);
+        assert_eq!(stats.latency, 8 + 64 + 1);
+        assert_eq!(stats.conflicts, 0);
+        assert_eq!(stats.stall_cycles, 0);
+        assert!(stats.is_conflict_free());
+        assert_eq!(stats.efficiency(8), 1.0);
+    }
+
+    #[test]
+    fn unit_stride_on_interleaving_is_minimal() {
+        let planner = Planner::baseline(Interleaved::new(3), 3);
+        let vec = VectorSpec::new(0, 1, 64).unwrap();
+        let cfg = MemConfig::new(3, 3).unwrap();
+        let stats = run(&planner, &vec, Strategy::Canonical, cfg);
+        assert_eq!(stats.latency, 73);
+        assert_eq!(stats.conflicts, 0);
+    }
+
+    #[test]
+    fn clustered_stride_serialises_on_one_module() {
+        // Stride 8 on low-order interleaving: every element in module 0:
+        // latency ~ L·T.
+        let planner = Planner::baseline(Interleaved::new(3), 3);
+        let vec = VectorSpec::new(0, 8, 64).unwrap();
+        let cfg = MemConfig::new(3, 3).unwrap();
+        let stats = run(&planner, &vec, Strategy::Canonical, cfg);
+        assert!(stats.latency >= 64 * 8, "latency {}", stats.latency);
+        assert!(stats.conflicts > 0);
+        assert!(stats.stall_cycles > 0);
+        assert_eq!(stats.module_busy[0], 64 * 8);
+    }
+
+    #[test]
+    fn arrivals_are_recorded_per_element() {
+        let planner = Planner::matched(XorMatched::new(2, 2).unwrap());
+        let vec = VectorSpec::new(0, 1, 16).unwrap();
+        let plan = planner.plan(&vec, Strategy::ConflictFree).unwrap();
+        let stats = MemorySystem::new(MemConfig::new(2, 2).unwrap()).run_plan(&plan);
+        // The k-th issued request (whatever element it is) is sent at
+        // cycle k and arrives T + 1 cycles later.
+        for (k, entry) in plan.iter().enumerate() {
+            assert_eq!(
+                stats.arrival[entry.element() as usize],
+                k as u64 + 4 + 1,
+                "request {k} (element {})",
+                entry.element()
+            );
+        }
+    }
+
+    #[test]
+    fn trace_records_issue_and_deliver() {
+        let planner = Planner::matched(XorMatched::new(2, 2).unwrap());
+        let vec = VectorSpec::new(0, 1, 16).unwrap();
+        let plan = planner.plan(&vec, Strategy::ConflictFree).unwrap();
+        let mut sim = MemorySystem::new(MemConfig::new(2, 2).unwrap());
+        sim.enable_trace();
+        sim.run_plan(&plan);
+        let issues = sim
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::Issue { .. }))
+            .count();
+        let delivers = sim
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::Deliver { .. }))
+            .count();
+        assert_eq!(issues, 16);
+        assert_eq!(delivers, 16);
+    }
+
+    #[test]
+    fn system_is_reusable_across_runs() {
+        let planner = Planner::matched(XorMatched::new(3, 3).unwrap());
+        let vec = VectorSpec::new(16, 12, 64).unwrap();
+        let plan = planner.plan(&vec, Strategy::ConflictFree).unwrap();
+        let mut sim = MemorySystem::new(MemConfig::new(3, 3).unwrap());
+        let a = sim.run_plan(&plan);
+        let b = sim.run_plan(&plan);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "request targets module")]
+    fn module_range_validated() {
+        let planner = Planner::matched(XorMatched::new(3, 3).unwrap());
+        let vec = VectorSpec::new(16, 12, 64).unwrap();
+        let plan = planner.plan(&vec, Strategy::ConflictFree).unwrap();
+        // Memory with only 4 modules cannot run an 8-module plan.
+        let mut sim = MemorySystem::new(MemConfig::new(2, 2).unwrap());
+        sim.run_plan(&plan);
+    }
+
+    #[test]
+    fn dual_port_memory_halves_issue_time() {
+        // Future-work model: two ports help only when every window of
+        // 2T requests covers 2T distinct modules. A unit-stride walk on
+        // a 64-module interleaved memory does exactly that.
+        let planner = Planner::baseline(Interleaved::new(6), 3);
+        let vec = VectorSpec::new(0, 1, 128).unwrap();
+        let plan = planner.plan(&vec, Strategy::Canonical).unwrap();
+
+        let single = MemConfig::new(6, 3).unwrap();
+        let dual = MemConfig::new(6, 3).unwrap().with_ports(2).unwrap();
+        let lat1 = MemorySystem::new(single).run_plan(&plan).latency;
+        let lat2 = MemorySystem::new(dual).run_plan(&plan).latency;
+        assert_eq!(lat1, 8 + 128 + 1);
+        assert_eq!(lat2, 8 + 64 + 1, "dual-port latency = T + L/2 + 1");
+    }
+
+    #[test]
+    fn dual_port_gains_nothing_when_modules_saturate() {
+        // A vector confined to T modules is module-bandwidth-bound:
+        // extra ports cannot help (the distinction the future-work
+        // extension would have to address).
+        let planner = Planner::matched(XorMatched::new(3, 4).unwrap());
+        let vec = VectorSpec::new(16, 12, 128).unwrap();
+        let plan = planner.plan(&vec, Strategy::ConflictFree).unwrap();
+
+        let single = MemConfig::new(3, 3).unwrap();
+        let dual = MemConfig::new(3, 3).unwrap().with_ports(2).unwrap();
+        let lat1 = MemorySystem::new(single).run_plan(&plan).latency;
+        let lat2 = MemorySystem::new(dual).run_plan(&plan).latency;
+        assert_eq!(lat1, 137);
+        // Module busy time dominates: 128 elements / 8 modules * 8
+        // cycles = 128 cycles of mandatory occupancy.
+        assert!(lat2 >= 128, "dual-port latency {lat2}");
+    }
+
+    #[test]
+    fn subsequence_order_bounded_by_2t_plus_l_with_buffers() {
+        // The Section 3.1 claim, on the paper's own example.
+        let planner = Planner::matched(XorMatched::new(3, 3).unwrap());
+        let vec = VectorSpec::new(16, 12, 64).unwrap();
+        let plan = planner.plan(&vec, Strategy::Subsequence).unwrap();
+        let cfg = MemConfig::new(3, 3).unwrap().with_queues(2, 1).unwrap();
+        let stats = MemorySystem::new(cfg).run_plan(&plan);
+        assert!(
+            stats.latency <= 2 * 8 + 64,
+            "latency {} exceeds 2T+L",
+            stats.latency
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Cycle-by-cycle event traces for debugging and white-box tests.
+
+use std::fmt;
+
+use cfva_core::ModuleId;
+
+/// One simulator event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// The processor put a request on the address bus.
+    Issue {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Element requested.
+        element: u64,
+        /// Target module.
+        module: ModuleId,
+    },
+    /// The processor wanted to issue but the target input queue was
+    /// full.
+    Stall {
+        /// Cycle of the event.
+        cycle: u64,
+        /// The module whose queue was full.
+        module: ModuleId,
+    },
+    /// A module moved a request from its input queue into service.
+    ServiceStart {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Serving module.
+        module: ModuleId,
+        /// Element served.
+        element: u64,
+    },
+    /// A module finished service and queued the datum for the bus.
+    Complete {
+        /// Cycle of the event.
+        cycle: u64,
+        /// Completing module.
+        module: ModuleId,
+        /// Element completed.
+        element: u64,
+    },
+    /// The return bus delivered an element to the processor.
+    Deliver {
+        /// Cycle the processor received the datum.
+        cycle: u64,
+        /// Element delivered.
+        element: u64,
+    },
+}
+
+impl Event {
+    /// The cycle the event happened.
+    pub const fn cycle(&self) -> u64 {
+        match *self {
+            Event::Issue { cycle, .. }
+            | Event::Stall { cycle, .. }
+            | Event::ServiceStart { cycle, .. }
+            | Event::Complete { cycle, .. }
+            | Event::Deliver { cycle, .. } => cycle,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Event::Issue {
+                cycle,
+                element,
+                module,
+            } => write!(f, "[{cycle:>5}] issue    e{element} -> m{module}"),
+            Event::Stall { cycle, module } => {
+                write!(f, "[{cycle:>5}] stall    (m{module} full)")
+            }
+            Event::ServiceStart {
+                cycle,
+                module,
+                element,
+            } => write!(f, "[{cycle:>5}] service  e{element} @ m{module}"),
+            Event::Complete {
+                cycle,
+                module,
+                element,
+            } => write!(f, "[{cycle:>5}] complete e{element} @ m{module}"),
+            Event::Deliver { cycle, element } => {
+                write!(f, "[{cycle:>5}] deliver  e{element}")
+            }
+        }
+    }
+}
+
+/// An event log. Collection is off by default; enable it with
+/// [`MemorySystem::enable_trace`](crate::MemorySystem::enable_trace).
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<Event>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates a disabled (non-recording) trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether events are being recorded.
+    pub const fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op while disabled).
+    pub fn push(&mut self, event: Event) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// The recorded events in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Drops all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.push(Event::Deliver { cycle: 1, element: 0 });
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records() {
+        let mut t = Trace::new();
+        t.set_enabled(true);
+        t.push(Event::Deliver { cycle: 1, element: 0 });
+        t.push(Event::Stall {
+            cycle: 2,
+            module: ModuleId::new(3),
+        });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].cycle(), 1);
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn event_display() {
+        let e = Event::Issue {
+            cycle: 7,
+            element: 3,
+            module: ModuleId::new(2),
+        };
+        assert_eq!(e.to_string(), "[    7] issue    e3 -> m2");
+        let d = Event::Deliver { cycle: 73, element: 63 };
+        assert_eq!(d.to_string(), "[   73] deliver  e63");
+    }
+}

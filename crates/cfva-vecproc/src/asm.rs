@@ -1,0 +1,333 @@
+//! A tiny textual assembly for the vector ISA.
+//!
+//! One instruction per line; `#` starts a comment. Memory operands use
+//! the access-pattern form `[base, stride, len]`:
+//!
+//! ```text
+//! # y = 3*x + y, one register-length chunk
+//! vload v0, [16, 12, 64]
+//! vload v1, [4096, 1, 64]
+//! vaxpy v2, 3, v0, v1
+//! vstore v2, [4096, 1, 64]
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use cfva_core::{ConfigError, VectorSpec};
+
+use crate::isa::{VReg, VectorOp};
+
+/// An assembly parse error, with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+/// The kinds of assembly errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// Unknown mnemonic.
+    UnknownOp(String),
+    /// Wrong number or shape of operands for the mnemonic.
+    BadOperands(String),
+    /// A register name did not parse (`v<number>` expected).
+    BadRegister(String),
+    /// A numeric literal did not parse.
+    BadNumber(String),
+    /// The vector operand was rejected by [`VectorSpec`] validation.
+    BadVector(ConfigError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            AsmErrorKind::UnknownOp(op) => write!(f, "unknown instruction '{op}'"),
+            AsmErrorKind::BadOperands(msg) => write!(f, "bad operands: {msg}"),
+            AsmErrorKind::BadRegister(tok) => write!(f, "bad register '{tok}'"),
+            AsmErrorKind::BadNumber(tok) => write!(f, "bad number '{tok}'"),
+            AsmErrorKind::BadVector(e) => write!(f, "bad vector operand: {e}"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+/// Parses a program: one instruction per line, `#` comments, blank
+/// lines ignored.
+///
+/// # Errors
+///
+/// The first [`AsmError`] encountered, with its line number.
+///
+/// # Examples
+///
+/// ```
+/// use cfva_vecproc::asm::parse_program;
+///
+/// let prog = parse_program(
+///     "vload v0, [0, 12, 64]\n\
+///      vadd v1, v0, v0 # double it",
+/// )?;
+/// assert_eq!(prog.len(), 2);
+/// # Ok::<(), cfva_vecproc::asm::AsmError>(())
+/// ```
+pub fn parse_program(source: &str) -> Result<Vec<VectorOp>, AsmError> {
+    let mut ops = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        ops.push(parse_line(line, line_no)?);
+    }
+    Ok(ops)
+}
+
+fn parse_line(line: &str, line_no: usize) -> Result<VectorOp, AsmError> {
+    let err = |kind| AsmError { line: line_no, kind };
+    let (mnemonic, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+    let operands = split_operands(rest);
+
+    match mnemonic {
+        "vload" | "vstore" => {
+            if operands.len() != 2 {
+                return Err(err(AsmErrorKind::BadOperands(format!(
+                    "{mnemonic} needs a register and a [base, stride, len] pattern"
+                ))));
+            }
+            let reg = parse_reg(&operands[0], line_no)?;
+            let vec = parse_vector(&operands[1], line_no)?;
+            Ok(if mnemonic == "vload" {
+                VectorOp::Load { dst: reg, vec }
+            } else {
+                VectorOp::Store { src: reg, vec }
+            })
+        }
+        "vadd" | "vmul" => {
+            if operands.len() != 3 {
+                return Err(err(AsmErrorKind::BadOperands(format!(
+                    "{mnemonic} needs three registers"
+                ))));
+            }
+            let dst = parse_reg(&operands[0], line_no)?;
+            let a = parse_reg(&operands[1], line_no)?;
+            let b = parse_reg(&operands[2], line_no)?;
+            Ok(if mnemonic == "vadd" {
+                VectorOp::Add { dst, a, b }
+            } else {
+                VectorOp::Mul { dst, a, b }
+            })
+        }
+        "vaxpy" => {
+            if operands.len() != 4 {
+                return Err(err(AsmErrorKind::BadOperands(
+                    "vaxpy needs dst, scalar, x, y".to_string(),
+                )));
+            }
+            let dst = parse_reg(&operands[0], line_no)?;
+            let scalar = parse_num(&operands[1], line_no)?;
+            let x = parse_reg(&operands[2], line_no)?;
+            let y = parse_reg(&operands[3], line_no)?;
+            Ok(VectorOp::Axpy { dst, scalar, x, y })
+        }
+        other => Err(err(AsmErrorKind::UnknownOp(other.to_string()))),
+    }
+}
+
+/// Splits operands on top-level commas (commas inside `[...]` group).
+fn split_operands(rest: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in rest.chars() {
+        match c {
+            '[' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ']' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<VReg, AsmError> {
+    tok.strip_prefix('v')
+        .and_then(|n| n.parse::<u8>().ok())
+        .map(VReg)
+        .ok_or(AsmError {
+            line,
+            kind: AsmErrorKind::BadRegister(tok.to_string()),
+        })
+}
+
+fn parse_num(tok: &str, line: usize) -> Result<u64, AsmError> {
+    tok.parse::<u64>().map_err(|_| AsmError {
+        line,
+        kind: AsmErrorKind::BadNumber(tok.to_string()),
+    })
+}
+
+fn parse_vector(tok: &str, line: usize) -> Result<VectorSpec, AsmError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| AsmError {
+            line,
+            kind: AsmErrorKind::BadOperands(format!(
+                "expected [base, stride, len], got '{tok}'"
+            )),
+        })?;
+    let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
+    if parts.len() != 3 {
+        return Err(AsmError {
+            line,
+            kind: AsmErrorKind::BadOperands(format!(
+                "expected three fields in '{tok}'"
+            )),
+        });
+    }
+    let base = parse_num(parts[0], line)?;
+    let stride = parts[1].parse::<i64>().map_err(|_| AsmError {
+        line,
+        kind: AsmErrorKind::BadNumber(parts[1].to_string()),
+    })?;
+    let len = parse_num(parts[2], line)?;
+    VectorSpec::new(base, stride, len).map_err(|e| AsmError {
+        line,
+        kind: AsmErrorKind::BadVector(e),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_daxpy() {
+        let prog = parse_program(
+            "# daxpy\n\
+             vload v0, [16, 12, 64]\n\
+             vload v1, [4096, 1, 64]\n\
+             vaxpy v2, 3, v0, v1\n\
+             vstore v2, [4096, 1, 64]\n",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 4);
+        assert!(matches!(prog[0], VectorOp::Load { dst: VReg(0), .. }));
+        assert!(matches!(
+            prog[2],
+            VectorOp::Axpy { dst: VReg(2), scalar: 3, x: VReg(0), y: VReg(1) }
+        ));
+        assert!(matches!(prog[3], VectorOp::Store { src: VReg(2), .. }));
+    }
+
+    #[test]
+    fn negative_strides_parse() {
+        let prog = parse_program("vload v0, [1000, -12, 32]").unwrap();
+        if let VectorOp::Load { vec, .. } = &prog[0] {
+            assert_eq!(vec.stride().get(), -12);
+        } else {
+            panic!("expected load");
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let prog = parse_program("\n  # nothing\n\nvadd v1, v2, v3  # trailing\n").unwrap();
+        assert_eq!(prog.len(), 1);
+    }
+
+    #[test]
+    fn unknown_op_reports_line() {
+        let err = parse_program("vload v0, [0, 1, 8]\nfrobnicate v1").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, AsmErrorKind::UnknownOp(_)));
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn operand_count_checked() {
+        assert!(matches!(
+            parse_program("vadd v1, v2").unwrap_err().kind,
+            AsmErrorKind::BadOperands(_)
+        ));
+        assert!(matches!(
+            parse_program("vaxpy v1, v2, v3").unwrap_err().kind,
+            AsmErrorKind::BadOperands(_)
+        ));
+        assert!(matches!(
+            parse_program("vload v0").unwrap_err().kind,
+            AsmErrorKind::BadOperands(_)
+        ));
+    }
+
+    #[test]
+    fn bad_tokens_rejected() {
+        assert!(matches!(
+            parse_program("vadd w1, v2, v3").unwrap_err().kind,
+            AsmErrorKind::BadRegister(_)
+        ));
+        assert!(matches!(
+            parse_program("vaxpy v1, many, v2, v3").unwrap_err().kind,
+            AsmErrorKind::BadNumber(_)
+        ));
+        assert!(matches!(
+            parse_program("vload v0, (0, 1, 8)").unwrap_err().kind,
+            AsmErrorKind::BadOperands(_)
+        ));
+        assert!(matches!(
+            parse_program("vload v0, [0, 1]").unwrap_err().kind,
+            AsmErrorKind::BadOperands(_)
+        ));
+    }
+
+    #[test]
+    fn vector_validation_propagates() {
+        // Zero stride is invalid at the VectorSpec level.
+        let err = parse_program("vload v0, [0, 0, 8]").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadVector(_)));
+    }
+
+    #[test]
+    fn round_trip_with_machine() {
+        use crate::machine::{Machine, MachineConfig};
+        use cfva_core::mapping::XorMatched;
+        use cfva_core::plan::Planner;
+        use cfva_memsim::MemConfig;
+
+        let prog = parse_program(
+            "vload v0, [0, 1, 64]\n\
+             vload v1, [4096, 1, 64]\n\
+             vaxpy v2, 2, v0, v1\n\
+             vstore v2, [8192, 1, 64]\n",
+        )
+        .unwrap();
+        let mut m = Machine::new(
+            MachineConfig::default(),
+            Planner::matched(XorMatched::new(3, 4).unwrap()),
+            MemConfig::new(3, 3).unwrap(),
+        );
+        m.run(&prog).unwrap();
+        for i in 0..64u64 {
+            assert_eq!(m.read_mem(8192 + i), 2 * i + (4096 + i));
+        }
+    }
+}

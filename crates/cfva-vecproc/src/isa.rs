@@ -1,0 +1,157 @@
+//! A minimal vector instruction set.
+//!
+//! Just enough to express the kernels that motivate strided access:
+//! loads/stores with arbitrary stride and elementwise arithmetic, on a
+//! small file of vector registers of a fixed architectural length.
+
+use std::fmt;
+
+use cfva_core::VectorSpec;
+
+/// A vector register name (`v0`, `v1`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VReg(pub u8);
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// One vector instruction.
+///
+/// Arithmetic wraps (`u64` modular): the model measures *timing*; data
+/// flows are exercised with small integers where exactness holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VectorOp {
+    /// `dst[i] = memory[vec.addr(i)]` — a strided vector load.
+    Load {
+        /// Destination register.
+        dst: VReg,
+        /// The constant-stride access pattern.
+        vec: VectorSpec,
+    },
+    /// `memory[vec.addr(i)] = src[i]` — a strided vector store.
+    Store {
+        /// Source register.
+        src: VReg,
+        /// The constant-stride access pattern.
+        vec: VectorSpec,
+    },
+    /// `dst[i] = a[i] + b[i]`.
+    Add {
+        /// Destination register.
+        dst: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+    },
+    /// `dst[i] = a[i] · b[i]`.
+    Mul {
+        /// Destination register.
+        dst: VReg,
+        /// Left operand.
+        a: VReg,
+        /// Right operand.
+        b: VReg,
+    },
+    /// `dst[i] = scalar · x[i] + y[i]` — the DAXPY inner step.
+    Axpy {
+        /// Destination register.
+        dst: VReg,
+        /// The scalar multiplier.
+        scalar: u64,
+        /// The scaled operand.
+        x: VReg,
+        /// The added operand.
+        y: VReg,
+    },
+}
+
+impl VectorOp {
+    /// Whether the op touches memory (LOAD/STORE).
+    pub const fn is_memory(&self) -> bool {
+        matches!(self, VectorOp::Load { .. } | VectorOp::Store { .. })
+    }
+
+    /// The registers the op reads.
+    pub fn sources(&self) -> Vec<VReg> {
+        match *self {
+            VectorOp::Load { .. } => vec![],
+            VectorOp::Store { src, .. } => vec![src],
+            VectorOp::Add { a, b, .. } | VectorOp::Mul { a, b, .. } => vec![a, b],
+            VectorOp::Axpy { x, y, .. } => vec![x, y],
+        }
+    }
+
+    /// The register the op writes, if any.
+    pub fn destination(&self) -> Option<VReg> {
+        match *self {
+            VectorOp::Load { dst, .. }
+            | VectorOp::Add { dst, .. }
+            | VectorOp::Mul { dst, .. }
+            | VectorOp::Axpy { dst, .. } => Some(dst),
+            VectorOp::Store { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for VectorOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VectorOp::Load { dst, vec } => write!(f, "vload {dst}, [{vec}]"),
+            VectorOp::Store { src, vec } => write!(f, "vstore {src}, [{vec}]"),
+            VectorOp::Add { dst, a, b } => write!(f, "vadd {dst}, {a}, {b}"),
+            VectorOp::Mul { dst, a, b } => write!(f, "vmul {dst}, {a}, {b}"),
+            VectorOp::Axpy { dst, scalar, x, y } => {
+                write!(f, "vaxpy {dst}, {scalar}, {x}, {y}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec64() -> VectorSpec {
+        VectorSpec::new(0, 1, 64).unwrap()
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(VectorOp::Load { dst: VReg(0), vec: vec64() }.is_memory());
+        assert!(VectorOp::Store { src: VReg(0), vec: vec64() }.is_memory());
+        assert!(!VectorOp::Add { dst: VReg(0), a: VReg(1), b: VReg(2) }.is_memory());
+    }
+
+    #[test]
+    fn dataflow_accessors() {
+        let op = VectorOp::Axpy {
+            dst: VReg(3),
+            scalar: 7,
+            x: VReg(1),
+            y: VReg(2),
+        };
+        assert_eq!(op.sources(), vec![VReg(1), VReg(2)]);
+        assert_eq!(op.destination(), Some(VReg(3)));
+
+        let st = VectorOp::Store { src: VReg(4), vec: vec64() };
+        assert_eq!(st.sources(), vec![VReg(4)]);
+        assert_eq!(st.destination(), None);
+
+        let ld = VectorOp::Load { dst: VReg(5), vec: vec64() };
+        assert!(ld.sources().is_empty());
+        assert_eq!(ld.destination(), Some(VReg(5)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(VReg(3).to_string(), "v3");
+        let op = VectorOp::Add { dst: VReg(0), a: VReg(1), b: VReg(2) };
+        assert_eq!(op.to_string(), "vadd v0, v1, v2");
+        let ld = VectorOp::Load { dst: VReg(1), vec: vec64() };
+        assert_eq!(ld.to_string(), "vload v1, [vector A1=0, S=1, L=64]");
+    }
+}

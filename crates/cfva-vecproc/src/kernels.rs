@@ -1,0 +1,239 @@
+//! Workload kernels: the strided access patterns that motivate the
+//! paper.
+//!
+//! Column accesses of row-major matrices produce strides equal to the
+//! row length (a power of two for typical FFT/graphics sizes — the worst
+//! case for plain interleaving); FFT butterflies walk strides `2^k` for
+//! every stage `k`; DAXPY streams two unit-stride (or strided, for
+//! banded solvers) vectors.
+
+use cfva_core::{ConfigError, VectorSpec};
+
+use crate::isa::{VReg, VectorOp};
+use crate::stripmine::StripMine;
+
+/// A row-major matrix layout in memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatrixLayout {
+    base: u64,
+    rows: u64,
+    cols: u64,
+}
+
+impl MatrixLayout {
+    /// Describes a `rows × cols` row-major matrix at `base`.
+    pub const fn new(base: u64, rows: u64, cols: u64) -> Self {
+        MatrixLayout { base, rows, cols }
+    }
+
+    /// Number of rows.
+    pub const fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub const fn cols(&self) -> u64 {
+        self.cols
+    }
+
+    /// Address of element `(r, c)`.
+    pub const fn addr(&self, r: u64, c: u64) -> u64 {
+        self.base + r * self.cols + c
+    }
+
+    /// Access pattern of row `r`: stride 1, `cols` elements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] (e.g. address overflow).
+    pub fn row(&self, r: u64) -> Result<VectorSpec, ConfigError> {
+        VectorSpec::new(self.addr(r, 0), 1, self.cols)
+    }
+
+    /// Access pattern of column `c`: stride `cols`, `rows` elements —
+    /// the pattern that serialises on plain interleaving when `cols` is
+    /// a power of two.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`].
+    pub fn column(&self, c: u64) -> Result<VectorSpec, ConfigError> {
+        VectorSpec::new(self.addr(0, c), self.cols as i64, self.rows)
+    }
+
+    /// Access pattern of the main diagonal: stride `cols + 1`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`].
+    pub fn diagonal(&self) -> Result<VectorSpec, ConfigError> {
+        VectorSpec::new(self.addr(0, 0), self.cols as i64 + 1, self.rows.min(self.cols))
+    }
+
+    /// Access pattern of the anti-diagonal: stride `cols − 1`, starting
+    /// at the top-right corner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`].
+    pub fn anti_diagonal(&self) -> Result<VectorSpec, ConfigError> {
+        VectorSpec::new(
+            self.addr(0, self.cols - 1),
+            self.cols as i64 - 1,
+            self.rows.min(self.cols),
+        )
+    }
+}
+
+/// The strided operand patterns of one radix-2 FFT stage: at stage `k`
+/// (of a `2^n`-point transform) butterflies pair elements `2^k` apart,
+/// and a vectorised implementation loads the even and odd operand sets
+/// with stride `2^{k+1}`.
+///
+/// Returns `(even, odd)` access patterns of `2^{n-1}` elements each.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`]; `stage` must satisfy `stage < n`.
+pub fn fft_stage_operands(
+    base: u64,
+    n: u32,
+    stage: u32,
+) -> Result<(VectorSpec, VectorSpec), ConfigError> {
+    if stage >= n {
+        return Err(ConfigError::OutOfRange {
+            what: "fft stage",
+            value: stage as u64,
+            constraint: "stage < log2(points)",
+        });
+    }
+    let half = 1u64 << (n - 1);
+    let dist = 1u64 << stage;
+    // A strided view covering all butterflies of the stage: group g
+    // spans 2^{stage+1} elements; evens sit at offsets 0..dist of each
+    // group. For a strided load we take `half` elements with stride
+    // 2^{stage+1} starting at each offset; stage patterns with the
+    // largest stride (the late stages) are the interesting ones, so the
+    // canonical "operand set" pattern uses offset 0 and dist.
+    let stride = (2 * dist) as i64;
+    let even = VectorSpec::new(base, stride, half)?;
+    let odd = VectorSpec::new(base + dist, stride, half)?;
+    Ok((even, odd))
+}
+
+/// Emits the vector program for one register-length DAXPY chunk:
+/// `y = a·x + y` for strided `x` and `y`.
+pub fn daxpy_chunk(a: u64, x: VectorSpec, y: VectorSpec) -> Vec<VectorOp> {
+    vec![
+        VectorOp::Load { dst: VReg(0), vec: x },
+        VectorOp::Load { dst: VReg(1), vec: y },
+        VectorOp::Axpy {
+            dst: VReg(2),
+            scalar: a,
+            x: VReg(0),
+            y: VReg(1),
+        },
+        VectorOp::Store { src: VReg(2), vec: y },
+    ]
+}
+
+/// Strip-mines a full `n`-element DAXPY into per-chunk programs.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from strip-mining.
+pub fn daxpy_program(
+    a: u64,
+    x_base: u64,
+    x_stride: i64,
+    y_base: u64,
+    y_stride: i64,
+    n: u64,
+    reg_len: u64,
+) -> Result<Vec<Vec<VectorOp>>, ConfigError> {
+    let xs = StripMine::new(x_base, x_stride, n, reg_len)?;
+    let ys = StripMine::new(y_base, y_stride, n, reg_len)?;
+    Ok(xs
+        .chunks()
+        .iter()
+        .zip(ys.chunks())
+        .map(|(x, y)| daxpy_chunk(a, *x, *y))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_patterns() {
+        let m = MatrixLayout::new(1000, 64, 128);
+        let row = m.row(3).unwrap();
+        assert_eq!(row.base().get(), 1000 + 3 * 128);
+        assert_eq!(row.stride().get(), 1);
+        assert_eq!(row.len(), 128);
+
+        let col = m.column(5).unwrap();
+        assert_eq!(col.base().get(), 1005);
+        assert_eq!(col.stride().get(), 128);
+        assert_eq!(col.len(), 64);
+        // Power-of-two column stride: the family the paper targets.
+        assert_eq!(col.family().exponent(), 7);
+
+        let diag = m.diagonal().unwrap();
+        assert_eq!(diag.stride().get(), 129);
+        assert_eq!(diag.family().exponent(), 0);
+        assert_eq!(diag.len(), 64);
+
+        let anti = m.anti_diagonal().unwrap();
+        assert_eq!(anti.base().get(), 1000 + 127);
+        assert_eq!(anti.stride().get(), 127);
+    }
+
+    #[test]
+    fn matrix_addresses_consistent() {
+        let m = MatrixLayout::new(0, 8, 16);
+        let col = m.column(3).unwrap();
+        for (r, addr) in col.iter().enumerate() {
+            assert_eq!(addr.get(), m.addr(r as u64, 3));
+        }
+        assert_eq!(m.rows(), 8);
+        assert_eq!(m.cols(), 16);
+    }
+
+    #[test]
+    fn fft_stage_strides_are_power_of_two_families() {
+        // 1024-point FFT: stages 0..10, strides 2, 4, ..., 1024.
+        for stage in 0..10u32 {
+            let (even, odd) = fft_stage_operands(0, 10, stage).unwrap();
+            assert_eq!(even.len(), 512);
+            assert_eq!(even.stride().get(), 2i64 << stage);
+            assert_eq!(even.family().exponent(), stage + 1);
+            assert_eq!(odd.base().get(), 1u64 << stage);
+        }
+        assert!(fft_stage_operands(0, 10, 10).is_err());
+    }
+
+    #[test]
+    fn daxpy_chunk_shape() {
+        let x = VectorSpec::new(0, 1, 64).unwrap();
+        let y = VectorSpec::new(4096, 1, 64).unwrap();
+        let prog = daxpy_chunk(3, x, y);
+        assert_eq!(prog.len(), 4);
+        assert!(prog[0].is_memory());
+        assert!(prog[3].is_memory());
+        assert_eq!(prog[2].destination(), Some(VReg(2)));
+    }
+
+    #[test]
+    fn daxpy_program_strip_mines() {
+        let chunks = daxpy_program(2, 0, 1, 10_000, 1, 200, 64).unwrap();
+        assert_eq!(chunks.len(), 4); // 64+64+64+8
+        // Final chunk covers the tail.
+        if let VectorOp::Load { vec, .. } = &chunks[3][0] {
+            assert_eq!(vec.len(), 8);
+        } else {
+            panic!("expected load");
+        }
+    }
+}

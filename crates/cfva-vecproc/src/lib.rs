@@ -1,0 +1,37 @@
+//! # cfva-vecproc — decoupled access/execute vector processor model
+//!
+//! The processor substrate of the conflict-free vector access
+//! reproduction (the paper's Figure 1): a memory-access module and an
+//! execute unit decoupled through a vector register file.
+//!
+//! * [`regfile`] — vector registers with FIFO or random-access write
+//!   ports. Out-of-order memory return **requires** random access
+//!   (paper Section 5D); a FIFO register file rejects the paper's access
+//!   orders, and the type system surfaces that here.
+//! * [`isa`] — a minimal vector instruction set (`VLOAD`, `VSTORE`,
+//!   `VADD`, `VMUL`, `VAXPY`) sufficient for the motivating kernels,
+//!   with a textual assembler in [`asm`].
+//! * [`stripmine`] — compiler-style strip-mining of long vectors into
+//!   register-length chunks, plus the Section 5C short-vector split.
+//! * [`machine`] — the decoupled machine: plans accesses with
+//!   [`cfva_core`], times them on [`cfva_memsim`], and models chained
+//!   versus unchained LOAD→EXECUTE (Section 5F).
+//! * [`kernels`] — DAXPY, matrix row/column/diagonal walks and FFT
+//!   butterfly strides: the access patterns vector memories were built
+//!   for.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod asm;
+pub mod isa;
+pub mod kernels;
+pub mod machine;
+pub mod regfile;
+pub mod stripmine;
+
+pub use asm::parse_program;
+pub use isa::{VReg, VectorOp};
+pub use machine::{Machine, MachineConfig, MachineStats, OpStats};
+pub use regfile::{RegError, VectorRegister, WritePolicy};

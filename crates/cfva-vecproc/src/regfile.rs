@@ -1,0 +1,305 @@
+//! Vector registers with FIFO or random-access write ports.
+//!
+//! The paper's Section 5D: "To support the out-of-order access, elements
+//! of the vector register have to be addressed out of order.
+//! Consequently, this register has to be of the random access type,
+//! whereas for ordered access and return a FIFO organization is
+//! adequate." This module makes that hardware distinction a type-level
+//! one.
+
+use std::error::Error;
+use std::fmt;
+
+/// Write-port organisation of a vector register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WritePolicy {
+    /// Slots must be written in order 0, 1, 2, …: the cheap organisation
+    /// that suffices for in-order memory return.
+    Fifo,
+    /// Any slot may be written at any time: required by out-of-order
+    /// memory return.
+    #[default]
+    RandomAccess,
+}
+
+impl fmt::Display for WritePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WritePolicy::Fifo => write!(f, "fifo"),
+            WritePolicy::RandomAccess => write!(f, "random-access"),
+        }
+    }
+}
+
+/// A register-file write error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegError {
+    /// A FIFO register was written out of order.
+    OutOfOrderWrite {
+        /// The slot that was written.
+        slot: u64,
+        /// The slot the FIFO port expected.
+        expected: u64,
+    },
+    /// The slot index exceeds the register length.
+    SlotOutOfRange {
+        /// The offending slot.
+        slot: u64,
+        /// The register length.
+        len: u64,
+    },
+    /// A slot was written twice within one access.
+    DoubleWrite {
+        /// The offending slot.
+        slot: u64,
+    },
+    /// The register was read back before every slot arrived.
+    Incomplete {
+        /// Number of slots still missing.
+        missing: u64,
+    },
+}
+
+impl fmt::Display for RegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RegError::OutOfOrderWrite { slot, expected } => write!(
+                f,
+                "fifo register written out of order: slot {slot}, expected {expected}"
+            ),
+            RegError::SlotOutOfRange { slot, len } => {
+                write!(f, "slot {slot} out of range for register of length {len}")
+            }
+            RegError::DoubleWrite { slot } => write!(f, "slot {slot} written twice"),
+            RegError::Incomplete { missing } => {
+                write!(f, "register read while {missing} elements still in flight")
+            }
+        }
+    }
+}
+
+impl Error for RegError {}
+
+/// One vector register of fixed length.
+///
+/// # Examples
+///
+/// ```
+/// use cfva_vecproc::{VectorRegister, WritePolicy};
+///
+/// let mut reg = VectorRegister::new(4, WritePolicy::RandomAccess);
+/// reg.write(2, 20)?; // out-of-order arrival: fine
+/// reg.write(0, 0)?;
+/// reg.write(3, 30)?;
+/// reg.write(1, 10)?;
+/// assert_eq!(reg.values()?, &[0, 10, 20, 30]);
+/// # Ok::<(), cfva_vecproc::RegError>(())
+/// ```
+///
+/// The same arrival order on a FIFO register fails:
+///
+/// ```
+/// use cfva_vecproc::{RegError, VectorRegister, WritePolicy};
+///
+/// let mut reg = VectorRegister::new(4, WritePolicy::Fifo);
+/// assert_eq!(
+///     reg.write(2, 20),
+///     Err(RegError::OutOfOrderWrite { slot: 2, expected: 0 })
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorRegister {
+    data: Vec<Option<u64>>,
+    policy: WritePolicy,
+    next_fifo: u64,
+    written: u64,
+}
+
+impl VectorRegister {
+    /// Creates an empty register of `len` slots.
+    pub fn new(len: u64, policy: WritePolicy) -> Self {
+        VectorRegister {
+            data: vec![None; len as usize],
+            policy,
+            next_fifo: 0,
+            written: 0,
+        }
+    }
+
+    /// Register length in elements.
+    pub fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Returns `true` for a zero-length register.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The write-port organisation.
+    pub const fn policy(&self) -> WritePolicy {
+        self.policy
+    }
+
+    /// Writes `value` into `slot` as the memory return for that element
+    /// arrives.
+    ///
+    /// # Errors
+    ///
+    /// * [`RegError::SlotOutOfRange`] if `slot ≥ len`;
+    /// * [`RegError::OutOfOrderWrite`] on a FIFO register when `slot`
+    ///   is not the next sequential index;
+    /// * [`RegError::DoubleWrite`] if the slot already holds a value.
+    pub fn write(&mut self, slot: u64, value: u64) -> Result<(), RegError> {
+        if slot >= self.len() {
+            return Err(RegError::SlotOutOfRange {
+                slot,
+                len: self.len(),
+            });
+        }
+        if self.policy == WritePolicy::Fifo && slot != self.next_fifo {
+            return Err(RegError::OutOfOrderWrite {
+                slot,
+                expected: self.next_fifo,
+            });
+        }
+        if self.data[slot as usize].is_some() {
+            return Err(RegError::DoubleWrite { slot });
+        }
+        self.data[slot as usize] = Some(value);
+        self.written += 1;
+        if self.policy == WritePolicy::Fifo {
+            self.next_fifo += 1;
+        }
+        Ok(())
+    }
+
+    /// Number of slots written so far.
+    pub const fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Whether every slot holds a value.
+    pub fn is_complete(&self) -> bool {
+        self.written == self.len()
+    }
+
+    /// The register contents, available once complete.
+    ///
+    /// # Errors
+    ///
+    /// [`RegError::Incomplete`] while elements are still in flight.
+    pub fn values(&self) -> Result<Vec<u64>, RegError> {
+        if !self.is_complete() {
+            return Err(RegError::Incomplete {
+                missing: self.len() - self.written,
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .map(|v| v.expect("complete register has all slots"))
+            .collect())
+    }
+
+    /// Reads one slot if it has arrived (chained consumers use this).
+    pub fn get(&self, slot: u64) -> Option<u64> {
+        self.data.get(slot as usize).copied().flatten()
+    }
+
+    /// Clears all slots for the next access.
+    pub fn reset(&mut self) {
+        self.data.fill(None);
+        self.next_fifo = 0;
+        self.written = 0;
+    }
+
+    /// Fills the register from a slice (used to preset operands).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the register length.
+    pub fn load_values(&mut self, values: &[u64]) {
+        assert_eq!(values.len() as u64, self.len(), "length mismatch");
+        self.reset();
+        for (i, &v) in values.iter().enumerate() {
+            self.data[i] = Some(v);
+        }
+        self.written = self.len();
+        self.next_fifo = self.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_access_accepts_any_order() {
+        let mut reg = VectorRegister::new(4, WritePolicy::RandomAccess);
+        for slot in [3u64, 0, 2, 1] {
+            reg.write(slot, slot * 10).unwrap();
+        }
+        assert!(reg.is_complete());
+        assert_eq!(reg.values().unwrap(), vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn fifo_accepts_only_sequential() {
+        let mut reg = VectorRegister::new(4, WritePolicy::Fifo);
+        reg.write(0, 1).unwrap();
+        reg.write(1, 2).unwrap();
+        assert_eq!(
+            reg.write(3, 4),
+            Err(RegError::OutOfOrderWrite { slot: 3, expected: 2 })
+        );
+        reg.write(2, 3).unwrap();
+        reg.write(3, 4).unwrap();
+        assert!(reg.is_complete());
+    }
+
+    #[test]
+    fn double_write_detected() {
+        let mut reg = VectorRegister::new(4, WritePolicy::RandomAccess);
+        reg.write(1, 5).unwrap();
+        assert_eq!(reg.write(1, 6), Err(RegError::DoubleWrite { slot: 1 }));
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let mut reg = VectorRegister::new(4, WritePolicy::RandomAccess);
+        assert_eq!(
+            reg.write(4, 0),
+            Err(RegError::SlotOutOfRange { slot: 4, len: 4 })
+        );
+    }
+
+    #[test]
+    fn incomplete_read_rejected() {
+        let mut reg = VectorRegister::new(4, WritePolicy::RandomAccess);
+        reg.write(0, 1).unwrap();
+        assert_eq!(reg.values(), Err(RegError::Incomplete { missing: 3 }));
+        assert_eq!(reg.get(0), Some(1));
+        assert_eq!(reg.get(1), None);
+    }
+
+    #[test]
+    fn reset_and_preset() {
+        let mut reg = VectorRegister::new(3, WritePolicy::Fifo);
+        reg.load_values(&[7, 8, 9]);
+        assert_eq!(reg.values().unwrap(), vec![7, 8, 9]);
+        reg.reset();
+        assert!(!reg.is_complete());
+        reg.write(0, 1).unwrap(); // FIFO pointer reset too
+        assert_eq!(reg.written(), 1);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = RegError::OutOfOrderWrite { slot: 3, expected: 1 };
+        assert!(e.to_string().contains("slot 3"));
+        assert!(RegError::Incomplete { missing: 2 }
+            .to_string()
+            .contains("2 elements"));
+    }
+}

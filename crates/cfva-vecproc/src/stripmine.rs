@@ -1,0 +1,211 @@
+//! Compiler-style strip-mining and the Section 5C short-vector split.
+//!
+//! Application vectors are usually much longer than the register length
+//! `L`; the compiler strip-mines them into register-length chunks, so
+//! "a very high fraction of the accesses are of vectors of length equal
+//! to that of the registers" (paper Section 1). The leftover tail is
+//! shorter than `L`; Section 5C splits it once more into the largest
+//! prefix the out-of-order scheme can still serve (`V = k·2^{w+t−x}`)
+//! plus an in-order remainder.
+
+use cfva_core::analysis::short_vector_split;
+use cfva_core::{ConfigError, VectorSpec};
+
+/// The chunks of one strip-mined vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripMine {
+    chunks: Vec<VectorSpec>,
+    full_chunks: usize,
+}
+
+impl StripMine {
+    /// Splits an `n`-element strided access into register-length chunks
+    /// (`reg_len` each) plus at most one shorter tail chunk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from chunk construction (zero stride,
+    /// zero length, address overflow).
+    pub fn new(base: u64, stride: i64, n: u64, reg_len: u64) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::OutOfRange {
+                what: "total length",
+                value: 0,
+                constraint: "n >= 1",
+            });
+        }
+        let mut chunks = Vec::new();
+        let mut remaining = n;
+        let mut offset: i128 = base as i128;
+        while remaining > 0 {
+            let this = remaining.min(reg_len);
+            chunks.push(VectorSpec::new(offset as u64, stride, this)?);
+            offset += stride as i128 * this as i128;
+            remaining -= this;
+        }
+        let full_chunks = (n / reg_len) as usize;
+        Ok(StripMine {
+            chunks,
+            full_chunks,
+        })
+    }
+
+    /// All chunks, in element order.
+    pub fn chunks(&self) -> &[VectorSpec] {
+        &self.chunks
+    }
+
+    /// Number of chunks of exactly the register length.
+    pub const fn full_chunks(&self) -> usize {
+        self.full_chunks
+    }
+
+    /// The shorter-than-register tail chunk, if any.
+    pub fn tail(&self) -> Option<&VectorSpec> {
+        self.chunks.get(self.full_chunks)
+    }
+
+    /// Total elements covered.
+    pub fn total_len(&self) -> u64 {
+        self.chunks.iter().map(|c| c.len()).sum()
+    }
+}
+
+/// Section 5C: split a short vector into the largest prefix the
+/// out-of-order scheme can serve (`k·2^{w+t−x}` elements) and an
+/// in-order tail. Either part may be absent.
+///
+/// `w` is the window boundary of the memory in use (`s` for matched,
+/// `s` or `y` per family for unmatched) and `t` its latency exponent.
+///
+/// # Examples
+///
+/// ```
+/// use cfva_vecproc::stripmine::split_short;
+/// use cfva_core::VectorSpec;
+///
+/// // w = 4, t = 3, family x = 2 -> granule 32; 100 = 96 + 4.
+/// let v = VectorSpec::new(1000, 12, 100)?;
+/// let (ooo, tail) = split_short(&v, 4, 3);
+/// let ooo = ooo.unwrap();
+/// let tail = tail.unwrap();
+/// assert_eq!(ooo.len(), 96);
+/// assert_eq!(tail.len(), 4);
+/// // The tail continues exactly where the prefix ends.
+/// assert_eq!(tail.base().get(), 1000 + 96 * 12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn split_short(
+    vec: &VectorSpec,
+    w: u32,
+    t: u32,
+) -> (Option<VectorSpec>, Option<VectorSpec>) {
+    let (ooo_len, tail_len) = short_vector_split(vec.len(), vec.family(), w, t);
+    let stride = vec.stride().get();
+    let ooo = if ooo_len > 0 {
+        Some(
+            VectorSpec::new(vec.base().get(), stride, ooo_len)
+                .expect("prefix of a valid vector is valid"),
+        )
+    } else {
+        None
+    };
+    let tail = if tail_len > 0 {
+        let tail_base = (vec.base().get() as i128 + stride as i128 * ooo_len as i128) as u64;
+        Some(
+            VectorSpec::new(tail_base, stride, tail_len)
+                .expect("suffix of a valid vector is valid"),
+        )
+    } else {
+        None
+    };
+    (ooo, tail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_multiple_has_no_tail() {
+        let sm = StripMine::new(0, 3, 256, 64).unwrap();
+        assert_eq!(sm.chunks().len(), 4);
+        assert_eq!(sm.full_chunks(), 4);
+        assert!(sm.tail().is_none());
+        assert_eq!(sm.total_len(), 256);
+        // Chunks are contiguous in the access pattern.
+        for (i, c) in sm.chunks().iter().enumerate() {
+            assert_eq!(c.base().get(), (i as u64) * 64 * 3);
+            assert_eq!(c.len(), 64);
+        }
+    }
+
+    #[test]
+    fn tail_chunk_is_shorter() {
+        let sm = StripMine::new(10, 5, 200, 64).unwrap();
+        assert_eq!(sm.chunks().len(), 4);
+        assert_eq!(sm.full_chunks(), 3);
+        let tail = sm.tail().unwrap();
+        assert_eq!(tail.len(), 200 - 192);
+        assert_eq!(tail.base().get(), 10 + 192 * 5);
+    }
+
+    #[test]
+    fn short_vector_single_chunk() {
+        let sm = StripMine::new(0, 1, 10, 64).unwrap();
+        assert_eq!(sm.chunks().len(), 1);
+        assert_eq!(sm.full_chunks(), 0);
+        assert_eq!(sm.tail().unwrap().len(), 10);
+    }
+
+    #[test]
+    fn negative_stride_strip_mining() {
+        let sm = StripMine::new(10_000, -4, 130, 64).unwrap();
+        assert_eq!(sm.chunks().len(), 3);
+        assert_eq!(sm.chunks()[1].base().get(), 10_000 - 4 * 64);
+        assert_eq!(sm.tail().unwrap().len(), 2);
+        assert_eq!(sm.total_len(), 130);
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        assert!(StripMine::new(0, 1, 0, 64).is_err());
+    }
+
+    #[test]
+    fn split_all_out_of_order() {
+        // 64 = 2 granules of 32 exactly.
+        let v = VectorSpec::new(0, 12, 64).unwrap();
+        let (ooo, tail) = split_short(&v, 4, 3);
+        assert_eq!(ooo.unwrap().len(), 64);
+        assert!(tail.is_none());
+    }
+
+    #[test]
+    fn split_all_in_order_when_family_outside_window() {
+        let v = VectorSpec::new(0, 64, 100).unwrap(); // x = 6 > w = 4
+        let (ooo, tail) = split_short(&v, 4, 3);
+        assert!(ooo.is_none());
+        assert_eq!(tail.unwrap().len(), 100);
+    }
+
+    #[test]
+    fn split_too_short_vector() {
+        let v = VectorSpec::new(0, 12, 20).unwrap(); // < one granule (32)
+        let (ooo, tail) = split_short(&v, 4, 3);
+        assert!(ooo.is_none());
+        assert_eq!(tail.unwrap().len(), 20);
+    }
+
+    #[test]
+    fn split_preserves_element_addresses() {
+        let v = VectorSpec::new(5000, -12, 70).unwrap();
+        let (ooo, tail) = split_short(&v, 4, 3);
+        let ooo = ooo.unwrap();
+        let tail = tail.unwrap();
+        let mut addrs: Vec<u64> = ooo.iter().map(|a| a.get()).collect();
+        addrs.extend(tail.iter().map(|a| a.get()));
+        let want: Vec<u64> = v.iter().map(|a| a.get()).collect();
+        assert_eq!(addrs, want);
+    }
+}

@@ -1,0 +1,90 @@
+//! Full-processor demo: strip-mined DAXPY (`y = a·x + y`) on the
+//! decoupled access/execute machine, chained vs unchained, with a
+//! strided `x` operand that conflicts under in-order access.
+//!
+//! ```text
+//! cargo run --example decoupled_daxpy
+//! ```
+
+use cfva::core::mapping::XorMatched;
+use cfva::core::plan::{Planner, Strategy};
+use cfva::memsim::MemConfig;
+use cfva::vecproc::kernels::daxpy_chunk;
+use cfva::vecproc::stripmine::StripMine;
+use cfva::vecproc::{Machine, MachineConfig, WritePolicy};
+
+fn build_machine(chaining: bool, strategy: Strategy) -> Result<Machine, Box<dyn std::error::Error>> {
+    let planner = Planner::matched(XorMatched::new(3, 4)?); // L=128 -> s=4
+    Ok(Machine::new(
+        MachineConfig {
+            reg_len: 128,
+            chaining,
+            strategy,
+            write_policy: WritePolicy::RandomAccess,
+            ..MachineConfig::default()
+        },
+        planner,
+        MemConfig::new(3, 3)?,
+    ))
+}
+
+fn run_daxpy(machine: &mut Machine, n: u64) -> Result<u64, Box<dyn std::error::Error>> {
+    // x strided by 12 (a banded-matrix column sweep), y unit stride.
+    let a = 3u64;
+    let xs = StripMine::new(0, 12, n, 128)?;
+    let ys = StripMine::new(1 << 22, 1, n, 128)?;
+    // Fill memory with known data.
+    for chunk in xs.chunks() {
+        for addr in chunk.iter() {
+            machine.write_mem(addr.get(), addr.get() % 1000);
+        }
+    }
+    let mut total = 0;
+    for (x, y) in xs.chunks().iter().zip(ys.chunks()) {
+        let stats = machine.run(&daxpy_chunk(a, *x, *y))?;
+        total = stats.total_cycles;
+    }
+    Ok(total)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 512u64; // 4 register-length chunks
+
+    println!("DAXPY y = 3·x + y, n = {n}, x stride 12, register length 128");
+    println!("memory: M = T = 8 (t = 3), XOR map s = 4\n");
+
+    let mut rows = Vec::new();
+    for (name, chaining, strategy) in [
+        ("in-order, unchained", false, Strategy::Canonical),
+        ("out-of-order, unchained", false, Strategy::Auto),
+        ("out-of-order, chained", true, Strategy::Auto),
+    ] {
+        let mut machine = build_machine(chaining, strategy)?;
+        let cycles = run_daxpy(&mut machine, n)?;
+        rows.push((name, cycles));
+    }
+
+    println!("{:<26} {:>12}", "configuration", "total cycles");
+    println!("{}", "-".repeat(40));
+    let baseline = rows[0].1;
+    for (name, cycles) in &rows {
+        println!(
+            "{:<26} {:>12}   ({:.2}x)",
+            name,
+            cycles,
+            baseline as f64 / *cycles as f64
+        );
+    }
+
+    // Correctness check: compare against a scalar computation.
+    let mut machine = build_machine(true, Strategy::Auto)?;
+    run_daxpy(&mut machine, n)?;
+    for i in [0u64, 1, 100, 511] {
+        let x_addr = 12 * i;
+        let y_addr = (1 << 22) + i;
+        let expect = 3 * (x_addr % 1000) + y_addr; // y was uninitialised: reads as address
+        assert_eq!(machine.read_mem(y_addr), expect, "element {i}");
+    }
+    println!("\nresult verified against scalar reference for sampled elements");
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! FFT butterfly strides across all stages of a 1024-point transform —
+//! the classic all-power-of-two workload that breaks plain interleaving
+//! at every late stage, swept over four memory schemes.
+//!
+//! Stage `k` of a radix-2 FFT loads its operand sets with stride
+//! `2^{k+1}`: ten stages walk families 1 through 10. A memory system is
+//! only as good as its worst stage, because every stage runs once per
+//! transform.
+//!
+//! ```text
+//! cargo run --example fft_sweep
+//! ```
+
+use cfva::core::mapping::{Interleaved, PseudoRandom, XorMatched, XorUnmatched};
+use cfva::core::plan::{Planner, Strategy};
+use cfva::memsim::{MemConfig, MemorySystem};
+use cfva::vecproc::kernels::fft_stage_operands;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_log2 = 10u32; // 1024-point FFT
+    let half = 1u64 << (n_log2 - 1); // 512 operand pairs per stage
+
+    // Register length 128 -> strip-mine each operand set into 4 chunks.
+    let reg_len = 128u64;
+    let mem8 = MemConfig::new(3, 3)?;
+    let mem64 = MemConfig::new(6, 3)?;
+
+    // λ = 7 -> recommended s = 4, y = 9.
+    let schemes: Vec<(&str, Planner, MemConfig)> = vec![
+        ("interleaved M=8", Planner::baseline(Interleaved::new(3), 3), mem8),
+        (
+            "pseudo-random M=8",
+            Planner::baseline(PseudoRandom::with_default_poly(3)?, 3),
+            mem8,
+        ),
+        ("xor OOO M=8", Planner::matched(XorMatched::new(3, 4)?), mem8),
+        (
+            "xor OOO M=64",
+            Planner::unmatched(XorUnmatched::new(3, 4, 9)?),
+            mem64,
+        ),
+    ];
+
+    println!("1024-point FFT: per-stage latency to load one operand set");
+    println!("({half} elements strip-mined into {}-element accesses; floor per chunk = {})\n",
+        reg_len, 8 + reg_len + 1);
+
+    print!("{:<7}", "stage");
+    for (name, _, _) in &schemes {
+        print!("{name:>19}");
+    }
+    println!();
+    println!("{}", "-".repeat(7 + 19 * schemes.len()));
+
+    let mut totals = vec![0u64; schemes.len()];
+    for stage in 0..n_log2 {
+        let (even, _odd) = fft_stage_operands(0, n_log2, stage)?;
+        print!("{:<7}", format!("{} (x={})", stage, stage + 1));
+        for (i, (_, planner, mem)) in schemes.iter().enumerate() {
+            // Strip-mine the operand set into register-length chunks.
+            let chunks = cfva::vecproc::stripmine::StripMine::new(
+                even.base().get(),
+                even.stride().get(),
+                even.len(),
+                reg_len,
+            )?;
+            let mut stage_cycles = 0u64;
+            for chunk in chunks.chunks() {
+                let plan = planner.plan(chunk, Strategy::Auto)?;
+                stage_cycles += MemorySystem::new(*mem).run_plan(&plan).latency;
+            }
+            totals[i] += stage_cycles;
+            print!("{stage_cycles:>19}");
+        }
+        println!();
+    }
+    println!("{}", "-".repeat(7 + 19 * schemes.len()));
+    print!("{:<7}", "total");
+    for t in &totals {
+        print!("{t:>19}");
+    }
+    println!("\n");
+    println!("The matched window [0,4] covers the early stages; the unmatched");
+    println!("memory (M = T² = 64, window [0,9]) runs the whole transform at the");
+    println!("floor except the final stage; pseudo-random interleaving degrades");
+    println!("every stage a little instead of a few stages badly.");
+    Ok(())
+}

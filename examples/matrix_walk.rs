@@ -1,0 +1,77 @@
+//! The motivating workload: row, column and diagonal walks over a
+//! row-major matrix, comparing plain interleaving, skewing, and the
+//! paper's scheme on matched and unmatched memories.
+//!
+//! Column accesses of a 128-wide matrix have stride 128 = 2^7 — the
+//! pathological case for low-order interleaving (every element lands in
+//! one module). A matched memory's window `[0, λ−t]` cannot stretch to
+//! family 7 while keeping rows (family 0) conflict free; the unmatched
+//! memory of Section 4 covers `[0, 2(λ−t)+1] = [0, 7]` and serves both.
+//!
+//! ```text
+//! cargo run --example matrix_walk
+//! ```
+
+use cfva::core::mapping::{Interleaved, Skewed, XorMatched, XorUnmatched};
+use cfva::core::plan::{Planner, Strategy};
+use cfva::memsim::{MemConfig, MemorySystem};
+use cfva::vecproc::kernels::MatrixLayout;
+use cfva::VectorSpec;
+
+fn measure(planner: &Planner, vec: &VectorSpec, strategy: Strategy, mem: MemConfig) -> String {
+    match planner.plan(vec, strategy) {
+        Ok(plan) => {
+            let stats = MemorySystem::new(mem).run_plan(&plan);
+            format!("{:>6}", stats.latency)
+        }
+        Err(_) => "   n/a".to_string(),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 64x128 row-major matrix; register length 64 (λ = 6), T = 8.
+    let matrix = MatrixLayout::new(0, 64, 128);
+    let mem8 = MemConfig::new(3, 3)?; // matched: M = T = 8
+    let mem64 = MemConfig::new(6, 3)?; // unmatched: M = 64, T = 8
+
+    // Recommended parameters: s = λ − t = 3, y = 2(λ−t) + 1 = 7.
+    let interleaved = Planner::baseline(Interleaved::new(3), 3);
+    let skewed = Planner::baseline(Skewed::new(3, 1), 3);
+    let matched = Planner::matched(XorMatched::new(3, 3)?);
+    let unmatched = Planner::unmatched(XorUnmatched::new(3, 3, 7)?);
+
+    let walks: Vec<(&str, VectorSpec)> = vec![
+        ("row 5        (stride   1, x=0)", matrix.row(5)?),
+        ("column 9     (stride 128, x=7)", matrix.column(9)?),
+        ("diagonal     (stride 129, x=0)", matrix.diagonal()?),
+        ("anti-diag    (stride 127, x=0)", matrix.anti_diagonal()?),
+        ("banded sweep (stride  96, x=5)", VectorSpec::new(matrix.addr(0, 3), 96, 64)?),
+        ("col pairs    (stride 256, x=8)", VectorSpec::new(matrix.addr(0, 3), 256, 64)?),
+    ];
+
+    println!("64x128 row-major matrix; latency in cycles");
+    println!("(conflict-free floor T+L+1: 137 for the 128-element rows, 73 for the rest)\n");
+    println!(
+        "{:<32} {:>7} {:>7} {:>9} {:>11}",
+        "access pattern", "intlv-8", "skew-8", "OOO M=8", "OOO M=64"
+    );
+    println!("{}", "-".repeat(70));
+    for (name, vec) in &walks {
+        println!(
+            "{:<32} {:>7} {:>7} {:>9} {:>11}",
+            name,
+            measure(&interleaved, vec, Strategy::Canonical, mem8),
+            measure(&skewed, vec, Strategy::Canonical, mem8),
+            measure(&matched, vec, Strategy::Auto, mem8),
+            measure(&unmatched, vec, Strategy::Auto, mem64),
+        );
+    }
+
+    println!("\nInterleaving serialises the power-of-two column stride onto one");
+    println!("module (~L·T = 512 cycles). The matched window [0, 3] rescues the");
+    println!("banded strides but not family 7; the unmatched memory (M = T² = 64,");
+    println!("window [0, 7]) serves rows AND columns at the 73-cycle floor.");
+    println!("Family 8 stays degraded everywhere — the window is finite, as the");
+    println!("paper's Section 5E cost argument demands.");
+    Ok(())
+}

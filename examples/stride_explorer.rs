@@ -1,0 +1,96 @@
+//! Interactive stride explorer: show how any stride behaves on a
+//! matched or unmatched memory — family, window membership, chosen
+//! ordering, subsequences, module trace and simulated latency.
+//!
+//! ```text
+//! cargo run --example stride_explorer -- <stride> [base] [len] [t] [s] [y]
+//! cargo run --example stride_explorer -- 12
+//! cargo run --example stride_explorer -- 192 0 32 2 3 7     # Figure 7 memory
+//! ```
+
+use cfva::core::analysis;
+use cfva::core::mapping::{XorMatched, XorUnmatched};
+use cfva::core::plan::{Planner, Strategy};
+use cfva::core::window::{MatchedWindow, UnmatchedWindow};
+use cfva::memsim::{MemConfig, MemorySystem};
+use cfva::VectorSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: stride_explorer <stride> [base=16] [len=64] [t=3] [s=3] [y]");
+        eprintln!("       (give y to use the unmatched two-level memory with M = T^2)");
+        std::process::exit(2);
+    }
+    let stride: i64 = args[0].parse()?;
+    let base: u64 = args.get(1).map_or(Ok(16), |s| s.parse())?;
+    let len: u64 = args.get(2).map_or(Ok(64), |s| s.parse())?;
+    let t: u32 = args.get(3).map_or(Ok(3), |s| s.parse())?;
+    let s: u32 = args.get(4).map_or(Ok(3), |s| s.parse())?;
+    let y: Option<u32> = match args.get(5) {
+        Some(v) => Some(v.parse()?),
+        None => None,
+    };
+
+    let vec = VectorSpec::new(base, stride, len)?;
+    let x = vec.family().exponent();
+    println!("access: {vec}");
+    println!("stride {} = {}", stride, vec.stride());
+
+    let (planner, mem) = match y {
+        Some(y) => {
+            let map = XorUnmatched::new(t, s, y)?;
+            println!("memory: {map}");
+            if let Some(lambda) = vec.lambda() {
+                let w = UnmatchedWindow::new(t, s, y, lambda);
+                println!("window: {w} — family x = {x} is {}",
+                    if w.contains(vec.family()) { "INSIDE (conflict free)" } else { "OUTSIDE" });
+                if let Some(kind) = w.replay_kind(vec.family()) {
+                    println!("replay keyed by: {kind}");
+                }
+            }
+            (Planner::unmatched(map), MemConfig::new(2 * t, t)?)
+        }
+        None => {
+            let map = XorMatched::new(t, s)?;
+            println!("memory: {map}");
+            if let Some(lambda) = vec.lambda() {
+                let w = MatchedWindow::new(t, s, lambda);
+                println!("window: {w} — family x = {x} is {}",
+                    if w.contains(vec.family()) { "INSIDE (conflict free)" } else { "OUTSIDE" });
+            }
+            (Planner::matched(map), MemConfig::new(t, t)?)
+        }
+    };
+
+    println!(
+        "period P_x = {} elements",
+        planner.map().period(vec.family())
+    );
+
+    for strategy in [Strategy::Canonical, Strategy::Subsequence, Strategy::ConflictFree] {
+        match planner.plan(&vec, strategy) {
+            Ok(plan) => {
+                let stats = MemorySystem::new(mem).run_plan(&plan);
+                let mods: Vec<u64> = plan
+                    .module_sequence()
+                    .iter()
+                    .take(16)
+                    .map(|m| m.get())
+                    .collect();
+                println!(
+                    "\n{strategy:>13}: latency {:>5} cycles ({} conflicts, {} stalls)",
+                    stats.latency, stats.conflicts, stats.stall_cycles
+                );
+                println!("               first modules: {mods:?}");
+            }
+            Err(e) => println!("\n{strategy:>13}: not applicable — {e}"),
+        }
+    }
+
+    println!(
+        "\nconflict-free minimum would be T + L + 1 = {} cycles",
+        analysis::conflict_free_latency(mem.t_cycles(), len)
+    );
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! # cfva — Conflict-Free Vector Access
+//!
+//! Umbrella crate for the reproduction of
+//!
+//! > M. Valero, T. Lang, J. M. Llabería, M. Peiron, E. Ayguadé and
+//! > J. J. Navarro, *"Increasing the Number of Strides for Conflict-Free
+//! > Vector Access"*, ISCA 1992.
+//!
+//! Re-exports the three member crates:
+//!
+//! * [`core`] ([`cfva_core`]) — address mappings, access orders,
+//!   planners, analytic models and hardware models (the paper's
+//!   contribution);
+//! * [`memsim`] ([`cfva_memsim`]) — the cycle-accurate multi-module
+//!   memory simulator used to measure latencies;
+//! * [`vecproc`] ([`cfva_vecproc`]) — the decoupled access/execute
+//!   vector-processor model (register file, strip-mining, chaining).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use cfva_core as core;
+pub use cfva_memsim as memsim;
+pub use cfva_vecproc as vecproc;
+
+pub use cfva_core::{Addr, ConfigError, ModuleId, PlanError, Stride, StrideFamily, VectorSpec};

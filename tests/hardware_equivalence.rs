@@ -1,0 +1,93 @@
+//! Property tests: the register-transfer-level hardware models produce
+//! cycle-for-cycle the same streams as the functional planner.
+
+use cfva::core::hardware::{AddressGenerator, GeneratorConfig, ReplayEngine};
+use cfva::core::mapping::{XorMatched, XorUnmatched};
+use cfva::core::order::{replay_order, subseq_order, ReplayKey, SubseqStructure};
+use cfva::core::{Stride, VectorSpec};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Figure 4/5 FSM == functional subsequence order, for any matched
+    /// configuration, family, σ, base.
+    #[test]
+    fn generator_equals_functional(
+        t in 1u32..=3,
+        extra in 0u32..=2,
+        x in 0u32..=5,
+        sigma in prop::sample::select(vec![1i64, 3, 5, -3]),
+        base in 100_000u64..200_000,
+    ) {
+        let s = t + extra;
+        let map = XorMatched::new(t, s).unwrap();
+        prop_assume!(x <= s);
+        let stride = Stride::from_parts(sigma, x).unwrap();
+        let len = 1u64 << (s + t - x + 1); // two periods
+        let vec = VectorSpec::with_stride(base.into(), stride, len).unwrap();
+        let st = SubseqStructure::for_matched(&map, vec.family()).unwrap();
+
+        let cfg = GeneratorConfig::for_vector(&vec, &st).unwrap();
+        let rtl: Vec<(u64, u64)> = AddressGenerator::new(cfg)
+            .map(|(a, r)| (a.get(), r))
+            .collect();
+        let func: Vec<(u64, u64)> = subseq_order(&st, len)
+            .unwrap()
+            .into_iter()
+            .map(|e| (vec.element_addr(e).get(), e))
+            .collect();
+        prop_assert_eq!(rtl, func);
+    }
+
+    /// Figure 6 engine == functional replay order, and the latch file
+    /// never needs more than the paper's two latches per key.
+    #[test]
+    fn replay_engine_equals_functional_matched(
+        x in 0u32..=4,
+        sigma in prop::sample::select(vec![1i64, 3, 5]),
+        base in 0u64..100_000,
+    ) {
+        let map = XorMatched::new(3, 4).unwrap();
+        let stride = Stride::from_parts(sigma, x).unwrap();
+        let vec = VectorSpec::with_stride(base.into(), stride, 128).unwrap();
+        let st = SubseqStructure::for_matched(&map, vec.family()).unwrap();
+
+        let expected = replay_order(&map, &vec, &st, ReplayKey::Module).unwrap();
+        let mut engine = ReplayEngine::new(&map, &vec, &st, ReplayKey::Module).unwrap();
+        let got: Vec<u64> = std::iter::from_fn(|| engine.step().map(|r| r.element)).collect();
+        prop_assert_eq!(got, expected);
+        prop_assert!(engine.stats().max_latches_per_key <= 2);
+        prop_assert!(engine.stats().max_latches_total <= 16); // 2T
+    }
+
+    /// Same equivalence on the unmatched memory, both replay keys.
+    #[test]
+    fn replay_engine_equals_functional_unmatched(
+        x in 0u32..=7,
+        sigma in prop::sample::select(vec![1i64, 3]),
+        base in 0u64..100_000,
+    ) {
+        let map = XorUnmatched::new(2, 3, 7).unwrap();
+        let stride = Stride::from_parts(sigma, x).unwrap();
+        let vec = VectorSpec::with_stride(base.into(), stride, 128).unwrap();
+
+        let (st, key) = if x <= 3 {
+            (
+                SubseqStructure::for_unmatched_lower(&map, vec.family()).unwrap(),
+                ReplayKey::Supermodule { t: 2 },
+            )
+        } else {
+            (
+                SubseqStructure::for_unmatched_upper(&map, vec.family()).unwrap(),
+                ReplayKey::Section { t: 2 },
+            )
+        };
+
+        let expected = replay_order(&map, &vec, &st, key).unwrap();
+        let mut engine = ReplayEngine::new(&map, &vec, &st, key).unwrap();
+        let got: Vec<u64> = std::iter::from_fn(|| engine.step().map(|r| r.element)).collect();
+        prop_assert_eq!(got, expected);
+        prop_assert!(engine.stats().max_latches_per_key <= 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests of the mapping layer: balance, period contracts, and
+//! agreement between the specialised maps and the general GF(2) matrix
+//! form.
+
+use cfva::core::dist::empirical_period;
+use cfva::core::mapping::{
+    Interleaved, Linear, ModuleMap, Skewed, XorMatched, XorUnmatched,
+};
+use cfva::core::{Addr, Stride, VectorSpec};
+use proptest::prelude::*;
+
+fn assert_balanced<M: ModuleMap>(map: &M) {
+    let span = 1u64 << map.address_bits_used();
+    let mut counts = vec![0u64; map.module_count() as usize];
+    for a in 0..span {
+        counts[map.module_of(Addr::new(a)).get() as usize] += 1;
+    }
+    let expect = span / map.module_count();
+    assert!(
+        counts.iter().all(|&c| c == expect),
+        "unbalanced map: {counts:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every map distributes one full address period evenly over the
+    /// modules (the balance requirement of the ModuleMap contract).
+    #[test]
+    fn xor_matched_is_balanced(t in 1u32..=3, extra in 0u32..=3) {
+        assert_balanced(&XorMatched::new(t, t + extra).unwrap());
+    }
+
+    #[test]
+    fn xor_unmatched_is_balanced(t in 1u32..=2, se in 0u32..=2, ye in 0u32..=2) {
+        let s = t + se;
+        let y = s + t + ye;
+        assert_balanced(&XorUnmatched::new(t, s, y).unwrap());
+    }
+
+    #[test]
+    fn skewed_is_balanced(m in 1u32..=4, skew in 0u64..16) {
+        assert_balanced(&Skewed::new(m, skew));
+    }
+
+    /// The closed-form period is a true period of the module sequence:
+    /// the empirically observed period divides it.
+    #[test]
+    fn period_contract(
+        t in 1u32..=3,
+        extra in 0u32..=2,
+        x in 0u32..=6,
+        sigma in prop::sample::select(vec![1i64, 3, 5, 7]),
+        base in 0u64..100_000,
+    ) {
+        let map = XorMatched::new(t, t + extra).unwrap();
+        let stride = Stride::from_parts(sigma, x).unwrap();
+        let vec = VectorSpec::with_stride(base.into(), stride, 1 << 12).unwrap();
+        let p = map.period(vec.family());
+        if p <= 1 << 10 {
+            let emp = empirical_period(&map, &vec, 2 * p.max(2)).unwrap();
+            prop_assert_eq!(p % emp, 0, "empirical {} does not divide {}", emp, p);
+        }
+    }
+
+    /// The general GF(2) matrix map agrees with the hand-optimised
+    /// special cases everywhere.
+    #[test]
+    fn linear_matches_special_cases(addr in 0u64..1_000_000) {
+        let a = Addr::new(addr);
+
+        let xm = XorMatched::new(3, 5).unwrap();
+        let lm = Linear::xor_matched(3, 5).unwrap();
+        prop_assert_eq!(xm.module_of(a), lm.module_of(a));
+
+        let xu = XorUnmatched::new(2, 3, 7).unwrap();
+        let lu = Linear::xor_unmatched(2, 3, 7).unwrap();
+        prop_assert_eq!(xu.module_of(a), lu.module_of(a));
+
+        let il = Interleaved::new(4);
+        let li = Linear::interleaved(4).unwrap();
+        prop_assert_eq!(il.module_of(a), li.module_of(a));
+    }
+
+    /// (module, displacement) is injective: distinct addresses never
+    /// collide in both coordinates.
+    #[test]
+    fn module_displacement_injective(seed in 0u64..1000) {
+        use std::collections::HashSet;
+        let map = XorUnmatched::new(2, 3, 7).unwrap();
+        let mut seen = HashSet::new();
+        for a in (seed * 512)..(seed * 512 + 512) {
+            let key = (map.module_of(Addr::new(a)).get(), map.displacement_of(Addr::new(a)));
+            prop_assert!(seen.insert(key), "collision at address {}", a);
+        }
+    }
+
+    /// Matched in-order conflict freedom for family x = s (the prior
+    /// art the paper builds on): any window of T consecutive elements
+    /// hits T distinct modules.
+    #[test]
+    fn xor_matched_family_s_in_order(
+        sigma in prop::sample::select(vec![1i64, 3, 5, 7]),
+        base in 0u64..1_000_000,
+    ) {
+        let map = XorMatched::new(3, 4).unwrap();
+        let stride = Stride::from_parts(sigma, 4).unwrap();
+        let vec = VectorSpec::with_stride(base.into(), stride, 256).unwrap();
+        let mods: Vec<u64> = vec.iter().map(|a| map.module_of(a).get()).collect();
+        for w in mods.windows(8) {
+            let set: std::collections::BTreeSet<&u64> = w.iter().collect();
+            prop_assert_eq!(set.len(), 8);
+        }
+    }
+}
