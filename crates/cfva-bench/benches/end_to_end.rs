@@ -3,12 +3,23 @@
 //! simulated latency* is the figure of merit; the wall-clock numbers
 //! here track the simulation cost of each configuration, which scales
 //! with that latency.
+//!
+//! The `efficiency_sweep_400` group is the batch-engine acceptance
+//! benchmark: the same 400-sample Section 5B efficiency sweep through
+//! the naive per-call path (fresh `MemorySystem` + fresh plan per
+//! sample) vs one reused [`BatchRunner`] session vs the parallel
+//! [`BatchRunner::sweep`]. `tests/batch_engine_speedup.rs` asserts the
+//! session path is ≥ 1.5× faster than the naive path.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use cfva_bench::runner::{self, BatchRunner};
+use cfva_bench::workload::StrideSampler;
 use cfva_core::plan::{Planner, Strategy};
 use cfva_core::{mapping::XorMatched, Stride, VectorSpec};
 use cfva_memsim::{MemConfig, MemorySystem};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn bench_family_sweep(c: &mut Criterion) {
     let planner = Planner::matched(XorMatched::new(3, 4).expect("valid"));
@@ -57,5 +68,63 @@ fn bench_family_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_family_sweep);
+/// The 400-sample Section 5B efficiency sweep, three ways.
+fn bench_efficiency_sweep(c: &mut Criterion) {
+    const SAMPLES: u32 = 400;
+    const LEN: u64 = 128;
+    let mem = MemConfig::new(3, 3).expect("valid");
+    let sampler = StrideSampler::new(10, 9);
+    let make_planner = || Planner::matched(XorMatched::new(3, 4).expect("valid"));
+
+    let mut group = c.benchmark_group("efficiency_sweep_400");
+
+    // Naive: a fresh MemorySystem and a fresh plan for every sample —
+    // the seed repository's per-call pattern.
+    group.bench_function(BenchmarkId::new("naive_per_call", SAMPLES), |b| {
+        let planner = make_planner();
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1992);
+            runner::naive_simulated_efficiency(
+                black_box(&planner),
+                Strategy::Auto,
+                mem,
+                LEN,
+                SAMPLES,
+                &sampler,
+                &mut rng,
+            )
+        })
+    });
+
+    // Batch: one session, all buffers reused.
+    group.bench_function(BenchmarkId::new("batch_session", SAMPLES), |b| {
+        let mut session = BatchRunner::new(make_planner(), mem);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1992);
+            session.simulated_efficiency(Strategy::Auto, LEN, SAMPLES, &sampler, &mut rng)
+        })
+    });
+
+    // Batch + parallel sweep: the sweep points are per-seed chunks of
+    // the sample budget, one worker session each.
+    group.bench_function(BenchmarkId::new("batch_parallel_sweep", SAMPLES), |b| {
+        let chunks: Vec<u64> = (0..8).collect();
+        let per_chunk = SAMPLES / 8;
+        b.iter(|| {
+            let etas = BatchRunner::sweep(
+                || BatchRunner::new(make_planner(), mem),
+                &chunks,
+                |session, &seed| {
+                    let mut rng = StdRng::seed_from_u64(1992 + seed);
+                    session.simulated_efficiency(Strategy::Auto, LEN, per_chunk, &sampler, &mut rng)
+                },
+            );
+            etas.iter().sum::<f64>() / etas.len() as f64
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_family_sweep, bench_efficiency_sweep);
 criterion_main!(benches);

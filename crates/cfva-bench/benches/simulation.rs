@@ -16,7 +16,9 @@ fn bench_simulation(c: &mut Criterion) {
     let planner = Planner::matched(XorMatched::new(3, 4).expect("valid"));
     for len in [128u64, 1024] {
         let vec = VectorSpec::new(16, 12, len).expect("valid");
-        let plan = planner.plan(&vec, Strategy::ConflictFree).expect("in window");
+        let plan = planner
+            .plan(&vec, Strategy::ConflictFree)
+            .expect("in window");
         let mem = MemConfig::new(3, 3).expect("valid");
         group.throughput(Throughput::Elements(len));
         group.bench_function(BenchmarkId::new("conflict_free", len), |b| {
@@ -35,7 +37,9 @@ fn bench_simulation(c: &mut Criterion) {
     // Unmatched memory: 64 modules.
     let planner = Planner::unmatched(XorUnmatched::new(3, 4, 9).expect("valid"));
     let vec = VectorSpec::new(6, 96, 128).expect("valid"); // x = 5: section replay
-    let plan = planner.plan(&vec, Strategy::ConflictFree).expect("in window");
+    let plan = planner
+        .plan(&vec, Strategy::ConflictFree)
+        .expect("in window");
     let mem = MemConfig::new(6, 3).expect("valid");
     group.bench_function(BenchmarkId::new("unmatched_64_modules", 128u64), |b| {
         b.iter(|| MemorySystem::new(mem).run_plan(black_box(&plan)))

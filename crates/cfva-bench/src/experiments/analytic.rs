@@ -7,7 +7,7 @@ use cfva_memsim::MemConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::runner::stratified_efficiency;
+use crate::runner::BatchRunner;
 use crate::table::Table;
 
 /// Section 5A: `f = 1 − 2^-(w+1)`, with the paper's two examples
@@ -15,10 +15,19 @@ use crate::table::Table;
 pub fn fraction() -> String {
     let mut t = Table::new(&["configuration", "window w", "fraction f", "exact"]);
     let configs = [
-        ("matched L=128 T=8 (paper)", analysis::matched_window_boundary(7, 3)),
-        ("unmatched L=128 T=8 M=64 (paper)", analysis::unmatched_window_boundary(7, 3)),
+        (
+            "matched L=128 T=8 (paper)",
+            analysis::matched_window_boundary(7, 3),
+        ),
+        (
+            "unmatched L=128 T=8 M=64 (paper)",
+            analysis::unmatched_window_boundary(7, 3),
+        ),
         ("ordered matched s=0", 0),
-        ("ordered unmatched m=6 t=3", analysis::ordered_window_boundary(6, 3)),
+        (
+            "ordered unmatched m=6 t=3",
+            analysis::ordered_window_boundary(6, 3),
+        ),
     ];
     for (name, w) in configs {
         let (num, den) = analysis::fraction_conflict_free_exact(w);
@@ -65,12 +74,14 @@ pub fn efficiency() -> String {
     let mut add = |name: &str,
                    w: u32,
                    paper: &str,
-                   planner: &Planner,
+                   planner: Planner,
                    strategy: Strategy,
                    mem: MemConfig,
                    rng: &mut StdRng| {
-        let eta_sim =
-            stratified_efficiency(planner, strategy, mem, 128, max_x, per_family, rng);
+        // One batch session per scheme: the whole stratified sweep runs
+        // through its reused buffers.
+        let mut session = BatchRunner::new(planner, mem);
+        let eta_sim = session.stratified_efficiency(strategy, 128, max_x, per_family, rng);
         t.row_owned(vec![
             name.to_string(),
             w.to_string(),
@@ -84,7 +95,7 @@ pub fn efficiency() -> String {
         "proposed matched (M=T=8, s=4)",
         4,
         "0.914",
-        &Planner::matched(XorMatched::new(3, 4).expect("valid")),
+        Planner::matched(XorMatched::new(3, 4).expect("valid")),
         Strategy::Auto,
         MemConfig::new(3, 3).expect("valid"),
         &mut rng,
@@ -93,7 +104,7 @@ pub fn efficiency() -> String {
         "proposed unmatched (M=64, s=4, y=9)",
         9,
         "0.997",
-        &Planner::unmatched(XorUnmatched::new(3, 4, 9).expect("valid")),
+        Planner::unmatched(XorUnmatched::new(3, 4, 9).expect("valid")),
         Strategy::Auto,
         MemConfig::new(6, 3).expect("valid"),
         &mut rng,
@@ -102,7 +113,7 @@ pub fn efficiency() -> String {
         "ordered matched (interleaved, s=0)",
         0,
         "0.4",
-        &Planner::baseline(Interleaved::new(3), 3),
+        Planner::baseline(Interleaved::new(3), 3),
         Strategy::Canonical,
         MemConfig::new(3, 3).expect("valid"),
         &mut rng,
@@ -111,7 +122,7 @@ pub fn efficiency() -> String {
         "ordered unmatched (interleaved, M=64)",
         3,
         "0.84",
-        &Planner::baseline(Interleaved::new(6), 3),
+        Planner::baseline(Interleaved::new(6), 3),
         Strategy::Canonical,
         MemConfig::new(6, 3).expect("valid"),
         &mut rng,

@@ -8,6 +8,7 @@ use cfva_core::plan::{AccessPlan, Planner, Strategy};
 use cfva_core::{Stride, VectorSpec};
 use cfva_memsim::{multi, MemConfig, MemorySystem};
 
+use crate::runner::BatchRunner;
 use crate::table::Table;
 
 /// Section 5G: the structured windows of Theorem 3 are not the maximum —
@@ -34,6 +35,7 @@ pub fn max_families() -> String {
         "T-matched vectors",
     ]);
     let planner = Planner::unmatched(map);
+    let mut plan_buf = AccessPlan::new(); // reused across all probes
     let mut gap_findings = 0u32;
     for x in 0..=10u32 {
         let mut structured = 0u32;
@@ -44,14 +46,13 @@ pub fn max_families() -> String {
                 let stride = Stride::from_parts(sigma, x).expect("odd");
                 let vec = VectorSpec::with_stride(base.into(), stride, len).expect("valid");
                 if planner
-                    .plan(&vec, Strategy::ConflictFree)
-                    .map(|p| p.is_conflict_free(t_cycles))
+                    .plan_into(&vec, Strategy::ConflictFree, &mut plan_buf)
+                    .map(|()| plan_buf.is_conflict_free(t_cycles))
                     .unwrap_or(false)
                 {
                     structured += 1;
                 }
-                let found =
-                    conflict_free_order_exists(&map, &vec, t_cycles, 5_000_000);
+                let found = conflict_free_order_exists(&map, &vec, t_cycles, 5_000_000);
                 if found == Some(true) {
                     searched += 1;
                 }
@@ -107,12 +108,15 @@ pub fn dynamic_scheme() -> String {
     let b_vec = VectorSpec::new((1 << 20) + 8, 192, len).expect("valid"); // x = 6
 
     let mut t = Table::new(&["array / stride", "static s=3", "dynamic per-region"]);
-    let run = |vec: &VectorSpec, label: &str, t: &mut Table| {
-        let static_planner = Planner::matched(static_map);
-        let static_lat = static_planner
-            .plan(vec, Strategy::Auto)
-            .map(|p| MemorySystem::new(mem).run_plan(&p).latency)
-            .expect("auto plans");
+    // The static baseline keeps one session; the dynamic scheme needs a
+    // fresh planner per region, so only its memory system is shared.
+    let mut static_session = BatchRunner::new(Planner::matched(static_map), mem);
+    let mut dyn_system = MemorySystem::new(mem);
+    let mut run = |vec: &VectorSpec, label: &str, t: &mut Table| {
+        let static_lat = static_session
+            .measure(vec, Strategy::Auto)
+            .expect("auto plans")
+            .latency;
 
         // Dynamic: plan with the region's own map; simulate on the
         // region map (same module routing).
@@ -120,7 +124,7 @@ pub fn dynamic_scheme() -> String {
         let dyn_planner = Planner::matched(region_map);
         let dyn_lat = dyn_planner
             .plan(vec, Strategy::Auto)
-            .map(|p| MemorySystem::new(mem).run_plan(&p).latency)
+            .map(|p| dyn_system.run_plan(&p).latency)
             .expect("auto plans");
         t.row_owned(vec![
             label.to_string(),
@@ -154,16 +158,12 @@ pub fn multi_vector() -> String {
 
     let make = |base: u64, stride: i64| -> AccessPlan {
         let vec = VectorSpec::new(base, stride, len).expect("valid");
-        planner.plan(&vec, Strategy::ConflictFree).expect("in window")
+        planner
+            .plan(&vec, Strategy::ConflictFree)
+            .expect("in window")
     };
 
-    let mut t = Table::new(&[
-        "streams",
-        "makespan",
-        "sequential",
-        "saved",
-        "conflicts",
-    ]);
+    let mut t = Table::new(&["streams", "makespan", "sequential", "saved", "conflicts"]);
     let cases: Vec<(&str, Vec<AccessPlan>)> = vec![
         ("1 (x=2)", vec![make(16, 12)]),
         ("2 (x=2, x=3)", vec![make(16, 12), make(4096, 24)]),
@@ -173,13 +173,11 @@ pub fn multi_vector() -> String {
             vec![make(16, 12), make(4096, 24), make(9000, 8), make(40000, 1)],
         ),
     ];
+    let mut system = MemorySystem::new(mem); // reused for all solo runs
     for (name, plans) in &cases {
         let refs: Vec<&AccessPlan> = plans.iter().collect();
         let stats = multi::run_interleaved(mem, &refs);
-        let alone: Vec<u64> = plans
-            .iter()
-            .map(|p| MemorySystem::new(mem).run_plan(p).latency)
-            .collect();
+        let alone: Vec<u64> = plans.iter().map(|p| system.run_plan(p).latency).collect();
         let sequential: u64 = alone.iter().sum();
         t.row_owned(vec![
             name.to_string(),
@@ -209,7 +207,6 @@ pub fn multi_vector() -> String {
 /// *prior* proposals' remedy (Harper & Jump \[5\]); the paper's replay
 /// needs none.
 pub fn buffer_ablation() -> String {
-    let planner = Planner::matched(XorMatched::new(3, 4).expect("valid"));
     let vec = VectorSpec::new(16, 12, 128).expect("valid"); // x = 2
     let len = vec.len();
     let floor = 8 + len + 1;
@@ -220,12 +217,18 @@ pub fn buffer_ablation() -> String {
             .expect("valid")
             .with_queues(q, 1)
             .expect("valid");
+        // One session per queue depth, reused across the strategies.
+        let mut session =
+            BatchRunner::new(Planner::matched(XorMatched::new(3, 4).expect("valid")), mem);
         let mut cells = vec![q.to_string()];
-        for strategy in [Strategy::Canonical, Strategy::Subsequence, Strategy::ConflictFree] {
-            let lat = planner
-                .plan(&vec, strategy)
-                .map(|p| MemorySystem::new(mem).run_plan(&p).latency)
-                .map_or("-".to_string(), |l| l.to_string());
+        for strategy in [
+            Strategy::Canonical,
+            Strategy::Subsequence,
+            Strategy::ConflictFree,
+        ] {
+            let lat = session
+                .measure(&vec, strategy)
+                .map_or("-".to_string(), |s| s.latency.to_string());
             cells.push(lat);
         }
         t.row_owned(cells);
@@ -248,22 +251,25 @@ pub fn pseudo_random_comparison() -> String {
     let mem = MemConfig::new(3, 3).expect("valid");
     let floor = 8 + len + 1;
 
-    let xor_planner = Planner::matched(XorMatched::new(3, 4).expect("valid"));
-    let prand_planner =
-        Planner::baseline(PseudoRandom::with_default_poly(3).expect("valid"), 3);
+    let mut xor_session =
+        BatchRunner::new(Planner::matched(XorMatched::new(3, 4).expect("valid")), mem);
+    let mut prand_session = BatchRunner::new(
+        Planner::baseline(PseudoRandom::with_default_poly(3).expect("valid"), 3),
+        mem,
+    );
 
     let mut t = Table::new(&["x", "interleave-like XOR (OOO)", "pseudo-random (ordered)"]);
     for x in 0..=8u32 {
         let stride = Stride::from_parts(3, x).expect("odd");
         let vec = VectorSpec::with_stride(1000u64.into(), stride, len).expect("valid");
-        let xor = xor_planner
-            .plan(&vec, Strategy::Auto)
-            .map(|p| MemorySystem::new(mem).run_plan(&p).latency)
-            .expect("auto plans");
-        let prand = prand_planner
-            .plan(&vec, Strategy::Canonical)
-            .map(|p| MemorySystem::new(mem).run_plan(&p).latency)
-            .expect("canonical plans");
+        let xor = xor_session
+            .measure(&vec, Strategy::Auto)
+            .expect("auto plans")
+            .latency;
+        let prand = prand_session
+            .measure(&vec, Strategy::Canonical)
+            .expect("canonical plans")
+            .latency;
         t.row_owned(vec![x.to_string(), xor.to_string(), prand.to_string()]);
     }
 

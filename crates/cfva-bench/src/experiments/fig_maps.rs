@@ -17,9 +17,7 @@ pub fn fig3() -> String {
         grid[row][module] = addr;
     }
 
-    let mut table = Table::new(&[
-        "row", "m0", "m1", "m2", "m3", "m4", "m5", "m6", "m7",
-    ]);
+    let mut table = Table::new(&["row", "m0", "m1", "m2", "m3", "m4", "m5", "m6", "m7"]);
     for (row, entries) in grid.iter().enumerate() {
         let mut cells = vec![row.to_string()];
         cells.extend(entries.iter().map(|a| a.to_string()));

@@ -55,10 +55,8 @@ pub fn hardware() -> String {
         .collect();
     let generator_matches = rtl_stream == func_stream;
 
-    let mut engine =
-        ReplayEngine::new(&map, &vec, &st, ReplayKey::Module).expect("in window");
-    let engine_stream: Vec<u64> =
-        std::iter::from_fn(|| engine.step().map(|r| r.element)).collect();
+    let mut engine = ReplayEngine::new(&map, &vec, &st, ReplayKey::Module).expect("in window");
+    let engine_stream: Vec<u64> = std::iter::from_fn(|| engine.step().map(|r| r.element)).collect();
     let replay_stream = replay_order(&map, &vec, &st, ReplayKey::Module).expect("in window");
     let engine_matches = engine_stream == replay_stream;
     let stats = engine.stats();

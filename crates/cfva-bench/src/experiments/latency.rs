@@ -2,8 +2,9 @@
 
 use cfva_core::plan::{Planner, Strategy};
 use cfva_core::{mapping::XorMatched, Stride, VectorSpec};
-use cfva_memsim::{MemConfig, MemorySystem};
+use cfva_memsim::MemConfig;
 
+use crate::runner::BatchRunner;
 use crate::table::Table;
 
 /// Measures latency per family under the three request orders, matched
@@ -15,13 +16,22 @@ use crate::table::Table;
 /// * Section 3.2 replay order on the bufferless memory (exactly
 ///   `T + L + 1` inside the window).
 pub fn latency() -> String {
-    let planner = Planner::matched(XorMatched::new(3, 4).expect("valid"));
     let len = 128u64;
     let mem_plain = MemConfig::new(3, 3).expect("valid");
     let mem_buffered = MemConfig::new(3, 3)
         .expect("valid")
         .with_queues(2, 1)
         .expect("valid queues");
+    // Two long-lived sessions (one per memory configuration), reused
+    // across every family × strategy measurement.
+    let mut plain = BatchRunner::new(
+        Planner::matched(XorMatched::new(3, 4).expect("valid")),
+        mem_plain,
+    );
+    let mut buffered = BatchRunner::new(
+        Planner::matched(XorMatched::new(3, 4).expect("valid")),
+        mem_buffered,
+    );
 
     let t_cycles = mem_plain.t_cycles();
     let min_latency = t_cycles + len + 1;
@@ -43,27 +53,26 @@ pub fn latency() -> String {
         let stride = Stride::from_parts(3, x).expect("odd sigma");
         let vec = VectorSpec::with_stride(16u64.into(), stride, len).expect("valid");
 
-        let canonical = planner
-            .plan(&vec, Strategy::Canonical)
-            .map(|p| MemorySystem::new(mem_plain).run_plan(&p).latency)
+        let canonical = plain
+            .measure(&vec, Strategy::Canonical)
+            .map(|s| s.latency)
             .expect("canonical always plans");
 
-        let subseq = planner.plan(&vec, Strategy::Subsequence).ok().map(|p| {
-            MemorySystem::new(mem_buffered).run_plan(&p).latency
-        });
+        let subseq = buffered
+            .measure(&vec, Strategy::Subsequence)
+            .map(|s| s.latency);
         if let Some(lat) = subseq {
             if lat > subseq_bound {
                 bound_ok = false;
             }
         }
 
-        let replay = planner.plan(&vec, Strategy::ConflictFree).ok().map(|p| {
-            MemorySystem::new(mem_plain).run_plan(&p).latency
-        });
-        if x <= 4
-            && replay != Some(min_latency) {
-                replay_ok = false;
-            }
+        let replay = plain
+            .measure(&vec, Strategy::ConflictFree)
+            .map(|s| s.latency);
+        if x <= 4 && replay != Some(min_latency) {
+            replay_ok = false;
+        }
 
         table.row_owned(vec![
             x.to_string(),

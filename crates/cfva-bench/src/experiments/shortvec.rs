@@ -2,23 +2,22 @@
 
 use cfva_core::plan::{AccessPlan, Planner, Strategy};
 use cfva_core::{mapping::XorMatched, VectorSpec};
-use cfva_memsim::{MemConfig, MemorySystem};
+use cfva_memsim::MemConfig;
 use cfva_vecproc::stripmine::split_short;
 
+use crate::runner::BatchRunner;
 use crate::table::Table;
-
-fn run(planner: &Planner, vec: &VectorSpec, strategy: Strategy, mem: MemConfig) -> u64 {
-    let plan = planner.plan(vec, strategy).expect("plannable");
-    MemorySystem::new(mem).run_plan(&plan).latency
-}
 
 /// Splits short vectors into an out-of-order prefix (`k·2^{w+t−x}`
 /// elements) plus an in-order tail, issues both as one back-to-back
 /// request stream (the compiler-generated pattern of Section 5C), and
 /// compares against accessing the whole vector in order.
 pub fn short_vectors() -> String {
-    let planner = Planner::matched(XorMatched::new(3, 4).expect("valid")); // w = s = 4
     let mem = MemConfig::new(3, 3).expect("valid");
+    // One session reused for every split and in-order measurement
+    // (w = s = 4).
+    let mut session =
+        BatchRunner::new(Planner::matched(XorMatched::new(3, 4).expect("valid")), mem);
 
     let mut t = Table::new(&[
         "V",
@@ -39,15 +38,28 @@ pub fn short_vectors() -> String {
         // canonical order, issued back to back.
         let mut parts: Vec<AccessPlan> = Vec::new();
         if let Some(ref o) = ooo {
-            parts.push(planner.plan(o, Strategy::ConflictFree).expect("in window"));
+            parts.push(
+                session
+                    .planner()
+                    .plan(o, Strategy::ConflictFree)
+                    .expect("in window"),
+            );
         }
         if let Some(ref tl) = tail {
-            parts.push(planner.plan(tl, Strategy::Canonical).expect("plannable"));
+            parts.push(
+                session
+                    .planner()
+                    .plan(tl, Strategy::Canonical)
+                    .expect("plannable"),
+            );
         }
         let combined = AccessPlan::concat(parts.iter());
-        let split_latency = MemorySystem::new(mem).run_plan(&combined).latency;
+        let split_latency = session.run_plan(&combined).latency;
 
-        let in_order = run(&planner, &vec, Strategy::Canonical, mem);
+        let in_order = session
+            .measure(&vec, Strategy::Canonical)
+            .expect("plannable")
+            .latency;
         if split_latency > in_order {
             split_never_worse = false;
         }

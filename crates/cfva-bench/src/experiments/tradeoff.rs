@@ -10,7 +10,11 @@ pub fn module_cost() -> String {
     let mut t = Table::new(&["design point", "modules", "CF families", "η"]);
     for lambda in [7u32] {
         let pts = analysis::module_cost_design_points(lambda, 3);
-        let names = ["ordered matched", "proposed matched", "proposed unmatched (M=T²)"];
+        let names = [
+            "ordered matched",
+            "proposed matched",
+            "proposed unmatched (M=T²)",
+        ];
         for (name, (modules, families)) in names.iter().zip(pts) {
             let w = families - 1;
             t.row_owned(vec![

@@ -104,14 +104,11 @@ pub fn unmatched_examples() -> String {
          Plain subsequence order conflict free: {plain_cf} (paper: no)\n\
          Section-keyed replay conflict free: {replay_cf} (paper: yes)\n",
         subs1,
-        subs1
-            .iter()
-            .enumerate()
-            .all(|(j, s)| if j % 2 == 0 {
-                s == &[2, 6, 10, 14]
-            } else {
-                s == &[0, 4, 8, 12]
-            }),
+        subs1.iter().enumerate().all(|(j, s)| if j % 2 == 0 {
+            s == &[2, 6, 10, 14]
+        } else {
+            s == &[0, 4, 8, 12]
+        }),
         subs2[0],
         subs2[1],
         subs2[0] == [0, 12, 8, 4] && subs2[1] == [4, 0, 12, 8],

@@ -1,13 +1,27 @@
-//! One-call planner + simulator measurements.
+//! Planner + simulator measurement sessions.
+//!
+//! Two tiers:
+//!
+//! * [`measure`] — the naive one-call path: plans and simulates one
+//!   access, allocating a fresh [`MemorySystem`] and plan per call. Kept
+//!   as the baseline the batch engine is benchmarked against
+//!   (`benches/end_to_end.rs`).
+//! * [`BatchRunner`] — a long-lived measurement session owning the
+//!   planner, one memory system and the plan/stats scratch buffers.
+//!   Repeated measurement through a session performs **no heap
+//!   allocation** after warm-up; [`BatchRunner::sweep`] fans independent
+//!   sweep points out across threads, one session per worker.
 
-use cfva_core::plan::{Planner, Strategy};
+use cfva_core::plan::{AccessPlan, Planner, Strategy};
 use cfva_core::VectorSpec;
 use cfva_memsim::{AccessStats, MemConfig, MemorySystem};
 use rand::Rng;
 
 use crate::workload::StrideSampler;
 
-/// Plans and simulates one vector access.
+/// Plans and simulates one vector access — the naive per-call path: a
+/// fresh memory system and plan are allocated every call. Prefer a
+/// [`BatchRunner`] for anything measured more than once.
 ///
 /// Falls back per [`Strategy::Auto`] semantics if the requested strategy
 /// cannot serve the access *and* `strategy` is `Auto`; otherwise
@@ -30,10 +44,16 @@ pub fn cycles_per_element(stats: &AccessStats, mem: MemConfig) -> f64 {
     (stats.latency - mem.t_cycles() - 1) as f64 / stats.elements as f64
 }
 
-/// Monte-Carlo estimate of the paper's Section 5B efficiency `η`: the
-/// reciprocal of the population-average service cycles per element,
-/// with strides sampled from the family distribution.
-pub fn simulated_efficiency<R: Rng + ?Sized>(
+/// The naive Monte-Carlo efficiency sweep: every sample goes through
+/// the per-call [`measure`] path (fresh system + fresh plan each time).
+///
+/// This is the **baseline** the batch engine is held against — both
+/// `benches/end_to_end.rs` and `tests/batch_engine_speedup.rs` call
+/// this one definition so the published bench and the enforced
+/// acceptance test can never drift apart. Same estimator (and, for the
+/// same RNG stream, bit-identical result) as
+/// [`BatchRunner::simulated_efficiency`].
+pub fn naive_simulated_efficiency<R: Rng + ?Sized>(
     planner: &Planner,
     strategy: Strategy,
     mem: MemConfig,
@@ -45,31 +65,86 @@ pub fn simulated_efficiency<R: Rng + ?Sized>(
     let mut total_cpe = 0.0;
     for _ in 0..samples {
         let vec = sampler.sample_vector(rng, 1 << 24, len);
-        let stats = measure(planner, &vec, strategy, mem)
-            .expect("auto/canonical strategies always plan");
+        let stats =
+            measure(planner, &vec, strategy, mem).expect("auto/canonical strategies always plan");
         total_cpe += cycles_per_element(&stats, mem);
     }
     samples as f64 / total_cpe
 }
 
-/// Stratified estimate of the Section 5B efficiency `η`: measures the
-/// service cycles per element of each family `x ≤ max_x` directly
-/// (averaged over `per_family` random σ/base draws) and combines them
-/// with the exact family weights `2^-(x+1)`. The truncated tail
-/// (`x > max_x`) reuses the `max_x` measurement, exact once the
-/// per-family cost has saturated at `2^t` (i.e. `max_x ≥ w + t`).
-///
-/// Far lower variance than the plain Monte-Carlo estimator: the
-/// geometric tail is weighted analytically instead of sampled.
-pub fn stratified_efficiency<R: Rng + ?Sized>(
+/// The reusable simulator-side state of a measurement session: one
+/// memory system plus the plan and stats scratch buffers.
+#[derive(Debug)]
+struct MeasureScratch {
+    system: MemorySystem,
+    plan: AccessPlan,
+    stats: AccessStats,
+}
+
+impl MeasureScratch {
+    fn new(mem: MemConfig) -> Self {
+        // Sessions run with the verified conflict-free fast path on:
+        // bit-identical statistics (see `MemorySystem::set_fast_path`
+        // and the equivalence suite in cfva-memsim/tests/fast_path.rs)
+        // at a fraction of the cost for in-window accesses.
+        let mut system = MemorySystem::new(mem);
+        system.set_fast_path(true);
+        MeasureScratch {
+            system,
+            plan: AccessPlan::new(),
+            stats: AccessStats::default(),
+        }
+    }
+
+    fn mem(&self) -> MemConfig {
+        self.system.config()
+    }
+
+    /// One measurement through the reused buffers. `None` when the
+    /// strategy cannot plan the access (same contract as [`measure`]).
+    fn measure(
+        &mut self,
+        planner: &Planner,
+        vec: &VectorSpec,
+        strategy: Strategy,
+    ) -> Option<&AccessStats> {
+        planner.plan_into(vec, strategy, &mut self.plan).ok()?;
+        self.system.run_plan_into(&self.plan, &mut self.stats);
+        Some(&self.stats)
+    }
+}
+
+fn simulated_efficiency_core<R: Rng + ?Sized>(
     planner: &Planner,
+    scratch: &mut MeasureScratch,
     strategy: Strategy,
-    mem: MemConfig,
+    len: u64,
+    samples: u32,
+    sampler: &StrideSampler,
+    rng: &mut R,
+) -> f64 {
+    let mem = scratch.mem();
+    let mut total_cpe = 0.0;
+    for _ in 0..samples {
+        let vec = sampler.sample_vector(rng, 1 << 24, len);
+        let stats = scratch
+            .measure(planner, &vec, strategy)
+            .expect("auto/canonical strategies always plan");
+        total_cpe += cycles_per_element(stats, mem);
+    }
+    samples as f64 / total_cpe
+}
+
+fn stratified_efficiency_core<R: Rng + ?Sized>(
+    planner: &Planner,
+    scratch: &mut MeasureScratch,
+    strategy: Strategy,
     len: u64,
     max_x: u32,
     per_family: u32,
     rng: &mut R,
 ) -> f64 {
+    let mem = scratch.mem();
     let mut avg_cpe = 0.0;
     let mut last_family_cpe = 1.0;
     for x in 0..=max_x {
@@ -77,12 +152,12 @@ pub fn stratified_efficiency<R: Rng + ?Sized>(
         for _ in 0..per_family {
             let sigma = 2 * rng.gen_range(0i64..8) + 1;
             let base = rng.gen_range(0u64..1 << 24);
-            let stride =
-                cfva_core::Stride::from_parts(sigma, x).expect("odd sigma, bounded x");
+            let stride = cfva_core::Stride::from_parts(sigma, x).expect("odd sigma, bounded x");
             let vec = VectorSpec::with_stride(base.into(), stride, len).expect("valid");
-            let stats =
-                measure(planner, &vec, strategy, mem).expect("strategy always plans");
-            family_cpe += cycles_per_element(&stats, mem);
+            let stats = scratch
+                .measure(planner, &vec, strategy)
+                .expect("strategy always plans");
+            family_cpe += cycles_per_element(stats, mem);
         }
         family_cpe /= per_family as f64;
         let weight = 0.5f64.powi(x as i32 + 1);
@@ -93,6 +168,290 @@ pub fn stratified_efficiency<R: Rng + ?Sized>(
     // measured family, whose cost has saturated.
     avg_cpe += 0.5f64.powi(max_x as i32 + 1) * last_family_cpe;
     1.0 / avg_cpe
+}
+
+/// Monte-Carlo estimate of the paper's Section 5B efficiency `η`: the
+/// reciprocal of the population-average service cycles per element,
+/// with strides sampled from the family distribution.
+///
+/// Runs through one internal measurement session, so the per-sample
+/// cost is allocation-free after the first access.
+pub fn simulated_efficiency<R: Rng + ?Sized>(
+    planner: &Planner,
+    strategy: Strategy,
+    mem: MemConfig,
+    len: u64,
+    samples: u32,
+    sampler: &StrideSampler,
+    rng: &mut R,
+) -> f64 {
+    let mut scratch = MeasureScratch::new(mem);
+    simulated_efficiency_core(planner, &mut scratch, strategy, len, samples, sampler, rng)
+}
+
+/// Stratified estimate of the Section 5B efficiency `η`: measures the
+/// service cycles per element of each family `x ≤ max_x` directly
+/// (averaged over `per_family` random σ/base draws) and combines them
+/// with the exact family weights `2^-(x+1)`. The truncated tail
+/// (`x > max_x`) reuses the `max_x` measurement, exact once the
+/// per-family cost has saturated at `2^t` (i.e. `max_x ≥ w + t`).
+///
+/// Far lower variance than the plain Monte-Carlo estimator: the
+/// geometric tail is weighted analytically instead of sampled. Runs
+/// through one internal measurement session (allocation-free per
+/// sample).
+pub fn stratified_efficiency<R: Rng + ?Sized>(
+    planner: &Planner,
+    strategy: Strategy,
+    mem: MemConfig,
+    len: u64,
+    max_x: u32,
+    per_family: u32,
+    rng: &mut R,
+) -> f64 {
+    let mut scratch = MeasureScratch::new(mem);
+    stratified_efficiency_core(planner, &mut scratch, strategy, len, max_x, per_family, rng)
+}
+
+/// A long-lived measurement session: owns the planner, one reusable
+/// [`MemorySystem`] and the plan/stats scratch buffers.
+///
+/// The hot path ([`measure`](Self::measure)) performs **no heap
+/// allocation** once the buffers have grown to the working size: the
+/// plan is built into the session's [`AccessPlan`] via
+/// [`Planner::plan_into`], the system's module array is reset in place,
+/// and the statistics land in the session's [`AccessStats`].
+///
+/// For parallel work, [`BatchRunner::sweep`] runs independent sweep
+/// points across threads with one session per worker.
+///
+/// # Examples
+///
+/// ```
+/// use cfva_bench::runner::BatchRunner;
+/// use cfva_core::mapping::XorMatched;
+/// use cfva_core::plan::{Planner, Strategy};
+/// use cfva_core::VectorSpec;
+/// use cfva_memsim::MemConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let planner = Planner::matched(XorMatched::new(3, 3)?);
+/// let mut session = BatchRunner::new(planner, MemConfig::new(3, 3)?);
+///
+/// let vec = VectorSpec::new(16, 12, 64)?;
+/// let stats = session.measure(&vec, Strategy::ConflictFree).unwrap();
+/// assert_eq!(stats.latency, 8 + 64 + 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct BatchRunner {
+    planner: Planner,
+    scratch: MeasureScratch,
+}
+
+impl BatchRunner {
+    /// Creates a session measuring `planner`'s plans on a memory of
+    /// configuration `mem`.
+    pub fn new(planner: Planner, mem: MemConfig) -> Self {
+        BatchRunner {
+            planner,
+            scratch: MeasureScratch::new(mem),
+        }
+    }
+
+    /// The planner this session measures with.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// The memory configuration simulated.
+    pub fn mem(&self) -> MemConfig {
+        self.scratch.mem()
+    }
+
+    /// Enables or disables the simulator's verified conflict-free fast
+    /// path (on by default in a session). Disable it for
+    /// verification-grade sweeps that must exercise the full cycle
+    /// engine on every access.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.scratch.system.set_fast_path(enabled);
+    }
+
+    /// Plans and simulates one access through the reused buffers,
+    /// returning a view of the session's stats buffer (valid until the
+    /// next measurement).
+    ///
+    /// `None` when the strategy cannot plan the access — same contract
+    /// as the free [`measure`], without its per-call allocations.
+    pub fn measure(&mut self, vec: &VectorSpec, strategy: Strategy) -> Option<&AccessStats> {
+        self.scratch.measure(&self.planner, vec, strategy)
+    }
+
+    /// Like [`measure`](Self::measure) but returns views of **both**
+    /// the plan built into the session's buffer and the resulting
+    /// statistics — for callers that need to inspect the request
+    /// stream (module sequence, entries) alongside its timing without
+    /// allocating a plan of their own.
+    pub fn measure_full(
+        &mut self,
+        vec: &VectorSpec,
+        strategy: Strategy,
+    ) -> Option<(&AccessPlan, &AccessStats)> {
+        let scratch = &mut self.scratch;
+        self.planner
+            .plan_into(vec, strategy, &mut scratch.plan)
+            .ok()?;
+        scratch
+            .system
+            .run_plan_into(&scratch.plan, &mut scratch.stats);
+        Some((&scratch.plan, &scratch.stats))
+    }
+
+    /// Executes a caller-built plan (e.g. a concatenated short-vector
+    /// stream from [`AccessPlan::concat`]) on the session's memory
+    /// system, reusing the stats buffer.
+    pub fn run_plan(&mut self, plan: &AccessPlan) -> &AccessStats {
+        self.scratch
+            .system
+            .run_plan_into(plan, &mut self.scratch.stats);
+        &self.scratch.stats
+    }
+
+    /// Like [`measure`](Self::measure) but returns an owned copy of the
+    /// statistics, for callers that outlive the next measurement.
+    pub fn measure_owned(&mut self, vec: &VectorSpec, strategy: Strategy) -> Option<AccessStats> {
+        self.measure(vec, strategy).cloned()
+    }
+
+    /// Steady-state service cycles per element under this session's
+    /// memory configuration (1.0 for a conflict-free access).
+    pub fn cycles_per_element(&self, stats: &AccessStats) -> f64 {
+        cycles_per_element(stats, self.scratch.mem())
+    }
+
+    /// Measures a batch of accesses, reusing the session buffers across
+    /// the whole batch; one owned [`AccessStats`] (or `None` for
+    /// unplannable accesses) per spec, in order.
+    pub fn measure_batch(&mut self, specs: &[(VectorSpec, Strategy)]) -> Vec<Option<AccessStats>> {
+        specs
+            .iter()
+            .map(|(vec, strategy)| self.measure_owned(vec, *strategy))
+            .collect()
+    }
+
+    /// Monte-Carlo Section 5B efficiency through this session — see
+    /// [`simulated_efficiency`].
+    pub fn simulated_efficiency<R: Rng + ?Sized>(
+        &mut self,
+        strategy: Strategy,
+        len: u64,
+        samples: u32,
+        sampler: &StrideSampler,
+        rng: &mut R,
+    ) -> f64 {
+        simulated_efficiency_core(
+            &self.planner,
+            &mut self.scratch,
+            strategy,
+            len,
+            samples,
+            sampler,
+            rng,
+        )
+    }
+
+    /// Stratified Section 5B efficiency through this session — see
+    /// [`stratified_efficiency`].
+    pub fn stratified_efficiency<R: Rng + ?Sized>(
+        &mut self,
+        strategy: Strategy,
+        len: u64,
+        max_x: u32,
+        per_family: u32,
+        rng: &mut R,
+    ) -> f64 {
+        stratified_efficiency_core(
+            &self.planner,
+            &mut self.scratch,
+            strategy,
+            len,
+            max_x,
+            per_family,
+            rng,
+        )
+    }
+
+    /// Runs `run` over every sweep point, in parallel across threads,
+    /// with **one session per worker** (built by `make_session`);
+    /// results come back in point order.
+    ///
+    /// Worker count is the machine's available parallelism, capped at
+    /// the number of points; points are split into contiguous chunks,
+    /// so a worker's session is reused across its whole chunk.
+    ///
+    /// Determinism: results are bit-identical to the serial loop
+    /// `points.iter().map(|p| run(&mut session, p))` **provided each
+    /// point is self-contained** — any randomness must be seeded per
+    /// point (see `tests/batch_runner.rs`), never threaded through a
+    /// shared RNG.
+    pub fn sweep<P, R>(
+        make_session: impl Fn() -> BatchRunner + Sync,
+        points: &[P],
+        run: impl Fn(&mut BatchRunner, &P) -> R + Sync,
+    ) -> Vec<R>
+    where
+        P: Sync,
+        R: Send,
+    {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self::sweep_with_threads(threads, make_session, points, run)
+    }
+
+    /// [`sweep`](Self::sweep) with an explicit worker count (mainly for
+    /// tests pinning the parallel path; `threads` is capped at the
+    /// number of points).
+    pub fn sweep_with_threads<P, R>(
+        threads: usize,
+        make_session: impl Fn() -> BatchRunner + Sync,
+        points: &[P],
+        run: impl Fn(&mut BatchRunner, &P) -> R + Sync,
+    ) -> Vec<R>
+    where
+        P: Sync,
+        R: Send,
+    {
+        let threads = threads.clamp(1, points.len().max(1));
+        if threads <= 1 {
+            let mut session = make_session();
+            return points.iter().map(|p| run(&mut session, p)).collect();
+        }
+
+        let chunk_len = points.len().div_ceil(threads);
+        let make_session = &make_session;
+        let run = &run;
+        let mut results: Vec<R> = Vec::with_capacity(points.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = points
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut session = make_session();
+                        chunk
+                            .iter()
+                            .map(|p| run(&mut session, p))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                results.extend(handle.join().expect("sweep worker panicked"));
+            }
+        });
+        results
+    }
 }
 
 #[cfg(test)]
@@ -122,21 +481,52 @@ mod tests {
     }
 
     #[test]
+    fn batch_runner_matches_naive_measure() {
+        let mem = MemConfig::new(3, 3).unwrap();
+        let mut session = BatchRunner::new(Planner::matched(XorMatched::new(3, 4).unwrap()), mem);
+        let naive_planner = Planner::matched(XorMatched::new(3, 4).unwrap());
+        for (base, stride) in [(16u64, 12i64), (0, 1), (7, 6), (100, 4), (3, 160), (9, 96)] {
+            let vec = VectorSpec::new(base, stride, 128).unwrap();
+            for strategy in [
+                Strategy::Canonical,
+                Strategy::Subsequence,
+                Strategy::ConflictFree,
+                Strategy::Auto,
+            ] {
+                let naive = measure(&naive_planner, &vec, strategy, mem);
+                let session_result = session.measure_owned(&vec, strategy);
+                assert_eq!(
+                    naive, session_result,
+                    "base {base} stride {stride} strategy {strategy}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_runner_measure_batch_in_order() {
+        let mem = MemConfig::new(3, 3).unwrap();
+        let mut session = BatchRunner::new(Planner::matched(XorMatched::new(3, 3).unwrap()), mem);
+        let specs = vec![
+            (VectorSpec::new(16, 12, 64).unwrap(), Strategy::ConflictFree),
+            (VectorSpec::new(0, 16, 64).unwrap(), Strategy::ConflictFree), // unplannable
+            (VectorSpec::new(0, 1, 64).unwrap(), Strategy::Auto),
+        ];
+        let results = session.measure_batch(&specs);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].as_ref().unwrap().latency, 73);
+        assert!(results[1].is_none());
+        assert_eq!(results[2].as_ref().unwrap().latency, 73);
+    }
+
+    #[test]
     fn simulated_efficiency_close_to_analytic_for_proposed_scheme() {
         // Small config for speed: t = 2, λ = 6, s = λ−t = 4.
         let planner = Planner::matched(XorMatched::new(2, 4).unwrap());
         let mem = MemConfig::new(2, 2).unwrap();
         let sampler = StrideSampler::new(10, 9);
         let mut rng = StdRng::seed_from_u64(3);
-        let eta = simulated_efficiency(
-            &planner,
-            Strategy::Auto,
-            mem,
-            64,
-            400,
-            &sampler,
-            &mut rng,
-        );
+        let eta = simulated_efficiency(&planner, Strategy::Auto, mem, 64, 400, &sampler, &mut rng);
         let analytic = cfva_core::analysis::efficiency(4, 2);
         assert!(
             (eta - analytic).abs() < 0.05,
@@ -149,12 +539,73 @@ mod tests {
         let planner = Planner::matched(XorMatched::new(2, 4).unwrap());
         let mem = MemConfig::new(2, 2).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
-        let eta =
-            stratified_efficiency(&planner, Strategy::Auto, mem, 64, 8, 4, &mut rng);
+        let eta = stratified_efficiency(&planner, Strategy::Auto, mem, 64, 8, 4, &mut rng);
         let analytic = cfva_core::analysis::efficiency(4, 2);
         assert!(
             (eta - analytic).abs() < 0.03,
             "stratified {eta} vs analytic {analytic}"
         );
+    }
+
+    #[test]
+    fn session_efficiency_methods_match_free_functions() {
+        let mem = MemConfig::new(2, 2).unwrap();
+        let planner = Planner::matched(XorMatched::new(2, 4).unwrap());
+        let sampler = StrideSampler::new(10, 9);
+
+        let free = simulated_efficiency(
+            &planner,
+            Strategy::Auto,
+            mem,
+            64,
+            100,
+            &sampler,
+            &mut StdRng::seed_from_u64(17),
+        );
+        let mut session = BatchRunner::new(Planner::matched(XorMatched::new(2, 4).unwrap()), mem);
+        let through_session = session.simulated_efficiency(
+            Strategy::Auto,
+            64,
+            100,
+            &sampler,
+            &mut StdRng::seed_from_u64(17),
+        );
+        assert_eq!(free, through_session);
+
+        let free = stratified_efficiency(
+            &planner,
+            Strategy::Auto,
+            mem,
+            64,
+            8,
+            4,
+            &mut StdRng::seed_from_u64(23),
+        );
+        let through_session =
+            session.stratified_efficiency(Strategy::Auto, 64, 8, 4, &mut StdRng::seed_from_u64(23));
+        assert_eq!(free, through_session);
+    }
+
+    #[test]
+    fn sweep_preserves_point_order() {
+        let points: Vec<u64> = (0..37).collect();
+        let results = BatchRunner::sweep_with_threads(
+            4,
+            || {
+                BatchRunner::new(
+                    Planner::matched(XorMatched::new(2, 2).unwrap()),
+                    MemConfig::new(2, 2).unwrap(),
+                )
+            },
+            &points,
+            |session, &p| {
+                let vec = VectorSpec::new(p, 1, 16).unwrap();
+                session.measure(&vec, Strategy::Auto).unwrap().latency
+            },
+        );
+        assert_eq!(results.len(), 37);
+        // Unit stride is conflict free for every base: all latencies at
+        // the floor.
+        assert!(results.iter().all(|&l| l == 4 + 16 + 1));
     }
 }

@@ -1,0 +1,84 @@
+//! Determinism contract of the parallel sweep: with a seeded RNG per
+//! sweep point, `BatchRunner::sweep` must produce **bit-identical**
+//! results to the serial path, whatever the worker count or chunking.
+
+use cfva_bench::runner::BatchRunner;
+use cfva_bench::workload::StrideSampler;
+use cfva_core::mapping::{XorMatched, XorUnmatched};
+use cfva_core::plan::{Planner, Strategy};
+use cfva_memsim::{AccessStats, MemConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One sweep point: a seed driving that point's private RNG.
+fn matched_session() -> BatchRunner {
+    BatchRunner::new(
+        Planner::matched(XorMatched::new(3, 4).unwrap()),
+        MemConfig::new(3, 3).unwrap(),
+    )
+}
+
+/// Measures one random access per point, seeded per point.
+fn measure_point(session: &mut BatchRunner, seed: u64) -> AccessStats {
+    let sampler = StrideSampler::new(8, 9);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let vec = sampler.sample_vector(&mut rng, 1 << 24, 128);
+    session
+        .measure_owned(&vec, Strategy::Auto)
+        .expect("auto plans")
+}
+
+#[test]
+fn parallel_sweep_bit_identical_to_serial() {
+    let points: Vec<u64> = (0..64).collect();
+
+    let serial = BatchRunner::sweep_with_threads(1, matched_session, &points, |session, &seed| {
+        measure_point(session, seed)
+    });
+
+    for threads in [2, 3, 4, 7, 64] {
+        let parallel =
+            BatchRunner::sweep_with_threads(threads, matched_session, &points, |session, &seed| {
+                measure_point(session, seed)
+            });
+        assert_eq!(
+            serial, parallel,
+            "sweep with {threads} workers diverged from the serial path"
+        );
+    }
+}
+
+#[test]
+fn parallel_efficiency_sweep_bit_identical_to_serial() {
+    // Whole-estimator points (a full stratified sweep per point) on the
+    // unmatched memory, seeded per point.
+    let points: Vec<u64> = (0..6).collect();
+    let make_session = || {
+        BatchRunner::new(
+            Planner::unmatched(XorUnmatched::new(2, 3, 7).unwrap()),
+            MemConfig::new(4, 2).unwrap(),
+        )
+    };
+    let run = |session: &mut BatchRunner, &seed: &u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        session
+            .stratified_efficiency(Strategy::Auto, 64, 6, 3, &mut rng)
+            .to_bits()
+    };
+
+    let serial = BatchRunner::sweep_with_threads(1, make_session, &points, run);
+    let parallel = BatchRunner::sweep_with_threads(3, make_session, &points, run);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn default_sweep_matches_explicit_threads() {
+    let points: Vec<u64> = (0..16).collect();
+    let auto = BatchRunner::sweep(matched_session, &points, |session, &seed| {
+        measure_point(session, seed).latency
+    });
+    let serial = BatchRunner::sweep_with_threads(1, matched_session, &points, |session, &seed| {
+        measure_point(session, seed).latency
+    });
+    assert_eq!(auto, serial);
+}

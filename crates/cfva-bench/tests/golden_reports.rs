@@ -12,8 +12,8 @@ fn report(id: &str) -> String {
 fn registry_covers_all_paper_artifacts() {
     let ids: Vec<&str> = experiments::all().iter().map(|e| e.id).collect();
     for required in [
-        "fig3", "fig7", "ctp-ex", "unm-ex", "window", "frac", "eff", "lat", "modcost",
-        "len", "short", "hw", "chain", "maxfam", "dynamic", "multi", "buffers", "prand",
+        "fig3", "fig7", "ctp-ex", "unm-ex", "window", "frac", "eff", "lat", "modcost", "len",
+        "short", "hw", "chain", "maxfam", "dynamic", "multi", "buffers", "prand",
     ] {
         assert!(ids.contains(&required), "missing experiment {required}");
     }

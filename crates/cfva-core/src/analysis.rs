@@ -155,7 +155,10 @@ pub fn module_cost_design_points(lambda: u32, t: u32) -> [(u64, u32); 3] {
         // Proposed, matched: λ−t+1 families.
         (t_modules, matched_window_boundary(lambda, t) + 1),
         // Proposed, unmatched (M = T²): 2(λ−t)+2 families.
-        (t_modules * t_modules, unmatched_window_boundary(lambda, t) + 1),
+        (
+            t_modules * t_modules,
+            unmatched_window_boundary(lambda, t) + 1,
+        ),
     ]
 }
 

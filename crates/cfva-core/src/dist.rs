@@ -185,7 +185,8 @@ pub fn conflict_count(temporal: &[ModuleId], t_cycles: u64) -> usize {
 /// A distribution is conflict free for occupancy `T` exactly when every
 /// return number is `≥ T`.
 pub fn return_numbers(temporal: &[ModuleId]) -> Vec<Option<usize>> {
-    let mut last_seen: std::collections::HashMap<ModuleId, usize> = std::collections::HashMap::new();
+    let mut last_seen: std::collections::HashMap<ModuleId, usize> =
+        std::collections::HashMap::new();
     temporal
         .iter()
         .enumerate()

@@ -167,7 +167,10 @@ mod tests {
             what: "vector length",
             value: 12,
         };
-        assert_eq!(e.to_string(), "vector length must be a power of two, got 12");
+        assert_eq!(
+            e.to_string(),
+            "vector length must be a power of two, got 12"
+        );
 
         let e = ConfigError::OutOfRange {
             what: "s",
@@ -176,8 +179,13 @@ mod tests {
         };
         assert_eq!(e.to_string(), "s = 1 violates constraint s >= t");
 
-        assert_eq!(ConfigError::ZeroStride.to_string(), "stride must be nonzero");
-        assert!(ConfigError::SingularMatrix.to_string().contains("full rank"));
+        assert_eq!(
+            ConfigError::ZeroStride.to_string(),
+            "stride must be nonzero"
+        );
+        assert!(ConfigError::SingularMatrix
+            .to_string()
+            .contains("full rank"));
     }
 
     #[test]
@@ -190,7 +198,10 @@ mod tests {
 
     #[test]
     fn plan_error_messages() {
-        let e = PlanError::LengthNotCompatible { len: 48, granule: 32 };
+        let e = PlanError::LengthNotCompatible {
+            len: 48,
+            granule: 32,
+        };
         assert!(e.to_string().contains("48"));
         assert!(e.to_string().contains("32"));
 

@@ -34,10 +34,7 @@ impl GeneratorConfig {
     ///
     /// [`PlanError::LengthNotCompatible`] when the vector length is not
     /// a whole number of periods.
-    pub fn for_vector(
-        vec: &VectorSpec,
-        structure: &SubseqStructure,
-    ) -> Result<Self, PlanError> {
+    pub fn for_vector(vec: &VectorSpec, structure: &SubseqStructure) -> Result<Self, PlanError> {
         let periods = structure.periods_in(vec.len())?;
         let stride = vec.stride().get();
         Ok(GeneratorConfig {
@@ -177,8 +174,7 @@ impl Iterator for AddressGenerator {
         if self.done {
             return (0, Some(0));
         }
-        let emitted =
-            (self.k * self.cfg.subseq_count + self.j) * self.cfg.subseq_len + self.i;
+        let emitted = (self.k * self.cfg.subseq_count + self.j) * self.cfg.subseq_len + self.i;
         let rem = (self.total_requests() - emitted) as usize;
         (rem, Some(rem))
     }

@@ -249,8 +249,7 @@ mod tests {
     #[test]
     fn two_latches_per_key_suffice() {
         let map = XorMatched::new(3, 3).unwrap();
-        for (base, stride, len) in [(16u64, 12i64, 64u64), (0, 3, 64), (37, 20, 128), (5, 6, 64)]
-        {
+        for (base, stride, len) in [(16u64, 12i64, 64u64), (0, 3, 64), (37, 20, 128), (5, 6, 64)] {
             let vec = VectorSpec::new(base, stride, len).unwrap();
             let st = SubseqStructure::for_matched(&map, vec.family()).unwrap();
             if st.periods_in(len).is_err() {

@@ -170,10 +170,7 @@ mod tests {
     use super::*;
 
     fn two_region_map() -> RegionMap {
-        RegionMap::new(3, 20, 3)
-            .unwrap()
-            .with_region(1, 6)
-            .unwrap()
+        RegionMap::new(3, 20, 3).unwrap().with_region(1, 6).unwrap()
     }
 
     #[test]

@@ -49,7 +49,10 @@ impl Skewed {
     pub fn new(m: u32, skew: u64) -> Self {
         assert!(m <= 32, "m = {m} is unreasonably large");
         let mask = (1u64 << m) - 1;
-        Skewed { m, skew: skew & mask }
+        Skewed {
+            m,
+            skew: skew & mask,
+        }
     }
 
     /// Returns `m = log2(M)`.

@@ -219,8 +219,7 @@ mod tests {
         // their modules as (2,6,10,14), (0,4,8,12), (2,6,10,14), ...,
         // alternating, ending with (0,4,8,12).
         let map = figure7_map();
-        let module_of_elem =
-            |e: u64| map.module_of(Addr::new(6 + 16 * e)).get();
+        let module_of_elem = |e: u64| map.module_of(Addr::new(6 + 16 * e)).get();
         for first in 0..8u64 {
             let mods: Vec<u64> = (0..4).map(|k| module_of_elem(first + 8 * k)).collect();
             let expected = if first % 2 == 0 {

@@ -68,7 +68,10 @@ pub fn greedy_conflict_free_order<M: ModuleMap + ?Sized>(
     }
 
     // Necessary condition: T-matched.
-    if by_module.iter().any(|v| v.len() as u64 > vec.len() / t_cycles) {
+    if by_module
+        .iter()
+        .any(|v| v.len() as u64 > vec.len() / t_cycles)
+    {
         return SearchResult::Impossible;
     }
 
@@ -226,9 +229,15 @@ mod tests {
     fn exists_helper() {
         let map = XorMatched::new(3, 3).unwrap();
         let good = VectorSpec::new(16, 12, 64).unwrap();
-        assert_eq!(conflict_free_order_exists(&map, &good, 8, 1_000_000), Some(true));
+        assert_eq!(
+            conflict_free_order_exists(&map, &good, 8, 1_000_000),
+            Some(true)
+        );
         let bad = VectorSpec::new(0, 16, 64).unwrap();
-        assert_eq!(conflict_free_order_exists(&map, &bad, 8, 1_000_000), Some(false));
+        assert_eq!(
+            conflict_free_order_exists(&map, &bad, 8, 1_000_000),
+            Some(false)
+        );
     }
 
     #[test]

@@ -25,8 +25,8 @@ pub mod replay;
 pub mod subseq;
 
 pub use greedy::{conflict_free_order_exists, greedy_conflict_free_order, SearchResult};
-pub use replay::{replay_order, ReplayKey};
-pub use subseq::{subseq_order, SubseqStructure};
+pub use replay::{replay_order, replay_order_into, ReplayKey, ReplayScratch};
+pub use subseq::{subseq_order, subseq_order_into, SubseqStructure};
 
 /// The canonical (in element order) request order: `0, 1, …, L−1`.
 ///
@@ -38,6 +38,13 @@ pub use subseq::{subseq_order, SubseqStructure};
 /// ```
 pub fn canonical_order(len: u64) -> Vec<u64> {
     (0..len).collect()
+}
+
+/// The canonical request order, built into caller-owned storage: `out`
+/// is cleared and refilled with `0, 1, …, len−1`.
+pub fn canonical_order_into(len: u64, out: &mut Vec<u64>) {
+    out.clear();
+    out.extend(0..len);
 }
 
 /// Checks that `order` is a permutation of `0..len` — every element

@@ -52,6 +52,17 @@ impl ReplayKey {
     }
 }
 
+/// Reusable working storage for [`replay_order_into`].
+///
+/// Holds the key→rank table and the per-subsequence slot buffer so that
+/// repeated plan construction (the batch-runner hot path) performs no
+/// heap allocation after the first call.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayScratch {
+    key_rank: Vec<Option<usize>>,
+    slots: Vec<Option<u64>>,
+}
+
 /// Builds the conflict-free replay order.
 ///
 /// The first subsequence is requested in its natural (Lemma 2/4) order;
@@ -90,13 +101,45 @@ pub fn replay_order<M: ModuleMap + ?Sized>(
     structure: &SubseqStructure,
     key: ReplayKey,
 ) -> Result<Vec<u64>, PlanError> {
+    let mut order = Vec::new();
+    replay_order_into(
+        map,
+        vec,
+        structure,
+        key,
+        &mut ReplayScratch::default(),
+        &mut order,
+    )?;
+    Ok(order)
+}
+
+/// Builds the conflict-free replay order into caller-owned storage.
+///
+/// Allocation-free once `scratch` and `out` have grown to the working
+/// size: `out` is cleared and refilled, `scratch` is reused in place.
+/// Same semantics and errors as [`replay_order`]; on error the contents
+/// of `out` are unspecified.
+///
+/// # Errors
+///
+/// See [`replay_order`].
+pub fn replay_order_into<M: ModuleMap + ?Sized>(
+    map: &M,
+    vec: &VectorSpec,
+    structure: &SubseqStructure,
+    key: ReplayKey,
+    scratch: &mut ReplayScratch,
+    out: &mut Vec<u64>,
+) -> Result<(), PlanError> {
     let periods = structure.periods_in(vec.len())?;
     let subseq_len = structure.subseq_len() as usize;
-    let mut order = Vec::with_capacity(vec.len() as usize);
+    out.clear();
+    out.reserve(vec.len() as usize);
 
     // Key sequence of the first subsequence, recorded as key -> rank.
-    let mut key_rank: Vec<Option<usize>> = Vec::new();
-    let mut first_keys: Vec<u64> = Vec::with_capacity(subseq_len);
+    let key_rank = &mut scratch.key_rank;
+    key_rank.clear();
+    let mut first_len = 0usize;
 
     for k in 0..periods {
         for j in 0..structure.subseq_count() {
@@ -107,35 +150,44 @@ pub fn replay_order<M: ModuleMap + ?Sized>(
                         key_rank.resize(kk as usize + 1, None);
                     }
                     if key_rank[kk as usize].is_some() {
-                        return Err(PlanError::ReplayKeyCollision { period: 0, subseq: 0 });
+                        return Err(PlanError::ReplayKeyCollision {
+                            period: 0,
+                            subseq: 0,
+                        });
                     }
-                    key_rank[kk as usize] = Some(first_keys.len());
-                    first_keys.push(kk);
-                    order.push(e);
+                    key_rank[kk as usize] = Some(first_len);
+                    first_len += 1;
+                    out.push(e);
                 }
                 continue;
             }
             // Replay: place each element at the rank of its key.
-            let mut slots: Vec<Option<u64>> = vec![None; subseq_len];
+            let slots = &mut scratch.slots;
+            slots.clear();
+            slots.resize(subseq_len, None);
             for e in structure.subsequence_elements(k, j) {
                 let kk = key.key_of(map.module_of(vec.element_addr(e)));
-                let rank = key_rank
-                    .get(kk as usize)
-                    .copied()
-                    .flatten()
-                    .ok_or(PlanError::ReplayKeyCollision { period: k, subseq: j })?;
+                let rank = key_rank.get(kk as usize).copied().flatten().ok_or(
+                    PlanError::ReplayKeyCollision {
+                        period: k,
+                        subseq: j,
+                    },
+                )?;
                 if slots[rank].is_some() {
-                    return Err(PlanError::ReplayKeyCollision { period: k, subseq: j });
+                    return Err(PlanError::ReplayKeyCollision {
+                        period: k,
+                        subseq: j,
+                    });
                 }
                 slots[rank] = Some(e);
             }
-            for slot in slots {
+            for &slot in slots.iter() {
                 // All keys hit exactly once, so every slot is filled.
-                order.push(slot.expect("bijective key assignment fills every slot"));
+                out.push(slot.expect("bijective key assignment fills every slot"));
             }
         }
     }
-    Ok(order)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -207,8 +259,7 @@ mod tests {
             for sigma in [1i64, 3, 5] {
                 let vec = VectorSpec::new(base, sigma << 1, 64).unwrap();
                 let st = SubseqStructure::for_unmatched_lower(&map, vec.family()).unwrap();
-                let order =
-                    replay_order(&map, &vec, &st, ReplayKey::Supermodule { t: 2 }).unwrap();
+                let order = replay_order(&map, &vec, &st, ReplayKey::Supermodule { t: 2 }).unwrap();
                 assert!(is_permutation(&order, 64));
                 let td = temporal_distribution(&map, &vec, &order);
                 assert!(

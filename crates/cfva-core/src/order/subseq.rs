@@ -154,10 +154,7 @@ impl SubseqStructure {
     pub fn periods_in(&self, len: u64) -> Result<u64, PlanError> {
         let p = self.period();
         if !len.is_multiple_of(p) {
-            return Err(PlanError::LengthNotCompatible {
-                len,
-                granule: p,
-            });
+            return Err(PlanError::LengthNotCompatible { len, granule: p });
         }
         Ok(len / p)
     }
@@ -196,14 +193,33 @@ impl SubseqStructure {
 /// # Ok::<(), cfva_core::PlanError>(())
 /// ```
 pub fn subseq_order(structure: &SubseqStructure, len: u64) -> Result<Vec<u64>, PlanError> {
+    let mut order = Vec::new();
+    subseq_order_into(structure, len, &mut order)?;
+    Ok(order)
+}
+
+/// The Figure 4 request order, built into caller-owned storage.
+///
+/// `out` is cleared and refilled; allocation-free once it has grown to
+/// the working size. Same semantics and errors as [`subseq_order`].
+///
+/// # Errors
+///
+/// See [`subseq_order`].
+pub fn subseq_order_into(
+    structure: &SubseqStructure,
+    len: u64,
+    out: &mut Vec<u64>,
+) -> Result<(), PlanError> {
     let periods = structure.periods_in(len)?;
-    let mut order = Vec::with_capacity(len as usize);
+    out.clear();
+    out.reserve(len as usize);
     for k in 0..periods {
         for j in 0..structure.subseq_count() {
-            order.extend(structure.subsequence_elements(k, j));
+            out.extend(structure.subsequence_elements(k, j));
         }
     }
-    Ok(order)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -287,7 +303,10 @@ mod tests {
         assert!(subseq_order(&st, 48).is_ok()); // 3 periods: Section 5C case
         assert!(matches!(
             subseq_order(&st, 24),
-            Err(PlanError::LengthNotCompatible { len: 24, granule: 16 })
+            Err(PlanError::LengthNotCompatible {
+                len: 24,
+                granule: 16
+            })
         ));
     }
 

@@ -15,9 +15,7 @@ use crate::address::{Addr, ModuleId};
 use crate::dist;
 use crate::error::PlanError;
 use crate::mapping::{ModuleMap, XorMatched, XorUnmatched};
-use crate::order::{
-    self, canonical_order, replay_order, subseq_order, ReplayKey, SubseqStructure,
-};
+use crate::order::{self, ReplayKey, ReplayScratch, SubseqStructure};
 use crate::vector::VectorSpec;
 use crate::window::{MatchedWindow, ReplayKind, UnmatchedWindow};
 
@@ -52,41 +50,105 @@ impl PlanEntry {
     }
 }
 
-/// The resolved request stream of one vector access: entries in request
-/// order, one per processor cycle (ignoring stalls).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct AccessPlan {
-    entries: Vec<PlanEntry>,
+/// Reusable working storage carried inside an [`AccessPlan`]: the
+/// element-order buffer and the replay scratch, reused by
+/// [`Planner::plan_into`] so repeated planning into the same plan
+/// performs no heap allocation after warm-up.
+#[derive(Debug, Clone, Default)]
+struct PlanScratch {
+    order: Vec<u64>,
+    replay: ReplayScratch,
 }
 
+/// The resolved request stream of one vector access: entries in request
+/// order, one per processor cycle (ignoring stalls).
+///
+/// A plan doubles as a reusable buffer: [`Planner::plan_into`] clears
+/// and refills an existing plan in place, reusing both the entry
+/// storage and internal planning scratch — the allocation-free hot path
+/// of the batch execution engine. Equality and hashing consider only
+/// the entries, never the scratch state.
+#[derive(Default)]
+pub struct AccessPlan {
+    entries: Vec<PlanEntry>,
+    scratch: PlanScratch,
+}
+
+impl Clone for AccessPlan {
+    fn clone(&self) -> Self {
+        // The scratch is working storage for the *next* plan_into call;
+        // a clone starts with fresh (empty) scratch instead of paying
+        // for a deep copy of buffers it will never read.
+        AccessPlan {
+            entries: self.entries.clone(),
+            scratch: PlanScratch::default(),
+        }
+    }
+}
+
+impl fmt::Debug for AccessPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AccessPlan")
+            .field("entries", &self.entries)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PartialEq for AccessPlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl Eq for AccessPlan {}
+
 impl AccessPlan {
+    /// Creates an empty plan (a reusable buffer for
+    /// [`Planner::plan_into`]).
+    pub fn new() -> Self {
+        AccessPlan::default()
+    }
+
+    /// Creates an empty plan whose entry buffer can hold `len` requests
+    /// without reallocating.
+    pub fn with_capacity(len: u64) -> Self {
+        AccessPlan {
+            entries: Vec::with_capacity(len as usize),
+            scratch: PlanScratch::default(),
+        }
+    }
+
+    /// Removes all requests, keeping the allocated buffers for reuse.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Resolves an element order into a plan under a mapping.
     ///
     /// `order[k]` is the element requested at step `k`; it must be a
     /// permutation of `0..vec.len()` (checked by
     /// [`debug_assert!`]; orders from [`crate::order`] always are).
-    pub fn from_order<M: ModuleMap + ?Sized>(
+    pub fn from_order<M: ModuleMap + ?Sized>(map: &M, vec: &VectorSpec, order: &[u64]) -> Self {
+        let mut plan = AccessPlan::with_capacity(vec.len());
+        plan.fill_from_order(map, vec, order);
+        plan
+    }
+
+    /// Clears the plan and refills it from an element order — the
+    /// in-place equivalent of [`from_order`](Self::from_order), reusing
+    /// the entry buffer.
+    pub fn fill_from_order<M: ModuleMap + ?Sized>(
+        &mut self,
         map: &M,
         vec: &VectorSpec,
         order: &[u64],
-    ) -> Self {
+    ) {
         debug_assert!(
             order::is_permutation(order, vec.len()),
             "order must be a permutation of 0..{}",
             vec.len()
         );
-        let entries = order
-            .iter()
-            .map(|&element| {
-                let addr = vec.element_addr(element);
-                PlanEntry {
-                    element,
-                    addr,
-                    module: map.module_of(addr),
-                }
-            })
-            .collect();
-        AccessPlan { entries }
+        fill_entries(&mut self.entries, map, vec, order);
     }
 
     /// Number of requests (the vector length).
@@ -172,8 +234,30 @@ impl AccessPlan {
             }));
             offset += plan.len();
         }
-        AccessPlan { entries }
+        AccessPlan {
+            entries,
+            scratch: PlanScratch::default(),
+        }
     }
+}
+
+/// Clears `entries` and refills it by resolving `order` under `map`.
+fn fill_entries<M: ModuleMap + ?Sized>(
+    entries: &mut Vec<PlanEntry>,
+    map: &M,
+    vec: &VectorSpec,
+    order: &[u64],
+) {
+    entries.clear();
+    entries.reserve(order.len());
+    entries.extend(order.iter().map(|&element| {
+        let addr = vec.element_addr(element);
+        PlanEntry {
+            element,
+            addr,
+            module: map.module_of(addr),
+        }
+    }));
 }
 
 impl<'a> IntoIterator for &'a AccessPlan {
@@ -353,28 +437,64 @@ impl Planner {
     /// * [`PlanError::UnsupportedStrategy`] — out-of-order strategy on a
     ///   baseline planner.
     pub fn plan(&self, vec: &VectorSpec, strategy: Strategy) -> Result<AccessPlan, PlanError> {
-        match strategy {
-            Strategy::Canonical => Ok(self.canonical(vec)),
-            Strategy::Subsequence => self.subsequence(vec),
-            Strategy::ConflictFree => self.conflict_free(vec),
-            Strategy::Auto => Ok(self
-                .conflict_free(vec)
-                .or_else(|_| self.subsequence(vec))
-                .unwrap_or_else(|_| self.canonical(vec))),
+        let mut plan = AccessPlan::with_capacity(vec.len());
+        self.plan_into(vec, strategy, &mut plan)?;
+        Ok(plan)
+    }
+
+    /// Builds the plan for `vec` into caller-owned storage.
+    ///
+    /// The in-place equivalent of [`plan`](Self::plan): `out` is cleared
+    /// and refilled, reusing its entry buffer and internal planning
+    /// scratch — no heap allocation once the buffers have grown to the
+    /// working size. This is the batch execution engine's hot path.
+    ///
+    /// On error `out` is left cleared (empty).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`plan`](Self::plan).
+    pub fn plan_into(
+        &self,
+        vec: &VectorSpec,
+        strategy: Strategy,
+        out: &mut AccessPlan,
+    ) -> Result<(), PlanError> {
+        let result = match strategy {
+            Strategy::Canonical => {
+                self.canonical_into(vec, out);
+                Ok(())
+            }
+            Strategy::Subsequence => self.subsequence_into(vec, out),
+            Strategy::ConflictFree => self.conflict_free_into(vec, out),
+            Strategy::Auto => {
+                if self.conflict_free_into(vec, out).is_err()
+                    && self.subsequence_into(vec, out).is_err()
+                {
+                    self.canonical_into(vec, out);
+                }
+                Ok(())
+            }
+        };
+        if result.is_err() {
+            out.clear();
         }
+        result
     }
 
-    fn canonical(&self, vec: &VectorSpec) -> AccessPlan {
-        AccessPlan::from_order(&self.map(), vec, &canonical_order(vec.len()))
+    fn canonical_into(&self, vec: &VectorSpec, out: &mut AccessPlan) {
+        order::canonical_order_into(vec.len(), &mut out.scratch.order);
+        fill_entries(&mut out.entries, &self.map(), vec, &out.scratch.order);
     }
 
-    fn subsequence(&self, vec: &VectorSpec) -> Result<AccessPlan, PlanError> {
+    fn subsequence_into(&self, vec: &VectorSpec, out: &mut AccessPlan) -> Result<(), PlanError> {
         let x = vec.family();
         match &self.kind {
             PlannerKind::Matched(m) => {
                 let st = SubseqStructure::for_matched(m, x)?;
-                let order = subseq_order(&st, vec.len())?;
-                Ok(AccessPlan::from_order(m, vec, &order))
+                order::subseq_order_into(&st, vec.len(), &mut out.scratch.order)?;
+                fill_entries(&mut out.entries, m, vec, &out.scratch.order);
+                Ok(())
             }
             PlannerKind::Unmatched(m) => {
                 let st = if x.exponent() <= m.s() {
@@ -382,8 +502,9 @@ impl Planner {
                 } else {
                     SubseqStructure::for_unmatched_upper(m, x)?
                 };
-                let order = subseq_order(&st, vec.len())?;
-                Ok(AccessPlan::from_order(m, vec, &order))
+                order::subseq_order_into(&st, vec.len(), &mut out.scratch.order)?;
+                fill_entries(&mut out.entries, m, vec, &out.scratch.order);
+                Ok(())
             }
             PlannerKind::Baseline { .. } => Err(PlanError::UnsupportedStrategy {
                 strategy: "subsequence",
@@ -392,18 +513,27 @@ impl Planner {
         }
     }
 
-    fn conflict_free(&self, vec: &VectorSpec) -> Result<AccessPlan, PlanError> {
+    fn conflict_free_into(&self, vec: &VectorSpec, out: &mut AccessPlan) -> Result<(), PlanError> {
         let x = vec.family();
         match &self.kind {
             PlannerKind::Matched(m) => {
                 if x.exponent() == m.s() {
                     // In-order access is conflict free for the map's own
                     // family, for any length and base (Harper's result).
-                    return Ok(self.canonical(vec));
+                    self.canonical_into(vec, out);
+                    return Ok(());
                 }
                 let st = SubseqStructure::for_matched(m, x)?;
-                let order = replay_order(m, vec, &st, ReplayKey::Module)?;
-                Ok(AccessPlan::from_order(m, vec, &order))
+                order::replay_order_into(
+                    m,
+                    vec,
+                    &st,
+                    ReplayKey::Module,
+                    &mut out.scratch.replay,
+                    &mut out.scratch.order,
+                )?;
+                fill_entries(&mut out.entries, m, vec, &out.scratch.order);
+                Ok(())
             }
             PlannerKind::Unmatched(m) => {
                 // Choose the replay kind per Section 4.2; for
@@ -439,8 +569,16 @@ impl Planner {
                         ReplayKey::Section { t: m.t() },
                     ),
                 };
-                let order = replay_order(m, vec, &st, key)?;
-                Ok(AccessPlan::from_order(m, vec, &order))
+                order::replay_order_into(
+                    m,
+                    vec,
+                    &st,
+                    key,
+                    &mut out.scratch.replay,
+                    &mut out.scratch.order,
+                )?;
+                fill_entries(&mut out.entries, m, vec, &out.scratch.order);
+                Ok(())
             }
             PlannerKind::Baseline { .. } => Err(PlanError::UnsupportedStrategy {
                 strategy: "conflict-free",
@@ -628,5 +766,92 @@ mod tests {
     fn concat_of_empty_is_empty() {
         let combined = AccessPlan::concat(std::iter::empty::<&AccessPlan>());
         assert!(combined.is_empty());
+    }
+
+    #[test]
+    fn plan_into_reuses_buffer_and_matches_plan() {
+        let planner = matched_planner();
+        let mut buf = AccessPlan::new();
+        for (base, stride) in [(16u64, 12i64), (0, 1), (7, 6), (3, 8), (100, 4)] {
+            let vec = VectorSpec::new(base, stride, 64).unwrap();
+            for strategy in [
+                Strategy::Canonical,
+                Strategy::Subsequence,
+                Strategy::ConflictFree,
+                Strategy::Auto,
+            ] {
+                let fresh = planner.plan(&vec, strategy);
+                let reused = planner.plan_into(&vec, strategy, &mut buf);
+                match (fresh, reused) {
+                    (Ok(p), Ok(())) => {
+                        assert_eq!(p, buf, "base {base} stride {stride} {strategy}")
+                    }
+                    (Err(a), Err(b)) => assert_eq!(a, b),
+                    (f, r) => panic!("plan/plan_into disagree: {f:?} vs {r:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_into_shrinks_for_shorter_vectors() {
+        let planner = matched_planner();
+        let mut buf = AccessPlan::new();
+        planner
+            .plan_into(
+                &VectorSpec::new(16, 12, 64).unwrap(),
+                Strategy::ConflictFree,
+                &mut buf,
+            )
+            .unwrap();
+        assert_eq!(buf.len(), 64);
+        planner
+            .plan_into(
+                &VectorSpec::new(16, 12, 16).unwrap(),
+                Strategy::ConflictFree,
+                &mut buf,
+            )
+            .unwrap();
+        assert_eq!(buf.len(), 16);
+        assert!(buf.is_conflict_free(8));
+    }
+
+    #[test]
+    fn plan_into_clears_on_error() {
+        let planner = matched_planner();
+        let mut buf = AccessPlan::new();
+        planner
+            .plan_into(
+                &VectorSpec::new(16, 12, 64).unwrap(),
+                Strategy::ConflictFree,
+                &mut buf,
+            )
+            .unwrap();
+        assert!(!buf.is_empty());
+        // x = 4 > s: conflict-free planning fails; the buffer must not
+        // keep stale entries.
+        let err = planner.plan_into(
+            &VectorSpec::new(0, 16, 64).unwrap(),
+            Strategy::ConflictFree,
+            &mut buf,
+        );
+        assert!(err.is_err());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn plan_equality_ignores_scratch_state() {
+        let planner = matched_planner();
+        let vec = VectorSpec::new(16, 12, 64).unwrap();
+        // One plan built fresh, one through a buffer that previously
+        // held a different (larger scratch) plan.
+        let fresh = planner.plan(&vec, Strategy::ConflictFree).unwrap();
+        let mut reused = planner
+            .plan(&VectorSpec::new(0, 1, 128).unwrap(), Strategy::Subsequence)
+            .unwrap();
+        planner
+            .plan_into(&vec, Strategy::ConflictFree, &mut reused)
+            .unwrap();
+        assert_eq!(fresh, reused);
     }
 }

@@ -241,11 +241,7 @@ mod tests {
             let stride = Stride::new(s).unwrap();
             assert_eq!(stride.odd_part(), sigma, "odd part of {s}");
             assert_eq!(stride.family().exponent(), x, "family of {s}");
-            assert_eq!(
-                stride.magnitude(),
-                s.unsigned_abs(),
-                "magnitude of {s}"
-            );
+            assert_eq!(stride.magnitude(), s.unsigned_abs(), "magnitude of {s}");
         }
     }
 

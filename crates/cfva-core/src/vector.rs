@@ -122,7 +122,11 @@ impl VectorSpec {
     ///
     /// Panics if `i >= len()`.
     pub fn element_addr(&self, i: u64) -> Addr {
-        assert!(i < self.len, "element index {i} out of range 0..{}", self.len);
+        assert!(
+            i < self.len,
+            "element index {i} out of range 0..{}",
+            self.len
+        );
         self.base.offset(self.stride.get() * i as i64)
     }
 
@@ -136,7 +140,10 @@ impl VectorSpec {
     /// # Ok::<(), cfva_core::ConfigError>(())
     /// ```
     pub fn iter(&self) -> Iter {
-        Iter { spec: *self, next: 0 }
+        Iter {
+            spec: *self,
+            next: 0,
+        }
     }
 }
 

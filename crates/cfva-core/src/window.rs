@@ -326,7 +326,7 @@ mod tests {
     fn family_count_handles_overlap() {
         // Fully overlapping windows should not double count.
         let w = UnmatchedWindow::new(2, 6, 8, 20); // N = 6, R = 8
-        // lower [0,6], upper [0,8] -> union [0,8] = 9 families.
+                                                   // lower [0,6], upper [0,8] -> union [0,8] = 9 families.
         assert_eq!(w.lower(), (0, 6));
         assert_eq!(w.upper(), (0, 8));
         assert_eq!(w.family_count(), 9);

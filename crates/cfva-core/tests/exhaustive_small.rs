@@ -26,9 +26,7 @@ fn matched_exhaustive_t1_t2() {
                 for base in 0..period_span {
                     let vec = VectorSpec::with_stride(base.into(), stride, len).unwrap();
                     let order = replay_order(&map, &vec, &st, ReplayKey::Module)
-                        .unwrap_or_else(|e| {
-                            panic!("t={t} s={s} x={x} σ={sigma} A1={base}: {e}")
-                        });
+                        .unwrap_or_else(|e| panic!("t={t} s={s} x={x} σ={sigma} A1={base}: {e}"));
                     let td = temporal_distribution(&map, &vec, &order);
                     assert!(
                         is_conflict_free(&td, t_cycles),
@@ -75,10 +73,7 @@ fn unmatched_exhaustive_t1() {
                 let order = replay_order(&map, &vec, &st, key)
                     .unwrap_or_else(|e| panic!("x={x} σ={sigma} A1={base}: {e}"));
                 let td = temporal_distribution(&map, &vec, &order);
-                assert!(
-                    is_conflict_free(&td, t_cycles),
-                    "x={x} σ={sigma} A1={base}"
-                );
+                assert!(is_conflict_free(&td, t_cycles), "x={x} σ={sigma} A1={base}");
             }
         }
     }

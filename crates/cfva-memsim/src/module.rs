@@ -45,6 +45,19 @@ impl MemModule {
         }
     }
 
+    /// Returns the module to its just-constructed idle state, keeping
+    /// the queue allocations for reuse (the batch-runner hot path resets
+    /// a long-lived module array instead of reallocating it).
+    pub fn reset(&mut self) {
+        self.in_q.clear();
+        self.service = None;
+        self.out_q.clear();
+        self.busy_cycles = 0;
+        self.served = 0;
+        self.queued_conflicts = 0;
+        self.max_in_q = 0;
+    }
+
     /// Whether the input queue can accept another request.
     pub fn can_accept(&self) -> bool {
         self.in_q.len() < self.q_in_cap

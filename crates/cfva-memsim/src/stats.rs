@@ -3,7 +3,11 @@
 use std::fmt;
 
 /// Measurements of one simulated vector access.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Doubles as a reusable buffer:
+/// [`MemorySystem::run_plan_into`](crate::MemorySystem::run_plan_into)
+/// clears and refills the per-element and per-module vectors in place.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AccessStats {
     /// Total latency in processor cycles: from the cycle the first
     /// address is sent until the cycle the last element is received,

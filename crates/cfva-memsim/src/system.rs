@@ -45,6 +45,18 @@ pub struct MemorySystem {
     cfg: MemConfig,
     modules: Vec<MemModule>,
     trace: Trace,
+    /// Indices of modules currently holding work, kept in ascending
+    /// order. The cycle loop touches only these, so simulation cost
+    /// scales with the *occupied* modules (≈ `T` for a register-length
+    /// access), not with the memory size `M` — the difference is large
+    /// on unmatched memories where `M = T²`.
+    active: Vec<usize>,
+    /// Opt-in conflict-free fast path (see
+    /// [`set_fast_path`](Self::set_fast_path)).
+    fast_path: bool,
+    /// Scratch for the fast path's window check: last request index per
+    /// module.
+    last_start: Vec<u64>,
 }
 
 impl MemorySystem {
@@ -57,7 +69,35 @@ impl MemorySystem {
             cfg,
             modules,
             trace: Trace::new(),
+            active: Vec::new(),
+            fast_path: false,
+            last_start: Vec::new(),
         }
+    }
+
+    /// Enables (or disables) the verified conflict-free fast path.
+    ///
+    /// When enabled, a run first checks in one pass whether the request
+    /// stream is conflict free in the paper's sense (every window of
+    /// `T` consecutive requests touches `T` distinct modules). If it
+    /// is — and the memory has a single port and tracing is off — the
+    /// statistics are fully determined: request `k` starts service the
+    /// cycle it is issued and arrives at `k + T + 1`, the access takes
+    /// `T + L + 1` cycles, and no queueing occurs. Those are exactly
+    /// the values the cycle engine produces (asserted bit-for-bit by
+    /// `tests/fast_path.rs`), at a fraction of the cost. Streams that
+    /// fail the check fall through to the full cycle engine.
+    ///
+    /// **Disabled by default** so the cycle-accurate engine remains the
+    /// oracle for verification work; the batch execution engine
+    /// (`cfva-bench::runner::BatchRunner`) enables it for throughput.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.fast_path = enabled;
+    }
+
+    /// Whether the conflict-free fast path is enabled.
+    pub const fn fast_path(&self) -> bool {
+        self.fast_path
     }
 
     /// The configuration in use.
@@ -87,11 +127,34 @@ impl MemorySystem {
     /// simulation exceeds a hard safety bound of cycles (which would
     /// indicate an engine bug, not a property of the plan).
     pub fn run_plan(&mut self, plan: &AccessPlan) -> AccessStats {
-        let requests: Vec<(u64, Addr, ModuleId)> = plan
-            .iter()
-            .map(|e| (e.element(), e.addr(), e.module()))
-            .collect();
-        self.run_requests(&requests)
+        let mut stats = AccessStats::default();
+        self.run_plan_into(plan, &mut stats);
+        stats
+    }
+
+    /// Executes an access plan, writing the statistics into caller-owned
+    /// storage.
+    ///
+    /// The in-place equivalent of [`run_plan`](Self::run_plan): the
+    /// stats' per-element and per-module vectors are cleared and
+    /// refilled, so a long-lived `AccessStats` makes repeated
+    /// measurement allocation-free — the batch execution engine's hot
+    /// path. The plan itself is read directly; no intermediate request
+    /// buffer is built.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`run_plan`](Self::run_plan).
+    pub fn run_plan_into(&mut self, plan: &AccessPlan, out: &mut AccessStats) {
+        let entries = plan.entries();
+        self.run_core(
+            entries.len(),
+            |k| {
+                let e = &entries[k];
+                (e.element(), e.addr(), e.module())
+            },
+            out,
+        );
     }
 
     /// Executes an arbitrary request stream: `(element, addr, module)`
@@ -103,38 +166,116 @@ impl MemorySystem {
     ///
     /// Same conditions as [`run_plan`](Self::run_plan).
     pub fn run_requests(&mut self, requests: &[(u64, Addr, ModuleId)]) -> AccessStats {
-        self.reset();
-        let n = requests.len() as u64;
-        for &(_, _, module) in requests {
+        let mut stats = AccessStats::default();
+        self.run_core(requests.len(), |k| requests[k], &mut stats);
+        stats
+    }
+
+    /// One-pass conflict-free fast path: checks the paper's window
+    /// property while accumulating the (fully determined) statistics.
+    /// Returns `false` — leaving `out` in an unspecified but resizable
+    /// state — as soon as a conflict is found, and the caller falls
+    /// back to the cycle engine, which rewrites `out` from scratch.
+    fn try_fast_path<F>(&mut self, n: usize, request: &F, out: &mut AccessStats) -> bool
+    where
+        F: Fn(usize) -> (u64, Addr, ModuleId),
+    {
+        let t = self.cfg.t_cycles();
+        let m_count = self.cfg.module_count() as usize;
+        self.last_start.clear();
+        self.last_start.resize(m_count, u64::MAX);
+        out.arrival.clear();
+        out.arrival.resize(n, u64::MAX);
+        out.module_busy.clear();
+        out.module_busy.resize(m_count, 0);
+        for k in 0..n {
+            let (element, _, module) = request(k);
+            let midx = module.get() as usize;
             assert!(
-                module.get() < self.cfg.module_count(),
+                midx < m_count,
                 "request targets module {} but memory has {}",
                 module,
                 self.cfg.module_count()
             );
+            let k = k as u64;
+            let last = self.last_start[midx];
+            if last != u64::MAX && k - last < t {
+                return false; // conflict: cycle engine takes over
+            }
+            self.last_start[midx] = k;
+            // Request k issues at cycle k (no stalls), starts service
+            // immediately, completes at k + T, crosses the bus in one
+            // cycle.
+            out.module_busy[midx] += t;
+            out.arrival[element as usize] = k + t + 1;
+        }
+        out.latency = t + n as u64 + 1;
+        out.elements = n as u64;
+        out.stall_cycles = 0;
+        out.conflicts = 0;
+        out.max_in_q = 1;
+        true
+    }
+
+    /// The cycle engine. `request(k)` yields the `k`-th request of the
+    /// stream; statistics are written into `out`, reusing its buffers.
+    fn run_core<F>(&mut self, n: usize, request: F, out: &mut AccessStats)
+    where
+        F: Fn(usize) -> (u64, Addr, ModuleId),
+    {
+        if self.fast_path
+            && !self.trace.is_enabled()
+            && self.cfg.ports() == 1
+            && n > 0
+            && self.try_fast_path(n, &request, out)
+        {
+            return;
+        }
+        self.reset();
+        let MemorySystem {
+            cfg,
+            modules,
+            trace,
+            active,
+            ..
+        } = self;
+        let n_u64 = n as u64;
+        for k in 0..n {
+            let (_, _, module) = request(k);
+            assert!(
+                module.get() < cfg.module_count(),
+                "request targets module {} but memory has {}",
+                module,
+                cfg.module_count()
+            );
         }
 
-        let mut arrival: Vec<u64> = vec![u64::MAX; n as usize];
+        out.arrival.clear();
+        out.arrival.resize(n, u64::MAX);
+        let arrival = &mut out.arrival;
         let mut delivered: u64 = 0;
         let mut next_request: usize = 0;
         let mut stall_cycles: u64 = 0;
         let mut first_issue: Option<u64> = None;
         let mut last_arrival: u64 = 0;
 
-        let safety_bound = 1_000_000u64.max(n * self.cfg.t_cycles() * 4 + 10_000);
+        let safety_bound = 1_000_000u64.max(n_u64 * cfg.t_cycles() * 4 + 10_000);
         let mut cycle: u64 = 0;
-        while delivered < n {
+        while delivered < n_u64 {
             assert!(
                 cycle < safety_bound,
                 "simulation exceeded {safety_bound} cycles — engine bug"
             );
 
-            // Phase 1: service completions.
-            for (idx, module) in self.modules.iter_mut().enumerate() {
+            // Phase 1: service completions (only occupied modules can
+            // complete; `active` is ascending, so event order matches a
+            // full scan).
+            for &idx in active.iter() {
+                let module = &mut modules[idx];
                 let in_service = module.in_service().map(|r| r.element);
                 module.tick_complete(cycle);
                 if let (Some(element), None) = (in_service, module.in_service()) {
-                    self.trace.push(Event::Complete {
+                    trace.push(Event::Complete {
                         cycle,
                         module: ModuleId::new(idx as u64),
                         element,
@@ -144,22 +285,20 @@ impl MemorySystem {
 
             // Phase 2: bus grants — oldest issue first, lowest module on
             // ties; one grant per port.
-            for _ in 0..self.cfg.ports() {
-                let grant = self
-                    .modules
+            for _ in 0..cfg.ports() {
+                let grant = active
                     .iter()
-                    .enumerate()
-                    .filter_map(|(idx, m)| m.output_ready().map(|ready| (ready, idx)))
+                    .filter_map(|&idx| modules[idx].output_ready().map(|ready| (ready, idx)))
                     .min();
                 let Some((_, idx)) = grant else { break };
-                let req = self.modules[idx]
+                let req = modules[idx]
                     .take_output()
                     .expect("granted module has output");
                 let when = cycle + 1; // one-cycle bus
                 arrival[req.element as usize] = when;
                 last_arrival = last_arrival.max(when);
                 delivered += 1;
-                self.trace.push(Event::Deliver {
+                trace.push(Event::Deliver {
                     cycle: when,
                     element: req.element,
                 });
@@ -168,35 +307,39 @@ impl MemorySystem {
             // Phase 3: processor issue — one request per port. A
             // blocked request blocks the ports behind it (in-order
             // issue), matching a real address-bus head-of-line stall.
-            for _ in 0..self.cfg.ports() {
-                if next_request >= requests.len() {
+            for _ in 0..cfg.ports() {
+                if next_request >= n {
                     break;
                 }
-                let (element, addr, module) = requests[next_request];
+                let (element, addr, module) = request(next_request);
                 let midx = module.get() as usize;
-                if self.modules[midx].can_accept() {
-                    self.modules[midx].accept(Request {
+                if modules[midx].can_accept() {
+                    modules[midx].accept(Request {
                         element,
                         addr,
                         module,
                         issue_cycle: cycle,
                     });
+                    if let Err(pos) = active.binary_search(&midx) {
+                        active.insert(pos, midx);
+                    }
                     first_issue.get_or_insert(cycle);
                     next_request += 1;
-                    self.trace.push(Event::Issue {
+                    trace.push(Event::Issue {
                         cycle,
                         element,
                         module,
                     });
                 } else {
                     stall_cycles += 1;
-                    self.trace.push(Event::Stall { cycle, module });
+                    trace.push(Event::Stall { cycle, module });
                     break;
                 }
             }
 
             // Phase 4: service starts.
-            for (idx, module) in self.modules.iter_mut().enumerate() {
+            for &idx in active.iter() {
+                let module = &mut modules[idx];
                 let serving_before = module.served();
                 module.tick_start(cycle);
                 if module.served() > serving_before {
@@ -204,7 +347,7 @@ impl MemorySystem {
                         .in_service()
                         .map(|r| r.element)
                         .expect("service stage just filled");
-                    self.trace.push(Event::ServiceStart {
+                    trace.push(Event::ServiceStart {
                         cycle,
                         module: ModuleId::new(idx as u64),
                         element,
@@ -212,25 +355,28 @@ impl MemorySystem {
                 }
             }
 
+            // Drop drained modules from the active set.
+            active.retain(|&idx| modules[idx].is_active());
+
             cycle += 1;
         }
 
         let first = first_issue.unwrap_or(0);
-        AccessStats {
-            latency: last_arrival - first + 1,
-            elements: n,
-            stall_cycles,
-            conflicts: self.modules.iter().map(|m| m.queued_conflicts()).sum(),
-            arrival,
-            module_busy: self.modules.iter().map(|m| m.busy_cycles()).collect(),
-            max_in_q: self.modules.iter().map(|m| m.max_in_q()).max().unwrap_or(0),
-        }
+        out.latency = last_arrival - first + 1;
+        out.elements = n_u64;
+        out.stall_cycles = stall_cycles;
+        out.conflicts = modules.iter().map(|m| m.queued_conflicts()).sum();
+        out.module_busy.clear();
+        out.module_busy
+            .extend(modules.iter().map(|m| m.busy_cycles()));
+        out.max_in_q = modules.iter().map(|m| m.max_in_q()).max().unwrap_or(0);
     }
 
     fn reset(&mut self) {
         for module in &mut self.modules {
-            *module = MemModule::new(self.cfg.t_cycles(), self.cfg.q_in(), self.cfg.q_out());
+            module.reset();
         }
+        self.active.clear();
         self.trace.clear();
     }
 }

@@ -141,7 +141,10 @@ mod tests {
     #[test]
     fn disabled_trace_records_nothing() {
         let mut t = Trace::new();
-        t.push(Event::Deliver { cycle: 1, element: 0 });
+        t.push(Event::Deliver {
+            cycle: 1,
+            element: 0,
+        });
         assert!(t.events().is_empty());
         assert!(!t.is_enabled());
     }
@@ -150,7 +153,10 @@ mod tests {
     fn enabled_trace_records() {
         let mut t = Trace::new();
         t.set_enabled(true);
-        t.push(Event::Deliver { cycle: 1, element: 0 });
+        t.push(Event::Deliver {
+            cycle: 1,
+            element: 0,
+        });
         t.push(Event::Stall {
             cycle: 2,
             module: ModuleId::new(3),
@@ -169,7 +175,10 @@ mod tests {
             module: ModuleId::new(2),
         };
         assert_eq!(e.to_string(), "[    7] issue    e3 -> m2");
-        let d = Event::Deliver { cycle: 73, element: 63 };
+        let d = Event::Deliver {
+            cycle: 73,
+            element: 63,
+        };
         assert_eq!(d.to_string(), "[   73] deliver  e63");
     }
 }

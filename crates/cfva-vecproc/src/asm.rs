@@ -90,7 +90,10 @@ pub fn parse_program(source: &str) -> Result<Vec<VectorOp>, AsmError> {
 }
 
 fn parse_line(line: &str, line_no: usize) -> Result<VectorOp, AsmError> {
-    let err = |kind| AsmError { line: line_no, kind };
+    let err = |kind| AsmError {
+        line: line_no,
+        kind,
+    };
     let (mnemonic, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
     let operands = split_operands(rest);
 
@@ -191,17 +194,13 @@ fn parse_vector(tok: &str, line: usize) -> Result<VectorSpec, AsmError> {
         .and_then(|t| t.strip_suffix(']'))
         .ok_or_else(|| AsmError {
             line,
-            kind: AsmErrorKind::BadOperands(format!(
-                "expected [base, stride, len], got '{tok}'"
-            )),
+            kind: AsmErrorKind::BadOperands(format!("expected [base, stride, len], got '{tok}'")),
         })?;
     let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
     if parts.len() != 3 {
         return Err(AsmError {
             line,
-            kind: AsmErrorKind::BadOperands(format!(
-                "expected three fields in '{tok}'"
-            )),
+            kind: AsmErrorKind::BadOperands(format!("expected three fields in '{tok}'")),
         });
     }
     let base = parse_num(parts[0], line)?;
@@ -234,7 +233,12 @@ mod tests {
         assert!(matches!(prog[0], VectorOp::Load { dst: VReg(0), .. }));
         assert!(matches!(
             prog[2],
-            VectorOp::Axpy { dst: VReg(2), scalar: 3, x: VReg(0), y: VReg(1) }
+            VectorOp::Axpy {
+                dst: VReg(2),
+                scalar: 3,
+                x: VReg(0),
+                y: VReg(1)
+            }
         ));
         assert!(matches!(prog[3], VectorOp::Store { src: VReg(2), .. }));
     }

@@ -121,9 +121,22 @@ mod tests {
 
     #[test]
     fn memory_classification() {
-        assert!(VectorOp::Load { dst: VReg(0), vec: vec64() }.is_memory());
-        assert!(VectorOp::Store { src: VReg(0), vec: vec64() }.is_memory());
-        assert!(!VectorOp::Add { dst: VReg(0), a: VReg(1), b: VReg(2) }.is_memory());
+        assert!(VectorOp::Load {
+            dst: VReg(0),
+            vec: vec64()
+        }
+        .is_memory());
+        assert!(VectorOp::Store {
+            src: VReg(0),
+            vec: vec64()
+        }
+        .is_memory());
+        assert!(!VectorOp::Add {
+            dst: VReg(0),
+            a: VReg(1),
+            b: VReg(2)
+        }
+        .is_memory());
     }
 
     #[test]
@@ -137,11 +150,17 @@ mod tests {
         assert_eq!(op.sources(), vec![VReg(1), VReg(2)]);
         assert_eq!(op.destination(), Some(VReg(3)));
 
-        let st = VectorOp::Store { src: VReg(4), vec: vec64() };
+        let st = VectorOp::Store {
+            src: VReg(4),
+            vec: vec64(),
+        };
         assert_eq!(st.sources(), vec![VReg(4)]);
         assert_eq!(st.destination(), None);
 
-        let ld = VectorOp::Load { dst: VReg(5), vec: vec64() };
+        let ld = VectorOp::Load {
+            dst: VReg(5),
+            vec: vec64(),
+        };
         assert!(ld.sources().is_empty());
         assert_eq!(ld.destination(), Some(VReg(5)));
     }
@@ -149,9 +168,16 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(VReg(3).to_string(), "v3");
-        let op = VectorOp::Add { dst: VReg(0), a: VReg(1), b: VReg(2) };
+        let op = VectorOp::Add {
+            dst: VReg(0),
+            a: VReg(1),
+            b: VReg(2),
+        };
         assert_eq!(op.to_string(), "vadd v0, v1, v2");
-        let ld = VectorOp::Load { dst: VReg(1), vec: vec64() };
+        let ld = VectorOp::Load {
+            dst: VReg(1),
+            vec: vec64(),
+        };
         assert_eq!(ld.to_string(), "vload v1, [vector A1=0, S=1, L=64]");
     }
 }

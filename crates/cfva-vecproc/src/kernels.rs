@@ -67,7 +67,11 @@ impl MatrixLayout {
     ///
     /// Propagates [`ConfigError`].
     pub fn diagonal(&self) -> Result<VectorSpec, ConfigError> {
-        VectorSpec::new(self.addr(0, 0), self.cols as i64 + 1, self.rows.min(self.cols))
+        VectorSpec::new(
+            self.addr(0, 0),
+            self.cols as i64 + 1,
+            self.rows.min(self.cols),
+        )
     }
 
     /// Access pattern of the anti-diagonal: stride `cols − 1`, starting
@@ -125,15 +129,24 @@ pub fn fft_stage_operands(
 /// `y = a·x + y` for strided `x` and `y`.
 pub fn daxpy_chunk(a: u64, x: VectorSpec, y: VectorSpec) -> Vec<VectorOp> {
     vec![
-        VectorOp::Load { dst: VReg(0), vec: x },
-        VectorOp::Load { dst: VReg(1), vec: y },
+        VectorOp::Load {
+            dst: VReg(0),
+            vec: x,
+        },
+        VectorOp::Load {
+            dst: VReg(1),
+            vec: y,
+        },
         VectorOp::Axpy {
             dst: VReg(2),
             scalar: a,
             x: VReg(0),
             y: VReg(1),
         },
-        VectorOp::Store { src: VReg(2), vec: y },
+        VectorOp::Store {
+            src: VReg(2),
+            vec: y,
+        },
     ]
 }
 
@@ -229,7 +242,7 @@ mod tests {
     fn daxpy_program_strip_mines() {
         let chunks = daxpy_program(2, 0, 1, 10_000, 1, 200, 64).unwrap();
         assert_eq!(chunks.len(), 4); // 64+64+64+8
-        // Final chunk covers the tail.
+                                     // Final chunk covers the tail.
         if let VectorOp::Load { vec, .. } = &chunks[3][0] {
             assert_eq!(vec.len(), 8);
         } else {

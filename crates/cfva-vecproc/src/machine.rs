@@ -14,9 +14,9 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use cfva_core::plan::{Planner, Strategy};
+use cfva_core::plan::{AccessPlan, Planner, Strategy};
 use cfva_core::{PlanError, VectorSpec};
-use cfva_memsim::{MemConfig, MemorySystem};
+use cfva_memsim::{AccessStats, MemConfig, MemorySystem};
 
 use crate::isa::{VReg, VectorOp};
 use crate::regfile::{RegError, VectorRegister, WritePolicy};
@@ -87,7 +87,10 @@ impl fmt::Display for MachineError {
                 write!(f, "operand length mismatch: {a} vs {b}")
             }
             MachineError::TooLong { requested, max } => {
-                write!(f, "vector of {requested} elements exceeds register length {max}")
+                write!(
+                    f,
+                    "vector of {requested} elements exceeds register length {max}"
+                )
             }
         }
     }
@@ -177,6 +180,12 @@ pub struct Machine {
     cycle: u64,
     /// Destination of the immediately preceding load, for chaining.
     last_load_dst: Option<VReg>,
+    // Reusable buffers for the plan->simulate hot path: every LOAD and
+    // STORE plans into `plan`, simulates into `mem_stats`, and sorts
+    // deliveries in `arrivals` without allocating per operation.
+    plan: AccessPlan,
+    mem_stats: AccessStats,
+    arrivals: Vec<(u64, u64, u64)>,
 }
 
 impl Machine {
@@ -193,6 +202,9 @@ impl Machine {
             image: HashMap::new(),
             cycle: 0,
             last_load_dst: None,
+            plan: AccessPlan::new(),
+            mem_stats: AccessStats::default(),
+            arrivals: Vec::new(),
         }
     }
 
@@ -273,31 +285,31 @@ impl Machine {
     fn do_load(&mut self, dst: VReg, vec: &VectorSpec) -> Result<(u64, u64), MachineError> {
         self.check_len(vec.len())?;
         self.reg(dst)?;
-        let plan = self.planner.plan(vec, self.cfg.strategy)?;
-        let mem_stats = self.mem.run_plan(&plan);
+        self.planner
+            .plan_into(vec, self.cfg.strategy, &mut self.plan)?;
+        self.mem.run_plan_into(&self.plan, &mut self.mem_stats);
 
         // Write elements in arrival order: sort request entries by their
         // arrival cycle (ties cannot happen — the bus delivers one per
         // cycle).
-        let mut arrivals: Vec<(u64, u64, u64)> = plan
-            .iter()
-            .map(|e| {
-                (
-                    mem_stats.arrival[e.element() as usize],
-                    e.element(),
-                    e.addr().get(),
-                )
-            })
-            .collect();
-        arrivals.sort_unstable();
+        let mem_stats = &self.mem_stats;
+        self.arrivals.clear();
+        self.arrivals.extend(self.plan.iter().map(|e| {
+            (
+                mem_stats.arrival[e.element() as usize],
+                e.element(),
+                e.addr().get(),
+            )
+        }));
+        self.arrivals.sort_unstable();
 
         let mut reg = VectorRegister::new(vec.len(), self.cfg.write_policy);
-        for (_, element, addr) in arrivals {
+        for &(_, element, addr) in &self.arrivals {
             let value = self.image.get(&addr).copied().unwrap_or(addr);
             reg.write(element, value)?;
         }
         self.regs[dst.0 as usize] = reg;
-        Ok((mem_stats.latency, mem_stats.conflicts))
+        Ok((self.mem_stats.latency, self.mem_stats.conflicts))
     }
 
     fn do_store(&mut self, src: VReg, vec: &VectorSpec) -> Result<(u64, u64), MachineError> {
@@ -309,13 +321,14 @@ impl Machine {
                 b: vec.len(),
             });
         }
-        let plan = self.planner.plan(vec, self.cfg.strategy)?;
-        let mem_stats = self.mem.run_plan(&plan);
-        for entry in &plan {
+        self.planner
+            .plan_into(vec, self.cfg.strategy, &mut self.plan)?;
+        self.mem.run_plan_into(&self.plan, &mut self.mem_stats);
+        for entry in &self.plan {
             self.image
                 .insert(entry.addr().get(), values[entry.element() as usize]);
         }
-        Ok((mem_stats.latency, mem_stats.conflicts))
+        Ok((self.mem_stats.latency, self.mem_stats.conflicts))
     }
 
     fn do_arith(
@@ -467,8 +480,14 @@ mod tests {
         let src = VectorSpec::new(0, 1, 64).unwrap();
         let dst = VectorSpec::new(8192, 24, 64).unwrap();
         m.run(&[
-            VectorOp::Load { dst: VReg(0), vec: src },
-            VectorOp::Store { src: VReg(0), vec: dst },
+            VectorOp::Load {
+                dst: VReg(0),
+                vec: src,
+            },
+            VectorOp::Store {
+                src: VReg(0),
+                vec: dst,
+            },
         ])
         .unwrap();
         for i in 0..64u64 {
@@ -483,11 +502,30 @@ mod tests {
         let x = VectorSpec::new(0, 1, 64).unwrap();
         let y = VectorSpec::new(4096, 1, 64).unwrap();
         m.run(&[
-            VectorOp::Load { dst: VReg(0), vec: x },
-            VectorOp::Load { dst: VReg(1), vec: y },
-            VectorOp::Axpy { dst: VReg(2), scalar: 3, x: VReg(0), y: VReg(1) },
-            VectorOp::Add { dst: VReg(3), a: VReg(2), b: VReg(0) },
-            VectorOp::Mul { dst: VReg(4), a: VReg(0), b: VReg(0) },
+            VectorOp::Load {
+                dst: VReg(0),
+                vec: x,
+            },
+            VectorOp::Load {
+                dst: VReg(1),
+                vec: y,
+            },
+            VectorOp::Axpy {
+                dst: VReg(2),
+                scalar: 3,
+                x: VReg(0),
+                y: VReg(1),
+            },
+            VectorOp::Add {
+                dst: VReg(3),
+                a: VReg(2),
+                b: VReg(0),
+            },
+            VectorOp::Mul {
+                dst: VReg(4),
+                a: VReg(0),
+                b: VReg(0),
+            },
         ])
         .unwrap();
         let axpy = m.reg(VReg(2)).unwrap().values().unwrap();
@@ -505,9 +543,20 @@ mod tests {
         let x = VectorSpec::new(0, 1, 64).unwrap();
         let y = VectorSpec::new(4096, 1, 64).unwrap();
         let program = [
-            VectorOp::Load { dst: VReg(0), vec: x },
-            VectorOp::Load { dst: VReg(1), vec: y },
-            VectorOp::Axpy { dst: VReg(2), scalar: 3, x: VReg(0), y: VReg(1) },
+            VectorOp::Load {
+                dst: VReg(0),
+                vec: x,
+            },
+            VectorOp::Load {
+                dst: VReg(1),
+                vec: y,
+            },
+            VectorOp::Axpy {
+                dst: VReg(2),
+                scalar: 3,
+                x: VReg(0),
+                y: VReg(1),
+            },
         ];
 
         let mut unchained = machine(MachineConfig::default());
@@ -534,9 +583,19 @@ mod tests {
         let a = VectorSpec::new(0, 1, 64).unwrap();
         let b = VectorSpec::new(0, 1, 32).unwrap();
         let err = m.run(&[
-            VectorOp::Load { dst: VReg(0), vec: a },
-            VectorOp::Load { dst: VReg(1), vec: b },
-            VectorOp::Add { dst: VReg(2), a: VReg(0), b: VReg(1) },
+            VectorOp::Load {
+                dst: VReg(0),
+                vec: a,
+            },
+            VectorOp::Load {
+                dst: VReg(1),
+                vec: b,
+            },
+            VectorOp::Add {
+                dst: VReg(2),
+                a: VReg(0),
+                b: VReg(1),
+            },
         ]);
         assert!(matches!(err, Err(MachineError::LengthMismatch { .. })));
     }
@@ -546,13 +605,22 @@ mod tests {
         let mut m = machine(MachineConfig::default());
         let vec = VectorSpec::new(0, 1, 64).unwrap();
         assert!(matches!(
-            m.run(&[VectorOp::Load { dst: VReg(200), vec }]),
+            m.run(&[VectorOp::Load {
+                dst: VReg(200),
+                vec
+            }]),
             Err(MachineError::UnknownRegister(VReg(200)))
         ));
         let long = VectorSpec::new(0, 1, 128).unwrap();
         assert!(matches!(
-            m.run(&[VectorOp::Load { dst: VReg(0), vec: long }]),
-            Err(MachineError::TooLong { requested: 128, max: 64 })
+            m.run(&[VectorOp::Load {
+                dst: VReg(0),
+                vec: long
+            }]),
+            Err(MachineError::TooLong {
+                requested: 128,
+                max: 64
+            })
         ));
     }
 
@@ -563,7 +631,11 @@ mod tests {
         let stats = m
             .run(&[
                 VectorOp::Load { dst: VReg(0), vec },
-                VectorOp::Add { dst: VReg(1), a: VReg(0), b: VReg(0) },
+                VectorOp::Add {
+                    dst: VReg(1),
+                    a: VReg(0),
+                    b: VReg(0),
+                },
             ])
             .unwrap();
         assert_eq!(stats.ops.len(), 2);

@@ -251,7 +251,10 @@ mod tests {
         reg.write(1, 2).unwrap();
         assert_eq!(
             reg.write(3, 4),
-            Err(RegError::OutOfOrderWrite { slot: 3, expected: 2 })
+            Err(RegError::OutOfOrderWrite {
+                slot: 3,
+                expected: 2
+            })
         );
         reg.write(2, 3).unwrap();
         reg.write(3, 4).unwrap();
@@ -296,7 +299,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = RegError::OutOfOrderWrite { slot: 3, expected: 1 };
+        let e = RegError::OutOfOrderWrite {
+            slot: 3,
+            expected: 1,
+        };
         assert!(e.to_string().contains("slot 3"));
         assert!(RegError::Incomplete { missing: 2 }
             .to_string()

@@ -95,11 +95,7 @@ impl StripMine {
 /// assert_eq!(tail.base().get(), 1000 + 96 * 12);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn split_short(
-    vec: &VectorSpec,
-    w: u32,
-    t: u32,
-) -> (Option<VectorSpec>, Option<VectorSpec>) {
+pub fn split_short(vec: &VectorSpec, w: u32, t: u32) -> (Option<VectorSpec>, Option<VectorSpec>) {
     let (ooo_len, tail_len) = short_vector_split(vec.len(), vec.family(), w, t);
     let stride = vec.stride().get();
     let ooo = if ooo_len > 0 {

@@ -93,12 +93,18 @@ fn results_invariant_across_memories() {
     .unwrap();
 
     let mut matched = Machine::new(
-        MachineConfig { reg_len: 32, ..MachineConfig::default() },
+        MachineConfig {
+            reg_len: 32,
+            ..MachineConfig::default()
+        },
         Planner::matched(XorMatched::new(2, 3).unwrap()),
         MemConfig::new(2, 2).unwrap(),
     );
     let mut unmatched = Machine::new(
-        MachineConfig { reg_len: 32, ..MachineConfig::default() },
+        MachineConfig {
+            reg_len: 32,
+            ..MachineConfig::default()
+        },
         Planner::unmatched(XorUnmatched::new(2, 3, 7).unwrap()),
         MemConfig::new(4, 2).unwrap(),
     );

@@ -2,6 +2,10 @@
 //! decoupled access/execute machine, chained vs unchained, with a
 //! strided `x` operand that conflicts under in-order access.
 //!
+//! The machine runs every LOAD/STORE through the batch plan→simulate
+//! hot path: one long-lived memory system plus reused plan/stats
+//! buffers per machine (see `cfva_vecproc::Machine`).
+//!
 //! ```text
 //! cargo run --example decoupled_daxpy
 //! ```
@@ -13,7 +17,10 @@ use cfva::vecproc::kernels::daxpy_chunk;
 use cfva::vecproc::stripmine::StripMine;
 use cfva::vecproc::{Machine, MachineConfig, WritePolicy};
 
-fn build_machine(chaining: bool, strategy: Strategy) -> Result<Machine, Box<dyn std::error::Error>> {
+fn build_machine(
+    chaining: bool,
+    strategy: Strategy,
+) -> Result<Machine, Box<dyn std::error::Error>> {
     let planner = Planner::matched(XorMatched::new(3, 4)?); // L=128 -> s=4
     Ok(Machine::new(
         MachineConfig {

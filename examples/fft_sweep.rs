@@ -13,8 +13,9 @@
 
 use cfva::core::mapping::{Interleaved, PseudoRandom, XorMatched, XorUnmatched};
 use cfva::core::plan::{Planner, Strategy};
-use cfva::memsim::{MemConfig, MemorySystem};
+use cfva::memsim::MemConfig;
 use cfva::vecproc::kernels::fft_stage_operands;
+use cfva_bench::runner::BatchRunner;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n_log2 = 10u32; // 1024-point FFT
@@ -25,28 +26,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mem8 = MemConfig::new(3, 3)?;
     let mem64 = MemConfig::new(6, 3)?;
 
-    // λ = 7 -> recommended s = 4, y = 9.
-    let schemes: Vec<(&str, Planner, MemConfig)> = vec![
-        ("interleaved M=8", Planner::baseline(Interleaved::new(3), 3), mem8),
+    // λ = 7 -> recommended s = 4, y = 9. One long-lived session per
+    // scheme: all ten stages × four chunks run through its buffers.
+    let mut schemes: Vec<(&str, BatchRunner)> = vec![
+        (
+            "interleaved M=8",
+            BatchRunner::new(Planner::baseline(Interleaved::new(3), 3), mem8),
+        ),
         (
             "pseudo-random M=8",
-            Planner::baseline(PseudoRandom::with_default_poly(3)?, 3),
-            mem8,
+            BatchRunner::new(
+                Planner::baseline(PseudoRandom::with_default_poly(3)?, 3),
+                mem8,
+            ),
         ),
-        ("xor OOO M=8", Planner::matched(XorMatched::new(3, 4)?), mem8),
+        (
+            "xor OOO M=8",
+            BatchRunner::new(Planner::matched(XorMatched::new(3, 4)?), mem8),
+        ),
         (
             "xor OOO M=64",
-            Planner::unmatched(XorUnmatched::new(3, 4, 9)?),
-            mem64,
+            BatchRunner::new(Planner::unmatched(XorUnmatched::new(3, 4, 9)?), mem64),
         ),
     ];
 
     println!("1024-point FFT: per-stage latency to load one operand set");
-    println!("({half} elements strip-mined into {}-element accesses; floor per chunk = {})\n",
-        reg_len, 8 + reg_len + 1);
+    println!(
+        "({half} elements strip-mined into {}-element accesses; floor per chunk = {})\n",
+        reg_len,
+        8 + reg_len + 1
+    );
 
     print!("{:<7}", "stage");
-    for (name, _, _) in &schemes {
+    for (name, _) in &schemes {
         print!("{name:>19}");
     }
     println!();
@@ -56,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for stage in 0..n_log2 {
         let (even, _odd) = fft_stage_operands(0, n_log2, stage)?;
         print!("{:<7}", format!("{} (x={})", stage, stage + 1));
-        for (i, (_, planner, mem)) in schemes.iter().enumerate() {
+        for (i, (_, session)) in schemes.iter_mut().enumerate() {
             // Strip-mine the operand set into register-length chunks.
             let chunks = cfva::vecproc::stripmine::StripMine::new(
                 even.base().get(),
@@ -66,8 +78,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )?;
             let mut stage_cycles = 0u64;
             for chunk in chunks.chunks() {
-                let plan = planner.plan(chunk, Strategy::Auto)?;
-                stage_cycles += MemorySystem::new(*mem).run_plan(&plan).latency;
+                let stats = session.measure(chunk, Strategy::Auto).expect("auto plans");
+                stage_cycles += stats.latency;
             }
             totals[i] += stage_cycles;
             print!("{stage_cycles:>19}");

@@ -14,17 +14,15 @@
 
 use cfva::core::mapping::{Interleaved, Skewed, XorMatched, XorUnmatched};
 use cfva::core::plan::{Planner, Strategy};
-use cfva::memsim::{MemConfig, MemorySystem};
+use cfva::memsim::MemConfig;
 use cfva::vecproc::kernels::MatrixLayout;
 use cfva::VectorSpec;
+use cfva_bench::runner::BatchRunner;
 
-fn measure(planner: &Planner, vec: &VectorSpec, strategy: Strategy, mem: MemConfig) -> String {
-    match planner.plan(vec, strategy) {
-        Ok(plan) => {
-            let stats = MemorySystem::new(mem).run_plan(&plan);
-            format!("{:>6}", stats.latency)
-        }
-        Err(_) => "   n/a".to_string(),
+fn measure(session: &mut BatchRunner, vec: &VectorSpec, strategy: Strategy) -> String {
+    match session.measure(vec, strategy) {
+        Some(stats) => format!("{:>6}", stats.latency),
+        None => "   n/a".to_string(),
     }
 }
 
@@ -35,18 +33,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mem64 = MemConfig::new(6, 3)?; // unmatched: M = 64, T = 8
 
     // Recommended parameters: s = λ − t = 3, y = 2(λ−t) + 1 = 7.
-    let interleaved = Planner::baseline(Interleaved::new(3), 3);
-    let skewed = Planner::baseline(Skewed::new(3, 1), 3);
-    let matched = Planner::matched(XorMatched::new(3, 3)?);
-    let unmatched = Planner::unmatched(XorUnmatched::new(3, 3, 7)?);
+    // One long-lived session per memory scheme; every walk below reuses
+    // the scheme's system and plan buffers.
+    let mut interleaved = BatchRunner::new(Planner::baseline(Interleaved::new(3), 3), mem8);
+    let mut skewed = BatchRunner::new(Planner::baseline(Skewed::new(3, 1), 3), mem8);
+    let mut matched = BatchRunner::new(Planner::matched(XorMatched::new(3, 3)?), mem8);
+    let mut unmatched = BatchRunner::new(Planner::unmatched(XorUnmatched::new(3, 3, 7)?), mem64);
 
     let walks: Vec<(&str, VectorSpec)> = vec![
         ("row 5        (stride   1, x=0)", matrix.row(5)?),
         ("column 9     (stride 128, x=7)", matrix.column(9)?),
         ("diagonal     (stride 129, x=0)", matrix.diagonal()?),
         ("anti-diag    (stride 127, x=0)", matrix.anti_diagonal()?),
-        ("banded sweep (stride  96, x=5)", VectorSpec::new(matrix.addr(0, 3), 96, 64)?),
-        ("col pairs    (stride 256, x=8)", VectorSpec::new(matrix.addr(0, 3), 256, 64)?),
+        (
+            "banded sweep (stride  96, x=5)",
+            VectorSpec::new(matrix.addr(0, 3), 96, 64)?,
+        ),
+        (
+            "col pairs    (stride 256, x=8)",
+            VectorSpec::new(matrix.addr(0, 3), 256, 64)?,
+        ),
     ];
 
     println!("64x128 row-major matrix; latency in cycles");
@@ -60,10 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:<32} {:>7} {:>7} {:>9} {:>11}",
             name,
-            measure(&interleaved, vec, Strategy::Canonical, mem8),
-            measure(&skewed, vec, Strategy::Canonical, mem8),
-            measure(&matched, vec, Strategy::Auto, mem8),
-            measure(&unmatched, vec, Strategy::Auto, mem64),
+            measure(&mut interleaved, vec, Strategy::Canonical),
+            measure(&mut skewed, vec, Strategy::Canonical),
+            measure(&mut matched, vec, Strategy::Auto),
+            measure(&mut unmatched, vec, Strategy::Auto),
         );
     }
 

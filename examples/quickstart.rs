@@ -1,5 +1,6 @@
 //! Five-minute tour: map a vector, plan a conflict-free access,
-//! simulate it, and check the latency is the theoretical minimum.
+//! simulate it through a reusable measurement session, and check the
+//! latency is the theoretical minimum.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -7,8 +8,9 @@
 
 use cfva::core::mapping::XorMatched;
 use cfva::core::plan::{Planner, Strategy};
-use cfva::memsim::{MemConfig, MemorySystem};
+use cfva::memsim::MemConfig;
 use cfva::VectorSpec;
+use cfva_bench::runner::BatchRunner;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's running example: a matched memory of M = T = 8
@@ -19,18 +21,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("memory:  {map}");
     println!("access:  {vec} (stride {} => {})", 12, vec.stride());
 
-    let planner = Planner::matched(map);
+    // One session owns the planner, the memory system, and the plan
+    // scratch; every measurement below reuses them.
     let mem = MemConfig::new(3, 3)?;
+    let mut session = BatchRunner::new(Planner::matched(map), mem);
 
     // In order (what every pre-1992 machine did): the access conflicts.
-    let canonical = planner.plan(&vec, Strategy::Canonical)?;
-    let stats = MemorySystem::new(mem).run_plan(&canonical);
+    let stats = session
+        .measure(&vec, Strategy::Canonical)
+        .expect("canonical always plans");
     println!("\nin-order access:      {stats}");
 
     // The paper's out-of-order replay: conflict free, minimum latency.
-    let replay = planner.plan(&vec, Strategy::ConflictFree)?;
-    assert!(replay.is_conflict_free(mem.t_cycles()));
-    let stats = MemorySystem::new(mem).run_plan(&replay);
+    let stats = session
+        .measure(&vec, Strategy::ConflictFree)
+        .expect("family 2 is inside the window");
     println!("out-of-order replay:  {stats}");
     println!(
         "minimum possible:     T + L + 1 = {} cycles",
@@ -39,6 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(stats.latency, mem.t_cycles() + vec.len() + 1);
 
     // The first few requests, showing the reordering.
+    let replay = session.planner().plan(&vec, Strategy::ConflictFree)?;
+    assert!(replay.is_conflict_free(mem.t_cycles()));
     println!("\nfirst 8 requests of the replay order:");
     for entry in replay.entries().iter().take(8) {
         println!(

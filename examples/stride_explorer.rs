@@ -12,8 +12,9 @@ use cfva::core::analysis;
 use cfva::core::mapping::{XorMatched, XorUnmatched};
 use cfva::core::plan::{Planner, Strategy};
 use cfva::core::window::{MatchedWindow, UnmatchedWindow};
-use cfva::memsim::{MemConfig, MemorySystem};
+use cfva::memsim::MemConfig;
 use cfva::VectorSpec;
+use cfva_bench::runner::BatchRunner;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,8 +44,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("memory: {map}");
             if let Some(lambda) = vec.lambda() {
                 let w = UnmatchedWindow::new(t, s, y, lambda);
-                println!("window: {w} — family x = {x} is {}",
-                    if w.contains(vec.family()) { "INSIDE (conflict free)" } else { "OUTSIDE" });
+                println!(
+                    "window: {w} — family x = {x} is {}",
+                    if w.contains(vec.family()) {
+                        "INSIDE (conflict free)"
+                    } else {
+                        "OUTSIDE"
+                    }
+                );
                 if let Some(kind) = w.replay_kind(vec.family()) {
                     println!("replay keyed by: {kind}");
                 }
@@ -56,8 +63,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("memory: {map}");
             if let Some(lambda) = vec.lambda() {
                 let w = MatchedWindow::new(t, s, lambda);
-                println!("window: {w} — family x = {x} is {}",
-                    if w.contains(vec.family()) { "INSIDE (conflict free)" } else { "OUTSIDE" });
+                println!(
+                    "window: {w} — family x = {x} is {}",
+                    if w.contains(vec.family()) {
+                        "INSIDE (conflict free)"
+                    } else {
+                        "OUTSIDE"
+                    }
+                );
             }
             (Planner::matched(map), MemConfig::new(t, t)?)
         }
@@ -68,23 +81,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         planner.map().period(vec.family())
     );
 
-    for strategy in [Strategy::Canonical, Strategy::Subsequence, Strategy::ConflictFree] {
-        match planner.plan(&vec, strategy) {
-            Ok(plan) => {
-                let stats = MemorySystem::new(mem).run_plan(&plan);
-                let mods: Vec<u64> = plan
-                    .module_sequence()
-                    .iter()
-                    .take(16)
-                    .map(|m| m.get())
-                    .collect();
+    // One session for all three strategies: the plan is built into the
+    // session's reused buffers, the stats into its stats scratch.
+    let mut session = BatchRunner::new(planner, mem);
+    for strategy in [
+        Strategy::Canonical,
+        Strategy::Subsequence,
+        Strategy::ConflictFree,
+    ] {
+        match session.measure_full(&vec, strategy) {
+            Some((plan, stats)) => {
+                let mods: Vec<u64> = plan.iter().take(16).map(|e| e.module().get()).collect();
                 println!(
                     "\n{strategy:>13}: latency {:>5} cycles ({} conflicts, {} stalls)",
                     stats.latency, stats.conflicts, stats.stall_cycles
                 );
                 println!("               first modules: {mods:?}");
             }
-            Err(e) => println!("\n{strategy:>13}: not applicable — {e}"),
+            None => match session.planner().plan(&vec, strategy) {
+                Err(e) => println!("\n{strategy:>13}: not applicable — {e}"),
+                Ok(_) => unreachable!("measure_full plans whenever the planner can"),
+            },
         }
     }
 

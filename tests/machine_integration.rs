@@ -88,8 +88,14 @@ fn short_vector_split_loads_correctly() {
     let mut m = machine(Strategy::Auto, false);
     let stats = m
         .run(&[
-            VectorOp::Load { dst: VReg(0), vec: ooo },
-            VectorOp::Load { dst: VReg(1), vec: tail },
+            VectorOp::Load {
+                dst: VReg(0),
+                vec: ooo,
+            },
+            VectorOp::Load {
+                dst: VReg(1),
+                vec: tail,
+            },
         ])
         .unwrap();
     // The prefix is conflict free (its length is a period multiple).
@@ -107,9 +113,19 @@ fn fft_stages_load_under_auto() {
         assert_eq!(even.len(), 64);
         let stats = m
             .run(&[
-                VectorOp::Load { dst: VReg(0), vec: even },
-                VectorOp::Load { dst: VReg(1), vec: odd },
-                VectorOp::Add { dst: VReg(2), a: VReg(0), b: VReg(1) },
+                VectorOp::Load {
+                    dst: VReg(0),
+                    vec: even,
+                },
+                VectorOp::Load {
+                    dst: VReg(1),
+                    vec: odd,
+                },
+                VectorOp::Add {
+                    dst: VReg(2),
+                    a: VReg(0),
+                    b: VReg(1),
+                },
             ])
             .unwrap();
         // Stages with x = stage+1 <= s = 4 are conflict free.
@@ -133,9 +149,19 @@ fn matrix_column_add() {
     let col0 = matrix.column(0).unwrap();
     let col1 = matrix.column(1).unwrap();
     m.run(&[
-        VectorOp::Load { dst: VReg(0), vec: col0 },
-        VectorOp::Load { dst: VReg(1), vec: col1 },
-        VectorOp::Add { dst: VReg(2), a: VReg(0), b: VReg(1) },
+        VectorOp::Load {
+            dst: VReg(0),
+            vec: col0,
+        },
+        VectorOp::Load {
+            dst: VReg(1),
+            vec: col1,
+        },
+        VectorOp::Add {
+            dst: VReg(2),
+            a: VReg(0),
+            b: VReg(1),
+        },
     ])
     .unwrap();
     let sums = m.reg(VReg(2)).unwrap().values().unwrap();

@@ -4,13 +4,18 @@
 
 use cfva::core::dist::empirical_period;
 use cfva::core::mapping::{
-    Interleaved, Linear, ModuleMap, Skewed, XorMatched, XorUnmatched,
+    Interleaved, Linear, ModuleMap, PseudoRandom, RegionMap, Skewed, XorMatched, XorUnmatched,
 };
 use cfva::core::{Addr, Stride, VectorSpec};
 use proptest::prelude::*;
 
 fn assert_balanced<M: ModuleMap>(map: &M) {
     let span = 1u64 << map.address_bits_used();
+    assert!(
+        span <= 1 << 22,
+        "balance check would iterate 2^{} addresses — pick a smaller configuration",
+        map.address_bits_used()
+    );
     let mut counts = vec![0u64; map.module_count() as usize];
     for a in 0..span {
         counts[map.module_of(Addr::new(a)).get() as usize] += 1;
@@ -20,6 +25,71 @@ fn assert_balanced<M: ModuleMap>(map: &M) {
         counts.iter().all(|&c| c == expect),
         "unbalanced map: {counts:?}"
     );
+}
+
+/// The `ModuleMap` contract documented in `cfva-core/src/mapping/mod.rs`:
+/// over any aligned block of `2^{address_bits_used()}` consecutive
+/// addresses, every module receives the same number of addresses.
+/// Checked for **all seven** map implementations, across several
+/// parameterizations each.
+#[test]
+fn every_module_map_implementation_is_balanced_over_one_period() {
+    // 1. Low-order interleaving.
+    for m in 1..=6u32 {
+        assert_balanced(&Interleaved::new(m));
+    }
+
+    // 2. Row-rotation skewing (including degenerate skew 0 and skews
+    //    larger than the module count).
+    for m in 1..=5u32 {
+        for skew in [0u64, 1, 2, 3, 7, 11] {
+            assert_balanced(&Skewed::new(m, skew));
+        }
+    }
+
+    // 3. The paper's matched XOR map, eq. (1).
+    for t in 1..=4u32 {
+        for extra in 0..=3u32 {
+            assert_balanced(&XorMatched::new(t, t + extra).unwrap());
+        }
+    }
+
+    // 4. The paper's two-level unmatched XOR map, eq. (2).
+    for t in 1..=2u32 {
+        for s_extra in 0..=2u32 {
+            for y_extra in 0..=2u32 {
+                let s = t + s_extra;
+                let y = s + t + y_extra;
+                assert_balanced(&XorUnmatched::new(t, s, y).unwrap());
+            }
+        }
+    }
+
+    // 5. Arbitrary GF(2) linear maps (the special cases expressed as
+    //    matrices, plus a hand-written mixing matrix).
+    assert_balanced(&Linear::interleaved(4).unwrap());
+    assert_balanced(&Linear::xor_matched(3, 5).unwrap());
+    assert_balanced(&Linear::xor_unmatched(2, 3, 7).unwrap());
+    assert_balanced(&Linear::new(vec![0b1_0010_1101, 0b0_1101_1010, 0b1_1000_0111]).unwrap());
+
+    // 6. Rau's pseudo-random polynomial interleaving (small address
+    //    window so one period is enumerable).
+    for m in 1..=4u32 {
+        let poly = PseudoRandom::with_default_poly(m).unwrap().polynomial();
+        assert_balanced(&PseudoRandom::new(m, poly, m + 8).unwrap());
+    }
+
+    // 7. The dynamic per-region scheme of reference [11]: regions with
+    //    different shifts, including an overridden region.
+    let region = RegionMap::new(3, 10, 3).unwrap().with_region(1, 6).unwrap();
+    assert_balanced(&region);
+    let region = RegionMap::new(2, 8, 2)
+        .unwrap()
+        .with_region(0, 4)
+        .unwrap()
+        .with_region(2, 3)
+        .unwrap();
+    assert_balanced(&region);
 }
 
 proptest! {

@@ -57,11 +57,7 @@ fn figure_3_spot_checks() {
         (31, 4),
         (50, 4),
     ] {
-        assert_eq!(
-            map.module_of(addr.into()).get(),
-            module,
-            "address {addr}"
-        );
+        assert_eq!(map.module_of(addr.into()).get(), module, "address {addr}");
     }
 }
 

@@ -1,0 +1,355 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Implements the subset of the `criterion` 0.5 API the workspace's
+//! `benches/` targets use: [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: one warm-up pass, then timed batches until a fixed
+//! wall-clock budget is spent; reports the best batch mean in ns/iter
+//! (min-of-batches is robust to scheduler noise) plus element throughput
+//! when [`Throughput::Elements`] is configured. Set `CRITERION_QUICK=1`
+//! to shrink the budget for CI smoke runs. Honors the standard
+//! libtest-style trailing `--bench` argument cargo passes to bench
+//! binaries, and an optional substring filter argument.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How many "items" one iteration processes; enables rate reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A two-part benchmark identifier, `function_name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Types usable as benchmark identifiers (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    /// Best observed mean ns/iter, populated by [`Bencher::iter`].
+    best_ns_per_iter: f64,
+    total_iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records its mean execution time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration: grow the batch until it
+        // takes at least ~1/50 of the budget (or a floor of 1 iter).
+        let mut batch: u64 = 1;
+        let calibration_floor = self.budget.as_nanos() as u64 / 50;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as u64;
+            if elapsed >= calibration_floor.max(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+
+        let deadline = Instant::now() + self.budget;
+        let mut best = f64::INFINITY;
+        let mut iters: u64 = 0;
+        // At least two measured batches even if the budget is exhausted.
+        for _ in 0..2 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            best = best.min(ns);
+            iters += batch;
+        }
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            best = best.min(ns);
+            iters += batch;
+        }
+        self.best_ns_per_iter = best;
+        self.total_iters = iters;
+    }
+}
+
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1" || v == "true")
+}
+
+fn budget() -> Duration {
+    if quick_mode() {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(300)
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries as `<bin> --bench [filter]`;
+        // accept an optional substring filter and ignore harness flags.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            budget: budget(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the per-benchmark time budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.budget = d;
+        self
+    }
+
+    /// Configures the default Criterion (API-compatibility shim).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_ref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if !self.matches(id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            budget: self.budget,
+            best_ns_per_iter: f64::NAN,
+            total_iters: 0,
+        };
+        f(&mut bencher);
+        let ns = bencher.best_ns_per_iter;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.1} Melem/s", n as f64 / ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.1} MiB/s", n as f64 / ns * 1e9 / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{id:<44} {:>14}/iter{rate}   ({} iters)",
+            format_ns(ns),
+            bencher.total_iters
+        );
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        self.run_one(&id, None, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs final reporting (API-compatibility shim).
+    pub fn final_summary(&mut self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A group of related benchmarks sharing throughput configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the group's per-benchmark time budget (shim: applies to
+    /// the parent `Criterion`).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.budget = d;
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_id());
+        let throughput = self.throughput;
+        self.criterion.run_one(&id, throughput, &mut f);
+        self
+    }
+
+    /// Benchmarks one function with an input value.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = format!("{}/{}", self.name, id.into_id());
+        let throughput = self.throughput;
+        self.criterion
+            .run_one(&id, throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench-binary `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.bench_function("smoke", |b| b.iter(|| black_box(1u64 + 1)));
+    }
+
+    #[test]
+    fn group_with_throughput_runs() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(64));
+        g.bench_function(BenchmarkId::new("f", 64), |b| {
+            b.iter(|| black_box((0..64u64).sum::<u64>()))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 12).into_id(), "f/12");
+        assert_eq!(BenchmarkId::from_parameter(7).into_id(), "7");
+    }
+}

@@ -1,0 +1,349 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x surface this workspace's
+//! property tests use: the [`proptest!`] macro over zero-argument test
+//! functions with `name in strategy` bindings, integer range strategies,
+//! `prop::sample::select`, [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_assume!`], and `ProptestConfig::with_cases`.
+//!
+//! Cases are drawn from a deterministic RNG seeded by the test's name,
+//! so failures reproduce exactly on re-run. There is no shrinking: the
+//! failing case's index and values are reported instead.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Generates values of `Self::Value` from an RNG.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    if lo == hi { lo } else { rng.gen_range(lo..hi + 1) }
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Uniform choice among a fixed set of values.
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        choices: Vec<T>,
+    }
+
+    impl<T> Select<T> {
+        /// Creates a selection strategy over `choices`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `choices` is empty.
+        pub fn new(choices: Vec<T>) -> Self {
+            assert!(!choices.is_empty(), "cannot select from nothing");
+            Select { choices }
+        }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.choices[rng.gen_range(0..self.choices.len())].clone()
+        }
+    }
+}
+
+pub mod prop {
+    //! The `prop` namespace mirrored from proptest.
+
+    pub mod sample {
+        //! Sampling strategies.
+
+        /// Uniform choice among a fixed set of values.
+        pub fn select<T: Clone>(choices: Vec<T>) -> crate::strategy::Select<T> {
+            crate::strategy::Select::new(choices)
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case-execution engine behind [`crate::proptest!`].
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Why a single case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is not counted.
+        Reject,
+        /// A `prop_assert*` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with a message.
+        pub fn fail<S: Into<String>>(msg: S) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Creates a rejection.
+        pub fn reject() -> Self {
+            TestCaseError::Reject
+        }
+    }
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Drives the cases of one property test.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: ProptestConfig,
+        name: &'static str,
+        rng: StdRng,
+        case: u32,
+    }
+
+    impl TestRunner {
+        /// Creates a runner; the RNG seed is derived from `name`, so
+        /// each test's stream is stable across runs.
+        pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRunner {
+                config,
+                name,
+                rng: StdRng::seed_from_u64(seed),
+                case: 0,
+            }
+        }
+
+        /// The RNG strategies draw from.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+
+        /// Runs `body` until `cases` accepted cases pass (rejections via
+        /// `prop_assume!` are retried, with a global retry cap).
+        ///
+        /// # Panics
+        ///
+        /// Panics on the first failing case, reporting its index.
+        pub fn run<F>(&mut self, mut body: F)
+        where
+            F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+        {
+            let mut accepted = 0u32;
+            let mut attempts = 0u32;
+            let max_attempts = self.config.cases.saturating_mul(20).max(1000);
+            while accepted < self.config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= max_attempts,
+                    "proptest '{}': too many prop_assume! rejections ({} attempts)",
+                    self.name,
+                    attempts
+                );
+                self.case = accepted;
+                match body(&mut self.rng) {
+                    Ok(()) => accepted += 1,
+                    Err(TestCaseError::Reject) => {}
+                    Err(TestCaseError::Fail(msg)) => panic!(
+                        "proptest '{}' failed at case {} (attempt {}): {}",
+                        self.name, accepted, attempts, msg
+                    ),
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `use proptest::prelude::*`.
+
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running many sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::test_runner::TestRunner::new($cfg, stringify!($name));
+                runner.run(|rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Rejects the current case unless `cond` holds; rejected cases are
+/// retried with fresh inputs and not counted.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_sample_in_bounds(x in 3u32..=9, y in 0u64..100) {
+            prop_assert!((3..=9).contains(&x));
+            prop_assert!(y < 100, "y = {} out of range", y);
+        }
+
+        #[test]
+        fn select_draws_members(v in prop::sample::select(vec![2i64, 4, 8])) {
+            prop_assert!(v == 2 || v == 4 || v == 8);
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn assume_retries(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_case_panics() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(4), "failing_case_panics");
+        runner.run(|_rng| Err(TestCaseError::fail("boom")));
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        use crate::strategy::Strategy;
+        let draw = |name: &'static str| {
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(1), name);
+            (0u64..1 << 40).sample(runner.rng())
+        };
+        assert_eq!(draw("a"), draw("a"));
+        assert_ne!(draw("a"), draw("b"));
+    }
+}
