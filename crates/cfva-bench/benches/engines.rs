@@ -1,0 +1,69 @@
+//! Cycle engine vs event-queue engine vs fast path, on the regimes
+//! each one targets. The headline comparison is the worst-case
+//! all-requests-one-module stride (stride = M on low-order
+//! interleaving, T = 64), where the event engine's ≥ 2× advantage is
+//! also *enforced* by
+//! `cfva-memsim/tests/event_engine.rs::event_engine_at_least_2x_faster_on_all_conflicts_stride`.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cfva_core::mapping::{Interleaved, XorMatched};
+use cfva_core::plan::{Planner, Strategy};
+use cfva_core::VectorSpec;
+use cfva_memsim::{AccessStats, Engine, MemConfig, MemorySystem};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engines");
+
+    // Worst case: every request on one module (stride 8 on 8-way
+    // low-order interleaving), long service time T = 64. The cycle
+    // loop walks ~L·T cycles; the event engine jumps them.
+    let planner = Planner::baseline(Interleaved::new(3).expect("m in range"), 6);
+    let cfg = MemConfig::new(3, 6).expect("valid");
+    for len in [128u64, 512] {
+        let vec = VectorSpec::new(0, 8, len).expect("valid");
+        let plan = planner.plan(&vec, Strategy::Canonical).expect("plans");
+        group.throughput(Throughput::Elements(len));
+        for engine in [Engine::Cycle, Engine::Event] {
+            let mut sys = MemorySystem::new(cfg.with_engine(engine));
+            let mut out = AccessStats::default();
+            group.bench_function(BenchmarkId::new(format!("one_module_{engine}"), len), |b| {
+                b.iter(|| sys.run_plan_into(black_box(&plan), &mut out))
+            });
+        }
+    }
+
+    // Mixed regime: canonical order of an in-window family — bursts of
+    // conflicts separated by conflict-free stretches.
+    let planner = Planner::matched(XorMatched::new(3, 4).expect("valid"));
+    let cfg = MemConfig::new(3, 3).expect("valid");
+    let vec = VectorSpec::new(16, 12, 128).expect("valid");
+    let plan = planner.plan(&vec, Strategy::Canonical).expect("plans");
+    for engine in [Engine::Cycle, Engine::Event] {
+        let mut sys = MemorySystem::new(cfg.with_engine(engine));
+        let mut out = AccessStats::default();
+        group.bench_function(
+            BenchmarkId::new(format!("conflicted_canonical_{engine}"), 128u64),
+            |b| b.iter(|| sys.run_plan_into(black_box(&plan), &mut out)),
+        );
+    }
+
+    // Conflict-free plan: the fast path's home turf; the event engine
+    // must at least not regress badly vs the cycle loop here (it
+    // processes every cycle, like the oracle, when no queueing
+    // happens).
+    let plan = planner.plan(&vec, Strategy::ConflictFree).expect("window");
+    for engine in [Engine::Cycle, Engine::Event, Engine::FastPath] {
+        let mut sys = MemorySystem::new(cfg.with_engine(engine));
+        let mut out = AccessStats::default();
+        group.bench_function(
+            BenchmarkId::new(format!("conflict_free_{engine}"), 128u64),
+            |b| b.iter(|| sys.run_plan_into(black_box(&plan), &mut out)),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

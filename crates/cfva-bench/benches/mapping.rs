@@ -11,7 +11,7 @@ fn bench_maps(c: &mut Criterion) {
     let mut group = c.benchmark_group("module_of");
     let addrs: Vec<Addr> = (0..1024u64).map(|i| Addr::new(i * 2654435761)).collect();
 
-    let interleaved = Interleaved::new(3);
+    let interleaved = Interleaved::new(3).unwrap();
     group.bench_function(BenchmarkId::new("interleaved", "m=3"), |b| {
         b.iter(|| {
             let mut acc = 0u64;
@@ -22,7 +22,7 @@ fn bench_maps(c: &mut Criterion) {
         })
     });
 
-    let skewed = Skewed::new(3, 1);
+    let skewed = Skewed::new(3, 1).unwrap();
     group.bench_function(BenchmarkId::new("skewed", "m=3 d=1"), |b| {
         b.iter(|| {
             let mut acc = 0u64;

@@ -113,7 +113,7 @@ pub fn efficiency() -> String {
         "ordered matched (interleaved, s=0)",
         0,
         "0.4",
-        Planner::baseline(Interleaved::new(3), 3),
+        Planner::baseline(Interleaved::new(3).unwrap(), 3),
         Strategy::Canonical,
         MemConfig::new(3, 3).expect("valid"),
         &mut rng,
@@ -122,7 +122,7 @@ pub fn efficiency() -> String {
         "ordered unmatched (interleaved, M=64)",
         3,
         "0.84",
-        Planner::baseline(Interleaved::new(6), 3),
+        Planner::baseline(Interleaved::new(6).unwrap(), 3),
         Strategy::Canonical,
         MemConfig::new(6, 3).expect("valid"),
         &mut rng,

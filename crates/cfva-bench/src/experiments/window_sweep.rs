@@ -4,7 +4,7 @@
 use cfva_core::mapping::{XorMatched, XorUnmatched};
 use cfva_core::plan::{Planner, Strategy};
 use cfva_core::{Stride, VectorSpec};
-use cfva_memsim::MemConfig;
+use cfva_memsim::{Engine, MemConfig};
 
 use crate::runner::BatchRunner;
 use crate::table::Table;
@@ -48,9 +48,9 @@ fn probe_windows(
     let families: Vec<u32> = (0..=max_x).collect();
     BatchRunner::sweep(make_session, &families, |session, &x| {
         // This experiment *verifies* the windows, so every access must
-        // go through the full cycle engine, not the conflict-free
-        // shortcut.
-        session.set_fast_path(false);
+        // go through the per-cycle oracle — not the conflict-free
+        // shortcut, and not the event engine either.
+        session.set_engine(Engine::Cycle);
         let (_, cf) = probe_family(session, x, len);
         (x, cf)
     })

@@ -14,7 +14,7 @@
 
 use cfva_core::plan::{AccessPlan, Planner, Strategy};
 use cfva_core::VectorSpec;
-use cfva_memsim::{AccessStats, MemConfig, MemorySystem};
+use cfva_memsim::{AccessStats, Engine, MemConfig, MemorySystem};
 use rand::Rng;
 
 use crate::workload::StrideSampler;
@@ -83,12 +83,22 @@ struct MeasureScratch {
 
 impl MeasureScratch {
     fn new(mem: MemConfig) -> Self {
-        // Sessions run with the verified conflict-free fast path on:
-        // bit-identical statistics (see `MemorySystem::set_fast_path`
-        // and the equivalence suite in cfva-memsim/tests/fast_path.rs)
-        // at a fraction of the cost for in-window accesses.
+        // Sessions default to `Engine::FastPath`: conflict-free
+        // accesses take the verified one-pass shortcut and conflicted
+        // ones run on the event-queue engine — both bit-identical to
+        // the cycle oracle (equivalence suites in
+        // cfva-memsim/tests/{fast_path,event_engine}.rs) at a fraction
+        // of the cost. A `mem` carrying `Engine::Event` or
+        // `Engine::FastPath` via `MemConfig::with_engine` is honored
+        // as-is. `Engine::Cycle` is indistinguishable from the config
+        // default and therefore CANNOT be requested through the
+        // config: a verification-grade session must call
+        // `BatchRunner::set_engine(Engine::Cycle)` after construction
+        // (as the `window` experiment does).
         let mut system = MemorySystem::new(mem);
-        system.set_fast_path(true);
+        if mem.engine() == Engine::Cycle {
+            system.set_engine(Engine::FastPath);
+        }
         MeasureScratch {
             system,
             plan: AccessPlan::new(),
@@ -270,10 +280,27 @@ impl BatchRunner {
         self.scratch.mem()
     }
 
+    /// Selects the simulation engine for this session. Sessions start
+    /// on [`Engine::FastPath`] (conflict-free shortcut, event-queue
+    /// engine for conflicted accesses); pick [`Engine::Cycle`] for
+    /// verification-grade sweeps that must run the per-cycle oracle on
+    /// every access, or [`Engine::Event`] to force the event engine
+    /// even on conflict-free streams.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.scratch.system.set_engine(engine);
+    }
+
+    /// The engine this session simulates with.
+    pub fn engine(&self) -> Engine {
+        self.scratch.system.engine()
+    }
+
     /// Enables or disables the simulator's verified conflict-free fast
-    /// path (on by default in a session). Disable it for
-    /// verification-grade sweeps that must exercise the full cycle
-    /// engine on every access.
+    /// path (on by default in a session) — shorthand for
+    /// [`set_engine`](Self::set_engine) with [`Engine::FastPath`] or
+    /// the [`Engine::Cycle`] oracle. Disable it for verification-grade
+    /// sweeps that must exercise the full cycle engine on every
+    /// access.
     pub fn set_fast_path(&mut self, enabled: bool) {
         self.scratch.system.set_fast_path(enabled);
     }
@@ -584,6 +611,61 @@ mod tests {
         let through_session =
             session.stratified_efficiency(Strategy::Auto, 64, 8, 4, &mut StdRng::seed_from_u64(23));
         assert_eq!(free, through_session);
+    }
+
+    #[test]
+    fn session_engine_threads_through_config_and_setter() {
+        let mem = MemConfig::new(3, 3).unwrap();
+
+        // Default: the oracle config upgrades to the throughput engine.
+        let session = BatchRunner::new(Planner::matched(XorMatched::new(3, 3).unwrap()), mem);
+        assert_eq!(session.engine(), Engine::FastPath);
+
+        // An explicit engine in the config is honored as-is.
+        let session = BatchRunner::new(
+            Planner::matched(XorMatched::new(3, 3).unwrap()),
+            mem.with_engine(Engine::Event),
+        );
+        assert_eq!(session.engine(), Engine::Event);
+
+        // And the setter pins the oracle for verification sweeps.
+        let mut session = BatchRunner::new(Planner::matched(XorMatched::new(3, 3).unwrap()), mem);
+        session.set_engine(Engine::Cycle);
+        assert_eq!(session.engine(), Engine::Cycle);
+        session.set_fast_path(false);
+        assert_eq!(session.engine(), Engine::Cycle);
+        session.set_fast_path(true);
+        assert_eq!(session.engine(), Engine::FastPath);
+    }
+
+    #[test]
+    fn all_session_engines_measure_identically() {
+        let mem = MemConfig::new(3, 3).unwrap();
+        let mut sessions: Vec<BatchRunner> = [Engine::Cycle, Engine::Event, Engine::FastPath]
+            .into_iter()
+            .map(|engine| {
+                let mut s = BatchRunner::new(Planner::matched(XorMatched::new(3, 4).unwrap()), mem);
+                s.set_engine(engine);
+                s
+            })
+            .collect();
+        for (base, stride) in [(16u64, 12i64), (0, 1), (0, 8), (9, 96), (0, 256)] {
+            let vec = VectorSpec::new(base, stride, 128).unwrap();
+            for strategy in [Strategy::Canonical, Strategy::Auto] {
+                let results: Vec<Option<AccessStats>> = sessions
+                    .iter_mut()
+                    .map(|s| s.measure_owned(&vec, strategy))
+                    .collect();
+                assert_eq!(
+                    results[0], results[1],
+                    "cycle vs event: base {base} stride {stride} {strategy}"
+                );
+                assert_eq!(
+                    results[0], results[2],
+                    "cycle vs fast-path: base {base} stride {stride} {strategy}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -265,7 +265,7 @@ mod tests {
 
     #[test]
     fn spatial_distribution_counts_elements() {
-        let map = Interleaved::new(2);
+        let map = Interleaved::new(2).unwrap();
         let vec = VectorSpec::new(0, 1, 8).unwrap();
         let sd = SpatialDistribution::compute(&map, &vec);
         assert_eq!(sd.counts(), &[2, 2, 2, 2]);
@@ -277,7 +277,7 @@ mod tests {
     #[test]
     fn spatial_distribution_of_clustered_stride() {
         // Stride 4 on 4 modules: all elements in one module.
-        let map = Interleaved::new(2);
+        let map = Interleaved::new(2).unwrap();
         let vec = VectorSpec::new(0, 4, 8).unwrap();
         let sd = SpatialDistribution::compute(&map, &vec);
         assert_eq!(sd.counts(), &[8, 0, 0, 0]);
@@ -287,7 +287,7 @@ mod tests {
 
     #[test]
     fn t_matched_boundary() {
-        let map = Interleaved::new(2);
+        let map = Interleaved::new(2).unwrap();
         // Stride 2 on 4 modules with T = 2: visits modules 0 and 2, each
         // L/2 elements: exactly T-matched.
         let vec = VectorSpec::new(0, 2, 8).unwrap();
@@ -373,7 +373,7 @@ mod tests {
 
     #[test]
     fn temporal_distribution_follows_order() {
-        let map = Interleaved::new(2);
+        let map = Interleaved::new(2).unwrap();
         let vec = VectorSpec::new(0, 1, 4).unwrap();
         let td = temporal_distribution(&map, &vec, &[3, 1, 2, 0]);
         assert_eq!(td, ids(&[3, 1, 2, 0]));

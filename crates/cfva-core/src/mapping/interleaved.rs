@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::address::{Addr, ModuleId};
+use crate::error::ConfigError;
 use crate::mapping::ModuleMap;
 
 /// Low-order interleaving: `b = A mod M`, displacement `A div M`.
@@ -19,9 +20,10 @@ use crate::mapping::ModuleMap;
 /// use cfva_core::mapping::{Interleaved, ModuleMap};
 /// use cfva_core::Addr;
 ///
-/// let map = Interleaved::new(3); // 8 modules
+/// let map = Interleaved::new(3)?; // 8 modules
 /// assert_eq!(map.module_of(Addr::new(13)).get(), 5);
 /// assert_eq!(map.displacement_of(Addr::new(13)), 1);
+/// # Ok::<(), cfva_core::ConfigError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Interleaved {
@@ -31,13 +33,21 @@ pub struct Interleaved {
 impl Interleaved {
     /// Creates an interleaved map over `2^m` modules.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `m > 32` (more modules than any machine ever shipped —
-    /// and intermediate math would risk overflow).
-    pub fn new(m: u32) -> Self {
-        assert!(m <= 32, "m = {m} is unreasonably large");
-        Interleaved { m }
+    /// Returns [`ConfigError::OutOfRange`] if `m > 32`: more modules
+    /// than any machine ever shipped, intermediate math would risk
+    /// overflow, and `m ≥ 64` would overflow the `u64` module count
+    /// outright ([`ModuleMap::module_count`]).
+    pub fn new(m: u32) -> Result<Self, ConfigError> {
+        if m > 32 {
+            return Err(ConfigError::OutOfRange {
+                what: "m",
+                value: m as u64,
+                constraint: "m <= 32",
+            });
+        }
+        Ok(Interleaved { m })
     }
 
     /// Returns `m = log2(M)`.
@@ -77,7 +87,7 @@ mod tests {
 
     #[test]
     fn module_is_low_bits() {
-        let map = Interleaved::new(3);
+        let map = Interleaved::new(3).unwrap();
         for a in 0..64u64 {
             assert_eq!(map.module_of(Addr::new(a)).get(), a % 8);
             assert_eq!(map.displacement_of(Addr::new(a)), a / 8);
@@ -86,7 +96,7 @@ mod tests {
 
     #[test]
     fn period_is_m_minus_x() {
-        let map = Interleaved::new(4);
+        let map = Interleaved::new(4).unwrap();
         assert_eq!(map.period(StrideFamily::new(0)), 16);
         assert_eq!(map.period(StrideFamily::new(1)), 8);
         assert_eq!(map.period(StrideFamily::new(4)), 1);
@@ -97,7 +107,7 @@ mod tests {
     fn odd_strides_visit_all_modules_in_any_window() {
         // The classical result: for odd sigma, any M consecutive elements
         // land in M distinct modules.
-        let map = Interleaved::new(3);
+        let map = Interleaved::new(3).unwrap();
         for sigma in [1i64, 3, 5, 7, 9, 11] {
             for base in [0u64, 5, 17, 100] {
                 let mut seen = [false; 8];
@@ -114,7 +124,7 @@ mod tests {
     #[test]
     fn even_strides_cluster() {
         // Stride 2: only half the modules are ever visited.
-        let map = Interleaved::new(3);
+        let map = Interleaved::new(3).unwrap();
         let visited: std::collections::BTreeSet<u64> = (0..32u64)
             .map(|i| map.module_of(Addr::new(2 * i)).get())
             .collect();
@@ -123,7 +133,7 @@ mod tests {
 
     #[test]
     fn single_module_degenerate_case() {
-        let map = Interleaved::new(0);
+        let map = Interleaved::new(0).unwrap();
         assert_eq!(map.module_count(), 1);
         assert_eq!(map.module_of(Addr::new(123)).get(), 0);
         assert_eq!(map.displacement_of(Addr::new(123)), 123);
@@ -131,6 +141,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(Interleaved::new(3).to_string(), "interleaved (M = 8)");
+        assert_eq!(
+            Interleaved::new(3).unwrap().to_string(),
+            "interleaved (M = 8)"
+        );
     }
 }

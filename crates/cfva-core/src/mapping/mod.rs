@@ -81,8 +81,18 @@ pub trait ModuleMap {
     fn address_bits_used(&self) -> u32;
 
     /// Number of memory modules `M = 2^m`.
+    ///
+    /// Every constructor in this crate bounds `module_bits()` well
+    /// below 64 (returning [`ConfigError`](crate::ConfigError)
+    /// otherwise — at most 32 for the single-level maps, `2t ≤ 42` for
+    /// [`XorUnmatched`]), so the shift below cannot overflow for
+    /// in-crate maps. A downstream implementation reporting
+    /// `module_bits() ≥ 64` would otherwise panic in debug and
+    /// silently wrap in release — the checked shift turns that into a
+    /// defined panic in both profiles.
     fn module_count(&self) -> u64 {
-        1u64 << self.module_bits()
+        1u64.checked_shl(self.module_bits())
+            .unwrap_or_else(|| panic!("module_bits() = {} overflows u64", self.module_bits()))
     }
 
     /// Period `P_x` of the canonical temporal distribution for stride
@@ -154,7 +164,7 @@ mod tests {
 
     #[test]
     fn trait_is_object_safe() {
-        let map = Interleaved::new(3);
+        let map = Interleaved::new(3).unwrap();
         let dyn_map: &dyn ModuleMap = &map;
         assert_eq!(dyn_map.module_count(), 8);
         assert_eq!(dyn_map.module_of(Addr::new(11)).get(), 3);
@@ -162,12 +172,12 @@ mod tests {
 
     #[test]
     fn blanket_impls_delegate() {
-        let map = Interleaved::new(2);
+        let map = Interleaved::new(2).unwrap();
         let by_ref: &Interleaved = &map;
         assert_eq!(by_ref.module_count(), 4);
         assert_eq!(by_ref.period(StrideFamily::new(0)), 4);
 
-        let boxed: Box<dyn ModuleMap> = Box::new(Interleaved::new(2));
+        let boxed: Box<dyn ModuleMap> = Box::new(Interleaved::new(2).unwrap());
         assert_eq!(boxed.module_count(), 4);
         assert_eq!(boxed.module_of(Addr::new(7)).get(), 3);
         assert_eq!(boxed.displacement_of(Addr::new(7)), 1);
@@ -175,10 +185,66 @@ mod tests {
 
     #[test]
     fn default_period_saturates_at_one() {
-        let map = Interleaved::new(3); // uses 3 address bits
+        let map = Interleaved::new(3).unwrap(); // uses 3 address bits
         assert_eq!(map.period(StrideFamily::new(0)), 8);
         assert_eq!(map.period(StrideFamily::new(2)), 2);
         assert_eq!(map.period(StrideFamily::new(3)), 1);
         assert_eq!(map.period(StrideFamily::new(9)), 1);
+    }
+
+    /// Regression for the `1u64 << module_bits` overflow: every one of
+    /// the seven map constructors must reject any configuration whose
+    /// module count would not fit a `u64` (each has a far tighter
+    /// documented bound — `m ≤ 32` for the single-level maps, `2t ≤ 42`
+    /// for the unmatched map), instead of panicking in debug or
+    /// wrapping in release inside `module_count()`.
+    #[test]
+    fn all_seven_constructors_reject_overflowing_module_bits() {
+        // 1. Interleaved: b = A mod 2^m.
+        assert!(Interleaved::new(32).is_ok());
+        for m in [33u32, 63, 64, 65, u32::MAX] {
+            assert!(Interleaved::new(m).is_err(), "Interleaved m = {m}");
+        }
+
+        // 2. Skewed: same module-bit budget plus a row index.
+        assert!(Skewed::new(32, 7).is_ok());
+        for m in [33u32, 64, u32::MAX] {
+            assert!(Skewed::new(m, 1).is_err(), "Skewed m = {m}");
+        }
+
+        // 3. XorMatched: module_bits = t; s + t <= 63 with s >= t caps
+        //    t at 31.
+        assert!(XorMatched::new(31, 32).is_ok());
+        assert!(XorMatched::new(32, 32).is_err());
+        assert!(XorMatched::new(64, 64).is_err());
+
+        // 4. XorUnmatched: module_bits = 2t; y + t <= 63 with
+        //    y >= s + t >= 2t caps t at 21.
+        assert!(XorUnmatched::new(21, 21, 42).is_ok());
+        assert!(XorUnmatched::new(32, 32, 64).is_err());
+
+        // 5. Linear: one matrix row per module bit, at most 32 rows.
+        assert!(Linear::new((0..64u32).map(|i| 1u64 << i).collect()).is_err());
+        assert!(Linear::interleaved(33).is_err());
+
+        // 6. PseudoRandom: m <= 16 (polynomial degree bound).
+        assert!(PseudoRandom::with_default_poly(64).is_err());
+        assert!(PseudoRandom::new(64, 1 << 16, 40).is_err());
+
+        // 7. RegionMap: built on XorMatched, so the same t cap applies.
+        assert!(RegionMap::new(64, 10, 64).is_err());
+    }
+
+    /// The validated bound keeps the default `module_count()` shift in
+    /// range for every constructible map.
+    #[test]
+    fn module_count_in_range_at_the_constructor_bound() {
+        assert_eq!(Interleaved::new(32).unwrap().module_count(), 1 << 32);
+        assert_eq!(Skewed::new(32, 1).unwrap().module_count(), 1 << 32);
+        assert_eq!(XorMatched::new(31, 32).unwrap().module_count(), 1 << 31);
+        assert_eq!(
+            XorUnmatched::new(21, 21, 42).unwrap().module_count(),
+            1 << 42
+        );
     }
 }

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::address::{Addr, ModuleId};
+use crate::error::ConfigError;
 use crate::mapping::ModuleMap;
 
 /// Skewed storage: `b = (A + d·row) mod M` with `row = (A div M) mod M`.
@@ -27,7 +28,7 @@ use crate::mapping::ModuleMap;
 /// use cfva_core::mapping::{ModuleMap, Skewed};
 /// use cfva_core::Addr;
 ///
-/// let map = Skewed::new(2, 1); // 4 modules, skew 1
+/// let map = Skewed::new(2, 1).unwrap(); // 4 modules, skew 1
 /// // Row 0: addresses 0..4 -> modules 0,1,2,3
 /// // Row 1: addresses 4..8 -> modules 1,2,3,0 (rotated by 1)
 /// assert_eq!(map.module_of(Addr::new(4)).get(), 1);
@@ -43,16 +44,24 @@ impl Skewed {
     /// Creates a skewed map over `2^m` modules with skew distance
     /// `skew` (reduced mod `M`).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `m > 32`.
-    pub fn new(m: u32, skew: u64) -> Self {
-        assert!(m <= 32, "m = {m} is unreasonably large");
+    /// Returns [`ConfigError::OutOfRange`] if `m > 32`: the row index
+    /// needs `2m` address bits, and `m ≥ 64` would overflow the `u64`
+    /// module count ([`ModuleMap::module_count`]).
+    pub fn new(m: u32, skew: u64) -> Result<Self, ConfigError> {
+        if m > 32 {
+            return Err(ConfigError::OutOfRange {
+                what: "m",
+                value: m as u64,
+                constraint: "m <= 32",
+            });
+        }
         let mask = (1u64 << m) - 1;
-        Skewed {
+        Ok(Skewed {
             m,
             skew: skew & mask,
-        }
+        })
     }
 
     /// Returns `m = log2(M)`.
@@ -99,7 +108,7 @@ mod tests {
 
     #[test]
     fn rows_are_rotated() {
-        let map = Skewed::new(3, 1);
+        let map = Skewed::new(3, 1).unwrap();
         // Row r (addresses 8r..8r+8) should map to modules (i + r) mod 8,
         // within the first 8 rows (the row index wraps at M).
         for r in 0..8u64 {
@@ -112,13 +121,13 @@ mod tests {
 
     #[test]
     fn skew_reduces_mod_m() {
-        assert_eq!(Skewed::new(3, 9).skew(), 1);
-        assert_eq!(Skewed::new(2, 4).skew(), 0);
+        assert_eq!(Skewed::new(3, 9).unwrap().skew(), 1);
+        assert_eq!(Skewed::new(2, 4).unwrap().skew(), 0);
     }
 
     #[test]
     fn zero_skew_degenerates_to_interleaving() {
-        let map = Skewed::new(3, 0);
+        let map = Skewed::new(3, 0).unwrap();
         for a in 0..128u64 {
             assert_eq!(map.module_of(Addr::new(a)).get(), a % 8);
         }
@@ -128,7 +137,7 @@ mod tests {
     fn column_stride_is_conflict_free_with_odd_skew() {
         // Stride M = 8 walks a column; with skew 1 each step moves to the
         // next module, so 8 consecutive column elements hit 8 modules.
-        let map = Skewed::new(3, 1);
+        let map = Skewed::new(3, 1).unwrap();
         for base in [0u64, 3, 11] {
             let mut seen = [false; 8];
             for i in 0..8u64 {
@@ -142,7 +151,7 @@ mod tests {
 
     #[test]
     fn column_stride_conflicts_without_skew() {
-        let map = Skewed::new(3, 0);
+        let map = Skewed::new(3, 0).unwrap();
         let first = map.module_of(Addr::new(0));
         let second = map.module_of(Addr::new(8));
         assert_eq!(first, second, "interleaving sends a column to one module");
@@ -150,7 +159,7 @@ mod tests {
 
     #[test]
     fn period_covers_two_m_bits() {
-        let map = Skewed::new(3, 1);
+        let map = Skewed::new(3, 1).unwrap();
         assert_eq!(map.period(StrideFamily::new(0)), 64);
         assert_eq!(map.period(StrideFamily::new(6)), 1);
     }
@@ -158,7 +167,7 @@ mod tests {
     #[test]
     fn period_contract_holds() {
         // module_of(A + P·S) == module_of(A) for strides of the family.
-        let map = Skewed::new(3, 3);
+        let map = Skewed::new(3, 3).unwrap();
         for x in 0..7u32 {
             let p = map.period(StrideFamily::new(x));
             let stride = 3u64 << x; // sigma = 3
@@ -172,6 +181,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(Skewed::new(3, 1).to_string(), "skewed (M = 8, d = 1)");
+        assert_eq!(
+            Skewed::new(3, 1).unwrap().to_string(),
+            "skewed (M = 8, d = 1)"
+        );
     }
 }

@@ -185,7 +185,7 @@ mod tests {
 
     #[test]
     fn unit_stride_on_interleaving_schedulable() {
-        let map = Interleaved::new(3);
+        let map = Interleaved::new(3).unwrap();
         let vec = VectorSpec::new(5, 1, 64).unwrap();
         let result = greedy_conflict_free_order(&map, &vec, 8, 1_000_000);
         let order = result.order().expect("odd stride schedulable");
@@ -243,7 +243,7 @@ mod tests {
     #[test]
     fn degenerate_t_one() {
         // T = 1: everything is schedulable in canonical order.
-        let map = Interleaved::new(0);
+        let map = Interleaved::new(0).unwrap();
         let vec = VectorSpec::new(0, 3, 16).unwrap();
         let result = greedy_conflict_free_order(&map, &vec, 1, 10_000);
         assert!(result.order().is_some());

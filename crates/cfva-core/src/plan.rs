@@ -683,7 +683,7 @@ mod tests {
 
     #[test]
     fn baseline_planner_only_canonical() {
-        let planner = Planner::baseline(Interleaved::new(3), 3);
+        let planner = Planner::baseline(Interleaved::new(3).unwrap(), 3);
         let vec = VectorSpec::new(0, 1, 64).unwrap();
         assert!(planner.plan(&vec, Strategy::Canonical).is_ok());
         assert!(matches!(
@@ -708,7 +708,7 @@ mod tests {
         assert_eq!(planner.module_count(), 8);
         let unmatched = Planner::unmatched(XorUnmatched::new(3, 4, 9).unwrap());
         assert_eq!(unmatched.window(7), Some((0, 9)));
-        let base = Planner::baseline(Interleaved::new(3), 3);
+        let base = Planner::baseline(Interleaved::new(3).unwrap(), 3);
         assert_eq!(base.window(7), None);
     }
 

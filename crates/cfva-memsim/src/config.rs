@@ -4,6 +4,8 @@ use std::fmt;
 
 use cfva_core::ConfigError;
 
+use crate::event::Engine;
+
 /// Configuration of a simulated multi-module memory (paper Figure 2).
 ///
 /// Defaults: one input buffer and one output buffer per module — the
@@ -31,6 +33,7 @@ pub struct MemConfig {
     q_in: usize,
     q_out: usize,
     ports: usize,
+    engine: Engine,
 }
 
 impl MemConfig {
@@ -62,7 +65,21 @@ impl MemConfig {
             q_in: 1,
             q_out: 1,
             ports: 1,
+            engine: Engine::Cycle,
         })
+    }
+
+    /// Selects the simulation [`Engine`] systems built from this
+    /// configuration use. The default is [`Engine::Cycle`] — the
+    /// per-cycle oracle every other engine is verified against.
+    pub const fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The simulation engine selected for this configuration.
+    pub const fn engine(&self) -> Engine {
+        self.engine
     }
 
     /// Sets the per-module input and output buffer depths.
@@ -205,6 +222,14 @@ mod tests {
     fn display() {
         let cfg = MemConfig::new(3, 2).unwrap().with_queues(2, 1).unwrap();
         assert_eq!(cfg.to_string(), "memory M=8 T=4 q=2 q'=1");
+    }
+
+    #[test]
+    fn engine_defaults_to_cycle_oracle() {
+        let cfg = MemConfig::new(3, 3).unwrap();
+        assert_eq!(cfg.engine(), Engine::Cycle);
+        assert_eq!(cfg.with_engine(Engine::Event).engine(), Engine::Event);
+        assert_eq!(cfg.with_engine(Engine::FastPath).engine(), Engine::FastPath);
     }
 
     #[test]

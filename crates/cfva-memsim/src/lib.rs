@@ -18,6 +18,13 @@
 //! paper); the integration tests assert this across the whole Theorem 1
 //! and Theorem 3 windows.
 //!
+//! Three interchangeable [`Engine`]s execute a request stream with
+//! bit-identical results: the per-cycle loop (the oracle, default),
+//! the event-queue engine of [`Engine::Event`] (conflicted accesses
+//! collapse to completion events), and the verified conflict-free
+//! fast path of [`Engine::FastPath`]. See the `Engine` docs and the
+//! equivalence suites under `tests/`.
+//!
 //! ## Example
 //!
 //! ```
@@ -44,6 +51,7 @@
 #![forbid(unsafe_code)]
 
 mod config;
+mod event;
 mod module;
 pub mod multi;
 mod stats;
@@ -51,6 +59,7 @@ mod system;
 mod trace;
 
 pub use config::MemConfig;
+pub use event::Engine;
 pub use module::MemModule;
 pub use multi::{run_interleaved, MultiStats, StreamStats};
 pub use stats::AccessStats;

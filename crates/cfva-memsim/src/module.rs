@@ -123,6 +123,14 @@ impl MemModule {
         self.service.as_ref().map(|(req, _)| req)
     }
 
+    /// The cycle the in-service request finishes (the completion may
+    /// still be deferred past it by output-buffer back-pressure), if a
+    /// request is in service. The event engine keys its completion
+    /// queue on this.
+    pub fn service_ready_at(&self) -> Option<u64> {
+        self.service.as_ref().map(|&(_, ready_at)| ready_at)
+    }
+
     /// Removes and returns the oldest finished request (bus grant).
     pub fn take_output(&mut self) -> Option<Request> {
         self.out_q.pop_front()

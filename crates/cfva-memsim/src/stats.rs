@@ -33,14 +33,43 @@ pub struct AccessStats {
 impl AccessStats {
     /// Elements delivered per cycle over the whole access,
     /// `L / latency`. The steady-state maximum is just below 1.
+    ///
+    /// Returns 0.0 for an empty access (zero elements, or a
+    /// default-constructed record whose latency is still zero), never
+    /// `NaN` or `inf`.
     pub fn throughput(&self) -> f64 {
+        if self.elements == 0 || self.latency == 0 {
+            return 0.0;
+        }
         self.elements as f64 / self.latency as f64
     }
 
-    /// Efficiency relative to the conflict-free minimum
-    /// `T + L + 1` (= 1.0 when the access is conflict free).
+    /// The conflict-free minimum latency for this access under module
+    /// service time `t_cycles`: `T + L + 1` (paper Section 2). The
+    /// single formula [`efficiency`](Self::efficiency) and
+    /// [`excess_latency`](Self::excess_latency) are both defined
+    /// against.
+    pub const fn min_latency(&self, t_cycles: u64) -> u64 {
+        t_cycles + self.elements + 1
+    }
+
+    /// Efficiency relative to the **single-port** conflict-free
+    /// minimum [`min_latency`](Self::min_latency) (= 1.0 when the
+    /// access is conflict free).
+    ///
+    /// Returns 0.0 for an empty access, and is clamped to at most 1.0
+    /// so that a mismatched `t_cycles` (a value other than the one the
+    /// access was simulated with) cannot silently poison downstream
+    /// averages with an "efficiency" above unity. The clamp also means
+    /// a multi-port access that legitimately beats the single-port
+    /// floor saturates at 1.0 — this metric is a single-port-model
+    /// quantity (the paper's Section 5B `η`); compare multi-port
+    /// configurations with [`throughput`](Self::throughput) instead.
     pub fn efficiency(&self, t_cycles: u64) -> f64 {
-        (t_cycles + self.elements + 1) as f64 / self.latency as f64
+        if self.elements == 0 || self.latency == 0 {
+            return 0.0;
+        }
+        (self.min_latency(t_cycles) as f64 / self.latency as f64).min(1.0)
     }
 
     /// Whether the access ran without any queueing or stalls.
@@ -48,9 +77,11 @@ impl AccessStats {
         self.conflicts == 0 && self.stall_cycles == 0
     }
 
-    /// Extra cycles over the conflict-free minimum.
+    /// Extra cycles over the conflict-free minimum
+    /// [`min_latency`](Self::min_latency); zero when the access ran at
+    /// (or, with a mismatched `t_cycles`, below) the floor.
     pub fn excess_latency(&self, t_cycles: u64) -> u64 {
-        self.latency.saturating_sub(t_cycles + self.elements + 1)
+        self.latency.saturating_sub(self.min_latency(t_cycles))
     }
 }
 
@@ -97,6 +128,50 @@ mod tests {
         assert_eq!(s.excess_latency(8), 7);
         assert!(!s.is_conflict_free());
         assert!(s.efficiency(8) < 1.0);
+    }
+
+    #[test]
+    fn empty_access_has_zero_throughput_and_efficiency() {
+        // A zero-element plan or a default-constructed record must not
+        // produce NaN (0/0) or inf ((T+1)/0).
+        let empty = AccessStats::default();
+        assert_eq!(empty.elements, 0);
+        assert_eq!(empty.latency, 0);
+        assert_eq!(empty.throughput(), 0.0);
+        assert_eq!(empty.efficiency(8), 0.0);
+        assert!(empty.throughput().is_finite());
+        assert!(empty.efficiency(8).is_finite());
+
+        // A simulated empty plan reports latency 1 and zero elements.
+        let ran_empty = AccessStats {
+            latency: 1,
+            ..Default::default()
+        };
+        assert_eq!(ran_empty.throughput(), 0.0);
+        assert_eq!(ran_empty.efficiency(8), 0.0);
+        assert_eq!(ran_empty.excess_latency(8), 0);
+    }
+
+    #[test]
+    fn efficiency_is_clamped_at_one() {
+        // Caller passes the wrong t_cycles (here 16 instead of the 8
+        // the access was simulated with): the minimum-latency formula
+        // exceeds the measured latency, which must clamp, not report
+        // an efficiency > 1.
+        let s = stats();
+        assert!(s.min_latency(16) > s.latency);
+        assert_eq!(s.efficiency(16), 1.0);
+        // And excess_latency agrees on the same formula: saturates at 0.
+        assert_eq!(s.excess_latency(16), 0);
+    }
+
+    #[test]
+    fn efficiency_and_excess_latency_share_the_minimum_formula() {
+        let mut s = stats();
+        s.latency = 100;
+        assert_eq!(s.min_latency(8), 73);
+        assert_eq!(s.excess_latency(8), 100 - 73);
+        assert!((s.efficiency(8) - 73.0 / 100.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! The cycle engine: processor, bus and module array.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
 
 use cfva_core::plan::AccessPlan;
 use cfva_core::{Addr, ModuleId};
 
 use crate::config::MemConfig;
+use crate::event::Engine;
 use crate::module::MemModule;
 use crate::stats::AccessStats;
 use crate::trace::{Event, Trace};
@@ -42,21 +45,23 @@ pub struct Request {
 /// experienced no conflict; anything later is counted in
 /// [`AccessStats::conflicts`].
 pub struct MemorySystem {
-    cfg: MemConfig,
-    modules: Vec<MemModule>,
-    trace: Trace,
+    pub(crate) cfg: MemConfig,
+    pub(crate) modules: Vec<MemModule>,
+    pub(crate) trace: Trace,
     /// Indices of modules currently holding work, kept in ascending
     /// order. The cycle loop touches only these, so simulation cost
     /// scales with the *occupied* modules (≈ `T` for a register-length
     /// access), not with the memory size `M` — the difference is large
     /// on unmatched memories where `M = T²`.
-    active: Vec<usize>,
-    /// Opt-in conflict-free fast path (see
-    /// [`set_fast_path`](Self::set_fast_path)).
-    fast_path: bool,
+    pub(crate) active: Vec<usize>,
     /// Scratch for the fast path's window check: last request index per
     /// module.
     last_start: Vec<u64>,
+    /// The event engine's completion queue, keyed on (service-ready
+    /// cycle, module index); kept on the system so repeated runs reuse
+    /// the allocation. Entries are invalidated lazily (see
+    /// `event.rs`).
+    pub(crate) completions: BinaryHeap<Reverse<(u64, usize)>>,
 }
 
 impl MemorySystem {
@@ -70,12 +75,32 @@ impl MemorySystem {
             modules,
             trace: Trace::new(),
             active: Vec::new(),
-            fast_path: false,
             last_start: Vec::new(),
+            completions: BinaryHeap::new(),
         }
     }
 
-    /// Enables (or disables) the verified conflict-free fast path.
+    /// Selects the simulation engine for subsequent runs (equivalent
+    /// to building the system from a config carrying
+    /// [`MemConfig::with_engine`]).
+    ///
+    /// All three engines produce **bit-identical** [`AccessStats`] and
+    /// [`Trace`](crate::Trace) output; [`Engine::Cycle`] (the default)
+    /// is the oracle the other two are verified against
+    /// (`tests/fast_path.rs`, `tests/event_engine.rs`).
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.cfg = self.cfg.with_engine(engine);
+    }
+
+    /// The engine in use.
+    pub const fn engine(&self) -> Engine {
+        self.cfg.engine()
+    }
+
+    /// Enables (or disables) the verified conflict-free fast path —
+    /// shorthand for [`set_engine`](Self::set_engine) with
+    /// [`Engine::FastPath`] (or back to the default
+    /// [`Engine::Cycle`]).
     ///
     /// When enabled, a run first checks in one pass whether the request
     /// stream is conflict free in the paper's sense (every window of
@@ -86,18 +111,23 @@ impl MemorySystem {
     /// `T + L + 1` cycles, and no queueing occurs. Those are exactly
     /// the values the cycle engine produces (asserted bit-for-bit by
     /// `tests/fast_path.rs`), at a fraction of the cost. Streams that
-    /// fail the check fall through to the full cycle engine.
+    /// fail the check fall through to the event-queue engine
+    /// ([`Engine::Event`]), which makes conflicted accesses cheap too.
     ///
     /// **Disabled by default** so the cycle-accurate engine remains the
     /// oracle for verification work; the batch execution engine
     /// (`cfva-bench::runner::BatchRunner`) enables it for throughput.
     pub fn set_fast_path(&mut self, enabled: bool) {
-        self.fast_path = enabled;
+        self.set_engine(if enabled {
+            Engine::FastPath
+        } else {
+            Engine::Cycle
+        });
     }
 
     /// Whether the conflict-free fast path is enabled.
     pub const fn fast_path(&self) -> bool {
-        self.fast_path
+        matches!(self.cfg.engine(), Engine::FastPath)
     }
 
     /// The configuration in use.
@@ -217,20 +247,38 @@ impl MemorySystem {
         true
     }
 
-    /// The cycle engine. `request(k)` yields the `k`-th request of the
+    /// Engine dispatch. `request(k)` yields the `k`-th request of the
     /// stream; statistics are written into `out`, reusing its buffers.
     fn run_core<F>(&mut self, n: usize, request: F, out: &mut AccessStats)
     where
         F: Fn(usize) -> (u64, Addr, ModuleId),
     {
-        if self.fast_path
-            && !self.trace.is_enabled()
-            && self.cfg.ports() == 1
-            && n > 0
-            && self.try_fast_path(n, &request, out)
-        {
-            return;
+        match self.cfg.engine() {
+            Engine::Cycle => self.run_cycle(n, &request, out),
+            Engine::Event => self.run_event(n, &request, out),
+            Engine::FastPath => {
+                if !self.trace.is_enabled()
+                    && self.cfg.ports() == 1
+                    && n > 0
+                    && self.try_fast_path(n, &request, out)
+                {
+                    return;
+                }
+                // Conflicted (or traced / multi-port) stream: the
+                // event-queue engine takes over, so conflicted sweep
+                // points stay cheap too.
+                self.run_event(n, &request, out)
+            }
         }
+    }
+
+    /// The per-cycle engine — the reference semantics (oracle) of the
+    /// simulator: every cycle runs the four phases over the occupied
+    /// modules.
+    pub(crate) fn run_cycle<F>(&mut self, n: usize, request: &F, out: &mut AccessStats)
+    where
+        F: Fn(usize) -> (u64, Addr, ModuleId),
+    {
         self.reset();
         let MemorySystem {
             cfg,
@@ -372,12 +420,13 @@ impl MemorySystem {
         out.max_in_q = modules.iter().map(|m| m.max_in_q()).max().unwrap_or(0);
     }
 
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         for module in &mut self.modules {
             module.reset();
         }
         self.active.clear();
         self.trace.clear();
+        self.completions.clear();
     }
 }
 
@@ -417,7 +466,7 @@ mod tests {
 
     #[test]
     fn unit_stride_on_interleaving_is_minimal() {
-        let planner = Planner::baseline(Interleaved::new(3), 3);
+        let planner = Planner::baseline(Interleaved::new(3).unwrap(), 3);
         let vec = VectorSpec::new(0, 1, 64).unwrap();
         let cfg = MemConfig::new(3, 3).unwrap();
         let stats = run(&planner, &vec, Strategy::Canonical, cfg);
@@ -429,7 +478,7 @@ mod tests {
     fn clustered_stride_serialises_on_one_module() {
         // Stride 8 on low-order interleaving: every element in module 0:
         // latency ~ L·T.
-        let planner = Planner::baseline(Interleaved::new(3), 3);
+        let planner = Planner::baseline(Interleaved::new(3).unwrap(), 3);
         let vec = VectorSpec::new(0, 8, 64).unwrap();
         let cfg = MemConfig::new(3, 3).unwrap();
         let stats = run(&planner, &vec, Strategy::Canonical, cfg);
@@ -508,7 +557,7 @@ mod tests {
         // Future-work model: two ports help only when every window of
         // 2T requests covers 2T distinct modules. A unit-stride walk on
         // a 64-module interleaved memory does exactly that.
-        let planner = Planner::baseline(Interleaved::new(6), 3);
+        let planner = Planner::baseline(Interleaved::new(6).unwrap(), 3);
         let vec = VectorSpec::new(0, 1, 128).unwrap();
         let plan = planner.plan(&vec, Strategy::Canonical).unwrap();
 

@@ -1,0 +1,287 @@
+//! Equivalence suite for the event-queue engine: `Engine::Event` (and
+//! `Engine::FastPath`, which falls back to it) must produce
+//! **bit-identical** `AccessStats` — and, where traced, identical
+//! `Trace` output — to the per-cycle oracle, across all seven
+//! `ModuleMap` implementations, stride families, queue depths, port
+//! counts and pathological same-module streams. Plus the enforced
+//! performance claim: the event engine beats the cycle loop ≥ 2× on a
+//! worst-case all-requests-one-module stride.
+
+use std::time::Instant;
+
+use cfva_core::mapping::{
+    Interleaved, Linear, PseudoRandom, RegionMap, Skewed, XorMatched, XorUnmatched,
+};
+use cfva_core::plan::{AccessPlan, Planner, Strategy};
+use cfva_core::{Addr, ModuleId, Stride, VectorSpec};
+use cfva_memsim::{AccessStats, Engine, MemConfig, MemorySystem};
+
+/// Runs one plan through all three engines on fresh systems and
+/// asserts identical statistics; also re-runs on the reused event
+/// system (state must not leak between runs) and compares full traces
+/// cycle-for-cycle.
+fn assert_engines_equivalent(cfg: MemConfig, plan: &AccessPlan, label: &str) {
+    let oracle = MemorySystem::new(cfg).run_plan(plan);
+
+    let mut event = MemorySystem::new(cfg.with_engine(Engine::Event));
+    assert_eq!(event.engine(), Engine::Event);
+    let evented = event.run_plan(plan);
+    assert_eq!(oracle, evented, "{label} (event engine)");
+    let again = event.run_plan(plan);
+    assert_eq!(oracle, again, "{label} (event engine, reused system)");
+
+    let mut fast = MemorySystem::new(cfg.with_engine(Engine::FastPath));
+    let shortcut = fast.run_plan(plan);
+    assert_eq!(oracle, shortcut, "{label} (fast path over event)");
+
+    // Trace equivalence: the event engine must reconstruct the exact
+    // per-cycle event stream, including the stall runs it skips over.
+    let mut traced_oracle = MemorySystem::new(cfg);
+    traced_oracle.enable_trace();
+    traced_oracle.run_plan(plan);
+    let mut traced_event = MemorySystem::new(cfg.with_engine(Engine::Event));
+    traced_event.enable_trace();
+    traced_event.run_plan(plan);
+    assert_eq!(
+        traced_oracle.trace().events(),
+        traced_event.trace().events(),
+        "{label} (trace)"
+    );
+}
+
+/// Runs a raw request stream through the oracle and the event engine.
+fn assert_stream_equivalent(cfg: MemConfig, stream: &[(u64, Addr, ModuleId)], label: &str) {
+    let oracle = MemorySystem::new(cfg).run_requests(stream);
+    let evented = MemorySystem::new(cfg.with_engine(Engine::Event)).run_requests(stream);
+    assert_eq!(oracle, evented, "{label}");
+}
+
+/// Every in-order (canonical) plan a map can produce, over a spread of
+/// stride families and bases — the conflicted regime the event engine
+/// exists for.
+fn sweep_canonical(planner: &Planner, cfg: MemConfig, label: &str) {
+    for x in 0..=6u32 {
+        for sigma in [1i64, 3, 7] {
+            for base in [0u64, 16, 37] {
+                let stride = Stride::from_parts(sigma, x).expect("odd sigma");
+                let vec = VectorSpec::with_stride(base.into(), stride, 64).expect("valid");
+                let plan = planner
+                    .plan(&vec, Strategy::Canonical)
+                    .expect("canonical always plans");
+                assert_engines_equivalent(
+                    cfg,
+                    &plan,
+                    &format!("{label} x={x} sigma={sigma} base={base}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn interleaved_map_is_identical() {
+    let planner = Planner::baseline(Interleaved::new(3).unwrap(), 3);
+    sweep_canonical(&planner, MemConfig::new(3, 3).unwrap(), "interleaved");
+}
+
+#[test]
+fn skewed_map_is_identical() {
+    for skew in [0u64, 1, 3] {
+        let planner = Planner::baseline(Skewed::new(3, skew).unwrap(), 3);
+        sweep_canonical(
+            &planner,
+            MemConfig::new(3, 3).unwrap(),
+            &format!("skewed d={skew}"),
+        );
+    }
+}
+
+#[test]
+fn xor_matched_map_is_identical() {
+    let planner = Planner::matched(XorMatched::new(3, 4).unwrap());
+    let cfg = MemConfig::new(3, 3).unwrap();
+    sweep_canonical(&planner, cfg, "xor-matched canonical");
+    // Out-of-order conflict-free and subsequence plans too.
+    for x in 0..=4u32 {
+        let stride = Stride::from_parts(3, x).unwrap();
+        let vec = VectorSpec::with_stride(16u64.into(), stride, 128).unwrap();
+        for strategy in [Strategy::ConflictFree, Strategy::Subsequence] {
+            let plan = planner.plan(&vec, strategy).expect("in window");
+            assert_engines_equivalent(cfg, &plan, &format!("xor-matched {strategy} x={x}"));
+        }
+    }
+}
+
+#[test]
+fn xor_unmatched_map_is_identical() {
+    let planner = Planner::unmatched(XorUnmatched::new(3, 4, 9).unwrap());
+    let cfg = MemConfig::new(6, 3).unwrap();
+    sweep_canonical(&planner, cfg, "xor-unmatched canonical");
+    for x in [0u32, 4, 7, 9] {
+        let stride = Stride::from_parts(3, x).unwrap();
+        let vec = VectorSpec::with_stride(77u64.into(), stride, 128).unwrap();
+        let plan = planner.plan(&vec, Strategy::ConflictFree).expect("window");
+        assert_engines_equivalent(cfg, &plan, &format!("xor-unmatched cf x={x}"));
+    }
+}
+
+#[test]
+fn linear_map_is_identical() {
+    let map = Linear::new(vec![0b1_0010_1101, 0b0_1101_1010, 0b1_1000_0111]).unwrap();
+    let planner = Planner::baseline(map, 3);
+    sweep_canonical(&planner, MemConfig::new(3, 3).unwrap(), "linear");
+}
+
+#[test]
+fn pseudo_random_map_is_identical() {
+    let planner = Planner::baseline(PseudoRandom::with_default_poly(3).unwrap(), 3);
+    sweep_canonical(&planner, MemConfig::new(3, 3).unwrap(), "pseudo-random");
+}
+
+#[test]
+fn region_map_is_identical() {
+    let map = RegionMap::new(3, 10, 3).unwrap().with_region(1, 6).unwrap();
+    let planner = Planner::baseline(map, 3);
+    sweep_canonical(&planner, MemConfig::new(3, 3).unwrap(), "region");
+}
+
+#[test]
+fn queue_depths_and_ports_are_identical() {
+    let planner = Planner::matched(XorMatched::new(3, 4).unwrap());
+    let vec = VectorSpec::new(16, 12, 128).unwrap();
+    for (q_in, q_out) in [(1usize, 1usize), (2, 1), (1, 2), (4, 4), (8, 2)] {
+        let cfg = MemConfig::new(3, 3)
+            .unwrap()
+            .with_queues(q_in, q_out)
+            .unwrap();
+        for strategy in [Strategy::Canonical, Strategy::Subsequence] {
+            let plan = planner.plan(&vec, strategy).unwrap();
+            assert_engines_equivalent(cfg, &plan, &format!("q={q_in} q'={q_out} {strategy}"));
+        }
+    }
+    // Multi-port memories (the fast path must not engage; the event
+    // engine must model per-port issue and grant).
+    let wide = Planner::baseline(Interleaved::new(6).unwrap(), 3);
+    let plan = wide
+        .plan(&VectorSpec::new(0, 1, 128).unwrap(), Strategy::Canonical)
+        .unwrap();
+    for ports in [1usize, 2, 4] {
+        let cfg = MemConfig::new(6, 3).unwrap().with_ports(ports).unwrap();
+        assert_engines_equivalent(cfg, &plan, &format!("ports={ports}"));
+    }
+}
+
+#[test]
+fn pathological_same_module_streams_are_identical() {
+    // Everything lands on one module — the queueing regime the event
+    // engine collapses to completion events.
+    for (m, t) in [(3u32, 3u32), (3, 6), (2, 4)] {
+        let cfg = MemConfig::new(m, t).unwrap();
+        for len in [1u64, 2, 7, 64] {
+            let stream: Vec<(u64, Addr, ModuleId)> = (0..len)
+                .map(|i| (i, Addr::new(i << m), ModuleId::new(0)))
+                .collect();
+            assert_stream_equivalent(cfg, &stream, &format!("one-module m={m} t={t} len={len}"));
+        }
+        // Two modules, alternating burst lengths.
+        let stream: Vec<(u64, Addr, ModuleId)> = (0..96u64)
+            .map(|i| (i, Addr::new(i), ModuleId::new(u64::from(i % 13 < 7))))
+            .collect();
+        assert_stream_equivalent(cfg, &stream, &format!("two-module bursts m={m} t={t}"));
+    }
+    // Deep queues in front of one module.
+    let cfg = MemConfig::new(3, 3).unwrap().with_queues(4, 2).unwrap();
+    let stream: Vec<(u64, Addr, ModuleId)> = (0..64u64)
+        .map(|i| (i, Addr::new(i * 8), ModuleId::new(0)))
+        .collect();
+    assert_stream_equivalent(cfg, &stream, "one-module deep queues");
+}
+
+#[test]
+fn conflict_free_windows_mixed_with_bursts_are_identical() {
+    // Alternate conflict-free rotations with bursts to module 0: the
+    // stream flips between the regimes the fast path and the event
+    // engine each specialise in.
+    let cfg = MemConfig::new(3, 3).unwrap();
+    let mut stream = Vec::new();
+    let mut element = 0u64;
+    for chunk in 0..8u64 {
+        for i in 0..8u64 {
+            let module = if chunk % 2 == 0 { i } else { 0 };
+            stream.push((element, Addr::new(element), ModuleId::new(module)));
+            element += 1;
+        }
+    }
+    assert_stream_equivalent(cfg, &stream, "cf windows mixed with bursts");
+}
+
+#[test]
+fn empty_and_single_request_plans_are_identical() {
+    let cfg = MemConfig::new(3, 3).unwrap();
+    assert_engines_equivalent(cfg, &AccessPlan::new(), "empty plan");
+    let stream = [(0u64, Addr::new(5), ModuleId::new(3))];
+    assert_stream_equivalent(cfg, &stream, "single request");
+}
+
+#[test]
+fn event_engine_reports_same_fields_on_worst_case() {
+    // Spot-check the actual numbers on the fully serialized stride so
+    // a symmetric bug in both engines can't hide behind `assert_eq`.
+    let planner = Planner::baseline(Interleaved::new(3).unwrap(), 3);
+    let vec = VectorSpec::new(0, 8, 64).unwrap();
+    let plan = planner.plan(&vec, Strategy::Canonical).unwrap();
+    let stats =
+        MemorySystem::new(MemConfig::new(3, 3).unwrap().with_engine(Engine::Event)).run_plan(&plan);
+    assert!(stats.latency >= 64 * 8, "latency {}", stats.latency);
+    assert!(stats.conflicts > 0);
+    assert!(stats.stall_cycles > 0);
+    assert_eq!(stats.module_busy[0], 64 * 8);
+    assert_eq!(stats.elements, 64);
+}
+
+/// The enforced performance claim: on an all-requests-one-module
+/// stride (stride = M on low-order interleaving) with a long service
+/// time, the event engine must beat the per-cycle loop by at least 2×.
+/// The bench twin of this assertion lives in
+/// `cfva-bench/benches/engines.rs`.
+#[test]
+fn event_engine_at_least_2x_faster_on_all_conflicts_stride() {
+    // M = 8, T = 64: the cycle engine walks ~L·T ≈ 33k cycles; the
+    // event engine processes ~3 cycles per T-cycle service period.
+    let planner = Planner::baseline(Interleaved::new(3).unwrap(), 6);
+    let vec = VectorSpec::new(0, 8, 512).unwrap();
+    let plan = planner.plan(&vec, Strategy::Canonical).unwrap();
+    let cfg = MemConfig::new(3, 6).unwrap();
+
+    let mut cycle_sys = MemorySystem::new(cfg);
+    let mut event_sys = MemorySystem::new(cfg.with_engine(Engine::Event));
+    let mut out = AccessStats::default();
+
+    // Equivalence first — a fast wrong answer doesn't count.
+    let reference = cycle_sys.run_plan(&plan);
+    assert_eq!(reference, event_sys.run_plan(&plan));
+
+    const ROUNDS: usize = 5;
+    const RUNS: usize = 8;
+    let time = |sys: &mut MemorySystem, out: &mut AccessStats| {
+        (0..ROUNDS)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..RUNS {
+                    sys.run_plan_into(std::hint::black_box(&plan), out);
+                }
+                start.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let cycle_time = time(&mut cycle_sys, &mut out);
+    let event_time = time(&mut event_sys, &mut out);
+
+    let speedup = cycle_time.as_secs_f64() / event_time.as_secs_f64();
+    assert!(
+        speedup >= 2.0,
+        "event engine must be >= 2x faster than the cycle loop on an \
+         all-conflicts stride, got {speedup:.2}x (cycle {cycle_time:?}, event {event_time:?})"
+    );
+}

@@ -67,7 +67,7 @@ fn conflicted_plans_fall_back_to_the_engine() {
         );
     }
     // Worst case: everything on one module.
-    let clustered = Planner::baseline(Interleaved::new(3), 3);
+    let clustered = Planner::baseline(Interleaved::new(3).unwrap(), 3);
     let vec = VectorSpec::new(0, 8, 64).unwrap();
     let plan = clustered.plan(&vec, Strategy::Canonical).unwrap();
     assert_equivalent(cfg, &plan, "fully clustered");
@@ -91,7 +91,7 @@ fn buffered_and_multiport_configs_are_identical() {
     // Multi-port memory: the shortcut must not engage (it models one
     // port); results still identical because the engine runs.
     let dual = MemConfig::new(6, 3).unwrap().with_ports(2).unwrap();
-    let wide = Planner::baseline(Interleaved::new(6), 3);
+    let wide = Planner::baseline(Interleaved::new(6).unwrap(), 3);
     let plan = wide
         .plan(&VectorSpec::new(0, 1, 128).unwrap(), Strategy::Canonical)
         .unwrap();

@@ -72,7 +72,7 @@ fn trace_event_ordering_per_element() {
 /// back-pressures: total busy time still equals served × T.
 #[test]
 fn module_busy_accounting() {
-    let planner = Planner::baseline(Interleaved::new(2), 3);
+    let planner = Planner::baseline(Interleaved::new(2).unwrap(), 3);
     let vec = VectorSpec::new(0, 4, 32).unwrap(); // all in module 0
     let plan = planner.plan(&vec, Strategy::Canonical).unwrap();
     let stats = MemorySystem::new(MemConfig::new(2, 3).unwrap()).run_plan(&plan);
@@ -103,7 +103,7 @@ fn bus_delivers_one_per_cycle() {
 /// Multi-port: with p ports, up to p deliveries per cycle, never more.
 #[test]
 fn multi_port_delivery_cap() {
-    let planner = Planner::baseline(Interleaved::new(6), 3);
+    let planner = Planner::baseline(Interleaved::new(6).unwrap(), 3);
     let vec = VectorSpec::new(0, 1, 128).unwrap();
     let plan = planner.plan(&vec, Strategy::Canonical).unwrap();
     for ports in [2usize, 4] {

@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut schemes: Vec<(&str, BatchRunner)> = vec![
         (
             "interleaved M=8",
-            BatchRunner::new(Planner::baseline(Interleaved::new(3), 3), mem8),
+            BatchRunner::new(Planner::baseline(Interleaved::new(3)?, 3), mem8),
         ),
         (
             "pseudo-random M=8",

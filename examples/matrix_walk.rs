@@ -35,8 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Recommended parameters: s = λ − t = 3, y = 2(λ−t) + 1 = 7.
     // One long-lived session per memory scheme; every walk below reuses
     // the scheme's system and plan buffers.
-    let mut interleaved = BatchRunner::new(Planner::baseline(Interleaved::new(3), 3), mem8);
-    let mut skewed = BatchRunner::new(Planner::baseline(Skewed::new(3, 1), 3), mem8);
+    let mut interleaved = BatchRunner::new(Planner::baseline(Interleaved::new(3)?, 3), mem8);
+    let mut skewed = BatchRunner::new(Planner::baseline(Skewed::new(3, 1)?, 3), mem8);
     let mut matched = BatchRunner::new(Planner::matched(XorMatched::new(3, 3)?), mem8);
     let mut unmatched = BatchRunner::new(Planner::unmatched(XorUnmatched::new(3, 3, 7)?), mem64);
 

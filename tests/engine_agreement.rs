@@ -1,0 +1,151 @@
+//! Property suite: the three simulation engines (`Cycle` oracle,
+//! `Event` queue, `FastPath` shortcut) agree bit-for-bit on randomly
+//! generated plans — across all seven `ModuleMap` implementations —
+//! and on synthetic request streams that mix conflict-free windows
+//! with bursts to a single module.
+
+use cfva::core::mapping::{
+    Interleaved, Linear, PseudoRandom, RegionMap, Skewed, XorMatched, XorUnmatched,
+};
+use cfva::core::plan::{Planner, Strategy};
+use cfva::memsim::{Engine, MemConfig, MemorySystem};
+use cfva::{Addr, ModuleId, Stride, VectorSpec};
+use proptest::prelude::*;
+
+/// One planner + memory configuration per `ModuleMap` implementation.
+fn planner_for(kind: usize) -> (Planner, MemConfig) {
+    let cfg8 = MemConfig::new(3, 3).expect("valid");
+    match kind {
+        0 => (
+            Planner::baseline(Interleaved::new(3).expect("m in range"), 3),
+            cfg8,
+        ),
+        1 => (
+            Planner::baseline(Skewed::new(3, 1).expect("m in range"), 3),
+            cfg8,
+        ),
+        2 => (
+            Planner::matched(XorMatched::new(3, 4).expect("valid")),
+            cfg8,
+        ),
+        3 => (
+            Planner::unmatched(XorUnmatched::new(3, 4, 9).expect("valid")),
+            MemConfig::new(6, 3).expect("valid"),
+        ),
+        4 => (
+            Planner::baseline(
+                Linear::new(vec![0b1_0010_1101, 0b0_1101_1010, 0b1_1000_0111]).expect("full rank"),
+                3,
+            ),
+            cfg8,
+        ),
+        5 => (
+            Planner::baseline(PseudoRandom::with_default_poly(3).expect("valid"), 3),
+            cfg8,
+        ),
+        6 => (
+            Planner::baseline(
+                RegionMap::new(3, 10, 3)
+                    .expect("valid")
+                    .with_region(1, 6)
+                    .expect("valid"),
+                3,
+            ),
+            cfg8,
+        ),
+        _ => unreachable!("seven map kinds"),
+    }
+}
+
+/// Runs one plan through all three engines on fresh systems and
+/// asserts identical statistics.
+fn engines_agree_on_plan(
+    planner: &Planner,
+    cfg: MemConfig,
+    vec: &VectorSpec,
+    strategy: Strategy,
+) -> Result<(), TestCaseError> {
+    let Ok(plan) = planner.plan(vec, strategy) else {
+        // Strategy cannot serve the access (e.g. family outside the
+        // window for ConflictFree): nothing to compare.
+        return Ok(());
+    };
+    let oracle = MemorySystem::new(cfg).run_plan(&plan);
+    let event = MemorySystem::new(cfg.with_engine(Engine::Event)).run_plan(&plan);
+    let fast = MemorySystem::new(cfg.with_engine(Engine::FastPath)).run_plan(&plan);
+    prop_assert_eq!(&oracle, &event, "cycle vs event");
+    prop_assert_eq!(&oracle, &fast, "cycle vs fast-path");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random plans over all seven maps, strategies and queue shapes:
+    /// identical `AccessStats` from all three engines.
+    #[test]
+    fn engines_agree_on_random_plans(
+        kind in 0usize..7,
+        x in 0u32..=7,
+        sigma in prop::sample::select(vec![1i64, 3, 5, 7, 9]),
+        base in 0u64..10_000,
+        lambda in 4u32..=7,
+        strategy in prop::sample::select(vec![
+            Strategy::Canonical,
+            Strategy::Auto,
+            Strategy::ConflictFree,
+            Strategy::Subsequence,
+        ]),
+        q_in in 1usize..=3,
+        q_out in 1usize..=2,
+    ) {
+        let (planner, cfg) = planner_for(kind);
+        let cfg = cfg.with_queues(q_in, q_out).expect("nonzero queues");
+        let stride = Stride::from_parts(sigma, x).expect("odd sigma");
+        let vec = VectorSpec::with_stride(base.into(), stride, 1 << lambda).expect("valid");
+        engines_agree_on_plan(&planner, cfg, &vec, strategy)?;
+    }
+
+    /// Synthetic request streams alternating conflict-free rotations
+    /// with bursts pinned to one module — the mixed regime where the
+    /// event engine flips between per-cycle processing and closed-form
+    /// stall skips.
+    #[test]
+    fn engines_agree_on_mixed_window_burst_streams(
+        m in 1u32..=3,
+        t in 1u32..=5,
+        cf_window in 1u64..=16,
+        burst in 1u64..=16,
+        burst_module in 0u64..8,
+        q_in in 1usize..=3,
+        q_out in 1usize..=2,
+        len in 1u64..=96,
+    ) {
+        let module_count = 1u64 << m;
+        let burst_module = burst_module % module_count;
+        let cfg = MemConfig::new(m, t)
+            .expect("valid")
+            .with_queues(q_in, q_out)
+            .expect("nonzero queues");
+
+        // Element i takes a rotating module during conflict-free
+        // phases and the pinned module during burst phases.
+        let period = cf_window + burst;
+        let stream: Vec<(u64, Addr, ModuleId)> = (0..len)
+            .map(|i| {
+                let module = if i % period < cf_window {
+                    i % module_count
+                } else {
+                    burst_module
+                };
+                (i, Addr::new(i), ModuleId::new(module))
+            })
+            .collect();
+
+        let oracle = MemorySystem::new(cfg).run_requests(&stream);
+        let event = MemorySystem::new(cfg.with_engine(Engine::Event)).run_requests(&stream);
+        let fast = MemorySystem::new(cfg.with_engine(Engine::FastPath)).run_requests(&stream);
+        prop_assert_eq!(&oracle, &event, "cycle vs event");
+        prop_assert_eq!(&oracle, &fast, "cycle vs fast-path");
+    }
+}

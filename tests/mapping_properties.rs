@@ -36,14 +36,14 @@ fn assert_balanced<M: ModuleMap>(map: &M) {
 fn every_module_map_implementation_is_balanced_over_one_period() {
     // 1. Low-order interleaving.
     for m in 1..=6u32 {
-        assert_balanced(&Interleaved::new(m));
+        assert_balanced(&Interleaved::new(m).unwrap());
     }
 
     // 2. Row-rotation skewing (including degenerate skew 0 and skews
     //    larger than the module count).
     for m in 1..=5u32 {
         for skew in [0u64, 1, 2, 3, 7, 11] {
-            assert_balanced(&Skewed::new(m, skew));
+            assert_balanced(&Skewed::new(m, skew).unwrap());
         }
     }
 
@@ -111,7 +111,7 @@ proptest! {
 
     #[test]
     fn skewed_is_balanced(m in 1u32..=4, skew in 0u64..16) {
-        assert_balanced(&Skewed::new(m, skew));
+        assert_balanced(&Skewed::new(m, skew).unwrap());
     }
 
     /// The closed-form period is a true period of the module sequence:
@@ -148,7 +148,7 @@ proptest! {
         let lu = Linear::xor_unmatched(2, 3, 7).unwrap();
         prop_assert_eq!(xu.module_of(a), lu.module_of(a));
 
-        let il = Interleaved::new(4);
+        let il = Interleaved::new(4).unwrap();
         let li = Linear::interleaved(4).unwrap();
         prop_assert_eq!(il.module_of(a), li.module_of(a));
     }
