@@ -1,11 +1,20 @@
 //! Address-mapping throughput: the module-number computation sits on
 //! the critical path of every memory request, so it must be a handful
 //! of gate delays (here: a handful of ALU ops).
+//!
+//! The `map_stride_into` group measures the bulk mapping API against
+//! the per-element `module_of` loop over a `&dyn ModuleMap` — the
+//! delta `Planner::plan_into` gains by resolving all modules of a plan
+//! through one virtual call (periodic head + cyclic copy) instead of
+//! one call per element.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use cfva_core::mapping::{Interleaved, Linear, ModuleMap, Skewed, XorMatched, XorUnmatched};
-use cfva_core::Addr;
+use cfva_core::mapping::{
+    Interleaved, Linear, ModuleMap, PseudoRandom, RegionMap, Skewed, XorMatched, XorUnmatched,
+};
+use cfva_core::plan::{AccessPlan, Planner, Strategy};
+use cfva_core::{Addr, ModuleId, VectorSpec};
 
 fn bench_maps(c: &mut Criterion) {
     let mut group = c.benchmark_group("module_of");
@@ -69,5 +78,79 @@ fn bench_maps(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_maps);
+/// Bulk stride mapping vs the per-element virtual-call loop, per map.
+fn bench_bulk_mapping(c: &mut Criterion) {
+    const LEN: usize = 4096;
+    let maps: Vec<(&str, Box<dyn ModuleMap>)> = vec![
+        ("interleaved", Box::new(Interleaved::new(3).expect("valid"))),
+        ("skewed", Box::new(Skewed::new(3, 1).expect("valid"))),
+        (
+            "xor_matched",
+            Box::new(XorMatched::new(3, 4).expect("valid")),
+        ),
+        (
+            "xor_unmatched",
+            Box::new(XorUnmatched::new(3, 4, 9).expect("valid")),
+        ),
+        (
+            "linear_matrix",
+            Box::new(Linear::xor_unmatched(3, 4, 9).expect("valid")),
+        ),
+        (
+            "pseudo_random",
+            Box::new(PseudoRandom::with_default_poly(3).expect("valid")),
+        ),
+        (
+            "region",
+            Box::new(
+                RegionMap::new(3, 20, 3)
+                    .expect("valid")
+                    .with_region(1, 6)
+                    .expect("valid"),
+            ),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("map_stride_into");
+    group.throughput(Throughput::Elements(LEN as u64));
+    let base = Addr::new(16);
+    let stride = 12i64;
+    for (name, map) in &maps {
+        let map: &dyn ModuleMap = map.as_ref();
+        let mut out = vec![ModuleId::new(0); LEN];
+        group.bench_function(BenchmarkId::new(format!("{name}_per_element"), LEN), |b| {
+            b.iter(|| {
+                let mut addr = base.get();
+                for slot in out.iter_mut() {
+                    *slot = map.module_of(black_box(Addr::new(addr)));
+                    addr = addr.wrapping_add_signed(stride);
+                }
+            })
+        });
+        group.bench_function(BenchmarkId::new(format!("{name}_bulk"), LEN), |b| {
+            b.iter(|| map.map_stride_into(black_box(base), black_box(stride), &mut out))
+        });
+    }
+    group.finish();
+
+    // The downstream payoff: plan construction through the reused
+    // buffer, which now performs one map_stride_into call per plan.
+    let mut group = c.benchmark_group("plan_into");
+    group.throughput(Throughput::Elements(LEN as u64));
+    let planner = Planner::matched(XorMatched::new(3, 4).expect("valid"));
+    let vec = VectorSpec::new(16, 12, LEN as u64).expect("valid");
+    let mut plan = AccessPlan::new();
+    for strategy in [Strategy::Canonical, Strategy::ConflictFree] {
+        group.bench_function(BenchmarkId::new(format!("{strategy}"), LEN), |b| {
+            b.iter(|| {
+                planner
+                    .plan_into(black_box(&vec), strategy, &mut plan)
+                    .expect("plannable")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maps, bench_bulk_mapping);
 criterion_main!(benches);

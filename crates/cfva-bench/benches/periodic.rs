@@ -1,0 +1,75 @@
+//! Periodic steady-state fast-forward engine vs the event-queue engine
+//! (and the cycle oracle), on the long-vector regimes the extrapolation
+//! targets. The headline numbers here have an *enforced* twin:
+//! `cfva-memsim/tests/periodic_engine.rs` asserts ≥ 3× over the event
+//! engine on long-vector conflicted strides.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cfva_core::mapping::{Interleaved, XorMatched};
+use cfva_core::plan::{Planner, Strategy};
+use cfva_core::VectorSpec;
+use cfva_memsim::{AccessStats, Engine, MemConfig, MemorySystem};
+
+fn bench_periodic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("periodic");
+
+    // Long-vector conflicted stride: family x = 2 in canonical order on
+    // the eq. (1) map — conflicted but not serialized, so the event
+    // engine still processes nearly every cycle. P_x = 32; lengths are
+    // 16..256 periods.
+    let planner = Planner::matched(XorMatched::new(3, 4).expect("valid"));
+    let cfg = MemConfig::new(3, 3).expect("valid");
+    for len in [512u64, 2048, 8192] {
+        let vec = VectorSpec::new(16, 12, len).expect("valid");
+        let plan = planner.plan(&vec, Strategy::Canonical).expect("plans");
+        group.throughput(Throughput::Elements(len));
+        for engine in [Engine::Event, Engine::Periodic] {
+            let mut sys = MemorySystem::new(cfg.with_engine(engine));
+            let mut out = AccessStats::default();
+            group.bench_function(
+                BenchmarkId::new(format!("conflicted_x2_{engine}"), len),
+                |b| b.iter(|| sys.run_plan_into(black_box(&plan), &mut out)),
+            );
+        }
+    }
+
+    // Fully serialized worst case: stride = M on low-order interleaving
+    // (module-sequence period 1), long service time T = 64.
+    let planner = Planner::baseline(Interleaved::new(3).expect("m in range"), 6);
+    let cfg = MemConfig::new(3, 6).expect("valid");
+    for len in [1024u64, 4096] {
+        let vec = VectorSpec::new(0, 8, len).expect("valid");
+        let plan = planner.plan(&vec, Strategy::Canonical).expect("plans");
+        group.throughput(Throughput::Elements(len));
+        for engine in [Engine::Event, Engine::Periodic] {
+            let mut sys = MemorySystem::new(cfg.with_engine(engine));
+            let mut out = AccessStats::default();
+            group.bench_function(BenchmarkId::new(format!("one_module_{engine}"), len), |b| {
+                b.iter(|| sys.run_plan_into(black_box(&plan), &mut out))
+            });
+        }
+    }
+
+    // Conflict-free replay plan: period T, zero conflicts — the
+    // periodic engine extrapolates it just as well (FastPath would
+    // shortcut it entirely; shown for scale).
+    let planner = Planner::matched(XorMatched::new(3, 4).expect("valid"));
+    let cfg = MemConfig::new(3, 3).expect("valid");
+    let vec = VectorSpec::new(16, 12, 4096).expect("valid");
+    let plan = planner.plan(&vec, Strategy::ConflictFree).expect("window");
+    group.throughput(Throughput::Elements(4096));
+    for engine in [Engine::Event, Engine::Periodic, Engine::FastPath] {
+        let mut sys = MemorySystem::new(cfg.with_engine(engine));
+        let mut out = AccessStats::default();
+        group.bench_function(
+            BenchmarkId::new(format!("conflict_free_{engine}"), 4096u64),
+            |b| b.iter(|| sys.run_plan_into(black_box(&plan), &mut out)),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_periodic);
+criterion_main!(benches);

@@ -83,16 +83,19 @@ struct MeasureScratch {
 
 impl MeasureScratch {
     fn new(mem: MemConfig) -> Self {
-        // Sessions default to `Engine::FastPath`: conflict-free
-        // accesses take the verified one-pass shortcut and conflicted
-        // ones run on the event-queue engine — both bit-identical to
-        // the cycle oracle (equivalence suites in
-        // cfva-memsim/tests/{fast_path,event_engine}.rs) at a fraction
-        // of the cost. A `mem` carrying `Engine::Event` or
-        // `Engine::FastPath` via `MemConfig::with_engine` is honored
-        // as-is. `Engine::Cycle` is indistinguishable from the config
-        // default and therefore CANNOT be requested through the
-        // config: a verification-grade session must call
+        // Sessions default to `Engine::FastPath`, the head of the
+        // FastPath → Periodic → Event chain: conflict-free accesses
+        // take the verified one-pass shortcut, long conflicted
+        // accesses fast-forward their steady-state periods in closed
+        // form, and everything else runs on the event-queue engine —
+        // all bit-identical to the cycle oracle (equivalence suites in
+        // cfva-memsim/tests/{fast_path,event_engine,periodic_engine}.rs)
+        // at a fraction of the cost. A `mem` carrying `Engine::Event`,
+        // `Engine::Periodic` or `Engine::FastPath` via
+        // `MemConfig::with_engine` is honored as-is. `Engine::Cycle`
+        // is indistinguishable from the config default and therefore
+        // CANNOT be requested through the config: a
+        // verification-grade session must call
         // `BatchRunner::set_engine(Engine::Cycle)` after construction
         // (as the `window` experiment does).
         let mut system = MemorySystem::new(mem);
@@ -281,11 +284,13 @@ impl BatchRunner {
     }
 
     /// Selects the simulation engine for this session. Sessions start
-    /// on [`Engine::FastPath`] (conflict-free shortcut, event-queue
-    /// engine for conflicted accesses); pick [`Engine::Cycle`] for
-    /// verification-grade sweeps that must run the per-cycle oracle on
-    /// every access, or [`Engine::Event`] to force the event engine
-    /// even on conflict-free streams.
+    /// on [`Engine::FastPath`] — the `FastPath → Periodic → Event`
+    /// chain: the verified conflict-free shortcut, then steady-state
+    /// period fast-forwarding, then the plain event queue. Pick
+    /// [`Engine::Cycle`] for verification-grade sweeps that must run
+    /// the per-cycle oracle on every access, [`Engine::Event`] to
+    /// force the event engine, or [`Engine::Periodic`] to skip the
+    /// conflict-free shortcut but keep period extrapolation.
     pub fn set_engine(&mut self, engine: Engine) {
         self.scratch.system.set_engine(engine);
     }
@@ -421,7 +426,45 @@ impl BatchRunner {
     /// `points.iter().map(|p| run(&mut session, p))` **provided each
     /// point is self-contained** — any randomness must be seeded per
     /// point (see `tests/batch_runner.rs`), never threaded through a
-    /// shared RNG.
+    /// shared RNG. The other half of the guarantee is the **chunked**
+    /// (contiguous, not interleaved) work distribution: each worker
+    /// owns one contiguous run of points and results are concatenated
+    /// in chunk order, so the output `Vec` is exactly the serial
+    /// output regardless of which worker finishes first. An
+    /// interleaved (round-robin) distribution would reorder nothing
+    /// either — but only because results are written back by index;
+    /// chunking additionally keeps each session's warm-up amortised
+    /// over a contiguous run and is what this crate pins.
+    ///
+    /// ```
+    /// use cfva_bench::runner::BatchRunner;
+    /// use cfva_core::mapping::XorMatched;
+    /// use cfva_core::plan::{Planner, Strategy};
+    /// use cfva_core::VectorSpec;
+    /// use cfva_memsim::MemConfig;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let make = || {
+    ///     BatchRunner::new(
+    ///         Planner::matched(XorMatched::new(2, 2).unwrap()),
+    ///         MemConfig::new(2, 2).unwrap(),
+    ///     )
+    /// };
+    /// let points: Vec<u64> = (0..13).collect();
+    /// let run = |session: &mut BatchRunner, p: &u64| {
+    ///     let vec = VectorSpec::new(3 + 8 * p, 4, 16).unwrap();
+    ///     session.measure(&vec, Strategy::Auto).unwrap().latency
+    /// };
+    ///
+    /// // Serial reference...
+    /// let mut session = make();
+    /// let serial: Vec<u64> = points.iter().map(|p| run(&mut session, p)).collect();
+    /// // ...equals the parallel sweep, in the same point order.
+    /// let parallel = BatchRunner::sweep_with_threads(4, make, &points, run);
+    /// assert_eq!(parallel, serial);
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn sweep<P, R>(
         make_session: impl Fn() -> BatchRunner + Sync,
         points: &[P],
@@ -641,7 +684,13 @@ mod tests {
     #[test]
     fn all_session_engines_measure_identically() {
         let mem = MemConfig::new(3, 3).unwrap();
-        let mut sessions: Vec<BatchRunner> = [Engine::Cycle, Engine::Event, Engine::FastPath]
+        let engines = [
+            Engine::Cycle,
+            Engine::Event,
+            Engine::Periodic,
+            Engine::FastPath,
+        ];
+        let mut sessions: Vec<BatchRunner> = engines
             .into_iter()
             .map(|engine| {
                 let mut s = BatchRunner::new(Planner::matched(XorMatched::new(3, 4).unwrap()), mem);
@@ -656,14 +705,12 @@ mod tests {
                     .iter_mut()
                     .map(|s| s.measure_owned(&vec, strategy))
                     .collect();
-                assert_eq!(
-                    results[0], results[1],
-                    "cycle vs event: base {base} stride {stride} {strategy}"
-                );
-                assert_eq!(
-                    results[0], results[2],
-                    "cycle vs fast-path: base {base} stride {stride} {strategy}"
-                );
+                for (engine, result) in engines.iter().zip(&results).skip(1) {
+                    assert_eq!(
+                        &results[0], result,
+                        "cycle vs {engine}: base {base} stride {stride} {strategy}"
+                    );
+                }
             }
         }
     }

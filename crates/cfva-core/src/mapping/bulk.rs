@@ -1,0 +1,110 @@
+//! Shared machinery for the specialised
+//! [`ModuleMap::map_stride_into`](super::ModuleMap::map_stride_into)
+//! overrides.
+//!
+//! Every map only reads the low `used` address bits, so the module
+//! sequence of a constant-stride walk repeats after
+//! `P = 2^{used − x}` elements (`x` = stride family exponent): adding
+//! `P·S = σ·2^{used}` changes only bits the map never reads. The
+//! overrides therefore compute **at most one period directly** and fill
+//! the remainder of the output by cyclic copying — a per-stride
+//! precomputed table of module numbers extended by `memcpy` doubling.
+
+use crate::address::{Addr, ModuleId};
+
+/// Number of leading elements that must be computed directly before the
+/// rest of `len` slots can be filled by cyclic copying: one full period
+/// of the module sequence for this stride's family, clamped to `len`
+/// when the period does not fit.
+///
+/// `stride` must be nonzero (callers special-case zero strides).
+pub(crate) fn head_len(used_bits: u32, stride: i64, len: usize) -> usize {
+    debug_assert!(stride != 0, "zero strides are handled by the caller");
+    let x = stride.unsigned_abs().trailing_zeros();
+    if x >= used_bits {
+        // The stride only moves bits the map never reads: every element
+        // lands in the same module.
+        return len.min(1);
+    }
+    let exp = used_bits - x;
+    if exp >= usize::BITS {
+        len
+    } else {
+        (1usize << exp).min(len)
+    }
+}
+
+/// Extends the periodic prefix `out[..period]` over the whole slice by
+/// doubling copies (`memcpy`, not per-element stores).
+///
+/// `period` must be a true period of the intended sequence and at least
+/// 1 for a nonempty slice.
+pub(crate) fn extend_cyclic(out: &mut [ModuleId], period: usize) {
+    let mut filled = period;
+    while filled < out.len() {
+        let (src, dst) = out.split_at_mut(filled);
+        let n = src.len().min(dst.len());
+        dst[..n].copy_from_slice(&src[..n]);
+        filled += n;
+    }
+}
+
+/// The shared driver: computes the head of the walk directly with
+/// `module_at` (a tight, monomorphic per-address closure) and extends it
+/// cyclically.
+pub(crate) fn fill_stride(
+    base: Addr,
+    stride: i64,
+    used_bits: u32,
+    out: &mut [ModuleId],
+    mut module_at: impl FnMut(u64) -> u64,
+) {
+    if out.is_empty() {
+        return;
+    }
+    if stride == 0 {
+        out.fill(ModuleId::new(module_at(base.get())));
+        return;
+    }
+    let head = head_len(used_bits, stride, out.len());
+    let mut addr = base.get();
+    for slot in &mut out[..head] {
+        *slot = ModuleId::new(module_at(addr));
+        addr = addr.wrapping_add_signed(stride);
+    }
+    extend_cyclic(out, head);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_len_is_period_clamped_to_len() {
+        // used = 6, x = 2 -> period 16.
+        assert_eq!(head_len(6, 12, 1024), 16);
+        assert_eq!(head_len(6, 12, 10), 10);
+        assert_eq!(head_len(6, -12, 1024), 16);
+        // Family at or above the used bits: constant module.
+        assert_eq!(head_len(3, 8, 100), 1);
+        assert_eq!(head_len(3, 16, 100), 1);
+        assert_eq!(head_len(3, 8, 0), 0);
+        // Periods beyond the address space: everything is head.
+        assert_eq!(head_len(63, 1, 100), 100);
+    }
+
+    #[test]
+    fn extend_cyclic_repeats_the_prefix() {
+        let mut out: Vec<ModuleId> = (0..11u64).map(ModuleId::new).collect();
+        extend_cyclic(&mut out, 3);
+        let got: Vec<u64> = out.iter().map(|m| m.get()).collect();
+        assert_eq!(got, vec![0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn fill_stride_zero_stride_repeats_base_module() {
+        let mut out = vec![ModuleId::new(99); 5];
+        fill_stride(Addr::new(13), 0, 3, &mut out, |a| a & 7);
+        assert!(out.iter().all(|m| m.get() == 5));
+    }
+}

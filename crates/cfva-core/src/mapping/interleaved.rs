@@ -72,6 +72,13 @@ impl ModuleMap for Interleaved {
     fn address_bits_used(&self) -> u32 {
         self.m
     }
+
+    fn map_stride_into(&self, base: Addr, stride: i64, out: &mut [ModuleId]) {
+        // One period computed with a mask-and-shift loop, the rest
+        // filled cyclically — no virtual call per element.
+        let mask = (1u64 << self.m) - 1;
+        super::bulk::fill_stride(base, stride, self.m, out, |a| a & mask);
+    }
 }
 
 impl fmt::Display for Interleaved {

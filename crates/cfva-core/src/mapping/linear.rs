@@ -173,6 +173,53 @@ impl ModuleMap for Linear {
     fn address_bits_used(&self) -> u32 {
         self.bits_used
     }
+
+    fn map_stride_into(&self, base: Addr, stride: i64, out: &mut [ModuleId]) {
+        if out.is_empty() {
+            return;
+        }
+        // Column form of the matrix: columns[j] = module bits fed by
+        // address bit j. GF(2) linearity gives
+        // `F(A + S) = F(A) ⊕ F(A ⊕ (A + S))`, and the XOR difference of
+        // one stride step has only a short carry chain of set bits — so
+        // each step folds a handful of column entries instead of
+        // re-evaluating every matrix row.
+        let mut columns = [0u64; 64];
+        for (i, &mask) in self.rows.iter().enumerate() {
+            let mut m = mask;
+            while m != 0 {
+                columns[m.trailing_zeros() as usize] |= 1u64 << i;
+                m &= m - 1;
+            }
+        }
+        let eval = |a: u64| {
+            let mut b = 0u64;
+            let mut m = a;
+            while m != 0 {
+                b ^= columns[m.trailing_zeros() as usize];
+                m &= m - 1;
+            }
+            b
+        };
+        if stride == 0 {
+            out.fill(ModuleId::new(eval(base.get())));
+            return;
+        }
+        let head = super::bulk::head_len(self.bits_used, stride, out.len());
+        let mut addr = base.get();
+        let mut b = eval(addr);
+        for slot in &mut out[..head] {
+            *slot = ModuleId::new(b);
+            let next = addr.wrapping_add_signed(stride);
+            let mut diff = addr ^ next;
+            while diff != 0 {
+                b ^= columns[diff.trailing_zeros() as usize];
+                diff &= diff - 1;
+            }
+            addr = next;
+        }
+        super::bulk::extend_cyclic(out, head);
+    }
 }
 
 impl fmt::Display for Linear {

@@ -34,6 +34,7 @@
 //! (`2^{s+t−x}` for the matched map, `2^{y+t−x}` for the unmatched one)
 //! fall out as special cases.
 
+mod bulk;
 mod interleaved;
 mod linear;
 mod pseudo_random;
@@ -103,6 +104,9 @@ pub trait ModuleMap {
     /// [`address_bits_used`](Self::address_bits_used). Adding
     /// `P_x · σ·2^x = σ·2^{used}` to an address only changes bits the map
     /// never reads, so the sequence repeats exactly — no carry effects.
+    /// `P_x` is a *true* period, but need not be the minimal one: some
+    /// base/σ combinations repeat earlier (the property suite in
+    /// `tests/mapping_properties.rs` pins exactly this contract).
     fn period(&self, family: StrideFamily) -> u64 {
         let used = self.address_bits_used();
         let x = family.exponent();
@@ -110,6 +114,38 @@ pub trait ModuleMap {
             1
         } else {
             1u64 << (used - x)
+        }
+    }
+
+    /// Maps a whole constant-stride address walk in one call:
+    /// `out[k] = module_of(base + k·stride)` for `0 ≤ k < out.len()`
+    /// (the requested length is the length of `out`).
+    ///
+    /// This is the bulk equivalent of calling
+    /// [`module_of`](Self::module_of) in a loop, and the mapping layer's
+    /// hot path: plan construction
+    /// ([`Planner::plan_into`](crate::plan::Planner::plan_into)) resolves
+    /// the modules of all `L` elements through **one** call here —
+    /// one virtual dispatch per plan instead of one per element.
+    ///
+    /// The default implementation is the per-element loop. Every map in
+    /// this crate overrides it with a specialised version that exploits
+    /// the periodicity of the module sequence
+    /// ([`period`](Self::period)): at most one period is computed
+    /// directly (with tight mask-and-shift loops, or incremental GF(2)
+    /// updates driven by precomputed per-address-bit column tables for
+    /// the matrix-style maps) and the rest of the slice is filled by
+    /// cyclic copying.
+    ///
+    /// `stride` may be negative (descending walks) or zero (a repeated
+    /// address); addresses advance with wrapping arithmetic, matching
+    /// [`Addr::offset`]. Implementations must produce exactly what the
+    /// per-element loop would.
+    fn map_stride_into(&self, base: Addr, stride: i64, out: &mut [ModuleId]) {
+        let mut addr = base.get();
+        for slot in out.iter_mut() {
+            *slot = self.module_of(Addr::new(addr));
+            addr = addr.wrapping_add_signed(stride);
         }
     }
 }
@@ -134,6 +170,10 @@ impl<M: ModuleMap + ?Sized> ModuleMap for &M {
     fn period(&self, family: StrideFamily) -> u64 {
         (**self).period(family)
     }
+
+    fn map_stride_into(&self, base: Addr, stride: i64, out: &mut [ModuleId]) {
+        (**self).map_stride_into(base, stride, out)
+    }
 }
 
 impl<M: ModuleMap + ?Sized> ModuleMap for Box<M> {
@@ -155,6 +195,10 @@ impl<M: ModuleMap + ?Sized> ModuleMap for Box<M> {
 
     fn period(&self, family: StrideFamily) -> u64 {
         (**self).period(family)
+    }
+
+    fn map_stride_into(&self, base: Addr, stride: i64, out: &mut [ModuleId]) {
+        (**self).map_stride_into(base, stride, out)
     }
 }
 
@@ -233,6 +277,49 @@ mod tests {
 
         // 7. RegionMap: built on XorMatched, so the same t cap applies.
         assert!(RegionMap::new(64, 10, 64).is_err());
+    }
+
+    /// `map_stride_into` (here: the specialised overrides, reached
+    /// through the `&dyn` and `Box` blanket impls) must agree with the
+    /// per-element `module_of` loop everywhere — including negative and
+    /// zero strides, which the planner never produces but the API
+    /// accepts.
+    #[test]
+    fn bulk_mapping_matches_per_element_loop() {
+        let maps: Vec<Box<dyn ModuleMap>> = vec![
+            Box::new(Interleaved::new(3).unwrap()),
+            Box::new(Skewed::new(3, 3).unwrap()),
+            Box::new(XorMatched::new(3, 4).unwrap()),
+            Box::new(XorUnmatched::new(2, 3, 7).unwrap()),
+            Box::new(Linear::new(vec![0b1_0010_1101, 0b0_1101_1010, 0b1_1000_0111]).unwrap()),
+            Box::new(PseudoRandom::with_default_poly(3).unwrap()),
+            Box::new(RegionMap::new(3, 10, 3).unwrap().with_region(1, 6).unwrap()),
+        ];
+        for map in &maps {
+            for &(base, stride) in &[
+                (0u64, 1i64),
+                (16, 12),
+                (7, 8),
+                (1000, -12),
+                (3, 160),
+                (42, 0),
+                (1 << 20, 5),
+                ((1 << 20) - 40, 12), // crosses a RegionMap boundary
+            ] {
+                for len in [0usize, 1, 7, 64, 257] {
+                    let mut bulk = vec![ModuleId::new(0); len];
+                    map.map_stride_into(Addr::new(base), stride, &mut bulk);
+                    let expect: Vec<ModuleId> = (0..len as u64)
+                        .map(|k| {
+                            map.module_of(Addr::new(
+                                base.wrapping_add_signed(stride.wrapping_mul(k as i64)),
+                            ))
+                        })
+                        .collect();
+                    assert_eq!(bulk, expect, "base {base} stride {stride} len {len}");
+                }
+            }
+        }
     }
 
     /// The validated bound keeps the default `module_count()` shift in

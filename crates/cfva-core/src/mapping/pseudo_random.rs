@@ -152,6 +152,39 @@ impl ModuleMap for PseudoRandom {
     fn address_bits_used(&self) -> u32 {
         self.residues.len() as u32
     }
+
+    fn map_stride_into(&self, base: Addr, stride: i64, out: &mut [ModuleId]) {
+        if out.is_empty() {
+            return;
+        }
+        if stride == 0 {
+            out.fill(self.module_of(base));
+            return;
+        }
+        // The residue table is exactly the GF(2) column table of this
+        // map, so each stride step folds only the columns of the carry
+        // chain: `F(A + S) = F(A) ⊕ F(A ⊕ (A + S))`.
+        let used = self.residues.len() as u32;
+        let used_mask = if used >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << used) - 1
+        };
+        let head = super::bulk::head_len(used, stride, out.len());
+        let mut addr = base.get();
+        let mut b = self.module_of(Addr::new(addr)).get();
+        for slot in &mut out[..head] {
+            *slot = ModuleId::new(b);
+            let next = addr.wrapping_add_signed(stride);
+            let mut diff = (addr ^ next) & used_mask;
+            while diff != 0 {
+                b ^= self.residues[diff.trailing_zeros() as usize];
+                diff &= diff - 1;
+            }
+            addr = next;
+        }
+        super::bulk::extend_cyclic(out, head);
+    }
 }
 
 impl fmt::Display for PseudoRandom {

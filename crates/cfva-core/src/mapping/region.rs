@@ -151,6 +151,24 @@ impl ModuleMap for RegionMap {
         let region_index_bits = 64 - (highest + 1).leading_zeros();
         self.region_bits + region_index_bits
     }
+
+    fn map_stride_into(&self, base: Addr, stride: i64, out: &mut [ModuleId]) {
+        // Regions span 2^region_bits addresses, so a stride walk stays
+        // inside one region for long runs: resolve the governing map
+        // once per region crossing instead of once per element.
+        let mut addr = base.get();
+        let mut region = addr >> self.region_bits;
+        let mut map = *self.map_at(Addr::new(addr));
+        for slot in out.iter_mut() {
+            let r = addr >> self.region_bits;
+            if r != region {
+                region = r;
+                map = *self.map_at(Addr::new(addr));
+            }
+            *slot = map.module_of(Addr::new(addr));
+            addr = addr.wrapping_add_signed(stride);
+        }
+    }
 }
 
 impl fmt::Display for RegionMap {

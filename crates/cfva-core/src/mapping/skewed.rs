@@ -93,6 +93,17 @@ impl ModuleMap for Skewed {
     fn address_bits_used(&self) -> u32 {
         2 * self.m
     }
+
+    fn map_stride_into(&self, base: Addr, stride: i64, out: &mut [ModuleId]) {
+        // One period computed with a mask-and-shift loop, the rest
+        // filled cyclically — no virtual call per element.
+        let mask = (1u64 << self.m) - 1;
+        let m = self.m;
+        let skew = self.skew;
+        super::bulk::fill_stride(base, stride, 2 * m, out, |a| {
+            a.wrapping_add(skew.wrapping_mul((a >> m) & mask)) & mask
+        });
+    }
 }
 
 impl fmt::Display for Skewed {

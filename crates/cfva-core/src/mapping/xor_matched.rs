@@ -104,6 +104,16 @@ impl ModuleMap for XorMatched {
     fn address_bits_used(&self) -> u32 {
         self.s + self.t
     }
+
+    fn map_stride_into(&self, base: Addr, stride: i64, out: &mut [ModuleId]) {
+        // One period `P_x = 2^{s+t−x}` of the XOR sequence computed
+        // directly, the rest filled cyclically.
+        let mask = (1u64 << self.t) - 1;
+        let s = self.s;
+        super::bulk::fill_stride(base, stride, self.s + self.t, out, |a| {
+            (a & mask) ^ ((a >> s) & mask)
+        });
+    }
 }
 
 impl fmt::Display for XorMatched {

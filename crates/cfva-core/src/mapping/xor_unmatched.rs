@@ -137,6 +137,16 @@ impl ModuleMap for XorUnmatched {
     fn address_bits_used(&self) -> u32 {
         self.y + self.t
     }
+
+    fn map_stride_into(&self, base: Addr, stride: i64, out: &mut [ModuleId]) {
+        // One period `P_x = 2^{y+t−x}` of the two-level sequence
+        // computed directly, the rest filled cyclically.
+        let mask = (1u64 << self.t) - 1;
+        let (t, s, y) = (self.t, self.s, self.y);
+        super::bulk::fill_stride(base, stride, y + t, out, |a| {
+            (((a >> y) & mask) << t) | ((a & mask) ^ ((a >> s) & mask))
+        });
+    }
 }
 
 impl fmt::Display for XorUnmatched {

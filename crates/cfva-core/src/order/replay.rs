@@ -101,10 +101,11 @@ pub fn replay_order<M: ModuleMap + ?Sized>(
     structure: &SubseqStructure,
     key: ReplayKey,
 ) -> Result<Vec<u64>, PlanError> {
+    let mut modules = vec![ModuleId::new(0); vec.len() as usize];
+    map.map_stride_into(vec.base(), vec.stride().get(), &mut modules);
     let mut order = Vec::new();
     replay_order_into(
-        map,
-        vec,
+        &modules,
         structure,
         key,
         &mut ReplayScratch::default(),
@@ -115,6 +116,12 @@ pub fn replay_order<M: ModuleMap + ?Sized>(
 
 /// Builds the conflict-free replay order into caller-owned storage.
 ///
+/// `modules[e]` is the module of element `e` — the element-indexed
+/// table one bulk [`ModuleMap::map_stride_into`] call produces; taking
+/// the table instead of the map keeps plan construction at one virtual
+/// mapping call per plan (the batch execution engine's hot path) and
+/// lets the planner share the table with entry resolution.
+///
 /// Allocation-free once `scratch` and `out` have grown to the working
 /// size: `out` is cleared and refilled, `scratch` is reused in place.
 /// Same semantics and errors as [`replay_order`]; on error the contents
@@ -123,18 +130,17 @@ pub fn replay_order<M: ModuleMap + ?Sized>(
 /// # Errors
 ///
 /// See [`replay_order`].
-pub fn replay_order_into<M: ModuleMap + ?Sized>(
-    map: &M,
-    vec: &VectorSpec,
+pub fn replay_order_into(
+    modules: &[ModuleId],
     structure: &SubseqStructure,
     key: ReplayKey,
     scratch: &mut ReplayScratch,
     out: &mut Vec<u64>,
 ) -> Result<(), PlanError> {
-    let periods = structure.periods_in(vec.len())?;
+    let periods = structure.periods_in(modules.len() as u64)?;
     let subseq_len = structure.subseq_len() as usize;
     out.clear();
-    out.reserve(vec.len() as usize);
+    out.reserve(modules.len());
 
     // Key sequence of the first subsequence, recorded as key -> rank.
     let key_rank = &mut scratch.key_rank;
@@ -145,7 +151,7 @@ pub fn replay_order_into<M: ModuleMap + ?Sized>(
         for j in 0..structure.subseq_count() {
             if k == 0 && j == 0 {
                 for e in structure.subsequence_elements(0, 0) {
-                    let kk = key.key_of(map.module_of(vec.element_addr(e)));
+                    let kk = key.key_of(modules[e as usize]);
                     if kk as usize >= key_rank.len() {
                         key_rank.resize(kk as usize + 1, None);
                     }
@@ -166,7 +172,7 @@ pub fn replay_order_into<M: ModuleMap + ?Sized>(
             slots.clear();
             slots.resize(subseq_len, None);
             for e in structure.subsequence_elements(k, j) {
-                let kk = key.key_of(map.module_of(vec.element_addr(e)));
+                let kk = key.key_of(modules[e as usize]);
                 let rank = key_rank.get(kk as usize).copied().flatten().ok_or(
                     PlanError::ReplayKeyCollision {
                         period: k,

@@ -51,12 +51,15 @@ impl PlanEntry {
 }
 
 /// Reusable working storage carried inside an [`AccessPlan`]: the
-/// element-order buffer and the replay scratch, reused by
-/// [`Planner::plan_into`] so repeated planning into the same plan
-/// performs no heap allocation after warm-up.
+/// element-order buffer, the element-indexed module table (filled by
+/// one bulk [`ModuleMap::map_stride_into`] call per plan) and the
+/// replay scratch, reused by [`Planner::plan_into`] so repeated
+/// planning into the same plan performs no heap allocation after
+/// warm-up.
 #[derive(Debug, Clone, Default)]
 struct PlanScratch {
     order: Vec<u64>,
+    modules: Vec<ModuleId>,
     replay: ReplayScratch,
 }
 
@@ -148,7 +151,8 @@ impl AccessPlan {
             "order must be a permutation of 0..{}",
             vec.len()
         );
-        fill_entries(&mut self.entries, map, vec, order);
+        map_elements(map, vec, &mut self.scratch.modules);
+        fill_entries(&mut self.entries, vec, &self.scratch.modules, order);
     }
 
     /// Number of requests (the vector length).
@@ -241,22 +245,29 @@ impl AccessPlan {
     }
 }
 
-/// Clears `entries` and refills it by resolving `order` under `map`.
-fn fill_entries<M: ModuleMap + ?Sized>(
+/// Bulk-maps every element of `vec` into the element-indexed `modules`
+/// table — the **single** [`ModuleMap`] virtual dispatch of plan
+/// construction ([`ModuleMap::map_stride_into`]).
+fn map_elements<M: ModuleMap + ?Sized>(map: &M, vec: &VectorSpec, modules: &mut Vec<ModuleId>) {
+    modules.clear();
+    modules.resize(vec.len() as usize, ModuleId::new(0));
+    map.map_stride_into(vec.base(), vec.stride().get(), modules);
+}
+
+/// Clears `entries` and refills it by resolving `order` against the
+/// element-indexed `modules` table (from [`map_elements`]).
+fn fill_entries(
     entries: &mut Vec<PlanEntry>,
-    map: &M,
     vec: &VectorSpec,
+    modules: &[ModuleId],
     order: &[u64],
 ) {
     entries.clear();
     entries.reserve(order.len());
-    entries.extend(order.iter().map(|&element| {
-        let addr = vec.element_addr(element);
-        PlanEntry {
-            element,
-            addr,
-            module: map.module_of(addr),
-        }
+    entries.extend(order.iter().map(|&element| PlanEntry {
+        element,
+        addr: vec.element_addr(element),
+        module: modules[element as usize],
     }));
 }
 
@@ -484,7 +495,13 @@ impl Planner {
 
     fn canonical_into(&self, vec: &VectorSpec, out: &mut AccessPlan) {
         order::canonical_order_into(vec.len(), &mut out.scratch.order);
-        fill_entries(&mut out.entries, &self.map(), vec, &out.scratch.order);
+        map_elements(self.map(), vec, &mut out.scratch.modules);
+        fill_entries(
+            &mut out.entries,
+            vec,
+            &out.scratch.modules,
+            &out.scratch.order,
+        );
     }
 
     fn subsequence_into(&self, vec: &VectorSpec, out: &mut AccessPlan) -> Result<(), PlanError> {
@@ -493,7 +510,13 @@ impl Planner {
             PlannerKind::Matched(m) => {
                 let st = SubseqStructure::for_matched(m, x)?;
                 order::subseq_order_into(&st, vec.len(), &mut out.scratch.order)?;
-                fill_entries(&mut out.entries, m, vec, &out.scratch.order);
+                map_elements(m, vec, &mut out.scratch.modules);
+                fill_entries(
+                    &mut out.entries,
+                    vec,
+                    &out.scratch.modules,
+                    &out.scratch.order,
+                );
                 Ok(())
             }
             PlannerKind::Unmatched(m) => {
@@ -503,7 +526,13 @@ impl Planner {
                     SubseqStructure::for_unmatched_upper(m, x)?
                 };
                 order::subseq_order_into(&st, vec.len(), &mut out.scratch.order)?;
-                fill_entries(&mut out.entries, m, vec, &out.scratch.order);
+                map_elements(m, vec, &mut out.scratch.modules);
+                fill_entries(
+                    &mut out.entries,
+                    vec,
+                    &out.scratch.modules,
+                    &out.scratch.order,
+                );
                 Ok(())
             }
             PlannerKind::Baseline { .. } => Err(PlanError::UnsupportedStrategy {
@@ -524,15 +553,20 @@ impl Planner {
                     return Ok(());
                 }
                 let st = SubseqStructure::for_matched(m, x)?;
+                map_elements(m, vec, &mut out.scratch.modules);
                 order::replay_order_into(
-                    m,
-                    vec,
+                    &out.scratch.modules,
                     &st,
                     ReplayKey::Module,
                     &mut out.scratch.replay,
                     &mut out.scratch.order,
                 )?;
-                fill_entries(&mut out.entries, m, vec, &out.scratch.order);
+                fill_entries(
+                    &mut out.entries,
+                    vec,
+                    &out.scratch.modules,
+                    &out.scratch.order,
+                );
                 Ok(())
             }
             PlannerKind::Unmatched(m) => {
@@ -569,15 +603,20 @@ impl Planner {
                         ReplayKey::Section { t: m.t() },
                     ),
                 };
+                map_elements(m, vec, &mut out.scratch.modules);
                 order::replay_order_into(
-                    m,
-                    vec,
+                    &out.scratch.modules,
                     &st,
                     key,
                     &mut out.scratch.replay,
                     &mut out.scratch.order,
                 )?;
-                fill_entries(&mut out.entries, m, vec, &out.scratch.order);
+                fill_entries(
+                    &mut out.entries,
+                    vec,
+                    &out.scratch.modules,
+                    &out.scratch.order,
+                );
                 Ok(())
             }
             PlannerKind::Baseline { .. } => Err(PlanError::UnsupportedStrategy {

@@ -39,20 +39,21 @@ use crate::trace::Event;
 
 /// Which simulation core executes a request stream.
 ///
-/// All three produce bit-identical [`AccessStats`] and
+/// All four produce bit-identical [`AccessStats`] and
 /// [`Trace`](crate::Trace) output; they differ only in cost:
 ///
 /// | engine | cost | role |
 /// |---|---|---|
 /// | [`Cycle`](Engine::Cycle) | `O(latency · occupied modules)` | the oracle — reference semantics, default |
 /// | [`Event`](Engine::Event) | `O(events)` | conflicted streams: queueing collapses to completion events |
-/// | [`FastPath`](Engine::FastPath) | `O(requests)` | verified conflict-free shortcut, falls back to `Event` |
+/// | [`Periodic`](Engine::Periodic) | `O(P_x + transient)` simulated | long periodic streams: steady-state periods extrapolated in closed form (`periodic.rs`); degrades to `Event` behaviour when no recurrence is found |
+/// | [`FastPath`](Engine::FastPath) | `O(requests)` | verified conflict-free shortcut, falls back to `Periodic` |
 ///
 /// Select an engine with [`MemConfig::with_engine`](crate::MemConfig::with_engine)
 /// or [`MemorySystem::set_engine`]. The batch execution engine
-/// (`cfva-bench::runner::BatchRunner`) defaults to `FastPath`, so
-/// conflict-free sweep points take the shortcut and conflicted points
-/// run event-driven.
+/// (`cfva-bench::runner::BatchRunner`) defaults to `FastPath`, so each
+/// access takes the cheapest proven path: the conflict-free shortcut,
+/// then periodic fast-forward, then the plain event queue.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum Engine {
     /// The per-cycle loop: every cycle runs the complete → bus → issue
@@ -62,9 +63,18 @@ pub enum Engine {
     Cycle,
     /// The event-queue engine of this module.
     Event,
+    /// The steady-state fast-forward engine (`periodic.rs`): the event
+    /// engine plus recurrence detection at period boundaries of the
+    /// stream's module sequence; once the queue/occupancy state recurs,
+    /// the remaining whole periods are extrapolated in closed form.
+    /// Streams with no detectable recurrence (short vectors,
+    /// queue-depth-limited transients, multi-port issue) run exactly as
+    /// [`Engine::Event`].
+    Periodic,
     /// One-pass conflict-free check yielding closed-form statistics
     /// when it holds (single port, tracing off); conflicted streams
-    /// fall back to [`Engine::Event`].
+    /// fall back to [`Engine::Periodic`] (which itself degrades to
+    /// [`Engine::Event`]).
     FastPath,
 }
 
@@ -73,6 +83,7 @@ impl fmt::Display for Engine {
         f.write_str(match self {
             Engine::Cycle => "cycle",
             Engine::Event => "event",
+            Engine::Periodic => "periodic",
             Engine::FastPath => "fast-path",
         })
     }

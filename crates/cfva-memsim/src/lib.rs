@@ -18,11 +18,14 @@
 //! paper); the integration tests assert this across the whole Theorem 1
 //! and Theorem 3 windows.
 //!
-//! Three interchangeable [`Engine`]s execute a request stream with
+//! Four interchangeable [`Engine`]s execute a request stream with
 //! bit-identical results: the per-cycle loop (the oracle, default),
 //! the event-queue engine of [`Engine::Event`] (conflicted accesses
-//! collapse to completion events), and the verified conflict-free
-//! fast path of [`Engine::FastPath`]. See the `Engine` docs and the
+//! collapse to completion events), the periodic steady-state
+//! fast-forward engine of [`Engine::Periodic`] (whole periods of long
+//! streams are extrapolated in closed form), and the verified
+//! conflict-free fast path of [`Engine::FastPath`] (which falls back
+//! through `Periodic` to `Event`). See the `Engine` docs and the
 //! equivalence suites under `tests/`.
 //!
 //! ## Example
@@ -54,6 +57,7 @@ mod config;
 mod event;
 mod module;
 pub mod multi;
+mod periodic;
 mod stats;
 mod system;
 mod trace;

@@ -136,6 +136,52 @@ impl MemModule {
         self.out_q.pop_front()
     }
 
+    /// The queued input requests, oldest first (periodic-engine state
+    /// signatures).
+    pub(crate) fn input_queue(&self) -> &VecDeque<Request> {
+        &self.in_q
+    }
+
+    /// The finished requests waiting on the bus, oldest first
+    /// (periodic-engine state signatures).
+    pub(crate) fn output_queue(&self) -> &VecDeque<Request> {
+        &self.out_q
+    }
+
+    /// The request in service and its completion cycle (periodic-engine
+    /// state signatures).
+    pub(crate) fn service_slot(&self) -> Option<(&Request, u64)> {
+        self.service.as_ref().map(|(req, ready)| (req, *ready))
+    }
+
+    /// Fast-forwards the module over extrapolated steady-state periods:
+    /// shifts every held request (and the service completion) `dt`
+    /// cycles into the future and lets `remap` rewrite each request to
+    /// its counterpart later in the stream. Counters are advanced
+    /// separately via [`add_counters`](Self::add_counters).
+    pub(crate) fn shift_queues(&mut self, dt: u64, mut remap: impl FnMut(&mut Request)) {
+        for req in &mut self.in_q {
+            req.issue_cycle += dt;
+            remap(req);
+        }
+        if let Some((req, ready)) = &mut self.service {
+            req.issue_cycle += dt;
+            *ready += dt;
+            remap(req);
+        }
+        for req in &mut self.out_q {
+            req.issue_cycle += dt;
+            remap(req);
+        }
+    }
+
+    /// Adds the statistics contribution of extrapolated steady-state
+    /// periods (periodic engine).
+    pub(crate) fn add_counters(&mut self, busy: u64, conflicts: u64) {
+        self.busy_cycles += busy;
+        self.queued_conflicts += conflicts;
+    }
+
     /// Whether the module still holds work (queued, in service, or
     /// waiting on the bus).
     pub fn is_active(&self) -> bool {

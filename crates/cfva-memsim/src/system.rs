@@ -10,6 +10,7 @@ use cfva_core::{Addr, ModuleId};
 use crate::config::MemConfig;
 use crate::event::Engine;
 use crate::module::MemModule;
+use crate::periodic::PeriodicScratch;
 use crate::stats::AccessStats;
 use crate::trace::{Event, Trace};
 
@@ -62,6 +63,9 @@ pub struct MemorySystem {
     /// the allocation. Entries are invalidated lazily (see
     /// `event.rs`).
     pub(crate) completions: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Reusable buffers of the periodic fast-forward engine (see
+    /// `periodic.rs`).
+    pub(crate) periodic: PeriodicScratch,
 }
 
 impl MemorySystem {
@@ -77,6 +81,7 @@ impl MemorySystem {
             active: Vec::new(),
             last_start: Vec::new(),
             completions: BinaryHeap::new(),
+            periodic: PeriodicScratch::default(),
         }
     }
 
@@ -84,10 +89,11 @@ impl MemorySystem {
     /// to building the system from a config carrying
     /// [`MemConfig::with_engine`]).
     ///
-    /// All three engines produce **bit-identical** [`AccessStats`] and
+    /// All four engines produce **bit-identical** [`AccessStats`] and
     /// [`Trace`](crate::Trace) output; [`Engine::Cycle`] (the default)
-    /// is the oracle the other two are verified against
-    /// (`tests/fast_path.rs`, `tests/event_engine.rs`).
+    /// is the oracle the others are verified against
+    /// (`tests/fast_path.rs`, `tests/event_engine.rs`,
+    /// `tests/periodic_engine.rs`).
     pub fn set_engine(&mut self, engine: Engine) {
         self.cfg = self.cfg.with_engine(engine);
     }
@@ -111,8 +117,11 @@ impl MemorySystem {
     /// `T + L + 1` cycles, and no queueing occurs. Those are exactly
     /// the values the cycle engine produces (asserted bit-for-bit by
     /// `tests/fast_path.rs`), at a fraction of the cost. Streams that
-    /// fail the check fall through to the event-queue engine
-    /// ([`Engine::Event`]), which makes conflicted accesses cheap too.
+    /// fail the check fall through to the periodic fast-forward engine
+    /// ([`Engine::Periodic`]), which extrapolates steady-state periods
+    /// of long conflicted streams in closed form and degrades to the
+    /// event-queue engine ([`Engine::Event`]) when no recurrence is
+    /// found.
     ///
     /// **Disabled by default** so the cycle-accurate engine remains the
     /// oracle for verification work; the batch execution engine
@@ -256,6 +265,7 @@ impl MemorySystem {
         match self.cfg.engine() {
             Engine::Cycle => self.run_cycle(n, &request, out),
             Engine::Event => self.run_event(n, &request, out),
+            Engine::Periodic => self.run_periodic(n, &request, out),
             Engine::FastPath => {
                 if !self.trace.is_enabled()
                     && self.cfg.ports() == 1
@@ -265,9 +275,12 @@ impl MemorySystem {
                     return;
                 }
                 // Conflicted (or traced / multi-port) stream: the
-                // event-queue engine takes over, so conflicted sweep
-                // points stay cheap too.
-                self.run_event(n, &request, out)
+                // periodic fast-forward engine takes over — long
+                // conflicted streams collapse to one steady-state
+                // period, and anything without a detectable recurrence
+                // runs as a plain event-queue simulation. This is the
+                // FastPath → Periodic → Event chain.
+                self.run_periodic(n, &request, out)
             }
         }
     }

@@ -1,0 +1,309 @@
+//! Equivalence suite for the periodic steady-state fast-forward engine:
+//! `Engine::Periodic` (and `Engine::FastPath`, which now falls back to
+//! it) must produce **bit-identical** `AccessStats` — and, where
+//! traced, identical `Trace` output — to the per-cycle oracle, across
+//! all seven `ModuleMap` implementations, stride families, queue
+//! depths, port counts, pathological same-module streams and the
+//! long-vector regime the extrapolation targets. Plus the enforced
+//! performance claim: ≥ 3× over the event engine on long-vector
+//! (`len ≥ 64·P_x`) conflicted strides.
+
+use std::time::Instant;
+
+use cfva_core::mapping::{
+    Interleaved, Linear, PseudoRandom, RegionMap, Skewed, XorMatched, XorUnmatched,
+};
+use cfva_core::plan::{AccessPlan, Planner, Strategy};
+use cfva_core::{Addr, ModuleId, Stride, VectorSpec};
+use cfva_memsim::{AccessStats, Engine, MemConfig, MemorySystem};
+
+/// Runs one plan through the oracle and the periodic engine (fresh and
+/// reused systems) and asserts identical statistics, then compares full
+/// traces cycle-for-cycle — the trace reconstruction of extrapolated
+/// periods must be exact.
+fn assert_periodic_equivalent(cfg: MemConfig, plan: &AccessPlan, label: &str) {
+    let oracle = MemorySystem::new(cfg).run_plan(plan);
+
+    let mut periodic = MemorySystem::new(cfg.with_engine(Engine::Periodic));
+    assert_eq!(periodic.engine(), Engine::Periodic);
+    let fast = periodic.run_plan(plan);
+    assert_eq!(oracle, fast, "{label} (periodic engine)");
+    let again = periodic.run_plan(plan);
+    assert_eq!(oracle, again, "{label} (periodic engine, reused system)");
+
+    let mut chained = MemorySystem::new(cfg.with_engine(Engine::FastPath));
+    let shortcut = chained.run_plan(plan);
+    assert_eq!(oracle, shortcut, "{label} (fast path over periodic)");
+
+    let mut traced_oracle = MemorySystem::new(cfg);
+    traced_oracle.enable_trace();
+    traced_oracle.run_plan(plan);
+    let mut traced_periodic = MemorySystem::new(cfg.with_engine(Engine::Periodic));
+    traced_periodic.enable_trace();
+    traced_periodic.run_plan(plan);
+    assert_eq!(
+        traced_oracle.trace().events(),
+        traced_periodic.trace().events(),
+        "{label} (trace)"
+    );
+}
+
+/// Runs a raw request stream through the oracle and the periodic
+/// engine.
+fn assert_stream_equivalent(cfg: MemConfig, stream: &[(u64, Addr, ModuleId)], label: &str) {
+    let oracle = MemorySystem::new(cfg).run_requests(stream);
+    let periodic = MemorySystem::new(cfg.with_engine(Engine::Periodic)).run_requests(stream);
+    assert_eq!(oracle, periodic, "{label}");
+}
+
+/// Canonical plans over a spread of families and bases — the conflicted
+/// regime the extrapolation exists for — plus the long-vector case
+/// (`len = 16·P_x`) where whole periods are actually skipped.
+fn sweep_canonical(planner: &Planner, cfg: MemConfig, label: &str) {
+    for x in 0..=6u32 {
+        for sigma in [1i64, 3, 7] {
+            for base in [0u64, 16, 37] {
+                let stride = Stride::from_parts(sigma, x).expect("odd sigma");
+                let vec = VectorSpec::with_stride(base.into(), stride, 64).expect("valid");
+                let plan = planner
+                    .plan(&vec, Strategy::Canonical)
+                    .expect("canonical always plans");
+                assert_periodic_equivalent(
+                    cfg,
+                    &plan,
+                    &format!("{label} x={x} sigma={sigma} base={base}"),
+                );
+            }
+        }
+    }
+    // Long vectors: many whole periods beyond the transient.
+    for x in [0u32, 2, 4] {
+        let stride = Stride::from_parts(3, x).expect("odd sigma");
+        let p = planner.map().period(stride.family());
+        let len = (16 * p).clamp(64, 4096);
+        let vec = VectorSpec::with_stride(11u64.into(), stride, len).expect("valid");
+        let plan = planner
+            .plan(&vec, Strategy::Canonical)
+            .expect("canonical always plans");
+        assert_periodic_equivalent(cfg, &plan, &format!("{label} long x={x} len={len}"));
+    }
+}
+
+#[test]
+fn interleaved_map_is_identical() {
+    let planner = Planner::baseline(Interleaved::new(3).unwrap(), 3);
+    sweep_canonical(&planner, MemConfig::new(3, 3).unwrap(), "interleaved");
+}
+
+#[test]
+fn skewed_map_is_identical() {
+    for skew in [0u64, 1, 3] {
+        let planner = Planner::baseline(Skewed::new(3, skew).unwrap(), 3);
+        sweep_canonical(
+            &planner,
+            MemConfig::new(3, 3).unwrap(),
+            &format!("skewed d={skew}"),
+        );
+    }
+}
+
+#[test]
+fn xor_matched_map_is_identical() {
+    let planner = Planner::matched(XorMatched::new(3, 4).unwrap());
+    let cfg = MemConfig::new(3, 3).unwrap();
+    sweep_canonical(&planner, cfg, "xor-matched canonical");
+    // Out-of-order conflict-free and subsequence plans too.
+    for x in 0..=4u32 {
+        let stride = Stride::from_parts(3, x).unwrap();
+        let vec = VectorSpec::with_stride(16u64.into(), stride, 128).unwrap();
+        for strategy in [Strategy::ConflictFree, Strategy::Subsequence] {
+            let plan = planner.plan(&vec, strategy).expect("in window");
+            assert_periodic_equivalent(cfg, &plan, &format!("xor-matched {strategy} x={x}"));
+        }
+    }
+}
+
+#[test]
+fn xor_unmatched_map_is_identical() {
+    let planner = Planner::unmatched(XorUnmatched::new(3, 4, 9).unwrap());
+    let cfg = MemConfig::new(6, 3).unwrap();
+    sweep_canonical(&planner, cfg, "xor-unmatched canonical");
+    for x in [0u32, 4, 7, 9] {
+        let stride = Stride::from_parts(3, x).unwrap();
+        let vec = VectorSpec::with_stride(77u64.into(), stride, 128).unwrap();
+        let plan = planner.plan(&vec, Strategy::ConflictFree).expect("window");
+        assert_periodic_equivalent(cfg, &plan, &format!("xor-unmatched cf x={x}"));
+    }
+}
+
+#[test]
+fn linear_map_is_identical() {
+    let map = Linear::new(vec![0b1_0010_1101, 0b0_1101_1010, 0b1_1000_0111]).unwrap();
+    let planner = Planner::baseline(map, 3);
+    sweep_canonical(&planner, MemConfig::new(3, 3).unwrap(), "linear");
+}
+
+#[test]
+fn pseudo_random_map_is_identical() {
+    let planner = Planner::baseline(PseudoRandom::with_default_poly(3).unwrap(), 3);
+    sweep_canonical(&planner, MemConfig::new(3, 3).unwrap(), "pseudo-random");
+}
+
+#[test]
+fn region_map_is_identical() {
+    let map = RegionMap::new(3, 10, 3).unwrap().with_region(1, 6).unwrap();
+    let planner = Planner::baseline(map, 3);
+    sweep_canonical(&planner, MemConfig::new(3, 3).unwrap(), "region");
+}
+
+#[test]
+fn queue_depths_and_ports_are_identical() {
+    let planner = Planner::matched(XorMatched::new(3, 4).unwrap());
+    let vec = VectorSpec::new(16, 12, 512).unwrap();
+    for (q_in, q_out) in [(1usize, 1usize), (2, 1), (1, 2), (4, 4), (8, 2)] {
+        let cfg = MemConfig::new(3, 3)
+            .unwrap()
+            .with_queues(q_in, q_out)
+            .unwrap();
+        for strategy in [Strategy::Canonical, Strategy::Subsequence] {
+            let plan = planner.plan(&vec, strategy).unwrap();
+            assert_periodic_equivalent(cfg, &plan, &format!("q={q_in} q'={q_out} {strategy}"));
+        }
+    }
+    // Multi-port memories: boundary detection is request-anchored, so
+    // the periodic engine must run these as plain event simulations —
+    // still bit-identical.
+    let wide = Planner::baseline(Interleaved::new(6).unwrap(), 3);
+    let plan = wide
+        .plan(&VectorSpec::new(0, 1, 128).unwrap(), Strategy::Canonical)
+        .unwrap();
+    for ports in [1usize, 2, 4] {
+        let cfg = MemConfig::new(6, 3).unwrap().with_ports(ports).unwrap();
+        assert_periodic_equivalent(cfg, &plan, &format!("ports={ports}"));
+    }
+}
+
+#[test]
+fn pathological_same_module_streams_are_identical() {
+    // Everything lands on one module: period 1, steady state after the
+    // queue fills — the deepest extrapolation regime.
+    for (m, t) in [(3u32, 3u32), (3, 6), (2, 4)] {
+        let cfg = MemConfig::new(m, t).unwrap();
+        for len in [1u64, 2, 7, 64, 1024] {
+            let stream: Vec<(u64, Addr, ModuleId)> = (0..len)
+                .map(|i| (i, Addr::new(i << m), ModuleId::new(0)))
+                .collect();
+            assert_stream_equivalent(cfg, &stream, &format!("one-module m={m} t={t} len={len}"));
+        }
+        // Two modules, alternating burst lengths (period 13).
+        let stream: Vec<(u64, Addr, ModuleId)> = (0..512u64)
+            .map(|i| (i, Addr::new(i), ModuleId::new(u64::from(i % 13 < 7))))
+            .collect();
+        assert_stream_equivalent(cfg, &stream, &format!("two-module bursts m={m} t={t}"));
+    }
+    // Deep queues in front of one module.
+    let cfg = MemConfig::new(3, 3).unwrap().with_queues(4, 2).unwrap();
+    let stream: Vec<(u64, Addr, ModuleId)> = (0..512u64)
+        .map(|i| (i, Addr::new(i * 8), ModuleId::new(0)))
+        .collect();
+    assert_stream_equivalent(cfg, &stream, "one-module deep queues");
+}
+
+#[test]
+fn aperiodic_and_tiny_streams_are_identical() {
+    let cfg = MemConfig::new(3, 3).unwrap();
+    assert_periodic_equivalent(cfg, &AccessPlan::new(), "empty plan");
+    let stream = [(0u64, Addr::new(5), ModuleId::new(3))];
+    assert_stream_equivalent(cfg, &stream, "single request");
+    // An aperiodic module sequence: detection never fires, the run is a
+    // plain event simulation.
+    let stream: Vec<(u64, Addr, ModuleId)> = (0..64u64)
+        .map(|i| (i, Addr::new(i), ModuleId::new((i * i + i / 3) % 8)))
+        .collect();
+    assert_stream_equivalent(cfg, &stream, "aperiodic stream");
+    // Periodic but with a one-off perturbation: the module sequence's
+    // minimal period degenerates to ~n, so no extrapolation applies.
+    let stream: Vec<(u64, Addr, ModuleId)> = (0..96u64)
+        .map(|i| {
+            let m = if i == 61 { 5 } else { i % 4 };
+            (i, Addr::new(i), ModuleId::new(m))
+        })
+        .collect();
+    assert_stream_equivalent(cfg, &stream, "perturbed periodic stream");
+}
+
+#[test]
+fn non_pow2_lengths_leave_a_tail_to_simulate() {
+    // Lengths that are not multiples of the period exercise the tail
+    // resume after fast-forwarding: the in-flight queue contents must
+    // be remapped onto the correct late-stream requests.
+    let planner = Planner::baseline(Interleaved::new(3).unwrap(), 3);
+    let cfg = MemConfig::new(3, 3).unwrap();
+    for len in [65u64, 100, 250, 1000, 1023] {
+        for stride in [2i64, 4, 8] {
+            let vec = VectorSpec::new(5, stride, len).unwrap();
+            let plan = planner.plan(&vec, Strategy::Canonical).unwrap();
+            assert_periodic_equivalent(cfg, &plan, &format!("tail len={len} stride={stride}"));
+        }
+    }
+}
+
+/// The enforced performance claim of the periodic engine: on a
+/// long-vector conflicted stride (`len ≥ 64·P_x`), it must beat the
+/// event-queue engine by at least 3×. The bench twin lives in
+/// `cfva-bench/benches/periodic.rs`.
+#[test]
+fn periodic_engine_at_least_3x_faster_on_long_conflicted_stride() {
+    // Stride 12 (family x = 2) in canonical order on the eq. (1) map:
+    // conflicted but not serialized — the regime where the event engine
+    // still processes nearly every cycle. P_x = 2^{4+3-2} = 32;
+    // len = 64 · P_x = 2048.
+    let planner = Planner::matched(XorMatched::new(3, 4).unwrap());
+    let vec = VectorSpec::new(16, 12, 2048).unwrap();
+    let plan = planner.plan(&vec, Strategy::Canonical).unwrap();
+    let cfg = MemConfig::new(3, 3).unwrap();
+    assert_speedup(cfg, &plan, 3.0, "long conflicted stride (x=2 canonical)");
+
+    // And the fully serialized worst case: stride = M on low-order
+    // interleaving (period 1), long service time.
+    let planner = Planner::baseline(Interleaved::new(3).unwrap(), 6);
+    let vec = VectorSpec::new(0, 8, 4096).unwrap();
+    let plan = planner.plan(&vec, Strategy::Canonical).unwrap();
+    let cfg = MemConfig::new(3, 6).unwrap();
+    assert_speedup(cfg, &plan, 3.0, "all-conflicts one-module stride");
+}
+
+fn assert_speedup(cfg: MemConfig, plan: &AccessPlan, min: f64, label: &str) {
+    let mut event_sys = MemorySystem::new(cfg.with_engine(Engine::Event));
+    let mut periodic_sys = MemorySystem::new(cfg.with_engine(Engine::Periodic));
+    let mut out = AccessStats::default();
+
+    // Equivalence first — a fast wrong answer doesn't count.
+    let reference = MemorySystem::new(cfg).run_plan(plan);
+    assert_eq!(reference, event_sys.run_plan(plan), "{label}: event");
+    assert_eq!(reference, periodic_sys.run_plan(plan), "{label}: periodic");
+
+    const ROUNDS: usize = 5;
+    const RUNS: usize = 8;
+    let time = |sys: &mut MemorySystem, out: &mut AccessStats| {
+        (0..ROUNDS)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..RUNS {
+                    sys.run_plan_into(std::hint::black_box(plan), out);
+                }
+                start.elapsed()
+            })
+            .min()
+            .unwrap()
+    };
+    let event_time = time(&mut event_sys, &mut out);
+    let periodic_time = time(&mut periodic_sys, &mut out);
+
+    let speedup = event_time.as_secs_f64() / periodic_time.as_secs_f64();
+    assert!(
+        speedup >= min,
+        "{label}: periodic engine must be >= {min}x faster than the event \
+         engine, got {speedup:.2}x (event {event_time:?}, periodic {periodic_time:?})"
+    );
+}

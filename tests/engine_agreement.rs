@@ -1,8 +1,9 @@
-//! Property suite: the three simulation engines (`Cycle` oracle,
-//! `Event` queue, `FastPath` shortcut) agree bit-for-bit on randomly
-//! generated plans — across all seven `ModuleMap` implementations —
-//! and on synthetic request streams that mix conflict-free windows
-//! with bursts to a single module.
+//! Property suite: the four simulation engines (`Cycle` oracle,
+//! `Event` queue, `Periodic` steady-state fast-forward, `FastPath`
+//! shortcut) agree bit-for-bit on randomly generated plans — across
+//! all seven `ModuleMap` implementations — and on synthetic request
+//! streams that mix conflict-free windows with bursts to a single
+//! module.
 
 use cfva::core::mapping::{
     Interleaved, Linear, PseudoRandom, RegionMap, Skewed, XorMatched, XorUnmatched,
@@ -57,7 +58,7 @@ fn planner_for(kind: usize) -> (Planner, MemConfig) {
     }
 }
 
-/// Runs one plan through all three engines on fresh systems and
+/// Runs one plan through all four engines on fresh systems and
 /// asserts identical statistics.
 fn engines_agree_on_plan(
     planner: &Planner,
@@ -72,8 +73,10 @@ fn engines_agree_on_plan(
     };
     let oracle = MemorySystem::new(cfg).run_plan(&plan);
     let event = MemorySystem::new(cfg.with_engine(Engine::Event)).run_plan(&plan);
+    let periodic = MemorySystem::new(cfg.with_engine(Engine::Periodic)).run_plan(&plan);
     let fast = MemorySystem::new(cfg.with_engine(Engine::FastPath)).run_plan(&plan);
     prop_assert_eq!(&oracle, &event, "cycle vs event");
+    prop_assert_eq!(&oracle, &periodic, "cycle vs periodic");
     prop_assert_eq!(&oracle, &fast, "cycle vs fast-path");
     Ok(())
 }
@@ -119,7 +122,9 @@ proptest! {
         burst_module in 0u64..8,
         q_in in 1usize..=3,
         q_out in 1usize..=2,
-        len in 1u64..=96,
+        // Long enough that the periodic engine's recurrence detection
+        // and fast-forward actually engage on many cases.
+        len in 1u64..=512,
     ) {
         let module_count = 1u64 << m;
         let burst_module = burst_module % module_count;
@@ -144,8 +149,10 @@ proptest! {
 
         let oracle = MemorySystem::new(cfg).run_requests(&stream);
         let event = MemorySystem::new(cfg.with_engine(Engine::Event)).run_requests(&stream);
+        let periodic = MemorySystem::new(cfg.with_engine(Engine::Periodic)).run_requests(&stream);
         let fast = MemorySystem::new(cfg.with_engine(Engine::FastPath)).run_requests(&stream);
         prop_assert_eq!(&oracle, &event, "cycle vs event");
+        prop_assert_eq!(&oracle, &periodic, "cycle vs periodic");
         prop_assert_eq!(&oracle, &fast, "cycle vs fast-path");
     }
 }

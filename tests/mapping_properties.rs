@@ -92,8 +92,91 @@ fn every_module_map_implementation_is_balanced_over_one_period() {
     assert_balanced(&region);
 }
 
+/// One representative per `ModuleMap` implementation, for the
+/// cross-map property tests below.
+fn map_for(kind: usize) -> Box<dyn ModuleMap> {
+    match kind {
+        0 => Box::new(Interleaved::new(3).expect("m in range")),
+        1 => Box::new(Skewed::new(3, 3).expect("m in range")),
+        2 => Box::new(XorMatched::new(3, 4).expect("valid")),
+        3 => Box::new(XorUnmatched::new(2, 3, 7).expect("valid")),
+        4 => Box::new(
+            Linear::new(vec![0b1_0010_1101, 0b0_1101_1010, 0b1_1000_0111]).expect("full rank"),
+        ),
+        5 => Box::new(PseudoRandom::new(3, 0b1011, 14).expect("valid")),
+        6 => Box::new(
+            RegionMap::new(3, 10, 3)
+                .expect("valid")
+                .with_region(1, 6)
+                .expect("valid"),
+        ),
+        _ => unreachable!("seven map kinds"),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// `ModuleMap::period(family)` is a **true** period for every one
+    /// of the seven maps: the module sequence of a random
+    /// constant-stride vector repeats exactly after `P_x` elements.
+    /// Note the contract is only that `P_x` is *a* period — it need
+    /// not be the minimal one (some base/σ combinations repeat
+    /// earlier), which is why the check is `seq[k] == seq[k + P_x]`
+    /// and not minimality.
+    #[test]
+    fn period_is_a_true_period_for_all_seven_maps(
+        kind in 0usize..7,
+        x in 0u32..=8,
+        sigma in prop::sample::select(vec![1i64, 3, 5, 7, 9]),
+        base in 0u64..1_000_000,
+    ) {
+        let map = map_for(kind);
+        let stride = Stride::from_parts(sigma, x).expect("odd sigma");
+        let p = map.period(stride.family());
+        // Keep the enumeration bounded; every map above has
+        // address_bits_used small enough that this covers p <= 2^14.
+        if p <= 1 << 14 {
+            let len = 2 * p + 17; // cover one full period plus a ragged tail
+            let vec = VectorSpec::with_stride(base.into(), stride, len).expect("valid");
+            for k in 0..p + 17 {
+                let a = vec.element_addr(k);
+                let b = vec.element_addr(k + p);
+                prop_assert_eq!(
+                    map.module_of(a),
+                    map.module_of(b),
+                    "kind {} x {} sigma {} base {}: element {} vs {}",
+                    kind, x, sigma, base, k, k + p
+                );
+            }
+        }
+    }
+
+    /// The bulk `map_stride_into` produces exactly the per-element
+    /// `module_of` sequence for every map, stride sign and length —
+    /// the contract `Planner::plan_into` relies on.
+    #[test]
+    fn bulk_mapping_matches_module_of_for_all_seven_maps(
+        kind in 0usize..7,
+        x in 0u32..=6,
+        sigma in prop::sample::select(vec![1i64, 3, 5, -3, -7]),
+        base in 500_000u64..1_000_000,
+        len in 1u64..=300,
+    ) {
+        let map = map_for(kind);
+        let stride = Stride::from_parts(sigma, x).expect("odd sigma");
+        let vec = VectorSpec::with_stride(base.into(), stride, len).expect("valid");
+        let mut bulk = vec![cfva::ModuleId::new(0); len as usize];
+        map.map_stride_into(vec.base(), vec.stride().get(), &mut bulk);
+        for (k, &got) in bulk.iter().enumerate() {
+            prop_assert_eq!(
+                got,
+                map.module_of(vec.element_addr(k as u64)),
+                "kind {} stride {} base {} element {}",
+                kind, vec.stride().get(), base, k
+            );
+        }
+    }
 
     /// Every map distributes one full address period evenly over the
     /// modules (the balance requirement of the ModuleMap contract).

@@ -12,11 +12,37 @@
 //! to shrink the budget for CI smoke runs. Honors the standard
 //! libtest-style trailing `--bench` argument cargo passes to bench
 //! binaries, and an optional substring filter argument.
+//!
+//! # Baseline mode (save / compare)
+//!
+//! A minimal stand-in for criterion's `--save-baseline` /
+//! `--baseline`, driven by environment variables so the bench binaries
+//! need no flag plumbing:
+//!
+//! * `CRITERION_SAVE_BASELINE=1` — after the run, dump every measured
+//!   benchmark's best ns/iter as JSON under
+//!   `target/criterion-baselines/<bench-binary>.json` (override the
+//!   directory with `CRITERION_BASELINE_DIR`).
+//! * `CRITERION_BASELINE=<path.json>` — compare each measured
+//!   benchmark against the named baseline file (e.g. the committed
+//!   `BENCH_baseline.json`); a benchmark regresses when its time
+//!   exceeds `baseline · (1 + tolerance)`, with the fractional
+//!   tolerance from `CRITERION_BASELINE_TOLERANCE` (default `0.5`).
+//!   Regressions **warn** by default (wall-clock baselines are
+//!   machine-specific); set `CRITERION_BASELINE_STRICT=1` to exit
+//!   nonzero instead.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// All `(benchmark id, best ns/iter)` results of this process, across
+/// every `Criterion` instance the `criterion_group!` macros create —
+/// `final_summary` reads them for the baseline save/compare modes.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
 /// Opaque value barrier preventing the optimizer from deleting the
 /// benchmarked computation.
@@ -211,6 +237,10 @@ impl Criterion {
             format_ns(ns),
             bencher.total_iters
         );
+        RESULTS
+            .lock()
+            .expect("results registry poisoned")
+            .push((id.to_string(), ns));
     }
 
     /// Benchmarks a single function.
@@ -233,8 +263,190 @@ impl Criterion {
         }
     }
 
-    /// Runs final reporting (API-compatibility shim).
-    pub fn final_summary(&mut self) {}
+    /// Runs final reporting: the baseline save and/or compare passes,
+    /// when the corresponding environment variables are set (see the
+    /// crate docs). A no-op otherwise, like upstream criterion's.
+    pub fn final_summary(&mut self) {
+        let results = RESULTS.lock().expect("results registry poisoned").clone();
+        if results.is_empty() {
+            return;
+        }
+        if std::env::var("CRITERION_SAVE_BASELINE").is_ok_and(|v| v == "1" || v == "true") {
+            let path = baseline_save_path();
+            match save_baseline(&path, &results) {
+                Ok(()) => println!("\nbaseline saved to {}", path.display()),
+                Err(e) => eprintln!("\nwarning: could not save baseline {}: {e}", path.display()),
+            }
+        }
+        if let Ok(baseline_path) = std::env::var("CRITERION_BASELINE") {
+            let tolerance = std::env::var("CRITERION_BASELINE_TOLERANCE")
+                .ok()
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(0.5);
+            let strict =
+                std::env::var("CRITERION_BASELINE_STRICT").is_ok_and(|v| v == "1" || v == "true");
+            match compare_with_baseline(Path::new(&baseline_path), &results, tolerance) {
+                Ok((0, 0)) => {}
+                // A measured benchmark with no baseline entry is a
+                // failure in strict mode too: a silently renamed id
+                // (or a narrowed filter) must not turn the regression
+                // gate into a green no-op.
+                Ok((regressions, unmatched)) if strict => {
+                    eprintln!(
+                        "error: {regressions} benchmark(s) regressed beyond ±{tolerance}, \
+                         {unmatched} without a baseline entry"
+                    );
+                    std::process::exit(1);
+                }
+                Ok((regressions, unmatched)) => {
+                    println!(
+                        "warning: {regressions} benchmark(s) regressed beyond ±{tolerance}, \
+                         {unmatched} without a baseline entry \
+                         (non-blocking; set CRITERION_BASELINE_STRICT=1 to fail)"
+                    );
+                }
+                Err(e) => eprintln!("warning: could not read baseline {baseline_path}: {e}"),
+            }
+        }
+    }
+}
+
+/// Where `CRITERION_SAVE_BASELINE` writes: `CRITERION_BASELINE_DIR`
+/// when set, else `target/criterion-baselines` resolved against the
+/// workspace (cargo runs bench binaries with the package as CWD, so
+/// fall back to walking up to the shared `target/`).
+fn baseline_save_path() -> PathBuf {
+    let dir = std::env::var("CRITERION_BASELINE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            for up in ["target", "../target", "../../target"] {
+                if Path::new(up).is_dir() {
+                    return Path::new(up).join("criterion-baselines");
+                }
+            }
+            PathBuf::from("target/criterion-baselines")
+        });
+    dir.join(format!("{}.json", bench_binary_name()))
+}
+
+/// The bench target's name: the executable's file stem with cargo's
+/// trailing `-<16 hex>` disambiguator stripped.
+fn bench_binary_name() -> String {
+    let stem = std::env::args()
+        .next()
+        .map(PathBuf::from)
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    match stem.rsplit_once('-') {
+        Some((name, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            name.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// Serialises results as a flat `{"id": ns, ...}` JSON object. Ids are
+/// benchmark names (no control characters); quotes and backslashes are
+/// escaped for safety.
+fn to_json(results: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (id, ns)) in results.iter().enumerate() {
+        let escaped: String = id
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                _ => vec![c],
+            })
+            .collect();
+        out.push_str(&format!("  \"{escaped}\": {ns:.1}"));
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push('}');
+    out
+}
+
+/// Parses the flat `{"id": ns, ...}` JSON this crate writes (and the
+/// hand-maintained `BENCH_baseline.json`): a minimal scanner, not a
+/// general JSON parser.
+fn parse_json(text: &str) -> Vec<(String, f64)> {
+    let mut entries = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('"') {
+        rest = &rest[start + 1..];
+        let mut id = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => {
+                    if let Some((_, esc)) = chars.next() {
+                        id.push(esc);
+                    }
+                }
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => id.push(c),
+            }
+        }
+        let Some(end) = end else { break };
+        rest = &rest[end + 1..];
+        let Some(colon) = rest.find(':') else { break };
+        rest = &rest[colon + 1..];
+        let value_end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+        if let Ok(ns) = rest[..value_end].trim().parse::<f64>() {
+            entries.push((id, ns));
+        }
+        rest = &rest[value_end..];
+    }
+    entries
+}
+
+fn save_baseline(path: &Path, results: &[(String, f64)]) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, to_json(results) + "\n")
+}
+
+/// Prints the per-benchmark comparison and returns `(regressions,
+/// unmatched)`: measurements beyond `baseline · (1 + tolerance)`, and
+/// measurements with no baseline entry at all (renamed ids — counted
+/// separately so strict mode can refuse to pass vacuously). Baseline
+/// entries that were not measured are *not* counted: running a
+/// filtered subset of the benches against a fuller baseline is
+/// routine.
+fn compare_with_baseline(
+    path: &Path,
+    results: &[(String, f64)],
+    tolerance: f64,
+) -> std::io::Result<(usize, usize)> {
+    let text = std::fs::read_to_string(path)?;
+    let baseline = parse_json(&text);
+    let mut regressions = 0usize;
+    let mut unmatched = 0usize;
+    println!("\nbaseline comparison against {}:", path.display());
+    for (id, ns) in results {
+        let Some((_, base_ns)) = baseline.iter().find(|(b, _)| b == id) else {
+            unmatched += 1;
+            println!("  {id:<44} (no baseline entry)");
+            continue;
+        };
+        let ratio = ns / base_ns;
+        let verdict = if *ns > base_ns * (1.0 + tolerance) {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {id:<44} {:>12}/iter vs {:>12} baseline ({ratio:.2}x) {verdict}",
+            format_ns(*ns),
+            format_ns(*base_ns),
+        );
+    }
+    Ok((regressions, unmatched))
 }
 
 fn format_ns(ns: f64) -> String {
@@ -351,5 +563,74 @@ mod tests {
     fn benchmark_id_renders() {
         assert_eq!(BenchmarkId::new("f", 12).into_id(), "f/12");
         assert_eq!(BenchmarkId::from_parameter(7).into_id(), "7");
+    }
+
+    #[test]
+    fn baseline_json_round_trips() {
+        let results = vec![
+            (
+                "efficiency_sweep_400/batch_session/400".to_string(),
+                123456.5,
+            ),
+            ("group/with \"quote\"".to_string(), 7.0),
+        ];
+        let json = to_json(&results);
+        let parsed = parse_json(&json);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, results[0].0);
+        assert!((parsed[0].1 - results[0].1).abs() < 0.1);
+        assert_eq!(parsed[1].0, "group/with \"quote\"");
+        assert!((parsed[1].1 - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_compare_counts_regressions() {
+        let dir = std::env::temp_dir().join("cfva-criterion-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        let baseline = vec![("a".to_string(), 100.0), ("b".to_string(), 100.0)];
+        save_baseline(&path, &baseline).unwrap();
+
+        // Within tolerance, beyond tolerance, and an unmatched id —
+        // the latter is reported separately so strict mode can fail a
+        // comparison that silently stopped guarding anything.
+        let measured = vec![
+            ("a".to_string(), 140.0),
+            ("b".to_string(), 160.0),
+            ("c".to_string(), 1.0),
+        ];
+        assert_eq!(
+            compare_with_baseline(&path, &measured, 0.5).unwrap(),
+            (1, 1)
+        );
+        assert_eq!(
+            compare_with_baseline(&path, &measured, 0.1).unwrap(),
+            (2, 1)
+        );
+        assert_eq!(
+            compare_with_baseline(&path, &measured, 1.0).unwrap(),
+            (0, 1)
+        );
+        // Baseline entries that were not measured are fine (filtered
+        // runs), and matched ids count cleanly.
+        let subset = vec![("a".to_string(), 100.0)];
+        assert_eq!(compare_with_baseline(&path, &subset, 0.5).unwrap(), (0, 0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bench_binary_name_strips_cargo_hash() {
+        // Indirect check through the helper's rsplit logic: ids that
+        // look like cargo's `<name>-<16 hex>` lose the hash, anything
+        // else is kept whole. (The current process name is a test
+        // binary, which also carries a hash suffix.)
+        let name = bench_binary_name();
+        assert!(!name.is_empty());
+        assert!(
+            !name
+                .rsplit_once('-')
+                .is_some_and(|(_, h)| h.len() == 16 && h.bytes().all(|b| b.is_ascii_hexdigit())),
+            "hash suffix should have been stripped from {name:?}"
+        );
     }
 }
