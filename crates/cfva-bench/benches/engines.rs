@@ -7,10 +7,21 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use cfva_core::mapping::{Interleaved, XorMatched};
+use cfva_core::mapping::MapSpec;
 use cfva_core::plan::{Planner, Strategy};
 use cfva_core::VectorSpec;
 use cfva_memsim::{AccessStats, Engine, MemConfig, MemorySystem};
+
+/// Planner + memory geometry from one registry spec — engines are
+/// engine-vs-engine comparisons, so both sides must come from the same
+/// runtime-selected configuration.
+fn from_spec(spec: &str) -> (Planner, MemConfig) {
+    let spec: MapSpec = spec.parse().expect("static spec");
+    (
+        Planner::from_spec(&spec).expect("static spec"),
+        MemConfig::from_spec(&spec).expect("static spec"),
+    )
+}
 
 fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("engines");
@@ -18,8 +29,7 @@ fn bench_engines(c: &mut Criterion) {
     // Worst case: every request on one module (stride 8 on 8-way
     // low-order interleaving), long service time T = 64. The cycle
     // loop walks ~L·T cycles; the event engine jumps them.
-    let planner = Planner::baseline(Interleaved::new(3).expect("m in range"), 6);
-    let cfg = MemConfig::new(3, 6).expect("valid");
+    let (planner, cfg) = from_spec("interleaved:m=3,t=6");
     for len in [128u64, 512] {
         let vec = VectorSpec::new(0, 8, len).expect("valid");
         let plan = planner.plan(&vec, Strategy::Canonical).expect("plans");
@@ -35,8 +45,7 @@ fn bench_engines(c: &mut Criterion) {
 
     // Mixed regime: canonical order of an in-window family — bursts of
     // conflicts separated by conflict-free stretches.
-    let planner = Planner::matched(XorMatched::new(3, 4).expect("valid"));
-    let cfg = MemConfig::new(3, 3).expect("valid");
+    let (planner, cfg) = from_spec("xor-matched:t=3,s=4");
     let vec = VectorSpec::new(16, 12, 128).expect("valid");
     let plan = planner.plan(&vec, Strategy::Canonical).expect("plans");
     for engine in [Engine::Cycle, Engine::Event] {

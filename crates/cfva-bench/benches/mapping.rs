@@ -11,7 +11,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use cfva_core::mapping::{
-    Interleaved, Linear, ModuleMap, PseudoRandom, RegionMap, Skewed, XorMatched, XorUnmatched,
+    Interleaved, Linear, ModuleMap, Registry, Skewed, XorMatched, XorUnmatched,
 };
 use cfva_core::plan::{AccessPlan, Planner, Strategy};
 use cfva_core::{Addr, ModuleId, VectorSpec};
@@ -78,44 +78,20 @@ fn bench_maps(c: &mut Criterion) {
     group.finish();
 }
 
-/// Bulk stride mapping vs the per-element virtual-call loop, per map.
+/// Bulk stride mapping vs the per-element virtual-call loop, for every
+/// registered map: the registry's coverage set is the bench matrix, so
+/// a newly registered map (including runtime `custom-gf2` matrices) is
+/// measured automatically.
 fn bench_bulk_mapping(c: &mut Criterion) {
     const LEN: usize = 4096;
-    let maps: Vec<(&str, Box<dyn ModuleMap>)> = vec![
-        ("interleaved", Box::new(Interleaved::new(3).expect("valid"))),
-        ("skewed", Box::new(Skewed::new(3, 1).expect("valid"))),
-        (
-            "xor_matched",
-            Box::new(XorMatched::new(3, 4).expect("valid")),
-        ),
-        (
-            "xor_unmatched",
-            Box::new(XorUnmatched::new(3, 4, 9).expect("valid")),
-        ),
-        (
-            "linear_matrix",
-            Box::new(Linear::xor_unmatched(3, 4, 9).expect("valid")),
-        ),
-        (
-            "pseudo_random",
-            Box::new(PseudoRandom::with_default_poly(3).expect("valid")),
-        ),
-        (
-            "region",
-            Box::new(
-                RegionMap::new(3, 20, 3)
-                    .expect("valid")
-                    .with_region(1, 6)
-                    .expect("valid"),
-            ),
-        ),
-    ];
+    let maps = Registry::builtin().all_maps();
 
     let mut group = c.benchmark_group("map_stride_into");
     group.throughput(Throughput::Elements(LEN as u64));
     let base = Addr::new(16);
     let stride = 12i64;
-    for (name, map) in &maps {
+    for (spec, map) in &maps {
+        let name = spec.name();
         let map: &dyn ModuleMap = map.as_ref();
         let mut out = vec![ModuleId::new(0); LEN];
         group.bench_function(BenchmarkId::new(format!("{name}_per_element"), LEN), |b| {

@@ -1,10 +1,19 @@
-//! Regenerates every figure and quantitative claim of the paper.
+//! Regenerates every figure and quantitative claim of the paper, and
+//! sweeps runtime-selected maps.
 //!
 //! ```text
-//! experiments            # list available experiments
-//! experiments all        # run everything
-//! experiments eff lat    # run a subset
+//! experiments                          # list available experiments
+//! experiments all                      # run everything
+//! experiments eff lat                  # run a subset
+//! experiments --map skewed:m=3,d=1     # sweep a map chosen by spec string
+//! experiments --map all --len 32       # every registered map, same strides
 //! ```
+//!
+//! `--map` takes any spec the mapping registry understands (see the
+//! README's *Choosing a map at runtime*), with optional `--len`,
+//! `--max-x` and `--sigma` sweep parameters. A malformed or
+//! unconstructible spec exits nonzero with a diagnostic naming the
+//! offending key/value (or listing the registered maps).
 
 use std::process::ExitCode;
 
@@ -13,9 +22,14 @@ use cfva_bench::experiments;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
+    if args.first().map(String::as_str) == Some("--map") {
+        return run_map_sweep(&args[1..]);
+    }
+
     if args.is_empty() {
         println!("Reproduction harness for Valero et al., ISCA 1992.\n");
-        println!("Usage: experiments [all | <id>...]\n");
+        println!("Usage: experiments [all | <id>...]");
+        println!("       experiments --map <spec|all> [--len N] [--max-x N] [--sigma N]\n");
         println!("Available experiments:");
         for e in experiments::all() {
             println!("  {:<8} {}", e.id, e.title);
@@ -55,6 +69,56 @@ fn main() -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// `--map <spec>` with optional `--len`, `--max-x`, `--sigma` flags:
+/// parse, sweep, and turn any spec error into a diagnostic + nonzero
+/// exit (never a panic — the spec is user input).
+fn run_map_sweep(args: &[String]) -> ExitCode {
+    let Some(spec) = args.first() else {
+        eprintln!("--map requires a spec argument, e.g. --map skewed:m=3,d=1");
+        return ExitCode::FAILURE;
+    };
+
+    let mut len = 64u64;
+    let mut max_x = 7u32;
+    let mut sigma = 3i64;
+    let mut rest = args[1..].iter();
+    while let Some(flag) = rest.next() {
+        let Some(value) = rest.next() else {
+            eprintln!("flag {flag} requires a value");
+            return ExitCode::FAILURE;
+        };
+        let parsed = match flag.as_str() {
+            "--len" => value.parse().map(|v| len = v).is_ok(),
+            "--max-x" => value.parse().map(|v| max_x = v).is_ok(),
+            "--sigma" => value.parse().map(|v| sigma = v).is_ok(),
+            _ => {
+                eprintln!("unknown flag {flag} (expected --len, --max-x or --sigma)");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !parsed {
+            eprintln!("flag {flag} = {value} is not a number");
+            return ExitCode::FAILURE;
+        }
+    }
+    if sigma % 2 == 0 {
+        eprintln!("--sigma must be odd (strides are sigma * 2^x)");
+        return ExitCode::FAILURE;
+    }
+
+    match experiments::map_sweep(spec, len, max_x, sigma) {
+        Ok(report) => {
+            banner("map", &format!("Runtime map sweep: {spec}"));
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -1,0 +1,153 @@
+//! Config-driven map sweep: measure any registry-selectable map —
+//! `experiments --map <spec>` — without naming a type at compile time.
+
+use cfva_core::mapping::{MapSpec, Registry};
+use cfva_core::plan::Strategy;
+use cfva_core::{ConfigError, VectorSpec};
+
+use crate::runner::BatchRunner;
+use crate::table::Table;
+use crate::workload::{family_sweep, registry_family_grid};
+
+/// Per-family latency sweep of one runtime-selected map (or, for
+/// `spec = "all"`, the comparative sweep of every registered map on
+/// the same strides).
+///
+/// The spec decides everything: the map, its out-of-order capability
+/// (`xor-matched`/`xor-unmatched` plan with [`Strategy::Auto`]'s best
+/// available order; baselines access in order) and the memory geometry
+/// (matched by default, or the spec's `t` latency rider).
+///
+/// # Errors
+///
+/// Spec parse/resolution errors — an unknown name lists the registered
+/// maps, a bad key/value names itself. Never panics on user input.
+pub fn map_sweep(spec: &str, len: u64, max_x: u32, sigma: i64) -> Result<String, ConfigError> {
+    if spec == "all" {
+        return comparative_sweep(len, max_x, sigma);
+    }
+    let spec: MapSpec = spec.parse()?;
+    let mut session = BatchRunner::from_spec(&spec)?;
+    let mem = session.mem();
+    let floor = mem.t_cycles() + len + 1;
+
+    let mut t = Table::new(&["x", "stride", "latency", "conflicts", "stalls", "vs floor"]);
+    for stride in family_sweep(max_x, sigma) {
+        let vec = vector_for(stride, len)?;
+        let stats = session
+            .measure(&vec, Strategy::Auto)
+            .expect("auto always plans");
+        t.row_owned(vec![
+            stride.family().exponent().to_string(),
+            stride.get().to_string(),
+            stats.latency.to_string(),
+            stats.conflicts.to_string(),
+            stats.stall_cycles.to_string(),
+            format!("{:.2}x", stats.latency as f64 / floor as f64),
+        ]);
+    }
+
+    Ok(format!(
+        "Map sweep: {spec}\n\
+         {mem}, L = {len}, sigma = {sigma}; conflict-free floor T+L+1 = {floor}\n\n{}",
+        t.render()
+    ))
+}
+
+/// Every registered map on the same family sweep, one latency column
+/// per map — the registry's reason to exist, as a table. The sweep
+/// points ARE [`registry_family_grid`]: one measurement per grid
+/// entry, with one session per spec reused down its whole family
+/// column (grid entries are grouped by spec, families ascending).
+fn comparative_sweep(len: u64, max_x: u32, sigma: i64) -> Result<String, ConfigError> {
+    let registry = Registry::builtin();
+    let specs = registry.all_specs();
+    let families = max_x as usize + 1;
+
+    // latencies[spec column][family row], filled in grid order.
+    let mut latencies: Vec<Vec<u64>> = vec![Vec::with_capacity(families); specs.len()];
+    let mut session: Option<(MapSpec, BatchRunner)> = None;
+    for (i, (spec, stride)) in registry_family_grid(&registry, max_x, sigma)
+        .into_iter()
+        .enumerate()
+    {
+        if session.as_ref().is_none_or(|(s, _)| *s != spec) {
+            session = Some((spec.clone(), BatchRunner::from_spec(&spec)?));
+        }
+        let (_, session) = session.as_mut().expect("just set");
+        let vec = vector_for(stride, len)?;
+        let stats = session
+            .measure(&vec, Strategy::Auto)
+            .expect("auto always plans");
+        latencies[i / families].push(stats.latency);
+    }
+
+    let mut headers: Vec<String> = vec!["x".to_string(), "stride".to_string()];
+    headers.extend(specs.iter().map(|s| s.name().to_string()));
+    let header_refs: Vec<&str> = headers.iter().map(|h| h.as_str()).collect();
+    let mut t = Table::new(&header_refs);
+    for (row, stride) in family_sweep(max_x, sigma).into_iter().enumerate() {
+        let mut cells = vec![
+            stride.family().exponent().to_string(),
+            stride.get().to_string(),
+        ];
+        cells.extend(latencies.iter().map(|col| col[row].to_string()));
+        t.row_owned(cells);
+    }
+
+    Ok(format!(
+        "Comparative map sweep — every registered map, same strides\n\
+         (L = {len}, sigma = {sigma}, base 16; latency in cycles, each map on\n\
+         its spec's own memory geometry)\n\n{}",
+        t.render()
+    ))
+}
+
+fn vector_for(stride: cfva_core::Stride, len: u64) -> Result<VectorSpec, ConfigError> {
+    VectorSpec::with_stride(16u64.into(), stride, len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_a_baseline_map_in_order() {
+        let r = map_sweep("interleaved:m=3", 64, 4, 3).unwrap();
+        assert!(r.contains("interleaved:m=3"), "{r}");
+        // Family 0 (odd stride) is conflict free on interleaving: floor 73.
+        assert!(r.contains("73"), "{r}");
+        // Family 3+ (stride multiple of M) is not: conflicts appear.
+        assert!(r.contains("1.00x"), "{r}");
+    }
+
+    #[test]
+    fn sweeps_an_out_of_order_map_at_the_floor() {
+        let r = map_sweep("xor-matched:t=3,s=3", 64, 3, 3).unwrap();
+        // The whole window rides at the floor under Strategy::Auto.
+        for line in r.lines().filter(|l| l.starts_with(['0', '1', '2', '3'])) {
+            assert!(line.contains("1.00x"), "{line}");
+        }
+    }
+
+    #[test]
+    fn comparative_sweep_has_one_column_per_registered_map() {
+        let r = map_sweep("all", 32, 2, 3).unwrap();
+        for name in Registry::builtin().names() {
+            assert!(r.contains(name), "{r} missing {name}");
+        }
+    }
+
+    #[test]
+    fn malformed_and_rank_deficient_specs_error_cleanly() {
+        // Unknown map name: diagnostic lists the registry.
+        let e = map_sweep("skwed:m=3", 64, 4, 3).unwrap_err();
+        assert!(e.to_string().contains("registered maps"), "{e}");
+        // Grammar violation.
+        let e = map_sweep("interleaved:m", 64, 4, 3).unwrap_err();
+        assert!(e.to_string().contains("no '='"), "{e}");
+        // Rank-deficient custom matrix: typed, not a panic.
+        let e = map_sweep("custom-gf2:rows=0b11|0b11", 64, 4, 3).unwrap_err();
+        assert_eq!(e, ConfigError::SingularMatrix);
+    }
+}

@@ -9,10 +9,13 @@ pub mod extensions;
 pub mod fig_maps;
 pub mod hardware;
 pub mod latency;
+pub mod map_sweep;
 pub mod shortvec;
 pub mod tradeoff;
 pub mod window_sweep;
 pub mod worked;
+
+pub use map_sweep::map_sweep;
 
 /// One runnable experiment.
 #[derive(Debug, Clone, Copy)]

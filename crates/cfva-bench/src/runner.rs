@@ -273,6 +273,48 @@ impl BatchRunner {
         }
     }
 
+    /// Creates a session from a runtime map spec: the planner comes
+    /// from [`Planner::from_spec`] and the memory geometry from
+    /// [`MemConfig::from_spec`] — the one-call path from a config
+    /// string (CLI flag, request field) to a measuring session.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cfva_bench::runner::BatchRunner;
+    /// use cfva_core::plan::Strategy;
+    /// use cfva_core::VectorSpec;
+    ///
+    /// let mut session = BatchRunner::from_spec(&"xor-matched:t=3,s=3".parse()?)?;
+    /// let stats = session.measure(&VectorSpec::new(16, 12, 64)?, Strategy::Auto).unwrap();
+    /// assert_eq!(stats.latency, 8 + 64 + 1);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Spec resolution errors from the registry (unknown name, bad
+    /// keys/values, map constraint violations).
+    pub fn from_spec(spec: &cfva_core::mapping::MapSpec) -> Result<Self, cfva_core::ConfigError> {
+        // One spec resolution for both halves: the planner is built
+        // first and the memory geometry read off it, so a
+        // `matrix=@file` spec parses its file once and planner and
+        // memory can never come from different resolutions.
+        let planner = Planner::from_spec(spec)?;
+        let mem = MemConfig::new(planner.map().module_bits(), planner.t())?;
+        Ok(BatchRunner::new(planner, mem))
+    }
+
+    /// [`from_spec`](Self::from_spec) from the unparsed spec string.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors plus everything [`from_spec`](Self::from_spec)
+    /// rejects.
+    pub fn from_spec_str(spec: &str) -> Result<Self, cfva_core::ConfigError> {
+        BatchRunner::from_spec(&spec.parse()?)
+    }
+
     /// The planner this session measures with.
     pub fn planner(&self) -> &Planner {
         &self.planner
@@ -713,6 +755,27 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn from_spec_session_matches_direct_construction() {
+        let mem = MemConfig::new(3, 3).unwrap();
+        let mut direct = BatchRunner::new(Planner::matched(XorMatched::new(3, 4).unwrap()), mem);
+        let mut spec = BatchRunner::from_spec_str("xor-matched:t=3,s=4").unwrap();
+        assert_eq!(spec.mem(), direct.mem());
+        for (base, stride) in [(16u64, 12i64), (0, 1), (7, 6), (3, 160)] {
+            let vec = VectorSpec::new(base, stride, 128).unwrap();
+            for strategy in [Strategy::Canonical, Strategy::ConflictFree, Strategy::Auto] {
+                assert_eq!(
+                    direct.measure_owned(&vec, strategy),
+                    spec.measure_owned(&vec, strategy),
+                    "base {base} stride {stride} {strategy}"
+                );
+            }
+        }
+        // Spec errors surface with their diagnostic.
+        let e = BatchRunner::from_spec_str("xor-matched:t=3").unwrap_err();
+        assert!(e.to_string().contains("\"s\""), "{e}");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Stride workload generation under the paper's population model.
 
+use cfva_core::mapping::{MapSpec, Registry};
 use cfva_core::{Stride, VectorSpec};
 use rand::Rng;
 
@@ -80,6 +81,20 @@ pub fn family_sweep(max_x: u32, sigma: i64) -> Vec<Stride> {
         .collect()
 }
 
+/// The cross product of a registry's coverage specs with a family
+/// sweep: one `(spec, stride)` point per registered map per family.
+/// The comparative sweep grid — `experiments --map all`, sharded
+/// sweeps, and anything that wants "every scheme on the same strides"
+/// iterate this instead of hand-rolling a map list.
+pub fn registry_family_grid(registry: &Registry, max_x: u32, sigma: i64) -> Vec<(MapSpec, Stride)> {
+    let strides = family_sweep(max_x, sigma);
+    registry
+        .all_specs()
+        .into_iter()
+        .flat_map(|spec| strides.iter().map(move |&s| (spec.clone(), s)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +146,20 @@ mod tests {
         for (x, s) in sweep.iter().enumerate() {
             assert_eq!(s.family().exponent() as usize, x);
             assert_eq!(s.odd_part(), 3);
+        }
+    }
+
+    #[test]
+    fn registry_grid_covers_every_map_and_family() {
+        let registry = Registry::builtin();
+        let grid = registry_family_grid(&registry, 4, 3);
+        assert_eq!(grid.len(), registry.all_specs().len() * 5);
+        // Grouped by spec, families ascending within each group.
+        for chunk in grid.chunks(5) {
+            assert!(chunk.iter().all(|(spec, _)| spec == &chunk[0].0));
+            for (x, (_, stride)) in chunk.iter().enumerate() {
+                assert_eq!(stride.family().exponent() as usize, x);
+            }
         }
     }
 }

@@ -1,0 +1,100 @@
+//! `CustomGf2` against the paper's published matrix: equation (1)
+//! (`b_i = a_i ⊕ a_{s+i}`, here t = 3, s = 4 — the Theorem 1 window
+//! configuration) encoded as a committed `.gf2` matrix file must
+//! route **and measure** exactly like the built-in [`XorMatched`] map
+//! on the window-sweep workload.
+
+use cfva_bench::runner::BatchRunner;
+use cfva_core::mapping::{CustomGf2, MapSpec, ModuleMap, XorMatched};
+use cfva_core::plan::Strategy;
+use cfva_core::{Addr, Stride, VectorSpec};
+
+/// The committed matrix file, addressed relative to this crate so the
+/// test runs from any working directory.
+fn matrix_path() -> String {
+    format!(
+        "{}/tests/data/xor_matched_t3s4.gf2",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn matrix_spec() -> MapSpec {
+    format!("custom-gf2:matrix=@{}", matrix_path())
+        .parse()
+        .expect("spec grammar admits @file paths")
+}
+
+/// The window-sweep workload of the `window` experiment: every family
+/// up to beyond the window, the same σ and base spreads.
+const SIGMAS: [i64; 4] = [1, 3, 5, 7];
+const BASES: [u64; 5] = [0, 1, 16, 37, 1000];
+const LEN: u64 = 128;
+
+#[test]
+fn file_matrix_reproduces_equation_1_routing() {
+    let custom = CustomGf2::from_file(matrix_path()).expect("committed file parses");
+    let builtin = XorMatched::new(3, 4).expect("valid");
+    assert_eq!(custom.module_bits(), builtin.module_bits());
+    assert_eq!(custom.address_bits_used(), builtin.address_bits_used());
+    for a in 0..1 << 14 {
+        assert_eq!(
+            custom.module_of(Addr::new(a)),
+            builtin.module_of(Addr::new(a)),
+            "address {a}"
+        );
+    }
+}
+
+/// Stats parity on the window-sweep workload. The custom map plans in
+/// order (it is a baseline to the planner), so the comparison pins the
+/// canonical strategy — identical routing must give identical
+/// conflicts, stalls, latency, arrival times, everything.
+#[test]
+fn file_matrix_measures_identically_to_builtin_on_window_sweep() {
+    let mut custom = BatchRunner::from_spec(&matrix_spec()).expect("file spec builds");
+    let mut builtin = BatchRunner::from_spec_str("xor-matched:t=3,s=4").expect("valid");
+    assert_eq!(custom.mem(), builtin.mem(), "same memory geometry");
+    for x in 0..=7u32 {
+        for sigma in SIGMAS {
+            for base in BASES {
+                let stride = Stride::from_parts(sigma, x).expect("odd sigma");
+                let vec = VectorSpec::with_stride(base.into(), stride, LEN).expect("valid");
+                assert_eq!(
+                    custom.measure_owned(&vec, Strategy::Canonical),
+                    builtin.measure_owned(&vec, Strategy::Canonical),
+                    "x={x} sigma={sigma} base={base}"
+                );
+            }
+        }
+    }
+}
+
+/// The same matrix given inline must behave like the file form — the
+/// README documents both spellings.
+#[test]
+fn inline_rows_match_the_file_form() {
+    let mut from_file = BatchRunner::from_spec(&matrix_spec()).expect("file spec builds");
+    let mut inline =
+        BatchRunner::from_spec_str("custom-gf2:rows=0b0010001|0b0100010|0b1000100,cols=7")
+            .expect("valid");
+    for x in [0u32, 2, 4, 6] {
+        let stride = Stride::from_parts(3, x).expect("odd sigma");
+        let vec = VectorSpec::with_stride(16u64.into(), stride, LEN).expect("valid");
+        assert_eq!(
+            from_file.measure_owned(&vec, Strategy::Canonical),
+            inline.measure_owned(&vec, Strategy::Canonical),
+            "x={x}"
+        );
+    }
+}
+
+/// Spec-level negative paths: rank-deficient and odd-shaped matrices
+/// are typed errors with a diagnostic, never a panic.
+#[test]
+fn bad_matrices_fail_with_typed_diagnostics() {
+    let e = BatchRunner::from_spec_str("custom-gf2:rows=0b11|0b11").unwrap_err();
+    assert_eq!(e, cfva_core::ConfigError::SingularMatrix);
+
+    let e = BatchRunner::from_spec_str("custom-gf2:matrix=@/no/such/file.gf2").unwrap_err();
+    assert!(e.to_string().contains("file.gf2"), "{e}");
+}

@@ -35,6 +35,64 @@ pub enum ConfigError {
     /// A vector address stream would leave the representable address
     /// space.
     AddressOverflow,
+    /// A map-spec string violates the `name:key=value,...` grammar
+    /// (see [`crate::mapping::registry::MapSpec`]).
+    SpecSyntax {
+        /// The offending spec text (or the offending fragment).
+        spec: String,
+        /// What exactly was wrong with it.
+        reason: String,
+    },
+    /// A spec named a map that no registry entry provides. Carries the
+    /// registered names so the message can list what *would* work.
+    UnknownMap {
+        /// The unrecognised map name.
+        name: String,
+        /// Every name the registry knows, in registration order.
+        registered: Vec<String>,
+    },
+    /// A spec key the map requires was not given.
+    MissingKey {
+        /// Map name the spec addressed.
+        map: String,
+        /// The required key.
+        key: &'static str,
+    },
+    /// A spec key is not one the map accepts.
+    UnknownKey {
+        /// Map name the spec addressed.
+        map: String,
+        /// The unrecognised key.
+        key: String,
+        /// The keys the map does accept.
+        accepted: &'static [&'static str],
+    },
+    /// The same spec key was given twice.
+    DuplicateKey {
+        /// The repeated key.
+        key: String,
+    },
+    /// A spec value could not be interpreted for its key.
+    InvalidValue {
+        /// The key whose value is bad.
+        key: String,
+        /// The value as written in the spec.
+        value: String,
+        /// What the key expects, e.g. `"an unsigned integer"`.
+        expected: &'static str,
+    },
+    /// A GF(2) matrix file could not be read or parsed.
+    MatrixFile {
+        /// Path as written in the spec (after the `@`).
+        path: String,
+        /// Read or parse failure description.
+        reason: String,
+    },
+    /// A registry name was registered twice.
+    DuplicateMap {
+        /// The doubly-registered name.
+        name: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -56,6 +114,42 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::AddressOverflow => {
                 write!(f, "vector address stream overflows the address space")
+            }
+            ConfigError::SpecSyntax { spec, reason } => {
+                write!(f, "malformed map spec {spec:?}: {reason}")
+            }
+            ConfigError::UnknownMap { name, registered } => {
+                write!(
+                    f,
+                    "unknown map {name:?}; registered maps: {}",
+                    registered.join(", ")
+                )
+            }
+            ConfigError::MissingKey { map, key } => {
+                write!(f, "map {map:?} requires key {key:?}")
+            }
+            ConfigError::UnknownKey { map, key, accepted } => {
+                write!(
+                    f,
+                    "map {map:?} does not accept key {key:?}; accepted keys: {}",
+                    accepted.join(", ")
+                )
+            }
+            ConfigError::DuplicateKey { key } => {
+                write!(f, "key {key:?} given more than once")
+            }
+            ConfigError::InvalidValue {
+                key,
+                value,
+                expected,
+            } => {
+                write!(f, "key {key:?} = {value:?} is invalid: expected {expected}")
+            }
+            ConfigError::MatrixFile { path, reason } => {
+                write!(f, "matrix file {path:?}: {reason}")
+            }
+            ConfigError::DuplicateMap { name } => {
+                write!(f, "map {name:?} is already registered")
             }
         }
     }
@@ -212,6 +306,64 @@ mod tests {
         };
         assert!(e.to_string().contains("x = 7"));
         assert!(e.to_string().contains("[0, 4]"));
+    }
+
+    /// The spec-layer variants must name the offending key/value and,
+    /// for an unknown map, list every registered name — the error text
+    /// is the CLI's only diagnostic.
+    #[test]
+    fn spec_error_messages_name_the_offender() {
+        let e = ConfigError::UnknownMap {
+            name: "skewd".to_string(),
+            registered: vec!["interleaved".to_string(), "skewed".to_string()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("\"skewd\""), "{msg}");
+        assert!(msg.contains("interleaved, skewed"), "{msg}");
+
+        let e = ConfigError::MissingKey {
+            map: "skewed".to_string(),
+            key: "m",
+        };
+        assert_eq!(e.to_string(), "map \"skewed\" requires key \"m\"");
+
+        let e = ConfigError::UnknownKey {
+            map: "interleaved".to_string(),
+            key: "q".to_string(),
+            accepted: &["m", "t"],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("\"q\""), "{msg}");
+        assert!(msg.contains("accepted keys: m, t"), "{msg}");
+
+        let e = ConfigError::InvalidValue {
+            key: "m".to_string(),
+            value: "three".to_string(),
+            expected: "an unsigned integer",
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("\"m\""), "{msg}");
+        assert!(msg.contains("\"three\""), "{msg}");
+        assert!(msg.contains("an unsigned integer"), "{msg}");
+
+        let e = ConfigError::SpecSyntax {
+            spec: "skewed:m".to_string(),
+            reason: "parameter \"m\" has no '='".to_string(),
+        };
+        assert!(e.to_string().contains("skewed:m"), "{e}");
+
+        let e = ConfigError::DuplicateKey {
+            key: "m".to_string(),
+        };
+        assert!(e.to_string().contains("\"m\""), "{e}");
+
+        let e = ConfigError::MatrixFile {
+            path: "maps/a.gf2".to_string(),
+            reason: "line 3 has 5 columns, line 1 had 7".to_string(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("maps/a.gf2"), "{msg}");
+        assert!(msg.contains("line 3"), "{msg}");
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //!
 //! * [`mapping`] — address-to-module maps: low-order interleaving, row
 //!   skewing, the paper's matched XOR map (its eq. 1), the two-level
-//!   unmatched XOR map (its eq. 2), and arbitrary GF(2) linear maps.
+//!   unmatched XOR map (its eq. 2), and arbitrary GF(2) linear maps —
+//!   all selectable **at runtime by spec string** through
+//!   [`mapping::registry`] (e.g. `"xor-matched:t=3,s=3"`), including
+//!   user-supplied matrices loaded from `.gf2` files
+//!   ([`mapping::CustomGf2`]).
 //! * [`order`] — element request orders: canonical (in order), the
 //!   Section 3.1 subsequence order (Figure 4), and the Section 3.2/4.2
 //!   conflict-free *replay* order.

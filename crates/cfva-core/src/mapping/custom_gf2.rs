@@ -1,0 +1,453 @@
+//! User-supplied GF(2) matrix maps, loadable from `.gf2` files.
+
+use std::fmt;
+use std::path::Path;
+
+use crate::address::{Addr, ModuleId};
+use crate::error::ConfigError;
+use crate::mapping::ModuleMap;
+
+/// A module map defined by a user-supplied GF(2) row matrix: module bit
+/// `i` is the parity of the address bits selected by row `i`, exactly
+/// like [`Linear`](super::Linear) — but built for maps that arrive *at
+/// runtime* (from a registry spec or a matrix file) rather than from
+/// code:
+///
+/// * the matrix **width** is explicit (`cols`), so ragged or
+///   odd-shaped inputs are rejected instead of silently widened to the
+///   highest set bit;
+/// * the matrix can be parsed from the text format of
+///   [`CustomGf2::from_file`];
+/// * the GF(2) **column table** driving the bulk
+///   [`map_stride_into`](ModuleMap::map_stride_into) fast path is
+///   precomputed once at construction, not per bulk call — a map
+///   selected by config string pays the same per-plan cost as the
+///   built-in maps.
+///
+/// The constructor rejects matrices that are not full rank (rank =
+/// number of rows): a rank deficit would leave some modules permanently
+/// unused, violating the balance contract of [`ModuleMap`].
+///
+/// # Matrix file format
+///
+/// One row per line, most significant address bit leftmost; the first
+/// row is module bit 0. Blank lines and `#` comments are ignored, and
+/// every row must have the same number of columns:
+///
+/// ```text
+/// # eq. (1) of the paper with t = 3, s = 3: b_i = a_i XOR a_{3+i}
+/// 001001
+/// 010010
+/// 100100
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use cfva_core::mapping::{CustomGf2, ModuleMap, XorMatched};
+/// use cfva_core::Addr;
+///
+/// // The same eq. (1) matrix, built from row bitmasks.
+/// let custom = CustomGf2::new(vec![0b001001, 0b010010, 0b100100], 6)?;
+/// let builtin = XorMatched::new(3, 3)?;
+/// for a in 0..256u64 {
+///     assert_eq!(custom.module_of(Addr::new(a)), builtin.module_of(Addr::new(a)));
+/// }
+/// # Ok::<(), cfva_core::ConfigError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct CustomGf2 {
+    /// rows[i] = mask of address bits XORed into module bit i.
+    rows: Vec<u64>,
+    /// Declared matrix width: the map reads address bits `0..cols`.
+    cols: u32,
+    /// columns[j] = module bits fed by address bit j — the bulk-mapping
+    /// fast-path table, fixed at construction.
+    columns: [u64; 64],
+}
+
+impl CustomGf2 {
+    /// Creates the map from row bitmasks and an explicit matrix width.
+    ///
+    /// # Errors
+    ///
+    /// * [`ConfigError::OutOfRange`] if there are no rows, more than
+    ///   32, the width is 0 or exceeds 63, a row is zero, or a row has
+    ///   bits at or beyond column `cols` (an odd-shaped matrix);
+    /// * [`ConfigError::SingularMatrix`] if the rows are linearly
+    ///   dependent over GF(2) (rank < number of module bits).
+    pub fn new(rows: Vec<u64>, cols: u32) -> Result<Self, ConfigError> {
+        if rows.is_empty() || rows.len() > 32 {
+            return Err(ConfigError::OutOfRange {
+                what: "matrix rows",
+                value: rows.len() as u64,
+                constraint: "1 <= rows <= 32",
+            });
+        }
+        if cols == 0 || cols > 63 {
+            return Err(ConfigError::OutOfRange {
+                what: "matrix columns",
+                value: cols as u64,
+                constraint: "1 <= cols <= 63",
+            });
+        }
+        if rows.len() as u32 > cols {
+            return Err(ConfigError::OutOfRange {
+                what: "matrix rows",
+                value: rows.len() as u64,
+                constraint: "rows <= cols (a taller-than-wide matrix cannot be full rank)",
+            });
+        }
+        let width_mask = (1u64 << cols) - 1;
+        for &row in &rows {
+            if row == 0 {
+                return Err(ConfigError::OutOfRange {
+                    what: "matrix row",
+                    value: 0,
+                    constraint: "rows must be nonzero",
+                });
+            }
+            if row & !width_mask != 0 {
+                return Err(ConfigError::OutOfRange {
+                    what: "matrix row",
+                    value: row,
+                    constraint: "rows must fit the declared column count",
+                });
+            }
+        }
+        if gf2_rank(&rows) != rows.len() {
+            return Err(ConfigError::SingularMatrix);
+        }
+        let mut columns = [0u64; 64];
+        for (i, &mask) in rows.iter().enumerate() {
+            let mut m = mask;
+            while m != 0 {
+                columns[m.trailing_zeros() as usize] |= 1u64 << i;
+                m &= m - 1;
+            }
+        }
+        Ok(CustomGf2 {
+            rows,
+            cols,
+            columns,
+        })
+    }
+
+    /// Parses the matrix text format (see the type docs) and builds the
+    /// map. The column count is the common line width; the row order of
+    /// the file is the module-bit order.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::MatrixFile`] for format violations (non-binary
+    /// characters, ragged lines, no rows), plus everything
+    /// [`CustomGf2::new`] rejects.
+    pub fn parse_matrix(text: &str, origin: &str) -> Result<Self, ConfigError> {
+        let file_err = |reason: String| ConfigError::MatrixFile {
+            path: origin.to_string(),
+            reason,
+        };
+        let mut rows = Vec::new();
+        let mut cols: Option<(u32, usize)> = None; // (width, first line no)
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            let width = line.chars().count() as u32;
+            match cols {
+                None => cols = Some((width, lineno)),
+                Some((w, first)) if w != width => {
+                    return Err(file_err(format!(
+                        "line {lineno} has {width} columns, line {first} had {w}"
+                    )));
+                }
+                Some(_) => {}
+            }
+            if width > 63 {
+                return Err(file_err(format!(
+                    "line {lineno} has {width} columns; at most 63 are supported"
+                )));
+            }
+            let mut row = 0u64;
+            for c in line.chars() {
+                row = (row << 1)
+                    | match c {
+                        '0' => 0,
+                        '1' => 1,
+                        other => {
+                            return Err(file_err(format!(
+                                "line {lineno} has non-binary character {other:?}"
+                            )));
+                        }
+                    };
+            }
+            rows.push(row);
+        }
+        let Some((cols, _)) = cols else {
+            return Err(file_err("no matrix rows (empty file?)".to_string()));
+        };
+        CustomGf2::new(rows, cols)
+    }
+
+    /// Reads and parses a matrix file (see the type docs for the
+    /// format).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::MatrixFile`] when the file cannot be read, plus
+    /// everything [`parse_matrix`](Self::parse_matrix) rejects.
+    pub fn from_file<P: AsRef<Path>>(path: P) -> Result<Self, ConfigError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| ConfigError::MatrixFile {
+            path: path.display().to_string(),
+            reason: e.to_string(),
+        })?;
+        CustomGf2::parse_matrix(&text, &path.display().to_string())
+    }
+
+    /// The matrix rows (bitmask of address bits per module bit).
+    pub fn rows(&self) -> &[u64] {
+        &self.rows
+    }
+
+    /// The declared matrix width (address bits read).
+    pub const fn cols(&self) -> u32 {
+        self.cols
+    }
+}
+
+/// Rank of a set of GF(2) row vectors (given as bitmasks).
+fn gf2_rank(rows: &[u64]) -> usize {
+    let mut basis: Vec<u64> = Vec::new();
+    for &row in rows {
+        let mut v = row;
+        for &b in &basis {
+            let high = 63 - b.leading_zeros();
+            if v >> high & 1 == 1 {
+                v ^= b;
+            }
+        }
+        if v != 0 {
+            basis.push(v);
+            basis.sort_unstable_by_key(|b| std::cmp::Reverse(*b));
+        }
+    }
+    basis.len()
+}
+
+impl ModuleMap for CustomGf2 {
+    fn module_bits(&self) -> u32 {
+        self.rows.len() as u32
+    }
+
+    fn module_of(&self, addr: Addr) -> ModuleId {
+        let mut b = 0u64;
+        let mut m = addr.get() & ((1u64 << self.cols) - 1);
+        while m != 0 {
+            b ^= self.columns[m.trailing_zeros() as usize];
+            m &= m - 1;
+        }
+        ModuleId::new(b)
+    }
+
+    fn displacement_of(&self, addr: Addr) -> u64 {
+        // The full address: trivially injective together with any
+        // module number. A user matrix has no canonical "row" notion
+        // to expose, so no bits are dropped.
+        addr.get()
+    }
+
+    fn address_bits_used(&self) -> u32 {
+        self.cols
+    }
+
+    fn map_stride_into(&self, base: Addr, stride: i64, out: &mut [ModuleId]) {
+        if out.is_empty() {
+            return;
+        }
+        if stride == 0 {
+            out.fill(self.module_of(base));
+            return;
+        }
+        // GF(2) linearity: `F(A + S) = F(A) ⊕ F(A ⊕ (A + S))`, and the
+        // XOR difference of one stride step is a short carry chain — so
+        // each step folds a handful of entries of the precomputed
+        // column table. One period directly, the rest cyclically.
+        let width_mask = (1u64 << self.cols) - 1;
+        let head = super::bulk::head_len(self.cols, stride, out.len());
+        let mut addr = base.get();
+        let mut b = self.module_of(Addr::new(addr)).get();
+        for slot in &mut out[..head] {
+            *slot = ModuleId::new(b);
+            let next = addr.wrapping_add_signed(stride);
+            let mut diff = (addr ^ next) & width_mask;
+            while diff != 0 {
+                b ^= self.columns[diff.trailing_zeros() as usize];
+                diff &= diff - 1;
+            }
+            addr = next;
+        }
+        super::bulk::extend_cyclic(out, head);
+    }
+}
+
+impl fmt::Debug for CustomGf2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CustomGf2")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .finish_non_exhaustive()
+    }
+}
+
+impl fmt::Display for CustomGf2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "custom GF(2) map (M = {}, {} address bits)",
+            self.module_count(),
+            self.cols
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{Linear, XorMatched};
+
+    #[test]
+    fn matches_equation_1_matrix() {
+        let custom = CustomGf2::new(vec![0b0010001, 0b0100010, 0b1000100], 7).unwrap();
+        let builtin = XorMatched::new(3, 4).unwrap();
+        assert_eq!(custom.module_bits(), builtin.module_bits());
+        assert_eq!(custom.address_bits_used(), builtin.address_bits_used());
+        for a in 0..4096u64 {
+            assert_eq!(
+                custom.module_of(Addr::new(a)),
+                builtin.module_of(Addr::new(a)),
+                "address {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_linear_on_shared_matrices() {
+        let rows = vec![0b1_0010_1101u64, 0b0_1101_1010, 0b1_1000_0111];
+        let custom = CustomGf2::new(rows.clone(), 9).unwrap();
+        let linear = Linear::new(rows).unwrap();
+        for a in (0..1 << 14).step_by(7) {
+            assert_eq!(
+                custom.module_of(Addr::new(a)),
+                linear.module_of(Addr::new(a))
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_rank_deficient_matrices() {
+        assert_eq!(
+            CustomGf2::new(vec![0b001, 0b010, 0b011], 3),
+            Err(ConfigError::SingularMatrix)
+        );
+        assert_eq!(
+            CustomGf2::new(vec![0b01, 0b01], 2),
+            Err(ConfigError::SingularMatrix)
+        );
+    }
+
+    #[test]
+    fn rejects_odd_shapes() {
+        // A row with bits beyond the declared width.
+        assert!(matches!(
+            CustomGf2::new(vec![0b1001], 3),
+            Err(ConfigError::OutOfRange { .. })
+        ));
+        // Taller than wide.
+        assert!(matches!(
+            CustomGf2::new(vec![0b1, 0b1, 0b1], 2),
+            Err(ConfigError::OutOfRange { .. })
+        ));
+        // Degenerate widths and row counts.
+        assert!(CustomGf2::new(vec![], 3).is_err());
+        assert!(CustomGf2::new(vec![0b1], 0).is_err());
+        assert!(CustomGf2::new(vec![0b1, 0], 2).is_err());
+    }
+
+    #[test]
+    fn parses_matrix_text() {
+        let map = CustomGf2::parse_matrix(
+            "# eq. (1), t = 3, s = 3\n001001\n010010\n\n100100  # last row\n",
+            "inline",
+        )
+        .unwrap();
+        assert_eq!(map.rows(), &[0b001001, 0b010010, 0b100100]);
+        assert_eq!(map.cols(), 6);
+        let builtin = XorMatched::new(3, 3).unwrap();
+        for a in 0..512u64 {
+            assert_eq!(map.module_of(Addr::new(a)), builtin.module_of(Addr::new(a)));
+        }
+    }
+
+    #[test]
+    fn matrix_text_errors_are_specific() {
+        let e = CustomGf2::parse_matrix("101\n01\n", "f.gf2").unwrap_err();
+        assert!(
+            e.to_string().contains("line 2 has 2 columns, line 1 had 3"),
+            "{e}"
+        );
+        let e = CustomGf2::parse_matrix("10x\n", "f.gf2").unwrap_err();
+        assert!(e.to_string().contains("non-binary character"), "{e}");
+        let e = CustomGf2::parse_matrix("# only a comment\n", "f.gf2").unwrap_err();
+        assert!(e.to_string().contains("no matrix rows"), "{e}");
+    }
+
+    #[test]
+    fn from_file_reports_missing_files() {
+        let e = CustomGf2::from_file("/definitely/not/here.gf2").unwrap_err();
+        assert!(matches!(e, ConfigError::MatrixFile { .. }));
+        assert!(e.to_string().contains("here.gf2"), "{e}");
+    }
+
+    #[test]
+    fn balanced_over_one_period() {
+        let map = CustomGf2::new(vec![0b1011, 0b0110], 4).unwrap();
+        let span = 1u64 << map.address_bits_used();
+        let mut counts = vec![0u64; map.module_count() as usize];
+        for a in 0..span {
+            counts[map.module_of(Addr::new(a)).get() as usize] += 1;
+        }
+        assert!(
+            counts.iter().all(|&c| c == span / map.module_count()),
+            "unbalanced: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn bulk_mapping_matches_per_element_loop() {
+        let map = CustomGf2::new(vec![0b0010001, 0b0100010, 0b1000100], 7).unwrap();
+        for &(base, stride) in &[(0u64, 1i64), (16, 12), (7, 8), (1000, -12), (42, 0)] {
+            for len in [0usize, 1, 7, 64, 257] {
+                let mut bulk = vec![ModuleId::new(0); len];
+                map.map_stride_into(Addr::new(base), stride, &mut bulk);
+                let expect: Vec<ModuleId> = (0..len as u64)
+                    .map(|k| {
+                        map.module_of(Addr::new(
+                            base.wrapping_add_signed(stride.wrapping_mul(k as i64)),
+                        ))
+                    })
+                    .collect();
+                assert_eq!(bulk, expect, "base {base} stride {stride} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let map = CustomGf2::new(vec![0b001001, 0b010010, 0b100100], 6).unwrap();
+        assert_eq!(map.to_string(), "custom GF(2) map (M = 8, 6 address bits)");
+        assert!(format!("{map:?}").contains("cols: 6"));
+    }
+}

@@ -26,6 +26,12 @@
 //! * [`RegionMap`] — the dynamic per-array scheme of Harper &
 //!   Linebarger (reference \[11\]): each memory region carries its own
 //!   XOR shift, chosen by the compiler for the strides that array sees.
+//! * [`CustomGf2`] — a user-supplied GF(2) row matrix, loadable from a
+//!   `.gf2` text file, for schemes that arrive at runtime.
+//!
+//! Maps are also constructible **by name at runtime** through the
+//! [`registry`] module: `Registry::builtin().build_str("skewed:m=3,d=1")`
+//! — see [`MapSpec`] for the spec grammar.
 //!
 //! Every map reads only a bounded window of low address bits
 //! ([`ModuleMap::address_bits_used`]); from that the *period* `P_x` of
@@ -35,18 +41,22 @@
 //! fall out as special cases.
 
 mod bulk;
+mod custom_gf2;
 mod interleaved;
 mod linear;
 mod pseudo_random;
 mod region;
+pub mod registry;
 mod skewed;
 mod xor_matched;
 mod xor_unmatched;
 
+pub use custom_gf2::CustomGf2;
 pub use interleaved::Interleaved;
 pub use linear::Linear;
 pub use pseudo_random::PseudoRandom;
 pub use region::RegionMap;
+pub use registry::{MapSpec, Registry};
 pub use skewed::Skewed;
 pub use xor_matched::XorMatched;
 pub use xor_unmatched::XorUnmatched;
@@ -63,8 +73,10 @@ use crate::stride::StrideFamily;
 /// `tests/` check it.
 ///
 /// The trait is object safe; planners and simulators accept
-/// `&dyn ModuleMap`.
-pub trait ModuleMap {
+/// `&dyn ModuleMap`. `Debug` is a supertrait so runtime-selected
+/// `Box<dyn ModuleMap>` values (the [`registry`] path) stay printable
+/// in errors and assertions.
+pub trait ModuleMap: std::fmt::Debug {
     /// Number of module-number bits `m` (there are `M = 2^m` modules).
     fn module_bits(&self) -> u32;
 
@@ -283,18 +295,15 @@ mod tests {
     /// through the `&dyn` and `Box` blanket impls) must agree with the
     /// per-element `module_of` loop everywhere — including negative and
     /// zero strides, which the planner never produces but the API
-    /// accepts.
+    /// accepts. Iterates the registry coverage set, so a newly
+    /// registered map is checked with no edits here.
     #[test]
     fn bulk_mapping_matches_per_element_loop() {
-        let maps: Vec<Box<dyn ModuleMap>> = vec![
-            Box::new(Interleaved::new(3).unwrap()),
-            Box::new(Skewed::new(3, 3).unwrap()),
-            Box::new(XorMatched::new(3, 4).unwrap()),
-            Box::new(XorUnmatched::new(2, 3, 7).unwrap()),
-            Box::new(Linear::new(vec![0b1_0010_1101, 0b0_1101_1010, 0b1_1000_0111]).unwrap()),
-            Box::new(PseudoRandom::with_default_poly(3).unwrap()),
-            Box::new(RegionMap::new(3, 10, 3).unwrap().with_region(1, 6).unwrap()),
-        ];
+        let maps: Vec<Box<dyn ModuleMap + Send + Sync>> = Registry::builtin()
+            .all_maps()
+            .into_iter()
+            .map(|(_, map)| map)
+            .collect();
         for map in &maps {
             for &(base, stride) in &[
                 (0u64, 1i64),

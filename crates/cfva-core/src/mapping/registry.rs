@@ -1,0 +1,899 @@
+//! Runtime map selection: spec strings and the name → constructor
+//! registry.
+//!
+//! The paper's whole evaluation is *comparing storage schemes on the
+//! same access streams*; this module makes the scheme a **runtime
+//! value** instead of a compile-time type. A [`MapSpec`] is parsed from
+//! a compact string grammar:
+//!
+//! ```text
+//! spec   := name [ ':' param ( ',' param )* ]
+//! param  := key '=' value
+//! value  := anything but ',' (integers take 0x/0b prefixes and '_')
+//! ```
+//!
+//! e.g. `interleaved:m=3`, `skewed:m=8,d=1,t=4`,
+//! `xor-matched:t=3,s=4`, `custom-gf2:matrix=@maps/fft.gf2`. A
+//! [`Registry`] resolves the name to a constructor; [`Registry::builtin`]
+//! pre-registers every map in this crate:
+//!
+//! | name | keys | map |
+//! |---|---|---|
+//! | `interleaved` | `m` | [`Interleaved`] |
+//! | `skewed` | `m`, `d` (default 1) | [`Skewed`] |
+//! | `xor-matched` | `t`, `s` | [`XorMatched`] |
+//! | `xor-unmatched` | `t`, `s`, `y` | [`XorUnmatched`] |
+//! | `linear` | `rows` *or* `matrix=@file` | [`Linear`] |
+//! | `pseudo-random` | `m`, `poly` (default primitive), `bits` (default 40) | [`PseudoRandom`] |
+//! | `region` | `t`, `bits`, `s`, `regions` (e.g. `1:6\|2:4`) | [`RegionMap`] |
+//! | `custom-gf2` | `rows` [+ `cols`] *or* `matrix=@file` | [`CustomGf2`] |
+//!
+//! Every spec additionally accepts `t=<exponent>` naming the module
+//! latency `T = 2^t` for planning and simulation (for the XOR maps and
+//! `region` that *is* the map's own `t`; for the rest it defaults to
+//! the module-bit count, i.e. a matched memory). Matrix-valued keys
+//! take either `@path` (the [`CustomGf2::from_file`] text format) or
+//! inline `|`-separated row bitmasks.
+//!
+//! [`Registry::all_specs`] iterates a canonical coverage spec per
+//! registered map, which is what the property/equivalence suites and
+//! benches loop over — a map registered here is automatically covered
+//! by every suite.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ConfigError;
+use crate::mapping::{
+    CustomGf2, Interleaved, Linear, ModuleMap, PseudoRandom, RegionMap, Skewed, XorMatched,
+    XorUnmatched,
+};
+use crate::plan::Planner;
+
+/// A parsed map spec: the map name plus its `key=value` parameters in
+/// written order. Parsing and [`Display`](fmt::Display) round-trip:
+/// `MapSpec::parse(spec.to_string()) == spec`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MapSpec {
+    name: String,
+    params: Vec<(String, String)>,
+}
+
+impl MapSpec {
+    /// Parses a spec string (see the module docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::SpecSyntax`] for grammar violations and
+    /// [`ConfigError::DuplicateKey`] for repeated keys. Whether the
+    /// *name* is known is the [`Registry`]'s business, not the
+    /// parser's.
+    pub fn parse(spec: &str) -> Result<Self, ConfigError> {
+        let syntax = |reason: String| ConfigError::SpecSyntax {
+            spec: spec.to_string(),
+            reason,
+        };
+        let (name, rest) = match spec.split_once(':') {
+            Some((name, rest)) => (name, Some(rest)),
+            None => (spec, None),
+        };
+        if name.is_empty() {
+            return Err(syntax("empty map name".to_string()));
+        }
+        if !name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-' || c == '_')
+        {
+            return Err(syntax(format!(
+                "map name {name:?} may only contain lowercase letters, digits, '-' and '_'"
+            )));
+        }
+        let mut params = Vec::new();
+        if let Some(rest) = rest {
+            if rest.is_empty() {
+                return Err(syntax("trailing ':' with no parameters".to_string()));
+            }
+            for param in rest.split(',') {
+                let Some((key, value)) = param.split_once('=') else {
+                    return Err(syntax(format!("parameter {param:?} has no '='")));
+                };
+                if key.is_empty() {
+                    return Err(syntax(format!("parameter {param:?} has an empty key")));
+                }
+                if value.is_empty() {
+                    return Err(syntax(format!("parameter {key:?} has an empty value")));
+                }
+                if params.iter().any(|(k, _)| k == key) {
+                    return Err(ConfigError::DuplicateKey {
+                        key: key.to_string(),
+                    });
+                }
+                params.push((key.to_string(), value.to_string()));
+            }
+        }
+        Ok(MapSpec {
+            name: name.to_string(),
+            params,
+        })
+    }
+
+    /// The map name the spec addresses.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The raw value of a key, if given.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The parameters in written order.
+    pub fn params(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.params.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Rejects any key outside `accepted` — so a typo'd key fails
+    /// loudly naming what *is* accepted, instead of being ignored.
+    pub fn check_keys(&self, accepted: &'static [&'static str]) -> Result<(), ConfigError> {
+        for (key, _) in &self.params {
+            if !accepted.contains(&key.as_str()) {
+                return Err(ConfigError::UnknownKey {
+                    map: self.name.clone(),
+                    key: key.clone(),
+                    accepted,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// An optional unsigned-integer value (decimal, `0x`, `0b`, with
+    /// `_` separators).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::InvalidValue`] when present but unparsable.
+    pub fn u64_value(&self, key: &str) -> Result<Option<u64>, ConfigError> {
+        self.get(key)
+            .map(|v| {
+                parse_u64(v).ok_or_else(|| ConfigError::InvalidValue {
+                    key: key.to_string(),
+                    value: v.to_string(),
+                    expected: "an unsigned integer (decimal, 0x… or 0b…)",
+                })
+            })
+            .transpose()
+    }
+
+    /// A required unsigned-integer value.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::MissingKey`] when absent, otherwise as
+    /// [`u64_value`](Self::u64_value).
+    pub fn require_u64(&self, key: &'static str) -> Result<u64, ConfigError> {
+        self.u64_value(key)?.ok_or(ConfigError::MissingKey {
+            map: self.name.clone(),
+            key,
+        })
+    }
+
+    /// [`require_u64`](Self::require_u64) narrowed to `u32` (every
+    /// exponent-shaped parameter).
+    pub fn require_u32(&self, key: &'static str) -> Result<u32, ConfigError> {
+        let v = self.require_u64(key)?;
+        u32::try_from(v).map_err(|_| ConfigError::InvalidValue {
+            key: key.to_string(),
+            value: v.to_string(),
+            expected: "a value fitting u32",
+        })
+    }
+
+    /// Optional `u32` value.
+    ///
+    /// # Errors
+    ///
+    /// As [`u64_value`](Self::u64_value), plus range.
+    pub fn u32_value(&self, key: &str) -> Result<Option<u32>, ConfigError> {
+        self.u64_value(key)?
+            .map(|v| {
+                u32::try_from(v).map_err(|_| ConfigError::InvalidValue {
+                    key: key.to_string(),
+                    value: v.to_string(),
+                    expected: "a value fitting u32",
+                })
+            })
+            .transpose()
+    }
+
+    /// A GF(2) matrix value from either `matrix=@file` (the
+    /// [`CustomGf2`] text format) or inline `rows=mask|mask|…`
+    /// bitmasks, as `(rows, cols)`; inline widths default to the
+    /// highest set bit unless `cols=` is given.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::MissingKey`] when neither key is present,
+    /// [`ConfigError::SpecSyntax`] when both are,
+    /// [`ConfigError::InvalidValue`] for bad masks, and file errors
+    /// from [`CustomGf2::from_file`].
+    pub fn matrix_value(&self) -> Result<(Vec<u64>, u32), ConfigError> {
+        match (self.get("matrix"), self.get("rows")) {
+            (Some(_), Some(_)) => Err(ConfigError::SpecSyntax {
+                spec: self.to_string(),
+                reason: "keys \"matrix\" and \"rows\" are mutually exclusive".to_string(),
+            }),
+            (Some(value), None) => {
+                let Some(path) = value.strip_prefix('@') else {
+                    return Err(ConfigError::InvalidValue {
+                        key: "matrix".to_string(),
+                        value: value.to_string(),
+                        expected: "a file reference: matrix=@path/to/file.gf2",
+                    });
+                };
+                let map = CustomGf2::from_file(path)?;
+                Ok((map.rows().to_vec(), map.cols()))
+            }
+            (None, Some(value)) => {
+                let mut rows = Vec::new();
+                for mask in value.split('|') {
+                    let row = parse_u64(mask).ok_or_else(|| ConfigError::InvalidValue {
+                        key: "rows".to_string(),
+                        value: mask.to_string(),
+                        expected: "'|'-separated row bitmasks (decimal, 0x… or 0b…)",
+                    })?;
+                    rows.push(row);
+                }
+                let cols = match self.u32_value("cols")? {
+                    Some(c) => c,
+                    None => rows
+                        .iter()
+                        .map(|r| 64 - r.leading_zeros())
+                        .max()
+                        .unwrap_or(0),
+                };
+                Ok((rows, cols))
+            }
+            (None, None) => Err(ConfigError::MissingKey {
+                map: self.name.clone(),
+                key: "matrix (or rows)",
+            }),
+        }
+    }
+}
+
+impl FromStr for MapSpec {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, ConfigError> {
+        MapSpec::parse(s)
+    }
+}
+
+impl fmt::Display for MapSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        for (i, (key, value)) in self.params.iter().enumerate() {
+            write!(f, "{}{key}={value}", if i == 0 { ':' } else { ',' })?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses an unsigned integer with optional `0x`/`0b` prefix and `_`
+/// separators. `None` on anything else.
+fn parse_u64(text: &str) -> Option<u64> {
+    let clean: String = text.chars().filter(|&c| c != '_').collect();
+    if clean.is_empty() {
+        return None;
+    }
+    if let Some(hex) = clean.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else if let Some(bin) = clean.strip_prefix("0b") {
+        u64::from_str_radix(bin, 2).ok()
+    } else {
+        clean.parse().ok()
+    }
+}
+
+/// A map constructor: builds a boxed [`ModuleMap`] from a parsed spec.
+pub type MapConstructor = fn(&MapSpec) -> Result<Box<dyn ModuleMap + Send + Sync>, ConfigError>;
+
+struct RegistryEntry {
+    name: String,
+    ctor: MapConstructor,
+    /// Canonical coverage specs, pre-validated at registration: what
+    /// [`Registry::all_specs`] iterates.
+    coverage: Vec<MapSpec>,
+}
+
+impl fmt::Debug for RegistryEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RegistryEntry")
+            .field("name", &self.name)
+            .field("coverage", &self.coverage)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The name → constructor table. [`Registry::builtin`] carries every
+/// map in this crate; [`Registry::register`] adds user maps, which the
+/// iteration surfaces ([`all_specs`](Registry::all_specs),
+/// [`all_maps`](Registry::all_maps)) then cover exactly like the
+/// built-ins.
+///
+/// # Examples
+///
+/// ```
+/// use cfva_core::mapping::registry::{MapSpec, Registry};
+/// use cfva_core::mapping::ModuleMap;
+/// use cfva_core::Addr;
+///
+/// let registry = Registry::builtin();
+/// let map = registry.build_str("xor-matched:t=3,s=3")?;
+/// assert_eq!(map.module_count(), 8);
+/// assert_eq!(map.module_of(Addr::new(9)).get(), 0);
+///
+/// // Unknown names fail with the registered names in the message.
+/// let err = registry.build_str("xor-macthed:t=3,s=3").unwrap_err();
+/// assert!(err.to_string().contains("xor-matched"));
+/// # Ok::<(), cfva_core::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct Registry {
+    entries: Vec<RegistryEntry>,
+}
+
+impl Registry {
+    /// An empty registry (no names known).
+    pub fn new() -> Self {
+        Registry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The registry with every built-in map pre-registered, in the
+    /// order the paper discusses them.
+    pub fn builtin() -> Self {
+        let mut registry = Registry::new();
+        let builtins: [(&str, MapConstructor, &[&str]); 8] = [
+            ("interleaved", build_interleaved, &["interleaved:m=3"]),
+            ("skewed", build_skewed, &["skewed:m=3,d=3"]),
+            ("xor-matched", build_xor_matched, &["xor-matched:t=3,s=4"]),
+            (
+                "xor-unmatched",
+                build_xor_unmatched,
+                &["xor-unmatched:t=3,s=4,y=9"],
+            ),
+            (
+                "linear",
+                build_linear,
+                &["linear:rows=0b1_0010_1101|0b0_1101_1010|0b1_1000_0111"],
+            ),
+            (
+                "pseudo-random",
+                build_pseudo_random,
+                &["pseudo-random:m=3,bits=14"],
+            ),
+            (
+                "region",
+                build_region,
+                &["region:t=3,bits=10,s=3,regions=1:6"],
+            ),
+            (
+                "custom-gf2",
+                build_custom_gf2,
+                // Equation (1) of the paper with t = 3, s = 3 — the
+                // Figure 3 storage, written as an explicit matrix.
+                &["custom-gf2:rows=0b001001|0b010010|0b100100,cols=6"],
+            ),
+        ];
+        for (name, ctor, coverage) in builtins {
+            registry
+                .register(name, ctor, coverage)
+                .expect("built-in registration is static and valid");
+        }
+        registry
+    }
+
+    /// Registers a map under `name`. `coverage` lists canonical specs
+    /// for the [`all_specs`](Self::all_specs)/[`all_maps`](Self::all_maps)
+    /// iteration — each is parsed *and constructed once* here, so a
+    /// registered map is known-buildable.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::DuplicateMap`] if the name is taken; parse or
+    /// construction errors from the coverage specs.
+    pub fn register(
+        &mut self,
+        name: &str,
+        ctor: MapConstructor,
+        coverage: &[&str],
+    ) -> Result<(), ConfigError> {
+        if self.entries.iter().any(|e| e.name == name) {
+            return Err(ConfigError::DuplicateMap {
+                name: name.to_string(),
+            });
+        }
+        let mut specs = Vec::with_capacity(coverage.len());
+        for text in coverage {
+            let spec = MapSpec::parse(text)?;
+            if spec.name() != name {
+                return Err(ConfigError::SpecSyntax {
+                    spec: (*text).to_string(),
+                    reason: format!("coverage spec names {:?}, not {name:?}", spec.name()),
+                });
+            }
+            ctor(&spec)?; // known-buildable or refuse registration
+            specs.push(spec);
+        }
+        self.entries.push(RegistryEntry {
+            name: name.to_string(),
+            ctor,
+            coverage: specs,
+        });
+        Ok(())
+    }
+
+    /// The registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// Builds the map a parsed spec describes.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::UnknownMap`] (listing the registered names) when
+    /// the name has no entry; otherwise whatever the constructor
+    /// rejects.
+    pub fn build(&self, spec: &MapSpec) -> Result<Box<dyn ModuleMap + Send + Sync>, ConfigError> {
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.name == spec.name())
+            .ok_or_else(|| ConfigError::UnknownMap {
+                name: spec.name().to_string(),
+                registered: self.names().iter().map(|n| n.to_string()).collect(),
+            })?;
+        (entry.ctor)(spec)
+    }
+
+    /// Parses and builds in one step.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors from [`MapSpec::parse`] plus everything
+    /// [`build`](Self::build) rejects.
+    pub fn build_str(&self, spec: &str) -> Result<Box<dyn ModuleMap + Send + Sync>, ConfigError> {
+        self.build(&MapSpec::parse(spec)?)
+    }
+
+    /// One canonical coverage spec per registered map (pre-validated at
+    /// registration) — the exhaustive-iteration surface for tests and
+    /// benches.
+    pub fn all_specs(&self) -> Vec<MapSpec> {
+        self.entries
+            .iter()
+            .flat_map(|e| e.coverage.iter().cloned())
+            .collect()
+    }
+
+    /// Builds every coverage spec: `(spec, map)` pairs in registration
+    /// order.
+    pub fn all_maps(&self) -> Vec<(MapSpec, Box<dyn ModuleMap + Send + Sync>)> {
+        self.all_specs()
+            .into_iter()
+            .map(|spec| {
+                let map = self
+                    .build(&spec)
+                    .expect("coverage specs are validated at registration");
+                (spec, map)
+            })
+            .collect()
+    }
+
+    /// Builds the [`Planner`] a spec describes: `xor-matched` and
+    /// `xor-unmatched` get their out-of-order planners, everything else
+    /// plans in order ([`Planner::baseline`]) with the latency exponent
+    /// from the spec's `t` key (default: the map's module-bit count,
+    /// i.e. a matched memory).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`build`](Self::build) rejects — in particular a
+    /// name this registry has not registered is [`ConfigError::UnknownMap`]
+    /// here too, so `planner` and `build` always agree on what the
+    /// registry contains.
+    pub fn planner(&self, spec: &MapSpec) -> Result<Planner, ConfigError> {
+        if !self.entries.iter().any(|e| e.name == spec.name()) {
+            return Err(ConfigError::UnknownMap {
+                name: spec.name().to_string(),
+                registered: self.names().iter().map(|n| n.to_string()).collect(),
+            });
+        }
+        match spec.name() {
+            "xor-matched" => Ok(Planner::matched(xor_matched_params(spec)?)),
+            "xor-unmatched" => Ok(Planner::unmatched(xor_unmatched_params(spec)?)),
+            _ => {
+                let map = self.build(spec)?;
+                let t = match spec.u32_value("t")? {
+                    Some(t) => t,
+                    None => map.module_bits(),
+                };
+                Ok(Planner::baseline(map, t))
+            }
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::builtin()
+    }
+}
+
+fn xor_matched_params(spec: &MapSpec) -> Result<XorMatched, ConfigError> {
+    spec.check_keys(&["t", "s"])?;
+    XorMatched::new(spec.require_u32("t")?, spec.require_u32("s")?)
+}
+
+fn xor_unmatched_params(spec: &MapSpec) -> Result<XorUnmatched, ConfigError> {
+    spec.check_keys(&["t", "s", "y"])?;
+    XorUnmatched::new(
+        spec.require_u32("t")?,
+        spec.require_u32("s")?,
+        spec.require_u32("y")?,
+    )
+}
+
+fn build_interleaved(spec: &MapSpec) -> Result<Box<dyn ModuleMap + Send + Sync>, ConfigError> {
+    spec.check_keys(&["m", "t"])?;
+    Ok(Box::new(Interleaved::new(spec.require_u32("m")?)?))
+}
+
+fn build_skewed(spec: &MapSpec) -> Result<Box<dyn ModuleMap + Send + Sync>, ConfigError> {
+    spec.check_keys(&["m", "d", "t"])?;
+    let d = spec.u64_value("d")?.unwrap_or(1);
+    Ok(Box::new(Skewed::new(spec.require_u32("m")?, d)?))
+}
+
+fn build_xor_matched(spec: &MapSpec) -> Result<Box<dyn ModuleMap + Send + Sync>, ConfigError> {
+    Ok(Box::new(xor_matched_params(spec)?))
+}
+
+fn build_xor_unmatched(spec: &MapSpec) -> Result<Box<dyn ModuleMap + Send + Sync>, ConfigError> {
+    Ok(Box::new(xor_unmatched_params(spec)?))
+}
+
+fn build_linear(spec: &MapSpec) -> Result<Box<dyn ModuleMap + Send + Sync>, ConfigError> {
+    // No `cols` here: Linear derives its width from the highest set
+    // bit and would silently ignore a declared one — use `custom-gf2`
+    // for explicit-width matrices.
+    spec.check_keys(&["rows", "matrix", "m", "t"])?;
+    let (rows, _cols) = spec.matrix_value()?;
+    if let Some(m) = spec.u32_value("m")? {
+        if m as usize != rows.len() {
+            return Err(ConfigError::InvalidValue {
+                key: "m".to_string(),
+                value: m.to_string(),
+                expected: "m equal to the number of matrix rows",
+            });
+        }
+    }
+    Ok(Box::new(Linear::new(rows)?))
+}
+
+fn build_pseudo_random(spec: &MapSpec) -> Result<Box<dyn ModuleMap + Send + Sync>, ConfigError> {
+    spec.check_keys(&["m", "poly", "bits", "t"])?;
+    let m = spec.require_u32("m")?;
+    let poly = match spec.u64_value("poly")? {
+        Some(p) => p,
+        None => PseudoRandom::with_default_poly(m)?.polynomial(),
+    };
+    let bits = spec.u32_value("bits")?.unwrap_or(40);
+    Ok(Box::new(PseudoRandom::new(m, poly, bits)?))
+}
+
+fn build_region(spec: &MapSpec) -> Result<Box<dyn ModuleMap + Send + Sync>, ConfigError> {
+    spec.check_keys(&["t", "bits", "s", "regions"])?;
+    let mut map = RegionMap::new(
+        spec.require_u32("t")?,
+        spec.require_u32("bits")?,
+        spec.require_u32("s")?,
+    )?;
+    if let Some(overrides) = spec.get("regions") {
+        for entry in overrides.split('|') {
+            let parsed = entry.split_once(':').and_then(|(region, s)| {
+                Some((parse_u64(region)?, u32::try_from(parse_u64(s)?).ok()?))
+            });
+            let Some((region, s)) = parsed else {
+                return Err(ConfigError::InvalidValue {
+                    key: "regions".to_string(),
+                    value: entry.to_string(),
+                    expected: "'|'-separated region:s overrides, e.g. 1:6|2:4",
+                });
+            };
+            map = map.with_region(region, s)?;
+        }
+    }
+    Ok(Box::new(map))
+}
+
+fn build_custom_gf2(spec: &MapSpec) -> Result<Box<dyn ModuleMap + Send + Sync>, ConfigError> {
+    spec.check_keys(&["rows", "matrix", "cols", "t"])?;
+    let (rows, cols) = spec.matrix_value()?;
+    Ok(Box::new(CustomGf2::new(rows, cols)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Addr;
+
+    #[test]
+    fn parses_and_round_trips() {
+        for text in [
+            "interleaved:m=3",
+            "skewed:m=3,d=3",
+            "xor-matched:t=3,s=4",
+            "xor-unmatched:t=3,s=4,y=9",
+            "linear:rows=0b1_0010_1101|0b0_1101_1010|0b1_1000_0111",
+            "pseudo-random:m=3,bits=14",
+            "region:t=3,bits=10,s=3,regions=1:6",
+            "custom-gf2:rows=0b001001|0b010010|0b100100,cols=6",
+            "interleaved",
+        ] {
+            let spec = MapSpec::parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(spec.to_string(), text);
+            assert_eq!(MapSpec::parse(&spec.to_string()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_grammar() {
+        for (text, needle) in [
+            ("", "empty map name"),
+            (":m=3", "empty map name"),
+            ("Interleaved:m=3", "lowercase"),
+            ("interleaved:", "no parameters"),
+            ("interleaved:m", "no '='"),
+            ("interleaved:=3", "empty key"),
+            ("interleaved:m=", "empty value"),
+        ] {
+            let e = MapSpec::parse(text).unwrap_err();
+            assert!(e.to_string().contains(needle), "{text}: {e}");
+        }
+        assert!(matches!(
+            MapSpec::parse("skewed:m=3,m=4"),
+            Err(ConfigError::DuplicateKey { .. })
+        ));
+    }
+
+    #[test]
+    fn builtin_names_cover_all_eight() {
+        let registry = Registry::builtin();
+        assert_eq!(
+            registry.names(),
+            vec![
+                "interleaved",
+                "skewed",
+                "xor-matched",
+                "xor-unmatched",
+                "linear",
+                "pseudo-random",
+                "region",
+                "custom-gf2",
+            ]
+        );
+        assert_eq!(registry.all_specs().len(), 8);
+        assert_eq!(registry.all_maps().len(), 8);
+    }
+
+    #[test]
+    fn unknown_map_lists_registered_names() {
+        let e = Registry::builtin().build_str("skwed:m=3").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("\"skwed\""), "{msg}");
+        for name in Registry::builtin().names() {
+            assert!(msg.contains(name), "{msg} missing {name}");
+        }
+    }
+
+    #[test]
+    fn unknown_and_missing_keys_are_named() {
+        let registry = Registry::builtin();
+        let e = registry.build_str("interleaved:q=3").unwrap_err();
+        assert!(
+            matches!(&e, ConfigError::UnknownKey { key, .. } if key == "q"),
+            "{e}"
+        );
+        let e = registry.build_str("xor-matched:t=3").unwrap_err();
+        assert!(
+            matches!(&e, ConfigError::MissingKey { key, .. } if *key == "s"),
+            "{e}"
+        );
+        let e = registry.build_str("interleaved:m=three").unwrap_err();
+        assert!(
+            matches!(&e, ConfigError::InvalidValue { value, .. } if value == "three"),
+            "{e}"
+        );
+    }
+
+    /// `planner` must agree with `build` about what the registry
+    /// contains: an unregistered name is `UnknownMap` on both paths,
+    /// including the out-of-order special cases.
+    #[test]
+    fn planner_rejects_names_the_registry_does_not_hold() {
+        let empty = Registry::new();
+        for text in ["xor-matched:t=3,s=4", "xor-unmatched:t=3,s=4,y=9"] {
+            let spec = MapSpec::parse(text).unwrap();
+            assert!(
+                matches!(empty.planner(&spec), Err(ConfigError::UnknownMap { .. })),
+                "{text}"
+            );
+            assert!(matches!(
+                empty.build(&spec),
+                Err(ConfigError::UnknownMap { .. })
+            ));
+        }
+    }
+
+    /// `linear` derives its width from the highest set bit, so a
+    /// `cols` it would silently ignore is rejected (pointing at
+    /// `custom-gf2`, which honors it).
+    #[test]
+    fn linear_rejects_the_cols_key_custom_gf2_honors() {
+        let registry = Registry::builtin();
+        let e = registry
+            .build_str("linear:rows=0b011|0b101,cols=8")
+            .unwrap_err();
+        assert!(
+            matches!(&e, ConfigError::UnknownKey { key, .. } if key == "cols"),
+            "{e}"
+        );
+        let map = registry
+            .build_str("custom-gf2:rows=0b011|0b101,cols=8")
+            .unwrap();
+        assert_eq!(map.address_bits_used(), 8);
+    }
+
+    /// Giving both matrix sources is a syntax error naming both keys —
+    /// not an `InvalidValue` that mislabels one key with the other's
+    /// value.
+    #[test]
+    fn matrix_and_rows_together_name_both_keys() {
+        let e = Registry::builtin()
+            .build_str("custom-gf2:rows=0b01|0b10,matrix=@f.gf2")
+            .unwrap_err();
+        let msg = e.to_string();
+        assert!(matches!(e, ConfigError::SpecSyntax { .. }), "{msg}");
+        assert!(
+            msg.contains("\"matrix\"") && msg.contains("\"rows\""),
+            "{msg}"
+        );
+        assert!(msg.contains("mutually exclusive"), "{msg}");
+    }
+
+    #[test]
+    fn constructor_constraint_violations_propagate() {
+        let registry = Registry::builtin();
+        // s < t for the matched map.
+        assert!(registry.build_str("xor-matched:t=3,s=2").is_err());
+        // Rank-deficient custom matrix.
+        assert_eq!(
+            registry.build_str("custom-gf2:rows=0b11|0b11").unwrap_err(),
+            ConfigError::SingularMatrix
+        );
+        // Odd-shaped custom matrix: more rows than declared columns.
+        assert!(matches!(
+            registry
+                .build_str("custom-gf2:rows=0b01|0b01,cols=1")
+                .unwrap_err(),
+            ConfigError::OutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn built_maps_behave_like_their_types() {
+        let registry = Registry::builtin();
+        let map = registry.build_str("interleaved:m=3").unwrap();
+        assert_eq!(map.module_of(Addr::new(13)).get(), 5);
+        let map = registry.build_str("skewed:m=2,d=1").unwrap();
+        assert_eq!(map.module_of(Addr::new(4)).get(), 1);
+        let map = registry
+            .build_str("pseudo-random:m=3,poly=0b1011,bits=24")
+            .unwrap();
+        assert_eq!(map.module_of(Addr::new(8)).get(), 3);
+        let map = registry
+            .build_str("region:t=3,bits=20,s=3,regions=1:6")
+            .unwrap();
+        let direct = RegionMap::new(3, 20, 3).unwrap().with_region(1, 6).unwrap();
+        for a in [0u64, 9, 1 << 20, (1 << 20) + 12345] {
+            assert_eq!(map.module_of(Addr::new(a)), direct.module_of(Addr::new(a)));
+        }
+    }
+
+    #[test]
+    fn register_rejects_duplicates_and_bad_coverage() {
+        let mut registry = Registry::builtin();
+        assert!(matches!(
+            registry.register("skewed", build_skewed, &["skewed:m=2"]),
+            Err(ConfigError::DuplicateMap { .. })
+        ));
+        // Coverage spec naming a different map is refused.
+        assert!(registry
+            .register("skewed2", build_skewed, &["skewed:m=2"])
+            .is_err());
+        // Unbuildable coverage spec is refused.
+        assert!(registry
+            .register("skewed2", build_skewed, &["skewed2:m=99"])
+            .is_err());
+    }
+
+    #[test]
+    fn registered_user_maps_join_the_iteration() {
+        fn double_interleaved(
+            spec: &MapSpec,
+        ) -> Result<Box<dyn ModuleMap + Send + Sync>, ConfigError> {
+            spec.check_keys(&["m", "t"])?;
+            Ok(Box::new(Interleaved::new(spec.require_u32("m")? * 2)?))
+        }
+        let mut registry = Registry::builtin();
+        registry
+            .register(
+                "double-interleaved",
+                double_interleaved,
+                &["double-interleaved:m=2"],
+            )
+            .unwrap();
+        assert_eq!(registry.all_specs().len(), 9);
+        let (spec, map) = registry.all_maps().pop().unwrap();
+        assert_eq!(spec.name(), "double-interleaved");
+        assert_eq!(map.module_count(), 16);
+        // And the planner path covers it as an in-order baseline.
+        let planner = registry.planner(&spec).unwrap();
+        assert_eq!(planner.module_count(), 16);
+        assert_eq!(planner.t(), 4);
+    }
+
+    #[test]
+    fn planner_kinds_follow_the_spec_name() {
+        let registry = Registry::builtin();
+        let planner = registry
+            .planner(&MapSpec::parse("xor-matched:t=3,s=4").unwrap())
+            .unwrap();
+        assert_eq!(planner.window(7), Some((0, 4))); // out-of-order capable
+        let planner = registry
+            .planner(&MapSpec::parse("xor-unmatched:t=3,s=4,y=9").unwrap())
+            .unwrap();
+        assert_eq!(planner.window(7), Some((0, 9)));
+        assert_eq!(planner.t(), 3);
+        assert_eq!(planner.module_count(), 64);
+        let planner = registry
+            .planner(&MapSpec::parse("interleaved:m=3").unwrap())
+            .unwrap();
+        assert_eq!(planner.window(7), None); // in-order baseline
+        assert_eq!(planner.t(), 3); // matched by default
+                                    // Explicit latency rider on a baseline map.
+        let planner = registry
+            .planner(&MapSpec::parse("interleaved:m=3,t=6").unwrap())
+            .unwrap();
+        assert_eq!(planner.t(), 6);
+    }
+
+    #[test]
+    fn integer_literals_take_prefixes_and_separators() {
+        assert_eq!(parse_u64("42"), Some(42));
+        assert_eq!(parse_u64("0x2a"), Some(42));
+        assert_eq!(parse_u64("0b10_1010"), Some(42));
+        assert_eq!(parse_u64("1_000"), Some(1000));
+        assert_eq!(parse_u64(""), None);
+        assert_eq!(parse_u64("-3"), None);
+        assert_eq!(parse_u64("0xzz"), None);
+    }
+}

@@ -390,6 +390,34 @@ impl Planner {
         }
     }
 
+    /// Planner selected at runtime by a map spec, resolved against the
+    /// built-in [`Registry`](crate::mapping::Registry):
+    /// `xor-matched`/`xor-unmatched` specs get their out-of-order
+    /// planners, everything else plans in order with the latency
+    /// exponent from the spec's `t` key (default: a matched memory).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cfva_core::mapping::MapSpec;
+    /// use cfva_core::plan::{Planner, Strategy};
+    /// use cfva_core::VectorSpec;
+    ///
+    /// let planner = Planner::from_spec(&"xor-matched:t=3,s=3".parse()?)?;
+    /// let plan = planner.plan(&VectorSpec::new(16, 12, 64)?, Strategy::Auto)?;
+    /// assert!(plan.is_conflict_free(8));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Registry::build`](crate::mapping::Registry::build)
+    /// rejects: unknown names, missing/unknown/invalid keys, map
+    /// constraint violations.
+    pub fn from_spec(spec: &crate::mapping::MapSpec) -> Result<Self, crate::error::ConfigError> {
+        crate::mapping::Registry::builtin().planner(spec)
+    }
+
     /// The module map in use.
     pub fn map(&self) -> &dyn ModuleMap {
         match &self.kind {

@@ -69,6 +69,33 @@ impl MemConfig {
         })
     }
 
+    /// The configuration matching a runtime map spec: `m` is the
+    /// spec'd map's module-bit count and `t` its latency exponent
+    /// (the XOR maps' own `t`; the spec's `t` key, default matched,
+    /// for baselines) — the memory a
+    /// [`Planner::from_spec`](cfva_core::plan::Planner::from_spec)
+    /// planner expects to run against.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cfva_memsim::MemConfig;
+    ///
+    /// let cfg = MemConfig::from_spec(&"xor-unmatched:t=3,s=4,y=9".parse()?)?;
+    /// assert_eq!(cfg.module_count(), 64); // M = 2^{2t}
+    /// assert_eq!(cfg.t_cycles(), 8);      // T = 2^t
+    /// # Ok::<(), cfva_core::ConfigError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Spec resolution errors from the registry, plus this
+    /// constructor's own `m`/`t` bounds.
+    pub fn from_spec(spec: &cfva_core::mapping::MapSpec) -> Result<Self, ConfigError> {
+        let planner = cfva_core::plan::Planner::from_spec(spec)?;
+        MemConfig::new(planner.map().module_bits(), planner.t())
+    }
+
     /// Selects the simulation [`Engine`] systems built from this
     /// configuration use. The default is [`Engine::Cycle`] — the
     /// per-cycle oracle every other engine is verified against.
@@ -230,6 +257,24 @@ mod tests {
         assert_eq!(cfg.engine(), Engine::Cycle);
         assert_eq!(cfg.with_engine(Engine::Event).engine(), Engine::Event);
         assert_eq!(cfg.with_engine(Engine::FastPath).engine(), Engine::FastPath);
+    }
+
+    #[test]
+    fn from_spec_matches_planner_geometry() {
+        // Baselines default to a matched memory...
+        let cfg = MemConfig::from_spec(&"interleaved:m=3".parse().unwrap()).unwrap();
+        assert_eq!((cfg.m(), cfg.t()), (3, 3));
+        // ...unless the spec carries a latency rider.
+        let cfg = MemConfig::from_spec(&"interleaved:m=3,t=6".parse().unwrap()).unwrap();
+        assert_eq!((cfg.m(), cfg.t()), (3, 6));
+        // The XOR maps' own t is the latency exponent.
+        let cfg = MemConfig::from_spec(&"xor-matched:t=3,s=4".parse().unwrap()).unwrap();
+        assert_eq!((cfg.m(), cfg.t()), (3, 3));
+        let cfg = MemConfig::from_spec(&"xor-unmatched:t=3,s=4,y=9".parse().unwrap()).unwrap();
+        assert_eq!((cfg.m(), cfg.t()), (6, 3));
+        // Spec errors propagate with their diagnostics intact.
+        let e = MemConfig::from_spec(&"interleavd:m=3".parse().unwrap()).unwrap_err();
+        assert!(e.to_string().contains("interleaved"), "{e}");
     }
 
     #[test]

@@ -1,17 +1,17 @@
 //! Equivalence suite for the event-queue engine: `Engine::Event` (and
 //! `Engine::FastPath`, which falls back to it) must produce
 //! **bit-identical** `AccessStats` — and, where traced, identical
-//! `Trace` output — to the per-cycle oracle, across all seven
-//! `ModuleMap` implementations, stride families, queue depths, port
-//! counts and pathological same-module streams. Plus the enforced
-//! performance claim: the event engine beats the cycle loop ≥ 2× on a
-//! worst-case all-requests-one-module stride.
+//! `Trace` output — to the per-cycle oracle, across **every map in the
+//! registry coverage set** (a map registered in
+//! `cfva_core::mapping::Registry` is swept here automatically), stride
+//! families, queue depths, port counts and pathological same-module
+//! streams. Plus the enforced performance claim: the event engine
+//! beats the cycle loop ≥ 2× on a worst-case all-requests-one-module
+//! stride.
 
 use std::time::Instant;
 
-use cfva_core::mapping::{
-    Interleaved, Linear, PseudoRandom, RegionMap, Skewed, XorMatched, XorUnmatched,
-};
+use cfva_core::mapping::{Interleaved, Registry, XorMatched};
 use cfva_core::plan::{AccessPlan, Planner, Strategy};
 use cfva_core::{Addr, ModuleId, Stride, VectorSpec};
 use cfva_memsim::{AccessStats, Engine, MemConfig, MemorySystem};
@@ -78,16 +78,27 @@ fn sweep_canonical(planner: &Planner, cfg: MemConfig, label: &str) {
     }
 }
 
+/// Every registered map, canonical order, over the stride/base spread:
+/// registering a map in the registry opts it into this sweep (and the
+/// periodic-engine twin) with no test edits.
 #[test]
-fn interleaved_map_is_identical() {
-    let planner = Planner::baseline(Interleaved::new(3).unwrap(), 3);
-    sweep_canonical(&planner, MemConfig::new(3, 3).unwrap(), "interleaved");
+fn every_registered_map_is_identical() {
+    for spec in Registry::builtin().all_specs() {
+        let planner = Planner::from_spec(&spec).expect("coverage specs are buildable");
+        let cfg = MemConfig::from_spec(&spec).expect("coverage specs fit the simulator");
+        sweep_canonical(&planner, cfg, &spec.to_string());
+    }
 }
 
+/// Extra skew parameterizations the coverage spec does not reach
+/// (degenerate skew 0 rides the interleaving path).
 #[test]
-fn skewed_map_is_identical() {
-    for skew in [0u64, 1, 3] {
-        let planner = Planner::baseline(Skewed::new(3, skew).unwrap(), 3);
+fn skew_variants_are_identical() {
+    let registry = Registry::builtin();
+    for skew in [0u64, 1] {
+        let planner = registry
+            .planner(&format!("skewed:m=3,d={skew}").parse().unwrap())
+            .unwrap();
         sweep_canonical(
             &planner,
             MemConfig::new(3, 3).unwrap(),
@@ -96,12 +107,13 @@ fn skewed_map_is_identical() {
     }
 }
 
+/// Out-of-order conflict-free and subsequence plans of the matched
+/// map: the replay regime the canonical sweep cannot reach.
 #[test]
-fn xor_matched_map_is_identical() {
-    let planner = Planner::matched(XorMatched::new(3, 4).unwrap());
-    let cfg = MemConfig::new(3, 3).unwrap();
-    sweep_canonical(&planner, cfg, "xor-matched canonical");
-    // Out-of-order conflict-free and subsequence plans too.
+fn xor_matched_out_of_order_plans_are_identical() {
+    let spec = "xor-matched:t=3,s=4".parse().unwrap();
+    let planner = Planner::from_spec(&spec).unwrap();
+    let cfg = MemConfig::from_spec(&spec).unwrap();
     for x in 0..=4u32 {
         let stride = Stride::from_parts(3, x).unwrap();
         let vec = VectorSpec::with_stride(16u64.into(), stride, 128).unwrap();
@@ -112,37 +124,18 @@ fn xor_matched_map_is_identical() {
     }
 }
 
+/// Conflict-free replay plans of the unmatched map, both windows.
 #[test]
-fn xor_unmatched_map_is_identical() {
-    let planner = Planner::unmatched(XorUnmatched::new(3, 4, 9).unwrap());
-    let cfg = MemConfig::new(6, 3).unwrap();
-    sweep_canonical(&planner, cfg, "xor-unmatched canonical");
+fn xor_unmatched_replay_plans_are_identical() {
+    let spec = "xor-unmatched:t=3,s=4,y=9".parse().unwrap();
+    let planner = Planner::from_spec(&spec).unwrap();
+    let cfg = MemConfig::from_spec(&spec).unwrap();
     for x in [0u32, 4, 7, 9] {
         let stride = Stride::from_parts(3, x).unwrap();
         let vec = VectorSpec::with_stride(77u64.into(), stride, 128).unwrap();
         let plan = planner.plan(&vec, Strategy::ConflictFree).expect("window");
         assert_engines_equivalent(cfg, &plan, &format!("xor-unmatched cf x={x}"));
     }
-}
-
-#[test]
-fn linear_map_is_identical() {
-    let map = Linear::new(vec![0b1_0010_1101, 0b0_1101_1010, 0b1_1000_0111]).unwrap();
-    let planner = Planner::baseline(map, 3);
-    sweep_canonical(&planner, MemConfig::new(3, 3).unwrap(), "linear");
-}
-
-#[test]
-fn pseudo_random_map_is_identical() {
-    let planner = Planner::baseline(PseudoRandom::with_default_poly(3).unwrap(), 3);
-    sweep_canonical(&planner, MemConfig::new(3, 3).unwrap(), "pseudo-random");
-}
-
-#[test]
-fn region_map_is_identical() {
-    let map = RegionMap::new(3, 10, 3).unwrap().with_region(1, 6).unwrap();
-    let planner = Planner::baseline(map, 3);
-    sweep_canonical(&planner, MemConfig::new(3, 3).unwrap(), "region");
 }
 
 #[test]

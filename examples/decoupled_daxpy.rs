@@ -10,7 +10,7 @@
 //! cargo run --example decoupled_daxpy
 //! ```
 
-use cfva::core::mapping::XorMatched;
+use cfva::core::mapping::MapSpec;
 use cfva::core::plan::{Planner, Strategy};
 use cfva::memsim::MemConfig;
 use cfva::vecproc::kernels::daxpy_chunk;
@@ -21,7 +21,8 @@ fn build_machine(
     chaining: bool,
     strategy: Strategy,
 ) -> Result<Machine, Box<dyn std::error::Error>> {
-    let planner = Planner::matched(XorMatched::new(3, 4)?); // L=128 -> s=4
+    // The memory scheme by registry spec: L=128 -> s=4.
+    let spec: MapSpec = "xor-matched:t=3,s=4".parse()?;
     Ok(Machine::new(
         MachineConfig {
             reg_len: 128,
@@ -30,8 +31,8 @@ fn build_machine(
             write_policy: WritePolicy::RandomAccess,
             ..MachineConfig::default()
         },
-        planner,
-        MemConfig::new(3, 3)?,
+        Planner::from_spec(&spec)?,
+        MemConfig::from_spec(&spec)?,
     ))
 }
 

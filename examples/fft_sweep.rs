@@ -11,9 +11,7 @@
 //! cargo run --example fft_sweep
 //! ```
 
-use cfva::core::mapping::{Interleaved, PseudoRandom, XorMatched, XorUnmatched};
-use cfva::core::plan::{Planner, Strategy};
-use cfva::memsim::MemConfig;
+use cfva::core::plan::Strategy;
 use cfva::vecproc::kernels::fft_stage_operands;
 use cfva_bench::runner::BatchRunner;
 
@@ -23,30 +21,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Register length 128 -> strip-mine each operand set into 4 chunks.
     let reg_len = 128u64;
-    let mem8 = MemConfig::new(3, 3)?;
-    let mem64 = MemConfig::new(6, 3)?;
 
-    // λ = 7 -> recommended s = 4, y = 9. One long-lived session per
-    // scheme: all ten stages × four chunks run through its buffers.
+    // λ = 7 -> recommended s = 4, y = 9. Each scheme is one registry
+    // spec string and one long-lived session: all ten stages × four
+    // chunks run through its buffers.
     let mut schemes: Vec<(&str, BatchRunner)> = vec![
         (
             "interleaved M=8",
-            BatchRunner::new(Planner::baseline(Interleaved::new(3)?, 3), mem8),
+            BatchRunner::from_spec_str("interleaved:m=3")?,
         ),
         (
             "pseudo-random M=8",
-            BatchRunner::new(
-                Planner::baseline(PseudoRandom::with_default_poly(3)?, 3),
-                mem8,
-            ),
+            BatchRunner::from_spec_str("pseudo-random:m=3")?,
         ),
         (
             "xor OOO M=8",
-            BatchRunner::new(Planner::matched(XorMatched::new(3, 4)?), mem8),
+            BatchRunner::from_spec_str("xor-matched:t=3,s=4")?,
         ),
         (
             "xor OOO M=64",
-            BatchRunner::new(Planner::unmatched(XorUnmatched::new(3, 4, 9)?), mem64),
+            BatchRunner::from_spec_str("xor-unmatched:t=3,s=4,y=9")?,
         ),
     ];
 

@@ -12,9 +12,7 @@
 //! cargo run --example matrix_walk
 //! ```
 
-use cfva::core::mapping::{Interleaved, Skewed, XorMatched, XorUnmatched};
-use cfva::core::plan::{Planner, Strategy};
-use cfva::memsim::MemConfig;
+use cfva::core::plan::Strategy;
 use cfva::vecproc::kernels::MatrixLayout;
 use cfva::VectorSpec;
 use cfva_bench::runner::BatchRunner;
@@ -29,16 +27,16 @@ fn measure(session: &mut BatchRunner, vec: &VectorSpec, strategy: Strategy) -> S
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 64x128 row-major matrix; register length 64 (λ = 6), T = 8.
     let matrix = MatrixLayout::new(0, 64, 128);
-    let mem8 = MemConfig::new(3, 3)?; // matched: M = T = 8
-    let mem64 = MemConfig::new(6, 3)?; // unmatched: M = 64, T = 8
 
-    // Recommended parameters: s = λ − t = 3, y = 2(λ−t) + 1 = 7.
-    // One long-lived session per memory scheme; every walk below reuses
-    // the scheme's system and plan buffers.
-    let mut interleaved = BatchRunner::new(Planner::baseline(Interleaved::new(3)?, 3), mem8);
-    let mut skewed = BatchRunner::new(Planner::baseline(Skewed::new(3, 1)?, 3), mem8);
-    let mut matched = BatchRunner::new(Planner::matched(XorMatched::new(3, 3)?), mem8);
-    let mut unmatched = BatchRunner::new(Planner::unmatched(XorUnmatched::new(3, 3, 7)?), mem64);
+    // Recommended parameters: s = λ − t = 3, y = 2(λ−t) + 1 = 7. Each
+    // scheme is a registry spec string (matched memory by default; the
+    // unmatched map brings its own M = T² geometry) and one long-lived
+    // session; every walk below reuses the scheme's system and plan
+    // buffers.
+    let mut interleaved = BatchRunner::from_spec_str("interleaved:m=3")?;
+    let mut skewed = BatchRunner::from_spec_str("skewed:m=3,d=1")?;
+    let mut matched = BatchRunner::from_spec_str("xor-matched:t=3,s=3")?;
+    let mut unmatched = BatchRunner::from_spec_str("xor-unmatched:t=3,s=3,y=7")?;
 
     let walks: Vec<(&str, VectorSpec)> = vec![
         ("row 5        (stride   1, x=0)", matrix.row(5)?),

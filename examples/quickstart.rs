@@ -1,30 +1,33 @@
-//! Five-minute tour: map a vector, plan a conflict-free access,
-//! simulate it through a reusable measurement session, and check the
-//! latency is the theoretical minimum.
+//! Five-minute tour: pick a map *at runtime* by spec string, plan a
+//! conflict-free access, simulate it through a reusable measurement
+//! session, and check the latency is the theoretical minimum.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use cfva::core::mapping::XorMatched;
-use cfva::core::plan::{Planner, Strategy};
-use cfva::memsim::MemConfig;
+use cfva::core::mapping::MapSpec;
+use cfva::core::plan::Strategy;
 use cfva::VectorSpec;
 use cfva_bench::runner::BatchRunner;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's running example: a matched memory of M = T = 8
     // modules (t = 3) with the XOR map shifted by s = 3, and a vector
-    // of 64 elements with stride 12 starting at address 16.
-    let map = XorMatched::new(3, 3)?;
+    // of 64 elements with stride 12 starting at address 16. The map is
+    // named by a registry spec string — swap it for any other
+    // registered scheme (`interleaved:m=3`, `skewed:m=3,d=1`,
+    // `custom-gf2:matrix=@my_map.gf2`, ...) without recompiling.
+    let spec: MapSpec = "xor-matched:t=3,s=3".parse()?;
     let vec = VectorSpec::new(16, 12, 64)?;
-    println!("memory:  {map}");
-    println!("access:  {vec} (stride {} => {})", 12, vec.stride());
+    println!("map spec: {spec}");
+    println!("access:   {vec} (stride {} => {})", 12, vec.stride());
 
     // One session owns the planner, the memory system, and the plan
     // scratch; every measurement below reuses them.
-    let mem = MemConfig::new(3, 3)?;
-    let mut session = BatchRunner::new(Planner::matched(map), mem);
+    let mut session = BatchRunner::from_spec(&spec)?;
+    let mem = session.mem();
+    println!("memory:   {mem}");
 
     // In order (what every pre-1992 machine did): the access conflicts.
     let stats = session

@@ -9,10 +9,9 @@
 //! ```
 
 use cfva::core::analysis;
-use cfva::core::mapping::{XorMatched, XorUnmatched};
-use cfva::core::plan::{Planner, Strategy};
+use cfva::core::mapping::MapSpec;
+use cfva::core::plan::Strategy;
 use cfva::core::window::{MatchedWindow, UnmatchedWindow};
-use cfva::memsim::MemConfig;
 use cfva::VectorSpec;
 use cfva_bench::runner::BatchRunner;
 
@@ -38,10 +37,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("access: {vec}");
     println!("stride {} = {}", stride, vec.stride());
 
-    let (planner, mem) = match y {
+    // The memory scheme is named by a registry spec string — the same
+    // `--map` grammar the experiments binary takes.
+    let spec: MapSpec = match y {
+        Some(y) => format!("xor-unmatched:t={t},s={s},y={y}").parse()?,
+        None => format!("xor-matched:t={t},s={s}").parse()?,
+    };
+    println!("map spec: {spec}");
+    match y {
         Some(y) => {
-            let map = XorUnmatched::new(t, s, y)?;
-            println!("memory: {map}");
             if let Some(lambda) = vec.lambda() {
                 let w = UnmatchedWindow::new(t, s, y, lambda);
                 println!(
@@ -56,11 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     println!("replay keyed by: {kind}");
                 }
             }
-            (Planner::unmatched(map), MemConfig::new(2 * t, t)?)
         }
         None => {
-            let map = XorMatched::new(t, s)?;
-            println!("memory: {map}");
             if let Some(lambda) = vec.lambda() {
                 let w = MatchedWindow::new(t, s, lambda);
                 println!(
@@ -72,18 +73,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     }
                 );
             }
-            (Planner::matched(map), MemConfig::new(t, t)?)
         }
     };
 
-    println!(
-        "period P_x = {} elements",
-        planner.map().period(vec.family())
-    );
-
     // One session for all three strategies: the plan is built into the
     // session's reused buffers, the stats into its stats scratch.
-    let mut session = BatchRunner::new(planner, mem);
+    let mut session = BatchRunner::from_spec(&spec)?;
+    let mem = session.mem();
+    println!("memory: {mem}");
+    println!(
+        "period P_x = {} elements",
+        session.planner().map().period(vec.family())
+    );
     for strategy in [
         Strategy::Canonical,
         Strategy::Subsequence,

@@ -1,61 +1,32 @@
 //! Property suite: the four simulation engines (`Cycle` oracle,
 //! `Event` queue, `Periodic` steady-state fast-forward, `FastPath`
 //! shortcut) agree bit-for-bit on randomly generated plans — across
-//! all seven `ModuleMap` implementations — and on synthetic request
+//! **every registered `ModuleMap`** (the registry coverage set, so new
+//! maps are covered on registration) — and on synthetic request
 //! streams that mix conflict-free windows with bursts to a single
 //! module.
 
-use cfva::core::mapping::{
-    Interleaved, Linear, PseudoRandom, RegionMap, Skewed, XorMatched, XorUnmatched,
-};
+use cfva::core::mapping::Registry;
 use cfva::core::plan::{Planner, Strategy};
 use cfva::memsim::{Engine, MemConfig, MemorySystem};
 use cfva::{Addr, ModuleId, Stride, VectorSpec};
 use proptest::prelude::*;
 
-/// One planner + memory configuration per `ModuleMap` implementation.
+/// Number of registered maps: the `kind` dimension of the proptests.
+fn registry_len() -> usize {
+    Registry::builtin().all_specs().len()
+}
+
+/// One planner + memory configuration per registered map, both derived
+/// from the same coverage spec (`xor-matched`/`xor-unmatched` get
+/// their out-of-order planners and the unmatched `M = T²` geometry).
 fn planner_for(kind: usize) -> (Planner, MemConfig) {
-    let cfg8 = MemConfig::new(3, 3).expect("valid");
-    match kind {
-        0 => (
-            Planner::baseline(Interleaved::new(3).expect("m in range"), 3),
-            cfg8,
-        ),
-        1 => (
-            Planner::baseline(Skewed::new(3, 1).expect("m in range"), 3),
-            cfg8,
-        ),
-        2 => (
-            Planner::matched(XorMatched::new(3, 4).expect("valid")),
-            cfg8,
-        ),
-        3 => (
-            Planner::unmatched(XorUnmatched::new(3, 4, 9).expect("valid")),
-            MemConfig::new(6, 3).expect("valid"),
-        ),
-        4 => (
-            Planner::baseline(
-                Linear::new(vec![0b1_0010_1101, 0b0_1101_1010, 0b1_1000_0111]).expect("full rank"),
-                3,
-            ),
-            cfg8,
-        ),
-        5 => (
-            Planner::baseline(PseudoRandom::with_default_poly(3).expect("valid"), 3),
-            cfg8,
-        ),
-        6 => (
-            Planner::baseline(
-                RegionMap::new(3, 10, 3)
-                    .expect("valid")
-                    .with_region(1, 6)
-                    .expect("valid"),
-                3,
-            ),
-            cfg8,
-        ),
-        _ => unreachable!("seven map kinds"),
-    }
+    let specs = Registry::builtin().all_specs();
+    let spec = &specs[kind % specs.len()];
+    (
+        Planner::from_spec(spec).expect("coverage specs are buildable"),
+        MemConfig::from_spec(spec).expect("coverage specs fit the simulator"),
+    )
 }
 
 /// Runs one plan through all four engines on fresh systems and
@@ -84,11 +55,11 @@ fn engines_agree_on_plan(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// Random plans over all seven maps, strategies and queue shapes:
-    /// identical `AccessStats` from all three engines.
+    /// Random plans over every registered map, strategies and queue
+    /// shapes: identical `AccessStats` from all four engines.
     #[test]
     fn engines_agree_on_random_plans(
-        kind in 0usize..7,
+        kind in 0usize..registry_len(),
         x in 0u32..=7,
         sigma in prop::sample::select(vec![1i64, 3, 5, 7, 9]),
         base in 0u64..10_000,

@@ -1,10 +1,14 @@
 //! Property tests of the mapping layer: balance, period contracts, and
 //! agreement between the specialised maps and the general GF(2) matrix
 //! form.
+//!
+//! The cross-map properties iterate the **registry** coverage set
+//! (`Registry::builtin().all_specs()`), not a hand-rolled type list:
+//! registering a map is what opts it into every property below.
 
 use cfva::core::dist::empirical_period;
 use cfva::core::mapping::{
-    Interleaved, Linear, ModuleMap, PseudoRandom, RegionMap, Skewed, XorMatched, XorUnmatched,
+    Interleaved, Linear, MapSpec, ModuleMap, Registry, Skewed, XorMatched, XorUnmatched,
 };
 use cfva::core::{Addr, Stride, VectorSpec};
 use proptest::prelude::*;
@@ -30,103 +34,61 @@ fn assert_balanced<M: ModuleMap>(map: &M) {
 /// The `ModuleMap` contract documented in `cfva-core/src/mapping/mod.rs`:
 /// over any aligned block of `2^{address_bits_used()}` consecutive
 /// addresses, every module receives the same number of addresses.
-/// Checked for **all seven** map implementations, across several
-/// parameterizations each.
+/// Checked for **every registered map** via the registry's coverage
+/// set, plus extra parameterizations per family of maps (the
+/// per-type proptests below cover more).
 #[test]
-fn every_module_map_implementation_is_balanced_over_one_period() {
-    // 1. Low-order interleaving.
-    for m in 1..=6u32 {
-        assert_balanced(&Interleaved::new(m).unwrap());
+fn every_registered_map_is_balanced_over_one_period() {
+    for (spec, map) in Registry::builtin().all_maps() {
+        assert!(
+            map.address_bits_used() <= 22,
+            "{spec}: coverage specs must keep the balance check enumerable"
+        );
+        assert_balanced(&map);
     }
 
-    // 2. Row-rotation skewing (including degenerate skew 0 and skews
-    //    larger than the module count).
+    // Degenerate and boundary parameterizations the canonical coverage
+    // specs do not reach (skew 0, skews beyond M, tiny widths).
     for m in 1..=5u32 {
-        for skew in [0u64, 1, 2, 3, 7, 11] {
+        assert_balanced(&Interleaved::new(m).unwrap());
+        for skew in [0u64, 7, 11] {
             assert_balanced(&Skewed::new(m, skew).unwrap());
         }
     }
-
-    // 3. The paper's matched XOR map, eq. (1).
-    for t in 1..=4u32 {
-        for extra in 0..=3u32 {
-            assert_balanced(&XorMatched::new(t, t + extra).unwrap());
-        }
-    }
-
-    // 4. The paper's two-level unmatched XOR map, eq. (2).
-    for t in 1..=2u32 {
-        for s_extra in 0..=2u32 {
-            for y_extra in 0..=2u32 {
-                let s = t + s_extra;
-                let y = s + t + y_extra;
-                assert_balanced(&XorUnmatched::new(t, s, y).unwrap());
-            }
-        }
-    }
-
-    // 5. Arbitrary GF(2) linear maps (the special cases expressed as
-    //    matrices, plus a hand-written mixing matrix).
     assert_balanced(&Linear::interleaved(4).unwrap());
     assert_balanced(&Linear::xor_matched(3, 5).unwrap());
     assert_balanced(&Linear::xor_unmatched(2, 3, 7).unwrap());
-    assert_balanced(&Linear::new(vec![0b1_0010_1101, 0b0_1101_1010, 0b1_1000_0111]).unwrap());
-
-    // 6. Rau's pseudo-random polynomial interleaving (small address
-    //    window so one period is enumerable).
-    for m in 1..=4u32 {
-        let poly = PseudoRandom::with_default_poly(m).unwrap().polynomial();
-        assert_balanced(&PseudoRandom::new(m, poly, m + 8).unwrap());
-    }
-
-    // 7. The dynamic per-region scheme of reference [11]: regions with
-    //    different shifts, including an overridden region.
-    let region = RegionMap::new(3, 10, 3).unwrap().with_region(1, 6).unwrap();
-    assert_balanced(&region);
-    let region = RegionMap::new(2, 8, 2)
-        .unwrap()
-        .with_region(0, 4)
-        .unwrap()
-        .with_region(2, 3)
-        .unwrap();
-    assert_balanced(&region);
 }
 
-/// One representative per `ModuleMap` implementation, for the
-/// cross-map property tests below.
-fn map_for(kind: usize) -> Box<dyn ModuleMap> {
-    match kind {
-        0 => Box::new(Interleaved::new(3).expect("m in range")),
-        1 => Box::new(Skewed::new(3, 3).expect("m in range")),
-        2 => Box::new(XorMatched::new(3, 4).expect("valid")),
-        3 => Box::new(XorUnmatched::new(2, 3, 7).expect("valid")),
-        4 => Box::new(
-            Linear::new(vec![0b1_0010_1101, 0b0_1101_1010, 0b1_1000_0111]).expect("full rank"),
-        ),
-        5 => Box::new(PseudoRandom::new(3, 0b1011, 14).expect("valid")),
-        6 => Box::new(
-            RegionMap::new(3, 10, 3)
-                .expect("valid")
-                .with_region(1, 6)
-                .expect("valid"),
-        ),
-        _ => unreachable!("seven map kinds"),
-    }
+/// The registry's coverage specs, parsed once: the cross-map property
+/// tests below draw a `kind` index into this list, so registering a
+/// new map automatically adds it to every property.
+fn registry_specs() -> Vec<MapSpec> {
+    Registry::builtin().all_specs()
+}
+
+/// One representative per registered map, for the cross-map property
+/// tests below.
+fn map_for(kind: usize) -> Box<dyn ModuleMap + Send + Sync> {
+    let specs = registry_specs();
+    Registry::builtin()
+        .build(&specs[kind % specs.len()])
+        .expect("coverage specs are buildable")
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
-    /// `ModuleMap::period(family)` is a **true** period for every one
-    /// of the seven maps: the module sequence of a random
-    /// constant-stride vector repeats exactly after `P_x` elements.
+    /// `ModuleMap::period(family)` is a **true** period for every
+    /// registered map: the module sequence of a random constant-stride
+    /// vector repeats exactly after `P_x` elements.
     /// Note the contract is only that `P_x` is *a* period — it need
     /// not be the minimal one (some base/σ combinations repeat
     /// earlier), which is why the check is `seq[k] == seq[k + P_x]`
     /// and not minimality.
     #[test]
-    fn period_is_a_true_period_for_all_seven_maps(
-        kind in 0usize..7,
+    fn period_is_a_true_period_for_all_registered_maps(
+        kind in 0usize..registry_specs().len(),
         x in 0u32..=8,
         sigma in prop::sample::select(vec![1i64, 3, 5, 7, 9]),
         base in 0u64..1_000_000,
@@ -153,11 +115,11 @@ proptest! {
     }
 
     /// The bulk `map_stride_into` produces exactly the per-element
-    /// `module_of` sequence for every map, stride sign and length —
-    /// the contract `Planner::plan_into` relies on.
+    /// `module_of` sequence for every registered map, stride sign and
+    /// length — the contract `Planner::plan_into` relies on.
     #[test]
-    fn bulk_mapping_matches_module_of_for_all_seven_maps(
-        kind in 0usize..7,
+    fn bulk_mapping_matches_module_of_for_all_registered_maps(
+        kind in 0usize..registry_specs().len(),
         x in 0u32..=6,
         sigma in prop::sample::select(vec![1i64, 3, 5, -3, -7]),
         base in 500_000u64..1_000_000,

@@ -1,0 +1,167 @@
+//! The registry satellite proof: for **every registered spec**, the
+//! registry-constructed map is bit-identical to the directly
+//! constructed type — `module_of`, bulk `map_stride_into`, and the
+//! full `AccessStats` of simulated accesses — and every spec
+//! round-trips `MapSpec::parse(spec.to_string())`.
+//!
+//! The direct constructions below are the *oracle list*: the one place
+//! that still names concrete types on purpose, so a registry wiring
+//! bug (wrong key, wrong default, swapped parameter) cannot hide
+//! behind the registry itself.
+
+use cfva::core::mapping::{
+    CustomGf2, Interleaved, Linear, MapSpec, ModuleMap, PseudoRandom, RegionMap, Registry, Skewed,
+    XorMatched, XorUnmatched,
+};
+use cfva::core::plan::{Planner, Strategy};
+use cfva::memsim::MemConfig;
+use cfva::{Addr, ModuleId, Stride, VectorSpec};
+use cfva_bench::runner::BatchRunner;
+use proptest::prelude::*;
+
+/// The hand-constructed twin of a builtin coverage spec — must match
+/// the parameters in `Registry::builtin()` exactly.
+fn direct_map(spec: &MapSpec) -> Box<dyn ModuleMap + Send + Sync> {
+    match spec.name() {
+        "interleaved" => Box::new(Interleaved::new(3).unwrap()),
+        "skewed" => Box::new(Skewed::new(3, 3).unwrap()),
+        "xor-matched" => Box::new(XorMatched::new(3, 4).unwrap()),
+        "xor-unmatched" => Box::new(XorUnmatched::new(3, 4, 9).unwrap()),
+        "linear" => {
+            Box::new(Linear::new(vec![0b1_0010_1101, 0b0_1101_1010, 0b1_1000_0111]).unwrap())
+        }
+        "pseudo-random" => Box::new(PseudoRandom::new(3, 0b1011, 14).unwrap()),
+        "region" => Box::new(RegionMap::new(3, 10, 3).unwrap().with_region(1, 6).unwrap()),
+        "custom-gf2" => Box::new(CustomGf2::new(vec![0b001001, 0b010010, 0b100100], 6).unwrap()),
+        other => panic!("coverage spec {other:?} has no direct twin — extend the oracle list"),
+    }
+}
+
+/// The hand-constructed planner + memory twin of a coverage spec.
+fn direct_session(spec: &MapSpec) -> BatchRunner {
+    let (planner, cfg) = match spec.name() {
+        "xor-matched" => (
+            Planner::matched(XorMatched::new(3, 4).unwrap()),
+            MemConfig::new(3, 3).unwrap(),
+        ),
+        "xor-unmatched" => (
+            Planner::unmatched(XorUnmatched::new(3, 4, 9).unwrap()),
+            MemConfig::new(6, 3).unwrap(),
+        ),
+        _ => {
+            // Coverage specs carry no `t` rider, so the planner and
+            // memory default to a matched geometry (t = m).
+            let map = direct_map(spec);
+            let m = map.module_bits();
+            (Planner::baseline(map, m), MemConfig::new(m, m).unwrap())
+        }
+    };
+    BatchRunner::new(planner, cfg)
+}
+
+#[test]
+fn every_spec_round_trips_through_its_string_form() {
+    for spec in Registry::builtin().all_specs() {
+        let rendered = spec.to_string();
+        let reparsed = MapSpec::parse(&rendered)
+            .unwrap_or_else(|e| panic!("{rendered}: rendered spec must re-parse, got {e}"));
+        assert_eq!(reparsed, spec, "{rendered}");
+    }
+}
+
+/// Full-stats equivalence: planning **and simulating** through a
+/// spec-built session equals the directly constructed session, for
+/// every registered map, family and strategy — the registry changes
+/// how a map is named, never what it measures.
+#[test]
+fn registry_sessions_measure_identically_to_direct_sessions() {
+    for spec in Registry::builtin().all_specs() {
+        let mut from_spec = BatchRunner::from_spec(&spec).expect("coverage specs are buildable");
+        let mut direct = direct_session(&spec);
+        assert_eq!(from_spec.mem(), direct.mem(), "{spec}: memory geometry");
+        for x in 0..=6u32 {
+            for sigma in [1i64, 3] {
+                let stride = Stride::from_parts(sigma, x).unwrap();
+                for base in [0u64, 16, 1000] {
+                    let vec = VectorSpec::with_stride(base.into(), stride, 64).unwrap();
+                    for strategy in [Strategy::Canonical, Strategy::Auto] {
+                        assert_eq!(
+                            from_spec.measure_owned(&vec, strategy),
+                            direct.measure_owned(&vec, strategy),
+                            "{spec}: x={x} sigma={sigma} base={base} {strategy}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `module_of` bit-identity between the registry-built map and the
+    /// direct construction, at random addresses.
+    #[test]
+    fn registry_module_of_matches_direct_construction(
+        kind in 0usize..Registry::builtin().all_specs().len(),
+        addr in 0u64..10_000_000,
+    ) {
+        let specs = Registry::builtin().all_specs();
+        let spec = &specs[kind % specs.len()];
+        let built = Registry::builtin().build(spec).expect("buildable");
+        let direct = direct_map(spec);
+        prop_assert_eq!(built.module_bits(), direct.module_bits(), "{}", spec);
+        prop_assert_eq!(built.address_bits_used(), direct.address_bits_used(), "{}", spec);
+        let a = Addr::new(addr);
+        prop_assert_eq!(
+            built.module_of(a),
+            direct.module_of(a),
+            "{}: address {}", spec, addr
+        );
+        prop_assert_eq!(
+            built.displacement_of(a),
+            direct.displacement_of(a),
+            "{}: address {}", spec, addr
+        );
+    }
+
+    /// Bulk `map_stride_into` bit-identity over random walks, both
+    /// stride signs, ragged lengths.
+    #[test]
+    fn registry_bulk_mapping_matches_direct_construction(
+        kind in 0usize..Registry::builtin().all_specs().len(),
+        base in 0u64..1_000_000,
+        sigma in prop::sample::select(vec![1i64, 3, 5, -3, -7]),
+        x in 0u32..=6,
+        len in 1usize..=300,
+    ) {
+        let specs = Registry::builtin().all_specs();
+        let spec = &specs[kind % specs.len()];
+        let built = Registry::builtin().build(spec).expect("buildable");
+        let direct = direct_map(spec);
+        let stride = sigma << x;
+        let mut got = vec![ModuleId::new(0); len];
+        let mut want = vec![ModuleId::new(0); len];
+        built.map_stride_into(Addr::new(base), stride, &mut got);
+        direct.map_stride_into(Addr::new(base), stride, &mut want);
+        prop_assert_eq!(got, want, "{}: base {} stride {}", spec, base, stride);
+    }
+
+    /// Round-trip strengthening: a spec rebuilt from its rendered
+    /// string constructs a map identical to the original build.
+    #[test]
+    fn reparsed_specs_build_identical_maps(
+        kind in 0usize..Registry::builtin().all_specs().len(),
+        addr in 0u64..1_000_000,
+    ) {
+        let specs = Registry::builtin().all_specs();
+        let spec = &specs[kind % specs.len()];
+        let original = Registry::builtin().build(spec).expect("buildable");
+        let reparsed = Registry::builtin()
+            .build_str(&spec.to_string())
+            .expect("rendered specs are buildable");
+        let a = Addr::new(addr);
+        prop_assert_eq!(original.module_of(a), reparsed.module_of(a), "{}", spec);
+    }
+}
