@@ -1,0 +1,168 @@
+//! Service throughput: one fixed conflicted-stride mixed request
+//! batch, pushed through the pooled service at 1, 2 and 4 workers,
+//! against the serial baseline (the same requests on plain per-spec
+//! `BatchRunner`s, no pool, no threads).
+//!
+//! One iteration = submit the whole batch, then reap every ticket —
+//! i.e. the measured quantity is wall time per full batch, the
+//! reciprocal of request throughput. The worker counts are fixed
+//! (not `available_parallelism`) so the benchmark ids — and the
+//! committed `BENCH_baseline.json` entries under CI's strict
+//! `bench-compare` — are machine-independent.
+//!
+//! Reading the numbers: `workers_1` vs `serial` is the pool tax
+//! (queue transfer + ticket wake-ups, amortised over ~200 µs of
+//! simulation per batch); `workers_2`/`workers_4` over `workers_1` is
+//! the parallel payoff, which requires actual cores — the committed
+//! baseline comes from a single-core reference machine, where all
+//! pool configurations are expected to tie with serial (the speedup
+//! shows on multicore hosts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cfva_bench::runner::BatchRunner;
+use cfva_core::plan::Strategy;
+use cfva_core::{Stride, VectorSpec};
+use cfva_serve::api::{Estimator, Request, Response};
+use cfva_serve::service::{Service, ServiceConfig};
+
+/// The fixed mixed workload: conflicted strides (high families beat
+/// on few modules) across three maps, plus batch and efficiency
+/// requests — deterministic, so every configuration serves byte-for-
+/// byte identical work.
+fn workload() -> Vec<Request> {
+    let specs = ["xor-matched:t=3,s=4", "skewed:m=3,d=1", "interleaved:m=3"];
+    let mut requests = Vec::new();
+    for (si, spec) in specs.iter().enumerate() {
+        for x in 4..8u32 {
+            for sigma in [1i64, 3, 5] {
+                let stride = Stride::from_parts(sigma, x).expect("odd sigma");
+                requests.push(Request::Measure {
+                    spec: (*spec).into(),
+                    vec: VectorSpec::with_stride((16 + 8 * si as u64).into(), stride, 2048)
+                        .expect("valid"),
+                    strategy: Strategy::Auto,
+                });
+            }
+        }
+        requests.push(Request::MeasureBatch {
+            spec: (*spec).into(),
+            accesses: (0..4)
+                .map(|i| {
+                    (
+                        VectorSpec::new(8 * i, 48, 1024).expect("valid"),
+                        Strategy::Auto,
+                    )
+                })
+                .collect(),
+        });
+        requests.push(Request::Efficiency {
+            spec: (*spec).into(),
+            strategy: Strategy::Auto,
+            len: 128,
+            estimator: Estimator::Stratified {
+                max_x: 7,
+                per_family: 2,
+            },
+            seed: 1992 + si as u64,
+        });
+    }
+    requests
+}
+
+/// The no-pool reference: the same requests served inline on warm
+/// per-spec sessions (what a caller without the service would write).
+fn serve_serially(sessions: &mut [(String, BatchRunner)], requests: &[Request]) -> u64 {
+    let mut checksum = 0u64;
+    for request in requests {
+        let session = sessions
+            .iter_mut()
+            .find(|(spec, _)| spec == request.spec())
+            .map(|(_, session)| session)
+            .expect("workload specs are preloaded");
+        match request {
+            Request::Measure { vec, strategy, .. } => {
+                checksum += session
+                    .measure_owned(vec, *strategy)
+                    .map_or(0, |s| s.latency);
+            }
+            Request::MeasureBatch { accesses, .. } => {
+                checksum += session
+                    .measure_batch(accesses)
+                    .iter()
+                    .flatten()
+                    .map(|s| s.latency)
+                    .sum::<u64>();
+            }
+            Request::Efficiency {
+                len,
+                estimator,
+                seed,
+                strategy,
+                ..
+            } => {
+                use rand::{rngs::StdRng, SeedableRng};
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let eta =
+                    match estimator {
+                        Estimator::Stratified { max_x, per_family } => session
+                            .stratified_efficiency(*strategy, *len, *max_x, *per_family, &mut rng),
+                        Estimator::MonteCarlo { .. } => unreachable!("not in this workload"),
+                    };
+                checksum += eta.to_bits() & 0xff;
+            }
+            Request::FamilySweep { .. } => unreachable!("not in this workload"),
+        }
+    }
+    checksum
+}
+
+fn response_checksum(response: &Response) -> u64 {
+    match response {
+        Response::Measured(stats) => stats.as_ref().map_or(0, |s| s.latency),
+        Response::Batch(all) => all.iter().flatten().map(|s| s.latency).sum(),
+        Response::Efficiency(eta) => eta.to_bits() & 0xff,
+        Response::FamilySweep(rows) => rows.iter().map(|r| r.latency).sum(),
+    }
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let requests = workload();
+    let mut group = c.benchmark_group("serve_mixed");
+
+    group.bench_function(BenchmarkId::new("serial", requests.len()), |b| {
+        let mut sessions: Vec<(String, BatchRunner)> =
+            ["xor-matched:t=3,s=4", "skewed:m=3,d=1", "interleaved:m=3"]
+                .iter()
+                .map(|s| ((*s).to_string(), BatchRunner::from_spec_str(s).unwrap()))
+                .collect();
+        b.iter(|| serve_serially(&mut sessions, &requests));
+    });
+
+    // Fixed worker counts so the baseline ids match on any machine.
+    for workers in [1usize, 2, 4] {
+        let service = Service::new(
+            ServiceConfig::with_workers(workers).queue_capacity(requests.len().max(16)),
+        );
+        group.bench_function(
+            BenchmarkId::new(format!("workers_{workers}"), requests.len()),
+            |b| {
+                b.iter(|| {
+                    let tickets: Vec<_> = requests
+                        .iter()
+                        .map(|r| service.submit(r.clone()).expect("queue sized to the batch"))
+                        .collect();
+                    tickets
+                        .into_iter()
+                        .map(|t| response_checksum(&t.wait().expect("valid request")))
+                        .sum::<u64>()
+                })
+            },
+        );
+        service.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

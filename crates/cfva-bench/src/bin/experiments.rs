@@ -7,6 +7,7 @@
 //! experiments eff lat                  # run a subset
 //! experiments --map skewed:m=3,d=1     # sweep a map chosen by spec string
 //! experiments --map all --len 32       # every registered map, same strides
+//! experiments serve-demo --workers 2 --clients 3   # drive the service
 //! ```
 //!
 //! `--map` takes any spec the mapping registry understands (see the
@@ -14,6 +15,14 @@
 //! `--max-x` and `--sigma` sweep parameters. A malformed or
 //! unconstructible spec exits nonzero with a diagnostic naming the
 //! offending key/value (or listing the registered maps).
+//!
+//! `serve-demo` drives the `cfva-serve` request service with a mixed
+//! multi-client workload (flags: `--workers`, `--clients`,
+//! `--requests` per client, `--queue` admission capacity, `--window`
+//! in-flight per client) and prints throughput plus latency
+//! percentiles. `--require-rejections` exits nonzero unless the run
+//! saw at least one `Overloaded` rejection — CI uses it to prove an
+//! over-capacity burst backpressures instead of deadlocking.
 
 use std::process::ExitCode;
 
@@ -25,11 +34,18 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("--map") {
         return run_map_sweep(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("serve-demo") {
+        return run_serve_demo(&args[1..]);
+    }
 
     if args.is_empty() {
         println!("Reproduction harness for Valero et al., ISCA 1992.\n");
         println!("Usage: experiments [all | <id>...]");
-        println!("       experiments --map <spec|all> [--len N] [--max-x N] [--sigma N]\n");
+        println!("       experiments --map <spec|all> [--len N] [--max-x N] [--sigma N]");
+        println!(
+            "       experiments serve-demo [--workers N] [--clients N] [--requests N] \
+             [--queue N] [--window N] [--require-rejections]\n"
+        );
         println!("Available experiments:");
         for e in experiments::all() {
             println!("  {:<8} {}", e.id, e.title);
@@ -120,6 +136,68 @@ fn run_map_sweep(args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// `serve-demo` with sizing flags: drive the request service with a
+/// mixed multi-client workload. `--require-rejections` makes a run
+/// without a single `Overloaded` rejection exit nonzero (the CI
+/// over-capacity burst must prove backpressure engaged).
+fn run_serve_demo(args: &[String]) -> ExitCode {
+    let mut config = experiments::serve_demo::DemoConfig::default();
+    let mut require_rejections = false;
+    let mut rest = args.iter();
+    while let Some(flag) = rest.next() {
+        if flag == "--require-rejections" {
+            require_rejections = true;
+            continue;
+        }
+        let Some(value) = rest.next() else {
+            eprintln!("flag {flag} requires a value");
+            return ExitCode::FAILURE;
+        };
+        let parsed = match flag.as_str() {
+            "--workers" => value.parse().map(|v| config.workers = v).is_ok(),
+            "--clients" => value.parse().map(|v| config.clients = v).is_ok(),
+            "--requests" => value
+                .parse()
+                .map(|v| config.requests_per_client = v)
+                .is_ok(),
+            "--queue" => value.parse().map(|v| config.queue_capacity = v).is_ok(),
+            "--window" => value.parse().map(|v| config.window = v).is_ok(),
+            _ => {
+                eprintln!(
+                    "unknown flag {flag} (expected --workers, --clients, --requests, \
+                     --queue, --window or --require-rejections)"
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        if !parsed {
+            eprintln!("flag {flag} = {value} is not a number");
+            return ExitCode::FAILURE;
+        }
+    }
+    if config.workers == 0 || config.clients == 0 || config.queue_capacity == 0 {
+        eprintln!("--workers, --clients and --queue must be at least 1");
+        return ExitCode::FAILURE;
+    }
+    config.window = config.window.max(1);
+
+    let outcome = experiments::serve_demo::serve_demo(&config);
+    banner("serve", "Serve demo: mixed multi-client workload");
+    println!("{}", outcome.report);
+    if outcome.failed > 0 {
+        eprintln!("error: {} request(s) failed", outcome.failed);
+        return ExitCode::FAILURE;
+    }
+    if require_rejections && outcome.rejected == 0 {
+        eprintln!(
+            "error: --require-rejections set, but no request was rejected \
+             (backpressure never engaged)"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn banner(id: &str, title: &str) {

@@ -10,12 +10,14 @@ pub mod fig_maps;
 pub mod hardware;
 pub mod latency;
 pub mod map_sweep;
+pub mod serve_demo;
 pub mod shortvec;
 pub mod tradeoff;
 pub mod window_sweep;
 pub mod worked;
 
 pub use map_sweep::map_sweep;
+pub use serve_demo::serve_demo;
 
 /// One runnable experiment.
 #[derive(Debug, Clone, Copy)]

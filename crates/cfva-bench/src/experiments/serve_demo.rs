@@ -1,0 +1,264 @@
+//! `serve-demo`: drive the plan/measure service with a mixed
+//! multi-client workload and report throughput, latency percentiles
+//! and backpressure rejections.
+//!
+//! Each client runs a closed loop with a small in-flight window:
+//! submit until the window is full, then reap the oldest ticket,
+//! recording submit→response latency. The request mix spans every
+//! [`Request`] variant across all registered map specs, so worker
+//! session caches, spec-affinity routing and work stealing are all
+//! exercised. An over-capacity run (small `--queue`, many clients)
+//! must *reject* with `Overloaded` — never deadlock — which the
+//! summary reports and CI asserts via `--require-rejections`.
+
+use std::time::{Duration, Instant};
+
+use cfva_core::mapping::Registry;
+use cfva_core::plan::Strategy;
+use cfva_core::{Stride, VectorSpec};
+use cfva_serve::api::{Estimator, Request, ServeError};
+use cfva_serve::service::{ServeTicket, Service, ServiceConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::table::Table;
+
+/// Demo sizing, straight from the `serve-demo` CLI flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemoConfig {
+    /// Service workers.
+    pub workers: usize,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests each client attempts.
+    pub requests_per_client: usize,
+    /// Admission-queue bound.
+    pub queue_capacity: usize,
+    /// Per-client in-flight window (tickets held before reaping).
+    pub window: usize,
+}
+
+impl Default for DemoConfig {
+    fn default() -> Self {
+        DemoConfig {
+            workers: ServiceConfig::default().workers,
+            clients: 3,
+            requests_per_client: 60,
+            queue_capacity: ServiceConfig::default().queue_capacity,
+            window: 8,
+        }
+    }
+}
+
+/// What the demo measured (the caller renders or asserts on it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemoOutcome {
+    /// Requests that completed with a response.
+    pub completed: u64,
+    /// Requests rejected with [`ServeError::Overloaded`].
+    pub rejected: u64,
+    /// Requests that resolved to a non-overload error (should be 0 —
+    /// the demo only submits valid requests).
+    pub failed: u64,
+    /// The rendered report.
+    pub report: String,
+}
+
+/// One client's sampled request: every variant appears in the mix, all
+/// specs drawn from the live registry.
+fn sample_request<R: Rng + ?Sized>(rng: &mut R, specs: &[String]) -> Request {
+    let spec = specs[rng.gen_range(0..specs.len())].clone();
+    // Conflicted-leaning strides: high families collide on most maps.
+    let sigma = 2 * rng.gen_range(0i64..8) + 1;
+    let x = rng.gen_range(0u32..7);
+    let stride = Stride::from_parts(sigma, x).expect("odd sigma, bounded x");
+    match rng.gen_range(0u32..10) {
+        0..=5 => Request::Measure {
+            spec,
+            vec: VectorSpec::with_stride(rng.gen_range(0u64..1 << 20).into(), stride, 512)
+                .expect("bounded base cannot overflow"),
+            strategy: Strategy::Auto,
+        },
+        6..=7 => Request::MeasureBatch {
+            spec,
+            accesses: (0..4)
+                .map(|i| {
+                    (
+                        VectorSpec::new(16 + 8 * i, stride.get(), 256).expect("valid"),
+                        Strategy::Auto,
+                    )
+                })
+                .collect(),
+        },
+        8 => Request::Efficiency {
+            spec,
+            strategy: Strategy::Auto,
+            len: 64,
+            estimator: Estimator::Stratified {
+                max_x: 6,
+                per_family: 2,
+            },
+            seed: rng.gen_range(0..u64::MAX),
+        },
+        _ => Request::FamilySweep {
+            spec,
+            len: 128,
+            max_x: 5,
+            sigma,
+        },
+    }
+}
+
+/// Runs the demo and returns the outcome (see the module docs).
+pub fn serve_demo(config: &DemoConfig) -> DemoOutcome {
+    let service = Service::new(
+        ServiceConfig::with_workers(config.workers).queue_capacity(config.queue_capacity),
+    );
+    let specs: Vec<String> = Registry::builtin()
+        .all_specs()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+
+    let started = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut rejected = 0u64;
+    let mut failed = 0u64;
+
+    std::thread::scope(|scope| {
+        let service = &service;
+        let specs = &specs;
+        let handles: Vec<_> = (0..config.clients)
+            .map(|client| {
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0x5e11_0000 + client as u64);
+                    let mut window: Vec<(Instant, ServeTicket)> = Vec::new();
+                    let mut latencies = Vec::with_capacity(config.requests_per_client);
+                    let (mut rejected, mut failed) = (0u64, 0u64);
+                    let reap = |w: &mut Vec<(Instant, ServeTicket)>,
+                                latencies: &mut Vec<Duration>,
+                                failed: &mut u64| {
+                        let (submitted, ticket) = w.remove(0);
+                        match ticket.wait() {
+                            Ok(_) => latencies.push(submitted.elapsed()),
+                            Err(_) => *failed += 1,
+                        }
+                    };
+                    for _ in 0..config.requests_per_client {
+                        let request = sample_request(&mut rng, specs);
+                        match service.submit(request) {
+                            Ok(ticket) => window.push((Instant::now(), ticket)),
+                            Err(ServeError::Overloaded { .. }) => rejected += 1,
+                            Err(e) => panic!("demo submitted an invalid request: {e}"),
+                        }
+                        if window.len() >= config.window {
+                            reap(&mut window, &mut latencies, &mut failed);
+                        }
+                    }
+                    while !window.is_empty() {
+                        reap(&mut window, &mut latencies, &mut failed);
+                    }
+                    (latencies, rejected, failed)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (client_latencies, client_rejected, client_failed) =
+                handle.join().expect("demo client panicked");
+            latencies.extend(client_latencies);
+            rejected += client_rejected;
+            failed += client_failed;
+        }
+    });
+    let wall = started.elapsed();
+    service.shutdown();
+
+    let completed = latencies.len() as u64;
+    latencies.sort_unstable();
+    let pct = |p: f64| -> Duration {
+        if latencies.is_empty() {
+            Duration::ZERO
+        } else {
+            let idx = ((latencies.len() - 1) as f64 * p).round() as usize;
+            latencies[idx]
+        }
+    };
+    let throughput = completed as f64 / wall.as_secs_f64().max(1e-9);
+
+    let mut t = Table::new(&["metric", "value"]);
+    t.row_owned(vec!["workers".into(), config.workers.to_string()]);
+    t.row_owned(vec!["clients".into(), config.clients.to_string()]);
+    t.row_owned(vec![
+        "queue capacity".into(),
+        config.queue_capacity.to_string(),
+    ]);
+    t.row_owned(vec![
+        "attempted".into(),
+        (config.clients * config.requests_per_client).to_string(),
+    ]);
+    t.row_owned(vec!["completed".into(), completed.to_string()]);
+    t.row_owned(vec!["rejected (Overloaded)".into(), rejected.to_string()]);
+    t.row_owned(vec!["failed".into(), failed.to_string()]);
+    t.row_owned(vec!["wall time".into(), format!("{wall:.2?}")]);
+    t.row_owned(vec!["throughput".into(), format!("{throughput:.0} req/s")]);
+    t.row_owned(vec!["latency p50".into(), format!("{:.2?}", pct(0.50))]);
+    t.row_owned(vec!["latency p95".into(), format!("{:.2?}", pct(0.95))]);
+    t.row_owned(vec!["latency p99".into(), format!("{:.2?}", pct(0.99))]);
+
+    let report = format!(
+        "Serve demo — mixed workload (measure / batch / efficiency / family sweep)\n\
+         across {} registered map specs, {} client(s) with an in-flight window of {}\n\n{}",
+        specs.len(),
+        config.clients,
+        config.window,
+        t.render()
+    );
+    DemoOutcome {
+        completed,
+        rejected,
+        failed,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_demo_completes_everything_with_ample_queue() {
+        let outcome = serve_demo(&DemoConfig {
+            workers: 2,
+            clients: 2,
+            requests_per_client: 10,
+            queue_capacity: 256,
+            window: 4,
+        });
+        assert_eq!(outcome.completed, 20);
+        assert_eq!(outcome.rejected, 0);
+        assert_eq!(outcome.failed, 0);
+        assert!(outcome.report.contains("throughput"), "{}", outcome.report);
+    }
+
+    #[test]
+    fn over_capacity_burst_rejects_instead_of_deadlocking() {
+        // One worker, a queue of one, and clients that keep eight
+        // requests in flight: rejections are unavoidable, and the demo
+        // must still terminate with every accepted ticket resolved.
+        let outcome = serve_demo(&DemoConfig {
+            workers: 1,
+            clients: 3,
+            requests_per_client: 25,
+            queue_capacity: 1,
+            window: 8,
+        });
+        assert!(outcome.rejected > 0, "{}", outcome.report);
+        assert_eq!(outcome.failed, 0);
+        assert_eq!(
+            outcome.completed + outcome.rejected,
+            75,
+            "{}",
+            outcome.report
+        );
+    }
+}

@@ -12,13 +12,18 @@
 //!
 //! The [`workload`] module samples strides from the paper's population
 //! model (family `x` with probability `2^-(x+1)`), and [`runner`] wraps
-//! planner + simulator into one-call measurements.
+//! planner + simulator into one-call measurements. Both live in (and
+//! are re-exported from) the `cfva-serve` crate since PR 5, so the
+//! experiment harness, the criterion benches and the request-serving
+//! front end all measure through **one** execution substrate — the
+//! work-stealing session pool in `cfva_serve::pool`.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub use cfva_serve::runner;
+pub use cfva_serve::workload;
+
 pub mod experiments;
-pub mod runner;
 pub mod table;
-pub mod workload;

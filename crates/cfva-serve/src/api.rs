@@ -1,0 +1,205 @@
+//! The typed request/response schema of plan/measure-as-a-service.
+//!
+//! One [`Request`] enum unifies the execution entry points that used to
+//! be scattered across `BatchRunner` methods and experiment runners:
+//! single measurements, batches, per-family spec sweeps and Section 5B
+//! efficiency estimates. Maps are named by **registry spec strings**
+//! (`"xor-matched:t=3,s=4"`, `"skewed:m=3,d=1"`, …— the grammar of
+//! `cfva_core::mapping::MapSpec`), so a request fully describes the
+//! machine to simulate; the service resolves the spec to a long-lived
+//! per-worker session.
+//!
+//! Errors split by *where* they surface:
+//!
+//! * `Service::submit` rejects malformed requests synchronously —
+//!   [`ServeError::Spec`] (unparseable spec string),
+//!   [`ServeError::Request`] (invalid sweep/estimator parameters),
+//!   [`ServeError::Overloaded`] (admission queue full — backpressure)
+//!   and [`ServeError::ShuttingDown`];
+//! * everything that needs the session — building the map (a
+//!   rank-deficient matrix parses but does not construct), running the
+//!   sweep — resolves through the returned ticket as the `Err` arm of
+//!   [`ServeResult`].
+
+use cfva_core::plan::Strategy;
+use cfva_core::{ConfigError, VectorSpec};
+use cfva_memsim::AccessStats;
+
+/// What a finished request resolves to: the response, or the typed
+/// error the worker hit while serving it.
+pub type ServeResult = Result<Response, ServeError>;
+
+/// Section 5B efficiency estimator selection, mirroring the two
+/// `BatchRunner` estimators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Estimator {
+    /// Monte-Carlo over the family population
+    /// (`BatchRunner::simulated_efficiency`): `samples` random strides
+    /// with family exponent capped at `max_x` and odd part capped at
+    /// `max_sigma`.
+    MonteCarlo {
+        /// Number of sampled accesses.
+        samples: u32,
+        /// Family-exponent cap of the stride population.
+        max_x: u32,
+        /// Odd-part cap of the stride population.
+        max_sigma: u64,
+    },
+    /// Stratified per-family estimate
+    /// (`BatchRunner::stratified_efficiency`): `per_family` draws for
+    /// each family `x ≤ max_x`, combined with the exact `2^-(x+1)`
+    /// weights.
+    Stratified {
+        /// Largest family exponent measured directly.
+        max_x: u32,
+        /// Random draws per family.
+        per_family: u32,
+    },
+}
+
+/// One unit of service work. Every variant names its map by registry
+/// spec string; the serving layer routes same-spec requests to the
+/// same worker so its cached session (planner, memory system, scratch
+/// buffers) is reused across requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Plan and simulate one access (`BatchRunner::measure`).
+    Measure {
+        /// Map spec string, e.g. `"xor-matched:t=3,s=4"`.
+        spec: String,
+        /// The access to plan and simulate.
+        vec: VectorSpec,
+        /// Ordering strategy (use [`Strategy::Auto`] for the best
+        /// available).
+        strategy: Strategy,
+    },
+    /// Measure a batch of accesses through one session, results in
+    /// submission order (`BatchRunner::measure_batch`).
+    MeasureBatch {
+        /// Map spec string.
+        spec: String,
+        /// The accesses, each with its strategy.
+        accesses: Vec<(VectorSpec, Strategy)>,
+    },
+    /// Per-family latency sweep of the spec'd map — the request-shaped
+    /// `experiments --map <spec>`: one representative stride
+    /// `sigma · 2^x` per family `x ≤ max_x`, measured under
+    /// [`Strategy::Auto`].
+    FamilySweep {
+        /// Map spec string.
+        spec: String,
+        /// Vector length of every swept access.
+        len: u64,
+        /// Largest family exponent swept.
+        max_x: u32,
+        /// Odd stride part shared by all families.
+        sigma: i64,
+    },
+    /// Section 5B efficiency estimate of the spec'd map.
+    Efficiency {
+        /// Map spec string.
+        spec: String,
+        /// Ordering strategy for every sampled access.
+        strategy: Strategy,
+        /// Vector length of every sampled access.
+        len: u64,
+        /// Which estimator, with its parameters.
+        estimator: Estimator,
+        /// RNG seed — responses are deterministic in `(request, seed)`.
+        seed: u64,
+    },
+}
+
+impl Request {
+    /// The map spec string this request names.
+    pub fn spec(&self) -> &str {
+        match self {
+            Request::Measure { spec, .. }
+            | Request::MeasureBatch { spec, .. }
+            | Request::FamilySweep { spec, .. }
+            | Request::Efficiency { spec, .. } => spec,
+        }
+    }
+}
+
+/// One row of a [`Response::FamilySweep`]: the measured cost of the
+/// family's representative stride.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyPoint {
+    /// Family exponent `x`.
+    pub x: u32,
+    /// The measured stride `sigma · 2^x`.
+    pub stride: i64,
+    /// Total access latency in cycles.
+    pub latency: u64,
+    /// Module conflicts encountered.
+    pub conflicts: u64,
+    /// Stall cycles.
+    pub stall_cycles: u64,
+    /// Steady-state service cycles per element (1.0 ⇔ conflict free).
+    pub cycles_per_element: f64,
+}
+
+/// What a [`Request`] produces, variant-for-variant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// [`Request::Measure`]: the access statistics, or `None` when the
+    /// requested strategy cannot plan the access (same contract as
+    /// `BatchRunner::measure`).
+    Measured(Option<AccessStats>),
+    /// [`Request::MeasureBatch`]: one entry per access, in order.
+    Batch(Vec<Option<AccessStats>>),
+    /// [`Request::FamilySweep`]: one row per family, `x` ascending.
+    FamilySweep(Vec<FamilyPoint>),
+    /// [`Request::Efficiency`]: the estimated efficiency `η ∈ (0, 1]`.
+    Efficiency(f64),
+}
+
+/// Typed service errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Backpressure: the admission queue already holds `queue_depth`
+    /// requests against a capacity of `capacity`; this request was
+    /// rejected, **not** queued. Retry later (or shed load).
+    Overloaded {
+        /// Requests waiting at the moment of rejection.
+        queue_depth: usize,
+        /// The configured admission capacity.
+        capacity: usize,
+    },
+    /// The service is draining after `shutdown()`; no new requests.
+    ShuttingDown,
+    /// The request's map spec failed to parse or to build a session
+    /// (unknown map, bad key/value, constraint violation — the
+    /// diagnostic is the registry's own typed error).
+    Spec(ConfigError),
+    /// A non-spec request parameter is invalid (even sweep sigma, an
+    /// overflowing address stream, …).
+    Request(ConfigError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded {
+                queue_depth,
+                capacity,
+            } => write!(
+                f,
+                "service overloaded: {queue_depth} request(s) queued, capacity {capacity}"
+            ),
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::Spec(e) => write!(f, "map spec rejected: {e}"),
+            ServeError::Request(e) => write!(f, "request rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Spec(e) | ServeError::Request(e) => Some(e),
+            _ => None,
+        }
+    }
+}

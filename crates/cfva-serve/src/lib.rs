@@ -1,0 +1,52 @@
+//! # cfva-serve — execution and serving substrate
+//!
+//! The scheduling layer under everything that measures: benches,
+//! experiments and request serving all run on **one** substrate.
+//!
+//! * [`runner`] — measurement sessions: [`runner::BatchRunner`] owns a
+//!   planner, one memory system and the plan/stats scratch buffers, so
+//!   repeated measurement performs no heap allocation after warm-up.
+//! * [`workload`] — stride populations under the paper's family model.
+//! * [`pool`] — a hand-rolled work-stealing session pool
+//!   (`std::thread` + `Mutex`/`Condvar`, no external runtime):
+//!   per-worker local queues, a global injector, steal-on-idle, a
+//!   bounded admission queue and [`pool::Ticket`] completion handles.
+//!   [`runner::BatchRunner::sweep`] is a thin deterministic wrapper
+//!   over it.
+//! * [`service`] + [`api`] — plan/measure-as-a-service: a typed
+//!   [`api::Request`]/[`api::Response`] schema (maps named by registry
+//!   spec strings) behind a [`service::Service`] handle whose
+//!   `submit()` returns a ticket; long-lived per-worker
+//!   [`runner::BatchRunner`] sessions are cached by spec, and a full
+//!   admission queue rejects with
+//!   [`api::ServeError::Overloaded`] instead of queueing unboundedly.
+//!
+//! ```
+//! use cfva_serve::api::{Request, Response};
+//! use cfva_serve::service::{Service, ServiceConfig};
+//! use cfva_core::plan::Strategy;
+//! use cfva_core::VectorSpec;
+//!
+//! let service = Service::new(ServiceConfig::default());
+//! let ticket = service.submit(Request::Measure {
+//!     spec: "xor-matched:t=3,s=3".into(),
+//!     vec: VectorSpec::new(16, 12, 64)?,
+//!     strategy: Strategy::Auto,
+//! })?;
+//! match ticket.wait()? {
+//!     Response::Measured(Some(stats)) => assert_eq!(stats.latency, 8 + 64 + 1),
+//!     other => panic!("unexpected response {other:?}"),
+//! }
+//! service.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod pool;
+pub mod runner;
+pub mod service;
+pub mod workload;

@@ -1,0 +1,870 @@
+//! A hand-rolled work-stealing session pool — the one scheduling
+//! substrate under parallel sweeps, the benches and the serving front
+//! end. No external runtime: plain `std::thread` workers coordinated
+//! with a `Mutex`/`Condvar` pair.
+//!
+//! # Shape
+//!
+//! Crossbeam-style topology with std primitives:
+//!
+//! * one **local queue per worker** — jobs submitted with
+//!   [`Pool::submit_to`] land here, giving callers affinity (the
+//!   serving layer routes same-spec requests to the same worker so its
+//!   session cache stays hot);
+//! * a **global injector** — [`Pool::submit`] round-robins nothing and
+//!   reorders nothing: any idle worker may pick an injected job up;
+//! * **steal-on-idle** — a worker with an empty local queue first
+//!   drains the injector, then steals from the *back* of a peer's
+//!   local queue (ring order from its own index), so a stalled
+//!   worker's backlog is finished by its peers.
+//!
+//! All queues sit behind **one** mutex paired with the wake-up condvar.
+//! That is deliberate: jobs here are whole simulator runs (micro- to
+//! milliseconds), so queue transfer cost is noise, and a single lock
+//! keeps the sleep/wake protocol — and the drain-on-shutdown proof —
+//! trivially correct. (A lock-free Chase–Lev deque would need `unsafe`,
+//! which this workspace forbids.)
+//!
+//! Each worker owns a long-lived **session** of type `S`, built on the
+//! worker's own thread by the pool's `make` closure and handed by
+//! `&mut` to every job it executes — engine scratch and plan buffers
+//! are reused across jobs instead of rebuilt per request.
+//!
+//! # Completion and backpressure
+//!
+//! Submission returns a [`Ticket`] — a future-like handle resolved by
+//! the worker that executes the job ([`Ticket::poll`] /
+//! [`Ticket::wait`] / [`Ticket::wait_timeout`]). The bounded admission
+//! flavors ([`Pool::try_submit`], [`Pool::try_submit_to`]) refuse work
+//! beyond the queue capacity with [`SubmitError::QueueFull`] instead
+//! of queueing unboundedly; [`Pool::shutdown`] drains every queued job
+//! before the workers exit, so accepted tickets always resolve.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A queued unit of work: runs on a worker against its session.
+type Job<'a, S> = Box<dyn FnOnce(&mut S) + Send + 'a>;
+
+/// Why a bounded submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is at capacity; the job was **not** queued.
+    QueueFull {
+        /// Jobs waiting (across the injector and all local queues) at
+        /// the moment of refusal.
+        queue_depth: usize,
+        /// The configured admission capacity.
+        capacity: usize,
+    },
+    /// [`Pool::shutdown`] has begun; no new work is admitted.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull {
+                queue_depth,
+                capacity,
+            } => write!(
+                f,
+                "admission queue full: {queue_depth} job(s) queued, capacity {capacity}"
+            ),
+            SubmitError::ShuttingDown => write!(f, "pool is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// The scheduler state all workers share: every queue behind one lock.
+struct Sched<'a, S> {
+    injector: VecDeque<Job<'a, S>>,
+    locals: Vec<VecDeque<Job<'a, S>>>,
+    /// Total queued (injector + locals); the bounded-admission gauge.
+    queued: usize,
+    shutting_down: bool,
+    /// Workers whose session constructed and whose loop is (or will
+    /// be) serving. A `make` closure that panics decrements this; at
+    /// zero the pool is dead — admission closes and queued jobs are
+    /// dropped (resolving their tickets as panicked) rather than
+    /// stranded.
+    alive: usize,
+}
+
+impl<'a, S> Sched<'a, S> {
+    /// Next job for `worker`: local front, then injector front, then a
+    /// steal from the back of a peer's queue (ring order).
+    fn pop_for(&mut self, worker: usize) -> Option<Job<'a, S>> {
+        let job = self.locals[worker]
+            .pop_front()
+            .or_else(|| self.injector.pop_front())
+            .or_else(|| {
+                let n = self.locals.len();
+                (1..n).find_map(|off| self.locals[(worker + off) % n].pop_back())
+            });
+        if job.is_some() {
+            self.queued -= 1;
+        }
+        job
+    }
+}
+
+/// Shared pool core, generic over the job lifetime so the same worker
+/// loop serves both the long-lived [`Pool`] and the scoped pool behind
+/// `BatchRunner::sweep`.
+struct Core<'a, S> {
+    sched: Mutex<Sched<'a, S>>,
+    /// Signalled on every submission and on shutdown.
+    work: Condvar,
+    capacity: usize,
+}
+
+impl<'a, S> Core<'a, S> {
+    fn new(workers: usize, capacity: usize) -> Self {
+        Core {
+            sched: Mutex::new(Sched {
+                injector: VecDeque::new(),
+                locals: (0..workers).map(|_| VecDeque::new()).collect(),
+                queued: 0,
+                shutting_down: false,
+                alive: workers,
+            }),
+            work: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Queues `job` (injector, or worker-local when `to` is given),
+    /// enforcing the admission capacity when `bounded`.
+    fn push(&self, to: Option<usize>, job: Job<'a, S>, bounded: bool) -> Result<(), SubmitError> {
+        let mut sched = self.sched.lock().expect("pool lock poisoned");
+        // A dead pool (every worker's session construction panicked)
+        // refuses like a shut-down one: accepting would strand the
+        // ticket — nothing is left to run the job.
+        if sched.shutting_down || sched.alive == 0 {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if bounded && sched.queued >= self.capacity {
+            return Err(SubmitError::QueueFull {
+                queue_depth: sched.queued,
+                capacity: self.capacity,
+            });
+        }
+        match to {
+            Some(worker) => sched.locals[worker].push_back(job),
+            None => sched.injector.push_back(job),
+        }
+        sched.queued += 1;
+        drop(sched);
+        self.work.notify_all();
+        Ok(())
+    }
+
+    /// The worker loop: execute until shutdown **and** every queue is
+    /// empty — shutdown drains, it never abandons queued jobs.
+    fn run_worker(&self, worker: usize, session: &mut S) {
+        loop {
+            let job = {
+                let mut sched = self.sched.lock().expect("pool lock poisoned");
+                loop {
+                    if let Some(job) = sched.pop_for(worker) {
+                        break Some(job);
+                    }
+                    if sched.shutting_down {
+                        break None;
+                    }
+                    sched = self.work.wait(sched).expect("pool lock poisoned");
+                }
+            };
+            match job {
+                Some(job) => job(session),
+                None => return,
+            }
+        }
+    }
+
+    /// A worker whose `make` closure panicked: it never serves. The
+    /// last live worker to fall takes every queued job down with it —
+    /// dropping a job resolves its ticket as panicked (see
+    /// [`Completer`]), so waiters get a panic, not a hang. (While any
+    /// worker remains alive, queued jobs are simply left for it to
+    /// pop or steal.)
+    fn abandon_worker(&self) {
+        let orphans: Vec<Job<'a, S>> = {
+            let mut sched = self.sched.lock().expect("pool lock poisoned");
+            sched.alive -= 1;
+            if sched.alive > 0 {
+                Vec::new()
+            } else {
+                sched.queued = 0;
+                let mut orphans: Vec<Job<'a, S>> = sched.injector.drain(..).collect();
+                for local in &mut sched.locals {
+                    orphans.extend(local.drain(..));
+                }
+                orphans
+            }
+        };
+        drop(orphans);
+    }
+
+    fn begin_shutdown(&self) {
+        self.sched.lock().expect("pool lock poisoned").shutting_down = true;
+        self.work.notify_all();
+    }
+
+    fn queue_depth(&self) -> usize {
+        self.sched.lock().expect("pool lock poisoned").queued
+    }
+}
+
+/// How one job ended, as seen by its [`Ticket`].
+enum Slot<R> {
+    Pending,
+    Done(R),
+    /// The job panicked on its worker; the payload's message.
+    Panicked(String),
+    /// The result was already taken by [`Ticket::poll`].
+    Taken,
+}
+
+struct TicketShared<R> {
+    slot: Mutex<Slot<R>>,
+    done: Condvar,
+}
+
+/// A future-like completion handle for one submitted job.
+///
+/// Resolved exactly once by the worker that executes the job; the
+/// result is **taken** by whichever of [`poll`](Ticket::poll) /
+/// [`wait`](Ticket::wait) / [`wait_timeout`](Ticket::wait_timeout)
+/// observes it first. If the job panicked on its worker, the panic is
+/// re-raised (with its message) at the take site — a pool worker never
+/// dies with the panic.
+#[must_use = "a Ticket is the only handle to the request's result; drop it and the result is lost"]
+pub struct Ticket<R> {
+    shared: Arc<TicketShared<R>>,
+}
+
+impl<R> std::fmt::Debug for Ticket<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
+impl<R> Ticket<R> {
+    fn new() -> (Self, Arc<TicketShared<R>>) {
+        let shared = Arc::new(TicketShared {
+            slot: Mutex::new(Slot::Pending),
+            done: Condvar::new(),
+        });
+        (
+            Ticket {
+                shared: Arc::clone(&shared),
+            },
+            shared,
+        )
+    }
+
+    /// Whether the job has finished (the result — or its panic — is
+    /// ready to take).
+    pub fn is_ready(&self) -> bool {
+        !matches!(
+            *self.shared.slot.lock().expect("ticket lock poisoned"),
+            Slot::Pending
+        )
+    }
+
+    /// Non-blocking take: `Some(result)` once the job has finished,
+    /// `None` while it is still queued or running (and after the
+    /// result has already been taken).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the job's panic if it panicked on its worker.
+    pub fn poll(&mut self) -> Option<R> {
+        let mut slot = self.shared.slot.lock().expect("ticket lock poisoned");
+        Self::take(&mut slot)
+    }
+
+    /// Blocks until the job finishes and returns its result.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the job's panic if it panicked on its worker, and
+    /// panics if the result was already taken through
+    /// [`poll`](Ticket::poll).
+    pub fn wait(self) -> R {
+        let mut slot = self.shared.slot.lock().expect("ticket lock poisoned");
+        loop {
+            if let Some(result) = Self::take(&mut slot) {
+                return result;
+            }
+            if matches!(*slot, Slot::Taken) {
+                panic!("ticket result already taken by poll()");
+            }
+            slot = self.shared.done.wait(slot).expect("ticket lock poisoned");
+        }
+    }
+
+    /// Like [`wait`](Ticket::wait), but gives up after `timeout`,
+    /// handing the still-pending ticket back as `Err` so the caller
+    /// can keep polling or waiting.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<R, Ticket<R>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slot = self.shared.slot.lock().expect("ticket lock poisoned");
+        loop {
+            if let Some(result) = Self::take(&mut slot) {
+                return Ok(result);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                drop(slot);
+                return Err(self);
+            }
+            (slot, _) = self
+                .shared
+                .done
+                .wait_timeout(slot, deadline - now)
+                .expect("ticket lock poisoned");
+        }
+    }
+
+    fn take(slot: &mut Slot<R>) -> Option<R> {
+        match std::mem::replace(slot, Slot::Taken) {
+            Slot::Done(result) => Some(result),
+            Slot::Panicked(msg) => panic!("pool job panicked: {msg}"),
+            Slot::Pending => {
+                *slot = Slot::Pending;
+                None
+            }
+            Slot::Taken => None,
+        }
+    }
+}
+
+/// The job-side half of a ticket: resolves it exactly once, and — the
+/// load-bearing part — resolves it as *panicked* from `Drop` if the
+/// job is destroyed without ever running (a dead pool dropping its
+/// queue), so no interleaving leaves a waiter blocked on a ticket
+/// nothing will ever complete.
+struct Completer<R> {
+    shared: Arc<TicketShared<R>>,
+    completed: bool,
+}
+
+impl<R> Completer<R> {
+    fn complete(&mut self, outcome: Slot<R>) {
+        let mut slot = self.shared.slot.lock().expect("ticket lock poisoned");
+        *slot = outcome;
+        drop(slot);
+        self.shared.done.notify_all();
+        self.completed = true;
+    }
+}
+
+impl<R> Drop for Completer<R> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.complete(Slot::Panicked(
+                "job dropped before it could run (every pool worker's session \
+                 construction panicked?)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// Wraps a result-returning job into a queueable [`Job`] plus the
+/// [`Ticket`] that observes it. Panics are caught on the worker and
+/// re-raised at the ticket, so one bad request cannot kill a worker
+/// (the session is handed back; `BatchRunner` scratch is rebuilt on
+/// the next measurement, so a torn session state is harmless).
+fn package<'a, S, R, F>(job: F) -> (Job<'a, S>, Ticket<R>)
+where
+    F: FnOnce(&mut S) -> R + Send + 'a,
+    R: Send + 'a,
+{
+    let (ticket, shared) = Ticket::new();
+    let mut completer = Completer {
+        shared,
+        completed: false,
+    };
+    let boxed: Job<'a, S> = Box::new(move |session: &mut S| {
+        let outcome = catch_unwind(AssertUnwindSafe(|| job(session)));
+        completer.complete(match outcome {
+            Ok(result) => Slot::Done(result),
+            Err(payload) => Slot::Panicked(panic_message(payload.as_ref())),
+        });
+    });
+    (boxed, ticket)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A long-lived work-stealing pool whose workers each own a session of
+/// type `S`, built on the worker's own thread.
+///
+/// See the [module docs](self) for the scheduling shape. Dropping the
+/// pool shuts it down and **drains**: every already-accepted job runs
+/// to completion first.
+pub struct Pool<S: 'static> {
+    core: Arc<Core<'static, S>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    workers: usize,
+}
+
+impl<S> std::fmt::Debug for Pool<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.workers)
+            .field("capacity", &self.core.capacity)
+            .field("queue_depth", &self.core.queue_depth())
+            .finish()
+    }
+}
+
+impl<S: 'static> Pool<S> {
+    /// Spawns `workers` threads, each building its session with
+    /// `make(worker_index)` on its own thread. `capacity` bounds the
+    /// admission queue enforced by the `try_submit*` flavors
+    /// (unbounded submission ignores it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or `capacity == 0`.
+    pub fn new<F>(workers: usize, capacity: usize, make: F) -> Self
+    where
+        F: Fn(usize) -> S + Send + Sync + 'static,
+    {
+        assert!(workers >= 1, "a pool needs at least one worker");
+        assert!(capacity >= 1, "admission capacity must be at least 1");
+        let core = Arc::new(Core::new(workers, capacity));
+        let make = Arc::new(make);
+        let handles = (0..workers)
+            .map(|worker| {
+                let core = Arc::clone(&core);
+                let make = Arc::clone(&make);
+                std::thread::spawn(move || {
+                    // A panicking session constructor must not strand
+                    // queued tickets: the worker bows out through the
+                    // alive count instead of dying mid-protocol.
+                    match catch_unwind(AssertUnwindSafe(|| make(worker))) {
+                        Ok(mut session) => core.run_worker(worker, &mut session),
+                        Err(_) => core.abandon_worker(),
+                    }
+                })
+            })
+            .collect();
+        Pool {
+            core,
+            handles: Mutex::new(handles),
+            workers,
+        }
+    }
+
+    /// The worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The admission-queue capacity enforced by the `try_submit*`
+    /// flavors.
+    pub fn capacity(&self) -> usize {
+        self.core.capacity
+    }
+
+    /// Jobs currently queued (not yet picked up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.core.queue_depth()
+    }
+
+    /// Queues `job` on the global injector, ignoring the admission
+    /// bound — for owners feeding the pool a finite batch (sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is shutting down (the owner controls
+    /// shutdown, so this is a caller bug, not a load condition).
+    pub fn submit<R, F>(&self, job: F) -> Ticket<R>
+    where
+        F: FnOnce(&mut S) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        let (job, ticket) = package(job);
+        self.core
+            .push(None, job, false)
+            .expect("pool is not accepting work (shut down, or every worker session panicked at construction)");
+        ticket
+    }
+
+    /// [`submit`](Self::submit) straight onto `worker`'s local queue —
+    /// affinity submission; idle peers may still steal it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= self.workers()` or the pool is shutting
+    /// down.
+    pub fn submit_to<R, F>(&self, worker: usize, job: F) -> Ticket<R>
+    where
+        F: FnOnce(&mut S) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        assert!(worker < self.workers, "no such worker: {worker}");
+        let (job, ticket) = package(job);
+        self.core
+            .push(Some(worker), job, false)
+            .expect("pool is not accepting work (shut down, or every worker session panicked at construction)");
+        ticket
+    }
+
+    /// Bounded admission onto the injector: refused with
+    /// [`SubmitError::QueueFull`] when `capacity` jobs are already
+    /// waiting, or [`SubmitError::ShuttingDown`] after
+    /// [`shutdown`](Self::shutdown) has begun.
+    pub fn try_submit<R, F>(&self, job: F) -> Result<Ticket<R>, SubmitError>
+    where
+        F: FnOnce(&mut S) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        let (job, ticket) = package(job);
+        self.core.push(None, job, true).map(|()| ticket)
+    }
+
+    /// Bounded admission with worker affinity — the serving layer's
+    /// entry: same-spec requests land on the same worker's queue so
+    /// its session cache stays hot, and idle peers steal overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= self.workers()`.
+    pub fn try_submit_to<R, F>(&self, worker: usize, job: F) -> Result<Ticket<R>, SubmitError>
+    where
+        F: FnOnce(&mut S) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        assert!(worker < self.workers, "no such worker: {worker}");
+        let (job, ticket) = package(job);
+        self.core.push(Some(worker), job, true).map(|()| ticket)
+    }
+
+    /// Graceful shutdown: no new work is admitted (further submission
+    /// fails with [`SubmitError::ShuttingDown`]), every queued job is
+    /// drained, in-flight jobs finish, then the workers exit and are
+    /// joined. Every accepted ticket has resolved by the time this
+    /// returns.
+    ///
+    /// Takes `&self` so a shared pool (e.g. behind an `Arc`) can be
+    /// shut down while other handles still hold it. Exactly one caller
+    /// performs the join; a *concurrent* second call stops admission
+    /// too but may return before the drain completes.
+    pub fn shutdown(&self) {
+        self.core.begin_shutdown();
+        let handles: Vec<_> =
+            std::mem::take(&mut *self.handles.lock().expect("pool handle registry poisoned"));
+        for handle in handles {
+            handle.join().expect("pool worker panicked outside a job");
+        }
+    }
+}
+
+impl<S: 'static> Drop for Pool<S> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A borrowed handle to a scoped pool — same scheduler as [`Pool`],
+/// but jobs may borrow from the caller's stack.
+pub struct ScopedPool<'p, 'a, S> {
+    core: &'p Core<'a, S>,
+    workers: usize,
+}
+
+impl<S> std::fmt::Debug for ScopedPool<'_, '_, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScopedPool")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl<'a, S> ScopedPool<'_, 'a, S> {
+    /// The worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Queues `job` on the global injector (unbounded — the scope
+    /// owner feeds a finite batch).
+    pub fn submit<R, F>(&self, job: F) -> Ticket<R>
+    where
+        F: FnOnce(&mut S) -> R + Send + 'a,
+        R: Send + 'a,
+    {
+        let (job, ticket) = package(job);
+        self.core
+            .push(None, job, false)
+            .expect("scoped pool refused work (every worker session panicked at construction?)");
+        ticket
+    }
+
+    /// Queues `job` on `worker`'s local queue; idle peers may steal it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= self.workers()`.
+    pub fn submit_to<R, F>(&self, worker: usize, job: F) -> Ticket<R>
+    where
+        F: FnOnce(&mut S) -> R + Send + 'a,
+        R: Send + 'a,
+    {
+        assert!(worker < self.workers, "no such worker: {worker}");
+        let (job, ticket) = package(job);
+        self.core
+            .push(Some(worker), job, false)
+            .expect("scoped pool refused work (every worker session panicked at construction?)");
+        ticket
+    }
+}
+
+/// Runs `f` against a temporary pool of `workers` threads whose jobs
+/// may borrow from the enclosing scope — the substrate under
+/// [`BatchRunner::sweep`](crate::runner::BatchRunner::sweep). Sessions
+/// are built by `make(worker_index)` on each worker's own thread. When
+/// `f` returns, the pool drains (every submitted job completes) and
+/// the workers are joined.
+pub fn scoped<'a, S, T, M, F>(workers: usize, make: M, f: F) -> T
+where
+    S: 'a,
+    M: Fn(usize) -> S + Sync + 'a,
+    F: for<'p> FnOnce(&'p ScopedPool<'p, 'a, S>) -> T,
+{
+    /// Flags shutdown when dropped, so the workers are released (and
+    /// `thread::scope` can join them) however the scope body exits —
+    /// including an unwind out of `f` (e.g. [`Ticket::wait`]
+    /// re-raising a job panic). Without this, a panicking scope body
+    /// would leave the workers parked on the condvar forever and turn
+    /// the panic into a deadlock at the scope's implicit join.
+    struct ShutdownOnDrop<'g, 'a, S>(&'g Core<'a, S>);
+    impl<S> Drop for ShutdownOnDrop<'_, '_, S> {
+        fn drop(&mut self) {
+            self.0.begin_shutdown();
+        }
+    }
+
+    assert!(workers >= 1, "a pool needs at least one worker");
+    let core: Core<'a, S> = Core::new(workers, usize::MAX);
+    let core = &core;
+    let make = &make;
+    std::thread::scope(move |scope| {
+        for worker in 0..workers {
+            scope.spawn(move || {
+                // Same session-construction hygiene as `Pool::new`: a
+                // panicking `make` abandons the worker (dropping the
+                // queue once no worker is left, which resolves the
+                // orphaned tickets as panicked) instead of stranding
+                // the scope body in a wait nothing will satisfy.
+                match catch_unwind(AssertUnwindSafe(|| make(worker))) {
+                    Ok(mut session) => core.run_worker(worker, &mut session),
+                    Err(_) => core.abandon_worker(),
+                }
+            });
+        }
+        // Drain-and-join before leaving: the guard flags shutdown when
+        // `f` returns *or unwinds*; `thread::scope` then joins the
+        // workers, which exit once shutdown is flagged AND the queues
+        // are empty.
+        let _release_workers = ShutdownOnDrop(core);
+        f(&ScopedPool { core, workers })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn submit_and_wait_round_trip() {
+        let pool = Pool::new(2, 16, |worker| worker);
+        let t = pool.submit(|session: &mut usize| *session + 100);
+        let value = t.wait();
+        assert!(value == 100 || value == 101);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn tickets_resolve_in_any_submission_pattern() {
+        let pool = Pool::new(3, 64, |_| ());
+        let tickets: Vec<Ticket<u64>> = (0..50u64)
+            .map(|i| pool.submit(move |(): &mut ()| i * i))
+            .collect();
+        let results: Vec<u64> = tickets.into_iter().map(Ticket::wait).collect();
+        assert_eq!(results, (0..50u64).map(|i| i * i).collect::<Vec<_>>());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn poll_is_none_until_done_then_takes_once() {
+        let pool = Pool::new(1, 4, |_| ());
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let stall = pool.submit(move |(): &mut ()| gate_rx.recv().unwrap());
+        let mut t = pool.submit(|(): &mut ()| 7u32);
+        assert!(!t.is_ready());
+        assert_eq!(t.poll(), None);
+        gate_tx.send(()).unwrap();
+        stall.wait();
+        // The only worker is free now; the job completes promptly.
+        let mut t = match t.wait_timeout(Duration::from_secs(10)) {
+            Ok(v) => {
+                assert_eq!(v, 7);
+                return;
+            }
+            Err(t) => t,
+        };
+        // Timed out (absurd on a 10 s budget, but poll must still work).
+        while t.poll().is_none() {
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn wait_timeout_returns_ticket_on_pending_job() {
+        let pool = Pool::new(1, 4, |_| ());
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let stall = pool.submit(move |(): &mut ()| gate_rx.recv().unwrap());
+        let t = pool.submit(|(): &mut ()| 1u8);
+        let t = t
+            .wait_timeout(Duration::from_millis(10))
+            .expect_err("worker is stalled; the job cannot have run");
+        gate_tx.send(()).unwrap();
+        stall.wait();
+        assert_eq!(t.wait(), 1);
+    }
+
+    #[test]
+    fn panicking_job_resolves_ticket_and_spares_the_worker() {
+        let pool = Pool::new(1, 4, |_| ());
+        let t = pool.submit(|(): &mut ()| -> () { panic!("bad request") });
+        let outcome = catch_unwind(AssertUnwindSafe(move || t.wait()));
+        let msg = panic_message(outcome.expect_err("job panicked").as_ref());
+        assert!(msg.contains("bad request"), "{msg}");
+        // The worker survived and still serves.
+        assert_eq!(pool.submit(|(): &mut ()| 3u8).wait(), 3);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn scoped_jobs_borrow_from_the_stack() {
+        let data: Vec<u64> = (0..100).collect();
+        let total: u64 = scoped(
+            3,
+            |_| (),
+            |pool| {
+                let tickets: Vec<Ticket<u64>> = data
+                    .chunks(7)
+                    .map(|chunk| pool.submit(move |(): &mut ()| chunk.iter().sum::<u64>()))
+                    .collect();
+                tickets.into_iter().map(Ticket::wait).sum()
+            },
+        );
+        assert_eq!(total, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn scope_body_panic_propagates_instead_of_deadlocking() {
+        // `Ticket::wait` re-raises a job panic *inside* the scope
+        // body; the shutdown guard must still release the workers so
+        // thread::scope can join and the panic propagates — the
+        // failure mode being pinned here is a hang, not a wrong value.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            scoped(
+                2,
+                |_| (),
+                |pool| {
+                    let t = pool.submit(|(): &mut ()| -> u32 { panic!("job boom") });
+                    t.wait()
+                },
+            )
+        }));
+        let msg = panic_message(outcome.expect_err("panic must propagate").as_ref());
+        assert!(msg.contains("job boom"), "{msg}");
+    }
+
+    #[test]
+    fn panicking_session_constructor_panics_the_waiter_instead_of_hanging() {
+        // Whether the submission races ahead of the worker deaths
+        // (job queued, then dropped by the last dying worker → ticket
+        // resolves panicked) or behind them (dead pool refuses, the
+        // unbounded submit's expect fires), the caller gets a panic —
+        // the pinned failure mode is a hang.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            scoped(
+                2,
+                |_| -> () { panic!("make boom") },
+                |pool| pool.submit(|(): &mut ()| 1u32).wait(),
+            )
+        }));
+        assert!(outcome.is_err(), "a dead scoped pool must panic, not hang");
+    }
+
+    #[test]
+    fn dead_long_lived_pool_refuses_or_panics_but_never_strands() {
+        let pool: Pool<()> = Pool::new(2, 8, |_| panic!("make boom"));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            match pool.try_submit(|(): &mut ()| 1u32) {
+                // Accepted before the workers died: the dropped job
+                // resolves the ticket as panicked.
+                Ok(ticket) => ticket.wait(),
+                // The pool was already dead at submission.
+                Err(e) => {
+                    assert_eq!(e, SubmitError::ShuttingDown);
+                    panic!("refused: {e}")
+                }
+            }
+        }));
+        assert!(outcome.is_err(), "a dead pool must panic, not hang");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn scoped_drains_unwaited_tickets_before_returning() {
+        let counter = Mutex::new(0u32);
+        scoped(
+            2,
+            |_| (),
+            |pool| {
+                for _ in 0..20 {
+                    // Deliberately dropped tickets: the scope must
+                    // still run every job before unwinding.
+                    let _ = pool.submit(|(): &mut ()| {
+                        *counter.lock().unwrap() += 1;
+                    });
+                }
+            },
+        );
+        assert_eq!(*counter.lock().unwrap(), 20);
+    }
+
+    #[test]
+    fn capacity_accessors_report_configuration() {
+        let pool: Pool<()> = Pool::new(2, 5, |_| ());
+        assert_eq!(pool.workers(), 2);
+        assert_eq!(pool.capacity(), 5);
+        assert_eq!(pool.queue_depth(), 0);
+    }
+}

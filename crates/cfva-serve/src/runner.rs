@@ -241,7 +241,7 @@ pub fn stratified_efficiency<R: Rng + ?Sized>(
 /// # Examples
 ///
 /// ```
-/// use cfva_bench::runner::BatchRunner;
+/// use cfva_serve::runner::BatchRunner;
 /// use cfva_core::mapping::XorMatched;
 /// use cfva_core::plan::{Planner, Strategy};
 /// use cfva_core::VectorSpec;
@@ -281,7 +281,7 @@ impl BatchRunner {
     /// # Examples
     ///
     /// ```
-    /// use cfva_bench::runner::BatchRunner;
+    /// use cfva_serve::runner::BatchRunner;
     /// use cfva_core::plan::Strategy;
     /// use cfva_core::VectorSpec;
     ///
@@ -358,6 +358,7 @@ impl BatchRunner {
     ///
     /// `None` when the strategy cannot plan the access — same contract
     /// as the free [`measure`], without its per-call allocations.
+    #[must_use = "the measurement's statistics are its only output"]
     pub fn measure(&mut self, vec: &VectorSpec, strategy: Strategy) -> Option<&AccessStats> {
         self.scratch.measure(&self.planner, vec, strategy)
     }
@@ -385,6 +386,7 @@ impl BatchRunner {
     /// Executes a caller-built plan (e.g. a concatenated short-vector
     /// stream from [`AccessPlan::concat`]) on the session's memory
     /// system, reusing the stats buffer.
+    #[must_use = "the execution's statistics are its only output"]
     pub fn run_plan(&mut self, plan: &AccessPlan) -> &AccessStats {
         self.scratch
             .system
@@ -394,12 +396,14 @@ impl BatchRunner {
 
     /// Like [`measure`](Self::measure) but returns an owned copy of the
     /// statistics, for callers that outlive the next measurement.
+    #[must_use = "the measurement's statistics are its only output"]
     pub fn measure_owned(&mut self, vec: &VectorSpec, strategy: Strategy) -> Option<AccessStats> {
         self.measure(vec, strategy).cloned()
     }
 
     /// Steady-state service cycles per element under this session's
     /// memory configuration (1.0 for a conflict-free access).
+    #[must_use = "the derived rate is the computation's only output"]
     pub fn cycles_per_element(&self, stats: &AccessStats) -> f64 {
         cycles_per_element(stats, self.scratch.mem())
     }
@@ -456,30 +460,33 @@ impl BatchRunner {
         )
     }
 
-    /// Runs `run` over every sweep point, in parallel across threads,
-    /// with **one session per worker** (built by `make_session`);
-    /// results come back in point order.
+    /// Runs `run` over every sweep point, in parallel across the
+    /// work-stealing session pool ([`crate::pool`]), with **one
+    /// session per worker** (built by `make_session`); results come
+    /// back in point order.
     ///
     /// Worker count is the machine's available parallelism, capped at
     /// the number of points; points are split into contiguous chunks,
-    /// so a worker's session is reused across its whole chunk.
+    /// one chunk submitted to each worker's local queue, so a worker's
+    /// session is reused across its whole chunk (an idle peer may
+    /// steal a chunk, in which case *its* session — an identical
+    /// `make_session()` build — runs it).
     ///
     /// Determinism: results are bit-identical to the serial loop
     /// `points.iter().map(|p| run(&mut session, p))` **provided each
     /// point is self-contained** — any randomness must be seeded per
     /// point (see `tests/batch_runner.rs`), never threaded through a
-    /// shared RNG. The other half of the guarantee is the **chunked**
-    /// (contiguous, not interleaved) work distribution: each worker
-    /// owns one contiguous run of points and results are concatenated
-    /// in chunk order, so the output `Vec` is exactly the serial
-    /// output regardless of which worker finishes first. An
-    /// interleaved (round-robin) distribution would reorder nothing
-    /// either — but only because results are written back by index;
-    /// chunking additionally keeps each session's warm-up amortised
-    /// over a contiguous run and is what this crate pins.
+    /// shared RNG. The other half of the guarantee is the
+    /// **submission-order merge**: one [`crate::pool::Ticket`] per
+    /// contiguous chunk, awaited in the order the chunks were
+    /// submitted and concatenated, so the output `Vec` is exactly the
+    /// serial output regardless of which worker finishes (or steals)
+    /// what. This is the same scheduling substrate the serving front
+    /// end (`cfva_serve::service`) runs on — bench, experiments and
+    /// serving share one pool implementation.
     ///
     /// ```
-    /// use cfva_bench::runner::BatchRunner;
+    /// use cfva_serve::runner::BatchRunner;
     /// use cfva_core::mapping::XorMatched;
     /// use cfva_core::plan::{Planner, Strategy};
     /// use cfva_core::VectorSpec;
@@ -501,7 +508,10 @@ impl BatchRunner {
     /// // Serial reference...
     /// let mut session = make();
     /// let serial: Vec<u64> = points.iter().map(|p| run(&mut session, p)).collect();
-    /// // ...equals the parallel sweep, in the same point order.
+    /// // ...equals the pooled sweep: chunk results are merged in
+    /// // *submission* order (ticket per chunk, awaited in the order
+    /// // submitted), not completion order, so the output is the
+    /// // serial Vec whichever worker finishes — or steals — a chunk.
     /// let parallel = BatchRunner::sweep_with_threads(4, make, &points, run);
     /// assert_eq!(parallel, serial);
     /// # Ok(())
@@ -542,27 +552,34 @@ impl BatchRunner {
         }
 
         let chunk_len = points.len().div_ceil(threads);
-        let make_session = &make_session;
+        // Rounding up the chunk length can leave fewer chunks than
+        // requested workers (e.g. 5 points / 4 threads → 3 chunks of
+        // 2); size the pool to the chunks so no worker builds a
+        // session it will never use.
+        let workers = points.len().div_ceil(chunk_len);
         let run = &run;
-        let mut results: Vec<R> = Vec::with_capacity(points.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = points
-                .chunks(chunk_len)
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        let mut session = make_session();
-                        chunk
-                            .iter()
-                            .map(|p| run(&mut session, p))
-                            .collect::<Vec<R>>()
+        crate::pool::scoped(
+            workers,
+            |_worker| make_session(),
+            |pool| {
+                // One contiguous chunk per worker-local queue; tickets
+                // awaited in submission order, so the merged Vec is the
+                // serial result whatever the execution interleaving.
+                let tickets: Vec<crate::pool::Ticket<Vec<R>>> = points
+                    .chunks(chunk_len)
+                    .enumerate()
+                    .map(|(worker, chunk)| {
+                        pool.submit_to(worker, move |session: &mut BatchRunner| {
+                            chunk.iter().map(|p| run(session, p)).collect::<Vec<R>>()
+                        })
                     })
-                })
-                .collect();
-            for handle in handles {
-                results.extend(handle.join().expect("sweep worker panicked"));
-            }
-        });
-        results
+                    .collect();
+                tickets
+                    .into_iter()
+                    .flat_map(crate::pool::Ticket::wait)
+                    .collect()
+            },
+        )
     }
 }
 

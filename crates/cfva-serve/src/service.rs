@@ -1,0 +1,509 @@
+//! The serving front end: a [`Service`] handle dispatching typed
+//! [`Request`]s onto the work-stealing session pool.
+//!
+//! # Session affinity
+//!
+//! Each pool worker owns a cache of long-lived [`BatchRunner`]
+//! sessions **keyed by canonical spec string**. `submit()` hashes the
+//! request's spec to pick a preferred worker and queues onto that
+//! worker's local queue, so repeated requests against the same map hit
+//! a warm session (planner, memory system, plan/stats scratch — no
+//! rebuild, no allocation). Work stealing keeps affinity a *hint*, not
+//! a bottleneck: when the preferred worker is busy, an idle peer
+//! steals the request and serves it from its own cache (building the
+//! session on first touch).
+//!
+//! # Backpressure and shutdown
+//!
+//! The admission queue is bounded ([`ServiceConfig::queue_capacity`]).
+//! A full queue rejects with [`ServeError::Overloaded`] — callers get
+//! a typed signal to back off instead of unbounded queueing.
+//! [`Service::shutdown`] stops admission ([`ServeError::ShuttingDown`])
+//! and **drains**: every accepted request completes and resolves its
+//! ticket before the workers exit.
+//!
+//! # Determinism
+//!
+//! Responses are pure functions of the request (plus `seed` where the
+//! request samples): a pooled measurement is bit-identical to the same
+//! call on a fresh serial [`BatchRunner`], whichever worker serves it
+//! and however often the session was reused before —
+//! `tests/service_equivalence.rs` pins this with a proptest.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use cfva_core::mapping::MapSpec;
+use cfva_core::plan::Strategy;
+use cfva_core::Stride;
+use cfva_core::VectorSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::api::{Estimator, FamilyPoint, Request, Response, ServeError, ServeResult};
+use crate::pool::{Pool, SubmitError, Ticket};
+use crate::runner::BatchRunner;
+use crate::workload::StrideSampler;
+
+/// A completion handle for one submitted request.
+pub type ServeTicket = Ticket<ServeResult>;
+
+/// Service sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Pool workers (each owning its session cache). Defaults to the
+    /// machine's available parallelism.
+    pub workers: usize,
+    /// Admission-queue bound: requests waiting beyond this are
+    /// rejected with [`ServeError::Overloaded`]. Defaults to
+    /// `16 × workers`.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ServiceConfig {
+            workers,
+            queue_capacity: 16 * workers,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A config with `workers` workers and the default queue bound for
+    /// that worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        ServiceConfig {
+            workers,
+            queue_capacity: 16 * workers,
+        }
+    }
+
+    /// Replaces the admission-queue bound.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+}
+
+/// One worker's session cache: canonical spec string → warm session.
+#[derive(Debug, Default)]
+struct SpecSessions {
+    sessions: HashMap<String, BatchRunner>,
+}
+
+impl SpecSessions {
+    /// The worker-side session lookup; builds (and caches) the session
+    /// on first touch. Build failures are not cached — a transient
+    /// failure (e.g. a matrix file appearing later) may succeed on
+    /// retry.
+    fn get_or_create(&mut self, spec: &MapSpec) -> Result<&mut BatchRunner, ServeError> {
+        match self.sessions.entry(spec.to_string()) {
+            Entry::Occupied(entry) => Ok(entry.into_mut()),
+            Entry::Vacant(entry) => {
+                Ok(entry.insert(BatchRunner::from_spec(spec).map_err(ServeError::Spec)?))
+            }
+        }
+    }
+}
+
+/// Plan/measure-as-a-service over the work-stealing session pool. See
+/// the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use cfva_serve::api::{Request, Response};
+/// use cfva_serve::service::{Service, ServiceConfig};
+/// use cfva_core::plan::Strategy;
+/// use cfva_core::VectorSpec;
+///
+/// let service = Service::new(ServiceConfig::with_workers(2));
+/// let tickets: Vec<_> = (0..4u64)
+///     .map(|i| {
+///         service
+///             .submit(Request::Measure {
+///                 spec: "xor-matched:t=3,s=3".into(),
+///                 vec: VectorSpec::new(16 + i, 12, 64).unwrap(),
+///                 strategy: Strategy::Auto,
+///             })
+///             .expect("queue has room")
+///     })
+///     .collect();
+/// for ticket in tickets {
+///     assert!(matches!(ticket.wait(), Ok(Response::Measured(Some(_)))));
+/// }
+/// service.shutdown(); // drains in-flight work, then joins the workers
+/// ```
+#[derive(Debug)]
+pub struct Service {
+    pool: Pool<SpecSessions>,
+}
+
+impl Service {
+    /// Spawns the worker pool. Workers start with empty session
+    /// caches; sessions are built on first request per spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers == 0` or `config.queue_capacity == 0`.
+    pub fn new(config: ServiceConfig) -> Self {
+        Service {
+            pool: Pool::new(config.workers, config.queue_capacity, |_| {
+                SpecSessions::default()
+            }),
+        }
+    }
+
+    /// The worker count.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// The admission-queue bound.
+    pub fn queue_capacity(&self) -> usize {
+        self.pool.capacity()
+    }
+
+    /// Requests currently waiting for a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.pool.queue_depth()
+    }
+
+    /// Validates and enqueues `request`, returning the ticket its
+    /// response will resolve through.
+    ///
+    /// Synchronous rejections (the request was **not** queued):
+    ///
+    /// * [`ServeError::Spec`] — the spec string does not parse;
+    /// * [`ServeError::Request`] — invalid sweep/estimator parameters
+    ///   (even `sigma`, zero `per_family`, …);
+    /// * [`ServeError::Overloaded`] — admission queue full;
+    /// * [`ServeError::ShuttingDown`] — [`shutdown`](Self::shutdown)
+    ///   has begun.
+    ///
+    /// Session-side failures (a spec that parses but cannot build)
+    /// resolve through the ticket as `Err`.
+    pub fn submit(&self, request: Request) -> Result<ServeTicket, ServeError> {
+        let spec: MapSpec = request.spec().parse().map_err(ServeError::Spec)?;
+        validate(&request)?;
+        let worker = route(&spec.to_string(), self.pool.workers());
+        self.pool
+            .try_submit_to(worker, move |sessions: &mut SpecSessions| {
+                execute(sessions, &spec, &request)
+            })
+            .map_err(|e| match e {
+                SubmitError::QueueFull {
+                    queue_depth,
+                    capacity,
+                } => ServeError::Overloaded {
+                    queue_depth,
+                    capacity,
+                },
+                SubmitError::ShuttingDown => ServeError::ShuttingDown,
+            })
+    }
+
+    /// Graceful shutdown: stops admission (further [`submit`]s fail
+    /// with [`ServeError::ShuttingDown`]), drains every queued and
+    /// in-flight request (their tickets resolve), then joins the
+    /// workers. Dropping the service does the same. Takes `&self` so a
+    /// shared service (e.g. behind an `Arc` under a network front end)
+    /// can be shut down while handlers still hold it.
+    ///
+    /// [`submit`]: Self::submit
+    pub fn shutdown(&self) {
+        self.pool.shutdown();
+    }
+}
+
+/// FNV-1a over the canonical spec string — the affinity router. Plain
+/// and dependency-free; all that matters is a stable spec → worker
+/// assignment within one service lifetime.
+fn route(key: &str, workers: usize) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in key.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % workers as u64) as usize
+}
+
+/// Submit-side parameter validation: everything that can be rejected
+/// without a session is rejected before queueing.
+fn validate(request: &Request) -> Result<(), ServeError> {
+    match request {
+        Request::Measure { .. } | Request::MeasureBatch { .. } => Ok(()),
+        Request::FamilySweep {
+            sigma, max_x, len, ..
+        } => {
+            // One probe constructs the sweep's largest access: rejects
+            // zero/even sigma, an overflowing sigma·2^max_x, len == 0
+            // and an address stream leaving u64 — synchronously, per
+            // the contract that `Request` errors never reach the
+            // ticket.
+            let stride = Stride::from_parts(*sigma, *max_x).map_err(ServeError::Request)?;
+            VectorSpec::with_stride(16u64.into(), stride, *len)
+                .map(|_| ())
+                .map_err(ServeError::Request)
+        }
+        Request::Efficiency { estimator, len, .. } => {
+            // Probe the estimator's worst-case access up front, so an
+            // out-of-domain parameter is a typed synchronous rejection
+            // — never a worker-side panic re-raised at ticket.wait()
+            // (the sampler asserts `max_x ≤ 40`, and an oversized
+            // `sigma · 2^max_x · len` would trip construction expects
+            // deep inside the estimator loops).
+            let (max_x, max_sigma) = match estimator {
+                Estimator::MonteCarlo {
+                    samples,
+                    max_x,
+                    max_sigma,
+                } => {
+                    if *samples == 0 {
+                        return Err(ServeError::Request(cfva_core::ConfigError::OutOfRange {
+                            what: "samples",
+                            value: 0,
+                            constraint: "samples must be at least 1",
+                        }));
+                    }
+                    if *max_sigma == 0 {
+                        return Err(ServeError::Request(cfva_core::ConfigError::OutOfRange {
+                            what: "max_sigma",
+                            value: 0,
+                            constraint: "max_sigma must be at least 1",
+                        }));
+                    }
+                    (*max_x, *max_sigma)
+                }
+                Estimator::Stratified { max_x, per_family } => {
+                    if *per_family == 0 {
+                        return Err(ServeError::Request(cfva_core::ConfigError::OutOfRange {
+                            what: "per_family",
+                            value: 0,
+                            constraint: "per_family must be at least 1",
+                        }));
+                    }
+                    // The stratified loop draws `sigma ∈ {1, 3, …, 15}`.
+                    (*max_x, 15)
+                }
+            };
+            if max_x > 40 {
+                return Err(ServeError::Request(cfva_core::ConfigError::OutOfRange {
+                    what: "max_x",
+                    value: u64::from(max_x),
+                    constraint: "max_x must be at most 40",
+                }));
+            }
+            // The largest odd part either estimator can draw.
+            let worst_odd = max_sigma - u64::from(max_sigma % 2 == 0);
+            let worst_sigma = i64::try_from(worst_odd).map_err(|_| {
+                ServeError::Request(cfva_core::ConfigError::OutOfRange {
+                    what: "max_sigma",
+                    value: max_sigma,
+                    constraint: "max_sigma must fit in i64",
+                })
+            })?;
+            let worst_stride =
+                Stride::from_parts(worst_sigma, max_x).map_err(ServeError::Request)?;
+            // Both estimators draw bases below 2^24; the largest
+            // base/stride/len combination must stay addressable (this
+            // also rejects `len == 0`).
+            VectorSpec::with_stride(((1u64 << 24) - 1).into(), worst_stride, *len)
+                .map(|_| ())
+                .map_err(ServeError::Request)
+        }
+    }
+}
+
+/// The worker-side request dispatch, against the worker's session
+/// cache.
+fn execute(sessions: &mut SpecSessions, spec: &MapSpec, request: &Request) -> ServeResult {
+    let session = sessions.get_or_create(spec)?;
+    match request {
+        Request::Measure { vec, strategy, .. } => {
+            Ok(Response::Measured(session.measure_owned(vec, *strategy)))
+        }
+        Request::MeasureBatch { accesses, .. } => {
+            Ok(Response::Batch(session.measure_batch(accesses)))
+        }
+        Request::FamilySweep {
+            len, max_x, sigma, ..
+        } => family_sweep(session, *len, *max_x, *sigma),
+        Request::Efficiency {
+            strategy,
+            len,
+            estimator,
+            seed,
+            ..
+        } => {
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let eta = match estimator {
+                Estimator::MonteCarlo {
+                    samples,
+                    max_x,
+                    max_sigma,
+                } => {
+                    let sampler = StrideSampler::new(*max_x, *max_sigma);
+                    session.simulated_efficiency(*strategy, *len, *samples, &sampler, &mut rng)
+                }
+                Estimator::Stratified { max_x, per_family } => {
+                    session.stratified_efficiency(*strategy, *len, *max_x, *per_family, &mut rng)
+                }
+            };
+            Ok(Response::Efficiency(eta))
+        }
+    }
+}
+
+fn family_sweep(session: &mut BatchRunner, len: u64, max_x: u32, sigma: i64) -> ServeResult {
+    let mut rows = Vec::with_capacity(max_x as usize + 1);
+    for x in 0..=max_x {
+        let stride = Stride::from_parts(sigma, x).map_err(ServeError::Request)?;
+        let vec =
+            VectorSpec::with_stride(16u64.into(), stride, len).map_err(ServeError::Request)?;
+        let stats = session
+            .measure_owned(&vec, Strategy::Auto)
+            .expect("auto always plans");
+        rows.push(FamilyPoint {
+            x,
+            stride: stride.get(),
+            latency: stats.latency,
+            conflicts: stats.conflicts,
+            stall_cycles: stats.stall_cycles,
+            cycles_per_element: session.cycles_per_element(&stats),
+        });
+    }
+    Ok(Response::FamilySweep(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for workers in [1, 2, 3, 8] {
+            for key in ["xor-matched:t=3,s=4", "skewed:m=3,d=1", "interleaved:m=3"] {
+                let w = route(key, workers);
+                assert!(w < workers);
+                assert_eq!(w, route(key, workers), "routing must be deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_spec_rejected_at_submit() {
+        let service = Service::new(ServiceConfig::with_workers(1));
+        let err = service
+            .submit(Request::Measure {
+                spec: "skewed:m".into(),
+                vec: VectorSpec::new(0, 1, 16).unwrap(),
+                strategy: Strategy::Auto,
+            })
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Spec(_)), "{err}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn invalid_sweep_parameters_rejected_at_submit() {
+        let service = Service::new(ServiceConfig::with_workers(1));
+        // Even sigma, zero length, and an overflowing address stream
+        // are all synchronous Request rejections — none may travel to
+        // the worker and come back through the ticket.
+        for (sigma, len, max_x) in [(4i64, 16u64, 3u32), (1, 0, 3), (1, 1 << 40, 40)] {
+            let err = service
+                .submit(Request::FamilySweep {
+                    spec: "interleaved:m=3".into(),
+                    len,
+                    max_x,
+                    sigma,
+                })
+                .map(|_| ())
+                .unwrap_err();
+            assert!(
+                matches!(err, ServeError::Request(_)),
+                "sigma {sigma} len {len} max_x {max_x}: {err}"
+            );
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn out_of_domain_estimators_rejected_at_submit_not_worker_panic() {
+        let service = Service::new(ServiceConfig::with_workers(1));
+        let cases = [
+            // Sampler cap: StdRng stride families top out at 40.
+            Estimator::MonteCarlo {
+                samples: 1,
+                max_x: 41,
+                max_sigma: 1,
+            },
+            // sigma · 2^max_x overflows i64.
+            Estimator::Stratified {
+                max_x: 63,
+                per_family: 1,
+            },
+            // Stride fits, but base + stride·(len−1) leaves u64.
+            Estimator::Stratified {
+                max_x: 39,
+                per_family: 1,
+            },
+        ];
+        for (i, estimator) in cases.into_iter().enumerate() {
+            let err = service
+                .submit(Request::Efficiency {
+                    spec: "interleaved:m=3".into(),
+                    strategy: Strategy::Auto,
+                    len: if i == 2 { 1 << 26 } else { 64 },
+                    estimator,
+                    seed: 0,
+                })
+                .map(|_| ())
+                .unwrap_err();
+            assert!(matches!(err, ServeError::Request(_)), "case {i}: {err}");
+        }
+        // The in-domain boundary still goes through.
+        let ticket = service
+            .submit(Request::Efficiency {
+                spec: "interleaved:m=3".into(),
+                strategy: Strategy::Auto,
+                len: 64,
+                estimator: Estimator::MonteCarlo {
+                    samples: 4,
+                    max_x: 40,
+                    max_sigma: 9,
+                },
+                seed: 1,
+            })
+            .expect("in-domain estimator is accepted");
+        assert!(matches!(ticket.wait(), Ok(Response::Efficiency(_))));
+        service.shutdown();
+    }
+
+    #[test]
+    fn unbuildable_spec_resolves_through_ticket() {
+        // `custom-gf2:rows=0b11|0b11` parses (valid grammar) but is
+        // rank deficient: the failure belongs to the session build on
+        // the worker, so it must come back through the ticket.
+        let service = Service::new(ServiceConfig::with_workers(1));
+        let ticket = service
+            .submit(Request::Measure {
+                spec: "custom-gf2:rows=0b11|0b11".into(),
+                vec: VectorSpec::new(0, 1, 16).unwrap(),
+                strategy: Strategy::Auto,
+            })
+            .expect("grammar is valid, submission succeeds");
+        match ticket.wait() {
+            Err(ServeError::Spec(e)) => {
+                assert_eq!(e, cfva_core::ConfigError::SingularMatrix)
+            }
+            other => panic!("expected a spec build error, got {other:?}"),
+        }
+        service.shutdown();
+    }
+}

@@ -12,7 +12,7 @@ use rand::Rng;
 /// # Examples
 ///
 /// ```
-/// use cfva_bench::workload::StrideSampler;
+/// use cfva_serve::workload::StrideSampler;
 /// use rand::{rngs::StdRng, SeedableRng};
 ///
 /// let sampler = StrideSampler::new(10, 15);

@@ -1,0 +1,176 @@
+//! Pool semantics the serving layer depends on: bounded admission
+//! rejects under a stalled worker, shutdown drains every accepted
+//! job, and an idle worker steals a stalled peer's backlog.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use cfva_serve::pool::{Pool, SubmitError, Ticket};
+
+/// A job that blocks its worker until the test releases the gate.
+fn stall_job(rx: mpsc::Receiver<()>) -> impl FnOnce(&mut usize) -> usize + Send {
+    move |worker: &mut usize| {
+        rx.recv().expect("gate sender dropped");
+        *worker
+    }
+}
+
+#[test]
+fn bounded_queue_rejects_with_typed_overload_under_a_stalled_worker() {
+    let pool = Pool::new(1, 2, |worker| worker);
+    let (gate, gate_rx) = mpsc::channel();
+    let stalled = pool.submit(stall_job(gate_rx));
+    // Give the worker a beat to pick the stall job up, so the two
+    // fillers below are genuinely *queued*, not racing for the pop.
+    while pool.queue_depth() > 0 {
+        std::thread::yield_now();
+    }
+
+    let filler_a = pool.try_submit(|_: &mut usize| 1u32).expect("depth 0 of 2");
+    let filler_b = pool.try_submit(|_: &mut usize| 2u32).expect("depth 1 of 2");
+    let err = pool
+        .try_submit(|_: &mut usize| 3u32)
+        .expect_err("queue is at capacity");
+    assert_eq!(
+        err,
+        SubmitError::QueueFull {
+            queue_depth: 2,
+            capacity: 2
+        }
+    );
+    // Typed, recoverable backpressure: release the worker and the pool
+    // serves again — including the very submission it just refused.
+    gate.send(()).unwrap();
+    assert_eq!(stalled.wait(), 0);
+    assert_eq!(filler_a.wait(), 1);
+    assert_eq!(filler_b.wait(), 2);
+    assert_eq!(
+        pool.try_submit(|_: &mut usize| 3u32)
+            .expect("room again")
+            .wait(),
+        3
+    );
+    pool.shutdown();
+}
+
+#[test]
+fn shutdown_drains_every_accepted_job() {
+    let pool = Pool::new(2, 1024, |worker| worker);
+    let tickets: Vec<Ticket<u64>> = (0..200u64)
+        .map(|i| pool.submit(move |_: &mut usize| i * 3))
+        .collect();
+    // Shutdown must block until queued AND in-flight jobs finish; by
+    // the time it returns, every ticket has resolved.
+    pool.shutdown();
+    for (i, mut ticket) in tickets.into_iter().enumerate() {
+        let value = ticket
+            .poll()
+            .expect("shutdown returned, so the job must have completed");
+        assert_eq!(value, i as u64 * 3);
+    }
+}
+
+#[test]
+fn submission_after_shutdown_begins_is_refused_and_accepted_work_drains() {
+    let pool = Pool::new(1, 64, |worker| worker);
+    let (gate, gate_rx) = mpsc::channel();
+    let stalled = pool.submit(stall_job(gate_rx));
+
+    std::thread::scope(|scope| {
+        let pool = &pool;
+        // Shutdown from another thread: it flips the admission flag
+        // immediately, then blocks joining the stalled worker.
+        let shutdown = scope.spawn(move || pool.shutdown());
+
+        // Keep submitting until the typed refusal arrives. Requests
+        // accepted in the meantime (and QueueFull bounces off the
+        // still-stalled worker) are both legitimate interleavings.
+        let mut accepted = Vec::new();
+        loop {
+            match pool.try_submit(|worker: &mut usize| *worker) {
+                Ok(ticket) => accepted.push(ticket),
+                Err(SubmitError::ShuttingDown) => break,
+                Err(SubmitError::QueueFull { .. }) => {}
+            }
+            std::thread::yield_now();
+        }
+
+        gate.send(()).unwrap();
+        shutdown.join().expect("shutdown thread panicked");
+        // Shutdown drains: everything accepted before the flag flipped
+        // has resolved.
+        for mut ticket in accepted {
+            assert_eq!(ticket.poll(), Some(0));
+        }
+    });
+    assert_eq!(stalled.wait(), 0);
+}
+
+#[test]
+fn idle_worker_steals_a_stalled_peers_backlog() {
+    // Sessions are the worker index, so each job reports who ran it.
+    let pool = Pool::new(2, 64, |worker| worker);
+    let (gate, gate_rx) = mpsc::channel();
+    let (holder_tx, holder_rx) = mpsc::channel();
+
+    // Stall one worker. The stall job is targeted at worker 0's local
+    // queue, but the idle peer may legitimately steal it first — so
+    // the job reports which worker actually holds it before blocking.
+    let stalled = pool.submit_to(0, move |worker: &mut usize| {
+        holder_tx.send(*worker).expect("test alive");
+        gate_rx.recv().expect("gate sender dropped");
+        *worker
+    });
+    let holder = holder_rx.recv().expect("stall job started");
+    let peer = 1 - holder;
+
+    // Pile the *holder's* local queue high while the peer sits idle.
+    // Until the gate opens the holder cannot run anything, so the only
+    // way these jobs complete is the peer stealing them.
+    let backlog: Vec<Ticket<usize>> = (0..8)
+        .map(|_| pool.submit_to(holder, |worker: &mut usize| *worker))
+        .collect();
+
+    let mut ran_on: Vec<usize> = Vec::new();
+    for ticket in backlog {
+        match ticket.wait_timeout(Duration::from_secs(30)) {
+            Ok(worker) => ran_on.push(worker),
+            Err(_) => panic!("backlog job never ran: stealing is broken"),
+        }
+    }
+    assert!(
+        ran_on.iter().all(|&w| w == peer),
+        "worker {holder} was stalled; every backlog job must have been \
+         stolen by worker {peer}, got {ran_on:?}"
+    );
+
+    gate.send(()).unwrap();
+    assert_eq!(stalled.wait(), holder);
+    pool.shutdown();
+}
+
+#[test]
+fn affinity_submission_prefers_the_target_worker_when_free() {
+    let pool = Pool::new(2, 64, |worker| worker);
+    let (gate, gate_rx) = mpsc::channel();
+    let (holder_tx, holder_rx) = mpsc::channel();
+    // Stall one worker (wherever the stall job lands); jobs targeted
+    // at the free peer's local queue run on that peer.
+    let stalled = pool.submit_to(1, move |worker: &mut usize| {
+        holder_tx.send(*worker).expect("test alive");
+        gate_rx.recv().expect("gate sender dropped");
+        *worker
+    });
+    let holder = holder_rx.recv().expect("stall job started");
+    let peer = 1 - holder;
+    for _ in 0..4 {
+        let worker = pool.submit_to(peer, |worker: &mut usize| *worker).wait();
+        assert_eq!(
+            worker, peer,
+            "worker {peer} is free and owns the local queue"
+        );
+    }
+    gate.send(()).unwrap();
+    assert_eq!(stalled.wait(), holder);
+    pool.shutdown();
+}

@@ -1,0 +1,290 @@
+//! The serving determinism contract: a response from the pooled
+//! service is **bit-identical** to the same computation on a fresh
+//! serial [`BatchRunner`] — whichever worker served it, however warm
+//! its session cache, and whatever else was in flight.
+
+use cfva_core::mapping::Registry;
+use cfva_core::plan::Strategy;
+use cfva_core::{Stride, VectorSpec};
+use cfva_serve::api::{Estimator, Request, Response, ServeError};
+use cfva_serve::runner::BatchRunner;
+use cfva_serve::service::{Service, ServiceConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Every registered coverage spec, as owned strings.
+fn all_specs() -> Vec<String> {
+    Registry::builtin()
+        .all_specs()
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pooled `Measure` == fresh serial `BatchRunner::measure_owned`,
+    /// for random registered specs, strides and strategies.
+    #[test]
+    fn pooled_measure_bit_identical_to_fresh_serial_session(
+        kind in 0usize..64,
+        sigma_idx in 0i64..8,
+        x in 0u32..8,
+        base in 0u64..1_000_000,
+        len_pow in 3u32..9,
+        strategy_idx in 0usize..2,
+    ) {
+        let specs = all_specs();
+        let spec = &specs[kind % specs.len()];
+        let sigma = 2 * sigma_idx + 1;
+        let stride = Stride::from_parts(sigma, x).expect("odd sigma");
+        let vec = VectorSpec::with_stride(base.into(), stride, 1 << len_pow)
+            .expect("bounded base");
+        let strategy = [Strategy::Auto, Strategy::Canonical][strategy_idx];
+
+        // Three workers and a shared warm service would also work, but
+        // a per-case service additionally covers cold session builds
+        // on every worker the router picks.
+        let service = Service::new(ServiceConfig::with_workers(3));
+        let ticket = service
+            .submit(Request::Measure {
+                spec: spec.clone(),
+                vec,
+                strategy,
+            })
+            .expect("queue has room");
+        let pooled = match ticket.wait() {
+            Ok(Response::Measured(stats)) => stats,
+            other => panic!("unexpected response {other:?}"),
+        };
+        service.shutdown();
+
+        let serial = BatchRunner::from_spec_str(spec)
+            .expect("registered specs build")
+            .measure_owned(&vec, strategy);
+        prop_assert_eq!(pooled, serial, "{}: {} {}", spec, vec, strategy);
+    }
+}
+
+#[test]
+fn warm_sessions_stay_bit_identical_across_many_requests() {
+    // One service, many requests per spec: later requests hit cached
+    // sessions whose scratch buffers served other strides in between —
+    // reuse must not leak state into results.
+    let specs = all_specs();
+    let service = Service::new(ServiceConfig::with_workers(2).queue_capacity(1024));
+    let mut rng = StdRng::seed_from_u64(1992);
+
+    let mut cases = Vec::new();
+    for round in 0..6 {
+        for spec in &specs {
+            let sigma = 2 * rng.gen_range(0i64..8) + 1;
+            let x = rng.gen_range(0u32..7);
+            let stride = Stride::from_parts(sigma, x).expect("odd sigma");
+            let vec = VectorSpec::with_stride(
+                rng.gen_range(0u64..1 << 20).into(),
+                stride,
+                64 << (round % 3),
+            )
+            .expect("bounded base");
+            let ticket = service
+                .submit(Request::Measure {
+                    spec: spec.clone(),
+                    vec,
+                    strategy: Strategy::Auto,
+                })
+                .expect("queue has room");
+            cases.push((spec.clone(), vec, ticket));
+        }
+    }
+
+    let mut serial_sessions: std::collections::HashMap<String, BatchRunner> = specs
+        .iter()
+        .map(|s| (s.clone(), BatchRunner::from_spec_str(s).expect("builds")))
+        .collect();
+    for (spec, vec, ticket) in cases {
+        let pooled = match ticket.wait() {
+            Ok(Response::Measured(stats)) => stats,
+            other => panic!("unexpected response {other:?}"),
+        };
+        let serial = serial_sessions
+            .get_mut(&spec)
+            .expect("session exists")
+            .measure_owned(&vec, Strategy::Auto);
+        assert_eq!(pooled, serial, "{spec}: {vec}");
+    }
+    service.shutdown();
+}
+
+#[test]
+fn batch_and_sweep_and_efficiency_match_direct_session_calls() {
+    let spec = "xor-matched:t=3,s=4";
+    let service = Service::new(ServiceConfig::with_workers(2));
+    let mut direct = BatchRunner::from_spec_str(spec).expect("builds");
+
+    // MeasureBatch == measure_batch.
+    let accesses: Vec<(VectorSpec, Strategy)> = [(16u64, 12i64), (0, 16), (7, 96), (3, 160)]
+        .into_iter()
+        .map(|(base, stride)| {
+            (
+                VectorSpec::new(base, stride, 128).expect("valid"),
+                Strategy::Auto,
+            )
+        })
+        .collect();
+    let ticket = service
+        .submit(Request::MeasureBatch {
+            spec: spec.into(),
+            accesses: accesses.clone(),
+        })
+        .expect("room");
+    assert_eq!(
+        ticket.wait(),
+        Ok(Response::Batch(direct.measure_batch(&accesses)))
+    );
+
+    // FamilySweep rows == per-family direct measurements.
+    let ticket = service
+        .submit(Request::FamilySweep {
+            spec: spec.into(),
+            len: 64,
+            max_x: 5,
+            sigma: 3,
+        })
+        .expect("room");
+    let rows = match ticket.wait() {
+        Ok(Response::FamilySweep(rows)) => rows,
+        other => panic!("unexpected response {other:?}"),
+    };
+    assert_eq!(rows.len(), 6);
+    for (x, row) in rows.iter().enumerate() {
+        let stride = Stride::from_parts(3, x as u32).expect("odd");
+        let vec = VectorSpec::with_stride(16u64.into(), stride, 64).expect("valid");
+        let stats = direct
+            .measure_owned(&vec, Strategy::Auto)
+            .expect("auto plans");
+        assert_eq!(row.x, x as u32);
+        assert_eq!(row.stride, stride.get());
+        assert_eq!(row.latency, stats.latency);
+        assert_eq!(row.conflicts, stats.conflicts);
+        assert_eq!(row.stall_cycles, stats.stall_cycles);
+        assert_eq!(row.cycles_per_element, direct.cycles_per_element(&stats));
+    }
+
+    // Efficiency == the session estimator with the same seed.
+    for (estimator, expected) in [
+        (
+            Estimator::Stratified {
+                max_x: 6,
+                per_family: 3,
+            },
+            direct.stratified_efficiency(Strategy::Auto, 64, 6, 3, &mut StdRng::seed_from_u64(7)),
+        ),
+        (
+            Estimator::MonteCarlo {
+                samples: 50,
+                max_x: 8,
+                max_sigma: 9,
+            },
+            direct.simulated_efficiency(
+                Strategy::Auto,
+                64,
+                50,
+                &cfva_serve::workload::StrideSampler::new(8, 9),
+                &mut StdRng::seed_from_u64(7),
+            ),
+        ),
+    ] {
+        let ticket = service
+            .submit(Request::Efficiency {
+                spec: spec.into(),
+                strategy: Strategy::Auto,
+                len: 64,
+                estimator,
+                seed: 7,
+            })
+            .expect("room");
+        let eta = match ticket.wait() {
+            Ok(Response::Efficiency(eta)) => eta,
+            other => panic!("unexpected response {other:?}"),
+        };
+        assert_eq!(eta.to_bits(), expected.to_bits(), "{estimator:?}");
+    }
+    service.shutdown();
+}
+
+#[test]
+fn overloaded_burst_rejects_typed_and_every_accepted_ticket_resolves() {
+    // One worker pinned down by a heavy request, a queue of two, and a
+    // burst: some submissions MUST come back Overloaded (typed, with
+    // the observed depth), and everything accepted must still resolve.
+    let service = Service::new(ServiceConfig::with_workers(1).queue_capacity(2));
+    let heavy = service
+        .submit(Request::Efficiency {
+            spec: "xor-matched:t=3,s=4".into(),
+            strategy: Strategy::Auto,
+            len: 512,
+            estimator: Estimator::MonteCarlo {
+                samples: 4_000,
+                max_x: 10,
+                max_sigma: 15,
+            },
+            seed: 3,
+        })
+        .expect("room");
+
+    let mut accepted = Vec::new();
+    let mut overloads = 0u32;
+    for i in 0..200u64 {
+        match service.submit(Request::Measure {
+            spec: "xor-matched:t=3,s=4".into(),
+            vec: VectorSpec::new(i, 12, 64).expect("valid"),
+            strategy: Strategy::Auto,
+        }) {
+            Ok(ticket) => accepted.push(ticket),
+            Err(ServeError::Overloaded {
+                queue_depth,
+                capacity,
+            }) => {
+                assert_eq!(capacity, 2);
+                assert!(queue_depth >= capacity, "refused below the bound");
+                overloads += 1;
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert!(
+        overloads > 0,
+        "a 200-request burst against a stalled queue of 2 must overflow"
+    );
+    for ticket in accepted {
+        assert!(matches!(ticket.wait(), Ok(Response::Measured(Some(_)))));
+    }
+    assert!(matches!(heavy.wait(), Ok(Response::Efficiency(_))));
+    service.shutdown();
+}
+
+#[test]
+fn shutdown_drains_in_flight_service_requests() {
+    let service = Service::new(ServiceConfig::with_workers(2).queue_capacity(256));
+    let tickets: Vec<_> = (0..40u64)
+        .map(|i| {
+            service
+                .submit(Request::Measure {
+                    spec: "skewed:m=3,d=1".into(),
+                    vec: VectorSpec::new(i, 8, 256).expect("valid"),
+                    strategy: Strategy::Auto,
+                })
+                .expect("room")
+        })
+        .collect();
+    service.shutdown();
+    for mut ticket in tickets {
+        let result = ticket
+            .poll()
+            .expect("shutdown drained, so the response must be ready");
+        assert!(matches!(result, Ok(Response::Measured(Some(_)))));
+    }
+}
