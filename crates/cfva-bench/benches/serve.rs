@@ -16,7 +16,16 @@
 //! the parallel payoff, which requires actual cores — the committed
 //! baseline comes from a single-core reference machine, where all
 //! pool configurations are expected to tie with serial (the speedup
-//! shows on multicore hosts).
+//! shows on multicore hosts). The pooled configurations submit with
+//! `submit_uncached`: this group gates the *pool's* overhead, and with
+//! the result cache consulted every iteration after the first would
+//! measure nothing but cache hits.
+//!
+//! The `serve_cached` group measures the cache itself: one repeated
+//! family-sweep request served from the warm result cache (`hit`)
+//! against the same request forced down the pooled miss path
+//! (`miss_uncached`). The gap is the O(1) serve path's payoff and is
+//! expected to be well over 50×.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -148,9 +157,14 @@ fn bench_serve_throughput(c: &mut Criterion) {
             BenchmarkId::new(format!("workers_{workers}"), requests.len()),
             |b| {
                 b.iter(|| {
+                    // Uncached on purpose: gate the pool, not the cache.
                     let tickets: Vec<_> = requests
                         .iter()
-                        .map(|r| service.submit(r.clone()).expect("queue sized to the batch"))
+                        .map(|r| {
+                            service
+                                .submit_uncached(r.clone())
+                                .expect("queue sized to the batch")
+                        })
                         .collect();
                     tickets
                         .into_iter()
@@ -164,5 +178,56 @@ fn bench_serve_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serve_throughput);
+/// The O(1) serve path against the pooled miss path, same request: a
+/// family sweep is many measurements with a tiny response, so `hit` is
+/// a key reduction + clone while `miss_uncached` replans and resimulates
+/// the whole sweep through the pool.
+fn bench_serve_cached(c: &mut Criterion) {
+    let request = Request::FamilySweep {
+        spec: "xor-matched:t=3,s=4".into(),
+        len: 4096,
+        max_x: 10,
+        sigma: 3,
+    };
+    let service = Service::new(ServiceConfig::with_workers(1));
+    // Warm the single cache entry (and the worker's session).
+    let warm = service
+        .submit(request.clone())
+        .expect("queue has room")
+        .wait()
+        .expect("valid request");
+    let expected = response_checksum(&warm);
+
+    let mut group = c.benchmark_group("serve_cached");
+    group.bench_function(BenchmarkId::new("hit", 1), |b| {
+        b.iter(|| {
+            let checksum = response_checksum(
+                &service
+                    .submit(request.clone())
+                    .expect("room")
+                    .wait()
+                    .expect("valid"),
+            );
+            assert_eq!(checksum, expected);
+            checksum
+        })
+    });
+    group.bench_function(BenchmarkId::new("miss_uncached", 1), |b| {
+        b.iter(|| {
+            let checksum = response_checksum(
+                &service
+                    .submit_uncached(request.clone())
+                    .expect("room")
+                    .wait()
+                    .expect("valid"),
+            );
+            assert_eq!(checksum, expected);
+            checksum
+        })
+    });
+    group.finish();
+    service.shutdown();
+}
+
+criterion_group!(benches, bench_serve_throughput, bench_serve_cached);
 criterion_main!(benches);

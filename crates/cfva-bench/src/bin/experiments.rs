@@ -19,10 +19,14 @@
 //! `serve-demo` drives the `cfva-serve` request service with a mixed
 //! multi-client workload (flags: `--workers`, `--clients`,
 //! `--requests` per client, `--queue` admission capacity, `--window`
-//! in-flight per client) and prints throughput plus latency
-//! percentiles. `--require-rejections` exits nonzero unless the run
-//! saw at least one `Overloaded` rejection — CI uses it to prove an
-//! over-capacity burst backpressures instead of deadlocking.
+//! in-flight per client) and prints throughput, latency percentiles
+//! and the service's result-cache counters. `--require-rejections`
+//! exits nonzero unless the run saw at least one `Overloaded`
+//! rejection — CI uses it to prove an over-capacity burst
+//! backpressures instead of deadlocking. `--require-cache-hits` exits
+//! nonzero unless the result cache served at least one hit — CI uses
+//! it (with `--requests` ≥ 31, so the pinned request repeats) to prove
+//! the cached serve path engages under a live mixed workload.
 
 use std::process::ExitCode;
 
@@ -44,7 +48,7 @@ fn main() -> ExitCode {
         println!("       experiments --map <spec|all> [--len N] [--max-x N] [--sigma N]");
         println!(
             "       experiments serve-demo [--workers N] [--clients N] [--requests N] \
-             [--queue N] [--window N] [--require-rejections]\n"
+             [--queue N] [--window N] [--require-rejections] [--require-cache-hits]\n"
         );
         println!("Available experiments:");
         for e in experiments::all() {
@@ -141,14 +145,22 @@ fn run_map_sweep(args: &[String]) -> ExitCode {
 /// `serve-demo` with sizing flags: drive the request service with a
 /// mixed multi-client workload. `--require-rejections` makes a run
 /// without a single `Overloaded` rejection exit nonzero (the CI
-/// over-capacity burst must prove backpressure engaged).
+/// over-capacity burst must prove backpressure engaged);
+/// `--require-cache-hits` does the same for a run whose result cache
+/// never hit (the CI cached-path smoke must prove the O(1) path
+/// engaged).
 fn run_serve_demo(args: &[String]) -> ExitCode {
     let mut config = experiments::serve_demo::DemoConfig::default();
     let mut require_rejections = false;
+    let mut require_cache_hits = false;
     let mut rest = args.iter();
     while let Some(flag) = rest.next() {
         if flag == "--require-rejections" {
             require_rejections = true;
+            continue;
+        }
+        if flag == "--require-cache-hits" {
+            require_cache_hits = true;
             continue;
         }
         let Some(value) = rest.next() else {
@@ -167,7 +179,7 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
             _ => {
                 eprintln!(
                     "unknown flag {flag} (expected --workers, --clients, --requests, \
-                     --queue, --window or --require-rejections)"
+                     --queue, --window, --require-rejections or --require-cache-hits)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -194,6 +206,14 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
         eprintln!(
             "error: --require-rejections set, but no request was rejected \
              (backpressure never engaged)"
+        );
+        return ExitCode::FAILURE;
+    }
+    if require_cache_hits && outcome.stats.cache.is_none_or(|c| c.hits == 0) {
+        eprintln!(
+            "error: --require-cache-hits set, but the result cache never hit \
+             (the O(1) serve path never engaged; use --requests >= 31 so the \
+             pinned request repeats)"
         );
         return ExitCode::FAILURE;
     }

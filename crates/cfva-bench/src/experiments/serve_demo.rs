@@ -10,6 +10,13 @@
 //! exercised. An over-capacity run (small `--queue`, many clients)
 //! must *reject* with `Overloaded` — never deadlock — which the
 //! summary reports and CI asserts via `--require-rejections`.
+//!
+//! The mix has deliberate **temporal locality**: every client re-submits
+//! one pinned request every 30 iterations, so a run long enough to
+//! repeat it (`--requests` ≥ 31, window < 30) is *guaranteed* to hit
+//! the service's result cache. The report prints the final
+//! [`Service::stats`] snapshot (cache hits/misses/evictions, hit
+//! rate), and CI asserts a nonzero hit rate via `--require-cache-hits`.
 
 use std::time::{Duration, Instant};
 
@@ -17,7 +24,7 @@ use cfva_core::mapping::Registry;
 use cfva_core::plan::Strategy;
 use cfva_core::{Stride, VectorSpec};
 use cfva_serve::api::{Estimator, Request, ServeError};
-use cfva_serve::service::{ServeTicket, Service, ServiceConfig};
+use cfva_serve::service::{ServeTicket, Service, ServiceConfig, ServiceStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -60,8 +67,26 @@ pub struct DemoOutcome {
     /// Requests that resolved to a non-overload error (should be 0 —
     /// the demo only submits valid requests).
     pub failed: u64,
+    /// The service's final [`Service::stats`] snapshot (taken after
+    /// every client finished, before shutdown) — queue depth, in-flight
+    /// gauge and result-cache counters.
+    pub stats: ServiceStats,
     /// The rendered report.
     pub report: String,
+}
+
+/// The pinned request every client re-submits every 30 iterations: the
+/// demo's temporal locality, and the guarantee behind
+/// `--require-cache-hits` — by a client's second submission its first
+/// response has long been reaped (the in-flight window is far smaller
+/// than 30), so the result cache must hold it.
+fn pinned_request(specs: &[String]) -> Request {
+    Request::FamilySweep {
+        spec: specs[0].clone(),
+        len: 128,
+        max_x: 5,
+        sigma: 3,
+    }
 }
 
 /// One client's sampled request: every variant appears in the mix, all
@@ -144,8 +169,12 @@ pub fn serve_demo(config: &DemoConfig) -> DemoOutcome {
                             Err(_) => *failed += 1,
                         }
                     };
-                    for _ in 0..config.requests_per_client {
-                        let request = sample_request(&mut rng, specs);
+                    for i in 0..config.requests_per_client {
+                        let request = if i % 30 == 0 {
+                            pinned_request(specs)
+                        } else {
+                            sample_request(&mut rng, specs)
+                        };
                         match service.submit(request) {
                             Ok(ticket) => window.push((Instant::now(), ticket)),
                             Err(ServeError::Overloaded { .. }) => rejected += 1,
@@ -171,6 +200,7 @@ pub fn serve_demo(config: &DemoConfig) -> DemoOutcome {
         }
     });
     let wall = started.elapsed();
+    let stats = service.stats();
     service.shutdown();
 
     let completed = latencies.len() as u64;
@@ -204,6 +234,32 @@ pub fn serve_demo(config: &DemoConfig) -> DemoOutcome {
     t.row_owned(vec!["latency p50".into(), format!("{:.2?}", pct(0.50))]);
     t.row_owned(vec!["latency p95".into(), format!("{:.2?}", pct(0.95))]);
     t.row_owned(vec!["latency p99".into(), format!("{:.2?}", pct(0.99))]);
+    t.row_owned(vec![
+        "queue depth / in flight".into(),
+        format!("{} / {}", stats.queue_depth, stats.in_flight),
+    ]);
+    match stats.cache {
+        Some(cache) => {
+            t.row_owned(vec![
+                "cache hits / misses / bypasses".into(),
+                format!("{} / {} / {}", cache.hits, cache.misses, cache.bypasses),
+            ]);
+            t.row_owned(vec![
+                "cache hit rate".into(),
+                format!("{:.1}%", 100.0 * cache.hit_rate()),
+            ]);
+            t.row_owned(vec![
+                "cache entries / capacity / evictions".into(),
+                format!(
+                    "{} / {} / {}",
+                    cache.entries, cache.capacity, cache.evictions
+                ),
+            ]);
+        }
+        None => {
+            t.row_owned(vec!["result cache".into(), "disabled".into()]);
+        }
+    }
 
     let report = format!(
         "Serve demo — mixed workload (measure / batch / efficiency / family sweep)\n\
@@ -217,6 +273,7 @@ pub fn serve_demo(config: &DemoConfig) -> DemoOutcome {
         completed,
         rejected,
         failed,
+        stats,
         report,
     }
 }
@@ -238,6 +295,35 @@ mod tests {
         assert_eq!(outcome.rejected, 0);
         assert_eq!(outcome.failed, 0);
         assert!(outcome.report.contains("throughput"), "{}", outcome.report);
+        assert!(
+            outcome.report.contains("cache hit rate"),
+            "{}",
+            outcome.report
+        );
+    }
+
+    #[test]
+    fn long_enough_run_is_guaranteed_cache_hits() {
+        // 31 requests re-submit the pinned request once per client,
+        // long after its first response was reaped — the hit cannot be
+        // raced away. This is the contract `--require-cache-hits`
+        // (the CI cached-path smoke) stands on.
+        let outcome = serve_demo(&DemoConfig {
+            workers: 2,
+            clients: 2,
+            requests_per_client: 31,
+            queue_capacity: 256,
+            window: 4,
+        });
+        assert_eq!(outcome.failed, 0);
+        let cache = outcome.stats.cache.expect("cache on by default");
+        assert!(cache.hits >= 2, "one guaranteed hit per client: {cache:?}");
+        assert!(cache.hit_rate() > 0.0);
+        assert_eq!(
+            (outcome.stats.queue_depth, outcome.stats.in_flight),
+            (0, 0),
+            "all clients joined before the snapshot"
+        );
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Stride-equivalence reduction: the canonical representative of all
+//! `(base, stride, length)` accesses that produce one module sequence.
+//!
+//! Every map in this crate is a function of the low `u =`
+//! [`address_bits_used`](crate::mapping::ModuleMap::address_bits_used)
+//! address bits, so element `k` of a vector with base `A`, stride
+//! `S = σ·2^x` lands in module `F((A + k·σ·2^x) mod 2^u)`. Two accesses
+//! therefore produce **identical module sequences** whenever
+//!
+//! * their bases agree mod `2^u`,
+//! * their odd parts agree mod `2^(u−x)` (because `k·σ·2^x ≡ k·σ'·2^x
+//!   (mod 2^u)` exactly when `σ ≡ σ' (mod 2^(u−x))`),
+//! * their family exponents `x` and lengths agree.
+//!
+//! [`StrideClass::reduce`] maps an access to the smallest such
+//! representative. The exponent `x` is kept **exactly** (never clamped)
+//! because planners select orders by family, not just by module
+//! sequence — preserving `x` guarantees the planner makes the same
+//! choice for every member of a class, which is what makes class-keyed
+//! result caching sound: equal classes ⇒ identical plans ⇒ bit-identical
+//! simulation statistics. `tests/stride_class.rs` pins this by proptest
+//! across every registered map.
+
+use crate::mapping::ModuleMap;
+use crate::stride::Stride;
+use crate::vector::VectorSpec;
+
+/// The canonical representative of a stride-equivalence class under a
+/// map using `used` low address bits — see the [module docs](self).
+///
+/// `Eq + Hash` make the class directly usable as a memoization key:
+/// two accesses compare equal here exactly when they are provably
+/// interchangeable (identical module sequence, identical family, same
+/// length), and hence produce bit-identical measurement results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StrideClass {
+    /// Base address reduced mod `2^used`.
+    base: u64,
+    /// Odd part reduced to its least non-negative residue mod
+    /// `2^(used − x)` (always odd there), or `1` when `x ≥ used`
+    /// (the stride is `≡ 0 mod 2^used`, so the module sequence is
+    /// constant and the odd part is irrelevant).
+    sigma: u64,
+    /// The family exponent, preserved exactly.
+    x: u32,
+    /// The vector length, preserved exactly.
+    len: u64,
+    /// Low address bits the map consumes.
+    used: u32,
+}
+
+impl StrideClass {
+    /// Reduces `vec` to its class under `map`.
+    pub fn reduce<M: ModuleMap + ?Sized>(map: &M, vec: &VectorSpec) -> StrideClass {
+        StrideClass::reduce_with_used(map.address_bits_used(), vec)
+    }
+
+    /// Reduces `vec` to its class given the map's used-bit count
+    /// directly — for callers that cached
+    /// [`address_bits_used`](crate::mapping::ModuleMap::address_bits_used)
+    /// and no longer hold the map.
+    pub fn reduce_with_used(used: u32, vec: &VectorSpec) -> StrideClass {
+        let mask = if used >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << used) - 1
+        };
+        let x = vec.stride().family().exponent();
+        let sigma = if x >= used {
+            // Stride ≡ 0 mod 2^used: every element hits the base's
+            // module, so all odd parts are equivalent.
+            1
+        } else {
+            let span = used - x;
+            let sigma = vec.stride().odd_part();
+            if span >= 64 {
+                // Reduction mod 2^64 is the two's-complement cast.
+                sigma as u64
+            } else {
+                (i128::from(sigma)).rem_euclid(1i128 << span) as u64
+            }
+        };
+        StrideClass {
+            base: vec.base().get() & mask,
+            sigma,
+            x,
+            len: vec.len(),
+            used,
+        }
+    }
+
+    /// The canonical member of this class, if it is constructible as a
+    /// [`VectorSpec`] (`None` only when the representative stride or
+    /// address range fails construction-time overflow validation —
+    /// irrelevant for key use, which needs no representative).
+    pub fn representative(&self) -> Option<VectorSpec> {
+        let sigma = i64::try_from(self.sigma).ok()?;
+        let stride = Stride::from_parts(sigma, self.x).ok()?;
+        VectorSpec::with_stride(self.base.into(), stride, self.len).ok()
+    }
+
+    /// Base address reduced mod `2^used`.
+    pub const fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The reduced odd part (see the field docs).
+    pub const fn sigma(&self) -> u64 {
+        self.sigma
+    }
+
+    /// The family exponent (preserved from the original access).
+    pub const fn x(&self) -> u32 {
+        self.x
+    }
+
+    /// The vector length.
+    pub const fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the class describes an empty access. (`VectorSpec`
+    /// forbids zero lengths, so this is always `false` for reduced
+    /// classes — provided for `len`/`is_empty` API symmetry.)
+    pub const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Low address bits the map consumes.
+    pub const fn used(&self) -> u32 {
+        self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{ModuleMap, XorMatched};
+
+    fn vec_of(base: u64, sigma: i64, x: u32, len: u64) -> VectorSpec {
+        let stride = Stride::from_parts(sigma, x).expect("odd sigma");
+        VectorSpec::with_stride(base.into(), stride, len).expect("bounded")
+    }
+
+    #[test]
+    fn equivalent_accesses_share_a_class() {
+        let map = XorMatched::new(3, 4).unwrap(); // used = 7
+        let used = map.address_bits_used();
+        assert_eq!(used, 7);
+        // Base mod 2^7 and sigma mod 2^(7-2) both reduce.
+        let a = vec_of(5, 3, 2, 64);
+        let b = vec_of(5 + 128, 3 + 32, 2, 64);
+        assert_eq!(StrideClass::reduce(&map, &a), StrideClass::reduce(&map, &b));
+        // Negative odd parts reduce to the same positive residue.
+        let c = vec_of((1 << 20) + 5, 3 - 32, 2, 64);
+        assert_eq!(StrideClass::reduce(&map, &a), StrideClass::reduce(&map, &c));
+    }
+
+    #[test]
+    fn distinct_family_or_length_splits_the_class() {
+        let map = XorMatched::new(3, 4).unwrap();
+        let a = StrideClass::reduce(&map, &vec_of(5, 3, 2, 64));
+        assert_ne!(a, StrideClass::reduce(&map, &vec_of(5, 3, 3, 64)));
+        assert_ne!(a, StrideClass::reduce(&map, &vec_of(5, 3, 2, 32)));
+        assert_ne!(a, StrideClass::reduce(&map, &vec_of(6, 3, 2, 64)));
+        assert_ne!(a, StrideClass::reduce(&map, &vec_of(5, 5, 2, 64)));
+    }
+
+    #[test]
+    fn huge_exponent_collapses_sigma_but_keeps_x() {
+        let map = XorMatched::new(3, 4).unwrap(); // used = 7
+        let a = StrideClass::reduce(&map, &vec_of(9, 3, 7, 16));
+        let b = StrideClass::reduce(&map, &vec_of(9, 11, 7, 16));
+        assert_eq!(a, b, "x >= used: odd part is irrelevant");
+        assert_eq!(a.sigma(), 1);
+        assert_eq!(a.x(), 7, "the exponent itself is preserved");
+        let c = StrideClass::reduce(&map, &vec_of(9, 3, 8, 16));
+        assert_ne!(a, c, "different exponents stay distinct classes");
+    }
+
+    #[test]
+    fn reduction_is_idempotent_and_representative_matches_sequences() {
+        let map = XorMatched::new(3, 4).unwrap();
+        for (base, sigma, x, len) in [
+            (123_456u64, 7i64, 0u32, 64u64),
+            (98_765, -13, 3, 128),
+            (1 << 40, 2_001, 5, 32),
+            (77, 1, 9, 16),
+        ] {
+            let vec = vec_of(base, sigma, x, len);
+            let class = StrideClass::reduce(&map, &vec);
+            let rep = class.representative().expect("small representatives build");
+            assert_eq!(
+                StrideClass::reduce(&map, &rep),
+                class,
+                "reduce(representative) is a fixed point"
+            );
+            let mut orig = vec![crate::ModuleId::new(0); len as usize];
+            let mut reduced = orig.clone();
+            map.map_stride_into(vec.base(), vec.stride().get(), &mut orig);
+            map.map_stride_into(rep.base(), rep.stride().get(), &mut reduced);
+            assert_eq!(orig, reduced, "identical module sequences");
+        }
+    }
+}

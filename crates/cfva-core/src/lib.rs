@@ -38,6 +38,9 @@
 //!   plus a component-count cost model.
 //! * [`dist`] — spatial/temporal distributions, T-matched predicates and
 //!   the canonical temporal distribution `CTP_x`.
+//! * [`equiv`] — stride-equivalence reduction ([`StrideClass`]): the
+//!   canonical representative of all accesses producing one module
+//!   sequence, the key of the serving layer's memoized result cache.
 //!
 //! ## Quick example
 //!
@@ -69,6 +72,7 @@
 pub mod address;
 pub mod analysis;
 pub mod dist;
+pub mod equiv;
 pub mod error;
 pub mod hardware;
 pub mod mapping;
@@ -79,6 +83,7 @@ pub mod vector;
 pub mod window;
 
 pub use address::{Addr, ModuleId};
+pub use equiv::StrideClass;
 pub use error::{ConfigError, PlanError};
 pub use stride::{Stride, StrideFamily};
 pub use vector::VectorSpec;

@@ -67,8 +67,8 @@ use crate::stride::StrideFamily;
 /// The module-number component `b = F(A)` of an address mapping.
 ///
 /// Implementations must be **balanced over one period of the address
-/// space**: over any aligned block of `2^{address_bits_used()}`
-/// consecutive addresses, every module receives the same number of
+/// space**: over any aligned block of `2^{balance_bits()}` consecutive
+/// addresses, every module receives the same number of
 /// addresses. All maps in this crate uphold this; the property tests in
 /// `tests/` check it.
 ///
@@ -91,7 +91,34 @@ pub trait ModuleMap: std::fmt::Debug {
 
     /// Number of low address bits the map depends on: `module_of` is a
     /// function of `A mod 2^{address_bits_used()}`.
+    ///
+    /// This is the *determination* bound — the one the stride
+    /// equivalence classes ([`crate::StrideClass`]) and the closed-form
+    /// [`period`](Self::period) stand on, so it must be exact: a map
+    /// whose module choice can depend on high address bits (an
+    /// overridden [`RegionMap`]) must report the full width, not a
+    /// convenient slice.
     fn address_bits_used(&self) -> u32;
+
+    /// Number of low address bits that bound the map's **balance**
+    /// period: over any aligned block of `2^{balance_bits()}`
+    /// consecutive addresses, every module receives the same number of
+    /// addresses.
+    ///
+    /// Usually this equals
+    /// [`address_bits_used`](Self::address_bits_used) (the default).
+    /// The two bounds differ when a map is balanced on a finer grain
+    /// than it is determined: an overridden [`RegionMap`] needs the
+    /// full address width to *determine* a module (which scheme
+    /// governs an address depends on its absolute region index) yet is
+    /// balanced inside every aligned region, so its balance period
+    /// stays enumerable. The property suite in
+    /// `tests/mapping_properties.rs` iterates `2^{balance_bits()}`
+    /// addresses per map — implementations must keep this finite
+    /// enough to check.
+    fn balance_bits(&self) -> u32 {
+        self.address_bits_used()
+    }
 
     /// Number of memory modules `M = 2^m`.
     ///
@@ -119,13 +146,17 @@ pub trait ModuleMap: std::fmt::Debug {
     /// `P_x` is a *true* period, but need not be the minimal one: some
     /// base/σ combinations repeat earlier (the property suite in
     /// `tests/mapping_properties.rs` pins exactly this contract).
+    ///
+    /// When `2^{used − x}` does not fit in `u64` (a map consuming the
+    /// full address width, e.g. an overridden [`RegionMap`]), the
+    /// period saturates at `u64::MAX` — "effectively aperiodic".
     fn period(&self, family: StrideFamily) -> u64 {
         let used = self.address_bits_used();
         let x = family.exponent();
         if x >= used {
             1
         } else {
-            1u64 << (used - x)
+            1u64.checked_shl(used - x).unwrap_or(u64::MAX)
         }
     }
 
@@ -179,6 +210,10 @@ impl<M: ModuleMap + ?Sized> ModuleMap for &M {
         (**self).address_bits_used()
     }
 
+    fn balance_bits(&self) -> u32 {
+        (**self).balance_bits()
+    }
+
     fn period(&self, family: StrideFamily) -> u64 {
         (**self).period(family)
     }
@@ -203,6 +238,10 @@ impl<M: ModuleMap + ?Sized> ModuleMap for Box<M> {
 
     fn address_bits_used(&self) -> u32 {
         (**self).address_bits_used()
+    }
+
+    fn balance_bits(&self) -> u32 {
+        (**self).balance_bits()
     }
 
     fn period(&self, family: StrideFamily) -> u64 {

@@ -143,13 +143,31 @@ impl ModuleMap for RegionMap {
     }
 
     fn address_bits_used(&self) -> u32 {
-        // Beyond the highest overridden region the default map applies
-        // uniformly, so the module depends on the low region_bits plus
-        // enough region-index bits to distinguish the overridden
-        // regions from the default tail.
-        let highest = self.overrides.last().map_or(0, |(r, _)| *r);
-        let region_index_bits = 64 - (highest + 1).leading_zeros();
-        self.region_bits + region_index_bits
+        // With overrides the governing map depends on the *absolute*
+        // region index — addresses equal modulo any power of two can
+        // fall in an overridden region or in the default tail — so no
+        // finite low-bit slice determines the module: report the full
+        // address width. Without overrides the default map applies
+        // uniformly and its own bound holds.
+        if self.overrides.is_empty() {
+            self.default.address_bits_used()
+        } else {
+            64
+        }
+    }
+
+    fn balance_bits(&self) -> u32 {
+        // Balance is finer-grained than determination: every aligned
+        // 2^region_bits block is governed by a single XorMatched whose
+        // own balance period (2^{s+t} ≤ 2^region_bits, enforced at
+        // construction) divides the block, so each block — hence the
+        // whole space — is balanced even though *determining* a module
+        // needs the absolute region index (see address_bits_used).
+        if self.overrides.is_empty() {
+            self.default.balance_bits()
+        } else {
+            self.region_bits
+        }
     }
 
     fn map_stride_into(&self, base: Addr, stride: i64, out: &mut [ModuleId]) {

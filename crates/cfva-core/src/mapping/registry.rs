@@ -209,6 +209,33 @@ impl MapSpec {
             .transpose()
     }
 
+    /// The canonical form of this spec: parameters sorted by key and
+    /// integer literals normalized to decimal (`0x2a`, `0b10_1010` and
+    /// `42` all canonicalize to `42`), component-wise across
+    /// `|`-separated lists and `a:b` pairs. `@file` references and
+    /// non-integer values are kept verbatim.
+    ///
+    /// Two spellings of the same configuration — key order, radix,
+    /// `_` separators — share one canonical form, so the canonical
+    /// spec's `Eq + Hash` is a configuration identity usable as a
+    /// cache or session key. [`Display`](fmt::Display) of the
+    /// *original* spec still reproduces the written text; only the
+    /// canonical copy is normalized, and the canonical form itself
+    /// round-trips `parse`/`Display` unchanged
+    /// (`canonical().canonical() == canonical()`).
+    pub fn canonical(&self) -> MapSpec {
+        let mut params: Vec<(String, String)> = self
+            .params
+            .iter()
+            .map(|(k, v)| (k.clone(), canonical_value(v)))
+            .collect();
+        params.sort_by(|a, b| a.0.cmp(&b.0));
+        MapSpec {
+            name: self.name.clone(),
+            params,
+        }
+    }
+
     /// A GF(2) matrix value from either `matrix=@file` (the
     /// [`CustomGf2`] text format) or inline `rows=mask|mask|…`
     /// bitmasks, as `(rows, cols)`; inline widths default to the
@@ -280,6 +307,32 @@ impl fmt::Display for MapSpec {
             write!(f, "{}{key}={value}", if i == 0 { ':' } else { ',' })?;
         }
         Ok(())
+    }
+}
+
+/// Normalizes one parameter value for [`MapSpec::canonical`]:
+/// `|`-separated components and `a:b` pairs are normalized
+/// component-wise; `@file` references pass through verbatim.
+fn canonical_value(value: &str) -> String {
+    if value.starts_with('@') {
+        return value.to_string();
+    }
+    value
+        .split('|')
+        .map(|component| match component.split_once(':') {
+            Some((a, b)) => format!("{}:{}", canonical_atom(a), canonical_atom(b)),
+            None => canonical_atom(component),
+        })
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+/// Normalizes one atom: integer literals become decimal, anything else
+/// is kept verbatim.
+fn canonical_atom(atom: &str) -> String {
+    match parse_u64(atom) {
+        Some(n) => n.to_string(),
+        None => atom.to_string(),
     }
 }
 
@@ -884,6 +937,71 @@ mod tests {
             .planner(&MapSpec::parse("interleaved:m=3,t=6").unwrap())
             .unwrap();
         assert_eq!(planner.t(), 6);
+    }
+
+    #[test]
+    fn canonical_sorts_keys_and_normalizes_integer_literals() {
+        let spec = MapSpec::parse("xor-matched:s=0x4,t=0b11").unwrap();
+        assert_eq!(spec.canonical().to_string(), "xor-matched:s=4,t=3");
+        let spec = MapSpec::parse("skewed:m=3,d=0x3").unwrap();
+        assert_eq!(spec.canonical().to_string(), "skewed:d=3,m=3");
+        // Component-wise across '|' lists and ':' pairs.
+        let spec = MapSpec::parse("region:t=3,bits=0xa,s=3,regions=0x1:0b110|2:4").unwrap();
+        assert_eq!(
+            spec.canonical().to_string(),
+            "region:bits=10,regions=1:6|2:4,s=3,t=3"
+        );
+        let spec = MapSpec::parse("linear:rows=0b011|0b101|6").unwrap();
+        assert_eq!(spec.canonical().to_string(), "linear:rows=3|5|6");
+        // '@' references and non-integers pass through verbatim.
+        let spec = MapSpec::parse("custom-gf2:matrix=@maps/fft.gf2").unwrap();
+        assert_eq!(
+            spec.canonical().to_string(),
+            "custom-gf2:matrix=@maps/fft.gf2"
+        );
+    }
+
+    #[test]
+    fn equivalent_spellings_share_one_canonical_form() {
+        for (a, b) in [
+            ("xor-matched:t=3,s=4", "xor-matched:s=0x4,t=0b11"),
+            ("skewed:m=3,d=3", "skewed:d=3,m=0b11"),
+            ("interleaved:m=3", "interleaved:m=0x3"),
+            (
+                "linear:rows=0b1_0010_1101|0b0_1101_1010|0b1_1000_0111",
+                "linear:rows=301|218|391",
+            ),
+        ] {
+            let a = MapSpec::parse(a).unwrap();
+            let b = MapSpec::parse(b).unwrap();
+            assert_ne!(a, b, "spellings differ as written");
+            assert_eq!(a.canonical(), b.canonical(), "but canonicalize equal");
+        }
+        // Different configurations stay apart.
+        let a = MapSpec::parse("xor-matched:t=3,s=4").unwrap();
+        let b = MapSpec::parse("xor-matched:t=3,s=5").unwrap();
+        assert_ne!(a.canonical(), b.canonical());
+    }
+
+    #[test]
+    fn canonical_form_round_trips_and_is_a_fixed_point() {
+        for spec in Registry::builtin().all_specs() {
+            let canon = spec.canonical();
+            let reparsed =
+                MapSpec::parse(&canon.to_string()).unwrap_or_else(|e| panic!("{canon}: {e}"));
+            assert_eq!(reparsed, canon, "canonical form round-trips");
+            assert_eq!(canon.canonical(), canon, "canonicalization is idempotent");
+            // And the canonical spelling still builds the same map.
+            let original = Registry::builtin().build(&spec).unwrap();
+            let canonical = Registry::builtin().build(&canon).unwrap();
+            for a in [0u64, 1, 9, 127, 12345] {
+                assert_eq!(
+                    original.module_of(Addr::new(a)),
+                    canonical.module_of(Addr::new(a)),
+                    "{spec} vs {canon} at {a}"
+                );
+            }
+        }
     }
 
     #[test]

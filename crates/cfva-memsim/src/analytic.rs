@@ -1,0 +1,281 @@
+//! The closed-form steady-state estimator behind [`Engine::Analytic`].
+//!
+//! Long constant-stride streams settle into a steady state in which
+//! every period of the module sequence replays the same events shifted
+//! by a constant number of cycles (the observation the periodic
+//! fast-forward engine exploits state-signature by state-signature).
+//! This module derives the whole-stream aggregates from that property
+//! **without simulating the stream**: it measures a handful of short
+//! prefixes whose lengths are congruent to the full length modulo the
+//! detected minimal period, confirms that the per-period deltas of
+//! latency, stalls and conflicts are constant, and extrapolates the
+//! remaining periods in closed form.
+//!
+//! * Prefix lengths share the full stream's residue `r = n mod P`, so
+//!   every probe ends at the same point of the period and drains from
+//!   a congruent boundary state — the tail cost is identical.
+//! * Constant deltas across consecutive probe windows (checked for
+//!   period spans 1, 2 and 3, catching multi-period beat patterns) are
+//!   exactly the evidence the periodic engine accepts as a recurrence;
+//!   when they hold the extrapolation is **exact**
+//!   ([`AnalyticEstimate::exact`]) and bit-equal to the cycle oracle's
+//!   aggregates — `tests/analytic.rs` asserts this across every spec in
+//!   `Registry::builtin().all_specs()`.
+//! * When the deltas refuse to settle the estimator falls back to a
+//!   linear fit over the probes and reports `exact = false`.
+//! * Streams too short to amortize probing (and multi-port or traced
+//!   runs) are simply executed by the event engine — trivially exact.
+//!
+//! Unlike the four simulating engines, [`Engine::Analytic`] reports
+//! **aggregates only**: the per-element arrival and per-module busy
+//! vectors of the output [`AccessStats`] are left empty on the
+//! extrapolated path (they are `O(n)` — materializing them would defeat
+//! the point). Callers needing per-element data want a simulating
+//! engine.
+
+use cfva_core::plan::AccessPlan;
+use cfva_core::{Addr, ModuleId};
+
+use crate::periodic::minimal_period;
+use crate::stats::AccessStats;
+use crate::system::MemorySystem;
+
+/// Number of prefix probes; spans up to 3 periods need at least 4
+/// aligned probes each, and 7 consecutive probe indices contain every
+/// residue class for all spans ≤ 3.
+const PROBES: usize = 7;
+
+/// A closed-form steady-state estimate of one access — the aggregates
+/// of [`AccessStats`] plus the detected period and an exactness flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalyticEstimate {
+    /// Total latency in processor cycles (see [`AccessStats::latency`]).
+    pub latency: u64,
+    /// Number of elements in the access.
+    pub elements: u64,
+    /// Processor stall cycles (see [`AccessStats::stall_cycles`]).
+    pub stall_cycles: u64,
+    /// Queueing conflicts (see [`AccessStats::conflicts`]).
+    pub conflicts: u64,
+    /// Highest input-queue occupancy observed.
+    pub max_in_q: usize,
+    /// Minimal period of the stream's module sequence, in requests.
+    pub period: u64,
+    /// `true` when the estimate is provably equal to a full simulation
+    /// (direct run, or constant per-period deltas confirmed across the
+    /// probe window); `false` for the linear-fit fallback.
+    pub exact: bool,
+}
+
+impl AnalyticEstimate {
+    /// Elements delivered per cycle over the whole access — the
+    /// steady-state throughput for long streams. Returns 0.0 for an
+    /// empty access, never `NaN` or `inf`.
+    pub fn throughput(&self) -> f64 {
+        if self.elements == 0 || self.latency == 0 {
+            return 0.0;
+        }
+        self.elements as f64 / self.latency as f64
+    }
+
+    /// Average cycles per element, the inverse of
+    /// [`throughput`](Self::throughput) (0.0 for an empty access).
+    pub fn cycles_per_element(&self) -> f64 {
+        if self.elements == 0 {
+            return 0.0;
+        }
+        self.latency as f64 / self.elements as f64
+    }
+
+    fn from_stats(stats: &AccessStats, period: u64) -> AnalyticEstimate {
+        AnalyticEstimate {
+            latency: stats.latency,
+            elements: stats.elements,
+            stall_cycles: stats.stall_cycles,
+            conflicts: stats.conflicts,
+            max_in_q: stats.max_in_q,
+            period,
+            exact: true,
+        }
+    }
+}
+
+/// The `(latency, stall_cycles, conflicts, max_in_q)` aggregates of one
+/// probe run.
+#[derive(Debug, Clone, Copy)]
+struct Probe {
+    latency: u64,
+    stalls: u64,
+    conflicts: u64,
+    max_in_q: usize,
+}
+
+impl MemorySystem {
+    /// Estimates the steady-state statistics of an access plan in
+    /// closed form — the engine-independent entry point of
+    /// [`Engine::Analytic`](crate::Engine::Analytic). See the
+    /// [module docs](self) for when the estimate is exact.
+    pub fn analytic_estimate(&mut self, plan: &AccessPlan) -> AnalyticEstimate {
+        let entries = plan.entries();
+        let mut scratch = AccessStats::default();
+        self.run_analytic(
+            entries.len(),
+            &|k| {
+                let e = &entries[k];
+                (e.element(), e.addr(), e.module())
+            },
+            &mut scratch,
+        )
+    }
+
+    /// The estimator core: probes short congruent prefixes with the
+    /// event engine and extrapolates. Writes the estimated aggregates
+    /// into `out` (per-element and per-module vectors cleared on the
+    /// extrapolated path, fully populated on the direct path).
+    pub(crate) fn run_analytic<F>(
+        &mut self,
+        n: usize,
+        request: &F,
+        out: &mut AccessStats,
+    ) -> AnalyticEstimate
+    where
+        F: Fn(usize) -> (u64, Addr, ModuleId),
+    {
+        // Streams the probing machinery does not cover run directly:
+        // multi-port issue (period boundaries are request-anchored),
+        // tracing (the trace must stay bit-identical to the oracle's),
+        // and anything too short for period detection.
+        if self.trace.is_enabled() || self.cfg.ports() != 1 || n < 4 {
+            self.run_event(n, request, out);
+            return AnalyticEstimate::from_stats(out, n.max(1) as u64);
+        }
+
+        let mut fail = std::mem::take(&mut self.periodic.fail);
+        let p = minimal_period(n, request, &mut fail);
+        self.periodic.fail = fail;
+
+        let n_u64 = n as u64;
+        let r = n_u64 % p;
+        // First probe index: clear of the startup transient (the same
+        // allowance the periodic engine grants, converted to whole
+        // periods), and at least 2 so every span-1 window is past the
+        // first boundary.
+        let transient =
+            4 * (self.cfg.t_cycles() + (self.cfg.q_in() + self.cfg.q_out()) as u64) + 64;
+        let c1 = 2u64.max(transient / p + 2);
+        let longest = r + (c1 + PROBES as u64 - 1) * p;
+        if longest >= n_u64 {
+            // Probing would simulate as much as the real stream: run it.
+            self.run_event(n, request, out);
+            return AnalyticEstimate::from_stats(out, p);
+        }
+
+        // Probe runs use identity element ids: a prefix of a permuted
+        // stream is not itself a permutation of its own length, and the
+        // aggregates being estimated do not depend on element labels.
+        let probe_request = |k: usize| {
+            let (_, addr, module) = request(k);
+            (k as u64, addr, module)
+        };
+        let mut probes = [Probe {
+            latency: 0,
+            stalls: 0,
+            conflicts: 0,
+            max_in_q: 0,
+        }; PROBES];
+        let mut scratch = AccessStats::default();
+        for (j, probe) in probes.iter_mut().enumerate() {
+            let len = (r + (c1 + j as u64) * p) as usize;
+            self.run_event(len, &probe_request, &mut scratch);
+            *probe = Probe {
+                latency: scratch.latency,
+                stalls: scratch.stall_cycles,
+                conflicts: scratch.conflicts,
+                max_in_q: scratch.max_in_q,
+            };
+        }
+
+        let k_n = (n_u64 - r) / p; // whole periods in the full stream
+        let steady = probes.iter().all(|pr| pr.max_in_q == probes[0].max_in_q);
+        let estimate = if steady {
+            (1u64..=3).find_map(|span| extrapolate(&probes, c1, span, k_n))
+        } else {
+            None
+        };
+        let estimate = estimate.unwrap_or_else(|| approximate(&probes, c1, k_n));
+
+        out.latency = estimate.latency;
+        out.elements = n_u64;
+        out.stall_cycles = estimate.stall_cycles;
+        out.conflicts = estimate.conflicts;
+        out.max_in_q = estimate.max_in_q;
+        out.arrival.clear();
+        out.module_busy.clear();
+        AnalyticEstimate {
+            elements: n_u64,
+            period: p,
+            ..estimate
+        }
+    }
+}
+
+/// Exact extrapolation over a period span: if every consecutive
+/// span-length window of probes shows identical deltas for latency,
+/// stalls and conflicts, the stream is in steady state with that beat
+/// and the aggregates at `k_n` periods follow in closed form from the
+/// largest probe congruent to `k_n` modulo the span.
+fn extrapolate(probes: &[Probe; PROBES], c1: u64, span: u64, k_n: u64) -> Option<AnalyticEstimate> {
+    let s = span as usize;
+    let delta = |f: fn(&Probe) -> u64| {
+        let d = f(&probes[s]) - f(&probes[0]);
+        probes
+            .windows(s + 1)
+            .all(|w| f(&w[s]) - f(&w[0]) == d)
+            .then_some(d)
+    };
+    let (d_lat, d_stall, d_conf) = (
+        delta(|p| p.latency)?,
+        delta(|p| p.stalls)?,
+        delta(|p| p.conflicts)?,
+    );
+    // The largest probe index congruent to k_n (mod span); PROBES (7)
+    // consecutive indices cover every residue for span ≤ 3.
+    let j = (0..PROBES)
+        .rev()
+        .find(|&j| (k_n as i128 - (c1 + j as u64) as i128).rem_euclid(span as i128) == 0)?;
+    let c_star = c1 + j as u64;
+    debug_assert!(k_n >= c_star, "probe lengths are bounded by the stream");
+    let steps = (k_n - c_star) / span;
+    let base = &probes[j];
+    Some(AnalyticEstimate {
+        latency: base.latency + steps * d_lat,
+        elements: 0, // caller fills
+        stall_cycles: base.stalls + steps * d_stall,
+        conflicts: base.conflicts + steps * d_conf,
+        max_in_q: base.max_in_q,
+        period: 0, // caller fills
+        exact: true,
+    })
+}
+
+/// Linear-fit fallback when no span settles: per-period rates from the
+/// probe endpoints, rounded to nearest — explicitly approximate.
+fn approximate(probes: &[Probe; PROBES], c1: u64, k_n: u64) -> AnalyticEstimate {
+    let first = &probes[0];
+    let last = &probes[PROBES - 1];
+    let dc = (PROBES - 1) as u64;
+    let c_last = c1 + dc;
+    let fit = |a: u64, b: u64| {
+        let rate_num = b - a; // monotone counters: b >= a
+        b + (k_n.saturating_sub(c_last) * rate_num + dc / 2) / dc
+    };
+    AnalyticEstimate {
+        latency: fit(first.latency, last.latency),
+        elements: 0, // caller fills
+        stall_cycles: fit(first.stalls, last.stalls),
+        conflicts: fit(first.conflicts, last.conflicts),
+        max_in_q: probes.iter().map(|p| p.max_in_q).max().unwrap_or(0),
+        period: 0, // caller fills
+        exact: false,
+    }
+}

@@ -39,8 +39,14 @@ use crate::trace::Event;
 
 /// Which simulation core executes a request stream.
 ///
-/// All four produce bit-identical [`AccessStats`] and
-/// [`Trace`](crate::Trace) output; they differ only in cost:
+/// The four simulating engines produce bit-identical [`AccessStats`]
+/// and [`Trace`](crate::Trace) output; they differ only in cost. The
+/// fifth, [`Analytic`](Engine::Analytic), is an **estimator**: its
+/// aggregate statistics equal the oracle's whenever its steady-state
+/// check holds (which it reports via
+/// [`AnalyticEstimate::exact`](crate::AnalyticEstimate)), but it leaves
+/// the per-element arrival and per-module busy vectors empty on the
+/// extrapolated path.
 ///
 /// | engine | cost | role |
 /// |---|---|---|
@@ -48,6 +54,7 @@ use crate::trace::Event;
 /// | [`Event`](Engine::Event) | `O(events)` | conflicted streams: queueing collapses to completion events |
 /// | [`Periodic`](Engine::Periodic) | `O(P_x + transient)` simulated | long periodic streams: steady-state periods extrapolated in closed form (`periodic.rs`); degrades to `Event` behaviour when no recurrence is found |
 /// | [`FastPath`](Engine::FastPath) | `O(requests)` | verified conflict-free shortcut, falls back to `Periodic` |
+/// | [`Analytic`](Engine::Analytic) | `O(P_x + transient)` simulated | closed-form aggregate estimates from short congruent probes (`analytic.rs`); aggregates only |
 ///
 /// Select an engine with [`MemConfig::with_engine`](crate::MemConfig::with_engine)
 /// or [`MemorySystem::set_engine`]. The batch execution engine
@@ -76,6 +83,15 @@ pub enum Engine {
     /// fall back to [`Engine::Periodic`] (which itself degrades to
     /// [`Engine::Event`]).
     FastPath,
+    /// The analytic steady-state estimator (`analytic.rs`): aggregate
+    /// statistics derived in closed form from a handful of short probe
+    /// prefixes instead of simulating the stream. Exact whenever the
+    /// steady-state check holds (use
+    /// [`MemorySystem::analytic_estimate`] to see the flag); per-element
+    /// arrival and per-module busy vectors are left **empty** on the
+    /// extrapolated path. Multi-port, traced and short streams run as
+    /// [`Engine::Event`].
+    Analytic,
 }
 
 impl fmt::Display for Engine {
@@ -85,6 +101,7 @@ impl fmt::Display for Engine {
             Engine::Event => "event",
             Engine::Periodic => "periodic",
             Engine::FastPath => "fast-path",
+            Engine::Analytic => "analytic",
         })
     }
 }

@@ -25,8 +25,12 @@
 //! fast-forward engine of [`Engine::Periodic`] (whole periods of long
 //! streams are extrapolated in closed form), and the verified
 //! conflict-free fast path of [`Engine::FastPath`] (which falls back
-//! through `Periodic` to `Event`). See the `Engine` docs and the
-//! equivalence suites under `tests/`.
+//! through `Periodic` to `Event`). A fifth, [`Engine::Analytic`],
+//! trades the per-element vectors for closed-form **aggregate**
+//! estimates derived from a handful of short probe runs, reporting via
+//! [`AnalyticEstimate::exact`] whether the estimate provably equals a
+//! full simulation. See the `Engine` docs and the equivalence suites
+//! under `tests/`.
 //!
 //! ## Example
 //!
@@ -53,6 +57,7 @@
 #![deny(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+mod analytic;
 mod config;
 mod event;
 mod module;
@@ -62,6 +67,7 @@ mod stats;
 mod system;
 mod trace;
 
+pub use analytic::AnalyticEstimate;
 pub use config::MemConfig;
 pub use event::Engine;
 pub use module::MemModule;

@@ -57,8 +57,9 @@ use crate::trace::{Event, Trace};
 /// fresh each detection.
 #[derive(Debug, Default)]
 pub(crate) struct PeriodicScratch {
-    /// KMP failure function over the module sequence.
-    fail: Vec<usize>,
+    /// KMP failure function over the module sequence (shared with the
+    /// analytic estimator, which detects periods the same way).
+    pub(crate) fail: Vec<usize>,
     /// element id → request index (the streams the engine accepts carry
     /// a permutation of `0..n` as element ids).
     elem_to_req: Vec<u64>,
@@ -127,7 +128,7 @@ const SIGNATURE_RING: usize = 4;
 /// standard KMP border argument: `n - fail[n-1]` satisfies
 /// `module(k) == module(k + p)` for every valid `k`, even when `p` does
 /// not divide `n`.
-fn minimal_period<F>(n: usize, request: &F, fail: &mut Vec<usize>) -> u64
+pub(crate) fn minimal_period<F>(n: usize, request: &F, fail: &mut Vec<usize>) -> u64
 where
     F: Fn(usize) -> (u64, Addr, ModuleId),
 {

@@ -282,6 +282,12 @@ impl MemorySystem {
                 // FastPath → Periodic → Event chain.
                 self.run_periodic(n, &request, out)
             }
+            Engine::Analytic => {
+                // Estimator semantics: aggregates only; per-element and
+                // per-module vectors stay empty on the extrapolated
+                // path (see `analytic.rs`).
+                self.run_analytic(n, &request, out);
+            }
         }
     }
 

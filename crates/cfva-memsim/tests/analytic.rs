@@ -1,0 +1,272 @@
+//! Validation suite for the analytic steady-state estimator:
+//! `Engine::Analytic` estimates, when flagged `exact`, must **equal**
+//! the per-cycle oracle's aggregate statistics — across every map in
+//! the registry coverage set, stride families, bases, queue depths,
+//! port counts and the long-vector regime the extrapolation targets.
+//! Inexact estimates must stay within a small relative error, and the
+//! short/multi-port/traced direct paths must be bit-identical
+//! (per-element vectors included).
+
+use cfva_core::mapping::{Interleaved, Registry, XorMatched};
+use cfva_core::plan::{AccessPlan, Planner, Strategy};
+use cfva_core::{Addr, ModuleId, Stride, VectorSpec};
+use cfva_memsim::{AccessStats, Engine, MemConfig, MemorySystem};
+
+/// Runs one plan through the oracle and the analytic estimator and
+/// checks the contract: exact estimates equal the oracle's aggregates,
+/// approximate ones land within `APPROX_TOL` relative error, and the
+/// `Engine::Analytic` stats output carries the same aggregates as the
+/// estimate.
+fn assert_analytic_valid(cfg: MemConfig, plan: &AccessPlan, label: &str) {
+    const APPROX_TOL: f64 = 0.05;
+
+    let oracle = MemorySystem::new(cfg).run_plan(plan);
+
+    let mut sys = MemorySystem::new(cfg.with_engine(Engine::Analytic));
+    assert_eq!(sys.engine(), Engine::Analytic);
+    let est = sys.analytic_estimate(plan);
+
+    assert_eq!(est.elements, oracle.elements, "{label}: elements");
+    if est.exact {
+        assert_eq!(est.latency, oracle.latency, "{label}: exact latency");
+        assert_eq!(
+            est.stall_cycles, oracle.stall_cycles,
+            "{label}: exact stalls"
+        );
+        assert_eq!(est.conflicts, oracle.conflicts, "{label}: exact conflicts");
+        assert_eq!(est.max_in_q, oracle.max_in_q, "{label}: exact max_in_q");
+    } else {
+        let close = |got: u64, want: u64| {
+            (got as f64 - want as f64).abs() <= APPROX_TOL * (want as f64) + 2.0
+        };
+        assert!(
+            close(est.latency, oracle.latency),
+            "{label}: approximate latency {} vs oracle {}",
+            est.latency,
+            oracle.latency
+        );
+        assert!(
+            close(est.stall_cycles, oracle.stall_cycles),
+            "{label}: approximate stalls {} vs oracle {}",
+            est.stall_cycles,
+            oracle.stall_cycles
+        );
+        assert!(
+            close(est.conflicts, oracle.conflicts),
+            "{label}: approximate conflicts {} vs oracle {}",
+            est.conflicts,
+            oracle.conflicts
+        );
+    }
+
+    // The engine-dispatch path carries the estimate's aggregates, and a
+    // reused system keeps giving the same answer.
+    let stats = sys.run_plan(plan);
+    assert_eq!(stats.latency, est.latency, "{label}: engine latency");
+    assert_eq!(stats.elements, est.elements, "{label}: engine elements");
+    assert_eq!(
+        stats.stall_cycles, est.stall_cycles,
+        "{label}: engine stalls"
+    );
+    assert_eq!(stats.conflicts, est.conflicts, "{label}: engine conflicts");
+    assert_eq!(stats.max_in_q, est.max_in_q, "{label}: engine max_in_q");
+    assert_eq!(sys.analytic_estimate(plan), est, "{label}: reused system");
+
+    if !stats.arrival.is_empty() {
+        // Direct path: the run is a full event simulation and must be
+        // bit-identical to the oracle, vectors included.
+        assert_eq!(oracle, stats, "{label}: direct path is bit-identical");
+        assert!(est.exact, "{label}: direct path is exact by construction");
+    }
+}
+
+/// Strides across families and bases at both probe-dominated (direct)
+/// and extrapolated lengths.
+fn sweep(planner: &Planner, cfg: MemConfig, label: &str) {
+    for x in 0..=6u32 {
+        for sigma in [1i64, 3] {
+            let stride = Stride::from_parts(sigma, x).expect("odd sigma");
+            for base in [0u64, 37] {
+                let vec = VectorSpec::with_stride(base.into(), stride, 64).expect("valid");
+                let plan = planner
+                    .plan(&vec, Strategy::Canonical)
+                    .expect("canonical always plans");
+                assert_analytic_valid(
+                    cfg,
+                    &plan,
+                    &format!("{label} x={x} sigma={sigma} base={base}"),
+                );
+            }
+        }
+    }
+    // Long vectors: enough whole periods that probing pays off and the
+    // closed-form extrapolation is actually exercised.
+    for x in [0u32, 2, 4] {
+        let stride = Stride::from_parts(3, x).expect("odd sigma");
+        let p = planner.map().period(stride.family());
+        // Saturating: maps with no finite period (the overridden region
+        // map) just get the cap.
+        let len = p.saturating_mul(192).clamp(1024, 16_384);
+        // Off-period length: the congruent-residue tail is exercised.
+        let len = len + (p / 3).min(97);
+        let vec = VectorSpec::with_stride(11u64.into(), stride, len).expect("valid");
+        let plan = planner
+            .plan(&vec, Strategy::Canonical)
+            .expect("canonical always plans");
+        assert_analytic_valid(cfg, &plan, &format!("{label} long x={x} len={len}"));
+    }
+}
+
+/// Every registered map: registering a map in the registry opts it into
+/// this sweep with no test edits.
+#[test]
+fn every_registered_map_is_validated_against_the_oracle() {
+    for spec in Registry::builtin().all_specs() {
+        let planner = Planner::from_spec(&spec).expect("coverage specs are buildable");
+        let cfg = MemConfig::from_spec(&spec).expect("coverage specs fit the simulator");
+        sweep(&planner, cfg, &spec.to_string());
+    }
+}
+
+/// The serialized worst case (every request on one module) settles into
+/// a period-1 steady state: the estimator must extrapolate it exactly,
+/// and must do so from probe runs orders of magnitude shorter than the
+/// stream.
+#[test]
+fn one_module_streams_extrapolate_exactly() {
+    for (m, t) in [(3u32, 3u32), (3, 6), (2, 4)] {
+        let cfg = MemConfig::new(m, t).unwrap();
+        let stream: Vec<(u64, Addr, ModuleId)> = (0..8192u64)
+            .map(|i| (i, Addr::new(i << m), ModuleId::new(0)))
+            .collect();
+        let oracle = MemorySystem::new(cfg).run_requests(&stream);
+        let mut sys = MemorySystem::new(cfg.with_engine(Engine::Analytic));
+        let stats = sys.run_requests(&stream);
+        assert!(
+            stats.arrival.is_empty(),
+            "m={m} t={t}: long one-module stream must take the probe path"
+        );
+        assert_eq!(stats.latency, oracle.latency, "m={m} t={t}: latency");
+        assert_eq!(
+            stats.stall_cycles, oracle.stall_cycles,
+            "m={m} t={t}: stalls"
+        );
+        assert_eq!(stats.conflicts, oracle.conflicts, "m={m} t={t}: conflicts");
+        assert_eq!(stats.max_in_q, oracle.max_in_q, "m={m} t={t}: max_in_q");
+    }
+}
+
+/// Queue depths change the steady-state shape; the estimate must track
+/// the oracle through all of them.
+#[test]
+fn queue_depths_are_validated() {
+    let planner = Planner::matched(XorMatched::new(3, 4).unwrap());
+    let vec = VectorSpec::new(16, 12, 4096).unwrap();
+    for (q_in, q_out) in [(1usize, 1usize), (2, 1), (1, 2), (4, 4), (8, 2)] {
+        let cfg = MemConfig::new(3, 3)
+            .unwrap()
+            .with_queues(q_in, q_out)
+            .unwrap();
+        for strategy in [Strategy::Canonical, Strategy::Subsequence] {
+            let plan = planner.plan(&vec, strategy).unwrap();
+            assert_analytic_valid(cfg, &plan, &format!("q={q_in} q'={q_out} {strategy}"));
+        }
+    }
+}
+
+/// Multi-port, traced, tiny and empty streams run the direct path —
+/// trivially exact and bit-identical, traces included.
+#[test]
+fn direct_paths_are_bit_identical() {
+    let wide = Planner::baseline(Interleaved::new(6).unwrap(), 3);
+    let plan = wide
+        .plan(&VectorSpec::new(0, 1, 128).unwrap(), Strategy::Canonical)
+        .unwrap();
+    for ports in [2usize, 4] {
+        let cfg = MemConfig::new(6, 3).unwrap().with_ports(ports).unwrap();
+        assert_analytic_valid(cfg, &plan, &format!("ports={ports}"));
+    }
+
+    let cfg = MemConfig::new(3, 3).unwrap();
+    assert_analytic_valid(cfg, &AccessPlan::new(), "empty plan");
+    let tiny = [(0u64, Addr::new(5), ModuleId::new(3))];
+    let oracle = MemorySystem::new(cfg).run_requests(&tiny);
+    let analytic = MemorySystem::new(cfg.with_engine(Engine::Analytic)).run_requests(&tiny);
+    assert_eq!(oracle, analytic, "single request");
+
+    // Tracing forces the direct path: traces must match the oracle's.
+    let planner = Planner::matched(XorMatched::new(3, 4).unwrap());
+    let plan = planner
+        .plan(&VectorSpec::new(16, 12, 2048).unwrap(), Strategy::Canonical)
+        .unwrap();
+    let mut traced_oracle = MemorySystem::new(cfg);
+    traced_oracle.enable_trace();
+    let oracle_stats = traced_oracle.run_plan(&plan);
+    let mut traced_analytic = MemorySystem::new(cfg.with_engine(Engine::Analytic));
+    traced_analytic.enable_trace();
+    let analytic_stats = traced_analytic.run_plan(&plan);
+    assert_eq!(oracle_stats, analytic_stats, "traced stats");
+    assert_eq!(
+        traced_oracle.trace().events(),
+        traced_analytic.trace().events(),
+        "traced events"
+    );
+}
+
+/// Aperiodic streams degenerate to period ≈ n: probing would cost as
+/// much as running, so the estimator must fall back to the (exact)
+/// direct path rather than extrapolate garbage.
+#[test]
+fn aperiodic_streams_take_the_direct_path() {
+    let cfg = MemConfig::new(3, 3).unwrap();
+    let stream: Vec<(u64, Addr, ModuleId)> = (0..256u64)
+        .map(|i| (i, Addr::new(i), ModuleId::new((i * i + i / 3) % 8)))
+        .collect();
+    let oracle = MemorySystem::new(cfg).run_requests(&stream);
+    let analytic = MemorySystem::new(cfg.with_engine(Engine::Analytic)).run_requests(&stream);
+    assert_eq!(oracle, analytic, "aperiodic stream is run, not estimated");
+}
+
+/// The estimate's derived rates are consistent with its own aggregates.
+#[test]
+fn throughput_is_consistent() {
+    let planner = Planner::matched(XorMatched::new(3, 4).unwrap());
+    let plan = planner
+        .plan(&VectorSpec::new(16, 12, 4096).unwrap(), Strategy::Canonical)
+        .unwrap();
+    let cfg = MemConfig::new(3, 3).unwrap();
+    let est = MemorySystem::new(cfg.with_engine(Engine::Analytic)).analytic_estimate(&plan);
+    assert!(est.period > 0);
+    assert!((est.throughput() - est.elements as f64 / est.latency as f64).abs() < 1e-12);
+    assert!((est.cycles_per_element() * est.throughput() - 1.0).abs() < 1e-9);
+
+    let empty =
+        MemorySystem::new(cfg.with_engine(Engine::Analytic)).analytic_estimate(&AccessPlan::new());
+    assert_eq!(empty.throughput(), 0.0);
+    assert_eq!(empty.cycles_per_element(), 0.0);
+}
+
+/// A reused `AccessStats` buffer from a vector-bearing run must come
+/// back with its per-element vectors **cleared** on the probe path —
+/// stale arrivals would silently masquerade as estimator output.
+#[test]
+fn probe_path_clears_reused_buffers() {
+    let cfg = MemConfig::new(3, 3).unwrap();
+    let mut sys = MemorySystem::new(cfg.with_engine(Engine::Analytic));
+    let mut out = AccessStats::default();
+
+    let planner = Planner::matched(XorMatched::new(3, 4).unwrap());
+    let short = planner
+        .plan(&VectorSpec::new(16, 12, 32).unwrap(), Strategy::Canonical)
+        .unwrap();
+    sys.run_plan_into(&short, &mut out);
+    assert_eq!(out.arrival.len(), 32, "short plan runs directly");
+
+    let long = planner
+        .plan(&VectorSpec::new(16, 12, 8192).unwrap(), Strategy::Canonical)
+        .unwrap();
+    sys.run_plan_into(&long, &mut out);
+    assert!(out.arrival.is_empty(), "probe path clears stale arrivals");
+    assert!(out.module_busy.is_empty(), "probe path clears busy vector");
+    assert_eq!(out.elements, 8192);
+}

@@ -79,7 +79,9 @@ fn sweep_canonical(planner: &Planner, cfg: MemConfig, label: &str) {
     for x in [0u32, 2, 4] {
         let stride = Stride::from_parts(3, x).expect("odd sigma");
         let p = planner.map().period(stride.family());
-        let len = (16 * p).clamp(64, 4096);
+        // Saturating: maps with no finite period (the overridden region
+        // map) just get the cap.
+        let len = p.saturating_mul(16).clamp(64, 4096);
         let vec = VectorSpec::with_stride(11u64.into(), stride, len).expect("valid");
         let plan = planner
             .plan(&vec, Strategy::Canonical)

@@ -31,7 +31,10 @@ pub type ServeResult = Result<Response, ServeError>;
 
 /// Section 5B efficiency estimator selection, mirroring the two
 /// `BatchRunner` estimators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` because the estimator parameters are part of the result
+/// cache's request key (responses are deterministic in them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Estimator {
     /// Monte-Carlo over the family population
     /// (`BatchRunner::simulated_efficiency`): `samples` random strides

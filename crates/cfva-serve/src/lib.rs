@@ -20,6 +20,11 @@
 //!   [`runner::BatchRunner`] sessions are cached by spec, and a full
 //!   admission queue rejects with
 //!   [`api::ServeError::Overloaded`] instead of queueing unboundedly.
+//!   A sharded LRU **result cache**, keyed on the canonical spec plus
+//!   the stride-equivalence class of the request (see
+//!   [`cfva_core::StrideClass`]), resolves repeated requests without
+//!   touching the pool — [`service::Service::stats`] reports its
+//!   hit/miss/eviction counters.
 //!
 //! ```
 //! use cfva_serve::api::{Request, Response};
@@ -46,7 +51,10 @@
 #![forbid(unsafe_code)]
 
 pub mod api;
+mod cache;
 pub mod pool;
 pub mod runner;
 pub mod service;
 pub mod workload;
+
+pub use cache::CacheStats;

@@ -258,6 +258,18 @@ impl<R> std::fmt::Debug for Ticket<R> {
 }
 
 impl<R> Ticket<R> {
+    /// A ticket born resolved — the serving layer's cache-hit path:
+    /// the result is already known, so no worker is involved and
+    /// `wait`/`poll` return immediately.
+    pub(crate) fn ready(result: R) -> Self {
+        Ticket {
+            shared: Arc::new(TicketShared {
+                slot: Mutex::new(Slot::Done(result)),
+                done: Condvar::new(),
+            }),
+        }
+    }
+
     fn new() -> (Self, Arc<TicketShared<R>>) {
         let shared = Arc::new(TicketShared {
             slot: Mutex::new(Slot::Pending),

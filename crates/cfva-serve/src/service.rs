@@ -29,18 +29,36 @@
 //! call on a fresh serial [`BatchRunner`], whichever worker serves it
 //! and however often the session was reused before —
 //! `tests/service_equivalence.rs` pins this with a proptest.
+//!
+//! # Result cache
+//!
+//! Determinism makes responses memoizable, and stride equivalence
+//! ([`cfva_core::StrideClass`]) makes the memo key *smaller than the
+//! request*: `submit` consults a sharded, bounded LRU cache keyed on
+//! the canonical spec string plus the class-reduced request **before**
+//! touching the pool. A hit resolves the ticket immediately — the O(1)
+//! serve path: no queueing, no session, no simulation. Misses populate
+//! the cache when the worker completes (successful responses only).
+//! Bypass per request with [`Service::submit_uncached`], or disable
+//! service-wide with [`ServiceConfig::cache_capacity`]` = 0`;
+//! [`Service::stats`] reports hit/miss/eviction/bypass counters. The
+//! cache-on ≡ cache-off bit-identity is pinned by proptest in
+//! `tests/service_cache.rs`.
 
-use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
-use cfva_core::mapping::MapSpec;
+use cfva_core::mapping::{MapSpec, ModuleMap, Registry};
 use cfva_core::plan::Strategy;
 use cfva_core::Stride;
+use cfva_core::StrideClass;
 use cfva_core::VectorSpec;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::api::{Estimator, FamilyPoint, Request, Response, ServeError, ServeResult};
+use crate::cache::{CacheKey, CacheStats, RequestKey, ResultCache};
 use crate::pool::{Pool, SubmitError, Ticket};
 use crate::runner::BatchRunner;
 use crate::workload::StrideSampler;
@@ -58,6 +76,10 @@ pub struct ServiceConfig {
     /// rejected with [`ServeError::Overloaded`]. Defaults to
     /// `16 × workers`.
     pub queue_capacity: usize,
+    /// Result-cache bound in entries ([module docs](self) under
+    /// "Result cache"). `0` disables the cache entirely. Defaults to
+    /// [`ServiceConfig::DEFAULT_CACHE_CAPACITY`].
+    pub cache_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -65,20 +87,22 @@ impl Default for ServiceConfig {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        ServiceConfig {
-            workers,
-            queue_capacity: 16 * workers,
-        }
+        ServiceConfig::with_workers(workers)
     }
 }
 
 impl ServiceConfig {
+    /// Default result-cache bound: generous for repeated-request
+    /// serving, small next to one cached `AccessStats`' arrival vector.
+    pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
     /// A config with `workers` workers and the default queue bound for
     /// that worker count.
     pub fn with_workers(workers: usize) -> Self {
         ServiceConfig {
             workers,
             queue_capacity: 16 * workers,
+            cache_capacity: Self::DEFAULT_CACHE_CAPACITY,
         }
     }
 
@@ -87,6 +111,26 @@ impl ServiceConfig {
         self.queue_capacity = capacity;
         self
     }
+
+    /// Replaces the result-cache bound; `0` disables the cache.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+}
+
+/// A point-in-time snapshot of service load and cache effectiveness —
+/// [`Service::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests waiting for a worker (admitted, not yet picked up).
+    pub queue_depth: usize,
+    /// Requests admitted and not yet resolved (queued **or**
+    /// executing); cache hits never count here.
+    pub in_flight: usize,
+    /// Cache counters, or `None` when the cache is disabled
+    /// (`cache_capacity == 0`).
+    pub cache: Option<CacheStats>,
 }
 
 /// One worker's session cache: canonical spec string → warm session.
@@ -97,16 +141,27 @@ struct SpecSessions {
 
 impl SpecSessions {
     /// The worker-side session lookup; builds (and caches) the session
-    /// on first touch. Build failures are not cached — a transient
-    /// failure (e.g. a matrix file appearing later) may succeed on
-    /// retry.
-    fn get_or_create(&mut self, spec: &MapSpec) -> Result<&mut BatchRunner, ServeError> {
-        match self.sessions.entry(spec.to_string()) {
-            Entry::Occupied(entry) => Ok(entry.into_mut()),
-            Entry::Vacant(entry) => {
-                Ok(entry.insert(BatchRunner::from_spec(spec).map_err(ServeError::Spec)?))
-            }
+    /// on first touch. `key` is the spec's canonical string, computed
+    /// **once at submission** — the hot path allocates nothing (the
+    /// `Entry` API would re-stringify the spec per request). Build
+    /// failures are not cached — a transient failure (e.g. a matrix
+    /// file appearing later) may succeed on retry.
+    fn get_or_create(&mut self, key: &str, spec: &MapSpec) -> Result<&mut BatchRunner, ServeError> {
+        if !self.sessions.contains_key(key) {
+            let session = BatchRunner::from_spec(spec).map_err(ServeError::Spec)?;
+            self.sessions.insert(key.to_string(), session);
         }
+        Ok(self.sessions.get_mut(key).expect("just ensured"))
+    }
+}
+
+/// Decrements the in-flight gauge when the job finishes — held inside
+/// the worker closure so a panicking request still decrements.
+struct InFlightGuard(Arc<AtomicUsize>);
+
+impl Drop for InFlightGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
@@ -141,6 +196,15 @@ impl SpecSessions {
 #[derive(Debug)]
 pub struct Service {
     pool: Pool<SpecSessions>,
+    /// The memoized result cache; `None` when disabled.
+    cache: Option<Arc<ResultCache>>,
+    /// Canonical spec string → the map's `address_bits_used` (the one
+    /// map-side input of the stride-class reduction), or `None` for a
+    /// spec that parses but does not build — those have no sound cache
+    /// key and bypass the cache. Populated once per spec.
+    spec_used_bits: Mutex<HashMap<String, Option<u32>>>,
+    /// Admitted-but-unresolved gauge (queued or executing).
+    in_flight: Arc<AtomicUsize>,
 }
 
 impl Service {
@@ -155,6 +219,10 @@ impl Service {
             pool: Pool::new(config.workers, config.queue_capacity, |_| {
                 SpecSessions::default()
             }),
+            cache: (config.cache_capacity > 0)
+                .then(|| Arc::new(ResultCache::new(config.cache_capacity))),
+            spec_used_bits: Mutex::new(HashMap::new()),
+            in_flight: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -173,8 +241,19 @@ impl Service {
         self.pool.queue_depth()
     }
 
+    /// A snapshot of service load and cache counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            queue_depth: self.pool.queue_depth(),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            cache: self.cache.as_ref().map(|c| c.stats()),
+        }
+    }
+
     /// Validates and enqueues `request`, returning the ticket its
-    /// response will resolve through.
+    /// response will resolve through. When the result cache holds this
+    /// request's response already, the ticket comes back **resolved**
+    /// — no pool round trip (see the [module docs](self)).
     ///
     /// Synchronous rejections (the request was **not** queued):
     ///
@@ -188,23 +267,145 @@ impl Service {
     /// Session-side failures (a spec that parses but cannot build)
     /// resolve through the ticket as `Err`.
     pub fn submit(&self, request: Request) -> Result<ServeTicket, ServeError> {
-        let spec: MapSpec = request.spec().parse().map_err(ServeError::Spec)?;
+        self.submit_inner(request, true)
+    }
+
+    /// [`submit`](Self::submit) without consulting or populating the
+    /// result cache — the per-request bypass knob, for callers that
+    /// want a fresh pooled execution (timing runs, cache-equivalence
+    /// checks). Counted under [`CacheStats::bypasses`].
+    pub fn submit_uncached(&self, request: Request) -> Result<ServeTicket, ServeError> {
+        self.submit_inner(request, false)
+    }
+
+    fn submit_inner(&self, request: Request, use_cache: bool) -> Result<ServeTicket, ServeError> {
+        let parsed: MapSpec = request.spec().parse().map_err(ServeError::Spec)?;
         validate(&request)?;
-        let worker = route(&spec.to_string(), self.pool.workers());
-        self.pool
+        // Canonicalize once: the canonical string keys the affinity
+        // router, the worker's session table and the result cache, so
+        // equivalent spellings share a worker, a session and a cache
+        // entry.
+        let spec = parsed.canonical();
+        let canon = spec.to_string();
+
+        let key = match &self.cache {
+            Some(cache) if use_cache => match self.cache_key(&canon, &request) {
+                Some(key) => {
+                    if let Some(response) = cache.get(&key) {
+                        return Ok(Ticket::ready(Ok(response)));
+                    }
+                    Some(key)
+                }
+                None => {
+                    cache.note_bypass();
+                    None
+                }
+            },
+            Some(cache) => {
+                cache.note_bypass();
+                None
+            }
+            None => None,
+        };
+        let populate = key.map(|key| {
+            let cache = Arc::clone(self.cache.as_ref().expect("a key implies a cache"));
+            (cache, key)
+        });
+
+        let worker = route(&canon, self.pool.workers());
+        let in_flight = Arc::clone(&self.in_flight);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        let submitted = self
+            .pool
             .try_submit_to(worker, move |sessions: &mut SpecSessions| {
-                execute(sessions, &spec, &request)
-            })
-            .map_err(|e| match e {
-                SubmitError::QueueFull {
-                    queue_depth,
-                    capacity,
-                } => ServeError::Overloaded {
-                    queue_depth,
-                    capacity,
-                },
-                SubmitError::ShuttingDown => ServeError::ShuttingDown,
-            })
+                let _guard = InFlightGuard(in_flight);
+                let result = execute(sessions, &canon, &spec, &request);
+                if let (Some((cache, key)), Ok(response)) = (&populate, &result) {
+                    cache.insert(key.clone(), response.clone());
+                }
+                result
+            });
+        if submitted.is_err() {
+            // The job never ran; its guard never existed.
+            self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        }
+        submitted.map_err(|e| match e {
+            SubmitError::QueueFull {
+                queue_depth,
+                capacity,
+            } => ServeError::Overloaded {
+                queue_depth,
+                capacity,
+            },
+            SubmitError::ShuttingDown => ServeError::ShuttingDown,
+        })
+    }
+
+    /// The cache key of `request` under the canonical spec `canon`, or
+    /// `None` when no sound key exists (the spec does not build, so
+    /// there is no map to class-reduce measurements under).
+    fn cache_key(&self, canon: &str, request: &Request) -> Option<CacheKey> {
+        let req = match request {
+            Request::Measure { vec, strategy, .. } => RequestKey::Measure {
+                class: StrideClass::reduce_with_used(self.used_bits(canon)?, vec),
+                strategy: *strategy,
+            },
+            Request::MeasureBatch { accesses, .. } => {
+                let used = self.used_bits(canon)?;
+                RequestKey::Batch {
+                    items: accesses
+                        .iter()
+                        .map(|(vec, strategy)| {
+                            (StrideClass::reduce_with_used(used, vec), *strategy)
+                        })
+                        .collect(),
+                }
+            }
+            Request::FamilySweep {
+                len, max_x, sigma, ..
+            } => RequestKey::FamilySweep {
+                len: *len,
+                max_x: *max_x,
+                sigma: *sigma,
+            },
+            Request::Efficiency {
+                strategy,
+                len,
+                estimator,
+                seed,
+                ..
+            } => RequestKey::Efficiency {
+                strategy: *strategy,
+                len: *len,
+                estimator: *estimator,
+                seed: *seed,
+            },
+        };
+        Some(CacheKey {
+            spec: canon.to_string(),
+            req,
+        })
+    }
+
+    /// `address_bits_used` of the canonical spec's map — the one
+    /// map-side input the stride-class reduction needs — computed by a
+    /// one-time registry build per spec and memoized (including the
+    /// negative result for specs that parse but do not build).
+    fn used_bits(&self, canon: &str) -> Option<u32> {
+        let mut meta = self
+            .spec_used_bits
+            .lock()
+            .expect("spec metadata lock poisoned");
+        if let Some(&used) = meta.get(canon) {
+            return used;
+        }
+        let used = canon
+            .parse::<MapSpec>()
+            .ok()
+            .and_then(|spec| Registry::builtin().build(&spec).ok())
+            .map(|map| map.address_bits_used());
+        meta.insert(canon.to_string(), used);
+        used
     }
 
     /// Graceful shutdown: stops admission (further [`submit`]s fail
@@ -320,9 +521,15 @@ fn validate(request: &Request) -> Result<(), ServeError> {
 }
 
 /// The worker-side request dispatch, against the worker's session
-/// cache.
-fn execute(sessions: &mut SpecSessions, spec: &MapSpec, request: &Request) -> ServeResult {
-    let session = sessions.get_or_create(spec)?;
+/// cache. `canon` is the spec's canonical string, stringified once at
+/// submission.
+fn execute(
+    sessions: &mut SpecSessions,
+    canon: &str,
+    spec: &MapSpec,
+    request: &Request,
+) -> ServeResult {
+    let session = sessions.get_or_create(canon, spec)?;
     match request {
         Request::Measure { vec, strategy, .. } => {
             Ok(Response::Measured(session.measure_owned(vec, *strategy)))

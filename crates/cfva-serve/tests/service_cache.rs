@@ -1,0 +1,314 @@
+//! The result-cache contract: caching is **invisible** in values
+//! (cache-on ≡ cache-off, bit for bit, over random request streams),
+//! equivalent requests share one entry (canonical spec spelling,
+//! stride-class membership), the bypass knobs really bypass, the bound
+//! really bounds — and a hit is *much* cheaper than a pooled miss.
+
+use std::time::{Duration, Instant};
+
+use cfva_core::mapping::{MapSpec, ModuleMap, Registry};
+use cfva_core::plan::Strategy;
+use cfva_core::{Stride, VectorSpec};
+use cfva_serve::api::{Estimator, Request};
+use cfva_serve::service::{Service, ServiceConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Every registered coverage spec, as owned strings.
+fn all_specs() -> Vec<String> {
+    Registry::builtin()
+        .all_specs()
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The acceptance bit-identity: a cache-on service and a cache-off
+    /// service answer a random request stream — with guaranteed
+    /// repeats, so the cached side actually serves hits — with equal
+    /// results at every position.
+    #[test]
+    fn cache_on_and_cache_off_streams_are_bit_identical(seed in 0u64..1 << 32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let specs = all_specs();
+
+        let mut requests = Vec::new();
+        for _ in 0..8 {
+            let spec = specs[rng.gen_range(0..specs.len())].clone();
+            let sigma = 2 * rng.gen_range(0i64..8) + 1;
+            let x = rng.gen_range(0u32..7);
+            let stride = Stride::from_parts(sigma, x).expect("odd sigma");
+            let vec = VectorSpec::with_stride(
+                rng.gen_range(0u64..1 << 20).into(),
+                stride,
+                64 << rng.gen_range(0..3),
+            )
+            .expect("bounded base");
+            let request = match rng.gen_range(0..4) {
+                0 | 1 => Request::Measure {
+                    spec,
+                    vec,
+                    strategy: [Strategy::Auto, Strategy::Canonical][rng.gen_range(0..2)],
+                },
+                2 => Request::FamilySweep {
+                    spec,
+                    len: 64,
+                    max_x: rng.gen_range(0..6),
+                    sigma,
+                },
+                _ => Request::Efficiency {
+                    spec,
+                    strategy: Strategy::Auto,
+                    len: 64,
+                    estimator: Estimator::Stratified {
+                        max_x: 4,
+                        per_family: 2,
+                    },
+                    seed: rng.gen_range(0..4),
+                },
+            };
+            requests.push(request.clone());
+            if rng.gen_bool(0.5) {
+                requests.push(request);
+            }
+        }
+        // At least one guaranteed repeat, so `hits > 0` below is not
+        // at the mercy of the coin flips.
+        requests.push(requests[0].clone());
+
+        let cached = Service::new(ServiceConfig::with_workers(2));
+        let uncached = Service::new(ServiceConfig::with_workers(2).cache_capacity(0));
+        for request in &requests {
+            let warm = cached
+                .submit(request.clone())
+                .expect("queue has room")
+                .wait();
+            let cold = uncached
+                .submit(request.clone())
+                .expect("queue has room")
+                .wait();
+            prop_assert_eq!(&warm, &cold, "{:?}", request);
+        }
+
+        let stats = cached.stats().cache.expect("cache is on by default");
+        prop_assert!(stats.hits > 0, "repeats in the stream must hit: {stats:?}");
+        prop_assert!(uncached.stats().cache.is_none(), "capacity 0 disables");
+        cached.shutdown();
+        uncached.shutdown();
+    }
+}
+
+#[test]
+fn repeated_request_is_served_from_the_cache() {
+    let service = Service::new(ServiceConfig::with_workers(2));
+    let request = Request::Measure {
+        spec: "xor-matched:t=3,s=4".into(),
+        vec: VectorSpec::new(16, 12, 256).expect("valid"),
+        strategy: Strategy::Auto,
+    };
+
+    let first = service
+        .submit(request.clone())
+        .expect("room")
+        .wait()
+        .expect("serves");
+    let second = service
+        .submit(request)
+        .expect("room")
+        .wait()
+        .expect("serves");
+    assert_eq!(first, second);
+
+    let stats = service.stats();
+    let cache = stats.cache.expect("cache on by default");
+    assert_eq!((cache.hits, cache.misses, cache.entries), (1, 1, 1));
+    assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    // Both tickets were waited on: nothing queued, nothing in flight.
+    assert_eq!((stats.queue_depth, stats.in_flight), (0, 0));
+    service.shutdown();
+}
+
+#[test]
+fn equivalent_spellings_and_class_members_share_one_entry() {
+    // The map's used address bits determine the stride-equivalence
+    // reductions: base mod 2^used, sigma mod 2^(used - x).
+    let spec: MapSpec = "xor-matched:t=3,s=4".parse().expect("parses");
+    let used = Registry::builtin()
+        .build(&spec)
+        .expect("builds")
+        .address_bits_used();
+
+    let service = Service::new(ServiceConfig::with_workers(1));
+    let base = 16u64;
+    let (sigma, x) = (3i64, 2u32);
+    let stride = sigma << x;
+    let submit = |spec: &str, base: u64, stride: i64| {
+        service
+            .submit(Request::Measure {
+                spec: spec.into(),
+                vec: VectorSpec::new(base, stride, 128).expect("valid"),
+                strategy: Strategy::Auto,
+            })
+            .expect("room")
+            .wait()
+            .expect("serves")
+    };
+
+    let original = submit("xor-matched:t=3,s=4", base, stride);
+    // Same map, scrambled key order and hex/binary literals.
+    let respelled = submit("xor-matched:s=0x4,t=0b11", base, stride);
+    // Same stride class: base shifted by 2^used…
+    let shifted_base = submit("xor-matched:t=3,s=4", base + (1 << used), stride);
+    // …and the odd part shifted by 2^(used - x).
+    let shifted_sigma = submit(
+        "xor-matched:t=3,s=4",
+        base,
+        (sigma + (1 << (used - x))) << x,
+    );
+
+    assert_eq!(original, respelled);
+    assert_eq!(original, shifted_base);
+    assert_eq!(original, shifted_sigma);
+    let cache = service.stats().cache.expect("cache on");
+    assert_eq!(
+        (cache.hits, cache.misses, cache.entries),
+        (3, 1, 1),
+        "all four spellings reduce to one key: {cache:?}"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn submit_uncached_bypasses_and_never_populates() {
+    let service = Service::new(ServiceConfig::with_workers(1));
+    let request = Request::Measure {
+        spec: "skewed:m=3,d=1".into(),
+        vec: VectorSpec::new(0, 8, 128).expect("valid"),
+        strategy: Strategy::Auto,
+    };
+
+    let a = service
+        .submit_uncached(request.clone())
+        .expect("room")
+        .wait()
+        .expect("serves");
+    let b = service
+        .submit_uncached(request.clone())
+        .expect("room")
+        .wait()
+        .expect("serves");
+    assert_eq!(a, b, "bypassing the cache does not change values");
+
+    let cache = service.stats().cache.expect("cache on");
+    assert_eq!(
+        (cache.hits, cache.misses, cache.entries, cache.bypasses),
+        (0, 0, 0, 2),
+        "uncached submissions neither consult nor populate: {cache:?}"
+    );
+
+    // A cached submission after the bypasses starts cold (miss), and a
+    // bypass after the populate still goes to the pool.
+    service
+        .submit(request.clone())
+        .expect("room")
+        .wait()
+        .expect("serves");
+    service
+        .submit_uncached(request)
+        .expect("room")
+        .wait()
+        .expect("serves");
+    let cache = service.stats().cache.expect("cache on");
+    assert_eq!(
+        (cache.hits, cache.misses, cache.entries, cache.bypasses),
+        (0, 1, 1, 3),
+        "{cache:?}"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn tiny_capacity_stays_bounded_and_evicts() {
+    let service = Service::new(ServiceConfig::with_workers(2).cache_capacity(8));
+    // 64 distinct stride classes (odd parts 1, 3, …, 127 are distinct
+    // mod 2^used for every builtin map), all cached successfully.
+    for i in 0..64i64 {
+        service
+            .submit(Request::Measure {
+                spec: "xor-matched:t=3,s=4".into(),
+                vec: VectorSpec::new(0, 2 * i + 1, 64).expect("valid"),
+                strategy: Strategy::Auto,
+            })
+            .expect("room")
+            .wait()
+            .expect("serves");
+    }
+    let cache = service.stats().cache.expect("cache on");
+    assert!(
+        cache.entries <= cache.capacity && cache.capacity == 8,
+        "bounded: {cache:?}"
+    );
+    assert_eq!(
+        cache.evictions + cache.entries as u64,
+        64,
+        "every distinct miss was inserted, overflow evicted: {cache:?}"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn cache_hit_path_is_50x_faster_than_pooled_misses() {
+    // The acceptance ratio. A FamilySweep is many measurements with a
+    // tiny response, so the gap between "clone a cached row set" and
+    // "run the sweep through the pool" dwarfs scheduler noise.
+    let service = Service::new(ServiceConfig::with_workers(1));
+    let request = Request::FamilySweep {
+        spec: "xor-matched:t=3,s=4".into(),
+        len: 8192,
+        max_x: 12,
+        sigma: 3,
+    };
+
+    // Warm the single entry.
+    let warm = service
+        .submit(request.clone())
+        .expect("room")
+        .wait()
+        .expect("serves");
+
+    const ITERS: u32 = 32;
+    let hits = Instant::now();
+    for _ in 0..ITERS {
+        let got = service
+            .submit(request.clone())
+            .expect("room")
+            .wait()
+            .expect("serves");
+        assert_eq!(got, warm);
+    }
+    let hit_total = hits.elapsed();
+
+    let misses = Instant::now();
+    for _ in 0..ITERS {
+        let got = service
+            .submit_uncached(request.clone())
+            .expect("room")
+            .wait()
+            .expect("serves");
+        assert_eq!(got, warm);
+    }
+    let miss_total = misses.elapsed();
+
+    let cache = service.stats().cache.expect("cache on");
+    assert_eq!(cache.hits, ITERS as u64, "every warm submit hit: {cache:?}");
+    assert!(
+        miss_total >= hit_total.max(Duration::from_nanos(1)) * 50,
+        "cache hits must be >= 50x faster: {ITERS} hits took {hit_total:?}, \
+         {ITERS} pooled misses took {miss_total:?}"
+    );
+    service.shutdown();
+}

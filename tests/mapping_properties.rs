@@ -13,26 +13,39 @@ use cfva::core::mapping::{
 use cfva::core::{Addr, Stride, VectorSpec};
 use proptest::prelude::*;
 
-fn assert_balanced<M: ModuleMap>(map: &M) {
-    let span = 1u64 << map.address_bits_used();
-    assert!(
-        span <= 1 << 22,
-        "balance check would iterate 2^{} addresses — pick a smaller configuration",
-        map.address_bits_used()
-    );
+fn assert_balanced_block<M: ModuleMap>(map: &M, block: u64) {
+    let span = 1u64 << map.balance_bits();
     let mut counts = vec![0u64; map.module_count() as usize];
-    for a in 0..span {
+    for a in block * span..(block + 1) * span {
         counts[map.module_of(Addr::new(a)).get() as usize] += 1;
     }
     let expect = span / map.module_count();
     assert!(
         counts.iter().all(|&c| c == expect),
-        "unbalanced map: {counts:?}"
+        "unbalanced map in block {block}: {counts:?}"
     );
 }
 
+fn assert_balanced<M: ModuleMap>(map: &M) {
+    assert!(
+        map.balance_bits() <= 22,
+        "balance check would iterate 2^{} addresses — pick a smaller configuration",
+        map.balance_bits()
+    );
+    assert_balanced_block(map, 0);
+    if map.balance_bits() < map.address_bits_used() {
+        // A map balanced on a finer grain than it is determined (an
+        // overridden RegionMap) can apply different schemes in
+        // different blocks — block 0 only sees the default, so walk a
+        // few more to reach the overrides.
+        for block in 1..4 {
+            assert_balanced_block(map, block);
+        }
+    }
+}
+
 /// The `ModuleMap` contract documented in `cfva-core/src/mapping/mod.rs`:
-/// over any aligned block of `2^{address_bits_used()}` consecutive
+/// over any aligned block of `2^{balance_bits()}` consecutive
 /// addresses, every module receives the same number of addresses.
 /// Checked for **every registered map** via the registry's coverage
 /// set, plus extra parameterizations per family of maps (the
@@ -41,7 +54,7 @@ fn assert_balanced<M: ModuleMap>(map: &M) {
 fn every_registered_map_is_balanced_over_one_period() {
     for (spec, map) in Registry::builtin().all_maps() {
         assert!(
-            map.address_bits_used() <= 22,
+            map.balance_bits() <= 22,
             "{spec}: coverage specs must keep the balance check enumerable"
         );
         assert_balanced(&map);
