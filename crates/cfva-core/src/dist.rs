@@ -46,6 +46,7 @@ impl SpatialDistribution {
     pub fn compute<M: ModuleMap + ?Sized>(map: &M, vec: &VectorSpec) -> Self {
         let mut counts = vec![0u64; map.module_count() as usize];
         for addr in vec.iter() {
+            // cfva-lint: allow(L002, reason = "module_of returns an id < module_count by the ModuleMap contract, and counts is sized to module_count")
             counts[map.module_of(addr).get() as usize] += 1;
         }
         SpatialDistribution {
@@ -245,6 +246,7 @@ pub fn empirical_period<M: ModuleMap + ?Sized>(
     let seq: Vec<ModuleId> = (0..n).map(|i| map.module_of(vec.element_addr(i))).collect();
     let mut p = 1u64;
     while p < n {
+        // cfva-lint: allow(L002, reason = "i < n - p keeps both i and i + p below seq.len() == n")
         if (0..(n - p)).all(|i| seq[i as usize] == seq[(i + p) as usize]) {
             return Some(p);
         }

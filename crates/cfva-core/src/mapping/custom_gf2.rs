@@ -122,6 +122,7 @@ impl CustomGf2 {
         for (i, &mask) in rows.iter().enumerate() {
             let mut m = mask;
             while m != 0 {
+                // cfva-lint: allow(L002, reason = "trailing_zeros of a nonzero u64 is < 64, the fixed length of columns")
                 columns[m.trailing_zeros() as usize] |= 1u64 << i;
                 m &= m - 1;
             }
@@ -246,6 +247,7 @@ impl ModuleMap for CustomGf2 {
         let mut b = 0u64;
         let mut m = addr.get() & ((1u64 << self.cols) - 1);
         while m != 0 {
+            // cfva-lint: allow(L002, reason = "trailing_zeros of a nonzero u64 is < 64, the fixed length of columns")
             b ^= self.columns[m.trailing_zeros() as usize];
             m &= m - 1;
         }
@@ -284,6 +286,7 @@ impl ModuleMap for CustomGf2 {
             let next = addr.wrapping_add_signed(stride);
             let mut diff = (addr ^ next) & width_mask;
             while diff != 0 {
+                // cfva-lint: allow(L002, reason = "trailing_zeros of a nonzero u64 is < 64, the fixed length of columns")
                 b ^= self.columns[diff.trailing_zeros() as usize];
                 diff &= diff - 1;
             }

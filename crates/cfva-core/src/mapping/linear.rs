@@ -70,6 +70,7 @@ impl Linear {
             .iter()
             .map(|r| 63 - r.leading_zeros())
             .max()
+            // cfva-lint: allow(L002, reason = "the empty-rows case was rejected above with OutOfRange, so max() sees at least one element")
             .expect("rows is nonempty");
         Ok(Linear {
             rows,
@@ -188,6 +189,7 @@ impl ModuleMap for Linear {
         for (i, &mask) in self.rows.iter().enumerate() {
             let mut m = mask;
             while m != 0 {
+                // cfva-lint: allow(L002, reason = "trailing_zeros of a nonzero u64 is < 64, the fixed length of columns")
                 columns[m.trailing_zeros() as usize] |= 1u64 << i;
                 m &= m - 1;
             }
@@ -196,6 +198,7 @@ impl ModuleMap for Linear {
             let mut b = 0u64;
             let mut m = a;
             while m != 0 {
+                // cfva-lint: allow(L002, reason = "trailing_zeros of a nonzero u64 is < 64, the fixed length of columns")
                 b ^= columns[m.trailing_zeros() as usize];
                 m &= m - 1;
             }
@@ -213,6 +216,7 @@ impl ModuleMap for Linear {
             let next = addr.wrapping_add_signed(stride);
             let mut diff = addr ^ next;
             while diff != 0 {
+                // cfva-lint: allow(L002, reason = "trailing_zeros of a nonzero u64 is < 64, the fixed length of columns")
                 b ^= columns[diff.trailing_zeros() as usize];
                 diff &= diff - 1;
             }

@@ -132,6 +132,7 @@ pub trait ModuleMap: std::fmt::Debug {
     /// defined panic in both profiles.
     fn module_count(&self) -> u64 {
         1u64.checked_shl(self.module_bits())
+            // cfva-lint: allow(L002, reason = "deliberate contract panic: turns a downstream module_bits() >= 64 into a defined panic in both profiles, as documented above")
             .unwrap_or_else(|| panic!("module_bits() = {} overflows u64", self.module_bits()))
     }
 

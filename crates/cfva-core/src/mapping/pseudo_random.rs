@@ -178,6 +178,7 @@ impl ModuleMap for PseudoRandom {
             let next = addr.wrapping_add_signed(stride);
             let mut diff = (addr ^ next) & used_mask;
             while diff != 0 {
+                // cfva-lint: allow(L002, reason = "diff is masked to the low `used` bits and residues holds one entry per used bit, so trailing_zeros is in range")
                 b ^= self.residues[diff.trailing_zeros() as usize];
                 diff &= diff - 1;
             }

@@ -1,0 +1,97 @@
+//! Machine-readable diagnostics: `file:line:col CODE message`.
+
+use std::fmt;
+
+/// One lint finding, anchored to a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, unix-style separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// The lint code (`L001` … `L005`, `L000` for suppression errors).
+    pub code: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// A diagnostic at an explicit position.
+    pub fn new(
+        file: impl Into<String>,
+        line: u32,
+        col: u32,
+        code: &'static str,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            file: file.into(),
+            line,
+            col,
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{} {} {}",
+            self.file, self.line, self.col, self.code, self.message
+        )
+    }
+}
+
+/// Sorts diagnostics into the stable reporting order: by file, then
+/// position, then code.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.code).cmp(&(b.file.as_str(), b.line, b.col, b.code))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_machine_readable_line() {
+        let d = Diagnostic::new(
+            "crates/x/src/lib.rs",
+            12,
+            5,
+            "L002",
+            "`.unwrap()` in library path",
+        );
+        assert_eq!(
+            d.to_string(),
+            "crates/x/src/lib.rs:12:5 L002 `.unwrap()` in library path"
+        );
+    }
+
+    #[test]
+    fn sort_orders_by_file_then_position() {
+        let mut v = vec![
+            Diagnostic::new("b.rs", 1, 1, "L002", "x"),
+            Diagnostic::new("a.rs", 9, 1, "L003", "x"),
+            Diagnostic::new("a.rs", 2, 7, "L001", "x"),
+            Diagnostic::new("a.rs", 2, 3, "L005", "x"),
+        ];
+        sort(&mut v);
+        let order: Vec<(&str, u32, u32)> =
+            v.iter().map(|d| (d.file.as_str(), d.line, d.col)).collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs", 2, 3),
+                ("a.rs", 2, 7),
+                ("a.rs", 9, 1),
+                ("b.rs", 1, 1)
+            ]
+        );
+    }
+}

@@ -1,0 +1,549 @@
+//! A hand-rolled, lossless Rust lexer.
+//!
+//! The lints never need expression-level parsing — they need a token
+//! stream that **never confuses code with comments or strings**:
+//! `panic!` inside a doc example must not fire L002, and `// .unwrap()`
+//! inside a string literal must not register a suppression. So the
+//! lexer handles the full set of Rust's "container" syntax —
+//! line/doc comments, *nested* block comments, string literals with
+//! escapes, raw strings with arbitrary `#` fences, byte and byte-raw
+//! strings, char literals vs. lifetimes — and is otherwise simple:
+//! identifiers, numbers and single-character punctuation.
+//!
+//! The stream is **lossless**: concatenating every token's text (in
+//! order, including whitespace tokens) reproduces the input byte for
+//! byte, and every token carries its 1-based line/column. Both
+//! properties are pinned by the property tests in
+//! `tests/lexer_prop.rs`.
+
+/// What a token is, at the granularity the lints care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Spaces, tabs, newlines.
+    Whitespace,
+    /// `// …` to end of line (`///`/`//!` included — `doc` is true).
+    LineComment {
+        /// Whether this is a doc comment (`///` or `//!`).
+        doc: bool,
+    },
+    /// `/* … */`, nesting-aware (`/** …` / `/*! …` set `doc`).
+    BlockComment {
+        /// Whether this is a doc comment (`/**` or `/*!`).
+        doc: bool,
+    },
+    /// An identifier or keyword (`foo`, `self`, `fn`, `r#raw_ident`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (never a char literal).
+    Lifetime,
+    /// A char or byte-char literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// A string or byte-string literal with escapes: `"…"`, `b"…"`.
+    Str,
+    /// A raw (byte) string: `r"…"`, `r#"…"#`, `br##"…"##`.
+    RawStr,
+    /// A numeric literal (integer or float, any base).
+    Num,
+    /// One punctuation character (`.`, `[`, `::` is two tokens, …).
+    Punct(char),
+}
+
+impl TokenKind {
+    /// Whether this token is any comment flavor.
+    pub fn is_comment(self) -> bool {
+        matches!(
+            self,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+
+    /// Whether this token is a string-ish literal (escaped, raw, or
+    /// char) — text inside it is data, not code.
+    pub fn is_stringish(self) -> bool {
+        matches!(self, TokenKind::Str | TokenKind::RawStr | TokenKind::Char)
+    }
+
+    /// Whether this token carries no code meaning (whitespace or
+    /// comment) — the tokens lint scans skip over.
+    pub fn is_trivia(self) -> bool {
+        self == TokenKind::Whitespace || self.is_comment()
+    }
+}
+
+/// One token with its byte span and 1-based start position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// The classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `source` (the string it was lexed from).
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.start..self.end]
+    }
+}
+
+/// Rust's strict and reserved keywords — enough to tell `return [1]`
+/// (array literal) from `table[1]` (indexing) and to keep keywords out
+/// of path matching.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern",
+    "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "super", "trait", "true", "type", "unsafe", "use",
+    "where", "while", "yield",
+];
+
+/// Whether `ident` is a Rust keyword (`self`/`Self` are deliberately
+/// *not* keywords here: they participate in paths like ordinary
+/// segments).
+pub fn is_keyword(ident: &str) -> bool {
+    KEYWORDS.contains(&ident)
+}
+
+/// Lexes `source` into a lossless token stream. Never fails: malformed
+/// input (an unterminated string, a stray quote) degrades to
+/// best-effort tokens that still cover every byte.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    /// `(byte offset, char)` for every char, plus a sentinel position.
+    chars: Vec<(usize, char)>,
+    /// Index into `chars`.
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            src,
+            chars: src.char_indices().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).map(|&(_, c)| c)
+    }
+
+    fn offset(&self) -> usize {
+        self.chars
+            .get(self.pos)
+            .map(|&(o, _)| o)
+            .unwrap_or(self.src.len())
+    }
+
+    /// Consumes one char, maintaining the line/column counters.
+    fn bump(&mut self) -> Option<char> {
+        let &(_, c) = self.chars.get(self.pos)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += u32::try_from(c.len_utf8()).unwrap_or(1);
+        }
+        Some(c)
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.chars.len() {
+            let start = self.offset();
+            let (line, col) = (self.line, self.col);
+            let kind = self.next_kind();
+            let end = self.offset();
+            debug_assert!(end > start, "lexer must always make progress");
+            self.tokens.push(Token {
+                kind,
+                start,
+                end,
+                line,
+                col,
+            });
+        }
+        self.tokens
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let c = self.peek(0).unwrap_or('\0');
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                while matches!(self.peek(0), Some(' ' | '\t' | '\r' | '\n')) {
+                    self.bump();
+                }
+                TokenKind::Whitespace
+            }
+            '/' if self.peek(1) == Some('/') => self.line_comment(),
+            '/' if self.peek(1) == Some('*') => self.block_comment(),
+            '"' => self.string(),
+            '\'' => self.char_or_lifetime(),
+            'r' if matches!(self.peek(1), Some('"' | '#')) && self.raw_fence(1).is_some() => {
+                let fence = self.raw_fence(1).unwrap_or(0);
+                self.raw_string(1, fence)
+            }
+            'b' => self.byte_prefixed(),
+            c if c.is_ascii_digit() => self.number(),
+            c if is_ident_start(c) => self.ident(),
+            _ => {
+                self.bump();
+                TokenKind::Punct(c)
+            }
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        // `///` and `//!` are doc comments; `////…` is a plain comment
+        // (rustdoc's own rule).
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some('!'), _) => true,
+            (Some('/'), Some('/')) => false,
+            (Some('/'), _) => true,
+            _ => false,
+        };
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        TokenKind::LineComment { doc }
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        // `/**` and `/*!` are doc comments; `/**/` and `/***…` are not.
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some('!'), _) => true,
+            (Some('*'), Some('*' | '/')) => false,
+            (Some('*'), _) => true,
+            _ => false,
+        };
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: cover to EOF
+            }
+        }
+        TokenKind::BlockComment { doc }
+    }
+
+    /// An escaped string body, starting at the opening quote.
+    fn string(&mut self) -> TokenKind {
+        self.bump(); // opening '"'
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    self.bump();
+                    self.bump(); // the escaped char (any, incl. '"')
+                }
+                '"' => {
+                    self.bump();
+                    break;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// `'a` / `'static` (lifetime) vs `'x'` / `'\n'` (char literal),
+    /// starting at the quote.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        // A backslash right after the quote is always a char literal.
+        if self.peek(1) == Some('\\') {
+            self.bump(); // '\''
+            self.bump(); // '\\'
+            self.bump(); // escaped char
+            while let Some(c) = self.peek(0) {
+                // `'\u{1F600}'`-style escapes: consume to the closing quote.
+                self.bump();
+                if c == '\'' {
+                    break;
+                }
+            }
+            return TokenKind::Char;
+        }
+        // `'x'` — exactly one char then a closing quote → char literal;
+        // anything else (`'a`, `'static`, `'_`) is a lifetime.
+        if self.peek(1).is_some() && self.peek(2) == Some('\'') {
+            self.bump();
+            self.bump();
+            self.bump();
+            return TokenKind::Char;
+        }
+        self.bump(); // '\''
+        while matches!(self.peek(0), Some(c) if is_ident_continue(c)) {
+            self.bump();
+        }
+        TokenKind::Lifetime
+    }
+
+    /// Detects `r"…"` / `r#"…"#` fences: returns the hash count when
+    /// position `from` starts a raw-string fence, `None` otherwise
+    /// (e.g. `r#raw_ident`).
+    fn raw_fence(&self, from: usize) -> Option<usize> {
+        let mut hashes = 0usize;
+        loop {
+            match self.peek(from + hashes) {
+                Some('#') => hashes += 1,
+                Some('"') => return Some(hashes),
+                _ => return None,
+            }
+        }
+    }
+
+    /// Consumes a raw string whose `r` is at the current position and
+    /// whose fence (`prefix` chars of `r`/`br`, then `fence` hashes,
+    /// then `"`) has been validated by [`raw_fence`](Self::raw_fence).
+    fn raw_string(&mut self, prefix: usize, fence: usize) -> TokenKind {
+        for _ in 0..prefix + fence + 1 {
+            self.bump();
+        }
+        // Scan for `"` followed by `fence` hashes.
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..fence {
+                    if self.peek(i) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..fence {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        TokenKind::RawStr
+    }
+
+    /// Tokens starting with `b`: `b"…"`, `b'…'`, `br#"…"#`, or a plain
+    /// identifier.
+    fn byte_prefixed(&mut self) -> TokenKind {
+        match self.peek(1) {
+            Some('"') => {
+                self.bump(); // 'b'
+                self.string()
+            }
+            Some('\'') => {
+                self.bump(); // 'b'
+                self.char_or_lifetime()
+            }
+            Some('r') if self.raw_fence(2).is_some() => {
+                let fence = self.raw_fence(2).unwrap_or(0);
+                self.raw_string(2, fence)
+            }
+            _ => self.ident(),
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Integer/float body: digits, `_`, base prefixes and hex
+        // letters all fall under "alphanumeric or underscore". A `.`
+        // continues the number only when followed by a digit, so `0..n`
+        // lexes as `0`, `.`, `.`, `n`.
+        while let Some(c) = self.peek(0) {
+            let continues = c.is_ascii_alphanumeric()
+                || c == '_'
+                || (c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()));
+            if !continues {
+                break;
+            }
+            self.bump();
+        }
+        TokenKind::Num
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        // `r#keyword` raw identifiers lex as one Ident token.
+        if self.peek(0) == Some('r')
+            && self.peek(1) == Some('#')
+            && matches!(self.peek(2), Some(c) if is_ident_start(c))
+        {
+            self.bump();
+            self.bump();
+        }
+        while matches!(self.peek(0), Some(c) if is_ident_continue(c)) {
+            self.bump();
+        }
+        TokenKind::Ident
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || !c.is_ascii()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || !c.is_ascii()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn lossless_over_mixed_source() {
+        let src = "fn main() { let s = \"a // not a comment\"; /* c /* nested */ */ s[0]; }";
+        let toks = lex(src);
+        let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn comment_lookalikes_inside_strings_stay_strings() {
+        for src in [
+            r#"let a = "// not a comment";"#,
+            r##"let b = r#"/* also data "quotes" */"#;"##,
+            "let c = b\"// bytes\";",
+            r#"let d = '"';"#,
+        ] {
+            assert!(
+                lex(src).iter().all(|t| !t.kind.is_comment()),
+                "no comment tokens in {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn code_lookalikes_inside_comments_stay_comments() {
+        let src = "// let x = \"unterminated\n let real = 1;";
+        let toks = kinds(src);
+        assert_eq!(
+            toks[0],
+            (
+                TokenKind::LineComment { doc: false },
+                "// let x = \"unterminated".to_string()
+            )
+        );
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && s == "real"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let src = "/* a /* b */ still comment */ code";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::BlockComment { doc: false });
+        assert_eq!(toks[0].1, "/* a /* b */ still comment */");
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && s == "code"));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r####"let s = r##"body with "# inside"##; x"####;
+        let toks = kinds(src);
+        let raw = toks.iter().find(|(k, _)| *k == TokenKind::RawStr);
+        assert_eq!(
+            raw.map(|(_, s)| s.as_str()),
+            Some(r###"r##"body with "# inside"##"###)
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'y' }";
+        let toks = kinds(src);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(toks
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Char && s == "'y'"));
+    }
+
+    #[test]
+    fn char_escapes() {
+        for src in ["'\\n'", "'\\''", "'\\u{1F600}'", "b'x'"] {
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src:?} is one token: {toks:?}");
+            assert_eq!(toks[0].kind, TokenKind::Char);
+        }
+    }
+
+    #[test]
+    fn doc_comment_detection() {
+        assert_eq!(kinds("/// doc")[0].0, TokenKind::LineComment { doc: true });
+        assert_eq!(kinds("//! doc")[0].0, TokenKind::LineComment { doc: true });
+        assert_eq!(kinds("// no")[0].0, TokenKind::LineComment { doc: false });
+        assert_eq!(kinds("//// no")[0].0, TokenKind::LineComment { doc: false });
+        assert_eq!(
+            kinds("/** d */")[0].0,
+            TokenKind::BlockComment { doc: true }
+        );
+        assert_eq!(
+            kinds("/*! d */")[0].0,
+            TokenKind::BlockComment { doc: true }
+        );
+        assert_eq!(kinds("/**/ x")[0].0, TokenKind::BlockComment { doc: false });
+    }
+
+    #[test]
+    fn line_and_column_positions() {
+        let src = "ab\n  cd";
+        let toks: Vec<Token> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .collect();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let toks = kinds("0..len");
+        assert_eq!(toks[0], (TokenKind::Num, "0".into()));
+        assert_eq!(toks[1], (TokenKind::Punct('.'), ".".into()));
+        let toks = kinds("1.5e3 0x1f 0b10_01");
+        assert_eq!(toks[0], (TokenKind::Num, "1.5e3".into()));
+    }
+
+    #[test]
+    fn raw_identifier_is_one_ident() {
+        let toks = kinds("r#type");
+        assert_eq!(toks[0], (TokenKind::Ident, "r#type".into()));
+    }
+}

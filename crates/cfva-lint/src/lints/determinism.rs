@@ -1,0 +1,105 @@
+//! **L003 — determinism of the engine, planner and mapping layers.**
+//!
+//! `cfva-core` and `cfva-memsim` are the reproducibility core: the
+//! same spec, access pattern and seed must produce bit-identical
+//! plans, conflict counts and estimates on every run and every
+//! machine. That property is what makes the equivalence suites and
+//! the canonical result cache sound. Library code in those crates
+//! must therefore not consult ambient nondeterminism:
+//!
+//! * `SystemTime::now()` / `Instant::now()` — wall-clock and monotonic
+//!   time. Simulated time comes from the engine's own cycle counter.
+//! * `std::thread::sleep` — scheduling-dependent timing.
+//! * `rand::…` paths — ambient RNG entry points. Randomized estimators
+//!   take an explicit `u64` seed and drive the crate's own
+//!   deterministic generator.
+//!
+//! Benches, tests and binaries may time and randomize freely; the lint
+//! scopes itself to library roles only.
+
+use super::{CodeTokens, Lint};
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::workspace::{Role, Workspace};
+
+/// The crates whose library paths must stay deterministic.
+const DETERMINISTIC_CRATES: &[&str] = &["cfva-core", "cfva-memsim"];
+
+pub struct Determinism;
+
+impl Lint for Determinism {
+    fn code(&self) -> &'static str {
+        "L003"
+    }
+
+    fn description(&self) -> &'static str {
+        "no wall-clock, sleep, or ambient rand in engine/planner/mapping code"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        for file in &ws.files {
+            if file.role != Role::Lib || !DETERMINISTIC_CRATES.contains(&file.crate_name.as_str()) {
+                continue;
+            }
+            let code = CodeTokens::new(file);
+            for k in 0..code.len() {
+                if code.tok(k).kind != TokenKind::Ident || code.in_test(k) {
+                    continue;
+                }
+                check_token(&code, k, &mut diags);
+            }
+        }
+        diags
+    }
+}
+
+fn check_token(code: &CodeTokens<'_>, k: usize, diags: &mut Vec<Diagnostic>) {
+    let text = code.text(k);
+    // `<Head>::tail` — flag at the head for clear positions.
+    let tail_after = |head_k: usize| -> Option<&str> {
+        let sep = head_k + 1;
+        if sep + 2 < code.len()
+            && code.is_path_sep(sep)
+            && code.tok(sep + 2).kind == TokenKind::Ident
+        {
+            Some(code.text(sep + 2))
+        } else {
+            None
+        }
+    };
+    match text {
+        "SystemTime" | "Instant" if tail_after(k) == Some("now") => {
+            diags.push(code.diag_at(
+                k,
+                "L003",
+                format!(
+                    "`{text}::now()` in deterministic code — derive time from the \
+                     simulated cycle counter"
+                ),
+            ));
+        }
+        "thread" if tail_after(k) == Some("sleep") => {
+            diags.push(code.diag_at(
+                k,
+                "L003",
+                "`thread::sleep` in deterministic code — timing must not depend on \
+                 the scheduler",
+            ));
+        }
+        "rand" => {
+            // Any `rand::…` path — imports included: an ambient-RNG
+            // dependency is the violation, not just the call site.
+            let sep = k + 1;
+            if code.is_path_sep(sep) {
+                diags.push(code.diag_at(
+                    k,
+                    "L003",
+                    "ambient `rand::` in deterministic code — take an explicit `u64` \
+                     seed and use the crate's own generator",
+                ));
+            }
+        }
+        _ => {}
+    }
+}

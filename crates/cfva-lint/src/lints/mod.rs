@@ -1,0 +1,196 @@
+//! The lint registry and the token-stream helpers lints share.
+//!
+//! Each lint is a [`Lint`] implementation registered in [`all`]; the
+//! driver runs every lint over the loaded [`Workspace`], filters the
+//! findings through the per-file suppressions, and reports the rest.
+//! Adding a lint is: one module, one `Lint` impl, one line in [`all`],
+//! one fixture file plus its `expected.txt` lines.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+use crate::workspace::{SourceFile, Workspace};
+
+mod coverage;
+mod determinism;
+mod hygiene;
+mod lock_order;
+mod no_panic;
+
+/// One registered lint: a code, a one-line description, and a pass
+/// over the workspace.
+pub trait Lint {
+    /// The diagnostic code (`L001` …).
+    fn code(&self) -> &'static str;
+    /// One line for `cfva-lint lints` and the README table.
+    fn description(&self) -> &'static str;
+    /// Runs the lint, returning raw (unsuppressed) findings.
+    fn run(&self, ws: &Workspace) -> Vec<Diagnostic>;
+}
+
+/// Every registered lint, in code order.
+pub fn all() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(lock_order::LockOrder),
+        Box::new(no_panic::NoPanic),
+        Box::new(determinism::Determinism),
+        Box::new(coverage::RegistrationIsCoverage),
+        Box::new(hygiene::Hygiene),
+    ]
+}
+
+/// The registered codes, plus `L000` (suppression errors), for
+/// validating `allow(...)` comments.
+pub fn known_codes() -> Vec<&'static str> {
+    let mut codes = vec!["L000"];
+    codes.extend(all().iter().map(|l| l.code()));
+    codes
+}
+
+/// Runs every lint over `ws` and applies the inline suppressions.
+/// Suppression diagnostics (`L000`) are never suppressible.
+pub fn run_all(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags: Vec<Diagnostic> = ws.suppression_diags.clone();
+    for lint in all() {
+        for d in lint.run(ws) {
+            let suppressed = ws
+                .file(&d.file)
+                .is_some_and(|f| f.suppressions.is_allowed(d.line, d.code));
+            if !suppressed {
+                diags.push(d);
+            }
+        }
+    }
+    crate::diag::sort(&mut diags);
+    diags
+}
+
+// ---------------------------------------------------------------------
+// Shared token-stream helpers
+// ---------------------------------------------------------------------
+
+/// A cursor over one file's significant tokens: `idx[k]` indexes into
+/// `file.tokens`.
+pub(crate) struct CodeTokens<'f> {
+    pub file: &'f SourceFile,
+    pub idx: Vec<usize>,
+}
+
+impl<'f> CodeTokens<'f> {
+    pub fn new(file: &'f SourceFile) -> Self {
+        CodeTokens {
+            idx: file.code_token_indices(),
+            file,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// The `k`-th significant token.
+    pub fn tok(&self, k: usize) -> &Token {
+        &self.file.tokens[self.idx[k]]
+    }
+
+    /// The `k`-th significant token's text.
+    pub fn text(&self, k: usize) -> &str {
+        self.tok(k).text(&self.file.text)
+    }
+
+    /// Whether the `k`-th token is the identifier `name`.
+    pub fn is_ident(&self, k: usize, name: &str) -> bool {
+        self.tok(k).kind == TokenKind::Ident && self.text(k) == name
+    }
+
+    /// Whether token `k` starts a `::` pair (two adjacent `:` puncts).
+    pub fn is_path_sep(&self, k: usize) -> bool {
+        k + 1 < self.len()
+            && self.tok(k).kind == TokenKind::Punct(':')
+            && self.tok(k + 1).kind == TokenKind::Punct(':')
+            && self.tok(k).end == self.tok(k + 1).start
+    }
+
+    /// Finds the matching closer for the opener at `k` (`(`/`[`/`{`),
+    /// returning its index.
+    pub fn matching(&self, k: usize) -> Option<usize> {
+        let (open, close) = match self.tok(k).kind {
+            TokenKind::Punct('(') => ('(', ')'),
+            TokenKind::Punct('[') => ('[', ']'),
+            TokenKind::Punct('{') => ('{', '}'),
+            _ => return None,
+        };
+        let mut depth = 0i32;
+        for j in k..self.len() {
+            match self.tok(j).kind {
+                TokenKind::Punct(c) if c == open => depth += 1,
+                TokenKind::Punct(c) if c == close => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// A diagnostic anchored at token `k`.
+    pub fn diag_at(&self, k: usize, code: &'static str, message: impl Into<String>) -> Diagnostic {
+        let t = self.tok(k);
+        Diagnostic::new(self.file.rel.clone(), t.line, t.col, code, message)
+    }
+
+    /// Whether token `k` lies inside a test region.
+    pub fn in_test(&self, k: usize) -> bool {
+        self.file.in_test_region(self.tok(k).start)
+    }
+
+    /// For a method call `<recv>.name(…)` whose method-name identifier
+    /// is at `k`, resolves the receiver's **final segment**: the field
+    /// or variable name (`self.sched.lock()` → `sched`), the provider
+    /// function (`self.shard(key).lock()` → `shard`), or the indexed
+    /// collection (`self.shards[i].lock()` → `shards`).
+    pub fn receiver_tail(&self, k: usize) -> Option<&str> {
+        if k < 2 || self.tok(k - 1).kind != TokenKind::Punct('.') {
+            return None;
+        }
+        let mut p = k - 2;
+        loop {
+            match self.tok(p).kind {
+                TokenKind::Ident => return Some(self.text(p)),
+                TokenKind::Punct(')') | TokenKind::Punct(']') => {
+                    // Skip the balanced group backward, then resolve
+                    // the identifier in front of it.
+                    let (open, close) = if self.tok(p).kind == TokenKind::Punct(')') {
+                        ('(', ')')
+                    } else {
+                        ('[', ']')
+                    };
+                    let mut depth = 0i32;
+                    loop {
+                        match self.tok(p).kind {
+                            TokenKind::Punct(c) if c == close => depth += 1,
+                            TokenKind::Punct(c) if c == open => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        if p == 0 {
+                            return None;
+                        }
+                        p -= 1;
+                    }
+                    if p == 0 {
+                        return None;
+                    }
+                    p -= 1;
+                }
+                _ => return None,
+            }
+        }
+    }
+}

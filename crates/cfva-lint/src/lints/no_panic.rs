@@ -1,0 +1,236 @@
+//! **L002 — no-panic library discipline.**
+//!
+//! Library code paths of `cfva-core`, `cfva-memsim` and `cfva-serve`
+//! (not tests, benches, examples or binaries) must not contain:
+//!
+//! * `.unwrap()` or `.expect(…)`,
+//! * `panic!`, `todo!`, `unimplemented!`,
+//! * **computed** slice/array indexing without `.get` — an index
+//!   expression containing arithmetic, calls, or any operator. A bare
+//!   path (`buf[element]`, `arrival[req.element]`), a literal
+//!   (`rows[0]`), a cast of a bare path (`seen[e as usize]`) and
+//!   ranges over those (`&buf[..n]`, `q[a..b]`) are exempt: those
+//!   indices restate a loop bound or a checked invariant, while the
+//!   panics that reach production live in *derived* indices
+//!   (`q[i + 1]`, `cols[m.trailing_zeros() as usize]`).
+//!
+//! Escape hatch: `// cfva-lint: allow(L002, reason = "…")` with a
+//! mandatory, non-empty reason (e.g. lock-poisoning `expect`s in the
+//! pool, where a poisoned scheduler lock is unrecoverable by design).
+
+use super::{CodeTokens, Lint};
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::workspace::{Role, Workspace};
+
+/// Crates whose `src/` trees carry the no-panic discipline.
+const LIBRARY_CRATES: &[&str] = &["cfva-core", "cfva-memsim", "cfva-serve"];
+
+pub struct NoPanic;
+
+impl Lint for NoPanic {
+    fn code(&self) -> &'static str {
+        "L002"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic!/todo! or computed slice index in library code paths"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        for file in &ws.files {
+            if file.role != Role::Lib || !LIBRARY_CRATES.contains(&file.crate_name.as_str()) {
+                continue;
+            }
+            let code = CodeTokens::new(file);
+            for k in 0..code.len() {
+                if code.in_test(k) {
+                    continue;
+                }
+                check_panicking_macro(&code, k, &mut diags);
+                check_unwrap_expect(&code, k, &mut diags);
+                check_index(&code, k, &mut diags);
+            }
+        }
+        diags
+    }
+}
+
+/// `panic!`, `todo!`, `unimplemented!` — an `!` directly after one of
+/// the idents (assert-family macros are contract checks and stay
+/// allowed).
+fn check_panicking_macro(code: &CodeTokens<'_>, k: usize, diags: &mut Vec<Diagnostic>) {
+    if code.tok(k).kind != TokenKind::Ident {
+        return;
+    }
+    let name = code.text(k);
+    if !matches!(name, "panic" | "todo" | "unimplemented") {
+        return;
+    }
+    if k + 1 < code.len() && code.tok(k + 1).kind == TokenKind::Punct('!') {
+        diags.push(code.diag_at(
+            k,
+            "L002",
+            format!("`{name}!` in library path — return a typed error instead"),
+        ));
+    }
+}
+
+/// `.unwrap()` (exact, empty argument list — `unwrap_or*` is fine) and
+/// `.expect(…)`.
+fn check_unwrap_expect(code: &CodeTokens<'_>, k: usize, diags: &mut Vec<Diagnostic>) {
+    if code.tok(k).kind != TokenKind::Ident || k == 0 {
+        return;
+    }
+    if code.tok(k - 1).kind != TokenKind::Punct('.') {
+        return;
+    }
+    let name = code.text(k);
+    let call_open = k + 1;
+    if call_open >= code.len() || code.tok(call_open).kind != TokenKind::Punct('(') {
+        return;
+    }
+    match name {
+        "unwrap" if code.tok(call_open + 1).kind == TokenKind::Punct(')') => {
+            diags.push(code.diag_at(
+                k,
+                "L002",
+                "`.unwrap()` in library path — return a typed error instead",
+            ));
+        }
+        "expect" => {
+            diags.push(code.diag_at(
+                k,
+                "L002",
+                "`.expect(…)` in library path — return a typed error, or allow with a reason",
+            ));
+        }
+        _ => {}
+    }
+}
+
+/// Indexing with a computed index expression (see the module docs for
+/// the exemption rules).
+fn check_index(code: &CodeTokens<'_>, k: usize, diags: &mut Vec<Diagnostic>) {
+    if code.tok(k).kind != TokenKind::Punct('[') || k == 0 {
+        return;
+    }
+    // Only expression-position brackets index: the previous token must
+    // be a (non-keyword) identifier, a closing bracket, `?`, or a
+    // literal. `#[attr]`, `vec![…]`, array types/literals and slice
+    // patterns all follow other tokens.
+    let prev = code.tok(k - 1);
+    let is_index = match prev.kind {
+        TokenKind::Ident => !crate::lexer::is_keyword(code.text(k - 1)),
+        TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('?') => true,
+        TokenKind::Str | TokenKind::RawStr => true,
+        _ => false,
+    };
+    if !is_index {
+        return;
+    }
+    let Some(close) = code.matching(k) else {
+        return;
+    };
+    if close == k + 1 {
+        return; // `[]` — not an index expression
+    }
+    if !index_expr_is_simple(code, k + 1, close) {
+        diags.push(code.diag_at(
+            k,
+            "L002",
+            "computed slice index without `.get` in library path — \
+             bound it or allow with the reason the index is in range",
+        ));
+    }
+}
+
+/// Whether the index expression in `(start..end)` (exclusive token
+/// range between the brackets) is exempt: `simple`, or
+/// `simple? .. simple?` where `simple` is a literal, a dotted/`::`
+/// path, or a path cast (`path as usize`).
+fn index_expr_is_simple(code: &CodeTokens<'_>, start: usize, end: usize) -> bool {
+    // Split on the `..` range operator (two adjacent `.` puncts) at
+    // top level; `..=` too.
+    let mut parts: Vec<(usize, usize)> = Vec::new();
+    let mut part_start = start;
+    let mut j = start;
+    while j < end {
+        let adjacent_dots = j + 1 < end
+            && code.tok(j).kind == TokenKind::Punct('.')
+            && code.tok(j + 1).kind == TokenKind::Punct('.')
+            && code.tok(j).end == code.tok(j + 1).start;
+        if adjacent_dots {
+            parts.push((part_start, j));
+            j += 2;
+            if j < end && code.tok(j).kind == TokenKind::Punct('=') {
+                j += 1; // `..=`
+            }
+            part_start = j;
+            continue;
+        }
+        j += 1;
+    }
+    parts.push((part_start, end));
+    if parts.len() > 2 {
+        return false;
+    }
+    parts.into_iter().all(|(s, e)| simple_operand(code, s, e))
+}
+
+/// `ε` | literal | path | `path as ident+` — where path is
+/// `ident (("." | "::") ident)*` (keywords other than `self`/`as`
+/// disqualify).
+fn simple_operand(code: &CodeTokens<'_>, start: usize, end: usize) -> bool {
+    if start == end {
+        return true; // open range endpoint
+    }
+    // Single numeric literal.
+    if end == start + 1 && code.tok(start).kind == TokenKind::Num {
+        return true;
+    }
+    // Path, optionally followed by `as <type path>`.
+    let mut j = start;
+    let mut expect_ident = true;
+    let mut seen_as = false;
+    while j < end {
+        let t = code.tok(j);
+        match t.kind {
+            TokenKind::Ident => {
+                let text = code.text(j);
+                if text == "as" {
+                    if expect_ident || seen_as {
+                        return false;
+                    }
+                    seen_as = true;
+                    expect_ident = true;
+                } else if crate::lexer::is_keyword(text) && text != "self" {
+                    return false;
+                } else {
+                    if !expect_ident && !seen_as {
+                        return false;
+                    }
+                    expect_ident = false;
+                }
+                j += 1;
+            }
+            TokenKind::Punct('.') if !seen_as => {
+                if expect_ident {
+                    return false;
+                }
+                expect_ident = true;
+                j += 1;
+            }
+            TokenKind::Punct(':') if !seen_as && code.is_path_sep(j) => {
+                if expect_ident {
+                    return false;
+                }
+                expect_ident = true;
+                j += 2;
+            }
+            _ => return false,
+        }
+    }
+    !expect_ident
+}

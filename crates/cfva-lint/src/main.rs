@@ -1,0 +1,127 @@
+//! The `cfva-lint` command-line driver.
+//!
+//! ```text
+//! cfva-lint check                 # lint the workspace rooted at cwd; exit 1 on findings
+//! cfva-lint check --root PATH     # lint an explicit root
+//! cfva-lint check --fixtures      # self-test: lint tests/fixtures and require the
+//!                                 # findings to match expected.txt exactly
+//! cfva-lint lints                 # list the registered lints
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Where the self-test corpus lives, relative to the workspace root.
+const FIXTURES_DIR: &str = "crates/cfva-lint/tests/fixtures";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("check") => {
+            let mut fixtures = false;
+            let mut root = PathBuf::from(".");
+            loop {
+                match it.next() {
+                    Some("--fixtures") => fixtures = true,
+                    Some("--root") => match it.next() {
+                        Some(p) => root = PathBuf::from(p),
+                        None => return usage("--root needs a path"),
+                    },
+                    Some(other) => return usage(&format!("unknown argument `{other}`")),
+                    None => break,
+                }
+            }
+            if fixtures {
+                check_fixtures(&root)
+            } else {
+                check(&root)
+            }
+        }
+        Some("lints") => {
+            for lint in cfva_lint::lints::all() {
+                println!("{}  {}", lint.code(), lint.description());
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage("expected a subcommand: `check` or `lints`"),
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!("cfva-lint: {why}");
+    eprintln!("usage: cfva-lint check [--fixtures] [--root PATH] | cfva-lint lints");
+    ExitCode::from(2)
+}
+
+fn check(root: &Path) -> ExitCode {
+    match cfva_lint::check_workspace(root) {
+        Ok(diags) if diags.is_empty() => {
+            eprintln!("cfva-lint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            eprintln!("cfva-lint: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("cfva-lint: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Self-test: the fixture corpus must produce *exactly* the findings
+/// pinned in `expected.txt` — no more (false positives), no fewer
+/// (regressions). Blank lines and `#` comments in `expected.txt` are
+/// ignored.
+fn check_fixtures(root: &Path) -> ExitCode {
+    let fixtures = root.join(FIXTURES_DIR);
+    let expected_path = fixtures.join("expected.txt");
+    let expected = match std::fs::read_to_string(&expected_path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cfva-lint: reading {}: {err}", expected_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let expected: Vec<&str> = expected
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    let actual = match cfva_lint::check_workspace(&fixtures) {
+        Ok(diags) => diags.iter().map(ToString::to_string).collect::<Vec<_>>(),
+        Err(err) => {
+            eprintln!("cfva-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut ok = true;
+    for line in &expected {
+        if !actual.iter().any(|a| a == line) {
+            eprintln!("missing expected finding: {line}");
+            ok = false;
+        }
+    }
+    for line in &actual {
+        if !expected.iter().any(|e| e == line) {
+            eprintln!("unexpected finding: {line}");
+            ok = false;
+        }
+    }
+    if ok {
+        eprintln!(
+            "cfva-lint: fixtures produce the expected {} finding(s)",
+            expected.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,240 @@
+//! Inline suppression parsing: the `allow(CODE, reason = "…")` grammar.
+//!
+//! A violation is silenced by a comment of the form
+//!
+//! ```text
+//! // cfva-lint: allow(L002, reason = "poisoning is unrecoverable by design")
+//! ```
+//!
+//! either **trailing** on the offending line or **standalone on the
+//! line(s) immediately above** it (standalone allows apply to the next
+//! line that contains code, so several can stack above one statement).
+//! The reason is mandatory and must be non-empty: a suppression is a
+//! reviewed decision, and the grammar forces the review to be written
+//! down. A malformed allow — missing reason, unknown code, bad syntax —
+//! is itself a diagnostic (code `L000`), so typos cannot silently
+//! disable a lint.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{Token, TokenKind};
+
+/// The suppressions of one file: `(line, code)` pairs meaning "lint
+/// `code` is allowed on `line`".
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    allowed: Vec<(u32, String)>,
+}
+
+impl Suppressions {
+    /// Whether `code` is suppressed at `line`.
+    pub fn is_allowed(&self, line: u32, code: &str) -> bool {
+        self.allowed.iter().any(|(l, c)| *l == line && c == code)
+    }
+}
+
+/// The marker every suppression comment starts with (after `//`).
+const MARKER: &str = "cfva-lint:";
+
+/// Parses the suppression comments of one lexed file. `known_codes`
+/// are the registered lint codes; allowing an unknown code is an
+/// `L000` diagnostic. Returns the suppressions plus any `L000`
+/// diagnostics for malformed allows.
+pub fn parse(
+    file: &str,
+    source: &str,
+    tokens: &[Token],
+    known_codes: &[&'static str],
+) -> (Suppressions, Vec<Diagnostic>) {
+    let mut sup = Suppressions::default();
+    let mut diags = Vec::new();
+
+    // Lines that contain at least one code (non-trivia) token, for
+    // resolving standalone allows to "the next line with code".
+    let code_lines: Vec<u32> = {
+        let mut lines: Vec<u32> = tokens
+            .iter()
+            .filter(|t| !t.kind.is_trivia())
+            .map(|t| t.line)
+            .collect();
+        lines.dedup();
+        lines
+    };
+
+    for (i, tok) in tokens.iter().enumerate() {
+        if !matches!(tok.kind, TokenKind::LineComment { .. }) {
+            continue;
+        }
+        let body = tok
+            .text(source)
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim();
+        let Some(rest) = body.strip_prefix(MARKER) else {
+            continue;
+        };
+        let trailing = tokens[..i]
+            .iter()
+            .any(|t| t.line == tok.line && !t.kind.is_trivia());
+        match parse_allow(rest.trim()) {
+            Ok((code, _reason)) => {
+                if !known_codes.contains(&code.as_str()) {
+                    diags.push(Diagnostic::new(
+                        file,
+                        tok.line,
+                        tok.col,
+                        "L000",
+                        format!("allow names unknown lint code `{code}`"),
+                    ));
+                    continue;
+                }
+                let target = if trailing {
+                    Some(tok.line)
+                } else {
+                    // Standalone: the next line below this comment that
+                    // contains code.
+                    code_lines.iter().copied().find(|&l| l > tok.line)
+                };
+                match target {
+                    Some(line) => sup.allowed.push((line, code)),
+                    None => diags.push(Diagnostic::new(
+                        file,
+                        tok.line,
+                        tok.col,
+                        "L000",
+                        "allow has no following code line to apply to".to_string(),
+                    )),
+                }
+            }
+            Err(why) => diags.push(Diagnostic::new(
+                file,
+                tok.line,
+                tok.col,
+                "L000",
+                format!("malformed cfva-lint comment: {why}"),
+            )),
+        }
+    }
+    (sup, diags)
+}
+
+/// Parses `allow(CODE, reason = "…")`, returning `(code, reason)`.
+fn parse_allow(s: &str) -> Result<(String, String), String> {
+    let Some(inner) = s.strip_prefix("allow") else {
+        return Err(format!(
+            "expected `allow(CODE, reason = \"…\")`, found `{s}`"
+        ));
+    };
+    let inner = inner.trim_start();
+    let Some(inner) = inner.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".to_string());
+    };
+    let Some(inner) = inner.strip_suffix(')') else {
+        return Err("missing closing `)`".to_string());
+    };
+    let Some((code, rest)) = inner.split_once(',') else {
+        return Err("missing `, reason = \"…\"` (a reason is mandatory)".to_string());
+    };
+    let code = code.trim();
+    if code.is_empty() || !code.chars().all(|c| c.is_ascii_alphanumeric()) {
+        return Err(format!("`{code}` is not a lint code"));
+    }
+    let rest = rest.trim();
+    let Some(value) = rest.strip_prefix("reason") else {
+        return Err("expected `reason = \"…\"` after the code".to_string());
+    };
+    let value = value.trim_start();
+    let Some(value) = value.strip_prefix('=') else {
+        return Err("expected `=` after `reason`".to_string());
+    };
+    let value = value.trim();
+    let reason = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| "reason must be a double-quoted string".to_string())?;
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty".to_string());
+    }
+    Ok((code.to_string(), reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(src: &str) -> (Suppressions, Vec<Diagnostic>) {
+        let toks = lex(src);
+        parse(
+            "f.rs",
+            src,
+            &toks,
+            &["L001", "L002", "L003", "L004", "L005"],
+        )
+    }
+
+    #[test]
+    fn trailing_allow_applies_to_its_own_line() {
+        let src = "let x = v.unwrap(); // cfva-lint: allow(L002, reason = \"test fixture\")\n";
+        let (sup, diags) = parsed(src);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(sup.is_allowed(1, "L002"));
+        assert!(!sup.is_allowed(2, "L002"));
+        assert!(!sup.is_allowed(1, "L003"));
+    }
+
+    #[test]
+    fn standalone_allow_applies_to_next_code_line() {
+        let src = "\n// cfva-lint: allow(L003, reason = \"bench-only timing\")\n// another comment\nlet t = now();\n";
+        let (sup, diags) = parsed(src);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(sup.is_allowed(4, "L003"));
+        assert!(!sup.is_allowed(2, "L003"));
+    }
+
+    #[test]
+    fn stacked_standalone_allows_share_a_target() {
+        let src = "// cfva-lint: allow(L002, reason = \"a\")\n// cfva-lint: allow(L003, reason = \"b\")\ncall();\n";
+        let (sup, diags) = parsed(src);
+        assert!(diags.is_empty());
+        assert!(sup.is_allowed(3, "L002"));
+        assert!(sup.is_allowed(3, "L003"));
+    }
+
+    #[test]
+    fn missing_reason_is_l000() {
+        let (sup, diags) = parsed("x(); // cfva-lint: allow(L002)\n");
+        assert!(!sup.is_allowed(1, "L002"));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "L000");
+        assert!(diags[0].message.contains("reason"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn empty_reason_is_l000() {
+        let (_, diags) = parsed("x(); // cfva-lint: allow(L002, reason = \"  \")\n");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("empty"));
+    }
+
+    #[test]
+    fn unknown_code_is_l000() {
+        let (_, diags) = parsed("x(); // cfva-lint: allow(L099, reason = \"nope\")\n");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unknown lint code"));
+    }
+
+    #[test]
+    fn allow_inside_string_literal_is_ignored() {
+        let src = "let s = \"// cfva-lint: allow(L002)\";\n";
+        let (sup, diags) = parsed(src);
+        assert!(diags.is_empty());
+        assert!(!sup.is_allowed(1, "L002"));
+    }
+
+    #[test]
+    fn dangling_allow_at_eof_is_l000() {
+        let (_, diags) = parsed("// cfva-lint: allow(L002, reason = \"dangling\")\n");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("no following code line"));
+    }
+}

@@ -1,0 +1,366 @@
+//! Workspace discovery: walk the source tree, classify every Rust
+//! file, and precompute the facts all lints share (token stream,
+//! test regions, suppressions).
+
+use std::path::{Path, PathBuf};
+
+use crate::diag::Diagnostic;
+use crate::lexer::{self, Token, TokenKind};
+use crate::suppress::{self, Suppressions};
+
+/// What kind of target a source file belongs to — lints scope
+/// themselves by role (library discipline does not apply to tests or
+/// benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Library code under `src/` — the lints' main subject.
+    Lib,
+    /// Integration tests (`tests/` directories).
+    Test,
+    /// Criterion benches (`benches/` directories).
+    Bench,
+    /// Examples (`examples/` directories).
+    Example,
+    /// Binaries (`src/bin/`).
+    Bin,
+}
+
+/// One lexed workspace source file with its precomputed lint facts.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// The owning crate (`cfva-core`, …; the umbrella crate is `cfva`).
+    pub crate_name: String,
+    /// Target classification.
+    pub role: Role,
+    /// File contents.
+    pub text: String,
+    /// Lossless token stream of `text`.
+    pub tokens: Vec<Token>,
+    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items.
+    test_regions: Vec<(usize, usize)>,
+    /// Parsed `cfva-lint: allow(…)` suppressions.
+    pub suppressions: Suppressions,
+}
+
+impl SourceFile {
+    /// Whether the byte offset lies inside a `#[cfg(test)]` module or
+    /// `#[test]` function — library lints skip those regions.
+    pub fn in_test_region(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(start, end)| offset >= start && offset < end)
+    }
+
+    /// The significant (non-trivia) token indices, in order — the
+    /// stream most lints scan.
+    pub fn code_token_indices(&self) -> Vec<usize> {
+        self.tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.kind.is_trivia())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// The lint subject: every non-vendored Rust source in the workspace.
+#[derive(Debug)]
+pub struct Workspace {
+    /// The workspace root the relative paths hang off.
+    pub root: PathBuf,
+    /// All discovered files, sorted by relative path.
+    pub files: Vec<SourceFile>,
+    /// `L000` diagnostics from malformed suppression comments.
+    pub suppression_diags: Vec<Diagnostic>,
+}
+
+impl Workspace {
+    /// The file at `rel`, if the walk found it.
+    pub fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+}
+
+/// Directory names the walk never descends into.
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", ".github", "fixtures"];
+
+/// Walks `root` and loads every `.rs` file outside `vendor/`,
+/// `target/` and fixture corpora. `known_codes` registers the valid
+/// `allow(...)` codes for suppression parsing.
+pub fn load(root: &Path, known_codes: &[&'static str]) -> std::io::Result<Workspace> {
+    let mut paths = Vec::new();
+    walk(root, root, &mut paths)?;
+    paths.sort();
+
+    let mut files = Vec::new();
+    let mut suppression_diags = Vec::new();
+    for rel in paths {
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        let tokens = lexer::lex(&text);
+        let (suppressions, mut diags) = suppress::parse(&rel, &text, &tokens, known_codes);
+        suppression_diags.append(&mut diags);
+        let test_regions = test_regions(&text, &tokens);
+        files.push(SourceFile {
+            crate_name: crate_of(&rel),
+            role: role_of(&rel),
+            rel,
+            text,
+            tokens,
+            test_regions,
+            suppressions,
+        });
+    }
+    Ok(Workspace {
+        root: root.to_path_buf(),
+        files,
+        suppression_diags,
+    })
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+fn crate_of(rel: &str) -> String {
+    let mut parts = rel.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return name.to_string();
+        }
+    }
+    "cfva".to_string()
+}
+
+fn role_of(rel: &str) -> Role {
+    let segments: Vec<&str> = rel.split('/').collect();
+    if segments.contains(&"tests") {
+        Role::Test
+    } else if segments.contains(&"benches") {
+        Role::Bench
+    } else if segments.contains(&"examples") {
+        Role::Example
+    } else if segments.contains(&"bin") {
+        Role::Bin
+    } else {
+        Role::Lib
+    }
+}
+
+/// Computes the byte ranges of test-only items: an item annotated
+/// `#[test]`, or any `cfg` attribute naming `test` (e.g.
+/// `#[cfg(test)]`, `#[cfg(any(test, fuzzing))]`) — except negations
+/// (`#[cfg(not(test))]` guards *library* code and is not a test
+/// region). The region is the annotated item's body (`{ … }`).
+fn test_regions(source: &str, tokens: &[Token]) -> Vec<(usize, usize)> {
+    let code: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.kind.is_trivia())
+        .map(|(i, _)| i)
+        .collect();
+    let mut regions = Vec::new();
+    let mut k = 0usize;
+    while k < code.len() {
+        let i = code[k];
+        if tokens[i].kind != TokenKind::Punct('#') {
+            k += 1;
+            continue;
+        }
+        // Parse `#[ … ]`, brackets nesting.
+        let Some(open) = code.get(k + 1).copied() else {
+            break;
+        };
+        if tokens[open].kind != TokenKind::Punct('[') {
+            k += 1;
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut j = k + 1;
+        let mut attr_idents: Vec<&str> = Vec::new();
+        let close_k = loop {
+            let Some(&idx) = code.get(j) else {
+                break None;
+            };
+            match tokens[idx].kind {
+                TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break Some(j);
+                    }
+                }
+                TokenKind::Ident => attr_idents.push(tokens[idx].text(source)),
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(close_k) = close_k else {
+            break;
+        };
+        let is_test_attr = attr_idents.contains(&"test")
+            && !attr_idents.contains(&"not")
+            // `#[cfg_attr(test, …)]` applies `…` under test — the item
+            // itself still compiles (and must lint) outside tests.
+            && attr_idents.first() != Some(&"cfg_attr");
+        if !is_test_attr {
+            k = close_k + 1;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut item_k = close_k + 1;
+        while let Some(&idx) = code.get(item_k) {
+            if tokens[idx].kind == TokenKind::Punct('#')
+                && code
+                    .get(item_k + 1)
+                    .is_some_and(|&n| tokens[n].kind == TokenKind::Punct('['))
+            {
+                let mut d = 0i32;
+                let mut jj = item_k + 1;
+                while let Some(&ii) = code.get(jj) {
+                    match tokens[ii].kind {
+                        TokenKind::Punct('[') => d += 1,
+                        TokenKind::Punct(']') => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    jj += 1;
+                }
+                item_k = jj + 1;
+            } else {
+                break;
+            }
+        }
+        // The item's body: from the first `{` at depth 0 to its match.
+        // A `;`-terminated item (e.g. `use`) before any `{` has no body.
+        let mut brace_depth = 0i32;
+        let mut body_start = None;
+        let mut m = item_k;
+        let mut end_k = None;
+        while let Some(&idx) = code.get(m) {
+            match tokens[idx].kind {
+                TokenKind::Punct(';') if brace_depth == 0 => break,
+                TokenKind::Punct('{') => {
+                    if brace_depth == 0 {
+                        body_start = Some(idx);
+                    }
+                    brace_depth += 1;
+                }
+                TokenKind::Punct('}') => {
+                    brace_depth -= 1;
+                    if brace_depth == 0 {
+                        end_k = Some(m);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            m += 1;
+        }
+        if let (Some(start_idx), Some(end_k)) = (body_start, end_k) {
+            regions.push((tokens[start_idx].start, tokens[code[end_k]].end));
+            k = end_k + 1;
+        } else {
+            k = close_k + 1;
+        }
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn regions_of(src: &str) -> Vec<(usize, usize)> {
+        test_regions(src, &lex(src))
+    }
+
+    #[test]
+    fn cfg_test_module_body_is_a_region() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}";
+        let regions = regions_of(src);
+        assert_eq!(regions.len(), 1);
+        let unwrap_at = src.find("unwrap").unwrap();
+        assert!(regions[0].0 < unwrap_at && unwrap_at < regions[0].1);
+        let lib2_at = src.find("lib2").unwrap();
+        assert!(lib2_at >= regions[0].1);
+    }
+
+    #[test]
+    fn test_fn_with_stacked_attributes() {
+        let src = "#[test]\n#[should_panic]\nfn boom() { panic!(\"x\") }\nfn lib() {}";
+        let regions = regions_of(src);
+        assert_eq!(regions.len(), 1);
+        let panic_at = src.find("panic!").unwrap();
+        assert!(regions[0].0 < panic_at && panic_at < regions[0].1);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_region() {
+        let src = "#[cfg(not(test))]\nfn lib() { x.unwrap(); }";
+        assert!(regions_of(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_any_including_test_is_a_region() {
+        let src = "#[cfg(any(test, fuzzing))]\nfn helper() { x.unwrap(); }";
+        assert_eq!(regions_of(src).len(), 1);
+    }
+
+    #[test]
+    fn cfg_attr_test_is_not_a_region() {
+        // The item still compiles (and must lint) outside test builds.
+        let src = "#[cfg_attr(test, derive(Debug))]\nstruct S { x: u32 }";
+        assert!(regions_of(src).is_empty());
+    }
+
+    #[test]
+    fn attribute_in_comment_is_ignored() {
+        let src = "// #[cfg(test)]\nfn lib() { }";
+        assert!(regions_of(src).is_empty());
+    }
+
+    #[test]
+    fn roles_and_crates() {
+        assert_eq!(role_of("crates/cfva-core/src/lib.rs"), Role::Lib);
+        assert_eq!(role_of("crates/cfva-serve/tests/pool.rs"), Role::Test);
+        assert_eq!(role_of("crates/cfva-bench/benches/serve.rs"), Role::Bench);
+        assert_eq!(role_of("examples/quickstart.rs"), Role::Example);
+        assert_eq!(
+            role_of("crates/cfva-bench/src/bin/experiments.rs"),
+            Role::Bin
+        );
+        assert_eq!(role_of("tests/engine_agreement.rs"), Role::Test);
+        assert_eq!(crate_of("crates/cfva-core/src/lib.rs"), "cfva-core");
+        assert_eq!(crate_of("src/lib.rs"), "cfva");
+        assert_eq!(crate_of("tests/paper_examples.rs"), "cfva");
+    }
+}

@@ -1,0 +1,12 @@
+//! L000 fixture: malformed suppressions are themselves findings — and
+//! suppress nothing, so the underlying L002s still fire.
+
+pub fn missing_reason(x: Option<u32>) -> u32 {
+    // cfva-lint: allow(L002)
+    x.unwrap()
+}
+
+pub fn unknown_code(x: Option<u32>) -> u32 {
+    // cfva-lint: allow(L999, reason = "no such lint")
+    x.unwrap()
+}

@@ -1,0 +1,35 @@
+//! L002 fixture: panics and unchecked indexing in library code, plus a
+//! properly documented allow that must stay silent.
+
+pub fn first_or_die(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}
+
+pub fn expect_some(x: Option<u32>) -> u32 {
+    x.expect("always set")
+}
+
+pub fn explode() {
+    panic!("boom");
+}
+
+pub fn later() {
+    todo!()
+}
+
+pub fn offset(v: &[u32], i: usize) -> u32 {
+    v[i + 1]
+}
+
+pub fn allowed(v: &[u32]) -> u32 {
+    // cfva-lint: allow(L002, reason = "fixture: a well-formed allow keeps this silent")
+    v.first().copied().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1u32).unwrap();
+    }
+}

@@ -1,0 +1,7 @@
+//! L004 fixture: `orphan-map` is registered but the hand-enumerated
+//! equivalence suite never names it.
+
+pub fn builtin() -> Vec<&'static str> {
+    let names = vec!["good-map", "orphan-map"];
+    names
+}

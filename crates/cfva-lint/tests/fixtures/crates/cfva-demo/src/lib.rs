@@ -1,0 +1,13 @@
+//! L005 fixture: missing `#![forbid(unsafe_code)]`, and a handle-type
+//! producer without `#[must_use]` next to a covered one.
+
+pub struct Ticket;
+
+pub fn make_ticket() -> Ticket {
+    Ticket
+}
+
+#[must_use = "covered producer"]
+pub fn covered_ticket() -> Ticket {
+    Ticket
+}

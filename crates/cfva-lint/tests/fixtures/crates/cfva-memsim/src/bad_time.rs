@@ -1,0 +1,13 @@
+//! L003 fixture: wall-clock time, sleeps and ambient randomness in the
+//! deterministic model crates.
+
+use rand::Rng;
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn nap() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

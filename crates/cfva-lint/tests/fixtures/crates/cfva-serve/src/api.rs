@@ -1,0 +1,7 @@
+//! L004 fixture: `Request::Ghost` has a dispatch arm but no case in
+//! the service equivalence suite.
+
+pub enum Request {
+    Measure { spec: String },
+    Ghost,
+}

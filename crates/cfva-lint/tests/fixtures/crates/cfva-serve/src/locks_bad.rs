@@ -1,0 +1,24 @@
+//! L001 fixture: the serving locks are leaves; holding two guards at
+//! once is a violation, sequential acquisition (with `drop`) is not.
+
+use std::sync::Mutex;
+
+pub struct State {
+    sched: Mutex<u32>,
+    slot: Mutex<u8>,
+}
+
+impl State {
+    pub fn nested(&self) -> u32 {
+        let g = self.sched.lock();
+        let h = self.slot.lock();
+        *g + u32::from(*h)
+    }
+
+    pub fn sequential(&self) -> u32 {
+        let g = self.sched.lock();
+        drop(g);
+        let h = self.slot.lock();
+        u32::from(*h)
+    }
+}

@@ -1,0 +1,10 @@
+//! L004 fixture dispatch: both variants have arms here.
+
+use super::api::Request;
+
+pub fn dispatch(req: &Request) -> u32 {
+    match req {
+        Request::Measure { .. } => 1,
+        Request::Ghost => 2,
+    }
+}

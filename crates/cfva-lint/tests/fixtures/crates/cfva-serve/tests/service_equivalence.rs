@@ -1,0 +1,7 @@
+//! L004 fixture suite: only `Request::Measure` is exercised.
+
+fn covers_measure() {
+    let _ = Request::Measure {
+        spec: String::new(),
+    };
+}

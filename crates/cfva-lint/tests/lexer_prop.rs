@@ -1,0 +1,264 @@
+//! Property tests of the lexer's two load-bearing guarantees — the
+//! stream is lossless (spans tile the input exactly, positions are
+//! derivable from offsets) and container syntax is never misclassified
+//! (data inside strings is not code, code inside comments is not code,
+//! `#[cfg(test)]` bodies are not library code).
+//!
+//! The vendored proptest has no grammar combinators, so every case is
+//! driven by a sampled `u64` seed expanded through a small splitmix64
+//! generator: same seed, same snippet.
+
+use cfva_lint::lexer::{self, TokenKind};
+use proptest::prelude::*;
+
+/// Deterministic snippet generator: splitmix64 over a proptest-drawn
+/// seed, so a failing case reproduces from its printed seed alone.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn pick<'a>(&mut self, choices: &[&'a str]) -> &'a str {
+        choices[self.below(choices.len())]
+    }
+}
+
+/// One random lexeme-ish fragment. Adjacent fragments may merge into a
+/// single token (`'a` + `bc` is one lifetime) — that changes the
+/// classification, never the losslessness.
+fn fragment(g: &mut Gen) -> String {
+    match g.below(9) {
+        0 => g
+            .pick(&["foo", "bar_baz", "r#type", "_x", "αβγ", "self", "return"])
+            .to_string(),
+        1 => g
+            .pick(&["0", "1.5e3", "0x1f", "0b10_01", "42_000", "9"])
+            .to_string(),
+        2 => g
+            .pick(&[
+                "\"a b\"",
+                "\"esc \\\" quote\"",
+                "\"// not a comment\"",
+                "b\"bytes\\n\"",
+                "\"/* data */\"",
+            ])
+            .to_string(),
+        3 => raw_string(g),
+        4 => {
+            let depth = 1 + g.below(3);
+            block_comment(g, depth)
+        }
+        5 => g
+            .pick(&[
+                "// line comment\n",
+                "/// doc\n",
+                "//! inner doc\n",
+                "//// plain\n",
+            ])
+            .to_string(),
+        6 => g
+            .pick(&["'x'", "'\\n'", "'\\u{1F600}'", "b'q'", "'a ", "'static "])
+            .to_string(),
+        7 => g
+            .pick(&[".", "::", "[", "]", "(", ")", "{", "}", ";", "->", "=", "#"])
+            .to_string(),
+        _ => g.pick(&[" ", "\n", "\t", "  \n  ", "\r\n"]).to_string(),
+    }
+}
+
+/// A raw (possibly byte) string with a random fence of 0–3 hashes and
+/// lookalike-rich body that never closes the fence early.
+fn raw_string(g: &mut Gen) -> String {
+    let fence = g.below(4);
+    let hashes = "#".repeat(fence);
+    let mut body = String::new();
+    for _ in 0..g.below(4) {
+        body.push_str(g.pick(&["abc ", "// look ", "/* look */ ", "'q' ", "\\ "]));
+        if fence >= 1 {
+            // A quote is data while fewer than `fence` hashes follow.
+            body.push_str(g.pick(&["\" ", "\"x ", ""]));
+        }
+    }
+    let b = if g.below(2) == 0 { "b" } else { "" };
+    format!("{b}r{hashes}\"{body}\"{hashes}")
+}
+
+/// A nested block comment of the given depth with code lookalikes in
+/// its body.
+fn block_comment(g: &mut Gen, depth: usize) -> String {
+    let mut body = g
+        .pick(&[
+            "x.unwrap() ",
+            "panic!(\"no\") ",
+            "\"unterminated ",
+            "let y = 1; ",
+        ])
+        .to_string();
+    if depth > 1 {
+        body.push_str(&block_comment(g, depth - 1));
+        body.push(' ');
+    }
+    format!("/* {body}*/")
+}
+
+/// The lexer's own position accounting, recomputed independently:
+/// 1-based line, 1-based byte column.
+fn position_of(src: &str, offset: usize) -> (u32, u32) {
+    let before = &src.as_bytes()[..offset];
+    let line = 1 + before.iter().filter(|&&b| b == b'\n').count() as u32;
+    let line_start = before
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |p| p + 1);
+    (line, (offset - line_start + 1) as u32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Spans tile the input exactly — concatenating the tokens
+    /// reproduces the source byte for byte — and every token's stored
+    /// line/column matches an independent recomputation from its byte
+    /// offset.
+    #[test]
+    fn token_soup_round_trips(seed in 0u64..u64::MAX) {
+        let mut g = Gen(seed);
+        let mut src = String::new();
+        for _ in 0..g.below(40) {
+            src.push_str(&fragment(&mut g));
+        }
+        let tokens = lexer::lex(&src);
+
+        let rebuilt: String = tokens.iter().map(|t| t.text(&src)).collect();
+        prop_assert_eq!(&rebuilt, &src);
+
+        let mut cursor = 0usize;
+        for t in &tokens {
+            prop_assert_eq!(t.start, cursor);
+            prop_assert!(t.end > t.start);
+            let (line, col) = position_of(&src, t.start);
+            prop_assert_eq!((t.line, t.col), (line, col));
+            cursor = t.end;
+        }
+        prop_assert_eq!(cursor, src.len());
+    }
+
+    /// Comment and code lookalikes inside string literals stay inside
+    /// one string token: a snippet whose only non-trivia content is a
+    /// generated (raw) string produces no comment tokens, and the
+    /// literal survives as a single token.
+    #[test]
+    fn string_bodies_are_never_comments(seed in 0u64..u64::MAX) {
+        let mut g = Gen(seed);
+        let lit = if g.below(2) == 0 {
+            raw_string(&mut g)
+        } else {
+            g.pick(&[
+                "\"// not a comment\"",
+                "\"/* not a block */\"",
+                "\"x.unwrap() \\\" // \"",
+                "b\"/*! bytes */\"",
+            ])
+            .to_string()
+        };
+        let src = format!("let s = {lit};");
+        let tokens = lexer::lex(&src);
+        prop_assert!(tokens.iter().all(|t| !t.kind.is_comment()));
+        let literal = tokens
+            .iter()
+            .find(|t| t.kind.is_stringish())
+            .map(|t| t.text(&src));
+        prop_assert_eq!(literal, Some(lit.as_str()));
+    }
+
+    /// A nested block comment swallows code lookalikes whole: the whole
+    /// construct is exactly one comment token, closed at matching
+    /// depth, whatever the nesting.
+    #[test]
+    fn nested_comments_swallow_code(seed in 0u64..u64::MAX) {
+        let mut g = Gen(seed);
+        let depth = 1 + g.below(4);
+        let comment = block_comment(&mut g, depth);
+        let src = format!("{comment} tail");
+        let tokens = lexer::lex(&src);
+        prop_assert!(tokens[0].kind.is_comment());
+        prop_assert_eq!(tokens[0].text(&src), comment.as_str());
+        prop_assert!(tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text(&src) == "tail"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// End to end: `#[cfg(test)]` bodies are never library code
+// ---------------------------------------------------------------------
+
+/// Random inter-item noise whose text mentions the panicking APIs —
+/// none of it is code, so none of it may produce a finding.
+fn noise(g: &mut Gen) -> &'static str {
+    [
+        "// x.unwrap() in a comment\n",
+        "/* panic!(\"in a comment\") */\n",
+        "/// ```\n/// x.unwrap();\n/// ```\n",
+        "//! // cfva-lint: allow(L002) — doc text, not a suppression\n",
+        "\n",
+    ][g.below(5)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generates a library file whose only *library* violation is one
+    /// `.unwrap()`, surrounded by `#[cfg(test)]` code, comments, doc
+    /// examples and string literals full of lookalikes — and checks
+    /// the whole pipeline (lex → test regions → suppressions → L002)
+    /// flags exactly that line.
+    #[test]
+    fn cfg_test_bodies_are_never_library_code(seed in 0u64..u64::MAX) {
+        let mut g = Gen(seed);
+        let mut src = String::new();
+        src.push_str(noise(&mut g));
+        let test_module = format!(
+            "{}#[cfg(test)]\nmod tests {{\n    #[test]\n    fn t() {{\n        Some(1u32).unwrap();\n        let v = [1, 2]; let i = 1; let _ = v[i + 1];\n    }}\n}}\n",
+            if g.below(2) == 0 { "#[allow(dead_code)]\n" } else { "" },
+        );
+        let lib_fn = "pub fn lib_side(x: Option<u32>) -> u32 {\n    let s = \"y.unwrap()\"; let _ = s;\n    x.unwrap()\n}\n";
+        if g.below(2) == 0 {
+            src.push_str(&test_module);
+            src.push_str(noise(&mut g));
+            src.push_str(lib_fn);
+        } else {
+            src.push_str(lib_fn);
+            src.push_str(noise(&mut g));
+            src.push_str(&test_module);
+        }
+
+        let dir = std::env::temp_dir().join(format!(
+            "cfva-lint-prop-{}-{seed}",
+            std::process::id()
+        ));
+        let src_dir = dir.join("crates/cfva-core/src");
+        std::fs::create_dir_all(&src_dir).expect("temp dir");
+        std::fs::write(src_dir.join("generated.rs"), &src).expect("write fixture");
+        let diags = cfva_lint::check_workspace(&dir).expect("lint generated file");
+        std::fs::remove_dir_all(&dir).ok();
+
+        let lib_unwrap_line = 1 + src[..src.find("\n    x.unwrap()").expect("lib unwrap present")]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count() as u32;
+        prop_assert_eq!(diags.len(), 1);
+        prop_assert_eq!(diags[0].code, "L002");
+        prop_assert_eq!(diags[0].line, lib_unwrap_line + 1);
+    }
+}

@@ -115,6 +115,7 @@ impl MemorySystem {
     /// closed form — the engine-independent entry point of
     /// [`Engine::Analytic`](crate::Engine::Analytic). See the
     /// [module docs](self) for when the estimate is exact.
+    #[must_use = "an AnalyticEstimate is the estimator's only output; dropping it wastes the probe runs"]
     pub fn analytic_estimate(&mut self, plan: &AccessPlan) -> AnalyticEstimate {
         let entries = plan.entries();
         let mut scratch = AccessStats::default();
@@ -262,6 +263,7 @@ fn extrapolate(probes: &[Probe; PROBES], c1: u64, span: u64, k_n: u64) -> Option
 /// probe endpoints, rounded to nearest — explicitly approximate.
 fn approximate(probes: &[Probe; PROBES], c1: u64, k_n: u64) -> AnalyticEstimate {
     let first = &probes[0];
+    // cfva-lint: allow(L002, reason = "probes is a fixed [Probe; PROBES] array, so PROBES - 1 is its last valid index")
     let last = &probes[PROBES - 1];
     let dc = (PROBES - 1) as u64;
     let c_last = c1 + dc;

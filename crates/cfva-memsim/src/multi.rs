@@ -77,6 +77,7 @@ pub fn run_interleaved(cfg: MemConfig, plans: &[&AccessPlan]) -> MultiStats {
         if cursors[s] >= plans[s].entries().len() {
             continue;
         }
+        // cfva-lint: allow(L002, reason = "s = turn % plans.len() is in range and the cursor was bounds-checked against the stream length just above")
         let entry = &plans[s].entries()[cursors[s]];
         merged.push((
             ((s as u64) << STREAM_SHIFT) | entry.element(),

@@ -165,6 +165,7 @@ impl MemorySystem {
     /// range (plan built against a different mapping), or if the
     /// simulation exceeds a hard safety bound of cycles (which would
     /// indicate an engine bug, not a property of the plan).
+    #[must_use = "the returned AccessStats are the simulation's only output; dropping them wastes the run"]
     pub fn run_plan(&mut self, plan: &AccessPlan) -> AccessStats {
         let mut stats = AccessStats::default();
         self.run_plan_into(plan, &mut stats);
@@ -204,6 +205,7 @@ impl MemorySystem {
     /// # Panics
     ///
     /// Same conditions as [`run_plan`](Self::run_plan).
+    #[must_use = "the returned AccessStats are the simulation's only output; dropping them wastes the run"]
     pub fn run_requests(&mut self, requests: &[(u64, Addr, ModuleId)]) -> AccessStats {
         let mut stats = AccessStats::default();
         self.run_core(requests.len(), |k| requests[k], &mut stats);
@@ -360,6 +362,7 @@ impl MemorySystem {
                 let Some((_, idx)) = grant else { break };
                 let req = modules[idx]
                     .take_output()
+                    // cfva-lint: allow(L002, reason = "idx came from the output_ready() filter on the same tick, so take_output() cannot be empty")
                     .expect("granted module has output");
                 let when = cycle + 1; // one-cycle bus
                 arrival[req.element as usize] = when;
@@ -413,6 +416,7 @@ impl MemorySystem {
                     let element = module
                         .in_service()
                         .map(|r| r.element)
+                        // cfva-lint: allow(L002, reason = "served() just increased, so the service stage holds a request")
                         .expect("service stage just filled");
                     trace.push(Event::ServiceStart {
                         cycle,
@@ -532,7 +536,7 @@ mod tests {
         let plan = planner.plan(&vec, Strategy::ConflictFree).unwrap();
         let mut sim = MemorySystem::new(MemConfig::new(2, 2).unwrap());
         sim.enable_trace();
-        sim.run_plan(&plan);
+        let _ = sim.run_plan(&plan); // run for the trace
         let issues = sim
             .trace()
             .events()
@@ -568,7 +572,7 @@ mod tests {
         let plan = planner.plan(&vec, Strategy::ConflictFree).unwrap();
         // Memory with only 4 modules cannot run an 8-module plan.
         let mut sim = MemorySystem::new(MemConfig::new(2, 2).unwrap());
-        sim.run_plan(&plan);
+        let _ = sim.run_plan(&plan);
     }
 
     #[test]

@@ -38,10 +38,10 @@ fn assert_engines_equivalent(cfg: MemConfig, plan: &AccessPlan, label: &str) {
     // per-cycle event stream, including the stall runs it skips over.
     let mut traced_oracle = MemorySystem::new(cfg);
     traced_oracle.enable_trace();
-    traced_oracle.run_plan(plan);
+    let _ = traced_oracle.run_plan(plan); // run for the trace; stats are compared above
     let mut traced_event = MemorySystem::new(cfg.with_engine(Engine::Event));
     traced_event.enable_trace();
-    traced_event.run_plan(plan);
+    let _ = traced_event.run_plan(plan);
     assert_eq!(
         traced_oracle.trace().events(),
         traced_event.trace().events(),

@@ -24,12 +24,12 @@
 use std::collections::HashMap;
 use std::hash::{BuildHasher, RandomState};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 use cfva_core::plan::Strategy;
 use cfva_core::StrideClass;
 
 use crate::api::{Estimator, Response};
+use crate::locks::{ClassedMutex, LockClass};
 
 /// Shard count; a power of two so the shard pick is a mask.
 const SHARDS: usize = 8;
@@ -126,7 +126,7 @@ impl CacheStats {
 /// The sharded, bounded, LRU result cache. See the [module docs](self).
 #[derive(Debug)]
 pub(crate) struct ResultCache {
-    shards: Vec<Mutex<HashMap<CacheKey, Entry>>>,
+    shards: Vec<ClassedMutex<HashMap<CacheKey, Entry>>>,
     /// Entry bound per shard (total capacity split evenly, minimum 1).
     shard_capacity: usize,
     /// Monotonic recency clock; every touch stamps the entry.
@@ -146,7 +146,9 @@ impl ResultCache {
     pub(crate) fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "a result cache needs capacity");
         ResultCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| ClassedMutex::new(LockClass::CacheShard, HashMap::new()))
+                .collect(),
             shard_capacity: capacity.div_ceil(SHARDS).max(1),
             clock: AtomicU64::new(0),
             shard_hasher: RandomState::new(),
@@ -157,14 +159,15 @@ impl ResultCache {
         }
     }
 
-    fn shard(&self, key: &CacheKey) -> &Mutex<HashMap<CacheKey, Entry>> {
+    fn shard(&self, key: &CacheKey) -> &ClassedMutex<HashMap<CacheKey, Entry>> {
+        // cfva-lint: allow(L002, reason = "index is masked with SHARDS - 1, a power-of-two bound, so it is always < SHARDS")
         &self.shards[(self.shard_hasher.hash_one(key) as usize) & (SHARDS - 1)]
     }
 
     /// Looks `key` up, counting a hit (and refreshing the entry's
     /// recency) or a miss.
     pub(crate) fn get(&self, key: &CacheKey) -> Option<Response> {
-        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let mut shard = self.shard(key).lock();
         match shard.get_mut(key) {
             Some(entry) => {
                 entry.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
@@ -184,7 +187,7 @@ impl ResultCache {
     /// so both wrote the same value.
     pub(crate) fn insert(&self, key: CacheKey, value: Response) {
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        let mut shard = self.shard(&key).lock();
         if !shard.contains_key(&key) && shard.len() >= self.shard_capacity {
             if let Some(oldest) = shard
                 .iter()
@@ -210,11 +213,7 @@ impl ResultCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             bypasses: self.bypasses.load(Ordering::Relaxed),
-            entries: self
-                .shards
-                .iter()
-                .map(|s| s.lock().expect("cache shard poisoned").len())
-                .sum(),
+            entries: self.shards.iter().map(|s| s.lock().len()).sum(),
             capacity: self.shard_capacity * SHARDS,
         }
     }

@@ -52,6 +52,7 @@
 
 pub mod api;
 mod cache;
+pub mod locks;
 pub mod pool;
 pub mod runner;
 pub mod service;

@@ -1,0 +1,334 @@
+//! Lock classes and the debug-build lock-order checker.
+//!
+//! # The hierarchy: every lock is a leaf
+//!
+//! The serving layer owns five lock classes ([`LockClass`]): the
+//! scheduler ([`Sched`](LockClass::Sched)), the per-ticket result slot
+//! ([`TicketSlot`](LockClass::TicketSlot)), the worker-handle registry
+//! ([`Handles`](LockClass::Handles)), the per-spec metadata map
+//! ([`SpecMeta`](LockClass::SpecMeta)) and the result-cache shards
+//! ([`CacheShard`](LockClass::CacheShard)). The concurrency design
+//! keeps the hierarchy deliberately **flat**: a thread holds at most
+//! one of them at a time.
+//!
+//! * Workers pop a job under `Sched`, release, *then* run it — ticket
+//!   resolution (`TicketSlot`) happens strictly after the scheduler
+//!   lock is gone.
+//! * Cache lookups and population (`CacheShard`) happen before
+//!   submission or after completion, never inside either lock.
+//! * `Handles` is touched only by `shutdown`, after admission closes.
+//!
+//! So any nested acquisition is a bug by definition: either a latent
+//! deadlock (two threads nesting in opposite orders) or an accidental
+//! extension of a critical section. Two checkers enforce this, one
+//! static and one dynamic:
+//!
+//! * `cfva-lint`'s **L001** rejects nested guard scopes at the token
+//!   level, in CI, without running anything;
+//! * this module's [`ClassedMutex`] maintains a thread-local stack of
+//!   held classes in **debug builds** and panics at the acquisition
+//!   site of any second lock — catching at runtime whatever shape the
+//!   static scan cannot see (locks passed across functions, guards
+//!   stored in temporaries). Release builds compile the bookkeeping
+//!   out entirely: `lock()` is a plain `Mutex::lock` plus an enum tag.
+//!
+//! Poisoning is handled here, once: every lock in this crate guards
+//! state that is only ever mutated in small, panic-free critical
+//! sections (jobs run *outside* the locks, with panics caught at the
+//! job boundary), so a poisoned lock means a bug in this crate itself,
+//! not a bad request — unrecoverable by design.
+
+use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+use std::time::Duration;
+
+/// The serve-layer lock classes. See the [module docs](self) for what
+/// each guards and why they never nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockClass {
+    /// The pool scheduler: every queue, behind one lock.
+    Sched,
+    /// One ticket's result slot.
+    TicketSlot,
+    /// The pool's worker `JoinHandle` registry.
+    Handles,
+    /// The service's per-spec metadata map.
+    SpecMeta,
+    /// One shard of the canonical result cache.
+    CacheShard,
+}
+
+/// A `Mutex` that knows which [`LockClass`] it belongs to and, in
+/// debug builds, enforces the leaf discipline on every acquisition.
+#[derive(Debug)]
+pub struct ClassedMutex<T> {
+    class: LockClass,
+    inner: Mutex<T>,
+}
+
+impl<T> ClassedMutex<T> {
+    /// Wraps `value` in a mutex of the given class.
+    pub fn new(class: LockClass, value: T) -> Self {
+        ClassedMutex {
+            class,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Locks, panicking in debug builds if *any* serve lock is already
+    /// held by this thread (see the [module docs](self)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lock is poisoned — see the module docs for why
+    /// poisoning is unrecoverable by design here.
+    pub fn lock(&self) -> ClassedGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        let held = order::acquire(self.class);
+        // cfva-lint: allow(L002, reason = "the single poison point for every serve lock: critical sections are panic-free, so poison means a cfva-serve bug (see module docs)")
+        let inner = self.inner.lock().expect("cfva-serve lock poisoned");
+        ClassedGuard {
+            inner,
+            class: self.class,
+            #[cfg(debug_assertions)]
+            _held: held,
+        }
+    }
+
+    /// The class this mutex was registered under.
+    pub fn class(&self) -> LockClass {
+        self.class
+    }
+}
+
+/// The guard of a [`ClassedMutex`]; releases the debug-build held
+/// token when dropped.
+pub struct ClassedGuard<'a, T> {
+    inner: MutexGuard<'a, T>,
+    class: LockClass,
+    #[cfg(debug_assertions)]
+    _held: order::Held,
+}
+
+impl<'a, T> ClassedGuard<'a, T> {
+    /// Rewraps a raw guard handed back by a condvar, re-registering the
+    /// class with the debug checker.
+    fn renew(class: LockClass, inner: MutexGuard<'a, T>) -> Self {
+        ClassedGuard {
+            inner,
+            class,
+            #[cfg(debug_assertions)]
+            _held: order::acquire(class),
+        }
+    }
+
+    /// Unwraps the raw guard, dropping the debug held token *now*.
+    ///
+    /// This must be an explicit `drop`: a `ClassedGuard { inner, .. }`
+    /// destructure keeps the ignored fields alive to the end of the
+    /// enclosing scope, so the token would still be registered while a
+    /// condvar wait believes the lock is released — and `renew` on
+    /// wake-up would trip the checker on the lock's own class.
+    fn into_inner(self) -> MutexGuard<'a, T> {
+        #[cfg(debug_assertions)]
+        drop(self._held);
+        self.inner
+    }
+}
+
+impl<T> std::fmt::Debug for ClassedGuard<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClassedGuard")
+            .field("class", &self.class)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> std::ops::Deref for ClassedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for ClassedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// `Condvar::wait` over a classed guard. The held token is released
+/// for the duration of the wait — the condvar unlocks the mutex, so
+/// the thread genuinely holds nothing — and re-acquired on wake-up.
+///
+/// # Panics
+///
+/// Panics if the lock is poisoned (see the [module docs](self)).
+pub fn wait<'a, T>(cv: &Condvar, guard: ClassedGuard<'a, T>) -> ClassedGuard<'a, T> {
+    let class = guard.class;
+    // The wait releases the mutex, so the checker must see the held
+    // token released too — before the wait, not at end of scope.
+    let inner = guard.into_inner();
+    // cfva-lint: allow(L002, reason = "same single poison point as ClassedMutex::lock")
+    let inner = cv.wait(inner).expect("cfva-serve lock poisoned");
+    ClassedGuard::renew(class, inner)
+}
+
+/// `Condvar::wait_timeout` over a classed guard; same held-token
+/// handling as [`wait`].
+///
+/// # Panics
+///
+/// Panics if the lock is poisoned (see the [module docs](self)).
+pub fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: ClassedGuard<'a, T>,
+    timeout: Duration,
+) -> (ClassedGuard<'a, T>, WaitTimeoutResult) {
+    let class = guard.class;
+    let inner = guard.into_inner();
+    let (inner, timed_out) = cv
+        .wait_timeout(inner, timeout)
+        // cfva-lint: allow(L002, reason = "same single poison point as ClassedMutex::lock")
+        .expect("cfva-serve lock poisoned");
+    (ClassedGuard::renew(class, inner), timed_out)
+}
+
+/// The debug-build checker: a thread-local stack of held classes.
+/// Compiled out entirely in release builds.
+#[cfg(debug_assertions)]
+mod order {
+    use super::LockClass;
+    use std::cell::RefCell;
+
+    thread_local! {
+        static HELD: RefCell<Vec<LockClass>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Proof of a registered acquisition; pops the stack when dropped.
+    pub(super) struct Held {
+        class: LockClass,
+    }
+
+    /// Registers an acquisition, panicking if this thread already
+    /// holds any serve lock — the leaf discipline.
+    pub(super) fn acquire(class: LockClass) -> Held {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&outer) = held.last() {
+                // cfva-lint: allow(L002, reason = "the dynamic checker's whole job is to panic at the violating acquisition in debug builds")
+                panic!(
+                    "lock-order violation: acquiring {class:?} while {outer:?} is held — \
+                     cfva-serve locks are leaves and must not nest (see cfva_serve::locks)"
+                );
+            }
+            held.push(class);
+        });
+        Held { class }
+    }
+
+    impl Drop for Held {
+        fn drop(&mut self) {
+            HELD.with(|held| {
+                let popped = held.borrow_mut().pop();
+                debug_assert_eq!(popped, Some(self.class), "lock release order corrupted");
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_acquisitions_are_fine() {
+        let a = ClassedMutex::new(LockClass::Sched, 1u32);
+        let b = ClassedMutex::new(LockClass::TicketSlot, 2u32);
+        assert_eq!(*a.lock(), 1);
+        assert_eq!(*b.lock(), 2);
+        assert_eq!(*a.lock(), 1); // re-lock after release is fine too
+        assert_eq!(a.class(), LockClass::Sched);
+    }
+
+    #[test]
+    fn guard_mutation_round_trips() {
+        let m = ClassedMutex::new(LockClass::SpecMeta, vec![1u32]);
+        m.lock().push(2);
+        assert_eq!(*m.lock(), vec![1, 2]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn nested_distinct_classes_panic_in_debug() {
+        let outcome = std::panic::catch_unwind(|| {
+            let a = ClassedMutex::new(LockClass::Sched, ());
+            let b = ClassedMutex::new(LockClass::CacheShard, ());
+            let _g1 = a.lock();
+            let _g2 = b.lock(); // leaf discipline: any second lock is a bug
+        });
+        let msg = match outcome {
+            Err(payload) => payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default(),
+            Ok(()) => String::new(),
+        };
+        assert!(
+            msg.contains("lock-order violation")
+                && msg.contains("CacheShard")
+                && msg.contains("Sched"),
+            "expected a lock-order panic naming both classes, got: {msg}"
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn nested_same_class_panics_in_debug() {
+        // Same class nested is a self-deadlock on a std Mutex; the
+        // checker rejects it before the deadlock.
+        let outcome = std::panic::catch_unwind(|| {
+            let a = ClassedMutex::new(LockClass::Handles, ());
+            let b = ClassedMutex::new(LockClass::Handles, ());
+            let _g1 = a.lock();
+            let _g2 = b.lock();
+        });
+        assert!(outcome.is_err());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn wait_timeout_releases_the_held_token_during_the_wait() {
+        // After a timed-out wait the guard is held again; dropping it
+        // must leave the thread able to take another class — i.e. the
+        // renew path keeps the stack balanced.
+        let m = ClassedMutex::new(LockClass::Sched, ());
+        let cv = Condvar::new();
+        let g = m.lock();
+        let (g, timed_out) = wait_timeout(&cv, g, Duration::from_millis(1));
+        assert!(timed_out.timed_out());
+        drop(g);
+        let other = ClassedMutex::new(LockClass::TicketSlot, ());
+        let _g = other.lock(); // would panic if Sched were still registered
+    }
+
+    #[test]
+    fn threads_track_held_locks_independently() {
+        // The checker is per-thread: two threads may each hold one
+        // lock concurrently without tripping it.
+        let a = std::sync::Arc::new(ClassedMutex::new(LockClass::Sched, 0u32));
+        let b = std::sync::Arc::new(ClassedMutex::new(LockClass::TicketSlot, 0u32));
+        let (a2, b2) = (std::sync::Arc::clone(&a), std::sync::Arc::clone(&b));
+        let t = std::thread::spawn(move || {
+            for _ in 0..100 {
+                *a2.lock() += 1;
+            }
+            *b2.lock() += 1;
+        });
+        for _ in 0..100 {
+            *b.lock() += 1;
+        }
+        t.join().expect("checker thread must not panic");
+        assert_eq!(*a.lock(), 100);
+        assert_eq!(*b.lock(), 101);
+    }
+}

@@ -42,8 +42,10 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
 use std::time::Duration;
+
+use crate::locks::{self, ClassedMutex, LockClass};
 
 /// A queued unit of work: runs on a worker against its session.
 type Job<'a, S> = Box<dyn FnOnce(&mut S) + Send + 'a>;
@@ -104,7 +106,11 @@ impl<'a, S> Sched<'a, S> {
             .or_else(|| self.injector.pop_front())
             .or_else(|| {
                 let n = self.locals.len();
-                (1..n).find_map(|off| self.locals[(worker + off) % n].pop_back())
+                (1..n).find_map(|off| {
+                    self.locals
+                        .get_mut((worker + off) % n)
+                        .and_then(VecDeque::pop_back)
+                })
             });
         if job.is_some() {
             self.queued -= 1;
@@ -117,7 +123,7 @@ impl<'a, S> Sched<'a, S> {
 /// loop serves both the long-lived [`Pool`] and the scoped pool behind
 /// `BatchRunner::sweep`.
 struct Core<'a, S> {
-    sched: Mutex<Sched<'a, S>>,
+    sched: ClassedMutex<Sched<'a, S>>,
     /// Signalled on every submission and on shutdown.
     work: Condvar,
     capacity: usize,
@@ -126,13 +132,16 @@ struct Core<'a, S> {
 impl<'a, S> Core<'a, S> {
     fn new(workers: usize, capacity: usize) -> Self {
         Core {
-            sched: Mutex::new(Sched {
-                injector: VecDeque::new(),
-                locals: (0..workers).map(|_| VecDeque::new()).collect(),
-                queued: 0,
-                shutting_down: false,
-                alive: workers,
-            }),
+            sched: ClassedMutex::new(
+                LockClass::Sched,
+                Sched {
+                    injector: VecDeque::new(),
+                    locals: (0..workers).map(|_| VecDeque::new()).collect(),
+                    queued: 0,
+                    shutting_down: false,
+                    alive: workers,
+                },
+            ),
             work: Condvar::new(),
             capacity,
         }
@@ -141,7 +150,7 @@ impl<'a, S> Core<'a, S> {
     /// Queues `job` (injector, or worker-local when `to` is given),
     /// enforcing the admission capacity when `bounded`.
     fn push(&self, to: Option<usize>, job: Job<'a, S>, bounded: bool) -> Result<(), SubmitError> {
-        let mut sched = self.sched.lock().expect("pool lock poisoned");
+        let mut sched = self.sched.lock();
         // A dead pool (every worker's session construction panicked)
         // refuses like a shut-down one: accepting would strand the
         // ticket — nothing is left to run the job.
@@ -169,7 +178,7 @@ impl<'a, S> Core<'a, S> {
     fn run_worker(&self, worker: usize, session: &mut S) {
         loop {
             let job = {
-                let mut sched = self.sched.lock().expect("pool lock poisoned");
+                let mut sched = self.sched.lock();
                 loop {
                     if let Some(job) = sched.pop_for(worker) {
                         break Some(job);
@@ -177,7 +186,7 @@ impl<'a, S> Core<'a, S> {
                     if sched.shutting_down {
                         break None;
                     }
-                    sched = self.work.wait(sched).expect("pool lock poisoned");
+                    sched = locks::wait(&self.work, sched);
                 }
             };
             match job {
@@ -195,7 +204,7 @@ impl<'a, S> Core<'a, S> {
     /// pop or steal.)
     fn abandon_worker(&self) {
         let orphans: Vec<Job<'a, S>> = {
-            let mut sched = self.sched.lock().expect("pool lock poisoned");
+            let mut sched = self.sched.lock();
             sched.alive -= 1;
             if sched.alive > 0 {
                 Vec::new()
@@ -212,12 +221,12 @@ impl<'a, S> Core<'a, S> {
     }
 
     fn begin_shutdown(&self) {
-        self.sched.lock().expect("pool lock poisoned").shutting_down = true;
+        self.sched.lock().shutting_down = true;
         self.work.notify_all();
     }
 
     fn queue_depth(&self) -> usize {
-        self.sched.lock().expect("pool lock poisoned").queued
+        self.sched.lock().queued
     }
 }
 
@@ -232,7 +241,7 @@ enum Slot<R> {
 }
 
 struct TicketShared<R> {
-    slot: Mutex<Slot<R>>,
+    slot: ClassedMutex<Slot<R>>,
     done: Condvar,
 }
 
@@ -264,7 +273,7 @@ impl<R> Ticket<R> {
     pub(crate) fn ready(result: R) -> Self {
         Ticket {
             shared: Arc::new(TicketShared {
-                slot: Mutex::new(Slot::Done(result)),
+                slot: ClassedMutex::new(LockClass::TicketSlot, Slot::Done(result)),
                 done: Condvar::new(),
             }),
         }
@@ -272,7 +281,7 @@ impl<R> Ticket<R> {
 
     fn new() -> (Self, Arc<TicketShared<R>>) {
         let shared = Arc::new(TicketShared {
-            slot: Mutex::new(Slot::Pending),
+            slot: ClassedMutex::new(LockClass::TicketSlot, Slot::Pending),
             done: Condvar::new(),
         });
         (
@@ -286,10 +295,7 @@ impl<R> Ticket<R> {
     /// Whether the job has finished (the result — or its panic — is
     /// ready to take).
     pub fn is_ready(&self) -> bool {
-        !matches!(
-            *self.shared.slot.lock().expect("ticket lock poisoned"),
-            Slot::Pending
-        )
+        !matches!(*self.shared.slot.lock(), Slot::Pending)
     }
 
     /// Non-blocking take: `Some(result)` once the job has finished,
@@ -300,7 +306,7 @@ impl<R> Ticket<R> {
     ///
     /// Re-raises the job's panic if it panicked on its worker.
     pub fn poll(&mut self) -> Option<R> {
-        let mut slot = self.shared.slot.lock().expect("ticket lock poisoned");
+        let mut slot = self.shared.slot.lock();
         Self::take(&mut slot)
     }
 
@@ -312,24 +318,26 @@ impl<R> Ticket<R> {
     /// panics if the result was already taken through
     /// [`poll`](Ticket::poll).
     pub fn wait(self) -> R {
-        let mut slot = self.shared.slot.lock().expect("ticket lock poisoned");
+        let mut slot = self.shared.slot.lock();
         loop {
             if let Some(result) = Self::take(&mut slot) {
                 return result;
             }
             if matches!(*slot, Slot::Taken) {
+                // cfva-lint: allow(L002, reason = "documented # Panics contract: double-take is a caller bug, not a load condition")
                 panic!("ticket result already taken by poll()");
             }
-            slot = self.shared.done.wait(slot).expect("ticket lock poisoned");
+            slot = locks::wait(&self.shared.done, slot);
         }
     }
 
     /// Like [`wait`](Ticket::wait), but gives up after `timeout`,
     /// handing the still-pending ticket back as `Err` so the caller
     /// can keep polling or waiting.
+    #[must_use = "on timeout the still-pending ticket comes back in the Err; dropping it loses the result"]
     pub fn wait_timeout(self, timeout: Duration) -> Result<R, Ticket<R>> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut slot = self.shared.slot.lock().expect("ticket lock poisoned");
+        let mut slot = self.shared.slot.lock();
         loop {
             if let Some(result) = Self::take(&mut slot) {
                 return Ok(result);
@@ -339,17 +347,14 @@ impl<R> Ticket<R> {
                 drop(slot);
                 return Err(self);
             }
-            (slot, _) = self
-                .shared
-                .done
-                .wait_timeout(slot, deadline - now)
-                .expect("ticket lock poisoned");
+            (slot, _) = locks::wait_timeout(&self.shared.done, slot, deadline - now);
         }
     }
 
     fn take(slot: &mut Slot<R>) -> Option<R> {
         match std::mem::replace(slot, Slot::Taken) {
             Slot::Done(result) => Some(result),
+            // cfva-lint: allow(L002, reason = "deliberate re-raise of the job's own panic at the take site, per the Ticket contract")
             Slot::Panicked(msg) => panic!("pool job panicked: {msg}"),
             Slot::Pending => {
                 *slot = Slot::Pending;
@@ -372,7 +377,7 @@ struct Completer<R> {
 
 impl<R> Completer<R> {
     fn complete(&mut self, outcome: Slot<R>) {
-        let mut slot = self.shared.slot.lock().expect("ticket lock poisoned");
+        let mut slot = self.shared.slot.lock();
         *slot = outcome;
         drop(slot);
         self.shared.done.notify_all();
@@ -435,7 +440,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// to completion first.
 pub struct Pool<S: 'static> {
     core: Arc<Core<'static, S>>,
-    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    handles: ClassedMutex<Vec<std::thread::JoinHandle<()>>>,
     workers: usize,
 }
 
@@ -483,7 +488,7 @@ impl<S: 'static> Pool<S> {
             .collect();
         Pool {
             core,
-            handles: Mutex::new(handles),
+            handles: ClassedMutex::new(LockClass::Handles, handles),
             workers,
         }
     }
@@ -511,6 +516,7 @@ impl<S: 'static> Pool<S> {
     ///
     /// Panics if the pool is shutting down (the owner controls
     /// shutdown, so this is a caller bug, not a load condition).
+    #[must_use = "the Ticket is the only handle to the job's result"]
     pub fn submit<R, F>(&self, job: F) -> Ticket<R>
     where
         F: FnOnce(&mut S) -> R + Send + 'static,
@@ -519,6 +525,7 @@ impl<S: 'static> Pool<S> {
         let (job, ticket) = package(job);
         self.core
             .push(None, job, false)
+            // cfva-lint: allow(L002, reason = "documented # Panics contract: the owner controls shutdown, so a refused unbounded submit is a caller bug")
             .expect("pool is not accepting work (shut down, or every worker session panicked at construction)");
         ticket
     }
@@ -530,6 +537,7 @@ impl<S: 'static> Pool<S> {
     ///
     /// Panics if `worker >= self.workers()` or the pool is shutting
     /// down.
+    #[must_use = "the Ticket is the only handle to the job's result"]
     pub fn submit_to<R, F>(&self, worker: usize, job: F) -> Ticket<R>
     where
         F: FnOnce(&mut S) -> R + Send + 'static,
@@ -539,6 +547,7 @@ impl<S: 'static> Pool<S> {
         let (job, ticket) = package(job);
         self.core
             .push(Some(worker), job, false)
+            // cfva-lint: allow(L002, reason = "documented # Panics contract: the owner controls shutdown, so a refused unbounded submit is a caller bug")
             .expect("pool is not accepting work (shut down, or every worker session panicked at construction)");
         ticket
     }
@@ -547,6 +556,7 @@ impl<S: 'static> Pool<S> {
     /// [`SubmitError::QueueFull`] when `capacity` jobs are already
     /// waiting, or [`SubmitError::ShuttingDown`] after
     /// [`shutdown`](Self::shutdown) has begun.
+    #[must_use = "the Ticket inside is the only handle to the job's result"]
     pub fn try_submit<R, F>(&self, job: F) -> Result<Ticket<R>, SubmitError>
     where
         F: FnOnce(&mut S) -> R + Send + 'static,
@@ -563,6 +573,7 @@ impl<S: 'static> Pool<S> {
     /// # Panics
     ///
     /// Panics if `worker >= self.workers()`.
+    #[must_use = "the Ticket inside is the only handle to the job's result"]
     pub fn try_submit_to<R, F>(&self, worker: usize, job: F) -> Result<Ticket<R>, SubmitError>
     where
         F: FnOnce(&mut S) -> R + Send + 'static,
@@ -585,9 +596,9 @@ impl<S: 'static> Pool<S> {
     /// too but may return before the drain completes.
     pub fn shutdown(&self) {
         self.core.begin_shutdown();
-        let handles: Vec<_> =
-            std::mem::take(&mut *self.handles.lock().expect("pool handle registry poisoned"));
+        let handles: Vec<_> = std::mem::take(&mut *self.handles.lock());
         for handle in handles {
+            // cfva-lint: allow(L002, reason = "job panics are caught at the job boundary, so a dead worker thread means a cfva-serve bug; surfacing it beats swallowing it")
             handle.join().expect("pool worker panicked outside a job");
         }
     }
@@ -622,6 +633,7 @@ impl<'a, S> ScopedPool<'_, 'a, S> {
 
     /// Queues `job` on the global injector (unbounded — the scope
     /// owner feeds a finite batch).
+    #[must_use = "the Ticket is the only handle to the job's result"]
     pub fn submit<R, F>(&self, job: F) -> Ticket<R>
     where
         F: FnOnce(&mut S) -> R + Send + 'a,
@@ -630,6 +642,7 @@ impl<'a, S> ScopedPool<'_, 'a, S> {
         let (job, ticket) = package(job);
         self.core
             .push(None, job, false)
+            // cfva-lint: allow(L002, reason = "documented contract: the scope owner never shuts down mid-body, so refusal means every worker died — panic over hang")
             .expect("scoped pool refused work (every worker session panicked at construction?)");
         ticket
     }
@@ -639,6 +652,7 @@ impl<'a, S> ScopedPool<'_, 'a, S> {
     /// # Panics
     ///
     /// Panics if `worker >= self.workers()`.
+    #[must_use = "the Ticket is the only handle to the job's result"]
     pub fn submit_to<R, F>(&self, worker: usize, job: F) -> Ticket<R>
     where
         F: FnOnce(&mut S) -> R + Send + 'a,
@@ -648,6 +662,7 @@ impl<'a, S> ScopedPool<'_, 'a, S> {
         let (job, ticket) = package(job);
         self.core
             .push(Some(worker), job, false)
+            // cfva-lint: allow(L002, reason = "documented contract: the scope owner never shuts down mid-body, so refusal means every worker died — panic over hang")
             .expect("scoped pool refused work (every worker session panicked at construction?)");
         ticket
     }
@@ -708,7 +723,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::mpsc;
+    use std::sync::{mpsc, Mutex};
 
     #[test]
     fn submit_and_wait_round_trip() {

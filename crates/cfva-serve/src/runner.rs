@@ -27,6 +27,7 @@ use crate::workload::StrideSampler;
 /// cannot serve the access *and* `strategy` is `Auto`; otherwise
 /// planning errors propagate as `None` (callers decide how to count
 /// unservable accesses).
+#[must_use = "an AccessStats is a paid-for measurement; dropping it wastes the simulation"]
 pub fn measure(
     planner: &Planner,
     vec: &VectorSpec,
@@ -66,6 +67,7 @@ pub fn naive_simulated_efficiency<R: Rng + ?Sized>(
     for _ in 0..samples {
         let vec = sampler.sample_vector(rng, 1 << 24, len);
         let stats =
+            // cfva-lint: allow(L002, reason = "the sampler only emits specs the auto/canonical strategies can plan; a None here is a sampler bug")
             measure(planner, &vec, strategy, mem).expect("auto/canonical strategies always plan");
         total_cpe += cycles_per_element(&stats, mem);
     }
@@ -142,6 +144,7 @@ fn simulated_efficiency_core<R: Rng + ?Sized>(
         let vec = sampler.sample_vector(rng, 1 << 24, len);
         let stats = scratch
             .measure(planner, &vec, strategy)
+            // cfva-lint: allow(L002, reason = "the sampler only emits specs the auto/canonical strategies can plan; a None here is a sampler bug")
             .expect("auto/canonical strategies always plan");
         total_cpe += cycles_per_element(stats, mem);
     }
@@ -165,10 +168,13 @@ fn stratified_efficiency_core<R: Rng + ?Sized>(
         for _ in 0..per_family {
             let sigma = 2 * rng.gen_range(0i64..8) + 1;
             let base = rng.gen_range(0u64..1 << 24);
+            // cfva-lint: allow(L002, reason = "sigma = 2k+1 is odd by construction and x <= max_x is validated upstream, so from_parts cannot fail")
             let stride = cfva_core::Stride::from_parts(sigma, x).expect("odd sigma, bounded x");
+            // cfva-lint: allow(L002, reason = "base < 2^24 and the stride was just built, so with_stride's range checks hold by construction")
             let vec = VectorSpec::with_stride(base.into(), stride, len).expect("valid");
             let stats = scratch
                 .measure(planner, &vec, strategy)
+                // cfva-lint: allow(L002, reason = "the stratified estimator is only reachable with plannable strategies (validated at the service boundary)")
                 .expect("strategy always plans");
             family_cpe += cycles_per_element(stats, mem);
         }
@@ -368,6 +374,7 @@ impl BatchRunner {
     /// statistics — for callers that need to inspect the request
     /// stream (module sequence, entries) alongside its timing without
     /// allocating a plan of their own.
+    #[must_use = "the plan/statistics views are the measurement's only output"]
     pub fn measure_full(
         &mut self,
         vec: &VectorSpec,
@@ -411,6 +418,7 @@ impl BatchRunner {
     /// Measures a batch of accesses, reusing the session buffers across
     /// the whole batch; one owned [`AccessStats`] (or `None` for
     /// unplannable accesses) per spec, in order.
+    #[must_use = "the batch's statistics are its only output"]
     pub fn measure_batch(&mut self, specs: &[(VectorSpec, Strategy)]) -> Vec<Option<AccessStats>> {
         specs
             .iter()

@@ -47,7 +47,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use cfva_core::mapping::{MapSpec, ModuleMap, Registry};
 use cfva_core::plan::Strategy;
@@ -59,6 +59,7 @@ use rand::SeedableRng;
 
 use crate::api::{Estimator, FamilyPoint, Request, Response, ServeError, ServeResult};
 use crate::cache::{CacheKey, CacheStats, RequestKey, ResultCache};
+use crate::locks::{ClassedMutex, LockClass};
 use crate::pool::{Pool, SubmitError, Ticket};
 use crate::runner::BatchRunner;
 use crate::workload::StrideSampler;
@@ -151,6 +152,7 @@ impl SpecSessions {
             let session = BatchRunner::from_spec(spec).map_err(ServeError::Spec)?;
             self.sessions.insert(key.to_string(), session);
         }
+        // cfva-lint: allow(L002, reason = "contains_key two lines up guarantees the entry; the double lookup (vs the Entry API) avoids a per-request key allocation on the hot path")
         Ok(self.sessions.get_mut(key).expect("just ensured"))
     }
 }
@@ -202,7 +204,7 @@ pub struct Service {
     /// map-side input of the stride-class reduction), or `None` for a
     /// spec that parses but does not build — those have no sound cache
     /// key and bypass the cache. Populated once per spec.
-    spec_used_bits: Mutex<HashMap<String, Option<u32>>>,
+    spec_used_bits: ClassedMutex<HashMap<String, Option<u32>>>,
     /// Admitted-but-unresolved gauge (queued or executing).
     in_flight: Arc<AtomicUsize>,
 }
@@ -221,7 +223,7 @@ impl Service {
             }),
             cache: (config.cache_capacity > 0)
                 .then(|| Arc::new(ResultCache::new(config.cache_capacity))),
-            spec_used_bits: Mutex::new(HashMap::new()),
+            spec_used_bits: ClassedMutex::new(LockClass::SpecMeta, HashMap::new()),
             in_flight: Arc::new(AtomicUsize::new(0)),
         }
     }
@@ -266,6 +268,7 @@ impl Service {
     ///
     /// Session-side failures (a spec that parses but cannot build)
     /// resolve through the ticket as `Err`.
+    #[must_use = "the ServeTicket inside is the only handle to the response"]
     pub fn submit(&self, request: Request) -> Result<ServeTicket, ServeError> {
         self.submit_inner(request, true)
     }
@@ -274,6 +277,7 @@ impl Service {
     /// result cache — the per-request bypass knob, for callers that
     /// want a fresh pooled execution (timing runs, cache-equivalence
     /// checks). Counted under [`CacheStats::bypasses`].
+    #[must_use = "the ServeTicket inside is the only handle to the response"]
     pub fn submit_uncached(&self, request: Request) -> Result<ServeTicket, ServeError> {
         self.submit_inner(request, false)
     }
@@ -307,10 +311,10 @@ impl Service {
             }
             None => None,
         };
-        let populate = key.map(|key| {
-            let cache = Arc::clone(self.cache.as_ref().expect("a key implies a cache"));
-            (cache, key)
-        });
+        let populate = match (&self.cache, key) {
+            (Some(cache), Some(key)) => Some((Arc::clone(cache), key)),
+            _ => None,
+        };
 
         let worker = route(&canon, self.pool.workers());
         let in_flight = Arc::clone(&self.in_flight);
@@ -392,10 +396,7 @@ impl Service {
     /// one-time registry build per spec and memoized (including the
     /// negative result for specs that parse but do not build).
     fn used_bits(&self, canon: &str) -> Option<u32> {
-        let mut meta = self
-            .spec_used_bits
-            .lock()
-            .expect("spec metadata lock poisoned");
+        let mut meta = self.spec_used_bits.lock();
         if let Some(&used) = meta.get(canon) {
             return used;
         }
@@ -574,6 +575,7 @@ fn family_sweep(session: &mut BatchRunner, len: u64, max_x: u32, sigma: i64) -> 
             VectorSpec::with_stride(16u64.into(), stride, len).map_err(ServeError::Request)?;
         let stats = session
             .measure_owned(&vec, Strategy::Auto)
+            // cfva-lint: allow(L002, reason = "Strategy::Auto falls back to naive order, which plans for every valid spec/vector pair — see plan::auto")
             .expect("auto always plans");
         rows.push(FamilyPoint {
             x,

@@ -55,6 +55,7 @@ impl StrideSampler {
         let x = self.sample_family(rng);
         let sigma_count = self.max_sigma.div_ceil(2); // odd values <= max
         let sigma = 2 * rng.gen_range(0..sigma_count) + 1;
+        // cfva-lint: allow(L002, reason = "sigma = 2k+1 is odd by construction and x is bounded by the family cap, so from_parts cannot fail")
         Stride::from_parts(sigma as i64, x).expect("odd sigma, bounded x")
     }
 
@@ -69,6 +70,7 @@ impl StrideSampler {
         let stride = self.sample(rng);
         let base = rng.gen_range(0..base_range);
         VectorSpec::with_stride(base.into(), stride, len)
+            // cfva-lint: allow(L002, reason = "base < base_range and a just-sampled positive stride satisfy with_stride's range checks by construction")
             .expect("positive stride and bounded base cannot overflow")
     }
 }
@@ -77,6 +79,7 @@ impl StrideSampler {
 /// part — for deterministic sweeps over families.
 pub fn family_sweep(max_x: u32, sigma: i64) -> Vec<Stride> {
     (0..=max_x)
+        // cfva-lint: allow(L002, reason = "callers pass an odd sigma (documented contract); from_parts only rejects even sigma here")
         .map(|x| Stride::from_parts(sigma, x).expect("odd sigma"))
         .collect()
 }

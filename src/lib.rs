@@ -18,6 +18,8 @@
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
+#![forbid(unsafe_code)]
+
 pub use cfva_core as core;
 pub use cfva_memsim as memsim;
 pub use cfva_vecproc as vecproc;
