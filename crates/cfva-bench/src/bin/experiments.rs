@@ -27,6 +27,11 @@
 //! nonzero unless the result cache served at least one hit — CI uses
 //! it (with `--requests` ≥ 31, so the pinned request repeats) to prove
 //! the cached serve path engages under a live mixed workload.
+//! `--inject-faults <seed>` installs a seeded chaos plan (worker
+//! kills, job panics, queue bursts, cache poisoning) and
+//! `--require-recovery` exits nonzero unless the run absorbed it
+//! cleanly: no lost tickets, no failed requests, and the plan
+//! demonstrably fired — CI's chaos smoke.
 
 use std::process::ExitCode;
 
@@ -48,7 +53,8 @@ fn main() -> ExitCode {
         println!("       experiments --map <spec|all> [--len N] [--max-x N] [--sigma N]");
         println!(
             "       experiments serve-demo [--workers N] [--clients N] [--requests N] \
-             [--queue N] [--window N] [--require-rejections] [--require-cache-hits]\n"
+             [--queue N] [--window N] [--inject-faults SEED] [--require-rejections] \
+             [--require-cache-hits] [--require-recovery]\n"
         );
         println!("Available experiments:");
         for e in experiments::all() {
@@ -153,6 +159,7 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
     let mut config = experiments::serve_demo::DemoConfig::default();
     let mut require_rejections = false;
     let mut require_cache_hits = false;
+    let mut require_recovery = false;
     let mut rest = args.iter();
     while let Some(flag) = rest.next() {
         if flag == "--require-rejections" {
@@ -161,6 +168,10 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
         }
         if flag == "--require-cache-hits" {
             require_cache_hits = true;
+            continue;
+        }
+        if flag == "--require-recovery" {
+            require_recovery = true;
             continue;
         }
         let Some(value) = rest.next() else {
@@ -176,10 +187,12 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
                 .is_ok(),
             "--queue" => value.parse().map(|v| config.queue_capacity = v).is_ok(),
             "--window" => value.parse().map(|v| config.window = v).is_ok(),
+            "--inject-faults" => value.parse().map(|v| config.fault_seed = Some(v)).is_ok(),
             _ => {
                 eprintln!(
                     "unknown flag {flag} (expected --workers, --clients, --requests, \
-                     --queue, --window, --require-rejections or --require-cache-hits)"
+                     --queue, --window, --inject-faults, --require-rejections, \
+                     --require-cache-hits or --require-recovery)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -216,6 +229,28 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
              pinned request repeats)"
         );
         return ExitCode::FAILURE;
+    }
+    if require_recovery {
+        let attempted = (config.clients * config.requests_per_client) as u64;
+        if config.fault_seed.is_none() {
+            eprintln!("error: --require-recovery needs --inject-faults <seed>");
+            return ExitCode::FAILURE;
+        }
+        if outcome.completed + outcome.rejected != attempted {
+            eprintln!(
+                "error: --require-recovery set, but {} of {attempted} request(s) \
+                 were lost (neither completed nor rejected)",
+                attempted - outcome.completed - outcome.rejected
+            );
+            return ExitCode::FAILURE;
+        }
+        if outcome.stats.faults_injected == 0 {
+            eprintln!(
+                "error: --require-recovery set, but the fault plan never fired \
+                 (nothing was recovered from)"
+            );
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

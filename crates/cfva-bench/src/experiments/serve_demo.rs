@@ -43,6 +43,11 @@ pub struct DemoConfig {
     pub queue_capacity: usize,
     /// Per-client in-flight window (tickets held before reaping).
     pub window: usize,
+    /// Chaos seed (`--inject-faults`): installs a seeded
+    /// [`FaultPlan`](cfva_serve::fault::FaultPlan) — worker kills, job
+    /// panics, queue bursts, cache poisoning — which the hardened
+    /// service must absorb without losing a single accepted ticket.
+    pub fault_seed: Option<u64>,
 }
 
 impl Default for DemoConfig {
@@ -53,6 +58,7 @@ impl Default for DemoConfig {
             requests_per_client: 60,
             queue_capacity: ServiceConfig::default().queue_capacity,
             window: 8,
+            fault_seed: None,
         }
     }
 }
@@ -136,9 +142,17 @@ fn sample_request<R: Rng + ?Sized>(rng: &mut R, specs: &[String]) -> Request {
 
 /// Runs the demo and returns the outcome (see the module docs).
 pub fn serve_demo(config: &DemoConfig) -> DemoOutcome {
-    let service = Service::new(
-        ServiceConfig::with_workers(config.workers).queue_capacity(config.queue_capacity),
-    );
+    let mut service_config =
+        ServiceConfig::with_workers(config.workers).queue_capacity(config.queue_capacity);
+    if let Some(seed) = config.fault_seed {
+        // Horizon covers every submission index and job tag the run can
+        // produce (bursts included), so faults fire throughout.
+        let horizon = (config.clients * config.requests_per_client * 4).max(4096) as u64;
+        service_config = service_config.fault_plan(std::sync::Arc::new(
+            cfva_serve::fault::FaultPlan::seeded(seed, horizon),
+        ));
+    }
+    let service = Service::new(service_config);
     let specs: Vec<String> = Registry::builtin()
         .all_specs()
         .iter()
@@ -260,6 +274,20 @@ pub fn serve_demo(config: &DemoConfig) -> DemoOutcome {
             t.row_owned(vec!["result cache".into(), "disabled".into()]);
         }
     }
+    t.row_owned(vec![
+        "retries / worker restarts".into(),
+        format!("{} / {}", stats.retries, stats.restarts),
+    ]);
+    t.row_owned(vec![
+        "deadline exceeded / degraded".into(),
+        format!("{} / {}", stats.deadline_exceeded, stats.degraded),
+    ]);
+    if config.fault_seed.is_some() {
+        t.row_owned(vec![
+            "faults injected".into(),
+            stats.faults_injected.to_string(),
+        ]);
+    }
 
     let report = format!(
         "Serve demo — mixed workload (measure / batch / efficiency / family sweep)\n\
@@ -290,6 +318,7 @@ mod tests {
             requests_per_client: 10,
             queue_capacity: 256,
             window: 4,
+            fault_seed: None,
         });
         assert_eq!(outcome.completed, 20);
         assert_eq!(outcome.rejected, 0);
@@ -314,6 +343,7 @@ mod tests {
             requests_per_client: 31,
             queue_capacity: 256,
             window: 4,
+            fault_seed: None,
         });
         assert_eq!(outcome.failed, 0);
         let cache = outcome.stats.cache.expect("cache on by default");
@@ -327,6 +357,30 @@ mod tests {
     }
 
     #[test]
+    fn chaos_run_recovers_every_accepted_ticket() {
+        // The `--inject-faults … --require-recovery` contract: under a
+        // seeded chaos schedule, no accepted ticket is lost, nothing
+        // fails, and the fault plan demonstrably fired.
+        let outcome = serve_demo(&DemoConfig {
+            workers: 2,
+            clients: 2,
+            requests_per_client: 40,
+            queue_capacity: 256,
+            window: 4,
+            fault_seed: Some(7),
+        });
+        assert_eq!(outcome.failed, 0, "{}", outcome.report);
+        assert_eq!(
+            outcome.completed + outcome.rejected,
+            80,
+            "{}",
+            outcome.report
+        );
+        assert!(outcome.stats.faults_injected > 0, "{}", outcome.report);
+        assert!(outcome.report.contains("faults injected"));
+    }
+
+    #[test]
     fn over_capacity_burst_rejects_instead_of_deadlocking() {
         // One worker, a queue of one, and clients that keep eight
         // requests in flight: rejections are unavoidable, and the demo
@@ -337,6 +391,7 @@ mod tests {
             requests_per_client: 25,
             queue_capacity: 1,
             window: 8,
+            fault_seed: None,
         });
         assert!(outcome.rejected > 0, "{}", outcome.report);
         assert_eq!(outcome.failed, 0);

@@ -26,13 +26,19 @@ use crate::workspace::{SourceFile, Workspace};
 const REGISTRY: &str = "crates/cfva-core/src/mapping/registry.rs";
 /// The suites every builtin map name must reach.
 const MAP_SUITES: &[&str] = &["tests/engine_agreement.rs", "tests/registry_equivalence.rs"];
-/// Where `enum Request` is declared.
+/// Where the service API enums are declared.
 const API: &str = "crates/cfva-serve/src/api.rs";
 /// Files every `Request` variant must appear in (dispatch + suite).
 const REQUEST_SITES: &[&str] = &[
     "crates/cfva-serve/src/service.rs",
     "crates/cfva-serve/tests/service_equivalence.rs",
 ];
+/// Files every `Response` and `ServeError` variant must appear in: the
+/// equivalence suite is the service's behavioural contract, so a
+/// response or error shape nobody asserts on is a shape nobody checked
+/// (`Degraded` and `DeadlineExceeded` ship with recovery machinery
+/// that only tests make real).
+const OUTCOME_SITES: &[&str] = &["crates/cfva-serve/tests/service_equivalence.rs"];
 
 pub struct RegistrationIsCoverage;
 
@@ -48,7 +54,9 @@ impl Lint for RegistrationIsCoverage {
     fn run(&self, ws: &Workspace) -> Vec<Diagnostic> {
         let mut diags = Vec::new();
         check_map_names(ws, &mut diags);
-        check_request_variants(ws, &mut diags);
+        check_enum_variants(ws, "Request", REQUEST_SITES, &mut diags);
+        check_enum_variants(ws, "Response", OUTCOME_SITES, &mut diags);
+        check_enum_variants(ws, "ServeError", OUTCOME_SITES, &mut diags);
         diags
     }
 }
@@ -146,25 +154,30 @@ fn file_mentions_map(file: &SourceFile, name: &str) -> bool {
 }
 
 // ---------------------------------------------------------------------
-// Request variants
+// Service API enum variants
 // ---------------------------------------------------------------------
 
-fn check_request_variants(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+fn check_enum_variants(
+    ws: &Workspace,
+    enum_name: &str,
+    sites: &[&str],
+    diags: &mut Vec<Diagnostic>,
+) {
     let Some(api) = ws.file(API) else {
         return;
     };
     let code = CodeTokens::new(api);
-    let variants = enum_variants(&code, "Request");
-    for site_rel in REQUEST_SITES {
+    let variants = enum_variants(&code, enum_name);
+    for site_rel in sites {
         let Some(site) = ws.file(site_rel) else {
             continue;
         };
         for (variant, k) in &variants {
-            if !file_mentions_variant(site, "Request", variant) {
+            if !file_mentions_variant(site, enum_name, variant) {
                 diags.push(code.diag_at(
                     *k,
                     "L004",
-                    format!("`Request::{variant}` never appears in {site_rel}"),
+                    format!("`{enum_name}::{variant}` never appears in {site_rel}"),
                 ));
             }
         }

@@ -1,7 +1,19 @@
 //! L004 fixture: `Request::Ghost` has a dispatch arm but no case in
-//! the service equivalence suite.
+//! the service equivalence suite; `Response::Phantom` and
+//! `ServeError::Unseen` are response/error shapes the suite never
+//! asserts on.
 
 pub enum Request {
     Measure { spec: String },
     Ghost,
+}
+
+pub enum Response {
+    Measured(u32),
+    Phantom,
+}
+
+pub enum ServeError {
+    Overloaded,
+    Unseen,
 }

@@ -1,7 +1,10 @@
-//! L004 fixture suite: only `Request::Measure` is exercised.
+//! L004 fixture suite: only `Request::Measure`, `Response::Measured`
+//! and `ServeError::Overloaded` are exercised.
 
 fn covers_measure() {
     let _ = Request::Measure {
         spec: String::new(),
     };
+    let _ = Response::Measured(1);
+    let _ = ServeError::Overloaded;
 }

@@ -21,6 +21,8 @@
 //!   sweep — resolves through the returned ticket as the `Err` arm of
 //!   [`ServeResult`].
 
+use std::time::Duration;
+
 use cfva_core::plan::Strategy;
 use cfva_core::{ConfigError, VectorSpec};
 use cfva_memsim::AccessStats;
@@ -156,6 +158,27 @@ pub enum Response {
     FamilySweep(Vec<FamilyPoint>),
     /// [`Request::Efficiency`]: the estimated efficiency `η ∈ (0, 1]`.
     Efficiency(f64),
+    /// A **degraded** response: the service answered from the O(1)
+    /// analytic steady-state estimator instead of a full simulation —
+    /// either to shed overload
+    /// ([`ServiceConfig::degraded_fallback`](crate::service::ServiceConfig)
+    /// turning an [`ServeError::Overloaded`] rejection into an
+    /// estimate) or after a request exhausted its retry budget.
+    ///
+    /// Only [`Request::Measure`] and [`Request::FamilySweep`] degrade;
+    /// the wrapped response has the same shape the full path would
+    /// produce, with aggregate statistics estimated (per-element
+    /// vectors empty) and `exact` reporting whether every underlying
+    /// estimate was provably equal to a full simulation. Degraded
+    /// responses are never cached.
+    Degraded {
+        /// The estimated response ([`Response::Measured`] or
+        /// [`Response::FamilySweep`] shaped).
+        response: Box<Response>,
+        /// `true` when every analytic estimate inside was provably
+        /// exact (see `cfva_memsim::AnalyticEstimate::exact`).
+        exact: bool,
+    },
 }
 
 /// Typed service errors.
@@ -179,6 +202,24 @@ pub enum ServeError {
     /// A non-spec request parameter is invalid (even sweep sigma, an
     /// overflowing address stream, …).
     Request(ConfigError),
+    /// The request's deadline budget elapsed before a result was
+    /// produced: either the worker shed the request before executing
+    /// it (the ticket resolves with this error), or the caller's
+    /// `wait` on the ticket gave up at the deadline. The request is
+    /// **not** retried past its deadline.
+    DeadlineExceeded {
+        /// The budget the request was submitted with.
+        budget: Duration,
+    },
+    /// The request kept panicking on its workers: every execution
+    /// attempt (1 initial + the configured retries) died. The last
+    /// attempt's panic message is carried for diagnosis.
+    WorkerPanicked {
+        /// Execution attempts made (initial + retries).
+        attempts: u32,
+        /// The final attempt's panic message.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -194,6 +235,13 @@ impl std::fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
             ServeError::Spec(e) => write!(f, "map spec rejected: {e}"),
             ServeError::Request(e) => write!(f, "request rejected: {e}"),
+            ServeError::DeadlineExceeded { budget } => {
+                write!(f, "deadline exceeded: budget {budget:?} elapsed")
+            }
+            ServeError::WorkerPanicked { attempts, message } => write!(
+                f,
+                "request panicked on its worker {attempts} time(s); last: {message}"
+            ),
         }
     }
 }

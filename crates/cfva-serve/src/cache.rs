@@ -105,6 +105,10 @@ pub struct CacheStats {
     /// `Service::submit_uncached` calls, and requests with no sound
     /// key (an unbuildable spec has no stride-class reduction).
     pub bypasses: u64,
+    /// Entries dropped by whole-cache invalidation (the fault
+    /// injector's cache poisoning, or an explicit flush) — distinct
+    /// from capacity `evictions`.
+    pub invalidations: u64,
     /// Entries currently resident.
     pub entries: usize,
     /// The configured capacity bound.
@@ -137,6 +141,7 @@ pub(crate) struct ResultCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     bypasses: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl ResultCache {
@@ -156,6 +161,7 @@ impl ResultCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             bypasses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -206,6 +212,23 @@ impl ResultCache {
         self.bypasses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Drops every resident entry — the fault injector's cache
+    /// poisoning. Correctness-neutral by construction: the next lookup
+    /// of any dropped key misses and recomputes the same deterministic
+    /// response. Shards are flushed one at a time (the lock hierarchy
+    /// holds one shard at most), so a concurrent insert may survive;
+    /// that is fine — poisoning promises "entries dropped", not a
+    /// linearized snapshot.
+    pub(crate) fn invalidate_all(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let dropped = shard.len() as u64;
+            shard.clear();
+            drop(shard);
+            self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
     /// A snapshot of the counters and occupancy.
     pub(crate) fn stats(&self) -> CacheStats {
         CacheStats {
@@ -213,6 +236,7 @@ impl ResultCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             bypasses: self.bypasses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
             entries: self.shards.iter().map(|s| s.lock().len()).sum(),
             capacity: self.shard_capacity * SHARDS,
         }
@@ -276,6 +300,20 @@ mod tests {
             Some(Response::Efficiency(0.0)),
             "a constantly-touched entry is never the LRU victim"
         );
+    }
+
+    #[test]
+    fn invalidate_all_flushes_everything_and_counts_it() {
+        let cache = ResultCache::new(64);
+        for seed in 0..10 {
+            cache.insert(key(seed), Response::Efficiency(seed as f64));
+        }
+        cache.invalidate_all();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0, "poisoned cache holds nothing");
+        assert_eq!(stats.invalidations, 10);
+        assert_eq!(stats.evictions, 0, "invalidation is not eviction");
+        assert_eq!(cache.get(&key(3)), None, "flushed entries simply miss");
     }
 
     #[test]

@@ -25,6 +25,18 @@
 //!   [`cfva_core::StrideClass`]), resolves repeated requests without
 //!   touching the pool — [`service::Service::stats`] reports its
 //!   hit/miss/eviction counters.
+//! * [`fault`] — the seeded, deterministic chaos injector
+//!   ([`fault::FaultPlan`]): worker kills, job delays, queue bursts,
+//!   cache poisoning and injected panics, threaded through the pool
+//!   and service behind a hook that costs nothing when no plan is
+//!   installed. The substrate it exercises is **self-healing**:
+//!   supervised workers restart (in-flight jobs re-queued), panicked
+//!   requests retry with backoff, per-request deadlines resolve
+//!   [`api::ServeError::DeadlineExceeded`] instead of blocking, and
+//!   overload can shed to the O(1) analytic estimator as
+//!   [`api::Response::Degraded`] — see `tests/chaos.rs` for the
+//!   invariants (every accepted ticket resolves, bit-identical to a
+//!   fault-free serial run, under any seeded schedule).
 //!
 //! ```
 //! use cfva_serve::api::{Request, Response};
@@ -52,6 +64,7 @@
 
 pub mod api;
 mod cache;
+pub mod fault;
 pub mod locks;
 pub mod pool;
 pub mod runner;

@@ -2,14 +2,17 @@
 //!
 //! # The hierarchy: every lock is a leaf
 //!
-//! The serving layer owns five lock classes ([`LockClass`]): the
+//! The serving layer owns seven lock classes ([`LockClass`]): the
 //! scheduler ([`Sched`](LockClass::Sched)), the per-ticket result slot
 //! ([`TicketSlot`](LockClass::TicketSlot)), the worker-handle registry
 //! ([`Handles`](LockClass::Handles)), the per-spec metadata map
-//! ([`SpecMeta`](LockClass::SpecMeta)) and the result-cache shards
-//! ([`CacheShard`](LockClass::CacheShard)). The concurrency design
-//! keeps the hierarchy deliberately **flat**: a thread holds at most
-//! one of them at a time.
+//! ([`SpecMeta`](LockClass::SpecMeta)), the result-cache shards
+//! ([`CacheShard`](LockClass::CacheShard)), the pool supervisor's
+//! restart ledger ([`Supervisor`](LockClass::Supervisor)) and the
+//! degraded-fallback session map
+//! ([`DegradedSessions`](LockClass::DegradedSessions)). The
+//! concurrency design keeps the hierarchy deliberately **flat**: a
+//! thread holds at most one of them at a time.
 //!
 //! * Workers pop a job under `Sched`, release, *then* run it — ticket
 //!   resolution (`TicketSlot`) happens strictly after the scheduler
@@ -17,6 +20,14 @@
 //! * Cache lookups and population (`CacheShard`) happen before
 //!   submission or after completion, never inside either lock.
 //! * `Handles` is touched only by `shutdown`, after admission closes.
+//! * `Supervisor` is touched only on the worker-death path: a dying
+//!   worker thread records its restart (and reads the restart budget)
+//!   *after* every scheduler guard is gone — the respawn itself, and
+//!   any subsequent `Sched` acquisition by the replacement, happens
+//!   strictly outside the ledger lock.
+//! * `DegradedSessions` guards the submit-side analytic fallback's
+//!   session map; the fallback computes entirely on the caller's
+//!   thread with no other serve lock held.
 //!
 //! So any nested acquisition is a bug by definition: either a latent
 //! deadlock (two threads nesting in opposite orders) or an accidental
@@ -36,7 +47,16 @@
 //! state that is only ever mutated in small, panic-free critical
 //! sections (jobs run *outside* the locks, with panics caught at the
 //! job boundary), so a poisoned lock means a bug in this crate itself,
-//! not a bad request — unrecoverable by design.
+//! not a bad request — unrecoverable by design. The one deliberate
+//! exception is [`ClassedMutex::lock_unchecked`], used by drop paths
+//! that may run *during an unwind* (ticket abandonment, completer
+//! cleanup): those recover from poison instead of panicking, because a
+//! panic there would be a double panic and abort the process, and the
+//! cleanup they perform is sound against any partially-updated slot. A
+//! poisoned lock never leaks past the request that poisoned it —
+//! unrelated requests keep resolving (pinned by
+//! `poisoned_ticket_slot_never_leaks_to_unrelated_requests` in
+//! `tests/chaos.rs`).
 
 use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
 use std::time::Duration;
@@ -55,6 +75,10 @@ pub enum LockClass {
     SpecMeta,
     /// One shard of the canonical result cache.
     CacheShard,
+    /// The pool supervisor's per-worker restart ledger.
+    Supervisor,
+    /// The service's degraded-fallback session map.
+    DegradedSessions,
 }
 
 /// A `Mutex` that knows which [`LockClass`] it belongs to and, in
@@ -97,6 +121,22 @@ impl<T> ClassedMutex<T> {
     /// The class this mutex was registered under.
     pub fn class(&self) -> LockClass {
         self.class
+    }
+
+    /// Locks without the debug-order bookkeeping and **recovering from
+    /// poison** instead of panicking.
+    ///
+    /// Exclusively for drop paths that may run *during an unwind*
+    /// (ticket abandonment, completer cleanup): a panic there would be
+    /// a double panic and abort the process, so this path must never
+    /// panic. A poisoned slot mutex here means the panicking side was
+    /// interrupted mid-store; the cleanup it protects (marking a slot
+    /// abandoned, discarding a result) is sound against any such
+    /// partial state.
+    pub(crate) fn lock_unchecked(&self) -> MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 

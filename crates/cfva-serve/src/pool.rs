@@ -42,13 +42,23 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar};
 use std::time::Duration;
 
+use crate::fault::{self, FaultPlan, WorkerFault};
 use crate::locks::{self, ClassedMutex, LockClass};
 
-/// A queued unit of work: runs on a worker against its session.
-type Job<'a, S> = Box<dyn FnOnce(&mut S) + Send + 'a>;
+/// The boxed closure a worker runs against its session.
+type BoxedRun<'a, S> = Box<dyn FnOnce(&mut S) + Send + 'a>;
+
+/// A queued unit of work: runs on a worker against its session. `tag`
+/// is the pool-wide job sequence number keying the fault plan; always
+/// 0 when no plan is installed (the counter is skipped entirely).
+struct Job<'a, S> {
+    run: BoxedRun<'a, S>,
+    tag: u64,
+}
 
 /// Why a bounded submission was refused.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,6 +105,9 @@ struct Sched<'a, S> {
     /// dropped (resolving their tickets as panicked) rather than
     /// stranded.
     alive: usize,
+    /// The next job sequence number, advanced only when a fault plan
+    /// is installed (see [`Job::tag`]).
+    next_tag: u64,
 }
 
 impl<'a, S> Sched<'a, S> {
@@ -127,10 +140,29 @@ struct Core<'a, S> {
     /// Signalled on every submission and on shutdown.
     work: Condvar,
     capacity: usize,
+    /// The installed fault plan; `None` (the default) costs nothing —
+    /// jobs are not even tagged.
+    faults: Option<Arc<FaultPlan>>,
+    /// Per-worker restart counts, maintained by the supervisor path.
+    /// Indexed by worker; the budget is [`Core::max_restarts`] each.
+    supervisor: ClassedMutex<Vec<u32>>,
+    /// Restart budget per worker before it is abandoned for good.
+    max_restarts: u32,
+    /// Total restarts granted across all workers (monitoring).
+    restarts_total: AtomicU64,
 }
 
 impl<'a, S> Core<'a, S> {
     fn new(workers: usize, capacity: usize) -> Self {
+        Core::with_faults(workers, capacity, None, PoolOptions::DEFAULT_MAX_RESTARTS)
+    }
+
+    fn with_faults(
+        workers: usize,
+        capacity: usize,
+        faults: Option<Arc<FaultPlan>>,
+        max_restarts: u32,
+    ) -> Self {
         Core {
             sched: ClassedMutex::new(
                 LockClass::Sched,
@@ -140,16 +172,26 @@ impl<'a, S> Core<'a, S> {
                     queued: 0,
                     shutting_down: false,
                     alive: workers,
+                    next_tag: 0,
                 },
             ),
             work: Condvar::new(),
             capacity,
+            faults,
+            supervisor: ClassedMutex::new(LockClass::Supervisor, vec![0; workers]),
+            max_restarts,
+            restarts_total: AtomicU64::new(0),
         }
     }
 
-    /// Queues `job` (injector, or worker-local when `to` is given),
+    /// Queues `run` (injector, or worker-local when `to` is given),
     /// enforcing the admission capacity when `bounded`.
-    fn push(&self, to: Option<usize>, job: Job<'a, S>, bounded: bool) -> Result<(), SubmitError> {
+    fn push(
+        &self,
+        to: Option<usize>,
+        run: BoxedRun<'a, S>,
+        bounded: bool,
+    ) -> Result<(), SubmitError> {
         let mut sched = self.sched.lock();
         // A dead pool (every worker's session construction panicked)
         // refuses like a shut-down one: accepting would strand the
@@ -163,6 +205,16 @@ impl<'a, S> Core<'a, S> {
                 capacity: self.capacity,
             });
         }
+        // Tag only under an installed plan: the fault hook is free
+        // when off.
+        let tag = if self.faults.is_some() {
+            let tag = sched.next_tag;
+            sched.next_tag += 1;
+            tag
+        } else {
+            0
+        };
+        let job = Job { run, tag };
         match to {
             Some(worker) => sched.locals[worker].push_back(job),
             None => sched.injector.push_back(job),
@@ -190,10 +242,57 @@ impl<'a, S> Core<'a, S> {
                 }
             };
             match job {
-                Some(job) => job(session),
+                Some(job) => {
+                    let run = self.apply_worker_fault(job);
+                    (run.run)(session);
+                }
                 None => return,
             }
         }
+    }
+
+    /// The pool-side fault hook: consults the plan (when installed)
+    /// for the popped job's tag. A `Delay` spins before returning the
+    /// job; a `KillWorker` **re-queues the job first** — it was
+    /// accepted, so its ticket must still resolve — and then panics
+    /// the worker thread with no lock held, handing control to the
+    /// supervisor path in [`supervise`].
+    fn apply_worker_fault(&self, job: Job<'a, S>) -> Job<'a, S> {
+        let Some(plan) = &self.faults else {
+            return job;
+        };
+        match plan.take_worker_fault(job.tag) {
+            None => job,
+            Some(WorkerFault::Delay { spins }) => {
+                fault::spin(spins);
+                job
+            }
+            Some(WorkerFault::KillWorker) => {
+                {
+                    let mut sched = self.sched.lock();
+                    sched.injector.push_front(job);
+                    sched.queued += 1;
+                }
+                self.work.notify_all();
+                // cfva-lint: allow(L002, reason = "the injected kill IS the fault being tested; it fires outside every lock and the supervisor path recovers it")
+                panic!("injected fault: worker killed by FaultPlan");
+            }
+        }
+    }
+
+    /// Records a restart for `worker` against its budget. `true` grants
+    /// the restart (and counts it); `false` means the budget is spent
+    /// and the worker must bow out through [`Core::abandon_worker`].
+    fn note_restart(&self, worker: usize) -> bool {
+        {
+            let mut ledger = self.supervisor.lock();
+            if ledger[worker] >= self.max_restarts {
+                return false;
+            }
+            ledger[worker] += 1;
+        }
+        self.restarts_total.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     /// A worker whose `make` closure panicked: it never serves. The
@@ -238,6 +337,12 @@ enum Slot<R> {
     Panicked(String),
     /// The result was already taken by [`Ticket::poll`].
     Taken,
+    /// The ticket was dropped while the job was still pending (e.g.
+    /// after a [`Ticket::wait_timeout`] the caller gave up on). The
+    /// job still runs — it was accepted — but its result (or panic
+    /// payload) is **discarded at completion** instead of parked in
+    /// the slot for as long as the completer side keeps it alive.
+    Abandoned,
 }
 
 struct TicketShared<R> {
@@ -360,7 +465,30 @@ impl<R> Ticket<R> {
                 *slot = Slot::Pending;
                 None
             }
+            // Unreachable while a Ticket is alive (only its own Drop
+            // writes Abandoned), but harmless to preserve.
+            Slot::Abandoned => {
+                *slot = Slot::Abandoned;
+                None
+            }
             Slot::Taken => None,
+        }
+    }
+}
+
+impl<R> Drop for Ticket<R> {
+    /// Marks a still-pending slot **abandoned**, so the job side
+    /// discards the result instead of parking it in the slot (see
+    /// [`Slot::Abandoned`]).
+    ///
+    /// Runs on every drop — including during an unwind out of
+    /// [`Ticket::wait`]'s panic re-raise, which poisons the slot's
+    /// mutex — so it takes the poison-recovering, checker-free lock
+    /// path: panicking here would be a double panic (process abort).
+    fn drop(&mut self) {
+        let mut slot = self.shared.slot.lock_unchecked();
+        if matches!(*slot, Slot::Pending) {
+            *slot = Slot::Abandoned;
         }
     }
 }
@@ -376,9 +504,22 @@ struct Completer<R> {
 }
 
 impl<R> Completer<R> {
+    /// Resolves the slot — unless the ticket was dropped while the job
+    /// was pending, in which case the outcome (result or panic
+    /// payload) is discarded on the spot: nothing will ever take it,
+    /// so parking it would hold the allocation for as long as the
+    /// completer side lives.
+    ///
+    /// Uses the checker-free, poison-recovering lock path because the
+    /// completer may resolve from `Drop` during an unwind (a dying
+    /// pool dropping its queue); a panic here would abort.
     fn complete(&mut self, outcome: Slot<R>) {
-        let mut slot = self.shared.slot.lock();
-        *slot = outcome;
+        let mut slot = self.shared.slot.lock_unchecked();
+        if matches!(*slot, Slot::Abandoned) {
+            *slot = Slot::Taken;
+        } else {
+            *slot = outcome;
+        }
         drop(slot);
         self.shared.done.notify_all();
         self.completed = true;
@@ -402,7 +543,7 @@ impl<R> Drop for Completer<R> {
 /// re-raised at the ticket, so one bad request cannot kill a worker
 /// (the session is handed back; `BatchRunner` scratch is rebuilt on
 /// the next measurement, so a torn session state is harmless).
-fn package<'a, S, R, F>(job: F) -> (Job<'a, S>, Ticket<R>)
+fn package<'a, S, R, F>(job: F) -> (BoxedRun<'a, S>, Ticket<R>)
 where
     F: FnOnce(&mut S) -> R + Send + 'a,
     R: Send + 'a,
@@ -412,7 +553,7 @@ where
         shared,
         completed: false,
     };
-    let boxed: Job<'a, S> = Box::new(move |session: &mut S| {
+    let boxed: BoxedRun<'a, S> = Box::new(move |session: &mut S| {
         let outcome = catch_unwind(AssertUnwindSafe(|| job(session)));
         completer.complete(match outcome {
             Ok(result) => Slot::Done(result),
@@ -422,7 +563,7 @@ where
     (boxed, ticket)
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -432,12 +573,74 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Long-lived pool knobs beyond worker count and queue capacity —
+/// fault injection and the supervisor's restart budget.
+#[derive(Debug, Clone)]
+pub struct PoolOptions {
+    /// The fault plan to inject from, or `None` (the default) for a
+    /// clean pool with zero-cost hooks.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Restart budget **per worker** before the supervisor gives the
+    /// worker up (defaults to
+    /// [`PoolOptions::DEFAULT_MAX_RESTARTS`]; a zero budget disables
+    /// supervision entirely).
+    pub max_restarts: u32,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        PoolOptions::new()
+    }
+}
+
+impl PoolOptions {
+    /// Default per-worker restart budget: generous enough for any
+    /// plausible chaos schedule, small enough to bound a crash loop.
+    pub const DEFAULT_MAX_RESTARTS: u32 = 16;
+
+    /// Options with no fault plan and the default restart budget.
+    pub fn new() -> Self {
+        PoolOptions {
+            faults: None,
+            max_restarts: Self::DEFAULT_MAX_RESTARTS,
+        }
+    }
+
+    /// Installs a fault plan.
+    #[must_use]
+    pub fn faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Replaces the per-worker restart budget.
+    #[must_use]
+    pub fn max_restarts(mut self, budget: u32) -> Self {
+        self.max_restarts = budget;
+        self
+    }
+}
+
 /// A long-lived work-stealing pool whose workers each own a session of
 /// type `S`, built on the worker's own thread.
 ///
 /// See the [module docs](self) for the scheduling shape. Dropping the
 /// pool shuts it down and **drains**: every already-accepted job runs
 /// to completion first.
+///
+/// # Supervision
+///
+/// A worker thread that dies *outside* a job (job panics are caught at
+/// the job boundary — only an injected kill or a substrate bug gets
+/// here) is *supervised*: the dying thread records the restart against
+/// its per-worker budget ([`PoolOptions::max_restarts`]), spawns a
+/// replacement that rebuilds the session from scratch, and joins it —
+/// so [`Pool::shutdown`]'s join of the original handle transitively
+/// joins the whole restart chain. The dead worker's local queue lives
+/// in the shared scheduler, so the replacement (or a stealing peer)
+/// finishes its backlog: every accepted ticket still resolves. Past
+/// the budget the worker bows out through the same abandonment path as
+/// a worker whose session never constructed.
 pub struct Pool<S: 'static> {
     core: Arc<Core<'static, S>>,
     handles: ClassedMutex<Vec<std::thread::JoinHandle<()>>>,
@@ -450,6 +653,7 @@ impl<S> std::fmt::Debug for Pool<S> {
             .field("workers", &self.workers)
             .field("capacity", &self.core.capacity)
             .field("queue_depth", &self.core.queue_depth())
+            .field("restarts", &self.restarts())
             .finish()
     }
 }
@@ -467,23 +671,33 @@ impl<S: 'static> Pool<S> {
     where
         F: Fn(usize) -> S + Send + Sync + 'static,
     {
+        Pool::with_options(workers, capacity, PoolOptions::new(), make)
+    }
+
+    /// [`new`](Self::new) with explicit [`PoolOptions`] — fault
+    /// injection and the supervisor's restart budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or `capacity == 0`.
+    pub fn with_options<F>(workers: usize, capacity: usize, options: PoolOptions, make: F) -> Self
+    where
+        F: Fn(usize) -> S + Send + Sync + 'static,
+    {
         assert!(workers >= 1, "a pool needs at least one worker");
         assert!(capacity >= 1, "admission capacity must be at least 1");
-        let core = Arc::new(Core::new(workers, capacity));
+        let core = Arc::new(Core::with_faults(
+            workers,
+            capacity,
+            options.faults,
+            options.max_restarts,
+        ));
         let make = Arc::new(make);
         let handles = (0..workers)
             .map(|worker| {
                 let core = Arc::clone(&core);
                 let make = Arc::clone(&make);
-                std::thread::spawn(move || {
-                    // A panicking session constructor must not strand
-                    // queued tickets: the worker bows out through the
-                    // alive count instead of dying mid-protocol.
-                    match catch_unwind(AssertUnwindSafe(|| make(worker))) {
-                        Ok(mut session) => core.run_worker(worker, &mut session),
-                        Err(_) => core.abandon_worker(),
-                    }
-                })
+                std::thread::spawn(move || supervise(core, make, worker))
             })
             .collect();
         Pool {
@@ -496,6 +710,11 @@ impl<S: 'static> Pool<S> {
     /// The worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Worker restarts the supervisor has performed so far.
+    pub fn restarts(&self) -> u64 {
+        self.core.restarts_total.load(Ordering::Relaxed)
     }
 
     /// The admission-queue capacity enforced by the `try_submit*`
@@ -600,6 +819,47 @@ impl<S: 'static> Pool<S> {
         for handle in handles {
             // cfva-lint: allow(L002, reason = "job panics are caught at the job boundary, so a dead worker thread means a cfva-serve bug; surfacing it beats swallowing it")
             handle.join().expect("pool worker panicked outside a job");
+        }
+    }
+}
+
+/// One supervised worker lifetime: build the session, serve, and —
+/// should the thread die *outside* a job — restart on a fresh thread
+/// within the per-worker budget (see [`Pool`]'s Supervision docs).
+///
+/// A panicking session **constructor** is not a supervised death: it
+/// bows the worker out through the alive count (exactly the pre-
+/// supervision behavior), because a constructor that panics once will
+/// usually panic forever and the restart budget is better spent on
+/// mid-service deaths.
+fn supervise<S, F>(core: Arc<Core<'static, S>>, make: Arc<F>, worker: usize)
+where
+    S: 'static,
+    F: Fn(usize) -> S + Send + Sync + 'static,
+{
+    let served = catch_unwind(AssertUnwindSafe(|| {
+        match catch_unwind(AssertUnwindSafe(|| make(worker))) {
+            Ok(mut session) => core.run_worker(worker, &mut session),
+            Err(_) => core.abandon_worker(),
+        }
+    }));
+    if served.is_err() {
+        // The worker died mid-service: job panics are caught at the
+        // job boundary, so this is an injected kill or a substrate
+        // bug. Its local queue is shared scheduler state — the
+        // replacement (or a stealing peer) picks the backlog up, so
+        // every accepted ticket still resolves.
+        if core.note_restart(worker) {
+            let (respawn_core, respawn_make) = (Arc::clone(&core), Arc::clone(&make));
+            let chain = std::thread::spawn(move || supervise(respawn_core, respawn_make, worker));
+            // Chain-join: `Pool::shutdown` joins the original thread,
+            // which transitively joins every link of the restart
+            // chain — the drain guarantee survives any number of
+            // restarts. The chain link itself never propagates a
+            // panic (its own death re-enters this path).
+            let _ = chain.join();
+        } else {
+            core.abandon_worker();
         }
     }
 }
@@ -893,5 +1153,111 @@ mod tests {
         assert_eq!(pool.workers(), 2);
         assert_eq!(pool.capacity(), 5);
         assert_eq!(pool.queue_depth(), 0);
+    }
+
+    #[test]
+    fn abandoned_ticket_discards_result_but_job_still_runs() {
+        use std::sync::atomic::AtomicU32;
+        let ran = Arc::new(AtomicU32::new(0));
+        let pool = Pool::new(1, 8, |_| ());
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let stall = pool.submit(move |(): &mut ()| gate_rx.recv().unwrap());
+        let counted = Arc::clone(&ran);
+        // Dropped before it can run: the slot flips to Abandoned, the
+        // job still executes (accepted work always runs), and the
+        // completer discards the now-unwanted result.
+        drop(pool.submit(move |(): &mut ()| counted.fetch_add(1, Ordering::Relaxed)));
+        gate_tx.send(()).unwrap();
+        stall.wait();
+        pool.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "abandoned job must run");
+    }
+
+    #[test]
+    fn injected_kill_restarts_worker_and_job_still_resolves() {
+        let plan = Arc::new(FaultPlan::new().kill_worker_at(0));
+        let options = PoolOptions::new().faults(plan);
+        let pool = Pool::with_options(1, 8, options, |_| ());
+        // Tag 0: the first accepted job. Its pop trips KillWorker — the
+        // job is re-queued, the worker thread dies, the supervisor
+        // restarts it, and the restarted worker serves the job.
+        let t = pool.submit(|(): &mut ()| 41u32 + 1);
+        assert_eq!(t.wait(), 42);
+        assert_eq!(pool.restarts(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn exhausted_restart_budget_abandons_instead_of_looping() {
+        // Two kills against a zero restart budget: the first killed
+        // worker is abandoned outright. With every worker gone the
+        // pool drops its orphans, so the ticket resolves (panicked)
+        // rather than stranding the caller.
+        let plan = Arc::new(FaultPlan::new().kill_worker_at(0));
+        let options = PoolOptions::new().faults(plan).max_restarts(0);
+        let pool = Pool::with_options(1, 8, options, |_| ());
+        let t = pool.submit(|(): &mut ()| 1u32);
+        let outcome = catch_unwind(AssertUnwindSafe(move || t.wait()));
+        assert!(outcome.is_err(), "orphaned ticket must resolve by panic");
+        assert_eq!(pool.restarts(), 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panic_during_shutdown_drain_still_resolves_every_ticket() {
+        let pool = Pool::new(1, 32, |_| ());
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let stall = pool.submit(move |(): &mut ()| gate_rx.recv().unwrap());
+        let panicker = pool.submit(|(): &mut ()| -> u32 { panic!("mid-drain boom") });
+        let tickets: Vec<Ticket<u64>> = (0..10u64)
+            .map(|i| pool.submit(move |(): &mut ()| i))
+            .collect();
+        std::thread::scope(|scope| {
+            let drainer = scope.spawn(|| pool.shutdown());
+            gate_tx.send(()).unwrap();
+            stall.wait();
+            let outcome = catch_unwind(AssertUnwindSafe(move || panicker.wait()));
+            assert!(outcome.is_err(), "the panicking job resolves by re-raise");
+            for (i, t) in tickets.into_iter().enumerate() {
+                assert_eq!(t.wait(), i as u64, "drained jobs resolve normally");
+            }
+            drainer.join().expect("shutdown survives a draining panic");
+        });
+    }
+
+    #[test]
+    fn injected_kill_during_shutdown_drain_recovers_and_drains() {
+        // Kill the worker mid-drain (tag 3 is popped while shutdown is
+        // draining the queue): the supervisor must restart it and the
+        // restarted worker must finish the drain.
+        let plan = Arc::new(FaultPlan::new().kill_worker_at(3));
+        let options = PoolOptions::new().faults(plan);
+        let pool = Pool::with_options(1, 32, options, |_| ());
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let stall = pool.submit(move |(): &mut ()| gate_rx.recv().unwrap());
+        let tickets: Vec<Ticket<u64>> = (0..10u64)
+            .map(|i| pool.submit(move |(): &mut ()| i))
+            .collect();
+        std::thread::scope(|scope| {
+            let drainer = scope.spawn(|| pool.shutdown());
+            gate_tx.send(()).unwrap();
+            stall.wait();
+            for (i, t) in tickets.into_iter().enumerate() {
+                assert_eq!(t.wait(), i as u64);
+            }
+            drainer.join().expect("shutdown joins the restart chain");
+        });
+        assert_eq!(pool.restarts(), 1);
+    }
+
+    #[test]
+    fn delay_fault_only_slows_the_job_down() {
+        let plan = Arc::new(FaultPlan::new().delay_at(0, 64));
+        let options = PoolOptions::new().faults(plan.clone());
+        let pool = Pool::with_options(1, 8, options, |_| ());
+        assert_eq!(pool.submit(|(): &mut ()| 5u8).wait(), 5);
+        assert_eq!(plan.injected(), 1);
+        assert_eq!(pool.restarts(), 0);
+        pool.shutdown();
     }
 }

@@ -46,29 +46,176 @@
 //! `tests/service_cache.rs`.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use cfva_core::mapping::{MapSpec, ModuleMap, Registry};
 use cfva_core::plan::Strategy;
 use cfva_core::Stride;
 use cfva_core::StrideClass;
 use cfva_core::VectorSpec;
+use cfva_memsim::{AccessStats, AnalyticEstimate};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::api::{Estimator, FamilyPoint, Request, Response, ServeError, ServeResult};
 use crate::cache::{CacheKey, CacheStats, RequestKey, ResultCache};
+use crate::fault::{FaultPlan, SubmitFault};
 use crate::locks::{ClassedMutex, LockClass};
-use crate::pool::{Pool, SubmitError, Ticket};
+use crate::pool::{panic_message, Pool, PoolOptions, SubmitError, Ticket};
 use crate::runner::BatchRunner;
 use crate::workload::StrideSampler;
 
-/// A completion handle for one submitted request.
-pub type ServeTicket = Ticket<ServeResult>;
+/// A completion handle for one submitted request, deadline-aware: a
+/// ticket submitted with a budget ([`Service::submit_with_budget`] or
+/// [`ServiceConfig::default_budget`]) resolves with
+/// [`ServeError::DeadlineExceeded`] instead of blocking past its
+/// deadline — [`wait`](ServeTicket::wait) never outlives the budget.
+#[must_use = "a ServeTicket is the only handle to the response; drop it and the response is lost"]
+#[derive(Debug)]
+pub struct ServeTicket {
+    inner: Ticket<ServeResult>,
+    /// The absolute deadline, when submitted with a budget.
+    deadline: Option<Instant>,
+    /// The budget itself (for the typed error).
+    budget: Option<Duration>,
+    /// The service's deadline-exceeded counter, bumped on caller-side
+    /// expiry; `None` for tickets born resolved.
+    counters: Option<Arc<ServeCounters>>,
+    /// Set once the deadline error has been delivered through `poll`.
+    expired: bool,
+}
 
-/// Service sizing knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+impl ServeTicket {
+    /// A ticket born resolved — cache hits and submit-side degraded
+    /// responses.
+    fn now(result: ServeResult) -> Self {
+        ServeTicket {
+            inner: Ticket::ready(result),
+            deadline: None,
+            budget: None,
+            counters: None,
+            expired: false,
+        }
+    }
+
+    fn pending(
+        inner: Ticket<ServeResult>,
+        budget: Option<Duration>,
+        deadline: Option<Instant>,
+        counters: Arc<ServeCounters>,
+    ) -> Self {
+        ServeTicket {
+            inner,
+            deadline,
+            budget,
+            counters: Some(counters),
+            expired: false,
+        }
+    }
+
+    /// Whether the response (or its typed error) is ready to take.
+    pub fn is_ready(&self) -> bool {
+        self.inner.is_ready()
+    }
+
+    /// Non-blocking take — `Some` once resolved, and at most once.
+    /// Past the deadline a still-pending ticket resolves to
+    /// [`ServeError::DeadlineExceeded`] (also delivered at most once).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the request's panic if it exhausted its retries in a
+    /// service configured with `max_retries` handling disabled —
+    /// normally requests resolve to typed errors instead.
+    pub fn poll(&mut self) -> Option<ServeResult> {
+        if let Some(result) = self.inner.poll() {
+            return Some(result);
+        }
+        match self.deadline {
+            Some(deadline) if !self.expired && Instant::now() >= deadline => {
+                self.expired = true;
+                if let Some(counters) = &self.counters {
+                    counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(Err(ServeError::DeadlineExceeded {
+                    budget: self.budget.unwrap_or_default(),
+                }))
+            }
+            _ => None,
+        }
+    }
+
+    /// Blocks until the response is ready — or, for a ticket with a
+    /// budget, until the deadline, resolving
+    /// [`ServeError::DeadlineExceeded`] instead of blocking forever.
+    /// The abandoned in-flight result is discarded when it eventually
+    /// completes (see [`Ticket`]'s abandonment semantics).
+    ///
+    /// # Panics
+    ///
+    /// Same panic contract as [`poll`](ServeTicket::poll), plus the
+    /// double-take contract of [`Ticket::wait`].
+    pub fn wait(self) -> ServeResult {
+        let Some(deadline) = self.deadline else {
+            return self.inner.wait();
+        };
+        let budget = self.budget.unwrap_or_default();
+        let counters = self.counters.clone();
+        let now = Instant::now();
+        let outcome = if now >= deadline {
+            Err(self.inner)
+        } else {
+            self.inner.wait_timeout(deadline - now)
+        };
+        match outcome {
+            Ok(result) => result,
+            Err(abandoned) => {
+                drop(abandoned); // marks the slot abandoned; the result is discarded on completion
+                if let Some(counters) = &counters {
+                    counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(ServeError::DeadlineExceeded { budget })
+            }
+        }
+    }
+
+    /// Like [`wait`](ServeTicket::wait) but gives up after `timeout`,
+    /// handing the still-pending ticket back as `Err`. A ticket whose
+    /// *deadline* (not the timeout) elapsed resolves `Ok` with
+    /// [`ServeError::DeadlineExceeded`] — the deadline is a resolution,
+    /// the timeout is not.
+    #[must_use = "on timeout the still-pending ticket comes back in the Err; dropping it loses the response"]
+    pub fn wait_timeout(self, timeout: Duration) -> Result<ServeResult, ServeTicket> {
+        let now = Instant::now();
+        let capped = match self.deadline {
+            Some(deadline) => timeout.min(deadline.saturating_duration_since(now)),
+            None => timeout,
+        };
+        match self.inner.wait_timeout(capped) {
+            Ok(result) => Ok(result),
+            Err(inner) => {
+                let revived = ServeTicket { inner, ..self };
+                match revived.deadline {
+                    Some(deadline) if Instant::now() >= deadline => {
+                        let budget = revived.budget.unwrap_or_default();
+                        if let Some(counters) = &revived.counters {
+                            counters.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+                        }
+                        drop(revived); // abandon: the late result is discarded
+                        Ok(Err(ServeError::DeadlineExceeded { budget }))
+                    }
+                    _ => Err(revived),
+                }
+            }
+        }
+    }
+}
+
+/// Service sizing and robustness knobs.
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Pool workers (each owning its session cache). Defaults to the
     /// machine's available parallelism.
@@ -81,6 +228,30 @@ pub struct ServiceConfig {
     /// "Result cache"). `0` disables the cache entirely. Defaults to
     /// [`ServiceConfig::DEFAULT_CACHE_CAPACITY`].
     pub cache_capacity: usize,
+    /// Worker-side execution retries after a panicking attempt
+    /// (requests are idempotent — responses are pure functions of the
+    /// request — so re-execution is always sound). Defaults to
+    /// [`ServiceConfig::DEFAULT_MAX_RETRIES`]; `0` disables retry.
+    pub max_retries: u32,
+    /// Supervisor restart budget per pool worker
+    /// ([`PoolOptions::max_restarts`]). Defaults to
+    /// [`PoolOptions::DEFAULT_MAX_RESTARTS`].
+    pub max_worker_restarts: u32,
+    /// When `true`, `Measure`/`FamilySweep` requests degrade to the
+    /// O(1) analytic estimate — wrapped in [`Response::Degraded`] —
+    /// instead of failing with [`ServeError::Overloaded`] (full queue)
+    /// or [`ServeError::WorkerPanicked`] (retries exhausted). Defaults
+    /// to `false`: degradation changes response types, so callers opt
+    /// in.
+    pub degraded_fallback: bool,
+    /// A deadline budget applied to every submission that does not
+    /// carry its own ([`Service::submit_with_budget`]). Defaults to
+    /// `None` — no deadline.
+    pub default_budget: Option<Duration>,
+    /// The chaos plan injected into this service and its pool
+    /// ([`crate::fault`]). Defaults to `None`; the hooks cost nothing
+    /// when absent.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServiceConfig {
@@ -97,6 +268,9 @@ impl ServiceConfig {
     /// serving, small next to one cached `AccessStats`' arrival vector.
     pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
+    /// Default worker-side retry budget per request.
+    pub const DEFAULT_MAX_RETRIES: u32 = 2;
+
     /// A config with `workers` workers and the default queue bound for
     /// that worker count.
     pub fn with_workers(workers: usize) -> Self {
@@ -104,24 +278,66 @@ impl ServiceConfig {
             workers,
             queue_capacity: 16 * workers,
             cache_capacity: Self::DEFAULT_CACHE_CAPACITY,
+            max_retries: Self::DEFAULT_MAX_RETRIES,
+            max_worker_restarts: PoolOptions::DEFAULT_MAX_RESTARTS,
+            degraded_fallback: false,
+            default_budget: None,
+            fault_plan: None,
         }
     }
 
     /// Replaces the admission-queue bound.
+    #[must_use]
     pub fn queue_capacity(mut self, capacity: usize) -> Self {
         self.queue_capacity = capacity;
         self
     }
 
     /// Replaces the result-cache bound; `0` disables the cache.
+    #[must_use]
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
         self.cache_capacity = capacity;
         self
     }
+
+    /// Replaces the worker-side retry budget; `0` disables retry.
+    #[must_use]
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Replaces the supervisor's per-worker restart budget.
+    #[must_use]
+    pub fn max_worker_restarts(mut self, budget: u32) -> Self {
+        self.max_worker_restarts = budget;
+        self
+    }
+
+    /// Enables (or disables) the degraded analytic fallback.
+    #[must_use]
+    pub fn degraded_fallback(mut self, enabled: bool) -> Self {
+        self.degraded_fallback = enabled;
+        self
+    }
+
+    /// Applies `budget` to every submission without an explicit one.
+    #[must_use]
+    pub fn default_budget(mut self, budget: Duration) -> Self {
+        self.default_budget = Some(budget);
+        self
+    }
+
+    /// Installs a fault plan (chaos injection; see [`crate::fault`]).
+    #[must_use]
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
 }
 
-/// A point-in-time snapshot of service load and cache effectiveness —
-/// [`Service::stats`].
+/// A point-in-time snapshot of service load, cache effectiveness and
+/// robustness counters — [`Service::stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Requests waiting for a worker (admitted, not yet picked up).
@@ -132,6 +348,27 @@ pub struct ServiceStats {
     /// Cache counters, or `None` when the cache is disabled
     /// (`cache_capacity == 0`).
     pub cache: Option<CacheStats>,
+    /// Worker-side execution retries after panicking attempts.
+    pub retries: u64,
+    /// Worker threads restarted by the pool supervisor.
+    pub restarts: u64,
+    /// Requests resolved with [`ServeError::DeadlineExceeded`]
+    /// (worker-side sheds and caller-side expiries combined).
+    pub deadline_exceeded: u64,
+    /// Requests answered with a [`Response::Degraded`] analytic
+    /// estimate instead of a full simulation.
+    pub degraded: u64,
+    /// Faults the installed [`FaultPlan`] has fired so far (0 without
+    /// a plan).
+    pub faults_injected: u64,
+}
+
+/// The service's robustness counters, shared with every ticket.
+#[derive(Debug, Default)]
+struct ServeCounters {
+    retries: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    degraded: AtomicU64,
 }
 
 /// One worker's session cache: canonical spec string → warm session.
@@ -207,6 +444,22 @@ pub struct Service {
     spec_used_bits: ClassedMutex<HashMap<String, Option<u32>>>,
     /// Admitted-but-unresolved gauge (queued or executing).
     in_flight: Arc<AtomicUsize>,
+    /// Robustness counters, shared with every pending ticket.
+    counters: Arc<ServeCounters>,
+    /// Caller-thread sessions for the submit-side degraded fallback
+    /// (overload shedding never touches the saturated pool).
+    degraded_sessions: ClassedMutex<HashMap<String, BatchRunner>>,
+    /// Worker-side retry budget per request.
+    max_retries: u32,
+    /// Whether overload/retry-exhaustion degrade to analytic estimates.
+    degraded_fallback: bool,
+    /// Deadline applied to submissions without an explicit budget.
+    default_budget: Option<Duration>,
+    /// The installed chaos plan; `None` (the default) costs nothing.
+    faults: Option<Arc<FaultPlan>>,
+    /// Submission index — the [`FaultPlan`]'s submit-side clock. Only
+    /// advanced when a plan is installed.
+    submit_seq: AtomicU64,
 }
 
 impl Service {
@@ -217,14 +470,25 @@ impl Service {
     ///
     /// Panics if `config.workers == 0` or `config.queue_capacity == 0`.
     pub fn new(config: ServiceConfig) -> Self {
+        let mut options = PoolOptions::new().max_restarts(config.max_worker_restarts);
+        if let Some(plan) = config.fault_plan.clone() {
+            options = options.faults(plan);
+        }
         Service {
-            pool: Pool::new(config.workers, config.queue_capacity, |_| {
+            pool: Pool::with_options(config.workers, config.queue_capacity, options, |_| {
                 SpecSessions::default()
             }),
             cache: (config.cache_capacity > 0)
                 .then(|| Arc::new(ResultCache::new(config.cache_capacity))),
             spec_used_bits: ClassedMutex::new(LockClass::SpecMeta, HashMap::new()),
             in_flight: Arc::new(AtomicUsize::new(0)),
+            counters: Arc::new(ServeCounters::default()),
+            degraded_sessions: ClassedMutex::new(LockClass::DegradedSessions, HashMap::new()),
+            max_retries: config.max_retries,
+            degraded_fallback: config.degraded_fallback,
+            default_budget: config.default_budget,
+            faults: config.fault_plan,
+            submit_seq: AtomicU64::new(0),
         }
     }
 
@@ -243,12 +507,17 @@ impl Service {
         self.pool.queue_depth()
     }
 
-    /// A snapshot of service load and cache counters.
+    /// A snapshot of service load, cache and robustness counters.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             queue_depth: self.pool.queue_depth(),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             cache: self.cache.as_ref().map(|c| c.stats()),
+            retries: self.counters.retries.load(Ordering::Relaxed),
+            restarts: self.pool.restarts(),
+            deadline_exceeded: self.counters.deadline_exceeded.load(Ordering::Relaxed),
+            degraded: self.counters.degraded.load(Ordering::Relaxed),
+            faults_injected: self.faults.as_ref().map_or(0, |p| p.injected()),
         }
     }
 
@@ -270,7 +539,7 @@ impl Service {
     /// resolve through the ticket as `Err`.
     #[must_use = "the ServeTicket inside is the only handle to the response"]
     pub fn submit(&self, request: Request) -> Result<ServeTicket, ServeError> {
-        self.submit_inner(request, true)
+        self.submit_inner(request, true, self.default_budget)
     }
 
     /// [`submit`](Self::submit) without consulting or populating the
@@ -279,10 +548,29 @@ impl Service {
     /// checks). Counted under [`CacheStats::bypasses`].
     #[must_use = "the ServeTicket inside is the only handle to the response"]
     pub fn submit_uncached(&self, request: Request) -> Result<ServeTicket, ServeError> {
-        self.submit_inner(request, false)
+        self.submit_inner(request, false, self.default_budget)
     }
 
-    fn submit_inner(&self, request: Request, use_cache: bool) -> Result<ServeTicket, ServeError> {
+    /// [`submit`](Self::submit) with a per-request deadline budget
+    /// (overriding [`ServiceConfig::default_budget`]). The returned
+    /// ticket resolves with [`ServeError::DeadlineExceeded`] once the
+    /// budget elapses: workers shed the request instead of starting it
+    /// late, and [`ServeTicket::wait`] never blocks past the deadline.
+    #[must_use = "the ServeTicket inside is the only handle to the response"]
+    pub fn submit_with_budget(
+        &self,
+        request: Request,
+        budget: Duration,
+    ) -> Result<ServeTicket, ServeError> {
+        self.submit_inner(request, true, Some(budget))
+    }
+
+    fn submit_inner(
+        &self,
+        request: Request,
+        use_cache: bool,
+        budget: Option<Duration>,
+    ) -> Result<ServeTicket, ServeError> {
         let parsed: MapSpec = request.spec().parse().map_err(ServeError::Spec)?;
         validate(&request)?;
         // Canonicalize once: the canonical string keys the affinity
@@ -292,11 +580,37 @@ impl Service {
         let spec = parsed.canonical();
         let canon = spec.to_string();
 
+        // Chaos hook: consume this submission index's scheduled fault
+        // (if a plan is installed — the index only advances under one).
+        let submit_fault = match &self.faults {
+            Some(plan) => plan.take_submit_fault(self.submit_seq.fetch_add(1, Ordering::Relaxed)),
+            None => None,
+        };
+        match submit_fault {
+            // Poison *before* the cache consult, so this very request
+            // sees the cold cache it just caused.
+            Some(SubmitFault::PoisonCache) => {
+                if let Some(cache) = &self.cache {
+                    cache.invalidate_all();
+                }
+            }
+            Some(SubmitFault::QueueBurst { jobs }) => {
+                for _ in 0..jobs {
+                    // Pressure jobs: no-ops whose tickets are dropped
+                    // (abandoned) immediately; rejections are the point
+                    // of the exercise, not an error.
+                    let _ = self.pool.try_submit(|_sessions: &mut SpecSessions| ());
+                }
+            }
+            _ => {}
+        }
+        let inject_panic = matches!(submit_fault, Some(SubmitFault::PanicJob));
+
         let key = match &self.cache {
             Some(cache) if use_cache => match self.cache_key(&canon, &request) {
                 Some(key) => {
                     if let Some(response) = cache.get(&key) {
-                        return Ok(Ticket::ready(Ok(response)));
+                        return Ok(ServeTicket::now(Ok(response)));
                     }
                     Some(key)
                 }
@@ -317,32 +631,91 @@ impl Service {
         };
 
         let worker = route(&canon, self.pool.workers());
-        let in_flight = Arc::clone(&self.in_flight);
+        let deadline = budget.map(|b| Instant::now() + b);
+        // Only the degraded overload path needs the request after the
+        // closure takes it; clone up front only when that path is live.
+        let fallback_inputs = (self.degraded_fallback && degradable(&request))
+            .then(|| (canon.clone(), spec.clone(), request.clone()));
         self.in_flight.fetch_add(1, Ordering::Relaxed);
+        // The guard rides inside the closure from here on: any way the
+        // job can end — completion, panic, rejection at the queue, or
+        // being dropped unrun during an abort — drops the closure and
+        // decrements the gauge. No manual error-path bookkeeping.
+        let guard = InFlightGuard(Arc::clone(&self.in_flight));
+        let counters = Arc::clone(&self.counters);
+        let max_retries = self.max_retries;
+        let degrade = self.degraded_fallback;
         let submitted = self
             .pool
             .try_submit_to(worker, move |sessions: &mut SpecSessions| {
-                let _guard = InFlightGuard(in_flight);
-                let result = execute(sessions, &canon, &spec, &request);
-                if let (Some((cache, key)), Ok(response)) = (&populate, &result) {
-                    cache.insert(key.clone(), response.clone());
-                }
-                result
+                let _guard = guard;
+                serve_one(
+                    sessions,
+                    &canon,
+                    &spec,
+                    &request,
+                    &populate,
+                    ServeAttempts {
+                        deadline,
+                        budget,
+                        max_retries,
+                        degrade,
+                        inject_panic,
+                        counters: &counters,
+                    },
+                )
             });
-        if submitted.is_err() {
-            // The job never ran; its guard never existed.
-            self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        match submitted {
+            Ok(ticket) => Ok(ServeTicket::pending(
+                ticket,
+                budget,
+                deadline,
+                Arc::clone(&self.counters),
+            )),
+            Err(SubmitError::QueueFull {
+                queue_depth,
+                capacity,
+            }) => {
+                // Graceful degradation: shed the overload onto the O(1)
+                // analytic estimator (caller thread — the saturated
+                // pool is left alone) when the caller opted in and the
+                // request shape degrades.
+                if let Some((canon, spec, request)) = &fallback_inputs {
+                    if let Some(response) = self.degrade_on_submit(canon, spec, request) {
+                        self.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                        return Ok(ServeTicket::now(Ok(response)));
+                    }
+                }
+                Err(ServeError::Overloaded {
+                    queue_depth,
+                    capacity,
+                })
+            }
+            Err(SubmitError::ShuttingDown) => Err(ServeError::ShuttingDown),
         }
-        submitted.map_err(|e| match e {
-            SubmitError::QueueFull {
-                queue_depth,
-                capacity,
-            } => ServeError::Overloaded {
-                queue_depth,
-                capacity,
-            },
-            SubmitError::ShuttingDown => ServeError::ShuttingDown,
-        })
+    }
+
+    /// The submit-side degraded path: an analytic estimate computed on
+    /// the **caller's** thread against the service's fallback session
+    /// map. `None` when the request shape does not degrade
+    /// (batch/efficiency) or the spec does not build.
+    fn degrade_on_submit(
+        &self,
+        canon: &str,
+        spec: &MapSpec,
+        request: &Request,
+    ) -> Option<Response> {
+        if !degradable(request) {
+            return None;
+        }
+        let mut sessions = self.degraded_sessions.lock();
+        if !sessions.contains_key(canon) {
+            let session = BatchRunner::from_spec(spec).ok()?;
+            sessions.insert(canon.to_string(), session);
+        }
+        // cfva-lint: allow(L002, reason = "contains_key above guarantees the entry, mirroring SpecSessions::get_or_create")
+        let session = sessions.get_mut(canon).expect("just ensured");
+        degraded_response_session(session, request)
     }
 
     /// The cache key of `request` under the canonical spec `canon`, or
@@ -518,6 +891,174 @@ fn validate(request: &Request) -> Result<(), ServeError> {
                 .map(|_| ())
                 .map_err(ServeError::Request)
         }
+    }
+}
+
+/// Per-request execution policy carried into [`serve_one`].
+struct ServeAttempts<'a> {
+    deadline: Option<Instant>,
+    budget: Option<Duration>,
+    max_retries: u32,
+    degrade: bool,
+    /// Chaos: panic on the first attempt ([`SubmitFault::PanicJob`]).
+    inject_panic: bool,
+    counters: &'a ServeCounters,
+}
+
+/// The worker-side request loop: deadline shed → execute under
+/// `catch_unwind` → bounded retry with backoff → degraded fallback or
+/// typed [`ServeError::WorkerPanicked`]. Requests are idempotent by
+/// construction (responses are pure functions of the request, sessions
+/// are rebuilt on demand), so re-execution after a panic is sound.
+fn serve_one(
+    sessions: &mut SpecSessions,
+    canon: &str,
+    spec: &MapSpec,
+    request: &Request,
+    populate: &Option<(Arc<ResultCache>, CacheKey)>,
+    policy: ServeAttempts<'_>,
+) -> ServeResult {
+    let mut inject_panic = policy.inject_panic;
+    let mut attempt: u32 = 0;
+    loop {
+        // Shed: a request past its deadline is not worth starting (or
+        // re-starting) — resolve the typed error instead.
+        if let Some(deadline) = policy.deadline {
+            if Instant::now() >= deadline {
+                policy
+                    .counters
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::DeadlineExceeded {
+                    budget: policy.budget.unwrap_or_default(),
+                });
+            }
+        }
+        let panic_now = std::mem::take(&mut inject_panic);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if panic_now {
+                // cfva-lint: allow(L002, reason = "the injected fault itself — fires only under an installed FaultPlan, and the surrounding retry loop is its test subject")
+                panic!("injected fault: request panicked by FaultPlan");
+            }
+            execute(sessions, canon, spec, request)
+        }));
+        match outcome {
+            Ok(result) => {
+                if let (Some((cache, key)), Ok(response)) = (populate, &result) {
+                    // Degraded responses are never cached: they are
+                    // stand-ins, not the request's true response.
+                    if !matches!(response, Response::Degraded { .. }) {
+                        cache.insert(key.clone(), response.clone());
+                    }
+                }
+                return result;
+            }
+            Err(payload) => {
+                attempt += 1;
+                if attempt <= policy.max_retries {
+                    policy.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    backoff(attempt);
+                    continue;
+                }
+                // Retries exhausted. Degrade if the caller opted in and
+                // the shape allows; otherwise surface the typed error.
+                if policy.degrade && degradable(request) {
+                    let fallback = catch_unwind(AssertUnwindSafe(|| {
+                        let session = sessions.get_or_create(canon, spec).ok()?;
+                        degraded_response_session(session, request)
+                    }))
+                    .ok()
+                    .flatten();
+                    if let Some(response) = fallback {
+                        policy.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                        return Ok(response);
+                    }
+                }
+                return Err(ServeError::WorkerPanicked {
+                    attempts: attempt,
+                    message: panic_message(payload.as_ref()),
+                });
+            }
+        }
+    }
+}
+
+/// Retry backoff: `2^attempt` scheduler yields. Deterministic in
+/// structure (no wall-clock sleeps), cheap, and enough to let a
+/// transiently-wedged resource settle between attempts.
+fn backoff(attempt: u32) {
+    for _ in 0..(1u32 << attempt.min(6)) {
+        std::thread::yield_now();
+    }
+}
+
+/// Whether the request shape has an analytic stand-in.
+fn degradable(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::Measure { .. } | Request::FamilySweep { .. }
+    )
+}
+
+/// `AccessStats` carrying an [`AnalyticEstimate`]'s aggregates, with
+/// the per-element vectors (which the estimator does not produce)
+/// empty.
+fn stats_of(est: &AnalyticEstimate) -> AccessStats {
+    AccessStats {
+        latency: est.latency,
+        elements: est.elements,
+        stall_cycles: est.stall_cycles,
+        conflicts: est.conflicts,
+        arrival: Vec::new(),
+        module_busy: Vec::new(),
+        max_in_q: est.max_in_q,
+    }
+}
+
+/// The analytic stand-in for a degradable request, against an existing
+/// session. `None` only for non-degradable shapes.
+fn degraded_response_session(session: &mut BatchRunner, request: &Request) -> Option<Response> {
+    match request {
+        Request::Measure { vec, strategy, .. } => {
+            let (inner, exact) = match session.analytic(vec, *strategy) {
+                Some(est) => (Response::Measured(Some(stats_of(&est))), est.exact),
+                // The strategy cannot plan the access: the full path
+                // would answer `Measured(None)`, exactly.
+                None => (Response::Measured(None), true),
+            };
+            Some(Response::Degraded {
+                response: Box::new(inner),
+                exact,
+            })
+        }
+        Request::FamilySweep {
+            len, max_x, sigma, ..
+        } => {
+            let mut rows = Vec::with_capacity(*max_x as usize + 1);
+            let mut exact = true;
+            for x in 0..=*max_x {
+                // Validated at submission: these constructions succeed
+                // for every admitted sweep.
+                let stride = Stride::from_parts(*sigma, x).ok()?;
+                let vec = VectorSpec::with_stride(16u64.into(), stride, *len).ok()?;
+                let est = session.analytic(&vec, Strategy::Auto)?;
+                exact &= est.exact;
+                let stats = stats_of(&est);
+                rows.push(FamilyPoint {
+                    x,
+                    stride: stride.get(),
+                    latency: stats.latency,
+                    conflicts: stats.conflicts,
+                    stall_cycles: stats.stall_cycles,
+                    cycles_per_element: session.cycles_per_element(&stats),
+                });
+            }
+            Some(Response::Degraded {
+                response: Box::new(Response::FamilySweep(rows)),
+                exact,
+            })
+        }
+        Request::MeasureBatch { .. } | Request::Efficiency { .. } => None,
     }
 }
 

@@ -288,3 +288,183 @@ fn shutdown_drains_in_flight_service_requests() {
         assert!(matches!(result, Ok(Response::Measured(Some(_)))));
     }
 }
+
+#[test]
+fn spec_and_request_errors_reject_synchronously_and_typed() {
+    let service = Service::new(ServiceConfig::with_workers(1));
+    // Unparseable spec string: a submit-side `ServeError::Spec`.
+    let bad_spec = service.submit(Request::FamilySweep {
+        spec: ":::not a spec:::".into(),
+        len: 64,
+        max_x: 2,
+        sigma: 3,
+    });
+    assert!(matches!(bad_spec, Err(ServeError::Spec(_))));
+    // Even sigma: a submit-side `ServeError::Request`.
+    let bad_sigma = service.submit(Request::FamilySweep {
+        spec: "xor-matched:t=3,s=4".into(),
+        len: 64,
+        max_x: 2,
+        sigma: 4,
+    });
+    assert!(matches!(bad_sigma, Err(ServeError::Request(_))));
+    service.shutdown();
+}
+
+#[test]
+fn submits_after_shutdown_are_refused_as_shutting_down() {
+    let service = Service::new(ServiceConfig::with_workers(1));
+    service.shutdown();
+    let refused = service.submit(Request::Measure {
+        spec: "interleaved:m=3".into(),
+        vec: VectorSpec::new(0, 1, 16).expect("valid"),
+        strategy: Strategy::Auto,
+    });
+    assert!(matches!(refused, Err(ServeError::ShuttingDown)));
+}
+
+#[test]
+fn exhausted_retries_resolve_worker_panicked_with_the_message() {
+    use cfva_serve::fault::FaultPlan;
+    use std::sync::Arc;
+    // A panic injected at submission 0 with retries disabled: the
+    // ticket resolves the typed error, the worker survives, and the
+    // service keeps serving bit-identically.
+    let plan = Arc::new(FaultPlan::new().panic_at(0));
+    let service = Service::new(
+        ServiceConfig::with_workers(1)
+            .max_retries(0)
+            .fault_plan(plan),
+    );
+    let vec = VectorSpec::new(0, 3, 64).expect("valid");
+    let doomed = service
+        .submit(Request::Measure {
+            spec: "interleaved:m=3".into(),
+            vec,
+            strategy: Strategy::Auto,
+        })
+        .expect("room");
+    match doomed.wait() {
+        Err(ServeError::WorkerPanicked { attempts, message }) => {
+            assert_eq!(attempts, 1);
+            assert!(message.contains("injected fault"), "{message}");
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+    // The follow-up request (no fault scheduled) matches a fresh
+    // serial session exactly.
+    let vec = VectorSpec::new(0, 3, 64).expect("valid");
+    let served = service
+        .submit(Request::Measure {
+            spec: "interleaved:m=3".into(),
+            vec,
+            strategy: Strategy::Auto,
+        })
+        .expect("room")
+        .wait()
+        .expect("serves");
+    let mut serial =
+        BatchRunner::from_spec(&"interleaved:m=3".parse().expect("valid")).expect("builds");
+    let vec = VectorSpec::new(0, 3, 64).expect("valid");
+    assert_eq!(
+        served,
+        Response::Measured(serial.measure_owned(&vec, Strategy::Auto))
+    );
+    service.shutdown();
+}
+
+#[test]
+fn deadline_and_degraded_responses_stay_equivalent_to_their_sources() {
+    use std::time::Duration;
+    // `ServeError::DeadlineExceeded`: a zero budget against a wedged
+    // worker resolves typed, never blocks.
+    let service = Service::new(ServiceConfig::with_workers(1).queue_capacity(8));
+    let wedge = service
+        .submit_uncached(Request::FamilySweep {
+            spec: "xor-matched:t=3,s=4".into(),
+            len: 65536,
+            max_x: 8,
+            sigma: 7,
+        })
+        .expect("room");
+    let vec = VectorSpec::new(0, 5, 64).expect("valid");
+    let budgeted = service
+        .submit_with_budget(
+            Request::Measure {
+                spec: "xor-matched:t=3,s=4".into(),
+                vec,
+                strategy: Strategy::Auto,
+            },
+            Duration::ZERO,
+        )
+        .expect("room");
+    assert!(matches!(
+        budgeted.wait(),
+        Err(ServeError::DeadlineExceeded { .. })
+    ));
+    wedge.wait().expect("the wedge itself serves normally");
+    service.shutdown();
+
+    // `Response::Degraded`: a saturated opted-in service sheds with a
+    // flagged analytic estimate whose shape matches the full path's.
+    let shedding = Service::new(
+        ServiceConfig::with_workers(1)
+            .queue_capacity(1)
+            .cache_capacity(0)
+            .degraded_fallback(true),
+    );
+    let wedges: Vec<_> = (0..2)
+        .map(|i| {
+            shedding
+                .submit(Request::FamilySweep {
+                    spec: "xor-matched:t=3,s=4".into(),
+                    len: 65536,
+                    max_x: 8,
+                    sigma: 2 * i + 1,
+                })
+                .expect("worker + queue absorb the first two")
+        })
+        .collect();
+    let vec = VectorSpec::new(0, 5, 64).expect("valid");
+    let shed = shedding
+        .submit(Request::Measure {
+            spec: "xor-matched:t=3,s=4".into(),
+            vec,
+            strategy: Strategy::Auto,
+        })
+        .expect("degradation absorbs the overflow")
+        .wait()
+        .expect("serves");
+    match shed {
+        Response::Degraded { response, .. } => {
+            assert!(matches!(*response, Response::Measured(Some(_))));
+        }
+        // The wedge cleared between submissions; the full path answered.
+        Response::Measured(Some(_)) => {}
+        other => panic!("unexpected response {other:?}"),
+    }
+    for w in wedges {
+        w.wait().expect("wedges serve normally");
+    }
+    shedding.shutdown();
+
+    // When the analytic estimate claims exactness, its aggregates are
+    // bit-identical to the full simulation the non-degraded path would
+    // run.
+    let mut serial =
+        BatchRunner::from_spec(&"xor-matched:t=3,s=4".parse().expect("valid")).expect("builds");
+    let stride = Stride::from_parts(1, 0).expect("odd");
+    let vec = VectorSpec::with_stride(0u64.into(), stride, 256).expect("valid");
+    if let Some(est) = serial.analytic(&vec, Strategy::Auto) {
+        if est.exact {
+            let full = serial
+                .measure_owned(&vec, Strategy::Auto)
+                .expect("auto always plans");
+            assert_eq!(
+                (est.latency, est.stall_cycles, est.conflicts),
+                (full.latency, full.stall_cycles, full.conflicts),
+                "an exact Degraded estimate must match the full run"
+            );
+        }
+    }
+}
