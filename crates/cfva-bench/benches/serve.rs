@@ -120,7 +120,9 @@ fn serve_serially(sessions: &mut [(String, BatchRunner)], requests: &[Request]) 
                     };
                 checksum += eta.to_bits() & 0xff;
             }
-            Request::FamilySweep { .. } => unreachable!("not in this workload"),
+            Request::FamilySweep { .. } | Request::MultiStream { .. } => {
+                unreachable!("not in this workload")
+            }
         }
     }
     checksum
@@ -132,6 +134,7 @@ fn response_checksum(response: &Response) -> u64 {
         Response::Batch(all) => all.iter().flatten().map(|s| s.latency).sum(),
         Response::Efficiency(eta) => eta.to_bits() & 0xff,
         Response::FamilySweep(rows) => rows.iter().map(|r| r.latency).sum(),
+        Response::MultiStream(outcome) => outcome.makespan + outcome.actual_conflicts,
         Response::Degraded { response, .. } => response_checksum(response),
     }
 }
@@ -287,10 +290,81 @@ fn bench_serve_degraded(c: &mut Criterion) {
     service.shutdown();
 }
 
+/// Contended multi-stream serving: the same eight stride-2 streams on
+/// `interleaved:m=3`, co-run two at a time, under naive FIFO wave
+/// pairing against the conflict-aware planner. The arrival order is
+/// adversarial for FIFO — neighbours share a module parity, so every
+/// FIFO wave co-runs a clashing pair, while the predictor re-pairs
+/// even with odd bases into conflict-free waves. The measured quantity
+/// is wall time per full co-run; the *simulated* makespans are also
+/// asserted (conflict-aware strictly below FIFO) so the bench fails
+/// loudly if the scheduling win ever regresses.
+fn bench_serve_contended(c: &mut Criterion) {
+    use cfva_memsim::IssuePolicy;
+    use cfva_serve::api::SchedulePlan;
+
+    // Same-parity neighbours: FIFO width-2 waves are all conflicting.
+    let streams: Vec<VectorSpec> = [0u64, 2, 1, 3, 4, 6, 5, 7]
+        .into_iter()
+        .map(|base| VectorSpec::new(base, 2, 2048).expect("valid"))
+        .collect();
+    let request = |schedule: SchedulePlan| Request::MultiStream {
+        spec: "interleaved:m=3".into(),
+        streams: streams.clone(),
+        strategy: Strategy::Auto,
+        policy: IssuePolicy::RoundRobin,
+        schedule,
+    };
+    let service = Service::new(ServiceConfig::with_workers(1));
+    let run = |schedule: SchedulePlan| match service
+        .submit_uncached(request(schedule))
+        .expect("queue has room")
+        .wait()
+        .expect("valid request")
+    {
+        Response::MultiStream(outcome) => outcome,
+        other => panic!("unexpected response {other:?}"),
+    };
+    let fifo = run(SchedulePlan::FifoWaves { width: 2 });
+    let aware = run(SchedulePlan::ConflictAware {
+        width: 2,
+        max_score_milli: 0,
+    });
+    assert!(
+        aware.makespan < fifo.makespan,
+        "conflict-aware co-runs ({}) must beat FIFO pairing ({})",
+        aware.makespan,
+        fifo.makespan
+    );
+    assert_eq!(aware.actual_conflicts, 0, "re-paired waves co-run CF");
+
+    let mut group = c.benchmark_group("serve_contended");
+    for (name, schedule) in [
+        ("fifo", SchedulePlan::FifoWaves { width: 2 }),
+        (
+            "conflict_aware",
+            SchedulePlan::ConflictAware {
+                width: 2,
+                max_score_milli: 0,
+            },
+        ),
+    ] {
+        group.bench_function(BenchmarkId::new(name, streams.len()), |b| {
+            b.iter(|| {
+                let outcome = run(schedule);
+                outcome.makespan + outcome.actual_conflicts
+            })
+        });
+    }
+    group.finish();
+    service.shutdown();
+}
+
 criterion_group!(
     benches,
     bench_serve_throughput,
     bench_serve_cached,
-    bench_serve_degraded
+    bench_serve_degraded,
+    bench_serve_contended
 );
 criterion_main!(benches);

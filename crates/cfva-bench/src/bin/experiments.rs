@@ -32,6 +32,14 @@
 //! `--require-recovery` exits nonzero unless the run absorbed it
 //! cleanly: no lost tickets, no failed requests, and the plan
 //! demonstrably fired — CI's chaos smoke.
+//!
+//! `contention` sweeps multi-stream co-runs across module counts and
+//! stride families (flags: `--streams` per co-run, `--len` elements
+//! per stream) and prints the simulated makespan of conflict-aware
+//! wave pairing against naive FIFO pairing and the sequential
+//! baseline. `--require-speedup` exits nonzero unless conflict-aware
+//! beat FIFO on every row and sequential on every row — CI's
+//! scheduling smoke.
 
 use std::process::ExitCode;
 
@@ -46,6 +54,9 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("serve-demo") {
         return run_serve_demo(&args[1..]);
     }
+    if args.first().map(String::as_str) == Some("contention") {
+        return run_contention(&args[1..]);
+    }
 
     if args.is_empty() {
         println!("Reproduction harness for Valero et al., ISCA 1992.\n");
@@ -54,8 +65,9 @@ fn main() -> ExitCode {
         println!(
             "       experiments serve-demo [--workers N] [--clients N] [--requests N] \
              [--queue N] [--window N] [--inject-faults SEED] [--require-rejections] \
-             [--require-cache-hits] [--require-recovery]\n"
+             [--require-cache-hits] [--require-recovery]"
         );
+        println!("       experiments contention [--streams N] [--len N] [--require-speedup]\n");
         println!("Available experiments:");
         for e in experiments::all() {
             println!("  {:<8} {}", e.id, e.title);
@@ -251,6 +263,58 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `contention` with sizing flags: sweep conflict-aware against FIFO
+/// wave pairing across module counts and stride families.
+/// `--require-speedup` makes any row where conflict-aware failed to
+/// beat both FIFO and the sequential baseline exit nonzero — CI's
+/// proof that predicted-conflict batching buys real contended
+/// throughput.
+fn run_contention(args: &[String]) -> ExitCode {
+    let mut config = experiments::contention::ContentionConfig::default();
+    let mut require_speedup = false;
+    let mut rest = args.iter();
+    while let Some(flag) = rest.next() {
+        if flag == "--require-speedup" {
+            require_speedup = true;
+            continue;
+        }
+        let Some(value) = rest.next() else {
+            eprintln!("flag {flag} requires a value");
+            return ExitCode::FAILURE;
+        };
+        let parsed = match flag.as_str() {
+            "--streams" => value.parse().map(|v| config.streams = v).is_ok(),
+            "--len" => value.parse().map(|v| config.len = v).is_ok(),
+            _ => {
+                eprintln!("unknown flag {flag} (expected --streams, --len or --require-speedup)");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !parsed {
+            eprintln!("flag {flag} = {value} is not a number");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let outcome = experiments::contention::contention(&config);
+    banner(
+        "contention",
+        "Multi-stream scheduling: conflict-aware vs FIFO",
+    );
+    println!("{}", outcome.report);
+    if require_speedup
+        && (outcome.fifo_wins < outcome.rows || outcome.sequential_wins < outcome.rows)
+    {
+        eprintln!(
+            "error: --require-speedup set, but conflict-aware only beat FIFO on {}/{} \
+             rows and sequential on {}/{} (the scheduling win regressed)",
+            outcome.fifo_wins, outcome.rows, outcome.sequential_wins, outcome.rows
+        );
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -176,7 +176,7 @@ pub fn multi_vector() -> String {
     let mut system = MemorySystem::new(mem); // reused for all solo runs
     for (name, plans) in &cases {
         let refs: Vec<&AccessPlan> = plans.iter().collect();
-        let stats = multi::run_interleaved(mem, &refs);
+        let stats = multi::run_interleaved(mem, &refs).expect("validated streams");
         let alone: Vec<u64> = plans.iter().map(|p| system.run_plan(p).latency).collect();
         let sequential: u64 = alone.iter().sum();
         t.row_owned(vec![

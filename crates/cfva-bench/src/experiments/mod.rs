@@ -5,6 +5,7 @@
 
 pub mod analytic;
 pub mod chaining;
+pub mod contention;
 pub mod extensions;
 pub mod fig_maps;
 pub mod hardware;

@@ -24,6 +24,7 @@
 use crate::mapping::ModuleMap;
 use crate::stride::Stride;
 use crate::vector::VectorSpec;
+use crate::ModuleId;
 
 /// The canonical representative of a stride-equivalence class under a
 /// map using `used` low address bits — see the [module docs](self).
@@ -132,6 +133,123 @@ impl StrideClass {
     }
 }
 
+/// Elements enumerated when building an [`OccupancySignature`]: one
+/// full period of the module sequence when the period fits, otherwise
+/// a sampled prefix of this many elements.
+pub const SIGNATURE_PREFIX_CAP: u64 = 4096;
+
+/// The predicted module-occupancy distribution of one constant-stride
+/// access: which fraction of the stream's requests each module
+/// receives.
+///
+/// Built **without simulating**: every map is periodic in the stride's
+/// family ([`ModuleMap::period`] = `max(2^{used − x}, 1)`), so one
+/// period of the module sequence — resolved through the bulk
+/// [`ModuleMap::map_stride_into`] — determines the distribution in
+/// closed form. For the built-in maps the period is modest and the
+/// signature is [exact](Self::is_exact); maps whose period overflows
+/// the [`SIGNATURE_PREFIX_CAP`] (a [`CustomGf2`](crate::mapping::CustomGf2)
+/// or overridden [`RegionMap`](crate::mapping::RegionMap) consuming the
+/// full address width) fall back to a sampled prefix of the stream.
+///
+/// The signature is a **class invariant**: accesses with equal
+/// [`StrideClass`]es produce identical signatures (they share the
+/// module sequence), so the serve layer may key predictions on reduced
+/// classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OccupancySignature {
+    /// `(module, fraction)` pairs, sorted by module, fractions summing
+    /// to 1; modules the stream never touches are absent (the support
+    /// is at most `min(len, period, cap)` modules, so signatures stay
+    /// small even on a `2^42`-module memory).
+    weights: Vec<(u64, f64)>,
+    exact: bool,
+}
+
+impl OccupancySignature {
+    /// `(module, fraction)` pairs, sorted by module index.
+    pub fn weights(&self) -> &[(u64, f64)] {
+        &self.weights
+    }
+
+    /// Whether the signature is the exact distribution of the stream
+    /// (the whole vector or at least one full period of its module
+    /// sequence was enumerated) rather than a sampled-prefix estimate.
+    /// When a full period was used the distribution of every *whole*
+    /// period is exact; a final partial period of a non-multiple length
+    /// can deviate slightly.
+    pub const fn is_exact(&self) -> bool {
+        self.exact
+    }
+
+    /// The inner product `Σ_m self[m]·other[m]` — the probability that
+    /// a random request of each stream lands on the same module.
+    pub fn overlap(&self, other: &OccupancySignature) -> f64 {
+        let mut sum = 0.0;
+        let (mut i, mut j) = (0usize, 0usize);
+        while let (Some(&(ma, wa)), Some(&(mb, wb))) = (self.weights.get(i), other.weights.get(j)) {
+            match ma.cmp(&mb) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    sum += wa * wb;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        sum
+    }
+}
+
+/// Predicts the module-occupancy signature of `vec` under `map` — see
+/// [`OccupancySignature`].
+pub fn occupancy_signature<M: ModuleMap + ?Sized>(map: &M, vec: &VectorSpec) -> OccupancySignature {
+    let period = map.period(vec.stride().family());
+    let len = vec.len();
+    let n = len.min(period).min(SIGNATURE_PREFIX_CAP);
+    let exact = n == len || period <= n;
+    let mut modules = vec![ModuleId::new(0); n as usize];
+    map.map_stride_into(vec.base(), vec.stride().get(), &mut modules);
+    let mut hits: Vec<u64> = modules.iter().map(|m| m.get()).collect();
+    hits.sort_unstable();
+    let mut weights: Vec<(u64, f64)> = Vec::new();
+    let share = 1.0 / n as f64;
+    for module in hits {
+        match weights.last_mut() {
+            Some((last, weight)) if *last == module => *weight += share,
+            _ => weights.push((module, share)),
+        }
+    }
+    OccupancySignature { weights, exact }
+}
+
+/// Pairwise conflict score of two streams under one map, **without
+/// simulating**: `M · Σ_m o_a[m]·o_b[m]` over the two predicted
+/// occupancy signatures, where `M` is the module count.
+///
+/// The normalisation makes `1.0` the uniform-random reference — the
+/// module-bandwidth break-even point of two streams sharing the
+/// single-bus memory:
+///
+/// * `0.0` — the streams touch disjoint module sets: co-scheduling is
+///   free of cross-stream conflicts;
+/// * `≈ 1.0` — as much overlap as two uniformly spread streams: the
+///   modules can just absorb the combined rate;
+/// * `≫ 1.0` (up to `M`) — both streams concentrate on the same few
+///   modules: co-scheduling serialises on them.
+///
+/// The score is symmetric and a class invariant (equal
+/// [`StrideClass`]es ⇒ equal scores). `tests/conflict_prediction.rs`
+/// validates the ranking against *measured* cross-stream conflicts
+/// from [`multi-stream runs`](../../cfva_memsim/multi/index.html)
+/// across every registered map.
+pub fn conflict_score<M: ModuleMap + ?Sized>(map: &M, a: &VectorSpec, b: &VectorSpec) -> f64 {
+    let sig_a = occupancy_signature(map, a);
+    let sig_b = occupancy_signature(map, b);
+    map.module_count() as f64 * sig_a.overlap(&sig_b)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +294,76 @@ mod tests {
         assert_eq!(a.x(), 7, "the exponent itself is preserved");
         let c = StrideClass::reduce(&map, &vec_of(9, 3, 8, 16));
         assert_ne!(a, c, "different exponents stay distinct classes");
+    }
+
+    #[test]
+    fn signature_weights_sum_to_one_and_follow_the_sequence() {
+        let map = XorMatched::new(3, 4).unwrap(); // M = 8, used = 7
+        let vec = vec_of(16, 3, 2, 64);
+        let sig = occupancy_signature(&map, &vec);
+        let total: f64 = sig.weights().iter().map(|&(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9, "weights sum to {total}");
+        assert!(sig.is_exact(), "period 2^5 fits the cap");
+        // Cross-check against the actual module sequence histogram.
+        let n = vec.len().min(map.period(vec.stride().family()));
+        let mut modules = vec![crate::ModuleId::new(0); n as usize];
+        map.map_stride_into(vec.base(), vec.stride().get(), &mut modules);
+        for &(module, weight) in sig.weights() {
+            let count = modules.iter().filter(|m| m.get() == module).count();
+            assert!((weight - count as f64 / n as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn conflict_score_brackets_disjoint_uniform_and_clustered() {
+        let map = XorMatched::new(3, 4).unwrap(); // M = 8, used = 7
+                                                  // Unit-stride streams spread uniformly over all 8 modules.
+        let a = vec_of(0, 1, 0, 64);
+        let b = vec_of(32, 1, 0, 64);
+        let uniform = conflict_score(&map, &a, &b);
+        assert!((uniform - 1.0).abs() < 1e-9, "uniform overlap: {uniform}");
+        // x >= used clusters each stream on one module. Bases 0 and 1
+        // land on different modules (F(0) = 0, F(1) = 1): disjoint.
+        let c = vec_of(0, 1, 7, 64);
+        let d = vec_of(1, 1, 7, 64);
+        assert_eq!(conflict_score(&map, &c, &d), 0.0);
+        // Same base: both streams hammer one module — the maximum M.
+        let clustered = conflict_score(&map, &c, &c);
+        assert!((clustered - 8.0).abs() < 1e-9, "clustered: {clustered}");
+        // Symmetry.
+        let e = vec_of(5, 3, 1, 48);
+        assert_eq!(conflict_score(&map, &a, &e), conflict_score(&map, &e, &a));
+    }
+
+    #[test]
+    fn conflict_score_is_a_class_invariant() {
+        let map = XorMatched::new(3, 4).unwrap(); // used = 7
+        let probe = vec_of(3, 5, 1, 32);
+        // Same class as `a` in `equivalent_accesses_share_a_class`.
+        let a = vec_of(5, 3, 2, 64);
+        let b = vec_of(5 + 128, 3 + 32, 2, 64);
+        assert_eq!(StrideClass::reduce(&map, &a), StrideClass::reduce(&map, &b));
+        assert_eq!(
+            conflict_score(&map, &a, &probe),
+            conflict_score(&map, &b, &probe)
+        );
+        assert_eq!(occupancy_signature(&map, &a), occupancy_signature(&map, &b));
+    }
+
+    #[test]
+    fn huge_period_falls_back_to_sampled_prefix() {
+        // A wide-shift XorMatched consumes 23 address bits, so the
+        // family-0 period (2^23) overflows the cap and the signature
+        // samples a bounded prefix.
+        let map = crate::mapping::RegionMap::new(3, 30, 20).unwrap();
+        let long = vec_of(0, 1, 0, SIGNATURE_PREFIX_CAP * 4);
+        let sig = occupancy_signature(&map, &long);
+        assert!(map.period(long.stride().family()) > SIGNATURE_PREFIX_CAP || sig.is_exact());
+        let total: f64 = sig.weights().iter().map(|&(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Short vectors are exact regardless of the period.
+        let short = vec_of(0, 1, 0, 64);
+        assert!(occupancy_signature(&map, &short).is_exact());
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!   hand);
 //! * a `Request` variant with no dispatch arm in `service.rs` (it
 //!   would be caught by match exhaustiveness — unless dispatch grows a
-//!   catch-all) or no case in the service equivalence suite.
+//!   catch-all) or no case in the service equivalence suite;
+//! * a `ServiceStats` field no test reads: struct fields have no
+//!   exhaustiveness check at all, so an observability counter that is
+//!   wired up but never asserted on rots silently.
 //!
 //! The lint cross-references the declaration sites against the suites
 //! and reports each uncovered name at its registration, where the fix
@@ -39,6 +42,11 @@ const REQUEST_SITES: &[&str] = &[
 /// (`Degraded` and `DeadlineExceeded` ship with recovery machinery
 /// that only tests make real).
 const OUTCOME_SITES: &[&str] = &["crates/cfva-serve/tests/service_equivalence.rs"];
+/// Where `ServiceStats` is declared.
+const SERVICE: &str = "crates/cfva-serve/src/service.rs";
+/// Files every `ServiceStats` field must be read by: a stats field
+/// nobody asserts on is a counter nobody checked.
+const STATS_SITES: &[&str] = &["crates/cfva-serve/tests/service_equivalence.rs"];
 
 pub struct RegistrationIsCoverage;
 
@@ -57,6 +65,7 @@ impl Lint for RegistrationIsCoverage {
         check_enum_variants(ws, "Request", REQUEST_SITES, &mut diags);
         check_enum_variants(ws, "Response", OUTCOME_SITES, &mut diags);
         check_enum_variants(ws, "ServeError", OUTCOME_SITES, &mut diags);
+        check_struct_fields(ws, "ServiceStats", SERVICE, STATS_SITES, &mut diags);
         diags
     }
 }
@@ -224,6 +233,82 @@ fn enum_variants(code: &CodeTokens<'_>, name: &str) -> Vec<(String, usize)> {
         }
     }
     variants
+}
+
+// ---------------------------------------------------------------------
+// Stats struct fields
+// ---------------------------------------------------------------------
+
+fn check_struct_fields(
+    ws: &Workspace,
+    struct_name: &str,
+    decl_rel: &str,
+    sites: &[&str],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Some(decl) = ws.file(decl_rel) else {
+        return;
+    };
+    let code = CodeTokens::new(decl);
+    let fields = struct_fields(&code, struct_name);
+    for site_rel in sites {
+        let Some(site) = ws.file(site_rel) else {
+            continue;
+        };
+        for (field, k) in &fields {
+            if !file_contains_ident(site, field) {
+                diags.push(code.diag_at(
+                    *k,
+                    "L004",
+                    format!(
+                        "`{struct_name}.{field}` is never read by {site_rel} — assert on the \
+                         counter, or it can rot silently"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// The field idents of `struct <name>`: identifiers at brace depth 1 of
+/// the struct body directly followed by a single `:` (not a `::` path
+/// separator).
+fn struct_fields(code: &CodeTokens<'_>, name: &str) -> Vec<(String, usize)> {
+    let mut fields = Vec::new();
+    let mut start = None;
+    for k in 0..code.len() {
+        if k + 1 < code.len() && code.is_ident(k, "struct") && code.is_ident(k + 1, name) {
+            let mut j = k + 2;
+            while j < code.len() && code.tok(j).kind != TokenKind::Punct('{') {
+                j += 1;
+            }
+            start = Some(j);
+            break;
+        }
+    }
+    let Some(open) = start else {
+        return fields;
+    };
+    let Some(close) = code.matching(open) else {
+        return fields;
+    };
+    let mut depth = 0i32;
+    for k in open..close {
+        match code.tok(k).kind {
+            TokenKind::Punct('{') | TokenKind::Punct('(') | TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct('}') | TokenKind::Punct(')') | TokenKind::Punct(']') => depth -= 1,
+            TokenKind::Ident if depth == 1 => {
+                let is_field = k + 1 < close
+                    && code.tok(k + 1).kind == TokenKind::Punct(':')
+                    && !code.is_path_sep(k + 1);
+                if is_field {
+                    fields.push((code.text(k).to_string(), k));
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
 }
 
 /// Whether the file contains the path `Enum::Variant`.

@@ -8,3 +8,10 @@ pub fn dispatch(req: &Request) -> u32 {
         Request::Ghost => 2,
     }
 }
+
+/// L004 fixture stats: `queue_depth` reaches the suite,
+/// `ghost_counter` never does.
+pub struct ServiceStats {
+    pub queue_depth: usize,
+    pub ghost_counter: u64,
+}

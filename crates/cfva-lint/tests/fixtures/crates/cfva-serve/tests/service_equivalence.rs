@@ -8,3 +8,8 @@ fn covers_measure() {
     let _ = Response::Measured(1);
     let _ = ServeError::Overloaded;
 }
+
+fn reads_stats() {
+    let queue_depth = 0usize;
+    let _ = queue_depth;
+}

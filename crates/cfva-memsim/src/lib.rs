@@ -71,7 +71,7 @@ pub use analytic::AnalyticEstimate;
 pub use config::MemConfig;
 pub use event::Engine;
 pub use module::MemModule;
-pub use multi::{run_interleaved, MultiStats, StreamStats};
+pub use multi::{run_interleaved, run_multi, IssuePolicy, MultiStats, StreamStats};
 pub use stats::AccessStats;
 pub use system::{MemorySystem, Request};
 pub use trace::{Event, Trace};

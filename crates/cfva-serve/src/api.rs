@@ -25,7 +25,7 @@ use std::time::Duration;
 
 use cfva_core::plan::Strategy;
 use cfva_core::{ConfigError, VectorSpec};
-use cfva_memsim::AccessStats;
+use cfva_memsim::{AccessStats, IssuePolicy};
 
 /// What a finished request resolves to: the response, or the typed
 /// error the worker hit while serving it.
@@ -113,6 +113,56 @@ pub enum Request {
         /// RNG seed — responses are deterministic in `(request, seed)`.
         seed: u64,
     },
+    /// Co-schedule several vector streams through one memory system —
+    /// the paper's Section 6 "several vectors simultaneously" scenario,
+    /// served end to end: the streams are partitioned into **waves**
+    /// per [`SchedulePlan`] (conflict-aware grouping uses the
+    /// `equiv::conflict_score` predictor), each wave is co-run under
+    /// the multi-stream engine (`cfva_memsim::run_multi`) with the
+    /// requested [`IssuePolicy`], and the response reports per-stream
+    /// statistics plus the makespan against the sequential baseline.
+    MultiStream {
+        /// Map spec string.
+        spec: String,
+        /// The concurrent streams, in submission order.
+        streams: Vec<VectorSpec>,
+        /// Ordering strategy for planning every stream (falls back to
+        /// [`Strategy::Auto`] for streams it cannot plan, which always
+        /// plans).
+        strategy: Strategy,
+        /// Per-stream issue arbitration within each wave.
+        policy: IssuePolicy,
+        /// How streams are partitioned into co-scheduled waves.
+        schedule: SchedulePlan,
+    },
+}
+
+/// How a [`Request::MultiStream`]'s streams are partitioned into
+/// co-scheduled waves. All-integer so it can key the result cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulePlan {
+    /// All streams in one wave — raw contention, no scheduling.
+    Together,
+    /// FIFO: consecutive chunks of `width` streams per wave, in
+    /// submission order — the baseline a conflict-aware schedule is
+    /// measured against.
+    FifoWaves {
+        /// Streams per wave (at least 1).
+        width: u32,
+    },
+    /// Conflict-aware: greedy graph coloring on the predicted pairwise
+    /// conflict scores (`cfva_core::equiv::conflict_score`) — a stream
+    /// joins the first wave with room whose members it scores at most
+    /// `max_score_milli` (score × 1000) against; otherwise a new wave
+    /// opens.
+    ConflictAware {
+        /// Streams per wave (at least 1).
+        width: u32,
+        /// Pairwise admission threshold, score × 1000 (1000 ≈ the
+        /// uniform-random reference: predicted module collisions at
+        /// chance rate).
+        max_score_milli: u32,
+    },
 }
 
 impl Request {
@@ -122,7 +172,8 @@ impl Request {
             Request::Measure { spec, .. }
             | Request::MeasureBatch { spec, .. }
             | Request::FamilySweep { spec, .. }
-            | Request::Efficiency { spec, .. } => spec,
+            | Request::Efficiency { spec, .. }
+            | Request::MultiStream { spec, .. } => spec,
         }
     }
 }
@@ -145,6 +196,52 @@ pub struct FamilyPoint {
     pub cycles_per_element: f64,
 }
 
+/// One stream's view of a [`Response::MultiStream`] co-run: the
+/// `AccessStats`-grade accounting of the wave it was scheduled into,
+/// attributed to this stream by the multi-stream engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Which wave the scheduler placed this stream into (0-based).
+    pub wave: u32,
+    /// Elements in this stream.
+    pub elements: u64,
+    /// Cycle the stream's first request issued, within its wave.
+    pub first_issue: u64,
+    /// First issue to last arrival, inclusive (0 for an empty stream).
+    pub latency: u64,
+    /// First arrival to last arrival, inclusive (0 for an empty
+    /// stream).
+    pub spread: u64,
+    /// Module conflicts charged to this stream (it lost arbitration or
+    /// queued behind a busy module).
+    pub conflicts: u64,
+    /// Issue-stall cycles charged to this stream.
+    pub stall_cycles: u64,
+}
+
+/// What a [`Request::MultiStream`] resolves to: per-stream statistics,
+/// the wave structure the scheduler chose, and the makespan against
+/// the sequential baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiStreamOutcome {
+    /// One summary per requested stream, in submission order.
+    pub per_stream: Vec<StreamSummary>,
+    /// Simulated makespan of each wave, in wave order.
+    pub wave_makespans: Vec<u64>,
+    /// Total makespan: the waves run back to back, so this is the sum
+    /// of the wave makespans.
+    pub makespan: u64,
+    /// Sum of each stream's latency measured **alone** — the
+    /// no-co-scheduling baseline the makespan is compared against.
+    pub sequential_baseline: u64,
+    /// Sum of the predictor's pairwise conflict scores within each
+    /// wave, × 1000 — what the schedule *predicted* it would pay.
+    pub predicted_conflicts_milli: u64,
+    /// Sum of measured conflicts across all waves — what it actually
+    /// paid.
+    pub actual_conflicts: u64,
+}
+
 /// What a [`Request`] produces, variant-for-variant.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -158,6 +255,10 @@ pub enum Response {
     FamilySweep(Vec<FamilyPoint>),
     /// [`Request::Efficiency`]: the estimated efficiency `η ∈ (0, 1]`.
     Efficiency(f64),
+    /// [`Request::MultiStream`]: per-stream statistics, the wave
+    /// structure the scheduler chose, and the contended makespan
+    /// against the sequential baseline.
+    MultiStream(MultiStreamOutcome),
     /// A **degraded** response: the service answered from the O(1)
     /// analytic steady-state estimator instead of a full simulation —
     /// either to shed overload

@@ -27,8 +27,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use cfva_core::plan::Strategy;
 use cfva_core::StrideClass;
+use cfva_memsim::IssuePolicy;
 
-use crate::api::{Estimator, Response};
+use crate::api::{Estimator, Response, SchedulePlan};
 use crate::locks::{ClassedMutex, LockClass};
 
 /// Shard count; a power of two so the shard pick is a mask.
@@ -59,6 +60,20 @@ pub(crate) enum RequestKey {
         max_x: u32,
         /// Odd stride part shared by all families.
         sigma: i64,
+    },
+    /// `Request::MultiStream`, each stream class-reduced, in order.
+    /// Sound for the same reason as `Measure`: per-stream statistics,
+    /// wave structure, and conflict counts are invariant within a
+    /// stream's stride class under the spec'd map.
+    MultiStream {
+        /// The streams' stride-equivalence classes, in request order.
+        streams: Vec<StrideClass>,
+        /// The ordering strategy every stream is planned with.
+        strategy: Strategy,
+        /// The issue policy of every co-run wave.
+        policy: IssuePolicy,
+        /// The wave-partition plan (FIFO vs conflict-aware, width).
+        schedule: SchedulePlan,
     },
     /// `Request::Efficiency` — deterministic in `(parameters, seed)`.
     Efficiency {

@@ -2,17 +2,19 @@
 //!
 //! # The hierarchy: every lock is a leaf
 //!
-//! The serving layer owns seven lock classes ([`LockClass`]): the
+//! The serving layer owns eight lock classes ([`LockClass`]): the
 //! scheduler ([`Sched`](LockClass::Sched)), the per-ticket result slot
 //! ([`TicketSlot`](LockClass::TicketSlot)), the worker-handle registry
 //! ([`Handles`](LockClass::Handles)), the per-spec metadata map
 //! ([`SpecMeta`](LockClass::SpecMeta)), the result-cache shards
 //! ([`CacheShard`](LockClass::CacheShard)), the pool supervisor's
-//! restart ledger ([`Supervisor`](LockClass::Supervisor)) and the
+//! restart ledger ([`Supervisor`](LockClass::Supervisor)), the
 //! degraded-fallback session map
-//! ([`DegradedSessions`](LockClass::DegradedSessions)). The
-//! concurrency design keeps the hierarchy deliberately **flat**: a
-//! thread holds at most one of them at a time.
+//! ([`DegradedSessions`](LockClass::DegradedSessions)) and the
+//! conflict-aware admission window
+//! ([`SchedWindow`](LockClass::SchedWindow)). The concurrency design
+//! keeps the hierarchy deliberately **flat**: a thread holds at most
+//! one of them at a time.
 //!
 //! * Workers pop a job under `Sched`, release, *then* run it — ticket
 //!   resolution (`TicketSlot`) happens strictly after the scheduler
@@ -28,6 +30,11 @@
 //! * `DegradedSessions` guards the submit-side analytic fallback's
 //!   session map; the fallback computes entirely on the caller's
 //!   thread with no other serve lock held.
+//! * `SchedWindow` guards the admission batcher's bounded window of
+//!   packaged-but-unsubmitted jobs. A flush drains the window *under*
+//!   the lock but colors the conflict graph and submits the batches
+//!   strictly *after* releasing it — pool submission takes `Sched`, so
+//!   holding the window across it would nest.
 //!
 //! So any nested acquisition is a bug by definition: either a latent
 //! deadlock (two threads nesting in opposite orders) or an accidental
@@ -79,6 +86,8 @@ pub enum LockClass {
     Supervisor,
     /// The service's degraded-fallback session map.
     DegradedSessions,
+    /// The conflict-aware admission batcher's bounded window.
+    SchedWindow,
 }
 
 /// A `Mutex` that knows which [`LockClass`] it belongs to and, in

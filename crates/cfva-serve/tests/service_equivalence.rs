@@ -6,8 +6,10 @@
 use cfva_core::mapping::Registry;
 use cfva_core::plan::Strategy;
 use cfva_core::{Stride, VectorSpec};
-use cfva_serve::api::{Estimator, Request, Response, ServeError};
+use cfva_memsim::IssuePolicy;
+use cfva_serve::api::{Estimator, Request, Response, SchedulePlan, ServeError};
 use cfva_serve::runner::BatchRunner;
+use cfva_serve::sched::SchedulerConfig;
 use cfva_serve::service::{Service, ServiceConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -65,6 +67,64 @@ proptest! {
             .expect("registered specs build")
             .measure_owned(&vec, strategy);
         prop_assert_eq!(pooled, serial, "{}: {} {}", spec, vec, strategy);
+    }
+
+    /// Scheduler on ≡ scheduler off ≡ fresh serial session, bit for
+    /// bit, for every registered spec: the conflict-aware admission
+    /// batcher only regroups and reorders executions — responses are
+    /// order-independent, so none of them may change.
+    #[test]
+    fn scheduler_on_off_and_serial_are_bit_identical(
+        kind in 0usize..64,
+        seed in 0u64..1024,
+    ) {
+        let specs = all_specs();
+        let spec = &specs[kind % specs.len()];
+        let mut rng = StdRng::seed_from_u64(seed);
+        // A mix of spread and clustered strides, so flushes see both
+        // compatible and conflicting window members.
+        let mut streams = Vec::new();
+        for _ in 0..6 {
+            let sigma = 2 * rng.gen_range(0i64..8) + 1;
+            let x = rng.gen_range(0u32..10);
+            let stride = Stride::from_parts(sigma, x).expect("odd sigma");
+            let vec = VectorSpec::with_stride(rng.gen_range(0u64..1024).into(), stride, 64)
+                .expect("bounded base");
+            streams.push(vec);
+        }
+        // Caches off on both sides so every request actually executes
+        // (and, on the scheduled side, actually rides the window).
+        let scheduled = Service::new(
+            ServiceConfig::with_workers(2).cache_capacity(0).scheduler(SchedulerConfig {
+                window: 4,
+                batch_width: 2,
+                max_score_milli: 100,
+            }),
+        );
+        let plain = Service::new(ServiceConfig::with_workers(2).cache_capacity(0));
+        let mut serial = BatchRunner::from_spec_str(spec).expect("registered specs build");
+        let submit = |service: &Service, vec: &VectorSpec| {
+            service
+                .submit(Request::Measure {
+                    spec: spec.clone(),
+                    vec: *vec,
+                    strategy: Strategy::Auto,
+                })
+                .expect("queue has room")
+        };
+        let on: Vec<_> = streams.iter().map(|vec| submit(&scheduled, vec)).collect();
+        let off: Vec<_> = streams.iter().map(|vec| submit(&plain, vec)).collect();
+        for ((vec, with), without) in streams.iter().zip(on).zip(off) {
+            // `wait` flushes the window first, so a parked request can
+            // never deadlock its own caller.
+            let a = with.wait();
+            let b = without.wait();
+            prop_assert_eq!(&a, &b, "{}: {}", spec, vec);
+            let expected = Ok(Response::Measured(serial.measure_owned(vec, Strategy::Auto)));
+            prop_assert_eq!(&a, &expected, "{}: {}", spec, vec);
+        }
+        scheduled.shutdown();
+        plain.shutdown();
     }
 }
 
@@ -467,4 +527,180 @@ fn deadline_and_degraded_responses_stay_equivalent_to_their_sources() {
             );
         }
     }
+}
+
+#[test]
+fn multi_stream_conflict_aware_beats_fifo_and_reconciles_with_serial() {
+    // interleaved:m=3, stride 2: even bases cover the even modules,
+    // odd bases the odd ones. Arrival order [0, 2, 1, 3] makes naive
+    // FIFO pairing co-run same-parity (conflicting) neighbours, while
+    // the conflict-aware planner re-pairs the disjoint ones.
+    let spec = "interleaved:m=3";
+    let streams: Vec<VectorSpec> = [0u64, 2, 1, 3]
+        .into_iter()
+        .map(|base| VectorSpec::new(base, 2, 64).expect("valid"))
+        .collect();
+    let service = Service::new(ServiceConfig::with_workers(1).cache_capacity(0));
+    let run = |schedule: SchedulePlan| {
+        let ticket = service
+            .submit(Request::MultiStream {
+                spec: spec.into(),
+                streams: streams.clone(),
+                strategy: Strategy::Auto,
+                policy: IssuePolicy::RoundRobin,
+                schedule,
+            })
+            .expect("queue has room");
+        match ticket.wait() {
+            Ok(Response::MultiStream(outcome)) => outcome,
+            other => panic!("unexpected response {other:?}"),
+        }
+    };
+
+    let fifo = run(SchedulePlan::FifoWaves { width: 2 });
+    let aware = run(SchedulePlan::ConflictAware {
+        width: 2,
+        max_score_milli: 0,
+    });
+
+    // Internal consistency of each outcome.
+    for (label, outcome) in [("fifo", &fifo), ("aware", &aware)] {
+        assert_eq!(outcome.per_stream.len(), streams.len(), "{label}");
+        assert_eq!(
+            outcome.makespan,
+            outcome.wave_makespans.iter().sum::<u64>(),
+            "{label}: makespan is the sum of its waves"
+        );
+        assert_eq!(
+            outcome.actual_conflicts,
+            outcome.per_stream.iter().map(|s| s.conflicts).sum::<u64>(),
+            "{label}: conflicts aggregate over streams"
+        );
+        for summary in &outcome.per_stream {
+            assert!(
+                (summary.wave as usize) < outcome.wave_makespans.len(),
+                "{label}: wave id in range"
+            );
+            assert_eq!(summary.elements, 64, "{label}");
+        }
+    }
+
+    // The predictor steered the planner to conflict-free pairs; FIFO
+    // co-ran the clashing ones.
+    assert_eq!(aware.actual_conflicts, 0, "re-paired waves co-run CF");
+    assert_eq!(aware.predicted_conflicts_milli, 0);
+    assert!(fifo.actual_conflicts > 0, "FIFO pairs same-parity streams");
+    assert!(fifo.predicted_conflicts_milli > 0);
+    assert!(
+        aware.makespan < fifo.makespan,
+        "conflict-aware {} must beat FIFO {}",
+        aware.makespan,
+        fifo.makespan
+    );
+
+    // The sequential baseline is exactly what a serial session measures
+    // one stream at a time.
+    let mut serial = BatchRunner::from_spec_str(spec).expect("builds");
+    let solo: u64 = streams
+        .iter()
+        .map(|vec| {
+            serial
+                .measure_owned(vec, Strategy::Auto)
+                .expect("auto always plans")
+                .latency
+        })
+        .sum();
+    assert_eq!(fifo.sequential_baseline, solo);
+    assert_eq!(aware.sequential_baseline, solo);
+    // And co-running disjoint pairs strictly beats running them one by
+    // one — the throughput win the batcher is built around.
+    assert!(aware.makespan < solo, "co-run CF pairs beat sequential");
+    service.shutdown();
+}
+
+#[test]
+fn scheduler_stats_expose_every_counter_in_one_snapshot() {
+    // Exercise the admission window, the FIFO fallback path and a
+    // MultiStream co-run, then check the full `ServiceStats` snapshot
+    // field by field.
+    let service = Service::new(ServiceConfig::with_workers(1).cache_capacity(0).scheduler(
+        SchedulerConfig {
+            window: 2,
+            batch_width: 2,
+            max_score_milli: 1_000_000,
+        },
+    ));
+    // Two predictable measurements fill the window and flush as one
+    // composite batch.
+    let batched: Vec<_> = [0u64, 1]
+        .into_iter()
+        .map(|base| {
+            service
+                .submit(Request::Measure {
+                    spec: "interleaved:m=3".into(),
+                    vec: VectorSpec::new(base, 2, 64).expect("valid"),
+                    strategy: Strategy::Auto,
+                })
+                .expect("queue has room")
+        })
+        .collect();
+    for ticket in batched {
+        assert!(matches!(ticket.wait(), Ok(Response::Measured(Some(_)))));
+    }
+    // A partnerless entry flushed alone degrades to FIFO submission.
+    let vec = VectorSpec::new(0, 3, 64).expect("valid");
+    let fell_back = service
+        .submit(Request::Measure {
+            spec: "interleaved:m=3".into(),
+            vec,
+            strategy: Strategy::Auto,
+        })
+        .expect("queue has room");
+    service.flush();
+    assert!(matches!(fell_back.wait(), Ok(Response::Measured(Some(_)))));
+    // A contended MultiStream co-run feeds the predicted/actual pair.
+    let outcome = service
+        .submit(Request::MultiStream {
+            spec: "interleaved:m=3".into(),
+            streams: vec![
+                VectorSpec::new(0, 2, 64).expect("valid"),
+                VectorSpec::new(2, 2, 64).expect("valid"),
+            ],
+            strategy: Strategy::Auto,
+            policy: IssuePolicy::RoundRobin,
+            schedule: SchedulePlan::Together,
+        })
+        .expect("queue has room")
+        .wait();
+    let outcome = match outcome {
+        Ok(Response::MultiStream(outcome)) => outcome,
+        other => panic!("unexpected response {other:?}"),
+    };
+    assert!(outcome.actual_conflicts > 0, "same-parity co-run conflicts");
+
+    let stats = service.stats();
+    assert_eq!(stats.queue_depth, 0, "drained");
+    assert_eq!(stats.in_flight, 0, "all tickets resolved");
+    assert!(stats.cache.is_none(), "cache disabled at capacity 0");
+    assert_eq!(stats.retries, 0);
+    assert_eq!(stats.restarts, 0);
+    assert_eq!(stats.deadline_exceeded, 0);
+    assert_eq!(stats.degraded, 0);
+    assert_eq!(stats.faults_injected, 0);
+    assert!(stats.scheduler_batches >= 1, "the full window batched");
+    assert!(stats.scheduler_batched >= 2, "both members rode the batch");
+    assert_eq!(stats.scheduler_window_occupancy, 0, "window flushed");
+    assert_eq!(
+        stats.scheduler_predicted_conflicts_milli > 0,
+        stats.scheduler_actual_conflicts > 0,
+        "the co-run was predicted to conflict and did"
+    );
+    assert!(stats.scheduler_actual_conflicts >= outcome.actual_conflicts);
+    service.shutdown();
+    let drained = service.stats();
+    assert_eq!(drained.scheduler_window_occupancy, 0);
+    assert!(
+        drained.scheduler_fifo_fallbacks >= 1,
+        "partnerless flushes degrade to FIFO"
+    );
 }
