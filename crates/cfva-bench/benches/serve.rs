@@ -26,6 +26,14 @@
 //! against the same request forced down the pooled miss path
 //! (`miss_uncached`). The gap is the O(1) serve path's payoff and is
 //! expected to be well over 50×.
+//!
+//! The `serve_wire` group measures the TCP front door's tax on that
+//! same warm-cache request: `loopback_hit` is one submit→wait round
+//! trip over a `127.0.0.1` socket (encode + frame + two syscalls +
+//! decode on top of the O(1) serve), and `loopback_pipelined` amortises
+//! the round trip by keeping 16 requests in flight on one connection
+//! before reaping — the protocol's out-of-order correlation is what
+//! makes that pipelining legal.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -290,6 +298,68 @@ fn bench_serve_degraded(c: &mut Criterion) {
     service.shutdown();
 }
 
+/// The wire tax: the `serve_cached/hit` request over a loopback socket.
+/// The service side is a warm O(1) cache hit, so the measured quantity
+/// is what the TCP front door adds — JSON encode, length-prefixed
+/// framing, kernel round trips and decode. `loopback_pipelined` keeps
+/// 16 submissions in flight on the one connection before reaping,
+/// amortising the per-round-trip latency across the batch.
+fn bench_serve_wire(c: &mut Criterion) {
+    use cfva_wire::client::WireClient;
+    use cfva_wire::server::{WireServer, WireServerConfig};
+    use std::sync::Arc;
+
+    let request = Request::FamilySweep {
+        spec: "xor-matched:t=3,s=4".into(),
+        len: 4096,
+        max_x: 10,
+        sigma: 3,
+    };
+    let service = Arc::new(Service::new(ServiceConfig::with_workers(1)));
+    let server = WireServer::bind(
+        Arc::clone(&service),
+        "127.0.0.1:0",
+        WireServerConfig::default(),
+    )
+    .expect("loopback bind cannot fail");
+    let mut client = WireClient::connect(server.local_addr()).expect("loopback connect");
+    // Warm the single cache entry (and the worker's session) so every
+    // measured iteration is a cache hit plus wire overhead.
+    let warm = client.submit(request.clone()).expect("transport up");
+    let expected = response_checksum(
+        &client
+            .wait(warm)
+            .expect("transport up")
+            .expect("valid request"),
+    );
+
+    let mut group = c.benchmark_group("serve_wire");
+    group.bench_function(BenchmarkId::new("loopback_hit", 1), |b| {
+        b.iter(|| {
+            let ticket = client.submit(request.clone()).expect("transport up");
+            let checksum =
+                response_checksum(&client.wait(ticket).expect("transport up").expect("valid"));
+            assert_eq!(checksum, expected);
+            checksum
+        })
+    });
+    group.bench_function(BenchmarkId::new("loopback_pipelined", 16), |b| {
+        b.iter(|| {
+            let tickets: Vec<_> = (0..16)
+                .map(|_| client.submit(request.clone()).expect("transport up"))
+                .collect();
+            tickets
+                .into_iter()
+                .map(|t| response_checksum(&client.wait(t).expect("transport up").expect("valid")))
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+    drop(client);
+    server.shutdown();
+    service.shutdown();
+}
+
 /// Contended multi-stream serving: the same eight stride-2 streams on
 /// `interleaved:m=3`, co-run two at a time, under naive FIFO wave
 /// pairing against the conflict-aware planner. The arrival order is
@@ -364,6 +434,7 @@ criterion_group!(
     benches,
     bench_serve_throughput,
     bench_serve_cached,
+    bench_serve_wire,
     bench_serve_degraded,
     bench_serve_contended
 );

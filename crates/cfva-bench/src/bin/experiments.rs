@@ -64,8 +64,9 @@ fn main() -> ExitCode {
         println!("       experiments --map <spec|all> [--len N] [--max-x N] [--sigma N]");
         println!(
             "       experiments serve-demo [--workers N] [--clients N] [--requests N] \
-             [--queue N] [--window N] [--inject-faults SEED] [--require-rejections] \
-             [--require-cache-hits] [--require-recovery]"
+             [--queue N] [--window N] [--inject-faults SEED] [--tcp] \
+             [--require-rejections] [--require-cache-hits] [--require-recovery] \
+             [--require-no-loss]"
         );
         println!("       experiments contention [--streams N] [--len N] [--require-speedup]\n");
         println!("Available experiments:");
@@ -166,12 +167,17 @@ fn run_map_sweep(args: &[String]) -> ExitCode {
 /// over-capacity burst must prove backpressure engaged);
 /// `--require-cache-hits` does the same for a run whose result cache
 /// never hit (the CI cached-path smoke must prove the O(1) path
-/// engaged).
+/// engaged). `--tcp` routes the same workload through a loopback
+/// [`WireServer`](cfva_wire::server::WireServer), and
+/// `--require-no-loss` asserts the conservation law
+/// `completed + rejected + failed == attempted` — the CI wire smoke's
+/// proof that the drain path flushes every accepted ticket.
 fn run_serve_demo(args: &[String]) -> ExitCode {
     let mut config = experiments::serve_demo::DemoConfig::default();
     let mut require_rejections = false;
     let mut require_cache_hits = false;
     let mut require_recovery = false;
+    let mut require_no_loss = false;
     let mut rest = args.iter();
     while let Some(flag) = rest.next() {
         if flag == "--require-rejections" {
@@ -184,6 +190,14 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
         }
         if flag == "--require-recovery" {
             require_recovery = true;
+            continue;
+        }
+        if flag == "--require-no-loss" {
+            require_no_loss = true;
+            continue;
+        }
+        if flag == "--tcp" {
+            config.tcp = true;
             continue;
         }
         let Some(value) = rest.next() else {
@@ -203,8 +217,8 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
             _ => {
                 eprintln!(
                     "unknown flag {flag} (expected --workers, --clients, --requests, \
-                     --queue, --window, --inject-faults, --require-rejections, \
-                     --require-cache-hits or --require-recovery)"
+                     --queue, --window, --inject-faults, --tcp, --require-rejections, \
+                     --require-cache-hits, --require-recovery or --require-no-loss)"
                 );
                 return ExitCode::FAILURE;
             }
@@ -260,6 +274,19 @@ fn run_serve_demo(args: &[String]) -> ExitCode {
             eprintln!(
                 "error: --require-recovery set, but the fault plan never fired \
                  (nothing was recovered from)"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    if require_no_loss {
+        let attempted = (config.clients * config.requests_per_client) as u64;
+        let accounted = outcome.completed + outcome.rejected + outcome.failed;
+        if accounted != attempted {
+            eprintln!(
+                "error: --require-no-loss set, but {} of {attempted} request(s) \
+                 vanished (neither completed, rejected nor failed) — the drain \
+                 path lost tickets",
+                attempted - accounted
             );
             return ExitCode::FAILURE;
         }

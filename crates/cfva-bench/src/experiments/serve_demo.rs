@@ -17,7 +17,18 @@
 //! the service's result cache. The report prints the final
 //! [`Service::stats`] snapshot (cache hits/misses/evictions, hit
 //! rate), and CI asserts a nonzero hit rate via `--require-cache-hits`.
+//!
+//! With `--tcp` the same workload runs over the loopback wire instead:
+//! the service is fronted by a [`WireServer`] on `127.0.0.1:0` and each
+//! client thread drives its own [`WireClient`] connection. Admission
+//! behaves identically — `Overloaded` arrives as a typed reply frame
+//! (counted at reap time rather than submit time) — and the report adds
+//! the server's `wire_*` counters. `--require-no-loss` asserts the
+//! conservation law `completed + rejected + failed == attempted`, i.e.
+//! the drain path flushed every accepted ticket.
 
+use std::net::SocketAddr;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cfva_core::mapping::Registry;
@@ -25,6 +36,8 @@ use cfva_core::plan::Strategy;
 use cfva_core::{Stride, VectorSpec};
 use cfva_serve::api::{Estimator, Request, ServeError};
 use cfva_serve::service::{ServeTicket, Service, ServiceConfig, ServiceStats};
+use cfva_wire::client::{WireClient, WireTicket};
+use cfva_wire::server::{WireServer, WireServerConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -48,6 +61,10 @@ pub struct DemoConfig {
     /// panics, queue bursts, cache poisoning — which the hardened
     /// service must absorb without losing a single accepted ticket.
     pub fault_seed: Option<u64>,
+    /// Run the workload over the loopback wire (`--tcp`): a
+    /// [`WireServer`] fronts the service and every client thread opens
+    /// its own [`WireClient`] connection.
+    pub tcp: bool,
 }
 
 impl Default for DemoConfig {
@@ -59,6 +76,7 @@ impl Default for DemoConfig {
             queue_capacity: ServiceConfig::default().queue_capacity,
             window: 8,
             fault_seed: None,
+            tcp: false,
         }
     }
 }
@@ -75,7 +93,9 @@ pub struct DemoOutcome {
     pub failed: u64,
     /// The service's final [`Service::stats`] snapshot (taken after
     /// every client finished, before shutdown) — queue depth, in-flight
-    /// gauge and result-cache counters.
+    /// gauge and result-cache counters. In `--tcp` mode this is the
+    /// [`WireServer::stats`] snapshot, so the `wire_*` counters are
+    /// live rather than zero.
     pub stats: ServiceStats,
     /// The rendered report.
     pub report: String,
@@ -140,6 +160,109 @@ fn sample_request<R: Rng + ?Sized>(rng: &mut R, specs: &[String]) -> Request {
     }
 }
 
+/// One client's closed loop against the in-process [`Service`]:
+/// `Overloaded` is counted at submit time, everything else at reap.
+fn direct_client_loop(
+    service: &Service,
+    client: usize,
+    config: &DemoConfig,
+    specs: &[String],
+) -> (Vec<Duration>, u64, u64) {
+    let mut rng = StdRng::seed_from_u64(0x5e11_0000 + client as u64);
+    let mut window: Vec<(Instant, ServeTicket)> = Vec::new();
+    let mut latencies = Vec::with_capacity(config.requests_per_client);
+    let (mut rejected, mut failed) = (0u64, 0u64);
+    let reap =
+        |w: &mut Vec<(Instant, ServeTicket)>, latencies: &mut Vec<Duration>, failed: &mut u64| {
+            let (submitted, ticket) = w.remove(0);
+            match ticket.wait() {
+                Ok(_) => latencies.push(submitted.elapsed()),
+                Err(_) => *failed += 1,
+            }
+        };
+    for i in 0..config.requests_per_client {
+        let request = if i % 30 == 0 {
+            pinned_request(specs)
+        } else {
+            sample_request(&mut rng, specs)
+        };
+        match service.submit(request) {
+            Ok(ticket) => window.push((Instant::now(), ticket)),
+            Err(ServeError::Overloaded { .. }) => rejected += 1,
+            Err(e) => panic!("demo submitted an invalid request: {e}"),
+        }
+        if window.len() >= config.window {
+            reap(&mut window, &mut latencies, &mut failed);
+        }
+    }
+    while !window.is_empty() {
+        reap(&mut window, &mut latencies, &mut failed);
+    }
+    (latencies, rejected, failed)
+}
+
+/// The same closed loop over one loopback [`WireClient`] connection.
+/// On the wire a submission always succeeds at the transport level;
+/// service-level rejections come back as the ticket's *result*, so
+/// `Overloaded` is counted at reap time instead — the conservation law
+/// `completed + rejected + failed == attempted` holds either way.
+fn wire_client_loop(
+    addr: SocketAddr,
+    client: usize,
+    config: &DemoConfig,
+    specs: &[String],
+) -> (Vec<Duration>, u64, u64) {
+    fn reap(
+        conn: &mut WireClient,
+        w: &mut Vec<(Instant, WireTicket)>,
+        latencies: &mut Vec<Duration>,
+        rejected: &mut u64,
+        failed: &mut u64,
+    ) {
+        let (submitted, ticket) = w.remove(0);
+        match conn.wait(ticket).expect("loopback transport stays up") {
+            Ok(_) => latencies.push(submitted.elapsed()),
+            Err(ServeError::Overloaded { .. }) => *rejected += 1,
+            Err(_) => *failed += 1,
+        }
+    }
+    let mut conn = WireClient::connect(addr).expect("loopback connect cannot fail");
+    let mut rng = StdRng::seed_from_u64(0x5e11_0000 + client as u64);
+    let mut window: Vec<(Instant, WireTicket)> = Vec::new();
+    let mut latencies = Vec::with_capacity(config.requests_per_client);
+    let (mut rejected, mut failed) = (0u64, 0u64);
+    for i in 0..config.requests_per_client {
+        let request = if i % 30 == 0 {
+            pinned_request(specs)
+        } else {
+            sample_request(&mut rng, specs)
+        };
+        let ticket = conn
+            .submit(request)
+            .expect("loopback submit cannot fail at the transport level");
+        window.push((Instant::now(), ticket));
+        if window.len() >= config.window {
+            reap(
+                &mut conn,
+                &mut window,
+                &mut latencies,
+                &mut rejected,
+                &mut failed,
+            );
+        }
+    }
+    while !window.is_empty() {
+        reap(
+            &mut conn,
+            &mut window,
+            &mut latencies,
+            &mut rejected,
+            &mut failed,
+        );
+    }
+    (latencies, rejected, failed)
+}
+
 /// Runs the demo and returns the outcome (see the module docs).
 pub fn serve_demo(config: &DemoConfig) -> DemoOutcome {
     let mut service_config =
@@ -152,7 +275,26 @@ pub fn serve_demo(config: &DemoConfig) -> DemoOutcome {
             cfva_serve::fault::FaultPlan::seeded(seed, horizon),
         ));
     }
-    let service = Service::new(service_config);
+    let service = Arc::new(Service::new(service_config));
+    let server = if config.tcp {
+        Some(
+            WireServer::bind(
+                Arc::clone(&service),
+                "127.0.0.1:0",
+                WireServerConfig {
+                    // The window bounds each client's outstanding
+                    // tickets, but the server's gauge decrements only
+                    // once the reply is *written* — one slot of margin
+                    // absorbs that lag so the cap never fires here.
+                    max_in_flight_per_conn: config.window + 1,
+                },
+            )
+            .expect("binding an ephemeral loopback port cannot fail"),
+        )
+    } else {
+        None
+    };
+    let wire_addr = server.as_ref().map(WireServer::local_addr);
     let specs: Vec<String> = Registry::builtin()
         .all_specs()
         .iter()
@@ -169,39 +311,9 @@ pub fn serve_demo(config: &DemoConfig) -> DemoOutcome {
         let specs = &specs;
         let handles: Vec<_> = (0..config.clients)
             .map(|client| {
-                scope.spawn(move || {
-                    let mut rng = StdRng::seed_from_u64(0x5e11_0000 + client as u64);
-                    let mut window: Vec<(Instant, ServeTicket)> = Vec::new();
-                    let mut latencies = Vec::with_capacity(config.requests_per_client);
-                    let (mut rejected, mut failed) = (0u64, 0u64);
-                    let reap = |w: &mut Vec<(Instant, ServeTicket)>,
-                                latencies: &mut Vec<Duration>,
-                                failed: &mut u64| {
-                        let (submitted, ticket) = w.remove(0);
-                        match ticket.wait() {
-                            Ok(_) => latencies.push(submitted.elapsed()),
-                            Err(_) => *failed += 1,
-                        }
-                    };
-                    for i in 0..config.requests_per_client {
-                        let request = if i % 30 == 0 {
-                            pinned_request(specs)
-                        } else {
-                            sample_request(&mut rng, specs)
-                        };
-                        match service.submit(request) {
-                            Ok(ticket) => window.push((Instant::now(), ticket)),
-                            Err(ServeError::Overloaded { .. }) => rejected += 1,
-                            Err(e) => panic!("demo submitted an invalid request: {e}"),
-                        }
-                        if window.len() >= config.window {
-                            reap(&mut window, &mut latencies, &mut failed);
-                        }
-                    }
-                    while !window.is_empty() {
-                        reap(&mut window, &mut latencies, &mut failed);
-                    }
-                    (latencies, rejected, failed)
+                scope.spawn(move || match wire_addr {
+                    Some(addr) => wire_client_loop(addr, client, config, specs),
+                    None => direct_client_loop(service, client, config, specs),
                 })
             })
             .collect();
@@ -214,7 +326,15 @@ pub fn serve_demo(config: &DemoConfig) -> DemoOutcome {
         }
     });
     let wall = started.elapsed();
-    let stats = service.stats();
+    // The server's snapshot carries the wire_* counters the plain
+    // service snapshot leaves at zero.
+    let stats = match &server {
+        Some(server) => server.stats(),
+        None => service.stats(),
+    };
+    if let Some(server) = &server {
+        server.shutdown();
+    }
     service.shutdown();
 
     let completed = latencies.len() as u64;
@@ -232,6 +352,14 @@ pub fn serve_demo(config: &DemoConfig) -> DemoOutcome {
     let mut t = Table::new(&["metric", "value"]);
     t.row_owned(vec!["workers".into(), config.workers.to_string()]);
     t.row_owned(vec!["clients".into(), config.clients.to_string()]);
+    t.row_owned(vec![
+        "transport".into(),
+        if config.tcp {
+            "tcp loopback".into()
+        } else {
+            "in-process".into()
+        },
+    ]);
     t.row_owned(vec![
         "queue capacity".into(),
         config.queue_capacity.to_string(),
@@ -288,6 +416,15 @@ pub fn serve_demo(config: &DemoConfig) -> DemoOutcome {
             stats.faults_injected.to_string(),
         ]);
     }
+    if config.tcp {
+        t.row_owned(vec![
+            "wire connections / rejections / in flight".into(),
+            format!(
+                "{} / {} / {}",
+                stats.wire_connections, stats.wire_rejections, stats.wire_in_flight
+            ),
+        ]);
+    }
 
     let report = format!(
         "Serve demo — mixed workload (measure / batch / efficiency / family sweep)\n\
@@ -319,6 +456,7 @@ mod tests {
             queue_capacity: 256,
             window: 4,
             fault_seed: None,
+            tcp: false,
         });
         assert_eq!(outcome.completed, 20);
         assert_eq!(outcome.rejected, 0);
@@ -344,6 +482,7 @@ mod tests {
             queue_capacity: 256,
             window: 4,
             fault_seed: None,
+            tcp: false,
         });
         assert_eq!(outcome.failed, 0);
         let cache = outcome.stats.cache.expect("cache on by default");
@@ -368,6 +507,7 @@ mod tests {
             queue_capacity: 256,
             window: 4,
             fault_seed: Some(7),
+            tcp: false,
         });
         assert_eq!(outcome.failed, 0, "{}", outcome.report);
         assert_eq!(
@@ -392,6 +532,7 @@ mod tests {
             queue_capacity: 1,
             window: 8,
             fault_seed: None,
+            tcp: false,
         });
         assert!(outcome.rejected > 0, "{}", outcome.report);
         assert_eq!(outcome.failed, 0);
@@ -401,5 +542,74 @@ mod tests {
             "{}",
             outcome.report
         );
+    }
+
+    #[test]
+    fn tcp_demo_matches_in_process_accounting() {
+        // An ample-queue `--tcp` run: every request completes, nothing
+        // is lost on the wire, and the server counted one connection
+        // per client thread.
+        let outcome = serve_demo(&DemoConfig {
+            workers: 2,
+            clients: 2,
+            requests_per_client: 15,
+            queue_capacity: 256,
+            window: 4,
+            fault_seed: None,
+            tcp: true,
+        });
+        assert_eq!(outcome.completed, 30, "{}", outcome.report);
+        assert_eq!(outcome.rejected, 0, "{}", outcome.report);
+        assert_eq!(outcome.failed, 0, "{}", outcome.report);
+        assert_eq!(outcome.stats.wire_connections, 2, "{}", outcome.report);
+        assert_eq!(
+            (outcome.stats.wire_rejections, outcome.stats.wire_in_flight),
+            (0, 0),
+            "{}",
+            outcome.report
+        );
+        assert!(
+            outcome.report.contains("tcp loopback"),
+            "{}",
+            outcome.report
+        );
+        assert!(
+            outcome.report.contains("wire connections"),
+            "{}",
+            outcome.report
+        );
+    }
+
+    #[test]
+    fn tcp_over_capacity_burst_rejects_with_zero_loss() {
+        // The CI wire-smoke contract (`--tcp --require-rejections
+        // --require-no-loss`): backpressure engages over the socket as
+        // typed `Overloaded` replies, the server's rejection counter
+        // agrees with the clients' tally, and the conservation law
+        // holds — no ticket is lost between submit and drain.
+        let outcome = serve_demo(&DemoConfig {
+            workers: 1,
+            clients: 3,
+            requests_per_client: 25,
+            queue_capacity: 1,
+            window: 8,
+            fault_seed: None,
+            tcp: true,
+        });
+        assert!(outcome.rejected > 0, "{}", outcome.report);
+        assert_eq!(outcome.failed, 0, "{}", outcome.report);
+        assert_eq!(
+            outcome.completed + outcome.rejected,
+            75,
+            "{}",
+            outcome.report
+        );
+        assert_eq!(
+            outcome.stats.wire_rejections, outcome.rejected,
+            "every Overloaded reply is one wire rejection: {}",
+            outcome.report
+        );
+        assert_eq!(outcome.stats.wire_connections, 3, "{}", outcome.report);
+        assert_eq!(outcome.stats.wire_in_flight, 0, "{}", outcome.report);
     }
 }

@@ -47,6 +47,13 @@ const SERVICE: &str = "crates/cfva-serve/src/service.rs";
 /// Files every `ServiceStats` field must be read by: a stats field
 /// nobody asserts on is a counter nobody checked.
 const STATS_SITES: &[&str] = &["crates/cfva-serve/tests/service_equivalence.rs"];
+/// Files every `Request`, `Response` and `ServeError` variant must
+/// also reach now that the API crosses a socket: the wire codec
+/// round-trip suite. A variant the codec suite never names is a
+/// variant that can ship un-serializable (or silently lossy) — the
+/// round trip is the wire's behavioural contract, exactly as the
+/// equivalence suite is the service's.
+const WIRE_SITES: &[&str] = &["crates/cfva-wire/tests/codec_roundtrip.rs"];
 
 pub struct RegistrationIsCoverage;
 
@@ -65,6 +72,9 @@ impl Lint for RegistrationIsCoverage {
         check_enum_variants(ws, "Request", REQUEST_SITES, &mut diags);
         check_enum_variants(ws, "Response", OUTCOME_SITES, &mut diags);
         check_enum_variants(ws, "ServeError", OUTCOME_SITES, &mut diags);
+        check_enum_variants(ws, "Request", WIRE_SITES, &mut diags);
+        check_enum_variants(ws, "Response", WIRE_SITES, &mut diags);
+        check_enum_variants(ws, "ServeError", WIRE_SITES, &mut diags);
         check_struct_fields(ws, "ServiceStats", SERVICE, STATS_SITES, &mut diags);
         diags
     }

@@ -19,7 +19,13 @@ use crate::lexer::TokenKind;
 use crate::workspace::{Role, SourceFile, Workspace};
 
 /// Return types whose producers must be `#[must_use]`.
-const HANDLE_TYPES: &[&str] = &["Ticket", "ServeTicket", "AccessStats", "AnalyticEstimate"];
+const HANDLE_TYPES: &[&str] = &[
+    "Ticket",
+    "ServeTicket",
+    "WireTicket",
+    "AccessStats",
+    "AnalyticEstimate",
+];
 
 pub struct Hygiene;
 

@@ -39,8 +39,11 @@ use crate::workspace::{Role, Workspace};
 /// `cfva-serve/src/locks.rs`.
 const ALLOWED_NESTING: &[(&str, &str)] = &[];
 
-/// The crate whose locks this lint governs.
-const SERVE: &str = "cfva-serve";
+/// The crates whose locks this lint governs: the serve substrate and
+/// its wire front end, which reuses the same `ClassedMutex` classes
+/// (`WireConns`, `WireIntern`) and so answers to the same leaf
+/// discipline.
+const LOCKED_CRATES: &[&str] = &["cfva-serve", "cfva-wire"];
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum LockKind {
@@ -56,14 +59,14 @@ impl Lint for LockOrder {
     }
 
     fn description(&self) -> &'static str {
-        "cfva-serve locks are leaves: no two lock guards may be live at once"
+        "cfva-serve and cfva-wire locks are leaves: no two lock guards may be live at once"
     }
 
     fn run(&self, ws: &Workspace) -> Vec<Diagnostic> {
         let serve_files: Vec<_> = ws
             .files
             .iter()
-            .filter(|f| f.crate_name == SERVE && f.role == Role::Lib)
+            .filter(|f| LOCKED_CRATES.contains(&f.crate_name.as_str()) && f.role == Role::Lib)
             .collect();
 
         // Pass 1: discover the lock classes across the whole crate, so

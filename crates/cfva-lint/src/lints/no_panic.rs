@@ -24,7 +24,7 @@ use crate::lexer::TokenKind;
 use crate::workspace::{Role, Workspace};
 
 /// Crates whose `src/` trees carry the no-panic discipline.
-const LIBRARY_CRATES: &[&str] = &["cfva-core", "cfva-memsim", "cfva-serve"];
+const LIBRARY_CRATES: &[&str] = &["cfva-core", "cfva-memsim", "cfva-serve", "cfva-wire"];
 
 pub struct NoPanic;
 

@@ -1,0 +1,12 @@
+//! L004 fixture wire suite: only `Request::Measure`,
+//! `Response::Measured` and `ServeError::Overloaded` round trip here —
+//! `Ghost`, `Phantom` and `Unseen` must each be reported as never
+//! reaching the wire codec suite.
+
+fn round_trips_measure() {
+    let _ = Request::Measure {
+        spec: String::new(),
+    };
+    let _ = Response::Measured(1);
+    let _ = ServeError::Overloaded;
+}

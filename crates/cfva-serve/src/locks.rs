@@ -2,7 +2,7 @@
 //!
 //! # The hierarchy: every lock is a leaf
 //!
-//! The serving layer owns eight lock classes ([`LockClass`]): the
+//! The serving layer owns ten lock classes ([`LockClass`]): the
 //! scheduler ([`Sched`](LockClass::Sched)), the per-ticket result slot
 //! ([`TicketSlot`](LockClass::TicketSlot)), the worker-handle registry
 //! ([`Handles`](LockClass::Handles)), the per-spec metadata map
@@ -12,9 +12,14 @@
 //! degraded-fallback session map
 //! ([`DegradedSessions`](LockClass::DegradedSessions)) and the
 //! conflict-aware admission window
-//! ([`SchedWindow`](LockClass::SchedWindow)). The concurrency design
-//! keeps the hierarchy deliberately **flat**: a thread holds at most
-//! one of them at a time.
+//! ([`SchedWindow`](LockClass::SchedWindow)), the wire front end's
+//! connection registry ([`WireConns`](LockClass::WireConns)) and the
+//! wire codec's `&'static str` intern pool
+//! ([`WireIntern`](LockClass::WireIntern)) — the last two acquired
+//! only by `cfva-wire`, which reuses this module rather than growing
+//! a second lock discipline. The concurrency design keeps the
+//! hierarchy deliberately **flat**: a thread holds at most one of
+//! them at a time.
 //!
 //! * Workers pop a job under `Sched`, release, *then* run it — ticket
 //!   resolution (`TicketSlot`) happens strictly after the scheduler
@@ -35,6 +40,17 @@
 //!   the lock but colors the conflict graph and submits the batches
 //!   strictly *after* releasing it — pool submission takes `Sched`, so
 //!   holding the window across it would nest.
+//! * `WireConns` guards the wire server's list of live connection
+//!   handles. The acceptor pushes under the lock and releases before
+//!   touching the socket; drain-on-shutdown swaps the list out under
+//!   the lock and joins the per-connection threads strictly after
+//!   releasing it (a joined thread may be blocked acquiring `Sched`
+//!   or `TicketSlot`, so joining under `WireConns` would nest by
+//!   proxy).
+//! * `WireIntern` guards the codec's append-only pool of leaked
+//!   `&'static str` values (decoding `ConfigError` needs statics).
+//!   Interning is pure string work; no other lock is reachable from
+//!   inside it.
 //!
 //! So any nested acquisition is a bug by definition: either a latent
 //! deadlock (two threads nesting in opposite orders) or an accidental
@@ -88,6 +104,10 @@ pub enum LockClass {
     DegradedSessions,
     /// The conflict-aware admission batcher's bounded window.
     SchedWindow,
+    /// The wire server's live-connection registry (`cfva-wire`).
+    WireConns,
+    /// The wire codec's `&'static str` intern pool (`cfva-wire`).
+    WireIntern,
 }
 
 /// A `Mutex` that knows which [`LockClass`] it belongs to and, in

@@ -418,6 +418,19 @@ pub struct ServiceStats {
     /// Measured conflicts summed over every [`Response::MultiStream`]
     /// co-run — predicted-vs-actual in one snapshot.
     pub scheduler_actual_conflicts: u64,
+    /// TCP connections a `cfva-wire` front end has accepted on behalf
+    /// of this service. Always 0 from [`Service::stats`]: the service
+    /// has no wire state of its own — `WireServer::stats` fills the
+    /// `wire_*` trio in from its admission counters.
+    pub wire_connections: u64,
+    /// Requests a wire front end rejected at the connection boundary
+    /// (per-connection in-flight cap, or service `Overloaded` /
+    /// `ShuttingDown` forwarded onto the socket). Always 0 from
+    /// [`Service::stats`].
+    pub wire_rejections: u64,
+    /// Wire-submitted requests currently in flight across every live
+    /// connection. Always 0 from [`Service::stats`].
+    pub wire_in_flight: usize,
 }
 
 /// The service's robustness counters, shared with every ticket and
@@ -615,6 +628,9 @@ impl Service {
                 .predicted_conflicts_milli
                 .load(Ordering::Relaxed),
             scheduler_actual_conflicts: self.counters.actual_conflicts.load(Ordering::Relaxed),
+            wire_connections: 0,
+            wire_rejections: 0,
+            wire_in_flight: 0,
         }
     }
 

@@ -696,6 +696,12 @@ fn scheduler_stats_expose_every_counter_in_one_snapshot() {
         "the co-run was predicted to conflict and did"
     );
     assert!(stats.scheduler_actual_conflicts >= outcome.actual_conflicts);
+    // No wire front end is attached to this service, so its snapshot
+    // reports the wire counters as zero; the live values are asserted
+    // in cfva-wire's equivalence suite.
+    assert_eq!(stats.wire_connections, 0, "no wire front end attached");
+    assert_eq!(stats.wire_rejections, 0);
+    assert_eq!(stats.wire_in_flight, 0);
     service.shutdown();
     let drained = service.stats();
     assert_eq!(drained.scheduler_window_occupancy, 0);

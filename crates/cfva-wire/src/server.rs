@@ -1,0 +1,538 @@
+//! The serving side of the wire: accept connections, feed
+//! [`Service::submit`], reap tickets back onto the socket.
+//!
+//! # Thread anatomy
+//!
+//! One **acceptor** thread owns the listener. Each connection gets a
+//! **reader** and a **writer** thread:
+//!
+//! * the reader parses frames, enforces the per-connection admission
+//!   cap, checks the shutdown flag and submits to the service — every
+//!   outcome (a live ticket, or an immediate typed rejection) is
+//!   handed to the writer over a channel;
+//! * the writer owns the socket's write half and the connection's
+//!   pending-ticket list. It reaps whichever ticket resolves first —
+//!   responses return **out of submission order**, correlated by
+//!   `request_id` — and keeps reaping even if the socket dies, so no
+//!   accepted ticket is ever abandoned.
+//!
+//! # Admission control is per-client
+//!
+//! The service's global queue bound backpressures the process; the
+//! per-connection in-flight cap ([`WireServerConfig`]) backpressures
+//! each client before it can monopolize that queue (the
+//! OLTP-scheduling argument: admission decisions belong at the
+//! boundary where the client is identifiable). Both rejections travel
+//! as typed [`ServeError::Overloaded`] — queue depth and capacity
+//! tell the client which limit it hit — and a draining server answers
+//! [`ServeError::ShuttingDown`].
+//!
+//! # Graceful drain
+//!
+//! [`WireServer::shutdown`] stops accepting, closes every
+//! connection's read half (no new submissions), lets each writer
+//! flush every accepted ticket's result to its client, then joins all
+//! threads. Zero lost tickets, verified by the CI wire smoke.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cfva_serve::api::{ServeError, ServeResult};
+use cfva_serve::locks::{ClassedMutex, LockClass};
+use cfva_serve::service::{ServeTicket, Service, ServiceStats};
+
+use crate::frame::{self, FrameError, PROTOCOL_VERSION};
+use crate::json::{self, ClientFrame, ServerFrame};
+
+/// Tuning knobs for a [`WireServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct WireServerConfig {
+    /// Requests one connection may have in flight before further
+    /// submissions are rejected with a typed
+    /// [`ServeError::Overloaded`] naming this cap. Minimum 1.
+    pub max_in_flight_per_conn: usize,
+}
+
+impl Default for WireServerConfig {
+    fn default() -> Self {
+        WireServerConfig {
+            max_in_flight_per_conn: 64,
+        }
+    }
+}
+
+/// Wire-boundary admission counters, surfaced as the `wire_*` fields
+/// of [`ServiceStats`] by [`WireServer::stats`].
+#[derive(Debug, Default)]
+struct WireCounters {
+    connections: AtomicU64,
+    rejections: AtomicU64,
+    in_flight: AtomicUsize,
+}
+
+/// Everything the acceptor and `shutdown` hand off to each other,
+/// behind one `WireConns` lock: the acceptor's join handle and the
+/// live-connection registry. Threads are joined strictly *outside*
+/// the lock (a joined thread may be blocked on a serve lock).
+#[derive(Debug, Default)]
+struct ServerState {
+    acceptor: Option<JoinHandle<()>>,
+    conns: Vec<ConnHandle>,
+}
+
+#[derive(Debug)]
+struct ConnHandle {
+    /// A clone of the connection socket, kept so drain can close the
+    /// read half and unblock the reader.
+    stream: TcpStream,
+    reader: JoinHandle<()>,
+    writer: JoinHandle<()>,
+}
+
+/// What a reader hands its connection's writer.
+enum Outgoing {
+    /// The client's hello checked out: answer it.
+    Hello,
+    /// An immediate outcome with no ticket (rejection or decode-level
+    /// service error).
+    Ready(u64, ServeResult),
+    /// An admitted ticket to reap.
+    Ticket(u64, ServeTicket),
+    /// A stats snapshot to send.
+    Stats(u64, ServiceStats),
+    /// A protocol violation: report it, then stop writing.
+    Fatal(String),
+}
+
+/// A TCP front door for one [`Service`].
+///
+/// Dropping the server shuts it down gracefully (idempotent with an
+/// explicit [`shutdown`](WireServer::shutdown)). The service itself
+/// is shared and stays up — callers own its lifecycle.
+#[derive(Debug)]
+pub struct WireServer {
+    service: Arc<Service>,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<WireCounters>,
+    state: Arc<ClassedMutex<ServerState>>,
+}
+
+impl WireServer {
+    /// Binds a listener and starts the acceptor thread.
+    ///
+    /// Bind to port 0 for an ephemeral port and recover it with
+    /// [`local_addr`](WireServer::local_addr).
+    pub fn bind<A: ToSocketAddrs>(
+        service: Arc<Service>,
+        addr: A,
+        config: WireServerConfig,
+    ) -> std::io::Result<WireServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(WireCounters::default());
+        let state = Arc::new(ClassedMutex::new(
+            LockClass::WireConns,
+            ServerState::default(),
+        ));
+        let config = WireServerConfig {
+            max_in_flight_per_conn: config.max_in_flight_per_conn.max(1),
+        };
+
+        let acceptor = {
+            let service = Arc::clone(&service);
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                accept_loop(&listener, &service, &shutdown, &counters, &state, config);
+            })
+        };
+        state.lock().acceptor = Some(acceptor);
+
+        Ok(WireServer {
+            service,
+            addr,
+            shutdown,
+            counters,
+            state,
+        })
+    }
+
+    /// The bound address — the ephemeral port when bound to port 0.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service snapshot with the `wire_*` admission counters
+    /// filled in — the same snapshot a [`ClientFrame::Stats`] probe
+    /// receives.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        wire_stats(&self.service, &self.counters)
+    }
+
+    /// Graceful drain: stop accepting, close every connection's read
+    /// half, flush every accepted ticket's result to its client, join
+    /// all threads. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor's blocking accept with a dummy
+        // connection, then join it before draining the registry, so
+        // no connection can be registered afterwards.
+        let _ = TcpStream::connect(self.addr);
+        let acceptor = self.state.lock().acceptor.take();
+        if let Some(handle) = acceptor {
+            let _ = handle.join();
+        }
+        let conns = std::mem::take(&mut self.state.lock().conns);
+        for conn in &conns {
+            // No new frames: the reader unblocks and exits, the
+            // writer drains what was admitted.
+            let _ = conn.stream.shutdown(Shutdown::Read);
+        }
+        for conn in conns {
+            let _ = conn.reader.join();
+            let _ = conn.writer.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn wire_stats(service: &Service, counters: &WireCounters) -> ServiceStats {
+    let mut stats = service.stats();
+    stats.wire_connections = counters.connections.load(Ordering::Relaxed);
+    stats.wire_rejections = counters.rejections.load(Ordering::Relaxed);
+    stats.wire_in_flight = counters.in_flight.load(Ordering::Relaxed);
+    stats
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<Service>,
+    shutdown: &Arc<AtomicBool>,
+    counters: &Arc<WireCounters>,
+    state: &Arc<ClassedMutex<ServerState>>,
+    config: WireServerConfig,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::SeqCst) {
+            // The drain's dummy connection, or a client racing it:
+            // either way, admission is closed.
+            return;
+        }
+        // The frame layer writes a 4-byte length word and then the
+        // payload: without TCP_NODELAY that write-write-read pattern
+        // trips Nagle against the peer's delayed ACK (~40 ms per round
+        // trip on loopback). Best effort — a socket that can't set the
+        // option still works, just slower.
+        let _ = stream.set_nodelay(true);
+        let Ok(read_half) = stream.try_clone() else {
+            continue;
+        };
+        let Ok(registry_clone) = stream.try_clone() else {
+            continue;
+        };
+        counters.connections.fetch_add(1, Ordering::Relaxed);
+
+        let (tx, rx) = std::sync::mpsc::channel::<Outgoing>();
+        let conn_in_flight = Arc::new(AtomicUsize::new(0));
+
+        let reader = {
+            let service = Arc::clone(service);
+            let shutdown = Arc::clone(shutdown);
+            let counters = Arc::clone(counters);
+            let conn_in_flight = Arc::clone(&conn_in_flight);
+            std::thread::spawn(move || {
+                reader_loop(
+                    read_half,
+                    &tx,
+                    &service,
+                    &shutdown,
+                    &counters,
+                    &conn_in_flight,
+                    config.max_in_flight_per_conn,
+                );
+            })
+        };
+        let writer = {
+            let counters = Arc::clone(counters);
+            let conn_in_flight = Arc::clone(&conn_in_flight);
+            let max = config.max_in_flight_per_conn;
+            std::thread::spawn(move || {
+                writer_loop(stream, &rx, &counters, &conn_in_flight, max);
+            })
+        };
+        state.lock().conns.push(ConnHandle {
+            stream: registry_clone,
+            reader,
+            writer,
+        });
+    }
+}
+
+/// Parses and admits one connection's frames. Every submission gets
+/// exactly one eventual `Result` frame: a live ticket handed to the
+/// writer, or an immediate typed rejection.
+fn reader_loop(
+    stream: TcpStream,
+    tx: &Sender<Outgoing>,
+    service: &Service,
+    shutdown: &AtomicBool,
+    counters: &WireCounters,
+    conn_in_flight: &AtomicUsize,
+    max_in_flight: usize,
+) {
+    let mut reader = BufReader::new(stream);
+
+    // The handshake: exactly one hello, version-checked, before
+    // anything else.
+    match frame::read_frame(&mut reader) {
+        Ok(text) => match json::decode_client_frame(&text) {
+            Ok(ClientFrame::Hello { proto }) if proto == PROTOCOL_VERSION => {
+                let _ = tx.send(Outgoing::Hello);
+            }
+            Ok(ClientFrame::Hello { proto }) => {
+                let _ = tx.send(Outgoing::Fatal(format!(
+                    "unsupported protocol version {proto} (server speaks {PROTOCOL_VERSION})"
+                )));
+                return;
+            }
+            Ok(_) => {
+                let _ = tx.send(Outgoing::Fatal("first frame must be a hello".to_string()));
+                return;
+            }
+            Err(e) => {
+                let _ = tx.send(Outgoing::Fatal(e.to_string()));
+                return;
+            }
+        },
+        Err(FrameError::Closed) | Err(FrameError::Io(_)) => return,
+        Err(e) => {
+            let _ = tx.send(Outgoing::Fatal(e.to_string()));
+            return;
+        }
+    }
+
+    loop {
+        let text = match frame::read_frame(&mut reader) {
+            Ok(text) => text,
+            // Clean goodbye or a lost/drained peer: stop reading; the
+            // writer drains whatever was admitted.
+            Err(FrameError::Closed) | Err(FrameError::Io(_)) => return,
+            // Oversize length or bad UTF-8: the stream may be
+            // misaligned, so report and close rather than mis-parse.
+            Err(e) => {
+                let _ = tx.send(Outgoing::Fatal(e.to_string()));
+                return;
+            }
+        };
+        match json::decode_client_frame(&text) {
+            Ok(ClientFrame::Submit {
+                id,
+                request,
+                budget,
+            }) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    counters.rejections.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(Outgoing::Ready(id, Err(ServeError::ShuttingDown)));
+                    continue;
+                }
+                let held = conn_in_flight.load(Ordering::Relaxed);
+                if held >= max_in_flight {
+                    counters.rejections.fetch_add(1, Ordering::Relaxed);
+                    let _ = tx.send(Outgoing::Ready(
+                        id,
+                        Err(ServeError::Overloaded {
+                            queue_depth: held,
+                            capacity: max_in_flight,
+                        }),
+                    ));
+                    continue;
+                }
+                let submitted = match budget {
+                    Some(budget) => service.submit_with_budget(request, budget),
+                    None => service.submit(request),
+                };
+                match submitted {
+                    Ok(ticket) => {
+                        conn_in_flight.fetch_add(1, Ordering::Relaxed);
+                        counters.in_flight.fetch_add(1, Ordering::Relaxed);
+                        let _ = tx.send(Outgoing::Ticket(id, ticket));
+                    }
+                    Err(e) => {
+                        counters.rejections.fetch_add(1, Ordering::Relaxed);
+                        let _ = tx.send(Outgoing::Ready(id, Err(e)));
+                    }
+                }
+            }
+            Ok(ClientFrame::Stats { id }) => {
+                let _ = tx.send(Outgoing::Stats(id, wire_stats(service, counters)));
+            }
+            Ok(ClientFrame::Hello { .. }) => {
+                let _ = tx.send(Outgoing::Fatal("duplicate hello".to_string()));
+                return;
+            }
+            Err(e) => {
+                let _ = tx.send(Outgoing::Fatal(e.to_string()));
+                return;
+            }
+        }
+    }
+}
+
+/// Owns the write half and the pending-ticket list. Writes whichever
+/// ticket resolves first; never abandons a ticket, even when the
+/// socket dies mid-connection.
+fn writer_loop(
+    stream: TcpStream,
+    rx: &Receiver<Outgoing>,
+    counters: &WireCounters,
+    conn_in_flight: &AtomicUsize,
+    max_in_flight: usize,
+) {
+    let mut w = BufWriter::new(stream);
+    let mut pending: Vec<(u64, ServeTicket)> = Vec::new();
+    // `false` once the reader is gone (channel closed): no new work.
+    let mut alive = true;
+    // `true` once the socket failed or a fatal was sent: keep reaping
+    // tickets (their results are simply discarded), stop writing.
+    let mut broken = false;
+
+    loop {
+        // Idle and nothing pending: block for the next instruction.
+        if alive && pending.is_empty() {
+            match rx.recv() {
+                Ok(msg) => {
+                    handle_outgoing(msg, &mut w, &mut pending, &mut broken, max_in_flight);
+                }
+                Err(_) => alive = false,
+            }
+        }
+        // Drain whatever else queued up without blocking.
+        while alive {
+            match rx.try_recv() {
+                Ok(msg) => {
+                    handle_outgoing(msg, &mut w, &mut pending, &mut broken, max_in_flight);
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => alive = false,
+            }
+        }
+        if !alive && pending.is_empty() {
+            break;
+        }
+
+        // Reap every ready ticket, in whatever order they resolved.
+        let mut wrote = false;
+        let mut i = 0;
+        while i < pending.len() {
+            let ready = pending.get_mut(i).is_some_and(|(_, t)| t.is_ready());
+            if !ready {
+                i += 1;
+                continue;
+            }
+            let (id, mut ticket) = pending.swap_remove(i);
+            match ticket.poll() {
+                Some(result) => {
+                    finish(id, result, &mut w, &mut broken, counters, conn_in_flight);
+                    wrote = true;
+                }
+                None => pending.push((id, ticket)),
+            }
+        }
+        // Nothing was ready: park briefly on the oldest ticket so the
+        // loop neither spins nor misses a newly resolved one.
+        if !wrote && !pending.is_empty() {
+            let (id, ticket) = pending.remove(0);
+            match ticket.wait_timeout(Duration::from_millis(1)) {
+                Ok(result) => {
+                    finish(id, result, &mut w, &mut broken, counters, conn_in_flight);
+                }
+                Err(ticket) => pending.insert(0, (id, ticket)),
+            }
+        }
+        let _ = w.flush();
+    }
+    let _ = w.flush();
+}
+
+fn handle_outgoing(
+    msg: Outgoing,
+    w: &mut BufWriter<TcpStream>,
+    pending: &mut Vec<(u64, ServeTicket)>,
+    broken: &mut bool,
+    max_in_flight: usize,
+) {
+    match msg {
+        Outgoing::Hello => {
+            let max = u32::try_from(max_in_flight).unwrap_or(u32::MAX);
+            send_frame(
+                w,
+                broken,
+                &ServerFrame::Hello {
+                    proto: PROTOCOL_VERSION,
+                    max_in_flight: max,
+                },
+            );
+        }
+        Outgoing::Ready(id, result) => {
+            send_frame(w, broken, &ServerFrame::Result { id, result });
+        }
+        Outgoing::Ticket(id, ticket) => pending.push((id, ticket)),
+        Outgoing::Stats(id, stats) => {
+            send_frame(w, broken, &ServerFrame::Stats { id, stats });
+        }
+        Outgoing::Fatal(reason) => {
+            send_frame(w, broken, &ServerFrame::Fatal { reason });
+            let _ = w.flush();
+            *broken = true;
+        }
+    }
+}
+
+fn finish(
+    id: u64,
+    result: ServeResult,
+    w: &mut BufWriter<TcpStream>,
+    broken: &mut bool,
+    counters: &WireCounters,
+    conn_in_flight: &AtomicUsize,
+) {
+    conn_in_flight.fetch_sub(1, Ordering::Relaxed);
+    counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+    send_frame(w, broken, &ServerFrame::Result { id, result });
+}
+
+fn send_frame(w: &mut BufWriter<TcpStream>, broken: &mut bool, frame_msg: &ServerFrame) {
+    if *broken {
+        return;
+    }
+    let payload = json::encode_server_frame(frame_msg);
+    if frame::write_frame(w, &payload).is_err() {
+        *broken = true;
+    }
+}

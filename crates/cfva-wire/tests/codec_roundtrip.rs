@@ -1,0 +1,854 @@
+//! Round-trip and adversarial tests for the wire codec.
+//!
+//! Every `Request` / `Response` / `ServeError` variant must round
+//! trip bit-identically through `encode_* → decode_*` — cfva-lint's
+//! L004 refuses any variant this suite does not name. The adversarial
+//! half feeds the frame layer and the parser truncated, oversize,
+//! non-UTF-8 and malformed inputs and requires typed errors, never a
+//! panic.
+
+use std::io::Cursor;
+use std::time::Duration;
+
+use cfva_core::plan::Strategy;
+use cfva_core::{ConfigError, VectorSpec};
+use cfva_memsim::{AccessStats, IssuePolicy};
+use cfva_serve::api::{
+    Estimator, FamilyPoint, MultiStreamOutcome, Request, Response, SchedulePlan, ServeError,
+    ServeResult, StreamSummary,
+};
+use cfva_serve::service::ServiceStats;
+use cfva_serve::CacheStats;
+use cfva_wire::frame::{self, FrameError, MAX_FRAME_LEN};
+use cfva_wire::json::{self, ClientFrame, DecodeError, ServerFrame};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------
+// Round-trip helpers
+// ---------------------------------------------------------------
+
+fn rt_request(r: &Request) {
+    let text = json::encode_request(r);
+    let back = json::decode_request(&text).expect("request should decode");
+    assert_eq!(*r, back, "request round trip changed the value: {text}");
+}
+
+fn rt_response(r: &Response) {
+    let text = json::encode_response(r);
+    let back = json::decode_response(&text).expect("response should decode");
+    assert_eq!(*r, back, "response round trip changed the value: {text}");
+}
+
+fn rt_serve_error(e: &ServeError) {
+    let text = json::encode_serve_error(e);
+    let back = json::decode_serve_error(&text).expect("serve error should decode");
+    assert_eq!(*e, back, "serve error round trip changed the value: {text}");
+}
+
+fn vec_spec(base: u64, stride: i64, len: u64) -> VectorSpec {
+    VectorSpec::new(base, stride, len).expect("test vector spec must be valid")
+}
+
+fn access_stats(k: u64) -> AccessStats {
+    AccessStats {
+        latency: 100 + k,
+        elements: 64,
+        stall_cycles: k % 7,
+        conflicts: k % 5,
+        arrival: vec![k, k + 1, k + 3, k + 9],
+        module_busy: vec![8, 9, 10, k % 11],
+        max_in_q: usize::try_from(k % 4).unwrap(),
+    }
+}
+
+fn all_config_errors() -> Vec<ConfigError> {
+    vec![
+        ConfigError::NotPowerOfTwo {
+            what: "modules",
+            value: 12,
+        },
+        ConfigError::OutOfRange {
+            what: "s",
+            value: 3,
+            constraint: "s >= t",
+        },
+        ConfigError::ZeroStride,
+        ConfigError::SingularMatrix,
+        ConfigError::AddressOverflow,
+        ConfigError::SpecSyntax {
+            spec: "xor:".to_string(),
+            reason: "empty key".to_string(),
+        },
+        ConfigError::UnknownMap {
+            name: "warp".to_string(),
+            registered: vec!["xor".to_string(), "interleave".to_string()],
+        },
+        ConfigError::MissingKey {
+            map: "xor".to_string(),
+            key: "t",
+        },
+        ConfigError::UnknownKey {
+            map: "xor".to_string(),
+            key: "q".to_string(),
+            accepted: &["t", "s"],
+        },
+        ConfigError::DuplicateKey {
+            key: "t".to_string(),
+        },
+        ConfigError::InvalidValue {
+            key: "t".to_string(),
+            value: "x9".to_string(),
+            expected: "an unsigned integer",
+        },
+        ConfigError::MatrixFile {
+            path: "m.txt".to_string(),
+            reason: "no such file".to_string(),
+        },
+        ConfigError::DuplicateMap {
+            name: "xor".to_string(),
+        },
+    ]
+}
+
+// ---------------------------------------------------------------
+// Request variants
+// ---------------------------------------------------------------
+
+#[test]
+fn request_measure_round_trips() {
+    rt_request(&Request::Measure {
+        spec: "xor-matched:t=3,s=4".to_string(),
+        vec: vec_spec(16, 12, 64),
+        strategy: Strategy::Auto,
+    });
+    rt_request(&Request::Measure {
+        spec: "interleave:t=2".to_string(),
+        vec: vec_spec(0, -7, 1),
+        strategy: Strategy::ConflictFree,
+    });
+}
+
+#[test]
+fn request_measure_batch_round_trips() {
+    rt_request(&Request::MeasureBatch {
+        spec: "xor-matched:t=3,s=3".to_string(),
+        accesses: vec![
+            (vec_spec(0, 1, 8), Strategy::Canonical),
+            (vec_spec(64, -3, 16), Strategy::Subsequence),
+            (vec_spec(128, 32, 4), Strategy::ConflictFree),
+            (vec_spec(4096, 5, 33), Strategy::Auto),
+        ],
+    });
+    rt_request(&Request::MeasureBatch {
+        spec: "interleave:t=4".to_string(),
+        accesses: Vec::new(),
+    });
+}
+
+#[test]
+fn request_family_sweep_round_trips() {
+    rt_request(&Request::FamilySweep {
+        spec: "xor-matched:t=3,s=4".to_string(),
+        len: 256,
+        max_x: 6,
+        sigma: 3,
+    });
+    rt_request(&Request::FamilySweep {
+        spec: "interleave:t=3".to_string(),
+        len: 1,
+        max_x: 0,
+        sigma: -5,
+    });
+}
+
+#[test]
+fn request_efficiency_round_trips() {
+    rt_request(&Request::Efficiency {
+        spec: "xor-matched:t=3,s=3".to_string(),
+        strategy: Strategy::Auto,
+        len: 64,
+        estimator: Estimator::MonteCarlo {
+            samples: 500,
+            max_x: 8,
+            max_sigma: 63,
+        },
+        seed: 0xDEAD_BEEF,
+    });
+    rt_request(&Request::Efficiency {
+        spec: "interleave:t=2".to_string(),
+        strategy: Strategy::Canonical,
+        len: 128,
+        estimator: Estimator::Stratified {
+            max_x: 10,
+            per_family: 40,
+        },
+        seed: u64::MAX,
+    });
+}
+
+#[test]
+fn request_multi_stream_round_trips() {
+    let streams = vec![
+        vec_spec(0, 1, 64),
+        vec_spec(8192, 12, 64),
+        vec_spec(64, -2, 32),
+    ];
+    for policy in [
+        IssuePolicy::RoundRobin,
+        IssuePolicy::Priority,
+        IssuePolicy::WorkConserving,
+    ] {
+        for schedule in [
+            SchedulePlan::Together,
+            SchedulePlan::FifoWaves { width: 2 },
+            SchedulePlan::ConflictAware {
+                width: 3,
+                max_score_milli: 1500,
+            },
+        ] {
+            rt_request(&Request::MultiStream {
+                spec: "xor-matched:t=3,s=4".to_string(),
+                streams: streams.clone(),
+                strategy: Strategy::Auto,
+                policy,
+                schedule,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Response variants
+// ---------------------------------------------------------------
+
+#[test]
+fn response_measured_round_trips() {
+    rt_response(&Response::Measured(Some(access_stats(17))));
+    rt_response(&Response::Measured(None));
+}
+
+#[test]
+fn response_batch_round_trips() {
+    rt_response(&Response::Batch(vec![
+        Some(access_stats(1)),
+        None,
+        Some(access_stats(2)),
+    ]));
+    rt_response(&Response::Batch(Vec::new()));
+}
+
+#[test]
+fn response_family_sweep_round_trips() {
+    rt_response(&Response::FamilySweep(vec![
+        FamilyPoint {
+            x: 0,
+            stride: 3,
+            latency: 73,
+            conflicts: 0,
+            stall_cycles: 0,
+            cycles_per_element: 1.0,
+        },
+        FamilyPoint {
+            x: 5,
+            stride: -96,
+            latency: 901,
+            conflicts: 320,
+            stall_cycles: 512,
+            cycles_per_element: 0.1 + 0.2, // deliberately not representable as 0.3
+        },
+    ]));
+}
+
+#[test]
+fn response_efficiency_round_trips() {
+    for eta in [1.0, 0.5, 0.1 + 0.2, 1e-300, f64::MIN_POSITIVE, -0.0, 5e-324] {
+        rt_response(&Response::Efficiency(eta));
+    }
+}
+
+#[test]
+fn response_efficiency_nonfinite_floats_survive() {
+    // NaN breaks PartialEq, so check the lanes by hand.
+    let text = json::encode_response(&Response::Efficiency(f64::NAN));
+    match json::decode_response(&text).expect("nan should decode") {
+        Response::Efficiency(eta) => assert!(eta.is_nan()),
+        other => panic!("wrong shape back: {other:?}"),
+    }
+    for inf in [f64::INFINITY, f64::NEG_INFINITY] {
+        rt_response(&Response::Efficiency(inf));
+    }
+}
+
+#[test]
+fn response_multi_stream_round_trips() {
+    rt_response(&Response::MultiStream(MultiStreamOutcome {
+        per_stream: vec![
+            StreamSummary {
+                wave: 0,
+                elements: 64,
+                first_issue: 0,
+                latency: 73,
+                spread: 63,
+                conflicts: 0,
+                stall_cycles: 0,
+            },
+            StreamSummary {
+                wave: 1,
+                elements: 32,
+                first_issue: 2,
+                latency: 120,
+                spread: 80,
+                conflicts: 17,
+                stall_cycles: 9,
+            },
+        ],
+        wave_makespans: vec![73, 130],
+        makespan: 203,
+        sequential_baseline: 193,
+        predicted_conflicts_milli: 2125,
+        actual_conflicts: 17,
+    }));
+}
+
+#[test]
+fn response_degraded_round_trips() {
+    rt_response(&Response::Degraded {
+        response: Box::new(Response::Measured(Some(access_stats(3)))),
+        exact: true,
+    });
+    rt_response(&Response::Degraded {
+        response: Box::new(Response::FamilySweep(vec![FamilyPoint {
+            x: 2,
+            stride: 12,
+            latency: 200,
+            conflicts: 40,
+            stall_cycles: 30,
+            cycles_per_element: 2.75,
+        }])),
+        exact: false,
+    });
+    // Nested degradation is not produced by the service today, but the
+    // codec must not be the layer that forbids it.
+    rt_response(&Response::Degraded {
+        response: Box::new(Response::Degraded {
+            response: Box::new(Response::Measured(None)),
+            exact: false,
+        }),
+        exact: true,
+    });
+}
+
+// ---------------------------------------------------------------
+// ServeError variants
+// ---------------------------------------------------------------
+
+#[test]
+fn serve_error_overloaded_round_trips() {
+    rt_serve_error(&ServeError::Overloaded {
+        queue_depth: 129,
+        capacity: 128,
+    });
+}
+
+#[test]
+fn serve_error_shutting_down_round_trips() {
+    rt_serve_error(&ServeError::ShuttingDown);
+}
+
+#[test]
+fn serve_error_spec_round_trips() {
+    for e in all_config_errors() {
+        rt_serve_error(&ServeError::Spec(e));
+    }
+}
+
+#[test]
+fn serve_error_request_round_trips() {
+    for e in all_config_errors() {
+        rt_serve_error(&ServeError::Request(e));
+    }
+}
+
+#[test]
+fn serve_error_deadline_exceeded_round_trips() {
+    rt_serve_error(&ServeError::DeadlineExceeded {
+        budget: Duration::new(3, 141_592_653),
+    });
+    rt_serve_error(&ServeError::DeadlineExceeded {
+        budget: Duration::ZERO,
+    });
+}
+
+#[test]
+fn serve_error_worker_panicked_round_trips() {
+    rt_serve_error(&ServeError::WorkerPanicked {
+        attempts: 4,
+        message: "index out of bounds: the len is 0 but the index is 0".to_string(),
+    });
+    rt_serve_error(&ServeError::WorkerPanicked {
+        attempts: 1,
+        message: String::new(),
+    });
+}
+
+#[test]
+fn serve_result_round_trips() {
+    let ok: ServeResult = Ok(Response::Efficiency(0.875));
+    let text = json::encode_serve_result(&ok);
+    assert_eq!(json::decode_serve_result(&text).expect("ok decodes"), ok);
+
+    let err: ServeResult = Err(ServeError::ShuttingDown);
+    let text = json::encode_serve_result(&err);
+    assert_eq!(json::decode_serve_result(&text).expect("err decodes"), err);
+}
+
+// ---------------------------------------------------------------
+// ServiceStats and frame envelopes
+// ---------------------------------------------------------------
+
+#[test]
+fn service_stats_round_trips() {
+    let stats = ServiceStats {
+        queue_depth: 3,
+        in_flight: 2,
+        cache: Some(CacheStats {
+            hits: 10,
+            misses: 20,
+            evictions: 3,
+            bypasses: 4,
+            invalidations: 5,
+            entries: 17,
+            capacity: 64,
+        }),
+        retries: 6,
+        restarts: 7,
+        deadline_exceeded: 8,
+        degraded: 9,
+        faults_injected: 10,
+        scheduler_batches: 11,
+        scheduler_batched: 12,
+        scheduler_fifo_fallbacks: 13,
+        scheduler_window_occupancy: 14,
+        scheduler_predicted_conflicts_milli: 15,
+        scheduler_actual_conflicts: 16,
+        wire_connections: 17,
+        wire_rejections: 18,
+        wire_in_flight: 19,
+    };
+    let text = json::encode_service_stats(&stats);
+    assert_eq!(
+        json::decode_service_stats(&text).expect("stats decode"),
+        stats
+    );
+
+    let no_cache = ServiceStats {
+        cache: None,
+        ..stats
+    };
+    let text = json::encode_service_stats(&no_cache);
+    assert_eq!(
+        json::decode_service_stats(&text).expect("stats decode"),
+        no_cache
+    );
+}
+
+#[test]
+fn client_frames_round_trip() {
+    let frames = vec![
+        ClientFrame::Hello {
+            proto: frame::PROTOCOL_VERSION,
+        },
+        ClientFrame::Submit {
+            id: 42,
+            request: Request::Measure {
+                spec: "xor-matched:t=3,s=3".to_string(),
+                vec: vec_spec(16, 12, 64),
+                strategy: Strategy::Auto,
+            },
+            budget: Some(Duration::from_millis(250)),
+        },
+        ClientFrame::Submit {
+            id: u64::MAX,
+            request: Request::FamilySweep {
+                spec: "interleave:t=3".to_string(),
+                len: 64,
+                max_x: 4,
+                sigma: 1,
+            },
+            budget: None,
+        },
+        ClientFrame::Stats { id: 7 },
+    ];
+    for f in &frames {
+        let text = json::encode_client_frame(f);
+        let back = json::decode_client_frame(&text).expect("client frame decodes");
+        assert_eq!(*f, back, "client frame changed: {text}");
+    }
+}
+
+#[test]
+fn server_frames_round_trip() {
+    // ServerFrame carries ServeTicket-free results only, but is not
+    // PartialEq (ServiceStats inside is, Response is; keep it simple):
+    // bit-identity is asserted on the re-encoded text instead.
+    let frames = vec![
+        ServerFrame::Hello {
+            proto: frame::PROTOCOL_VERSION,
+            max_in_flight: 64,
+        },
+        ServerFrame::Result {
+            id: 3,
+            result: Ok(Response::Measured(Some(access_stats(5)))),
+        },
+        ServerFrame::Result {
+            id: 4,
+            result: Err(ServeError::Overloaded {
+                queue_depth: 9,
+                capacity: 8,
+            }),
+        },
+        ServerFrame::Stats {
+            id: 5,
+            stats: ServiceStats {
+                queue_depth: 0,
+                in_flight: 0,
+                cache: None,
+                retries: 0,
+                restarts: 0,
+                deadline_exceeded: 0,
+                degraded: 0,
+                faults_injected: 0,
+                scheduler_batches: 0,
+                scheduler_batched: 0,
+                scheduler_fifo_fallbacks: 0,
+                scheduler_window_occupancy: 0,
+                scheduler_predicted_conflicts_milli: 0,
+                scheduler_actual_conflicts: 0,
+                wire_connections: 1,
+                wire_rejections: 2,
+                wire_in_flight: 3,
+            },
+        },
+        ServerFrame::Fatal {
+            reason: "first frame must be a hello".to_string(),
+        },
+    ];
+    for f in &frames {
+        let text = json::encode_server_frame(f);
+        let back = json::decode_server_frame(&text).expect("server frame decodes");
+        assert_eq!(
+            json::encode_server_frame(&back),
+            text,
+            "server frame changed across the round trip"
+        );
+    }
+}
+
+// ---------------------------------------------------------------
+// Frame layer: truncation, oversize, UTF-8
+// ---------------------------------------------------------------
+
+#[test]
+fn frame_round_trips_through_a_buffer() {
+    let payload = json::encode_request(&Request::FamilySweep {
+        spec: "xor-matched:t=3,s=4".to_string(),
+        len: 256,
+        max_x: 6,
+        sigma: 3,
+    });
+    let mut buf = Vec::new();
+    frame::write_frame(&mut buf, &payload).expect("write");
+    let back = frame::read_frame(&mut Cursor::new(&buf)).expect("read");
+    assert_eq!(back, payload);
+}
+
+#[test]
+fn empty_stream_reads_as_closed() {
+    match frame::read_frame(&mut Cursor::new(Vec::<u8>::new())) {
+        Err(FrameError::Closed) => {}
+        other => panic!("expected Closed, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_frames_are_io_errors_not_panics() {
+    let mut buf = Vec::new();
+    frame::write_frame(&mut buf, "{\"x\":1}").expect("write");
+    // Cut the frame at every possible byte boundary except 0 and the end.
+    for cut in 1..buf.len() {
+        let head = &buf[..cut];
+        match frame::read_frame(&mut Cursor::new(head)) {
+            Err(FrameError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof, "cut at {cut}");
+            }
+            other => panic!("cut at {cut}: expected UnexpectedEof, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversize_length_words_are_rejected() {
+    let hostile = (MAX_FRAME_LEN + 1).to_be_bytes();
+    match frame::read_frame(&mut Cursor::new(hostile)) {
+        Err(FrameError::Oversize { len, max }) => {
+            assert_eq!(len, MAX_FRAME_LEN + 1);
+            assert_eq!(max, MAX_FRAME_LEN);
+        }
+        other => panic!("expected Oversize, got {other:?}"),
+    }
+    // u32::MAX: the classic length-word attack; must not allocate 4 GiB.
+    let hostile = u32::MAX.to_be_bytes();
+    assert!(matches!(
+        frame::read_frame(&mut Cursor::new(hostile)),
+        Err(FrameError::Oversize { .. })
+    ));
+}
+
+#[test]
+fn non_utf8_payloads_are_rejected() {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&4u32.to_be_bytes());
+    buf.extend_from_slice(&[b'o', b'k', 0xFF, 0xFE]);
+    match frame::read_frame(&mut Cursor::new(buf)) {
+        Err(FrameError::InvalidUtf8 { valid_up_to }) => assert_eq!(valid_up_to, 2),
+        other => panic!("expected InvalidUtf8, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversize_writes_are_refused_before_touching_the_stream() {
+    let huge = "x".repeat(MAX_FRAME_LEN as usize + 1);
+    let mut buf = Vec::new();
+    assert!(matches!(
+        frame::write_frame(&mut buf, &huge),
+        Err(FrameError::Oversize { .. })
+    ));
+    assert!(buf.is_empty(), "a refused frame must write nothing");
+}
+
+// ---------------------------------------------------------------
+// Parser: malformed JSON, wrong schema, deep nesting
+// ---------------------------------------------------------------
+
+#[test]
+fn malformed_json_is_a_typed_syntax_error() {
+    for bad in [
+        "",
+        "   ",
+        "{",
+        "}",
+        "[1,",
+        "{\"a\":}",
+        "{\"a\" 1}",
+        "tru",
+        "nul",
+        "+5",
+        "1e",
+        "0x10",
+        "\"unterminated",
+        "\"bad escape \\q\"",
+        "\"half surrogate \\ud800\"",
+        "{\"a\":1} trailing",
+        "[1,2,]",
+        "{\"a\":1,}",
+    ] {
+        match json::parse(bad) {
+            Err(DecodeError::Syntax { .. }) => {}
+            other => panic!("{bad:?}: expected Syntax error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn deep_nesting_hits_the_recursion_cap_not_the_stack() {
+    let deep = "[".repeat(10_000);
+    assert!(matches!(
+        json::parse(&deep),
+        Err(DecodeError::Syntax { .. })
+    ));
+    let deep_objs = "{\"a\":".repeat(10_000);
+    assert!(matches!(
+        json::parse(&deep_objs),
+        Err(DecodeError::Syntax { .. })
+    ));
+}
+
+#[test]
+fn wrong_shapes_are_schema_errors() {
+    // Valid JSON, wrong schema: typed Schema errors, not panics.
+    for bad in [
+        "42",
+        "\"no_such_variant\"",
+        "{\"no_such_variant\":{}}",
+        "{\"measure\":{}}",
+        "{\"measure\":{\"spec\":1,\"vec\":{\"base\":0,\"stride\":1,\"len\":1},\"strategy\":\"auto\"}}",
+    ] {
+        match json::decode_request(bad) {
+            Err(DecodeError::Schema { .. }) => {}
+            other => panic!("{bad:?}: expected Schema error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn invalid_vector_specs_surface_the_registry_error() {
+    // Well-formed JSON whose VectorSpec violates its own invariants:
+    // the decoder must route through `VectorSpec::new` and surface the
+    // typed ConfigError, not construct an illegal spec.
+    let zero_stride = "{\"measure\":{\"spec\":\"m\",\"vec\":{\"base\":0,\"stride\":0,\"len\":4},\"strategy\":\"auto\"}}";
+    match json::decode_request(zero_stride) {
+        Err(DecodeError::Invalid(ConfigError::ZeroStride)) => {}
+        other => panic!("expected Invalid(ZeroStride), got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------
+// Property tests
+// ---------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn prop_measure_requests_round_trip(
+        // Base far enough from zero that a negative stride cannot walk
+        // the stream below address 0 (VectorSpec rejects that).
+        base in 3_000_000u64..10_000_000,
+        stride in -4096i64..4096,
+        len in 1u64..512,
+        strat in prop::sample::select(vec![
+            Strategy::Canonical,
+            Strategy::Subsequence,
+            Strategy::ConflictFree,
+            Strategy::Auto,
+        ]),
+    ) {
+        prop_assume!(stride != 0);
+        let r = Request::Measure {
+            spec: format!("xor-matched:t=3,s={}", 3 + (base % 4)),
+            vec: VectorSpec::new(base, stride, len).expect("valid by construction"),
+            strategy: strat,
+        };
+        let text = json::encode_request(&r);
+        prop_assert_eq!(json::decode_request(&text).expect("decodes"), r);
+    }
+
+    #[test]
+    fn prop_multi_stream_requests_round_trip(
+        n in 0usize..6,
+        seed in 0u64..1_000_000,
+        width in 1u32..5,
+        policy in prop::sample::select(vec![
+            IssuePolicy::RoundRobin,
+            IssuePolicy::Priority,
+            IssuePolicy::WorkConserving,
+        ]),
+    ) {
+        let streams: Vec<VectorSpec> = (0..n)
+            .map(|i| {
+                let i = u64::try_from(i).expect("small");
+                let stride = 1 + i64::try_from((seed + i) % 97).expect("small");
+                VectorSpec::new(seed + i * 64, stride, 1 + (seed + i) % 128)
+                    .expect("valid by construction")
+            })
+            .collect();
+        let r = Request::MultiStream {
+            spec: "xor-matched:t=3,s=4".to_string(),
+            streams,
+            strategy: Strategy::Auto,
+            policy,
+            schedule: SchedulePlan::ConflictAware {
+                width,
+                max_score_milli: u32::try_from(seed % 3000).expect("small"),
+            },
+        };
+        let text = json::encode_request(&r);
+        prop_assert_eq!(json::decode_request(&text).expect("decodes"), r);
+    }
+
+    #[test]
+    fn prop_floats_round_trip_bit_exact(bits in 0u64..u64::MAX) {
+        let eta = f64::from_bits(bits);
+        prop_assume!(!eta.is_nan());
+        let text = json::encode_response(&Response::Efficiency(eta));
+        match json::decode_response(&text).expect("decodes") {
+            Response::Efficiency(back) => {
+                prop_assert_eq!(back.to_bits(), eta.to_bits(), "text was {}", text);
+            }
+            other => return Err(TestCaseError::fail(format!("wrong shape {other:?}"))),
+        }
+    }
+
+    #[test]
+    fn prop_service_stats_round_trip(a in 0u64..u64::MAX, b in 0usize..100_000) {
+        let stats = ServiceStats {
+            queue_depth: b,
+            in_flight: b / 2,
+            cache: if a % 2 == 0 {
+                Some(CacheStats {
+                    hits: a,
+                    misses: a / 3,
+                    evictions: a % 101,
+                    bypasses: a % 7,
+                    invalidations: a % 11,
+                    entries: b % 257,
+                    capacity: 1 + b % 1024,
+                })
+            } else {
+                None
+            },
+            retries: a % 13,
+            restarts: a % 17,
+            deadline_exceeded: a % 19,
+            degraded: a % 23,
+            faults_injected: a % 29,
+            scheduler_batches: a % 31,
+            scheduler_batched: a % 37,
+            scheduler_fifo_fallbacks: a % 41,
+            scheduler_window_occupancy: b % 43,
+            scheduler_predicted_conflicts_milli: a % 47,
+            scheduler_actual_conflicts: a % 53,
+            wire_connections: a % 59,
+            wire_rejections: a % 61,
+            wire_in_flight: b % 67,
+        };
+        let text = json::encode_service_stats(&stats);
+        prop_assert_eq!(json::decode_service_stats(&text).expect("decodes"), stats);
+    }
+
+    #[test]
+    fn prop_parser_never_panics_on_mutated_input(
+        seed in 0u64..u64::MAX,
+        cut in 0usize..200,
+        flip in 0usize..200,
+    ) {
+        // Take a valid encoding, truncate it and flip a byte: decode
+        // must return (Ok or typed Err), never panic.
+        let r = Request::Efficiency {
+            spec: "xor-matched:t=3,s=3".to_string(),
+            strategy: Strategy::Auto,
+            len: 1 + seed % 256,
+            estimator: Estimator::MonteCarlo {
+                samples: 100,
+                max_x: 8,
+                max_sigma: 63,
+            },
+            seed,
+        };
+        let text = json::encode_request(&r);
+        let cut = cut.min(text.len());
+        let mut bytes = text.as_bytes()[..cut].to_vec();
+        if !bytes.is_empty() {
+            let at = flip % bytes.len();
+            bytes[at] = bytes[at].wrapping_add(1 + (seed % 255) as u8);
+        }
+        if let Ok(mutated) = String::from_utf8(bytes) {
+            let _ = json::decode_request(&mutated);
+        }
+        // Same property through the frame layer, with a hostile frame.
+        let mut framed = Vec::new();
+        frame::write_frame(&mut framed, &text).expect("write");
+        let keep = cut.min(framed.len());
+        let _ = frame::read_frame(&mut Cursor::new(&framed[..keep]));
+    }
+}
